@@ -1,0 +1,116 @@
+// Ablations of the design choices DESIGN.md calls out:
+//   1. the strict high-confidence vote criterion (Eq. 13) vs looser ones,
+//   2. M1 vs M2 vs no boosting,
+//   3. Eq. 15 fusion weights vs uniform,
+//   4. a second boosting iteration,
+//   5. TFLLR scaling vs raw probability supervectors (via a second
+//      experiment build).
+// Each section prints fused EER%% per duration tier.
+#include "bench_common.h"
+
+namespace {
+
+using namespace phonolid;
+
+void print_result(const char* name, const core::EvalResult& r) {
+  std::printf("  %-38s", name);
+  for (std::size_t t = 0; t < corpus::kNumTiers; ++t) {
+    std::printf(" %6.2f", 100.0 * r.tier[t].eer);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const auto exp = bench::build_experiment();
+  const std::size_t q = exp->num_subsystems();
+  const std::size_t v_star = std::min<std::size_t>(3, q);
+
+  std::printf("\nAblations (fused EER%% at 30s/10s/3s)\n");
+
+  // --- Baseline reference. ---
+  const auto base = exp->evaluate(bench::baseline_blocks(*exp));
+  print_result("baseline PPRVSM fusion", base);
+
+  // --- 1. Vote criterion. ---
+  std::printf("\n# 1. vote criterion (DBA-M1, V=%zu)\n", v_star);
+  for (const auto& [name, criterion] :
+       {std::pair{"strict (Eq. 13)", core::VoteCriterion::kStrict},
+        std::pair{"positive-argmax", core::VoteCriterion::kPositiveArgmax},
+        std::pair{"argmax (always votes)", core::VoteCriterion::kArgmax}}) {
+    const auto votes = exp->votes_for(exp->baseline_scores(), criterion);
+    const auto sel = core::select_trdba(votes, v_star);
+    const double err = core::selection_error_rate(sel, exp->test_labels());
+    const auto scores = exp->run_dba_selection(sel, core::DbaMode::kM1);
+    const auto r = exp->evaluate(bench::as_blocks(scores));
+    std::printf("  [adopted %4zu, label err %5.1f%%]\n", sel.utt_index.size(),
+                100.0 * err);
+    print_result(name, r);
+  }
+
+  // --- 2. Update mode. ---
+  std::printf("\n# 2. Tr_DBA update mode (V=%zu)\n", v_star);
+  const auto sel = exp->select(v_star);
+  const auto m1 = exp->run_dba(v_star, core::DbaMode::kM1);
+  const auto m2 = exp->run_dba(v_star, core::DbaMode::kM2);
+  print_result("DBA-M1 only", exp->evaluate(bench::as_blocks(m1)));
+  print_result("DBA-M2 only", exp->evaluate(bench::as_blocks(m2)));
+  {
+    std::vector<const core::SubsystemScores*> blocks;
+    for (const auto& b : m1) blocks.push_back(&b);
+    for (const auto& b : m2) blocks.push_back(&b);
+    print_result("(DBA-M1)+(DBA-M2)",
+                 exp->evaluate(blocks, bench::eq15_weights(sel, 2)));
+  }
+
+  // --- 3. Fusion weights. ---
+  std::printf("\n# 3. fusion weights for (M1)+(M2)\n");
+  {
+    std::vector<const core::SubsystemScores*> blocks;
+    for (const auto& b : m1) blocks.push_back(&b);
+    for (const auto& b : m2) blocks.push_back(&b);
+    print_result("Eq. 15 weights (w_n ~ M_n)",
+                 exp->evaluate(blocks, bench::eq15_weights(sel, 2)));
+    print_result("uniform weights", exp->evaluate(blocks));
+  }
+
+  // --- 4. Second boosting iteration. ---
+  std::printf("\n# 4. boosting iterations (M2, V=%zu)\n", v_star);
+  print_result("1 iteration", exp->evaluate(bench::as_blocks(m2)));
+  {
+    const auto votes2 = exp->votes_for(m2);
+    const auto sel2 = core::select_trdba(votes2, v_star);
+    const auto scores2 = exp->run_dba_selection(sel2, core::DbaMode::kM2);
+    std::printf("  [iteration 2 adopts %zu, label err %.1f%%]\n",
+                sel2.utt_index.size(),
+                100.0 * core::selection_error_rate(sel2, exp->test_labels()));
+    print_result("2 iterations", exp->evaluate(bench::as_blocks(scores2)));
+  }
+
+  // --- 5. TFLLR scaling (requires re-building the pipeline). ---
+  std::printf("\n# 5. TFLLR kernel scaling (baseline fusion, re-built "
+              "without TFLLR)\n");
+  {
+    auto cfg = core::ExperimentConfig::preset(util::scale_from_env(),
+                                              util::master_seed());
+    for (auto& spec : cfg.frontends) spec.use_tfllr = false;
+    const auto raw_exp = core::Experiment::build(cfg);
+    print_result("raw probability supervectors",
+                 raw_exp->evaluate(bench::baseline_blocks(*raw_exp)));
+    print_result("TFLLR supervectors (reference)", base);
+  }
+
+  // --- 6. Lattice expected counts vs 1-best. ---
+  std::printf("\n# 6. expected counts vs 1-best counts (baseline fusion)\n");
+  {
+    auto cfg = core::ExperimentConfig::preset(util::scale_from_env(),
+                                              util::master_seed());
+    cfg.use_lattice_counts = false;
+    const auto onebest_exp = core::Experiment::build(cfg);
+    print_result("1-best counts",
+                 onebest_exp->evaluate(bench::baseline_blocks(*onebest_exp)));
+    print_result("lattice expected counts (reference)", base);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Shared helpers for the table/figure benches.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/options.h"
+#include "util/timer.h"
+
+namespace phonolid::bench {
+
+inline std::unique_ptr<core::Experiment> build_experiment() {
+  const auto scale = util::scale_from_env();
+  std::printf("# phonolid bench (scale=%s, seed=%llu)\n",
+              util::to_string(scale),
+              static_cast<unsigned long long>(util::master_seed()));
+  util::WallTimer timer;
+  auto config = core::ExperimentConfig::preset(scale, util::master_seed());
+  auto experiment = core::Experiment::build(config);
+  std::printf("# experiment built in %.1fs: %zu languages, %zu subsystems, "
+              "%zu test utterances\n",
+              timer.seconds(), experiment->num_languages(),
+              experiment->num_subsystems(),
+              experiment->corpus().test().size());
+  return experiment;
+}
+
+/// All baseline blocks as evaluate() input.
+inline std::vector<const core::SubsystemScores*> baseline_blocks(
+    const core::Experiment& exp) {
+  std::vector<const core::SubsystemScores*> blocks;
+  for (const auto& b : exp.baseline_scores()) blocks.push_back(&b);
+  return blocks;
+}
+
+inline std::vector<const core::SubsystemScores*> as_blocks(
+    const std::vector<core::SubsystemScores>& scores) {
+  std::vector<const core::SubsystemScores*> blocks;
+  for (const auto& b : scores) blocks.push_back(&b);
+  return blocks;
+}
+
+/// Eq. 15 weights for a fused (M1 + M2) block list.
+inline std::vector<double> eq15_weights(const core::TrdbaSelection& selection,
+                                        std::size_t repetitions) {
+  std::vector<double> weights;
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    for (std::size_t c : selection.subsystem_fit_counts) {
+      weights.push_back(static_cast<double>(c));
+    }
+  }
+  return weights;
+}
+
+}  // namespace phonolid::bench

@@ -1,0 +1,59 @@
+// Figure 3: DET curves of the baseline fusion vs the (DBA-M1)+(DBA-M2)
+// (V = 3) fusion, NIST-style probit-probit axes.
+//
+// Prints each curve as rows "p_fa p_miss probit(p_fa) probit(p_miss)" so
+// the figure can be re-plotted directly.  Expected shape: the DBA curve
+// lies on or below the baseline curve, with the gap widening on the
+// shorter duration tiers.
+#include "bench_common.h"
+
+#include "util/math_util.h"
+
+namespace {
+
+void print_curve(const char* name, const char* tier,
+                 const std::vector<phonolid::eval::DetPoint>& curve) {
+  const auto thin = phonolid::eval::thin_det_curve(curve, 32);
+  std::printf("\n# DET curve: %s, %s (%zu points)\n", name, tier, thin.size());
+  std::printf("# p_fa p_miss probit_fa probit_miss\n");
+  for (const auto& p : thin) {
+    std::printf("%.5f %.5f %8.4f %8.4f\n", p.p_fa, p.p_miss,
+                phonolid::util::probit(std::max(p.p_fa, 1e-5)),
+                phonolid::util::probit(std::max(p.p_miss, 1e-5)));
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace phonolid;
+  const auto exp = bench::build_experiment();
+  const std::size_t q = exp->num_subsystems();
+  static const char* tiers[] = {"30s", "10s", "3s"};
+
+  const core::EvalResult baseline =
+      exp->evaluate(bench::baseline_blocks(*exp));
+
+  const std::size_t v_star = std::min<std::size_t>(3, q);
+  const auto selection = exp->select(v_star);
+  const auto m1 = exp->run_dba(v_star, core::DbaMode::kM1);
+  const auto m2 = exp->run_dba(v_star, core::DbaMode::kM2);
+  std::vector<const core::SubsystemScores*> blocks;
+  for (const auto& b : m1) blocks.push_back(&b);
+  for (const auto& b : m2) blocks.push_back(&b);
+  const core::EvalResult dba =
+      exp->evaluate(blocks, bench::eq15_weights(selection, 2));
+
+  for (std::size_t t = 0; t < corpus::kNumTiers; ++t) {
+    print_curve("PPRVSM baseline fusion", tiers[t], baseline.det[t]);
+    print_curve("(DBA-M1)+(DBA-M2) V=3 fusion", tiers[t], dba.det[t]);
+  }
+
+  std::printf("\n# operating summary (EER%% baseline -> DBA):");
+  for (std::size_t t = 0; t < corpus::kNumTiers; ++t) {
+    std::printf("  %s %.2f->%.2f", tiers[t], 100.0 * baseline.tier[t].eer,
+                100.0 * dba.tier[t].eer);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Table 1: composition of Tr_DBA at each vote threshold V (DBA-M1).
+//
+// Paper row 1: number of adopted test utterances; row 2: error rate of the
+// hypothesised labels.  Expected shape: count grows and purity falls
+// monotonically as V decreases.
+#include "bench_common.h"
+
+#include "core/dba.h"
+
+int main() {
+  using namespace phonolid;
+  const auto exp = bench::build_experiment();
+  const std::size_t q = exp->num_subsystems();
+
+  std::printf("\nTable 1: Tr_DBA of varied threshold V, DBA-M1\n");
+  std::printf("%-12s", "");
+  for (std::size_t v = q; v >= 1; --v) std::printf("  V = %zu  ", v);
+  std::printf("\n%-12s", "number");
+  std::vector<core::TrdbaSelection> selections;
+  for (std::size_t v = q; v >= 1; --v) {
+    selections.push_back(exp->select(v));
+    std::printf("%8zu ", selections.back().utt_index.size());
+  }
+  std::printf("\n%-12s", "error rate");
+  for (const auto& sel : selections) {
+    std::printf("%7.2f%% ",
+                100.0 * core::selection_error_rate(sel, exp->test_labels()));
+  }
+  std::printf("\n\n# paper (41793-utterance NIST test set): counts "
+              "4939..35262, error 4.74%%..31.88%% over V=6..1\n");
+
+  // Invariant check for the harness itself: monotone counts.
+  for (std::size_t i = 1; i < selections.size(); ++i) {
+    if (selections[i].utt_index.size() < selections[i - 1].utt_index.size()) {
+      std::printf("# WARNING: adopted count not monotone in V\n");
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Table 2: EER / Cavg of DBA-M1 per front-end, duration tier and vote
+// threshold V (plus the PPRVSM baseline column).
+//
+// Expected shape (paper §5.2): for each front-end and tier the EER first
+// falls then rises as V decreases (U-shape) with the optimum at an
+// intermediate threshold (V = 3 in the paper), and the DBA optimum beats
+// the baseline, most strongly at the shortest tier.
+#include "bench_common.h"
+
+int main() {
+  using namespace phonolid;
+  const auto exp = bench::build_experiment();
+  const std::size_t q = exp->num_subsystems();
+  static const char* tiers[] = {"30s", "10s", "3s"};
+
+  // Pre-compute DBA-M1 scores for every threshold.
+  std::vector<std::vector<core::SubsystemScores>> dba(q + 1);
+  for (std::size_t v = 1; v <= q; ++v) {
+    dba[v] = exp->run_dba(v, core::DbaMode::kM1);
+  }
+
+  std::printf("\nTable 2: DBA-M1, closed set (EER%% / Cavg%%)\n");
+  std::printf("%-14s %-5s %-6s %-15s", "front-end", "dur", "", "baseline");
+  for (std::size_t v = q; v >= 1; --v) std::printf("V=%-13zu", v);
+  std::printf("\n");
+
+  for (std::size_t s = 0; s < q; ++s) {
+    const core::EvalResult base =
+        exp->evaluate_single(exp->baseline_scores()[s]);
+    std::vector<core::EvalResult> results(q + 1);
+    for (std::size_t v = 1; v <= q; ++v) {
+      results[v] = exp->evaluate_single(dba[v][s]);
+    }
+    for (std::size_t t = 0; t < corpus::kNumTiers; ++t) {
+      std::printf("%-14s %-5s EER   %6.2f         ",
+                  exp->subsystem(s).name().c_str(), tiers[t],
+                  100.0 * base.tier[t].eer);
+      for (std::size_t v = q; v >= 1; --v) {
+        std::printf("%6.2f         ", 100.0 * results[v].tier[t].eer);
+      }
+      std::printf("\n%-14s %-5s Cavg  %6.2f         ", "", tiers[t],
+                  100.0 * base.tier[t].cavg);
+      for (std::size_t v = q; v >= 1; --v) {
+        std::printf("%6.2f         ", 100.0 * results[v].tier[t].cavg);
+      }
+      std::printf("\n");
+    }
+  }
+
+  // Shape summary: where does the minimum EER sit, and does it beat the
+  // baseline?
+  std::printf("\n# shape summary (30s tier): per front-end best V and gain\n");
+  for (std::size_t s = 0; s < q; ++s) {
+    const core::EvalResult base =
+        exp->evaluate_single(exp->baseline_scores()[s]);
+    double best = 1.0;
+    std::size_t best_v = 0;
+    for (std::size_t v = 1; v <= q; ++v) {
+      const auto r = exp->evaluate_single(dba[v][s]);
+      if (r.tier[2].eer < best) {
+        best = r.tier[2].eer;
+        best_v = v;
+      }
+    }
+    std::printf("#   %-14s best V=%zu  EER(3s) %.2f%% vs baseline %.2f%%\n",
+                exp->subsystem(s).name().c_str(), best_v, 100.0 * best,
+                100.0 * base.tier[2].eer);
+  }
+  return 0;
+}

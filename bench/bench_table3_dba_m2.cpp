@@ -1,0 +1,64 @@
+// Table 3: EER / Cavg of DBA-M2 (adopted test data + original training
+// data) per front-end, duration tier and vote threshold V.
+//
+// Expected shape (paper §5.2): same U-shape in V as Table 2; relative to
+// DBA-M1, M2 is stronger on the longest tier (more training data) while M1
+// wins on the short tiers (test-condition adaptation).
+#include "bench_common.h"
+
+int main() {
+  using namespace phonolid;
+  const auto exp = bench::build_experiment();
+  const std::size_t q = exp->num_subsystems();
+  static const char* tiers[] = {"30s", "10s", "3s"};
+
+  std::vector<std::vector<core::SubsystemScores>> m2(q + 1);
+  for (std::size_t v = 1; v <= q; ++v) {
+    m2[v] = exp->run_dba(v, core::DbaMode::kM2);
+  }
+
+  std::printf("\nTable 3: DBA-M2, closed set (EER%% / Cavg%%)\n");
+  std::printf("%-14s %-5s %-6s %-15s", "front-end", "dur", "", "baseline");
+  for (std::size_t v = q; v >= 1; --v) std::printf("V=%-13zu", v);
+  std::printf("\n");
+
+  for (std::size_t s = 0; s < q; ++s) {
+    const core::EvalResult base =
+        exp->evaluate_single(exp->baseline_scores()[s]);
+    std::vector<core::EvalResult> results(q + 1);
+    for (std::size_t v = 1; v <= q; ++v) {
+      results[v] = exp->evaluate_single(m2[v][s]);
+    }
+    for (std::size_t t = 0; t < corpus::kNumTiers; ++t) {
+      std::printf("%-14s %-5s EER   %6.2f         ",
+                  exp->subsystem(s).name().c_str(), tiers[t],
+                  100.0 * base.tier[t].eer);
+      for (std::size_t v = q; v >= 1; --v) {
+        std::printf("%6.2f         ", 100.0 * results[v].tier[t].eer);
+      }
+      std::printf("\n%-14s %-5s Cavg  %6.2f         ", "", tiers[t],
+                  100.0 * base.tier[t].cavg);
+      for (std::size_t v = q; v >= 1; --v) {
+        std::printf("%6.2f         ", 100.0 * results[v].tier[t].cavg);
+      }
+      std::printf("\n");
+    }
+  }
+
+  // M1-vs-M2 comparison at the paper's optimum V=3 (paper §5.2: M2 wins at
+  // 30s, M1 wins at 10s/3s).
+  const std::size_t v_star = std::min<std::size_t>(3, q);
+  const auto m1 = exp->run_dba(v_star, core::DbaMode::kM1);
+  std::printf("\n# M1 vs M2 at V=%zu (mean EER%% across front-ends)\n", v_star);
+  for (std::size_t t = 0; t < corpus::kNumTiers; ++t) {
+    double mean_m1 = 0.0, mean_m2 = 0.0;
+    for (std::size_t s = 0; s < q; ++s) {
+      mean_m1 += exp->evaluate_single(m1[s]).tier[t].eer;
+      mean_m2 += exp->evaluate_single(m2[v_star][s]).tier[t].eer;
+    }
+    std::printf("#   %-4s M1 %.2f%%  M2 %.2f%%\n", tiers[t],
+                100.0 * mean_m1 / static_cast<double>(q),
+                100.0 * mean_m2 / static_cast<double>(q));
+  }
+  return 0;
+}

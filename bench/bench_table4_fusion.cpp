@@ -1,0 +1,70 @@
+// Table 4: PPRVSM vs DBA systems — per front-end and LDA-MMI fusion across
+// all six, at the optimal threshold (paper: (DBA-M1)+(DBA-M2), V = 3).
+//
+// Expected shape: DBA improves every single front-end; fusion beats every
+// single system; the DBA fusion beats the baseline fusion, with the gain
+// concentrated on the 10s/3s tiers.
+#include "bench_common.h"
+
+int main() {
+  using namespace phonolid;
+  const auto exp = bench::build_experiment();
+  const std::size_t q = exp->num_subsystems();
+  static const char* tiers[] = {"30s", "10s", "3s"};
+
+  const std::size_t v_star = std::min<std::size_t>(3, q);
+  const auto selection = exp->select(v_star);
+  const auto m1 = exp->run_dba(v_star, core::DbaMode::kM1);
+  const auto m2 = exp->run_dba(v_star, core::DbaMode::kM2);
+
+  std::printf("\nTable 4: PPRVSM vs DBA, closed set, (DBA-M1)+(DBA-M2), "
+              "V=%zu (EER%%/Cavg%%)\n", v_star);
+  std::printf("%-10s %-16s %10s %14s %14s\n", "system", "front-end", "30s",
+              "10s", "3s");
+
+  const auto print_row = [&](const char* sys, const char* name,
+                             const core::EvalResult& r) {
+    std::printf("%-10s %-16s", sys, name);
+    for (std::size_t t = 0; t < corpus::kNumTiers; ++t) {
+      std::printf(" %6.2f/%-6.2f", 100.0 * r.tier[t].eer,
+                  100.0 * r.tier[t].cavg);
+    }
+    std::printf("\n");
+  };
+
+  // Baseline singles + fusion.
+  for (std::size_t s = 0; s < q; ++s) {
+    print_row("Baseline", exp->subsystem(s).name().c_str(),
+              exp->evaluate_single(exp->baseline_scores()[s]));
+  }
+  const core::EvalResult base_fusion =
+      exp->evaluate(bench::baseline_blocks(*exp));
+  print_row("Baseline", "fusion", base_fusion);
+
+  // DBA singles: per front-end, fuse its M1 and M2 blocks.
+  for (std::size_t s = 0; s < q; ++s) {
+    const core::EvalResult r = exp->evaluate({&m1[s], &m2[s]});
+    print_row("DBA", exp->subsystem(s).name().c_str(), r);
+  }
+  // DBA fusion across all 2q blocks with Eq. 15 weights.
+  std::vector<const core::SubsystemScores*> blocks;
+  for (const auto& b : m1) blocks.push_back(&b);
+  for (const auto& b : m2) blocks.push_back(&b);
+  const core::EvalResult dba_fusion =
+      exp->evaluate(blocks, bench::eq15_weights(selection, 2));
+  print_row("DBA", "fusion", dba_fusion);
+
+  std::printf("\n# paper fusion rows: baseline 1.11/2.73/12.37 EER%%, DBA "
+              "1.09/2.41/10.47 EER%% (30s/10s/3s)\n");
+  std::printf("# relative EER reduction here:");
+  for (std::size_t t = 0; t < corpus::kNumTiers; ++t) {
+    const double rel = base_fusion.tier[t].eer > 0
+                           ? 100.0 * (base_fusion.tier[t].eer -
+                                      dba_fusion.tier[t].eer) /
+                                 base_fusion.tier[t].eer
+                           : 0.0;
+    std::printf(" %s %.1f%%", tiers[t], rel);
+  }
+  std::printf("  (paper: 1.8%% / 11.7%% / 15.4%%)\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Table 5 + cost model (paper §5.4-5.5): real-time factors of each pipeline
+// stage for PPRVSM vs DBA, and the measured C_DBA / C_baseline ratio.
+//
+// The paper reports (HU front-end, 30s test): decoding RT 0.11 for both
+// systems, supervector generation and supervector product roughly doubling
+// under DBA (two VSM passes) — negligible next to decoding, hence
+// C_DBA/C_baseline ~= 1 (Eq. 19).
+//
+// Stage timings use google-benchmark on a subsystem built at quick scale;
+// the cost model section aggregates whole-pipeline wall time.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/experiment.h"
+#include "util/options.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace phonolid;
+
+/// One lazily-built shared experiment for all benchmarks in this binary.
+core::Experiment& experiment() {
+  static std::unique_ptr<core::Experiment> exp = [] {
+    auto cfg = core::ExperimentConfig::preset(util::Scale::kQuick,
+                                              util::master_seed());
+    // One ANN front-end (the paper's Table 5 uses the HU front-end) plus a
+    // GMM front-end for contrast.
+    auto all = core::default_frontends(util::Scale::kQuick);
+    cfg.frontends = {all[0], all[5]};
+    return core::Experiment::build(cfg);
+  }();
+  return *exp;
+}
+
+const corpus::Utterance& long_test_utterance() {
+  const auto& corpus = experiment().corpus();
+  const auto idx = corpus.test_indices(corpus::DurationTier::k30s);
+  return corpus.test()[idx.front()];
+}
+
+void BM_Decoding(benchmark::State& state) {
+  const auto& sub = experiment().subsystem(static_cast<std::size_t>(state.range(0)));
+  const auto& utt = long_test_utterance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sub.decode(utt));
+  }
+  const double audio_s = static_cast<double>(utt.samples.size()) / 8000.0;
+  state.counters["rt_factor"] = benchmark::Counter(
+      state.iterations() * audio_s,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_Decoding)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_SupervectorGeneration(benchmark::State& state) {
+  // Full chain (features + decode + counts); dominated by decode, like the
+  // paper's "SV gen." column which excludes only the phone decoding.
+  const auto& sub = experiment().subsystem(static_cast<std::size_t>(state.range(0)));
+  const auto& utt = long_test_utterance();
+  const auto lattice = sub.decode(utt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sub.process(utt));
+  }
+}
+BENCHMARK(BM_SupervectorGeneration)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_SupervectorProduct(benchmark::State& state) {
+  // Scoring one supervector against all K language models (the paper's
+  // "SV prod." column).  DBA doubles this work (baseline + re-trained VSM).
+  const auto& exp = experiment();
+  const auto& model = exp.baseline_vsm(0);
+  const auto& sv = exp.test_svs(0).front();
+  std::vector<float> scores(exp.num_languages());
+  for (auto _ : state) {
+    model.score(sv, scores);
+    benchmark::DoNotOptimize(scores);
+  }
+}
+BENCHMARK(BM_SupervectorProduct)->Unit(benchmark::kMicrosecond);
+
+void BM_VsmTraining(benchmark::State& state) {
+  // Cost of one VSM (re-)training pass — the only extra work DBA does.
+  const auto& exp = experiment();
+  svm::VsmTrainConfig cfg = exp.config().vsm;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svm::VsmModel::train(
+        exp.train_svs(0), exp.train_labels(), exp.num_languages(),
+        exp.subsystem(0).supervector_dim(), cfg));
+  }
+}
+BENCHMARK(BM_VsmTraining)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  // --- Cost-model section (paper Eq. 16-19). ---
+  const auto& exp = experiment();
+  core::StageTimes total;
+  for (std::size_t q = 0; q < exp.num_subsystems(); ++q) {
+    total += exp.subsystem(q).stage_times();
+  }
+  const double c_phi = total.feature_s + total.decode_s + total.supervector_s;
+  // DBA adds one more VSM training + one more scoring pass; measure them.
+  util::WallTimer timer;
+  const auto dba = exp.run_dba(1, core::DbaMode::kM2);
+  (void)dba;
+  const double c_extra = timer.seconds();
+  const double ratio = (c_phi + c_extra) / c_phi;
+
+  std::printf("\nCost model (paper Eq. 16-19):\n");
+  std::printf("  C_phi (features+decoding+counts, all utterances): %.2fs\n",
+              c_phi);
+  std::printf("    features %.2fs | decoding %.2fs | counts %.2fs\n",
+              total.feature_s, total.decode_s, total.supervector_s);
+  std::printf("  audio processed: %.1fs  (=> pipeline RT factor %.4f)\n",
+              total.audio_s, c_phi / total.audio_s);
+  std::printf("  extra DBA cost (VSM retrain + rescore): %.2fs\n", c_extra);
+  std::printf("  C_DBA / C_baseline = %.3f   (paper: ~1)\n", ratio);
+  benchmark::Shutdown();
+  return 0;
+}

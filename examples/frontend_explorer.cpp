@@ -1,0 +1,127 @@
+// frontend_explorer — inspect each front-end of the PPRVSM system.
+//
+// For every front-end this example reports:
+//   * the phone-set size and supervector dimensionality,
+//   * phone error rate (PER) of the 1-best decode against ground truth on
+//     held-out native-language speech,
+//   * identification accuracy of the baseline VSM on the training set and
+//     on each test duration tier,
+//   * the strict-vote rate (how often paper Eq. 13 fires).
+//
+// Usage:  frontend_explorer            (PHONOLID_SCALE=quick|default|full)
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "am/gmm_hmm.h"
+#include "core/experiment.h"
+#include "util/options.h"
+
+namespace {
+
+using namespace phonolid;
+
+/// Levenshtein distance between phone sequences (for PER).
+std::size_t edit_distance(const std::vector<std::uint32_t>& a,
+                          const std::vector<std::uint32_t>& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+double tier_accuracy(const core::Experiment& exp, const util::Matrix& scores,
+                     corpus::DurationTier tier) {
+  const auto idx = exp.corpus().test_indices(tier);
+  std::size_t correct = 0;
+  for (std::size_t i : idx) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < scores.cols(); ++c) {
+      if (scores(i, c) > scores(i, best)) best = c;
+    }
+    if (static_cast<std::int32_t>(best) == exp.test_labels()[i]) ++correct;
+  }
+  return idx.empty() ? 0.0
+                     : static_cast<double>(correct) / static_cast<double>(idx.size());
+}
+
+}  // namespace
+
+int main() {
+  const auto scale = util::scale_from_env();
+  std::printf("== phonolid front-end explorer (scale=%s) ==\n",
+              util::to_string(scale));
+  const auto config = core::ExperimentConfig::preset(scale, util::master_seed());
+  const auto exp = core::Experiment::build(config);
+  const auto& corpus = exp->corpus();
+
+  for (std::size_t q = 0; q < exp->num_subsystems(); ++q) {
+    const core::Subsystem& sub = exp->subsystem(q);
+    std::printf("\n--- %s ---\n", sub.name().c_str());
+    std::printf("phones: %zu   supervector dim: %zu\n",
+                sub.spec().num_phones, sub.supervector_dim());
+
+    // Phone error rate on native speech (decode vs mapped ground truth).
+    const auto& native = corpus.am_train(sub.spec().native_language);
+    std::size_t errs = 0, total = 0;
+    const std::size_t sample = std::min<std::size_t>(native.size(), 10);
+    for (std::size_t i = 0; i < sample; ++i) {
+      const auto lattice = sub.decode(native[i]);
+      std::vector<std::uint32_t> truth;
+      for (const auto& seg : native[i].alignment) {
+        const auto phone =
+            static_cast<std::uint32_t>(sub.phone_map().map(seg.phone));
+        if (truth.empty() || truth.back() != phone) truth.push_back(phone);
+      }
+      errs += edit_distance(lattice.best_path(), truth);
+      total += truth.size();
+    }
+    std::printf("phone error rate (native, %zu utts): %.1f%%\n", sample,
+                100.0 * static_cast<double>(errs) / static_cast<double>(total));
+
+    // VSM accuracies.
+    const auto& scores = exp->baseline_scores()[q];
+    std::printf("test identification accuracy: 30s %.1f%%  10s %.1f%%  3s %.1f%%\n",
+                100.0 * tier_accuracy(*exp, scores.test, corpus::DurationTier::k30s),
+                100.0 * tier_accuracy(*exp, scores.test, corpus::DurationTier::k10s),
+                100.0 * tier_accuracy(*exp, scores.test, corpus::DurationTier::k3s));
+
+    // Strict-vote rate (paper Eq. 13).
+    std::size_t votes = 0;
+    const auto& v = exp->votes();
+    for (std::size_t j = 0; j < v.num_utts; ++j) {
+      for (std::size_t k = 0; k < v.num_classes; ++k) {
+        if (v.vote(q, j, k)) {
+          ++votes;
+          break;
+        }
+      }
+    }
+    std::printf("strict-vote rate: %.1f%%\n",
+                100.0 * static_cast<double>(votes) /
+                    static_cast<double>(v.num_utts));
+  }
+
+  // Pooled vote-count histogram (drives Table 1).
+  const auto& v = exp->votes();
+  std::vector<std::size_t> hist(exp->num_subsystems() + 1, 0);
+  for (std::size_t j = 0; j < v.num_utts; ++j) {
+    std::uint16_t best = 0;
+    for (std::size_t k = 0; k < v.num_classes; ++k) {
+      best = std::max(best, v.count(j, k));
+    }
+    ++hist[best];
+  }
+  std::printf("\nvote-count histogram over %zu test utterances:\n", v.num_utts);
+  for (std::size_t c = 0; c < hist.size(); ++c) {
+    std::printf("  %zu votes: %zu\n", c, hist[c]);
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// prlm_vs_pprvsm — three generations of phonotactic language recognition
+// on one front-end:
+//   1. PRLM   (Zissman 1996, paper ref. [2]): per-language N-gram LMs over
+//              the 1-best decoded phone stream,
+//   2. PPRVSM (paper baseline): TFLLR supervectors + one-vs-rest SVM,
+//   3. DBA    (the paper's contribution) on top of the same subsystem.
+//
+// Expected: PPRVSM > PRLM (the motivation for VSM), and DBA >= PPRVSM.
+//
+// Usage:  prlm_vs_pprvsm [frontend-index]    (PHONOLID_SCALE=quick for speed)
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.h"
+#include "phonotactic/ngram_lm.h"
+#include "util/options.h"
+#include "util/thread_pool.h"
+
+int main(int argc, char** argv) {
+  using namespace phonolid;
+
+  const std::size_t frontend =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 0;
+  const auto scale = util::scale_from_env();
+  const auto config = core::ExperimentConfig::preset(scale, util::master_seed());
+  if (frontend >= config.frontends.size()) {
+    std::fprintf(stderr, "frontend index out of range\n");
+    return 1;
+  }
+  std::printf("== PRLM vs PPRVSM vs DBA (scale=%s) ==\n", util::to_string(scale));
+  const auto exp = core::Experiment::build(config);
+  const core::Subsystem& sub = exp->subsystem(frontend);
+  const std::size_t k = exp->num_languages();
+  std::printf("front-end: %s\n", sub.name().c_str());
+
+  // --- PRLM: decode 1-best phone streams for train and test. ---
+  const auto decode_all = [&](const corpus::Dataset& data) {
+    std::vector<std::vector<std::uint32_t>> out(data.size());
+    util::parallel_for(0, data.size(), [&](std::size_t i) {
+      out[i] = sub.decode(data[i]).best_path();
+    });
+    return out;
+  };
+  const auto train_seqs = decode_all(exp->corpus().vsm_train());
+  const auto dev_seqs = decode_all(exp->corpus().dev());
+  const auto test_seqs = decode_all(exp->corpus().test());
+
+  phonotactic::NgramLmConfig lm_cfg;
+  lm_cfg.order = 3;
+  const auto prlm = phonotactic::PrlmSystem::train(
+      train_seqs, exp->train_labels(), k, sub.spec().num_phones, lm_cfg);
+  core::SubsystemScores prlm_block;
+  prlm_block.dev = prlm.score_all(dev_seqs);
+  prlm_block.test = prlm.score_all(test_seqs);
+  const core::EvalResult prlm_result = exp->evaluate_single(prlm_block);
+
+  // --- PPRVSM and DBA on the same subsystem. ---
+  const core::EvalResult pprvsm =
+      exp->evaluate_single(exp->baseline_scores()[frontend]);
+  const std::size_t v = std::min<std::size_t>(3, exp->num_subsystems());
+  const auto m2 = exp->run_dba(v, core::DbaMode::kM2);
+  const core::EvalResult dba = exp->evaluate_single(m2[frontend]);
+
+  std::printf("\n%-28s %8s %8s %8s   (EER%%)\n", "system", "30s", "10s", "3s");
+  const auto row = [&](const char* name, const core::EvalResult& r) {
+    std::printf("%-28s", name);
+    for (std::size_t t = 0; t < corpus::kNumTiers; ++t) {
+      std::printf(" %8.2f", 100.0 * r.tier[t].eer);
+    }
+    std::printf("\n");
+  };
+  row("PRLM (3-gram LM, 1-best)", prlm_result);
+  row("PPRVSM (TFLLR + SVM)", pprvsm);
+  row("DBA-M2 (V=3)", dba);
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "acoustic/sdc.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace phonolid::acoustic {
+
+std::size_t sdc_dim(const SdcConfig& config) noexcept {
+  return config.n * (1 + config.k);
+}
+
+util::Matrix compute_sdc(const util::Matrix& cepstra, const SdcConfig& config) {
+  if (cepstra.cols() < config.n) {
+    throw std::invalid_argument("compute_sdc: too few cepstral coefficients");
+  }
+  const std::size_t frames = cepstra.rows();
+  const auto t_max = static_cast<std::ptrdiff_t>(frames) - 1;
+  util::Matrix out(frames, sdc_dim(config));
+  if (frames == 0) return out;
+
+  const auto value = [&](std::ptrdiff_t t, std::size_t c) {
+    t = std::clamp<std::ptrdiff_t>(t, 0, t_max);
+    return cepstra(static_cast<std::size_t>(t), c);
+  };
+
+  for (std::size_t t = 0; t < frames; ++t) {
+    auto row = out.row(t);
+    for (std::size_t c = 0; c < config.n; ++c) row[c] = cepstra(t, c);
+    for (std::size_t block = 0; block < config.k; ++block) {
+      const auto center =
+          static_cast<std::ptrdiff_t>(t + block * config.p);
+      const auto dd = static_cast<std::ptrdiff_t>(config.d);
+      for (std::size_t c = 0; c < config.n; ++c) {
+        row[config.n * (1 + block) + c] =
+            value(center + dd, c) - value(center - dd, c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace phonolid::acoustic

@@ -1,0 +1,31 @@
+// Shifted delta cepstra (SDC).
+//
+// The classic acoustic-LR feature (Torres-Carrasquillo et al. 2002, the
+// paper's reference [3]): for each frame, k delta blocks computed d frames
+// apart and advanced by p frames are stacked onto the static cepstra,
+// capturing long-span temporal dynamics.  Parameterised by the standard
+// N-d-P-k notation (default 7-1-3-7).
+#pragma once
+
+#include <cstddef>
+
+#include "util/matrix.h"
+
+namespace phonolid::acoustic {
+
+struct SdcConfig {
+  std::size_t n = 7;  // number of leading cepstra used
+  std::size_t d = 1;  // delta half-window
+  std::size_t p = 3;  // block advance
+  std::size_t k = 7;  // number of blocks
+};
+
+/// Output dimension: n static + n*k shifted deltas.
+std::size_t sdc_dim(const SdcConfig& config) noexcept;
+
+/// Computes SDC features from a static cepstral matrix (frames x ceps).
+/// Frames whose delta windows extend past the ends are clamped.
+/// `cepstra.cols()` must be >= config.n.
+util::Matrix compute_sdc(const util::Matrix& cepstra, const SdcConfig& config);
+
+}  // namespace phonolid::acoustic

@@ -1,0 +1,180 @@
+#include "acoustic/ubm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/features.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace phonolid::acoustic {
+
+util::Matrix UbmLrSystem::features_of(const std::vector<float>& samples) const {
+  util::Matrix ceps = mfcc_.extract(samples);
+  if (config_.cmvn) dsp::cmvn_inplace(ceps, true);
+  return compute_sdc(ceps, config_.sdc);
+}
+
+UbmLrSystem UbmLrSystem::train(const corpus::Dataset& train,
+                               std::size_t num_languages,
+                               const UbmMapConfig& config) {
+  if (train.empty() || num_languages == 0) {
+    throw std::invalid_argument("UbmLrSystem::train: bad inputs");
+  }
+  UbmLrSystem system;
+  system.config_ = config;
+  system.mfcc_ = dsp::MfccExtractor(config.mfcc);
+
+  // Extract all features once (parallel over utterances).
+  std::vector<util::Matrix> features(train.size());
+  util::parallel_for(0, train.size(), [&](std::size_t i) {
+    features[i] = system.features_of(train[i].samples);
+  });
+  const std::size_t dim = sdc_dim(config.sdc);
+  std::size_t total_frames = 0;
+  for (const auto& f : features) total_frames += f.rows();
+  if (total_frames == 0) {
+    throw std::invalid_argument("UbmLrSystem::train: no frames");
+  }
+
+  // --- UBM on (subsampled) pooled frames. ---
+  util::Rng rng(util::derive_stream(config.seed, 0x0B17));
+  const std::size_t ubm_frames =
+      config.max_ubm_frames > 0
+          ? std::min(total_frames, config.max_ubm_frames)
+          : total_frames;
+  const double keep = static_cast<double>(ubm_frames) /
+                      static_cast<double>(total_frames);
+  util::Matrix pool(ubm_frames, dim);
+  std::size_t cursor = 0;
+  for (const auto& f : features) {
+    for (std::size_t t = 0; t < f.rows() && cursor < ubm_frames; ++t) {
+      if (keep < 1.0 && !rng.bernoulli(keep)) continue;
+      auto src = f.row(t);
+      std::copy(src.begin(), src.end(), pool.row(cursor++).begin());
+    }
+  }
+  pool.resize(cursor == 0 ? 1 : cursor, dim);
+  if (cursor == 0) {
+    throw std::invalid_argument("UbmLrSystem::train: subsampling left nothing");
+  }
+  am::GmmTrainConfig ubm_cfg;
+  ubm_cfg.num_components = config.ubm_components;
+  ubm_cfg.em_iters = config.ubm_em_iters;
+  ubm_cfg.seed = util::derive_stream(config.seed, 0x0B18);
+  system.ubm_.train(pool, ubm_cfg);
+
+  // --- MAP adaptation of means, per language. ---
+  const std::size_t m = system.ubm_.num_components();
+  std::vector<util::Matrix> acc_x(num_languages, util::Matrix(m, dim, 0.0f));
+  std::vector<std::vector<double>> acc_gamma(num_languages,
+                                             std::vector<double>(m, 0.0));
+  std::vector<double> post(m);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const auto lang = static_cast<std::size_t>(train[i].language);
+    if (train[i].language < 0 || lang >= num_languages) {
+      throw std::invalid_argument("UbmLrSystem::train: bad label");
+    }
+    const auto& f = features[i];
+    for (std::size_t t = 0; t < f.rows(); ++t) {
+      auto row = f.row(t);
+      // Component posteriors under the UBM.
+      double best = -1e300;
+      for (std::size_t c = 0; c < m; ++c) {
+        post[c] = system.ubm_.log_weights()[c] +
+                  system.ubm_.component(c).log_likelihood(row);
+        best = std::max(best, post[c]);
+      }
+      double sum = 0.0;
+      for (std::size_t c = 0; c < m; ++c) {
+        post[c] = std::exp(post[c] - best);
+        sum += post[c];
+      }
+      const double inv = 1.0 / sum;
+      for (std::size_t c = 0; c < m; ++c) {
+        const double g = post[c] * inv;
+        if (g < 1e-6) continue;
+        acc_gamma[lang][c] += g;
+        util::axpy(static_cast<float>(g), row, acc_x[lang].row(c));
+      }
+    }
+  }
+  system.adapted_means_.resize(num_languages);
+  for (std::size_t l = 0; l < num_languages; ++l) {
+    util::Matrix& means = system.adapted_means_[l];
+    means.resize(m, dim);
+    for (std::size_t c = 0; c < m; ++c) {
+      const double gamma = acc_gamma[l][c];
+      const auto& ubm_mean = system.ubm_.component(c).mean();
+      auto dst = means.row(c);
+      for (std::size_t d = 0; d < dim; ++d) {
+        // Reynolds MAP: (sum gamma x + tau mu) / (gamma + tau).
+        dst[d] = static_cast<float>(
+            (acc_x[l](c, d) + config.relevance * ubm_mean[d]) /
+            (gamma + config.relevance));
+      }
+    }
+  }
+  PHONOLID_INFO("acoustic") << "trained GMM-UBM: " << m << " components, "
+                            << num_languages << " MAP-adapted languages";
+  return system;
+}
+
+double UbmLrSystem::adapted_log_likelihood(std::span<const float> x,
+                                           std::size_t l) const {
+  const std::size_t m = ubm_.num_components();
+  double lls[64];
+  double best = -1e300;
+  for (std::size_t c = 0; c < m; ++c) {
+    // Shared UBM covariances/weights, adapted mean.
+    const auto& var = ubm_.component(c).var();
+    const auto mean = adapted_means_[l].row(c);
+    double quad = 0.0, log_det = 0.0;
+    for (std::size_t d = 0; d < x.size(); ++d) {
+      const double diff = x[d] - mean[d];
+      quad += diff * diff / var[d];
+      log_det += std::log(static_cast<double>(var[d]));
+    }
+    lls[c] = ubm_.log_weights()[c] -
+             0.5 * (static_cast<double>(x.size()) * std::log(2.0 * 3.14159265358979) +
+                    log_det + quad);
+    best = std::max(best, lls[c]);
+  }
+  double sum = 0.0;
+  for (std::size_t c = 0; c < m; ++c) sum += std::exp(lls[c] - best);
+  return best + std::log(sum);
+}
+
+void UbmLrSystem::score(const corpus::Utterance& utt,
+                        std::span<float> out) const {
+  if (out.size() != num_languages()) {
+    throw std::invalid_argument("UbmLrSystem::score: bad output span");
+  }
+  const util::Matrix feats = features_of(utt.samples);
+  std::vector<double> totals(num_languages(), 0.0);
+  double ubm_total = 0.0;
+  for (std::size_t t = 0; t < feats.rows(); ++t) {
+    auto row = feats.row(t);
+    ubm_total += ubm_.log_likelihood(row);
+    for (std::size_t l = 0; l < num_languages(); ++l) {
+      totals[l] += adapted_log_likelihood(row, l);
+    }
+  }
+  const double inv =
+      feats.rows() > 0 ? 1.0 / static_cast<double>(feats.rows()) : 0.0;
+  for (std::size_t l = 0; l < num_languages(); ++l) {
+    out[l] = static_cast<float>((totals[l] - ubm_total) * inv);
+  }
+}
+
+util::Matrix UbmLrSystem::score_all(const corpus::Dataset& data) const {
+  util::Matrix scores(data.size(), num_languages());
+  util::parallel_for(0, data.size(), [&](std::size_t i) {
+    score(data[i], scores.row(i));
+  });
+  return scores;
+}
+
+}  // namespace phonolid::acoustic

@@ -1,0 +1,278 @@
+#include "am/gmm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/math_util.h"
+#include "util/serialize.h"
+
+namespace phonolid::am {
+
+DiagGaussian::DiagGaussian(std::vector<float> mean, std::vector<float> var) {
+  set(std::move(mean), std::move(var));
+}
+
+void DiagGaussian::set(std::vector<float> mean, std::vector<float> var) {
+  if (mean.size() != var.size()) {
+    throw std::invalid_argument("DiagGaussian: mean/var size mismatch");
+  }
+  mean_ = std::move(mean);
+  var_ = std::move(var);
+  for (auto& v : var_) v = std::max(v, kVarFloor);
+  refresh_constant();
+}
+
+void DiagGaussian::refresh_constant() {
+  inv_var_.resize(var_.size());
+  double log_det = 0.0;
+  for (std::size_t d = 0; d < var_.size(); ++d) {
+    inv_var_[d] = 1.0f / var_[d];
+    log_det += std::log(static_cast<double>(var_[d]));
+  }
+  log_const_ = static_cast<float>(
+      -0.5 * (static_cast<double>(var_.size()) * std::log(2.0 * std::numbers::pi) +
+              log_det));
+}
+
+float DiagGaussian::log_likelihood(std::span<const float> x) const noexcept {
+  assert(x.size() == mean_.size());
+  float quad = 0.0f;
+  for (std::size_t d = 0; d < x.size(); ++d) {
+    const float diff = x[d] - mean_[d];
+    quad += diff * diff * inv_var_[d];
+  }
+  return log_const_ - 0.5f * quad;
+}
+
+float DiagGmm::log_likelihood(std::span<const float> x) const noexcept {
+  if (components_.empty()) return -std::numeric_limits<float>::infinity();
+  float best = -std::numeric_limits<float>::infinity();
+  // Small component counts: direct log-sum-exp without a scratch buffer.
+  float lls[64];
+  const std::size_t m = components_.size();
+  assert(m <= 64);
+  for (std::size_t i = 0; i < m; ++i) {
+    lls[i] = log_weights_[i] + components_[i].log_likelihood(x);
+    best = std::max(best, lls[i]);
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < m; ++i) sum += std::exp(static_cast<double>(lls[i] - best));
+  return best + static_cast<float>(std::log(sum));
+}
+
+double DiagGmm::train(const util::Matrix& frames, const GmmTrainConfig& config) {
+  const std::size_t n = frames.rows();
+  const std::size_t dim = frames.cols();
+  if (n == 0 || dim == 0) {
+    throw std::invalid_argument("DiagGmm::train: empty data");
+  }
+  std::size_t m = std::min(config.num_components, n);
+  m = std::max<std::size_t>(m, 1);
+  if (m > 64) throw std::invalid_argument("DiagGmm: > 64 components unsupported");
+
+  util::Rng rng(config.seed);
+
+  // Global statistics for initial variances and k-means seeding.
+  std::vector<float> global_mean(dim, 0.0f), global_var(dim, 0.0f);
+  for (std::size_t t = 0; t < n; ++t) {
+    auto row = frames.row(t);
+    for (std::size_t d = 0; d < dim; ++d) global_mean[d] += row[d];
+  }
+  for (auto& v : global_mean) v /= static_cast<float>(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    auto row = frames.row(t);
+    for (std::size_t d = 0; d < dim; ++d) {
+      const float diff = row[d] - global_mean[d];
+      global_var[d] += diff * diff;
+    }
+  }
+  for (auto& v : global_var) {
+    v = std::max(v / static_cast<float>(n), DiagGaussian::kVarFloor);
+  }
+
+  // --- K-means init: random distinct frames as centroids. ---
+  std::vector<std::vector<float>> centroids(m);
+  {
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    rng.shuffle(order);
+    for (std::size_t i = 0; i < m; ++i) {
+      auto row = frames.row(order[i]);
+      centroids[i].assign(row.begin(), row.end());
+    }
+  }
+  std::vector<std::size_t> assign(n, 0);
+  for (std::size_t iter = 0; iter < config.kmeans_iters; ++iter) {
+    // Assign.
+    for (std::size_t t = 0; t < n; ++t) {
+      auto row = frames.row(t);
+      float best = std::numeric_limits<float>::infinity();
+      std::size_t best_i = 0;
+      for (std::size_t i = 0; i < m; ++i) {
+        float dist = 0.0f;
+        for (std::size_t d = 0; d < dim; ++d) {
+          const float diff = row[d] - centroids[i][d];
+          dist += diff * diff;
+        }
+        if (dist < best) {
+          best = dist;
+          best_i = i;
+        }
+      }
+      assign[t] = best_i;
+    }
+    // Update.
+    std::vector<std::size_t> counts(m, 0);
+    for (auto& c : centroids) std::fill(c.begin(), c.end(), 0.0f);
+    for (std::size_t t = 0; t < n; ++t) {
+      auto row = frames.row(t);
+      ++counts[assign[t]];
+      for (std::size_t d = 0; d < dim; ++d) centroids[assign[t]][d] += row[d];
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      if (counts[i] == 0) {
+        // Re-seed empty cluster at a random frame.
+        auto row = frames.row(rng.uniform_index(n));
+        centroids[i].assign(row.begin(), row.end());
+      } else {
+        for (auto& v : centroids[i]) v /= static_cast<float>(counts[i]);
+      }
+    }
+  }
+
+  // Initialise mixture from k-means clusters.
+  components_.clear();
+  log_weights_.clear();
+  {
+    std::vector<std::size_t> counts(m, 0);
+    std::vector<std::vector<float>> vars(m, std::vector<float>(dim, 0.0f));
+    for (std::size_t t = 0; t < n; ++t) {
+      auto row = frames.row(t);
+      const std::size_t i = assign[t];
+      ++counts[i];
+      for (std::size_t d = 0; d < dim; ++d) {
+        const float diff = row[d] - centroids[i][d];
+        vars[i][d] += diff * diff;
+      }
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      std::vector<float> var(dim);
+      for (std::size_t d = 0; d < dim; ++d) {
+        var[d] = counts[i] > 1
+                     ? std::max(vars[i][d] / static_cast<float>(counts[i]),
+                                DiagGaussian::kVarFloor)
+                     : global_var[d];
+      }
+      components_.emplace_back(centroids[i], std::move(var));
+      const double w = std::max<double>(counts[i], 1) / static_cast<double>(n);
+      log_weights_.push_back(static_cast<float>(std::log(w)));
+    }
+    // Renormalise weights.
+    const float lse = util::log_sum_exp(
+        std::span<const float>(log_weights_.data(), log_weights_.size()));
+    for (auto& w : log_weights_) w -= lse;
+  }
+
+  // --- EM refinement. ---
+  double avg_ll = -std::numeric_limits<double>::infinity();
+  std::vector<double> gamma(m);
+  for (std::size_t iter = 0; iter < config.em_iters; ++iter) {
+    std::vector<double> acc_w(m, 0.0);
+    std::vector<std::vector<double>> acc_mean(m, std::vector<double>(dim, 0.0));
+    std::vector<std::vector<double>> acc_sq(m, std::vector<double>(dim, 0.0));
+    double total_ll = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      auto row = frames.row(t);
+      double best = -std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < m; ++i) {
+        gamma[i] = log_weights_[i] + components_[i].log_likelihood(row);
+        best = std::max(best, gamma[i]);
+      }
+      double sum = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        gamma[i] = std::exp(gamma[i] - best);
+        sum += gamma[i];
+      }
+      total_ll += best + std::log(sum);
+      const double inv = 1.0 / sum;
+      for (std::size_t i = 0; i < m; ++i) {
+        const double g = gamma[i] * inv;
+        if (g < 1e-8) continue;
+        acc_w[i] += g;
+        for (std::size_t d = 0; d < dim; ++d) {
+          const double x = row[d];
+          acc_mean[i][d] += g * x;
+          acc_sq[i][d] += g * x * x;
+        }
+      }
+    }
+    avg_ll = total_ll / static_cast<double>(n);
+
+    for (std::size_t i = 0; i < m; ++i) {
+      const double w = acc_w[i] / static_cast<double>(n);
+      if (w < config.min_component_weight) {
+        // Starved component: leave parameters, floor weight (renormalised
+        // below); avoids collapse on tiny training sets.
+        log_weights_[i] = std::log(config.min_component_weight);
+        continue;
+      }
+      std::vector<float> mean(dim), var(dim);
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double mu = acc_mean[i][d] / acc_w[i];
+        const double sq = acc_sq[i][d] / acc_w[i] - mu * mu;
+        mean[d] = static_cast<float>(mu);
+        var[d] = static_cast<float>(std::max(sq, static_cast<double>(DiagGaussian::kVarFloor)));
+      }
+      components_[i].set(std::move(mean), std::move(var));
+      log_weights_[i] = static_cast<float>(std::log(w));
+    }
+    const float lse = util::log_sum_exp(
+        std::span<const float>(log_weights_.data(), log_weights_.size()));
+    for (auto& w : log_weights_) w -= lse;
+  }
+  return avg_ll;
+}
+
+double DiagGmm::average_log_likelihood(const util::Matrix& frames) const {
+  if (frames.rows() == 0) return 0.0;
+  double total = 0.0;
+  for (std::size_t t = 0; t < frames.rows(); ++t) {
+    total += log_likelihood(frames.row(t));
+  }
+  return total / static_cast<double>(frames.rows());
+}
+
+void DiagGmm::serialize(std::ostream& out) const {
+  util::BinaryWriter w(out);
+  w.write_magic("PGMM", 1);
+  w.write_u64(components_.size());
+  w.write_f32_vec(log_weights_);
+  for (const auto& c : components_) {
+    w.write_f32_vec(c.mean());
+    w.write_f32_vec(c.var());
+  }
+}
+
+DiagGmm DiagGmm::deserialize(std::istream& in) {
+  util::BinaryReader r(in);
+  r.expect_magic("PGMM", 1);
+  const std::uint64_t m = r.read_u64();
+  DiagGmm gmm;
+  gmm.log_weights_ = r.read_f32_vec();
+  if (gmm.log_weights_.size() != m) {
+    throw util::SerializeError("GMM weight count mismatch");
+  }
+  gmm.components_.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    auto mean = r.read_f32_vec();
+    auto var = r.read_f32_vec();
+    gmm.components_.emplace_back(std::move(mean), std::move(var));
+  }
+  return gmm;
+}
+
+}  // namespace phonolid::am

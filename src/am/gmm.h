@@ -1,0 +1,87 @@
+// Diagonal-covariance Gaussian mixture models.
+//
+// The state emission model of the GMM-HMM front-ends (paper §4.1(c):
+// "tied-state left-to-right context-dependent GMM-HMM with 32 Gaussians per
+// state", miniaturised here) and the building block for EM training.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "util/matrix.h"
+#include "util/rng.h"
+
+namespace phonolid::am {
+
+/// One diagonal Gaussian with cached normalisation constant.
+class DiagGaussian {
+ public:
+  DiagGaussian() = default;
+  DiagGaussian(std::vector<float> mean, std::vector<float> var);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return mean_.size(); }
+  [[nodiscard]] const std::vector<float>& mean() const noexcept { return mean_; }
+  [[nodiscard]] const std::vector<float>& var() const noexcept { return var_; }
+
+  [[nodiscard]] float log_likelihood(std::span<const float> x) const noexcept;
+
+  void set(std::vector<float> mean, std::vector<float> var);
+
+ private:
+  void refresh_constant();
+  std::vector<float> mean_;
+  std::vector<float> var_;       // floored at kVarFloor
+  std::vector<float> inv_var_;   // cached 1/var
+  float log_const_ = 0.0f;       // -0.5 * (D log 2pi + sum log var)
+
+ public:
+  static constexpr float kVarFloor = 1e-3f;
+};
+
+struct GmmTrainConfig {
+  std::size_t num_components = 4;
+  std::size_t kmeans_iters = 6;
+  std::size_t em_iters = 8;
+  float min_component_weight = 1e-3f;
+  std::uint64_t seed = 1;
+};
+
+/// Mixture of diagonal Gaussians.
+class DiagGmm {
+ public:
+  DiagGmm() = default;
+
+  [[nodiscard]] std::size_t num_components() const noexcept {
+    return components_.size();
+  }
+  [[nodiscard]] std::size_t dim() const noexcept {
+    return components_.empty() ? 0 : components_[0].dim();
+  }
+  [[nodiscard]] const DiagGaussian& component(std::size_t i) const {
+    return components_.at(i);
+  }
+  [[nodiscard]] const std::vector<float>& log_weights() const noexcept {
+    return log_weights_;
+  }
+
+  [[nodiscard]] float log_likelihood(std::span<const float> x) const noexcept;
+
+  /// Trains on `frames` (rows = observations).  K-means init followed by EM.
+  /// Returns the final average log-likelihood per frame.
+  /// Degenerate inputs (fewer frames than components) shrink the mixture.
+  double train(const util::Matrix& frames, const GmmTrainConfig& config);
+
+  /// Average per-frame log-likelihood over a data matrix.
+  [[nodiscard]] double average_log_likelihood(const util::Matrix& frames) const;
+
+  void serialize(std::ostream& out) const;
+  static DiagGmm deserialize(std::istream& in);
+
+ private:
+  std::vector<DiagGaussian> components_;
+  std::vector<float> log_weights_;
+};
+
+}  // namespace phonolid::am

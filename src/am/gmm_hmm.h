@@ -1,0 +1,97 @@
+// GMM-HMM acoustic models and their trainer.
+//
+// Supervision comes from the synthetic corpus' ground-truth phone alignment
+// (the stand-in for the paper's transcribed Switchboard / Mandarin CTS
+// corpora): phone sample ranges are mapped to front-end phones, frames are
+// uniformly split across HMM states, then optionally refined by forced
+// Viterbi realignment under the current model — the classic flat-start
+// training loop.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "am/gmm.h"
+#include "am/hmm.h"
+#include "am/phone_map.h"
+#include "corpus/dataset.h"
+#include "dsp/features.h"
+
+namespace phonolid::am {
+
+/// Feature matrix plus front-end phone segmentation for one utterance.
+struct AlignedUtterance {
+  util::Matrix features;                 // frames x dim
+  std::vector<std::size_t> phone_seq;    // front-end phone per segment
+  std::vector<std::size_t> seg_begin;    // first frame of each segment
+  std::vector<std::size_t> seg_end;      // one-past-last frame
+};
+
+/// Maps a corpus utterance's sample-level universal-phone alignment to
+/// frame-level front-end phone segments under `pipeline`'s framing.
+AlignedUtterance align_utterance(const corpus::Utterance& utt,
+                                 const dsp::FeaturePipeline& pipeline,
+                                 const PhoneSetMap& phone_map);
+
+class GmmHmmModel final : public AcousticModel {
+ public:
+  GmmHmmModel() = default;
+  GmmHmmModel(HmmTopology topology, std::vector<DiagGmm> state_gmms,
+              HmmTransitions transitions, std::size_t feature_dim);
+
+  [[nodiscard]] std::size_t num_states() const noexcept override {
+    return topology_.num_states();
+  }
+  [[nodiscard]] std::size_t feature_dim() const noexcept override {
+    return feature_dim_;
+  }
+  void score(const util::Matrix& features, util::Matrix& out) const override;
+
+  [[nodiscard]] const HmmTopology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const HmmTransitions& transitions() const noexcept {
+    return transitions_;
+  }
+  [[nodiscard]] const DiagGmm& state_gmm(std::size_t s) const {
+    return state_gmms_.at(s);
+  }
+
+  void serialize(std::ostream& out) const;
+  static GmmHmmModel deserialize(std::istream& in);
+
+ private:
+  HmmTopology topology_;
+  std::vector<DiagGmm> state_gmms_;
+  HmmTransitions transitions_;
+  std::size_t feature_dim_ = 0;
+};
+
+struct GmmHmmTrainConfig {
+  std::size_t states_per_phone = 3;
+  GmmTrainConfig gmm;
+  /// Forced-realignment EM passes after the flat start (0 = uniform only).
+  std::size_t realign_passes = 1;
+  std::uint64_t seed = 1;
+};
+
+/// Per-frame state labels for one utterance (internal supervision form,
+/// exposed for the NN-HMM trainer and for tests).
+struct StateLabels {
+  std::vector<std::size_t> state;  // global HMM state per frame
+};
+
+/// Uniformly split each phone segment across its HMM states.
+StateLabels uniform_state_labels(const AlignedUtterance& utt,
+                                 const HmmTopology& topology);
+
+/// Forced Viterbi alignment of `utt`'s phone sequence under `model`.
+/// Returns per-frame global state labels; falls back to uniform labels if
+/// the utterance is shorter than its state sequence.
+StateLabels forced_align(const AlignedUtterance& utt, const GmmHmmModel& model);
+
+/// Train a GMM-HMM on aligned utterances (flat start + realignment).
+GmmHmmModel train_gmm_hmm(const std::vector<AlignedUtterance>& data,
+                          std::size_t num_phones,
+                          const GmmHmmTrainConfig& config);
+
+}  // namespace phonolid::am

@@ -1,0 +1,36 @@
+#include "am/hmm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phonolid::am {
+
+HmmTransitions HmmTransitions::uniform(std::size_t num_states,
+                                       double mean_frames_per_state) {
+  HmmTransitions t;
+  const double stay =
+      std::clamp(1.0 - 1.0 / std::max(mean_frames_per_state, 1.001), 0.05, 0.98);
+  t.log_self.assign(num_states, static_cast<float>(std::log(stay)));
+  t.log_advance.assign(num_states, static_cast<float>(std::log(1.0 - stay)));
+  return t;
+}
+
+HmmTransitions HmmTransitions::estimate(
+    const std::vector<std::size_t>& self_counts,
+    const std::vector<std::size_t>& advance_counts,
+    double fallback_mean_frames) {
+  const std::size_t n = self_counts.size();
+  HmmTransitions t = uniform(n, fallback_mean_frames);
+  for (std::size_t s = 0; s < n; ++s) {
+    const double total =
+        static_cast<double>(self_counts[s] + advance_counts[s]);
+    if (total < 4.0) continue;  // too little evidence; keep the prior
+    const double stay =
+        std::clamp(static_cast<double>(self_counts[s]) / total, 0.05, 0.98);
+    t.log_self[s] = static_cast<float>(std::log(stay));
+    t.log_advance[s] = static_cast<float>(std::log(1.0 - stay));
+  }
+  return t;
+}
+
+}  // namespace phonolid::am

@@ -1,0 +1,67 @@
+// HMM topology shared by every front-end family.
+//
+// Each front-end phone is a left-to-right HMM with `states_per_phone`
+// emitting states (paper: 3-state tied-state left-to-right models).  States
+// are numbered globally: state = phone * states_per_phone + position.
+// The acoustic-model interface is a per-frame vector of state
+// log-likelihoods; the decoder is agnostic to whether those come from GMMs
+// or scaled NN posteriors.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace phonolid::am {
+
+struct HmmTopology {
+  std::size_t num_phones = 0;
+  std::size_t states_per_phone = 3;
+
+  [[nodiscard]] std::size_t num_states() const noexcept {
+    return num_phones * states_per_phone;
+  }
+  [[nodiscard]] std::size_t state_of(std::size_t phone,
+                                     std::size_t position) const noexcept {
+    return phone * states_per_phone + position;
+  }
+  [[nodiscard]] std::size_t phone_of(std::size_t state) const noexcept {
+    return state / states_per_phone;
+  }
+  [[nodiscard]] std::size_t position_of(std::size_t state) const noexcept {
+    return state % states_per_phone;
+  }
+};
+
+/// Per-state self-loop/advance log-probabilities, estimated from alignments.
+struct HmmTransitions {
+  std::vector<float> log_self;     // log P(stay)
+  std::vector<float> log_advance;  // log P(move to next position / exit)
+
+  /// Initialise from expected state occupancy `mean_frames_per_state`.
+  static HmmTransitions uniform(std::size_t num_states,
+                                double mean_frames_per_state);
+
+  /// ML re-estimation from (self_count, advance_count) pairs; counts of zero
+  /// fall back to the prior mean occupancy.
+  static HmmTransitions estimate(const std::vector<std::size_t>& self_counts,
+                                 const std::vector<std::size_t>& advance_counts,
+                                 double fallback_mean_frames);
+};
+
+/// Abstract emission model: fills per-state log-likelihoods for each frame.
+class AcousticModel {
+ public:
+  virtual ~AcousticModel() = default;
+
+  [[nodiscard]] virtual std::size_t num_states() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t feature_dim() const noexcept = 0;
+
+  /// `features`: frames x dim.  `out`: frames x num_states, filled with
+  /// per-state log-likelihoods (up to a per-frame constant, which cancels
+  /// in Viterbi/lattice posteriors).
+  virtual void score(const util::Matrix& features, util::Matrix& out) const = 0;
+};
+
+}  // namespace phonolid::am

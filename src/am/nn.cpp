@@ -1,0 +1,260 @@
+#include "am/nn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+#include "util/serialize.h"
+
+namespace phonolid::am {
+
+FeedForwardNet::FeedForwardNet(std::size_t input_dim,
+                               const std::vector<std::size_t>& hidden,
+                               std::size_t output_dim, util::Rng& rng) {
+  std::vector<std::size_t> sizes;
+  sizes.push_back(input_dim);
+  sizes.insert(sizes.end(), hidden.begin(), hidden.end());
+  sizes.push_back(output_dim);
+  for (std::size_t l = 0; l + 1 < sizes.size(); ++l) {
+    const std::size_t in = sizes[l];
+    const std::size_t out = sizes[l + 1];
+    util::Matrix w(out, in);
+    const double scale = std::sqrt(6.0 / static_cast<double>(in + out));
+    for (std::size_t i = 0; i < out; ++i) {
+      for (std::size_t j = 0; j < in; ++j) {
+        w(i, j) = static_cast<float>(rng.uniform(-scale, scale));
+      }
+    }
+    weights_.push_back(std::move(w));
+    biases_.emplace_back(out, 0.0f);
+    vel_w_.emplace_back(out, in, 0.0f);
+    vel_b_.emplace_back(out, 0.0f);
+  }
+}
+
+std::size_t FeedForwardNet::input_dim() const noexcept {
+  return weights_.empty() ? 0 : weights_.front().cols();
+}
+std::size_t FeedForwardNet::output_dim() const noexcept {
+  return weights_.empty() ? 0 : weights_.back().rows();
+}
+std::size_t FeedForwardNet::num_parameters() const noexcept {
+  std::size_t n = 0;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    n += weights_[l].size() + biases_[l].size();
+  }
+  return n;
+}
+
+void FeedForwardNet::forward(const util::Matrix& in,
+                             std::vector<util::Matrix>& activations) const {
+  const std::size_t layers = weights_.size();
+  activations.resize(layers + 1);
+  activations[0] = in;
+  for (std::size_t l = 0; l < layers; ++l) {
+    const util::Matrix& x = activations[l];
+    const std::size_t batch = x.rows();
+    const std::size_t out_dim = weights_[l].rows();
+    util::Matrix& a = activations[l + 1];
+    a.resize(batch, out_dim);
+    for (std::size_t b = 0; b < batch; ++b) {
+      util::matvec(weights_[l], x.row(b), a.row(b));
+      auto row = a.row(b);
+      const auto& bias = biases_[l];
+      for (std::size_t j = 0; j < out_dim; ++j) row[j] += bias[j];
+      if (l + 1 < layers) {
+        for (std::size_t j = 0; j < out_dim; ++j) {
+          row[j] = static_cast<float>(util::sigmoid(row[j]));
+        }
+      }
+    }
+  }
+}
+
+void FeedForwardNet::log_posteriors(const util::Matrix& in,
+                                    util::Matrix& out) const {
+  std::vector<util::Matrix> acts;
+  forward(in, acts);
+  out = std::move(acts.back());
+  for (std::size_t b = 0; b < out.rows(); ++b) {
+    util::log_softmax_inplace(out.row(b));
+  }
+}
+
+double FeedForwardNet::train_batch(const util::Matrix& batch_x,
+                                   const std::vector<std::uint32_t>& batch_y,
+                                   double learning_rate, double momentum,
+                                   double l2) {
+  assert(batch_x.rows() == batch_y.size());
+  const std::size_t batch = batch_x.rows();
+  const std::size_t layers = weights_.size();
+  if (batch == 0) return 0.0;
+
+  std::vector<util::Matrix> acts;
+  forward(batch_x, acts);
+
+  // delta at the output: softmax - onehot (softmax cross-entropy gradient).
+  util::Matrix delta = acts.back();  // logits
+  double loss = 0.0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    auto row = delta.row(b);
+    const float lse = util::log_sum_exp(
+        std::span<const float>(row.data(), row.size()));
+    loss -= (row[batch_y[b]] - lse);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      row[j] = std::exp(row[j] - lse);
+    }
+    row[batch_y[b]] -= 1.0f;
+  }
+  loss /= static_cast<double>(batch);
+
+  const float lr = static_cast<float>(learning_rate);
+  const float mom = static_cast<float>(momentum);
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::size_t l = layers; l-- > 0;) {
+    // Gradient wrt weights: delta^T * activations[l] (accumulated per row).
+    util::Matrix grad_w(weights_[l].rows(), weights_[l].cols(), 0.0f);
+    std::vector<float> grad_b(weights_[l].rows(), 0.0f);
+    for (std::size_t b = 0; b < batch; ++b) {
+      util::ger(inv_batch, delta.row(b), acts[l].row(b), grad_w);
+      auto drow = delta.row(b);
+      for (std::size_t j = 0; j < grad_b.size(); ++j) {
+        grad_b[j] += inv_batch * drow[j];
+      }
+    }
+    // Backprop delta to the previous layer (skip for the input layer).
+    util::Matrix next_delta;
+    if (l > 0) {
+      next_delta.resize(batch, weights_[l].cols());
+      for (std::size_t b = 0; b < batch; ++b) {
+        util::matvec_transposed(weights_[l], delta.row(b), next_delta.row(b));
+        auto nrow = next_delta.row(b);
+        auto arow = acts[l].row(b);
+        // Sigmoid derivative a * (1 - a).
+        for (std::size_t j = 0; j < nrow.size(); ++j) {
+          nrow[j] *= arow[j] * (1.0f - arow[j]);
+        }
+      }
+    }
+    // Momentum SGD with L2.
+    const float l2f = static_cast<float>(l2);
+    float* w = weights_[l].data();
+    float* vw = vel_w_[l].data();
+    const float* gw = grad_w.data();
+    const std::size_t wn = weights_[l].size();
+    for (std::size_t i = 0; i < wn; ++i) {
+      vw[i] = mom * vw[i] - lr * (gw[i] + l2f * w[i]);
+      w[i] += vw[i];
+    }
+    for (std::size_t j = 0; j < grad_b.size(); ++j) {
+      vel_b_[l][j] = mom * vel_b_[l][j] - lr * grad_b[j];
+      biases_[l][j] += vel_b_[l][j];
+    }
+    delta = std::move(next_delta);
+  }
+  return loss;
+}
+
+double FeedForwardNet::frame_accuracy(const util::Matrix& x,
+                                      const std::vector<std::uint32_t>& y) const {
+  assert(x.rows() == y.size());
+  if (x.rows() == 0) return 0.0;
+  util::Matrix logp;
+  log_posteriors(x, logp);
+  std::size_t correct = 0;
+  for (std::size_t b = 0; b < x.rows(); ++b) {
+    if (util::argmax(logp.row(b)) == y[b]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(x.rows());
+}
+
+double train_net(FeedForwardNet& net, const util::Matrix& train_x,
+                 const std::vector<std::uint32_t>& train_y,
+                 const util::Matrix& dev_x,
+                 const std::vector<std::uint32_t>& dev_y,
+                 const NnConfig& config) {
+  if (train_x.rows() != train_y.size()) {
+    throw std::invalid_argument("train_net: label count mismatch");
+  }
+  const std::size_t n = train_x.rows();
+  util::Rng rng(config.seed);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+  double lr = config.learning_rate;
+  std::size_t halvings = 0;
+  double best_dev = net.frame_accuracy(dev_x, dev_y);
+  util::Matrix batch_x;
+  std::vector<std::uint32_t> batch_y;
+
+  for (std::size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    rng.shuffle(order);
+    double total_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < n; start += config.batch_size) {
+      const std::size_t end = std::min(n, start + config.batch_size);
+      batch_x.resize(end - start, train_x.cols());
+      batch_y.resize(end - start);
+      for (std::size_t i = start; i < end; ++i) {
+        auto src = train_x.row(order[i]);
+        std::copy(src.begin(), src.end(), batch_x.row(i - start).begin());
+        batch_y[i - start] = train_y[order[i]];
+      }
+      total_loss += net.train_batch(batch_x, batch_y, lr, config.momentum,
+                                    config.l2);
+      ++batches;
+    }
+    const double dev_acc = net.frame_accuracy(dev_x, dev_y);
+    PHONOLID_DEBUG("nn") << "epoch " << epoch << " loss "
+                         << total_loss / static_cast<double>(std::max<std::size_t>(batches, 1))
+                         << " dev acc " << dev_acc << " lr " << lr;
+    if (dev_acc < best_dev) {
+      lr *= 0.5;  // the paper's schedule: halve on dev regression
+      if (++halvings > config.max_lr_halvings) break;
+    } else {
+      best_dev = dev_acc;
+    }
+  }
+  return best_dev;
+}
+
+void FeedForwardNet::serialize(std::ostream& out) const {
+  util::BinaryWriter w(out);
+  w.write_magic("PNET", 1);
+  w.write_u64(weights_.size());
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    w.write_u64(weights_[l].rows());
+    w.write_u64(weights_[l].cols());
+    std::vector<float> flat(weights_[l].data(),
+                            weights_[l].data() + weights_[l].size());
+    w.write_f32_vec(flat);
+    w.write_f32_vec(biases_[l]);
+  }
+}
+
+FeedForwardNet FeedForwardNet::deserialize(std::istream& in) {
+  util::BinaryReader r(in);
+  r.expect_magic("PNET", 1);
+  const std::uint64_t layers = r.read_u64();
+  FeedForwardNet net;
+  for (std::uint64_t l = 0; l < layers; ++l) {
+    const std::uint64_t rows = r.read_u64();
+    const std::uint64_t cols = r.read_u64();
+    const auto flat = r.read_f32_vec();
+    if (flat.size() != rows * cols) {
+      throw util::SerializeError("net weight size mismatch");
+    }
+    util::Matrix w(rows, cols);
+    std::copy(flat.begin(), flat.end(), w.data());
+    net.weights_.push_back(std::move(w));
+    net.biases_.push_back(r.read_f32_vec());
+    net.vel_w_.emplace_back(rows, cols, 0.0f);
+    net.vel_b_.emplace_back(net.biases_.back().size(), 0.0f);
+  }
+  return net;
+}
+
+}  // namespace phonolid::am

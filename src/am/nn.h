@@ -1,0 +1,80 @@
+// Feed-forward neural networks for hybrid NN-HMM acoustics.
+//
+// One hidden layer reproduces the BUT "ANN-HMM" TRAPs-style front-ends;
+// two or more reproduce the Tsinghua "DNN-HMM" front-end.  Training follows
+// the paper's §4.1(b) schedule: sigmoid hidden units, softmax output over
+// tied states, minibatch SGD with momentum, initial learning rate 0.2, and
+// the learning rate halved whenever dev-set frame accuracy regresses at an
+// epoch boundary.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "util/matrix.h"
+#include "util/rng.h"
+
+namespace phonolid::am {
+
+struct NnConfig {
+  std::vector<std::size_t> hidden_sizes = {64};
+  double learning_rate = 0.2;
+  double momentum = 0.9;
+  std::size_t batch_size = 128;
+  std::size_t max_epochs = 30;
+  /// Halve the lr when dev frame accuracy drops (paper's schedule); stop
+  /// after `max_lr_halvings` halvings.
+  std::size_t max_lr_halvings = 4;
+  double l2 = 1e-5;
+  std::uint64_t seed = 1;
+};
+
+/// Sigmoid-hidden, softmax-output MLP with SGD + momentum training.
+class FeedForwardNet {
+ public:
+  FeedForwardNet() = default;
+  /// Random (Glorot-scaled) initialisation.
+  FeedForwardNet(std::size_t input_dim, const std::vector<std::size_t>& hidden,
+                 std::size_t output_dim, util::Rng& rng);
+
+  [[nodiscard]] std::size_t input_dim() const noexcept;
+  [[nodiscard]] std::size_t output_dim() const noexcept;
+  [[nodiscard]] std::size_t num_layers() const noexcept { return weights_.size(); }
+  [[nodiscard]] std::size_t num_parameters() const noexcept;
+
+  /// Log-posteriors (log-softmax) for a batch: in frames x input_dim,
+  /// out frames x output_dim.
+  void log_posteriors(const util::Matrix& in, util::Matrix& out) const;
+
+  /// One SGD step on a minibatch; returns the batch's mean cross-entropy.
+  double train_batch(const util::Matrix& batch_x,
+                     const std::vector<std::uint32_t>& batch_y,
+                     double learning_rate, double momentum, double l2);
+
+  /// Frame accuracy on a labelled set.
+  [[nodiscard]] double frame_accuracy(const util::Matrix& x,
+                                      const std::vector<std::uint32_t>& y) const;
+
+  void serialize(std::ostream& out) const;
+  static FeedForwardNet deserialize(std::istream& in);
+
+ private:
+  void forward(const util::Matrix& in,
+               std::vector<util::Matrix>& activations) const;
+
+  std::vector<util::Matrix> weights_;   // layer l: out_l x in_l
+  std::vector<std::vector<float>> biases_;
+  std::vector<util::Matrix> vel_w_;     // momentum buffers
+  std::vector<std::vector<float>> vel_b_;
+};
+
+/// Full training loop with dev-driven lr halving.  Returns the best dev
+/// frame accuracy reached.
+double train_net(FeedForwardNet& net, const util::Matrix& train_x,
+                 const std::vector<std::uint32_t>& train_y,
+                 const util::Matrix& dev_x,
+                 const std::vector<std::uint32_t>& dev_y,
+                 const NnConfig& config);
+
+}  // namespace phonolid::am

@@ -1,0 +1,172 @@
+#include "am/nn_hmm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/logging.h"
+#include "util/serialize.h"
+
+namespace phonolid::am {
+
+util::Matrix stack_context(const util::Matrix& features, std::size_t context) {
+  if (context == 0) return features;
+  const std::size_t frames = features.rows();
+  const std::size_t dim = features.cols();
+  const std::size_t width = 2 * context + 1;
+  util::Matrix out(frames, dim * width);
+  for (std::size_t t = 0; t < frames; ++t) {
+    auto dst = out.row(t);
+    for (std::size_t w = 0; w < width; ++w) {
+      const auto offset = static_cast<std::ptrdiff_t>(t) +
+                          static_cast<std::ptrdiff_t>(w) -
+                          static_cast<std::ptrdiff_t>(context);
+      const std::size_t src_t = static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+          offset, 0, static_cast<std::ptrdiff_t>(frames) - 1));
+      auto src = features.row(src_t);
+      std::copy(src.begin(), src.end(),
+                dst.begin() + static_cast<std::ptrdiff_t>(w * dim));
+    }
+  }
+  return out;
+}
+
+NnHmmModel::NnHmmModel(HmmTopology topology, FeedForwardNet net,
+                       std::vector<float> log_priors,
+                       HmmTransitions transitions, std::size_t context,
+                       float score_gain)
+    : topology_(topology),
+      net_(std::move(net)),
+      log_priors_(std::move(log_priors)),
+      transitions_(std::move(transitions)),
+      context_(context),
+      score_gain_(score_gain) {
+  if (log_priors_.size() != topology_.num_states() ||
+      net_.output_dim() != topology_.num_states()) {
+    throw std::invalid_argument("NnHmmModel: state count mismatch");
+  }
+  if (net_.input_dim() % (2 * context_ + 1) != 0) {
+    throw std::invalid_argument("NnHmmModel: context/input dim mismatch");
+  }
+}
+
+void NnHmmModel::score(const util::Matrix& features, util::Matrix& out) const {
+  const util::Matrix stacked = stack_context(features, context_);
+  net_.log_posteriors(stacked, out);
+  const std::size_t states = num_states();
+  for (std::size_t t = 0; t < out.rows(); ++t) {
+    auto row = out.row(t);
+    for (std::size_t s = 0; s < states; ++s) {
+      row[s] = score_gain_ * (row[s] - log_priors_[s]);
+    }
+  }
+}
+
+NnHmmModel train_nn_hmm(const std::vector<AlignedUtterance>& data,
+                        std::size_t num_phones,
+                        const NnHmmTrainConfig& config) {
+  if (data.empty()) throw std::invalid_argument("train_nn_hmm: no data");
+  HmmTopology topo{num_phones, config.states_per_phone};
+  const std::size_t states = topo.num_states();
+  const std::size_t dim = data[0].features.cols();
+  const std::size_t stacked_dim = dim * (2 * config.context + 1);
+
+  // Dev split at the utterance level (frame-level splits leak).
+  const std::size_t dev_utts = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config.dev_fraction *
+                                  static_cast<double>(data.size())));
+  const std::size_t train_utts = data.size() - dev_utts;
+  if (train_utts == 0) throw std::invalid_argument("train_nn_hmm: too few utterances");
+
+  std::size_t train_frames = 0, dev_frames = 0;
+  for (std::size_t u = 0; u < data.size(); ++u) {
+    (u < train_utts ? train_frames : dev_frames) += data[u].features.rows();
+  }
+  util::Matrix train_x(train_frames, stacked_dim), dev_x(dev_frames, stacked_dim);
+  std::vector<std::uint32_t> train_y(train_frames), dev_y(dev_frames);
+  std::vector<double> prior_counts(states, 1.0);  // +1 smoothing
+
+  std::size_t ti = 0, di = 0;
+  for (std::size_t u = 0; u < data.size(); ++u) {
+    const StateLabels labels = uniform_state_labels(data[u], topo);
+    const util::Matrix stacked = stack_context(data[u].features, config.context);
+    for (std::size_t t = 0; t < labels.state.size(); ++t) {
+      const auto s = static_cast<std::uint32_t>(labels.state[t]);
+      auto src = stacked.row(t);
+      if (u < train_utts) {
+        std::copy(src.begin(), src.end(), train_x.row(ti).begin());
+        train_y[ti++] = s;
+        prior_counts[s] += 1.0;
+      } else {
+        std::copy(src.begin(), src.end(), dev_x.row(di).begin());
+        dev_y[di++] = s;
+      }
+    }
+  }
+
+  util::Rng rng(util::derive_stream(config.seed, 0xD00D));
+  FeedForwardNet net(stacked_dim, config.nn.hidden_sizes, states, rng);
+  NnConfig nn_cfg = config.nn;
+  nn_cfg.seed = util::derive_stream(config.seed, 0xFACE);
+  const double dev_acc =
+      train_net(net, train_x, train_y, dev_x, dev_y, nn_cfg);
+  PHONOLID_INFO("am") << "trained NN-HMM (" << config.nn.hidden_sizes.size()
+                      << " hidden layers, context +-" << config.context
+                      << "): dev frame accuracy " << dev_acc;
+
+  double total = 0.0;
+  for (double c : prior_counts) total += c;
+  std::vector<float> log_priors(states);
+  for (std::size_t s = 0; s < states; ++s) {
+    log_priors[s] = static_cast<float>(std::log(prior_counts[s] / total));
+  }
+
+  // Transitions from the uniform alignment run lengths.
+  std::vector<std::size_t> self_counts(states, 0), adv_counts(states, 0);
+  for (const auto& utt : data) {
+    const StateLabels labels = uniform_state_labels(utt, topo);
+    for (std::size_t t = 0; t + 1 < labels.state.size(); ++t) {
+      if (labels.state[t] == labels.state[t + 1]) {
+        ++self_counts[labels.state[t]];
+      } else {
+        ++adv_counts[labels.state[t]];
+      }
+    }
+  }
+  return NnHmmModel(topo, std::move(net), std::move(log_priors),
+                    HmmTransitions::estimate(self_counts, adv_counts, 3.0),
+                    config.context, config.score_gain);
+}
+
+void NnHmmModel::serialize(std::ostream& out) const {
+  util::BinaryWriter w(out);
+  w.write_magic("PNHM", 1);
+  w.write_u64(topology_.num_phones);
+  w.write_u64(topology_.states_per_phone);
+  w.write_u64(context_);
+  w.write_f32(score_gain_);
+  w.write_f32_vec(log_priors_);
+  w.write_f32_vec(transitions_.log_self);
+  w.write_f32_vec(transitions_.log_advance);
+  net_.serialize(out);
+}
+
+NnHmmModel NnHmmModel::deserialize(std::istream& in) {
+  util::BinaryReader r(in);
+  r.expect_magic("PNHM", 1);
+  HmmTopology topo;
+  topo.num_phones = r.read_u64();
+  topo.states_per_phone = r.read_u64();
+  const std::size_t context = r.read_u64();
+  const float gain = r.read_f32();
+  auto priors = r.read_f32_vec();
+  HmmTransitions trans;
+  trans.log_self = r.read_f32_vec();
+  trans.log_advance = r.read_f32_vec();
+  FeedForwardNet net = FeedForwardNet::deserialize(in);
+  return NnHmmModel(topo, std::move(net), std::move(priors), std::move(trans),
+                    context, gain);
+}
+
+}  // namespace phonolid::am

@@ -1,0 +1,79 @@
+// Hybrid NN-HMM acoustic model.
+//
+// The network emits state posteriors p(s|x); dividing by the state prior
+// p(s) (estimated from the training alignment) yields a scaled likelihood
+// p(x|s)/p(x), which is what the Viterbi/lattice decoder consumes — the
+// standard hybrid recipe (Bourlard & Morgan) used by both the BUT ANN-HMM
+// and the Tsinghua DNN-HMM front-ends in the paper.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "am/gmm_hmm.h"
+#include "am/hmm.h"
+#include "am/nn.h"
+
+namespace phonolid::am {
+
+/// Stack ±context neighbouring frames onto each row (clamped at utterance
+/// edges): frames x dim -> frames x dim*(2*context+1).  The standard hybrid
+/// input windowing (the paper's TRAPs ANN and DNN front-ends both consume
+/// temporal context).
+util::Matrix stack_context(const util::Matrix& features, std::size_t context);
+
+class NnHmmModel final : public AcousticModel {
+ public:
+  NnHmmModel() = default;
+  NnHmmModel(HmmTopology topology, FeedForwardNet net,
+             std::vector<float> log_priors, HmmTransitions transitions,
+             std::size_t context, float score_gain = 1.0f);
+
+  [[nodiscard]] std::size_t num_states() const noexcept override {
+    return topology_.num_states();
+  }
+  /// Per-frame (unstacked) feature dimensionality.
+  [[nodiscard]] std::size_t feature_dim() const noexcept override {
+    return net_.input_dim() / (2 * context_ + 1);
+  }
+  [[nodiscard]] std::size_t context() const noexcept { return context_; }
+  void score(const util::Matrix& features, util::Matrix& out) const override;
+
+  [[nodiscard]] const HmmTopology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const HmmTransitions& transitions() const noexcept {
+    return transitions_;
+  }
+  [[nodiscard]] const FeedForwardNet& net() const noexcept { return net_; }
+
+  void serialize(std::ostream& out) const;
+  static NnHmmModel deserialize(std::istream& in);
+
+ private:
+  HmmTopology topology_;
+  FeedForwardNet net_;
+  std::vector<float> log_priors_;
+  HmmTransitions transitions_;
+  std::size_t context_ = 0;
+  float score_gain_ = 1.0f;
+};
+
+struct NnHmmTrainConfig {
+  std::size_t states_per_phone = 3;
+  NnConfig nn;
+  /// Frames of temporal context on each side of the centre frame.
+  std::size_t context = 2;
+  /// Acoustic gain applied to the scaled log-posteriors; lifts the hybrid
+  /// scores to a dynamic range comparable with GMM log-likelihoods so the
+  /// shared decoder/beam settings behave uniformly across families.
+  float score_gain = 1.0f;
+  /// Fraction of utterances held out as the dev set for lr scheduling.
+  double dev_fraction = 0.1;
+  std::uint64_t seed = 1;
+};
+
+/// Train a hybrid model from aligned utterances (uniform state alignment,
+/// as used for flat-start hybrid systems).
+NnHmmModel train_nn_hmm(const std::vector<AlignedUtterance>& data,
+                        std::size_t num_phones, const NnHmmTrainConfig& config);
+
+}  // namespace phonolid::am

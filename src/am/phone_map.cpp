@@ -1,0 +1,114 @@
+#include "am/phone_map.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace phonolid::am {
+
+PhoneSetMap::PhoneSetMap(std::vector<std::size_t> universal_to_frontend,
+                         std::size_t num_frontend_phones)
+    : map_(std::move(universal_to_frontend)),
+      num_frontend_phones_(num_frontend_phones) {
+  for (std::size_t m : map_) {
+    if (m >= num_frontend_phones_) {
+      throw std::invalid_argument("PhoneSetMap: index out of range");
+    }
+  }
+}
+
+PhoneSetMap build_phone_map(const corpus::PhoneInventory& inventory,
+                            std::size_t num_frontend_phones,
+                            std::uint64_t seed) {
+  const std::size_t n = inventory.size();
+  if (num_frontend_phones == 0) {
+    throw std::invalid_argument("build_phone_map: need at least one phone");
+  }
+  if (num_frontend_phones >= n) {
+    // Identity map (front-end at least as fine-grained as the universe).
+    std::vector<std::size_t> identity(n);
+    for (std::size_t i = 0; i < n; ++i) identity[i] = i;
+    return PhoneSetMap(std::move(identity), n);
+  }
+
+  util::Rng rng(seed);
+  // Feature space: log-formants plus voicing/noise, mildly jittered per
+  // front-end so equal-sized front-ends still cluster differently.
+  const std::size_t dim = 5;
+  std::vector<std::vector<double>> points(n, std::vector<double>(dim));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& p = inventory.phone(i);
+    points[i][0] = std::log(p.formant_hz[0]) + rng.gaussian(0.0, 0.05);
+    points[i][1] = std::log(p.formant_hz[1]) + rng.gaussian(0.0, 0.05);
+    points[i][2] = std::log(p.formant_hz[2]) + rng.gaussian(0.0, 0.05);
+    points[i][3] = (p.voiced ? 1.0 : 0.0) + rng.gaussian(0.0, 0.1);
+    points[i][4] = p.noise_fraction + rng.gaussian(0.0, 0.05);
+  }
+
+  // K-means with distinct random seeds.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  rng.shuffle(order);
+  std::vector<std::vector<double>> centroids(num_frontend_phones);
+  for (std::size_t c = 0; c < num_frontend_phones; ++c) {
+    centroids[c] = points[order[c]];
+  }
+
+  std::vector<std::size_t> assign(n, 0);
+  for (std::size_t iter = 0; iter < 12; ++iter) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < num_frontend_phones; ++c) {
+        double dist = 0.0;
+        for (std::size_t d = 0; d < dim; ++d) {
+          const double diff = points[i][d] - centroids[c][d];
+          dist += diff * diff;
+        }
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      assign[i] = best_c;
+    }
+    std::vector<std::size_t> counts(num_frontend_phones, 0);
+    for (auto& c : centroids) std::fill(c.begin(), c.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++counts[assign[i]];
+      for (std::size_t d = 0; d < dim; ++d) centroids[assign[i]][d] += points[i][d];
+    }
+    for (std::size_t c = 0; c < num_frontend_phones; ++c) {
+      if (counts[c] == 0) {
+        centroids[c] = points[rng.uniform_index(n)];
+      } else {
+        for (auto& v : centroids[c]) v /= static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  // Guarantee every front-end phone is non-empty: steal the farthest point
+  // of the largest cluster for each empty one.
+  std::vector<std::size_t> counts(num_frontend_phones, 0);
+  for (std::size_t i = 0; i < n; ++i) ++counts[assign[i]];
+  for (std::size_t c = 0; c < num_frontend_phones; ++c) {
+    if (counts[c] > 0) continue;
+    std::size_t largest = 0;
+    for (std::size_t j = 1; j < num_frontend_phones; ++j) {
+      if (counts[j] > counts[largest]) largest = j;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (assign[i] == largest) {
+        assign[i] = c;
+        --counts[largest];
+        ++counts[c];
+        break;
+      }
+    }
+  }
+  return PhoneSetMap(std::move(assign), num_frontend_phones);
+}
+
+}  // namespace phonolid::am

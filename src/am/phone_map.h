@@ -1,0 +1,50 @@
+// Front-end phone sets.
+//
+// The paper's front-ends have *different phone inventories* (CZ 43, EN 47,
+// RU 50, HU 59, MA 64): each recognizer carves the acoustic space its own
+// way, which is where the complementary information in PPRVSM comes from.
+// We reproduce this by giving each front-end a many-to-one map from the
+// universal inventory onto its own phone set, built by k-means clustering
+// of phone prototypes in formant space with a front-end-specific random
+// restart — so two front-ends of the same size still split phones
+// differently.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/phone_inventory.h"
+
+namespace phonolid::am {
+
+class PhoneSetMap {
+ public:
+  PhoneSetMap() = default;
+  PhoneSetMap(std::vector<std::size_t> universal_to_frontend,
+              std::size_t num_frontend_phones);
+
+  [[nodiscard]] std::size_t num_frontend_phones() const noexcept {
+    return num_frontend_phones_;
+  }
+  [[nodiscard]] std::size_t num_universal_phones() const noexcept {
+    return map_.size();
+  }
+  [[nodiscard]] std::size_t map(std::size_t universal_phone) const {
+    return map_.at(universal_phone);
+  }
+  [[nodiscard]] const std::vector<std::size_t>& mapping() const noexcept {
+    return map_;
+  }
+
+ private:
+  std::vector<std::size_t> map_;
+  std::size_t num_frontend_phones_ = 0;
+};
+
+/// Cluster the universal inventory into `num_frontend_phones` front-end
+/// phones.  Deterministic in `seed`; every front-end phone is non-empty.
+PhoneSetMap build_phone_map(const corpus::PhoneInventory& inventory,
+                            std::size_t num_frontend_phones,
+                            std::uint64_t seed);
+
+}  // namespace phonolid::am

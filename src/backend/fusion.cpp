@@ -1,0 +1,85 @@
+#include "backend/fusion.h"
+
+#include <stdexcept>
+
+namespace phonolid::backend {
+
+std::vector<double> fusion_weights_from_counts(
+    const std::vector<std::size_t>& fit_counts) {
+  std::vector<double> weights(fit_counts.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t c : fit_counts) total += static_cast<double>(c);
+  if (total <= 0.0) {
+    // No subsystem adopted anything: fall back to uniform.
+    const double u = 1.0 / static_cast<double>(std::max<std::size_t>(
+                               fit_counts.size(), 1));
+    std::fill(weights.begin(), weights.end(), u);
+    return weights;
+  }
+  for (std::size_t i = 0; i < fit_counts.size(); ++i) {
+    weights[i] = static_cast<double>(fit_counts[i]) / total;
+  }
+  return weights;
+}
+
+util::Matrix ScoreFusion::stack(
+    const std::vector<util::Matrix>& subsystem_scores) const {
+  if (subsystem_scores.empty()) {
+    throw std::invalid_argument("ScoreFusion: no subsystems");
+  }
+  const std::size_t q = subsystem_scores.size();
+  const std::size_t rows = subsystem_scores[0].rows();
+  const std::size_t k = subsystem_scores[0].cols();
+  for (const auto& s : subsystem_scores) {
+    if (s.rows() != rows || s.cols() != k) {
+      throw std::invalid_argument("ScoreFusion: inconsistent score matrices");
+    }
+  }
+  util::Matrix x(rows, q * k);
+  for (std::size_t i = 0; i < rows; ++i) {
+    auto dst = x.row(i);
+    for (std::size_t s = 0; s < q; ++s) {
+      auto src = subsystem_scores[s].row(i);
+      const auto w = static_cast<float>(weights_[s]);
+      for (std::size_t j = 0; j < k; ++j) dst[s * k + j] = w * src[j];
+    }
+  }
+  return x;
+}
+
+double ScoreFusion::fit(const std::vector<util::Matrix>& subsystem_scores,
+                        const std::vector<std::int32_t>& labels,
+                        std::size_t num_classes, std::vector<double> weights,
+                        const FusionConfig& config) {
+  const std::size_t q = subsystem_scores.size();
+  if (q == 0) throw std::invalid_argument("ScoreFusion::fit: no subsystems");
+  if (weights.empty()) {
+    weights.assign(q, 1.0 / static_cast<double>(q));
+  }
+  if (weights.size() != q) {
+    throw std::invalid_argument("ScoreFusion::fit: weight count mismatch");
+  }
+  // Enforce Σ w = 1 (Eq. 15).
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) throw std::invalid_argument("ScoreFusion::fit: bad weights");
+  for (auto& w : weights) w /= total;
+  weights_ = std::move(weights);
+  use_lda_ = config.use_lda;
+
+  util::Matrix x = stack(subsystem_scores);
+  if (use_lda_) {
+    lda_.fit(x, labels, num_classes, config.lda_components);
+    x = lda_.transform(x);
+  }
+  return gaussian_.fit(x, labels, num_classes, config.mmi);
+}
+
+util::Matrix ScoreFusion::apply(
+    const std::vector<util::Matrix>& subsystem_scores) const {
+  util::Matrix x = stack(subsystem_scores);
+  if (use_lda_) x = lda_.transform(x);
+  return gaussian_.log_posteriors(x);
+}
+
+}  // namespace phonolid::backend

@@ -1,0 +1,66 @@
+// LDA-MMI score fusion across subsystems (paper §3(g), Eq. 14-15).
+//
+// Each subsystem q contributes a K-dimensional score vector f_q(φ(x));
+// fusion stacks them as x = [w_1 f_1, ..., w_Q f_Q], applies LDA, and
+// models the result with the MMI-refined Gaussian backend.  The subsystem
+// weights w_n default to uniform; for DBA runs they follow Eq. 15,
+// w_n = M_n / Σ_m M_m with M_n the number of test utterances passing the
+// vote criterion in subsystem n.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "backend/gaussian_backend.h"
+#include "backend/lda.h"
+#include "util/matrix.h"
+
+namespace phonolid::backend {
+
+struct FusionConfig {
+  MmiConfig mmi;
+  /// Cap on the LDA output dimensionality (0 = num_classes - 1).
+  std::size_t lda_components = 0;
+  /// Skip the LDA rotation (ablation).
+  bool use_lda = true;
+};
+
+class ScoreFusion {
+ public:
+  ScoreFusion() = default;
+
+  /// `subsystem_scores[q]`: utterances x K score matrix from subsystem q —
+  /// all with identical row counts and K columns.  `weights` empty = uniform
+  /// (normalised internally per Eq. 15's constraint Σ w = 1).
+  /// Fits LDA + Gaussian-MMI on the dev labels and returns the final MMI
+  /// objective.
+  double fit(const std::vector<util::Matrix>& subsystem_scores,
+             const std::vector<std::int32_t>& labels, std::size_t num_classes,
+             std::vector<double> weights = {}, const FusionConfig& config = {});
+
+  /// Fused per-class log-posterior scores for a test collection.
+  [[nodiscard]] util::Matrix apply(
+      const std::vector<util::Matrix>& subsystem_scores) const;
+
+  [[nodiscard]] std::size_t num_subsystems() const noexcept {
+    return weights_.size();
+  }
+  [[nodiscard]] const std::vector<double>& weights() const noexcept {
+    return weights_;
+  }
+
+ private:
+  [[nodiscard]] util::Matrix stack(
+      const std::vector<util::Matrix>& subsystem_scores) const;
+
+  std::vector<double> weights_;
+  Lda lda_;
+  GaussianBackend gaussian_;
+  bool use_lda_ = true;
+};
+
+/// Normalise subsystem weights per paper Eq. 15: w_n = M_n / Σ_m M_m.
+std::vector<double> fusion_weights_from_counts(
+    const std::vector<std::size_t>& fit_counts);
+
+}  // namespace phonolid::backend

@@ -1,0 +1,165 @@
+#include "backend/gaussian_backend.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/math_util.h"
+
+namespace phonolid::backend {
+
+double GaussianBackend::fit(const util::Matrix& x,
+                            const std::vector<std::int32_t>& labels,
+                            std::size_t num_classes, const MmiConfig& mmi) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  if (n == 0 || labels.size() != n || num_classes < 2) {
+    throw std::invalid_argument("GaussianBackend::fit: bad inputs");
+  }
+
+  // --- ML initialisation. ---
+  means_.resize(num_classes, d, 0.0f);
+  std::vector<std::size_t> counts(num_classes, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = static_cast<std::size_t>(labels[i]);
+    if (c >= num_classes) {
+      throw std::invalid_argument("GaussianBackend::fit: bad label");
+    }
+    ++counts[c];
+    auto row = x.row(i);
+    auto m = means_.row(c);
+    for (std::size_t j = 0; j < d; ++j) m[j] += row[j];
+  }
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    auto m = means_.row(c);
+    const float inv = 1.0f / static_cast<float>(std::max<std::size_t>(counts[c], 1));
+    for (auto& v : m) v *= inv;
+  }
+  shared_var_.assign(d, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = static_cast<std::size_t>(labels[i]);
+    auto row = x.row(i);
+    auto m = means_.row(c);
+    for (std::size_t j = 0; j < d; ++j) {
+      const float diff = row[j] - m[j];
+      shared_var_[j] += diff * diff;
+    }
+  }
+  for (auto& v : shared_var_) {
+    v = std::max(v / static_cast<float>(n), 1e-4f);
+  }
+  log_priors_.assign(num_classes, 0.0f);
+  if (mmi.flat_priors) {
+    const float lp = -std::log(static_cast<float>(num_classes));
+    std::fill(log_priors_.begin(), log_priors_.end(), lp);
+  } else {
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      log_priors_[c] = std::log(
+          static_cast<float>(std::max<std::size_t>(counts[c], 1)) /
+          static_cast<float>(n));
+    }
+  }
+
+  // --- MMI gradient ascent on the means (optionally variance). ---
+  std::vector<double> post(num_classes);
+  util::Matrix grad(num_classes, d);
+  std::vector<double> grad_var(d);
+  double objective_value = 0.0;
+  for (std::size_t iter = 0; iter < mmi.iterations; ++iter) {
+    grad.fill(0.0f);
+    std::fill(grad_var.begin(), grad_var.end(), 0.0);
+    objective_value = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto row = x.row(i);
+      log_likelihoods(row, post);
+      for (std::size_t c = 0; c < num_classes; ++c) post[c] += log_priors_[c];
+      const double lse = util::log_sum_exp(std::span<const double>(post));
+      const auto truth = static_cast<std::size_t>(labels[i]);
+      objective_value += post[truth] - lse;
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        post[c] = std::exp(post[c] - lse);
+      }
+      // dF/dmu_c = (delta(c=truth) - P(c|x)) * Sigma^-1 (x - mu_c)
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        const double w = (c == truth ? 1.0 : 0.0) - post[c];
+        if (std::abs(w) < 1e-12) continue;
+        auto g = grad.row(c);
+        auto m = means_.row(c);
+        for (std::size_t j = 0; j < d; ++j) {
+          const double z = (row[j] - m[j]) / shared_var_[j];
+          g[j] += static_cast<float>(w * z);
+          if (mmi.update_variance) {
+            grad_var[j] += w * 0.5 * (z * z * shared_var_[j] - 1.0) / shared_var_[j];
+          }
+        }
+      }
+    }
+    const float step =
+        static_cast<float>(mmi.learning_rate / static_cast<double>(n));
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      util::axpy(step, grad.row(c), means_.row(c));
+    }
+    if (mmi.update_variance) {
+      for (std::size_t j = 0; j < d; ++j) {
+        shared_var_[j] = std::max(
+            shared_var_[j] + static_cast<float>(step * grad_var[j]), 1e-4f);
+      }
+    }
+  }
+  return objective_value / static_cast<double>(n);
+}
+
+void GaussianBackend::log_likelihoods(std::span<const float> x,
+                                      std::span<double> out) const {
+  const std::size_t d = dim();
+  assert(x.size() == d && out.size() == num_classes());
+  double log_det = 0.0;
+  for (std::size_t j = 0; j < d; ++j) log_det += std::log(shared_var_[j]);
+  const double base =
+      -0.5 * (static_cast<double>(d) * std::log(2.0 * std::numbers::pi) + log_det);
+  for (std::size_t c = 0; c < num_classes(); ++c) {
+    auto m = means_.row(c);
+    double quad = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double diff = x[j] - m[j];
+      quad += diff * diff / shared_var_[j];
+    }
+    // Clamp: keeps scores finite even for pathological (degenerate-LDA)
+    // inputs so downstream softmax/LLR stay well defined.
+    out[c] = std::max(base - 0.5 * quad, -1e30);
+  }
+}
+
+void GaussianBackend::log_posteriors(std::span<const float> x,
+                                     std::span<float> out) const {
+  std::vector<double> ll(num_classes());
+  log_likelihoods(x, ll);
+  for (std::size_t c = 0; c < num_classes(); ++c) ll[c] += log_priors_[c];
+  const double lse = util::log_sum_exp(std::span<const double>(ll));
+  for (std::size_t c = 0; c < num_classes(); ++c) {
+    out[c] = static_cast<float>(ll[c] - lse);
+  }
+}
+
+util::Matrix GaussianBackend::log_posteriors(const util::Matrix& x) const {
+  util::Matrix out(x.rows(), num_classes());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    log_posteriors(x.row(i), out.row(i));
+  }
+  return out;
+}
+
+double GaussianBackend::objective(const util::Matrix& x,
+                                  const std::vector<std::int32_t>& labels) const {
+  if (x.rows() == 0) return 0.0;
+  util::Matrix lp = log_posteriors(x);
+  double total = 0.0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    total += lp(i, static_cast<std::size_t>(labels[i]));
+  }
+  return total / static_cast<double>(x.rows());
+}
+
+}  // namespace phonolid::backend

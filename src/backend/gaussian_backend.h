@@ -1,0 +1,57 @@
+// Gaussian score backend with MMI refinement (paper Eq. 14).
+//
+// Each class is a diagonal Gaussian over (LDA-projected) score vectors with
+// a shared covariance; generative (ML) initialisation is refined by
+// gradient ascent on the MMI criterion
+//   F(λ) = Σ_i log [ p(x_i|λ_{g(i)}) P(g(i)) / Σ_j p(x_i|λ_j) P(j) ],
+// which directly maximises the posterior of the correct language — the
+// "MMI" half of the LDA-MMI calibration backend [31].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace phonolid::backend {
+
+struct MmiConfig {
+  std::size_t iterations = 40;
+  double learning_rate = 0.1;
+  /// Also adapt the shared variance (means-only when false).
+  bool update_variance = false;
+  /// Equal class priors when true (NIST LRE convention), else empirical.
+  bool flat_priors = true;
+};
+
+class GaussianBackend {
+ public:
+  GaussianBackend() = default;
+
+  /// ML initialisation on rows of `x` with labels; then `mmi.iterations`
+  /// MMI gradient steps.  Returns the final MMI objective per sample.
+  double fit(const util::Matrix& x, const std::vector<std::int32_t>& labels,
+             std::size_t num_classes, const MmiConfig& mmi = {});
+
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return means_.rows();
+  }
+  [[nodiscard]] std::size_t dim() const noexcept { return means_.cols(); }
+
+  /// Per-class log-posteriors (log-softmax of loglik + logprior).
+  void log_posteriors(std::span<const float> x, std::span<float> out) const;
+  [[nodiscard]] util::Matrix log_posteriors(const util::Matrix& x) const;
+
+  /// MMI objective (mean log posterior of the true class) on a dataset.
+  [[nodiscard]] double objective(const util::Matrix& x,
+                                 const std::vector<std::int32_t>& labels) const;
+
+ private:
+  void log_likelihoods(std::span<const float> x, std::span<double> out) const;
+
+  util::Matrix means_;             // num_classes x dim
+  std::vector<float> shared_var_;  // dim (shared diagonal covariance)
+  std::vector<float> log_priors_;  // num_classes
+};
+
+}  // namespace phonolid::backend

@@ -1,0 +1,211 @@
+#include "backend/lda.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace phonolid::backend {
+
+void symmetric_eigen(const util::Matrix& symmetric,
+                     std::vector<double>& eigenvalues,
+                     util::Matrix& eigenvectors, std::size_t max_sweeps) {
+  const std::size_t n = symmetric.rows();
+  if (symmetric.cols() != n) {
+    throw std::invalid_argument("symmetric_eigen: matrix not square");
+  }
+  // Work in double for stability.
+  std::vector<double> a(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a[i * n + j] = symmetric(i, j);
+  }
+  std::vector<double> v(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  // Cyclic Jacobi sweeps.
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += a[p * n + q] * a[p * n + q];
+    }
+    if (off < 1e-20) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a[p * n + k];
+          const double aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v[k * n + p];
+          const double vkq = v[k * n + q];
+          v[k * n + p] = c * vkp - s * vkq;
+          v[k * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort by eigenvalue descending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return a[i * n + i] > a[j * n + j];
+  });
+  eigenvalues.resize(n);
+  eigenvectors.resize(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    eigenvalues[r] = a[order[r] * n + order[r]];
+    for (std::size_t k = 0; k < n; ++k) {
+      eigenvectors(r, k) = static_cast<float>(v[k * n + order[r]]);
+    }
+  }
+}
+
+void Lda::fit(const util::Matrix& x, const std::vector<std::int32_t>& labels,
+              std::size_t num_classes, std::size_t max_components) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  if (n == 0 || labels.size() != n || num_classes < 2) {
+    throw std::invalid_argument("Lda::fit: bad inputs");
+  }
+
+  // Class and global means.
+  std::vector<std::vector<double>> class_mean(num_classes,
+                                              std::vector<double>(d, 0.0));
+  std::vector<std::size_t> class_count(num_classes, 0);
+  std::vector<double> global_mean(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = static_cast<std::size_t>(labels[i]);
+    if (c >= num_classes) throw std::invalid_argument("Lda::fit: bad label");
+    ++class_count[c];
+    auto row = x.row(i);
+    for (std::size_t j = 0; j < d; ++j) {
+      class_mean[c][j] += row[j];
+      global_mean[j] += row[j];
+    }
+  }
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    if (class_count[c] == 0) continue;
+    for (auto& m : class_mean[c]) m /= static_cast<double>(class_count[c]);
+  }
+  for (auto& m : global_mean) m /= static_cast<double>(n);
+
+  // Within- and between-class scatter.
+  util::Matrix sw(d, d, 0.0f), sb(d, d, 0.0f);
+  {
+    std::vector<std::vector<double>> sw_d(d, std::vector<double>(d, 0.0));
+    std::vector<std::vector<double>> sb_d(d, std::vector<double>(d, 0.0));
+    std::vector<double> diff(d);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<std::size_t>(labels[i]);
+      auto row = x.row(i);
+      for (std::size_t j = 0; j < d; ++j) diff[j] = row[j] - class_mean[c][j];
+      for (std::size_t j = 0; j < d; ++j) {
+        for (std::size_t k = j; k < d; ++k) sw_d[j][k] += diff[j] * diff[k];
+      }
+    }
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      if (class_count[c] == 0) continue;
+      for (std::size_t j = 0; j < d; ++j) diff[j] = class_mean[c][j] - global_mean[j];
+      const auto w = static_cast<double>(class_count[c]);
+      for (std::size_t j = 0; j < d; ++j) {
+        for (std::size_t k = j; k < d; ++k) sb_d[j][k] += w * diff[j] * diff[k];
+      }
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+      for (std::size_t k = j; k < d; ++k) {
+        const double reg = (j == k) ? 1e-4 : 0.0;  // ridge for stability
+        sw(j, k) = sw(k, j) = static_cast<float>(sw_d[j][k] / n + reg);
+        sb(j, k) = sb(k, j) = static_cast<float>(sb_d[j][k] / n);
+      }
+    }
+  }
+
+  // Whiten by Sw: Sw = U diag(e) U^T  ->  W = diag(e^-1/2) U^T.
+  std::vector<double> evals;
+  util::Matrix evecs;
+  symmetric_eigen(sw, evals, evecs);
+  util::Matrix whiten(d, d);
+  // Relative floor: directions with (near-)zero within-class scatter would
+  // otherwise blow the projection up by arbitrary factors.
+  const double eval_floor = std::max(evals.empty() ? 0.0 : evals[0], 0.0) * 1e-6 + 1e-10;
+  for (std::size_t r = 0; r < d; ++r) {
+    const double scale = 1.0 / std::sqrt(std::max(evals[r], eval_floor));
+    for (std::size_t k = 0; k < d; ++k) {
+      whiten(r, k) = static_cast<float>(scale * evecs(r, k));
+    }
+  }
+
+  // Eigen-decompose whitened Sb: B = W Sb W^T.
+  util::Matrix tmp, b;
+  util::matmul(whiten, sb, tmp);
+  // b = tmp * whiten^T
+  b.resize(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      b(i, j) = util::dot(tmp.row(i), whiten.row(j));
+    }
+  }
+  // Symmetrise against round-off.
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i + 1; j < d; ++j) {
+      const float avg = 0.5f * (b(i, j) + b(j, i));
+      b(i, j) = b(j, i) = avg;
+    }
+  }
+  std::vector<double> b_evals;
+  util::Matrix b_evecs;
+  symmetric_eigen(b, b_evals, b_evecs);
+
+  std::size_t keep = std::min(num_classes - 1, d);
+  if (max_components > 0) keep = std::min(keep, max_components);
+
+  // projection = top-k rows of (b_evecs * whiten).
+  projection_.resize(keep, d);
+  for (std::size_t r = 0; r < keep; ++r) {
+    for (std::size_t k = 0; k < d; ++k) {
+      float acc = 0.0f;
+      for (std::size_t m = 0; m < d; ++m) {
+        acc += b_evecs(r, m) * whiten(m, k);
+      }
+      projection_(r, k) = acc;
+    }
+  }
+  mean_.resize(d);
+  for (std::size_t j = 0; j < d; ++j) mean_[j] = static_cast<float>(global_mean[j]);
+}
+
+void Lda::transform(std::span<const float> in, std::span<float> out) const {
+  assert(in.size() == input_dim() && out.size() == output_dim());
+  std::vector<float> centered(in.size());
+  for (std::size_t j = 0; j < in.size(); ++j) centered[j] = in[j] - mean_[j];
+  util::matvec(projection_, centered, out);
+}
+
+util::Matrix Lda::transform(const util::Matrix& x) const {
+  util::Matrix out(x.rows(), output_dim());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    transform(x.row(i), out.row(i));
+  }
+  return out;
+}
+
+}  // namespace phonolid::backend

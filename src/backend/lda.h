@@ -1,0 +1,47 @@
+// Linear discriminant analysis for score-vector calibration.
+//
+// The "LDA" half of the paper's LDA-MMI fusion backend [31]: stacked
+// subsystem score vectors are rotated into a subspace that maximises
+// between-class over within-class scatter before Gaussian modeling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace phonolid::backend {
+
+/// Jacobi eigendecomposition of a symmetric matrix.  `eigenvalues` sorted
+/// descending; `eigenvectors` rows are the corresponding unit vectors.
+void symmetric_eigen(const util::Matrix& symmetric,
+                     std::vector<double>& eigenvalues,
+                     util::Matrix& eigenvectors, std::size_t max_sweeps = 64);
+
+class Lda {
+ public:
+  Lda() = default;
+
+  /// Fit on rows of `x` with class labels `labels` (0..num_classes-1);
+  /// keeps min(num_classes-1, dim, requested) discriminant directions.
+  void fit(const util::Matrix& x, const std::vector<std::int32_t>& labels,
+           std::size_t num_classes, std::size_t max_components = 0);
+
+  [[nodiscard]] bool fitted() const noexcept { return projection_.rows() > 0; }
+  [[nodiscard]] std::size_t input_dim() const noexcept {
+    return projection_.cols();
+  }
+  [[nodiscard]] std::size_t output_dim() const noexcept {
+    return projection_.rows();
+  }
+
+  /// Project one row / a whole matrix.
+  void transform(std::span<const float> in, std::span<float> out) const;
+  [[nodiscard]] util::Matrix transform(const util::Matrix& x) const;
+
+ private:
+  util::Matrix projection_;      // output_dim x input_dim
+  std::vector<float> mean_;      // subtracted before projecting
+};
+
+}  // namespace phonolid::backend

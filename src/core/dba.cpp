@@ -1,0 +1,148 @@
+#include "core/dba.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace phonolid::core {
+
+VoteResult compute_votes(const std::vector<const util::Matrix*>& scores,
+                         VoteCriterion criterion) {
+  if (scores.empty()) throw std::invalid_argument("compute_votes: no scores");
+  const std::size_t m = scores[0]->rows();
+  const std::size_t k = scores[0]->cols();
+  for (const auto* s : scores) {
+    if (s->rows() != m || s->cols() != k) {
+      throw std::invalid_argument("compute_votes: inconsistent score shapes");
+    }
+  }
+
+  VoteResult result;
+  result.num_utts = m;
+  result.num_classes = k;
+  result.num_subsystems = scores.size();
+  result.counts.assign(m * k, 0);
+  result.per_subsystem.assign(scores.size(),
+                              std::vector<std::uint8_t>(m * k, 0));
+
+  for (std::size_t q = 0; q < scores.size(); ++q) {
+    const util::Matrix& f = *scores[q];
+    auto& bits = result.per_subsystem[q];
+    for (std::size_t j = 0; j < m; ++j) {
+      auto row = f.row(j);
+      // Top-1 and runner-up in one pass.
+      std::size_t best = 0;
+      float best_score = row[0];
+      float second_score = -std::numeric_limits<float>::infinity();
+      for (std::size_t c = 1; c < k; ++c) {
+        if (row[c] > best_score) {
+          second_score = best_score;
+          best_score = row[c];
+          best = c;
+        } else if (row[c] > second_score) {
+          second_score = row[c];
+        }
+      }
+      bool votes = false;
+      switch (criterion) {
+        case VoteCriterion::kStrict:
+          // Eq. 13: own score positive, every rival negative.
+          votes = best_score > 0.0f && second_score < 0.0f;
+          break;
+        case VoteCriterion::kPositiveArgmax:
+          votes = best_score > 0.0f;
+          break;
+        case VoteCriterion::kArgmax:
+          votes = true;
+          break;
+      }
+      if (votes) {
+        bits[j * k + best] = 1;
+        ++result.counts[j * k + best];
+      }
+    }
+  }
+  return result;
+}
+
+TrdbaSelection select_trdba(const VoteResult& votes, std::size_t min_votes) {
+  if (min_votes == 0) {
+    throw std::invalid_argument("select_trdba: min_votes must be >= 1");
+  }
+  TrdbaSelection sel;
+  sel.subsystem_fit_counts.assign(votes.num_subsystems, 0);
+  const std::size_t k = votes.num_classes;
+  for (std::size_t j = 0; j < votes.num_utts; ++j) {
+    std::size_t best = 0;
+    std::uint16_t best_count = 0;
+    bool tie = false;
+    for (std::size_t c = 0; c < k; ++c) {
+      const std::uint16_t count = votes.counts[j * k + c];
+      if (count > best_count) {
+        best_count = count;
+        best = c;
+        tie = false;
+      } else if (count == best_count && count > 0) {
+        tie = true;
+      }
+    }
+    if (best_count < min_votes || tie) continue;
+    sel.utt_index.push_back(static_cast<std::uint32_t>(j));
+    sel.label.push_back(static_cast<std::int32_t>(best));
+    for (std::size_t q = 0; q < votes.num_subsystems; ++q) {
+      if (votes.vote(q, j, best)) ++sel.subsystem_fit_counts[q];
+    }
+  }
+  return sel;
+}
+
+double selection_error_rate(const TrdbaSelection& selection,
+                            const std::vector<std::int32_t>& true_labels) {
+  if (selection.utt_index.empty()) return 0.0;
+  std::size_t wrong = 0;
+  for (std::size_t i = 0; i < selection.utt_index.size(); ++i) {
+    if (true_labels.at(selection.utt_index[i]) != selection.label[i]) {
+      ++wrong;
+    }
+  }
+  return static_cast<double>(wrong) /
+         static_cast<double>(selection.utt_index.size());
+}
+
+const char* to_string(DbaMode mode) noexcept {
+  switch (mode) {
+    case DbaMode::kM1: return "DBA-M1";
+    case DbaMode::kM2: return "DBA-M2";
+  }
+  return "?";
+}
+
+void compose_trdba(DbaMode mode, const TrdbaSelection& selection,
+                   const std::vector<phonotactic::SparseVec>& test_svs,
+                   const std::vector<phonotactic::SparseVec>& train_svs,
+                   const std::vector<std::int32_t>& train_labels,
+                   std::vector<const phonotactic::SparseVec*>& out_x,
+                   std::vector<std::int32_t>& out_y) {
+  out_x.clear();
+  out_y.clear();
+  const std::size_t adopted = selection.utt_index.size();
+  const std::size_t total =
+      adopted + (mode == DbaMode::kM2 ? train_svs.size() : 0);
+  out_x.reserve(total);
+  out_y.reserve(total);
+  for (std::size_t i = 0; i < adopted; ++i) {
+    out_x.push_back(&test_svs.at(selection.utt_index[i]));
+    out_y.push_back(selection.label[i]);
+  }
+  if (mode == DbaMode::kM2) {
+    if (train_labels.size() != train_svs.size()) {
+      throw std::invalid_argument("compose_trdba: train label mismatch");
+    }
+    for (std::size_t i = 0; i < train_svs.size(); ++i) {
+      out_x.push_back(&train_svs[i]);
+      out_y.push_back(train_labels[i]);
+    }
+  }
+}
+
+}  // namespace phonolid::core

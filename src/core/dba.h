@@ -1,0 +1,82 @@
+// The Discriminative Boosting Algorithm — vote counting and training-set
+// adoption (paper §3, Eq. 10-13 and step (e)).
+//
+// These are pure functions over score matrices so the algorithm can be
+// unit-tested independently of the acoustic pipeline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phonotactic/sparse.h"
+#include "util/matrix.h"
+
+namespace phonolid::core {
+
+/// The high-confidence criterion of Eq. 13 plus ablation variants.
+enum class VoteCriterion : std::uint8_t {
+  /// Eq. 13: subsystem votes for k iff f_k > 0 AND every rival f_p < 0.
+  kStrict,
+  /// Ablation: votes for argmax k whenever f_k > 0 (no rival constraint).
+  kPositiveArgmax,
+  /// Ablation: always votes for the argmax class.
+  kArgmax,
+};
+
+/// Vote bookkeeping for a pooled test set (Eq. 10-12).
+struct VoteResult {
+  std::size_t num_utts = 0;
+  std::size_t num_classes = 0;
+  std::size_t num_subsystems = 0;
+  /// c_{jk}: row-major (utt j, class k) vote totals.
+  std::vector<std::uint16_t> counts;
+  /// v_{jqk} bits per subsystem, row-major (utt j, class k).
+  std::vector<std::vector<std::uint8_t>> per_subsystem;
+
+  [[nodiscard]] std::uint16_t count(std::size_t j, std::size_t k) const {
+    return counts.at(j * num_classes + k);
+  }
+  [[nodiscard]] bool vote(std::size_t q, std::size_t j, std::size_t k) const {
+    return per_subsystem.at(q).at(j * num_classes + k) != 0;
+  }
+};
+
+/// Counts votes over the subsystems' score matrices (each utts x K).
+VoteResult compute_votes(const std::vector<const util::Matrix*>& scores,
+                         VoteCriterion criterion = VoteCriterion::kStrict);
+
+/// The adopted high-confidence test set T_DBA (paper step (e)).
+struct TrdbaSelection {
+  std::vector<std::uint32_t> utt_index;  // indices into the pooled test set
+  std::vector<std::int32_t> label;       // hypothesised language l_k
+  /// M_n of Eq. 15: per subsystem, how many adopted utterances it voted for
+  /// (with the adopted label).
+  std::vector<std::size_t> subsystem_fit_counts;
+};
+
+/// Adopt every utterance with >= `min_votes` votes for its best class
+/// (ties between classes are skipped as ambiguous).
+TrdbaSelection select_trdba(const VoteResult& votes, std::size_t min_votes);
+
+/// Label error rate of a selection against ground truth (Table 1's
+/// "error rate" column).  Returns 0 for an empty selection.
+double selection_error_rate(const TrdbaSelection& selection,
+                            const std::vector<std::int32_t>& true_labels);
+
+/// Tr_DBA composition (paper step (e)).
+enum class DbaMode : std::uint8_t {
+  kM1,  // Tr_DBA = [T_DBA]            — adopted test data only
+  kM2,  // Tr_DBA = [T_DBA  Tr]        — adopted test data + original train
+};
+
+const char* to_string(DbaMode mode) noexcept;
+
+/// Assemble the Tr_DBA pointer/label lists for one subsystem.
+void compose_trdba(DbaMode mode, const TrdbaSelection& selection,
+                   const std::vector<phonotactic::SparseVec>& test_svs,
+                   const std::vector<phonotactic::SparseVec>& train_svs,
+                   const std::vector<std::int32_t>& train_labels,
+                   std::vector<const phonotactic::SparseVec*>& out_x,
+                   std::vector<std::int32_t>& out_y);
+
+}  // namespace phonolid::core

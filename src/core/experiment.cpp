@@ -1,0 +1,162 @@
+#include "core/experiment.h"
+
+#include <stdexcept>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace phonolid::core {
+
+ExperimentConfig ExperimentConfig::preset(util::Scale scale,
+                                          std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.corpus = corpus::CorpusConfig::preset(scale, seed);
+  cfg.frontends = default_frontends(scale);
+  cfg.vsm.svm.C = 1.0;
+  cfg.vsm.svm.max_epochs = 60;
+  cfg.vsm.svm.epsilon = 0.05;
+  cfg.vsm.seed = seed;
+  return cfg;
+}
+
+std::unique_ptr<Experiment> Experiment::build(const ExperimentConfig& config) {
+  auto exp = std::unique_ptr<Experiment>(new Experiment());
+  exp->config_ = config;
+  exp->corpus_ = corpus::LreCorpus::build(config.corpus);
+  const corpus::LreCorpus& corpus = exp->corpus_;
+  const std::size_t k = corpus.num_target_languages();
+
+  exp->train_labels_.reserve(corpus.vsm_train().size());
+  for (const auto& u : corpus.vsm_train()) exp->train_labels_.push_back(u.language);
+  exp->dev_labels_.reserve(corpus.dev().size());
+  for (const auto& u : corpus.dev()) exp->dev_labels_.push_back(u.language);
+  exp->test_labels_.reserve(corpus.test().size());
+  for (const auto& u : corpus.test()) exp->test_labels_.push_back(u.language);
+
+  const std::size_t q = config.frontends.size();
+  exp->subsystems_.reserve(q);
+  exp->train_svs_.resize(q);
+  exp->dev_svs_.resize(q);
+  exp->test_svs_.resize(q);
+  exp->baseline_vsms_.resize(q);
+  exp->baseline_.resize(q);
+
+  for (std::size_t s = 0; s < q; ++s) {
+    FrontEndSpec spec = config.frontends[s];
+    // The 1-best ablation flows through the supervector builder config.
+    spec.use_lattice_counts = config.use_lattice_counts;
+    auto sub = Subsystem::build(corpus, spec, config.seed);
+    exp->train_svs_[s] = sub->take_train_supervectors();
+    exp->dev_svs_[s] = sub->process_all(corpus.dev());
+    exp->test_svs_[s] = sub->process_all(corpus.test());
+    exp->subsystems_.push_back(std::move(sub));
+
+    // Baseline VSM (paper step (b)) and score matrices (Eq. 8-9).
+    svm::VsmTrainConfig vsm_cfg = config.vsm;
+    vsm_cfg.seed = util::derive_stream(config.seed, 0xF000 + s);
+    exp->baseline_vsms_[s] = svm::VsmModel::train(
+        exp->train_svs_[s], exp->train_labels_, k,
+        exp->subsystems_[s]->supervector_dim(), vsm_cfg);
+    exp->baseline_[s].dev = exp->baseline_vsms_[s].score_all(exp->dev_svs_[s]);
+    exp->baseline_[s].test = exp->baseline_vsms_[s].score_all(exp->test_svs_[s]);
+    PHONOLID_INFO("core") << "baseline VSM ready for " << spec.name;
+  }
+
+  // Votes over the pooled test set (Eq. 10-13).
+  std::vector<const util::Matrix*> test_scores;
+  test_scores.reserve(q);
+  for (const auto& b : exp->baseline_) test_scores.push_back(&b.test);
+  exp->votes_ = compute_votes(test_scores, config.vote_criterion);
+  return exp;
+}
+
+std::vector<SubsystemScores> Experiment::run_dba(std::size_t min_votes,
+                                                 DbaMode mode) const {
+  return run_dba_selection(select_trdba(votes_, min_votes), mode);
+}
+
+VoteResult Experiment::votes_for(const std::vector<SubsystemScores>& blocks,
+                                 VoteCriterion criterion) const {
+  std::vector<const util::Matrix*> test_scores;
+  test_scores.reserve(blocks.size());
+  for (const auto& b : blocks) test_scores.push_back(&b.test);
+  return compute_votes(test_scores, criterion);
+}
+
+std::vector<SubsystemScores> Experiment::run_dba_selection(
+    const TrdbaSelection& selection, DbaMode mode) const {
+  const std::size_t k = num_languages();
+  std::vector<SubsystemScores> out(subsystems_.size());
+  if (selection.utt_index.empty() && mode == DbaMode::kM1) {
+    // Nothing adopted: fall back to the baseline models' scores (an empty
+    // SVM training set is undefined), mirroring a no-op boosting pass.
+    return baseline_;
+  }
+  for (std::size_t q = 0; q < subsystems_.size(); ++q) {
+    std::vector<const phonotactic::SparseVec*> x;
+    std::vector<std::int32_t> y;
+    compose_trdba(mode, selection, test_svs_[q], train_svs_[q], train_labels_,
+                  x, y);
+    svm::VsmTrainConfig cfg = config_.vsm;
+    cfg.seed = util::derive_stream(
+        config_.seed, 0xF100 + q * 16 + selection.utt_index.size() +
+                          (mode == DbaMode::kM2 ? 0x1000u : 0u));
+    const svm::VsmModel model = svm::VsmModel::train(
+        x, y, k, subsystems_[q]->supervector_dim(), cfg);
+    out[q].dev = model.score_all(dev_svs_[q]);
+    out[q].test = model.score_all(test_svs_[q]);
+  }
+  return out;
+}
+
+EvalResult Experiment::evaluate(
+    const std::vector<const SubsystemScores*>& blocks,
+    std::vector<double> weights) const {
+  if (blocks.empty()) throw std::invalid_argument("evaluate: no score blocks");
+  const std::size_t k = num_languages();
+  EvalResult result;
+
+  // LDA-MMI calibration trained on the pooled dev set (paper step g); the
+  // pooled fit is markedly more stable than per-tier fits at small scales.
+  std::vector<util::Matrix> dev_blocks(blocks.size());
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    dev_blocks[b] = blocks[b]->dev;
+  }
+  backend::ScoreFusion fusion;
+  fusion.fit(dev_blocks, dev_labels_, k, std::move(weights), config_.fusion);
+
+  for (std::size_t tier = 0; tier < corpus::kNumTiers; ++tier) {
+    const auto dt = static_cast<corpus::DurationTier>(tier);
+    const std::vector<std::size_t> test_idx = corpus_.test_indices(dt);
+    if (test_idx.empty()) continue;
+
+    std::vector<util::Matrix> test_blocks(blocks.size());
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      test_blocks[b].resize(test_idx.size(), k);
+      for (std::size_t i = 0; i < test_idx.size(); ++i) {
+        auto src = blocks[b]->test.row(test_idx[i]);
+        std::copy(src.begin(), src.end(), test_blocks[b].row(i).begin());
+      }
+    }
+    std::vector<std::int32_t> test_y(test_idx.size());
+    for (std::size_t i = 0; i < test_idx.size(); ++i) {
+      test_y[i] = test_labels_[test_idx[i]];
+    }
+
+    const util::Matrix log_post = fusion.apply(test_blocks);
+    const util::Matrix llr = eval::log_posteriors_to_llr(log_post);
+
+    const eval::TrialSet trials = eval::TrialSet::from_scores(llr, test_y);
+    result.tier[tier].eer = eval::equal_error_rate(trials);
+    result.tier[tier].cavg = eval::cavg(llr, test_y, k);
+    result.det[tier] = eval::det_curve(trials);
+  }
+  return result;
+}
+
+EvalResult Experiment::evaluate_single(const SubsystemScores& block) const {
+  return evaluate({&block});
+}
+
+}  // namespace phonolid::core

@@ -1,0 +1,165 @@
+// End-to-end experiment driver for the paper's evaluation.
+//
+// Owns the corpus, the six subsystems and their cached supervectors, the
+// baseline VSMs, and the DBA re-training machinery.  Every table/figure
+// bench is a thin loop over this class:
+//   - baseline_scores()      -> PPRVSM columns of Tables 2-4
+//   - votes() / select()     -> Table 1
+//   - run_dba(V, mode)       -> DBA columns of Tables 2-3
+//   - evaluate()/evaluate_fused() -> EER/Cavg/DET per duration tier
+// Supervectors are computed exactly once (shared by the baseline and every
+// DBA configuration), mirroring the paper's cost argument (§5.4).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "backend/fusion.h"
+#include "core/dba.h"
+#include "core/frontend_spec.h"
+#include "core/subsystem.h"
+#include "eval/metrics.h"
+#include "svm/vsm.h"
+
+namespace phonolid::core {
+
+struct ExperimentConfig {
+  corpus::CorpusConfig corpus;
+  std::vector<FrontEndSpec> frontends;
+  svm::VsmTrainConfig vsm;
+  backend::FusionConfig fusion;
+  VoteCriterion vote_criterion = VoteCriterion::kStrict;
+  /// Use lattice expected counts; false = 1-best ablation.
+  bool use_lattice_counts = true;
+  std::uint64_t seed = 20090704;
+
+  /// Paper-shaped configuration for the given scale.
+  static ExperimentConfig preset(util::Scale scale, std::uint64_t seed);
+};
+
+/// Scores of one subsystem on the dev and test sets (utterances x K).
+struct SubsystemScores {
+  util::Matrix dev;
+  util::Matrix test;
+};
+
+/// EER / Cavg for one duration tier (fractions, not percent).
+struct TierMetrics {
+  double eer = 0.0;
+  double cavg = 0.0;
+};
+
+struct EvalResult {
+  TierMetrics tier[corpus::kNumTiers];
+  /// Pooled-trial DET curve per tier (from calibrated LLR scores).
+  std::vector<eval::DetPoint> det[corpus::kNumTiers];
+};
+
+class Experiment {
+ public:
+  /// Heavy: generates the corpus, trains every front-end, computes all
+  /// supervectors, trains the baseline VSMs and scores dev+test.
+  static std::unique_ptr<Experiment> build(const ExperimentConfig& config);
+
+  [[nodiscard]] const ExperimentConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const corpus::LreCorpus& corpus() const noexcept {
+    return corpus_;
+  }
+  [[nodiscard]] std::size_t num_subsystems() const noexcept {
+    return subsystems_.size();
+  }
+  [[nodiscard]] std::size_t num_languages() const noexcept {
+    return corpus_.num_target_languages();
+  }
+  [[nodiscard]] const Subsystem& subsystem(std::size_t q) const {
+    return *subsystems_.at(q);
+  }
+
+  [[nodiscard]] const std::vector<std::int32_t>& test_labels() const noexcept {
+    return test_labels_;
+  }
+  [[nodiscard]] const std::vector<std::int32_t>& dev_labels() const noexcept {
+    return dev_labels_;
+  }
+
+  /// Baseline (PPRVSM) scores per subsystem.
+  [[nodiscard]] const std::vector<SubsystemScores>& baseline_scores()
+      const noexcept {
+    return baseline_;
+  }
+
+  /// Votes of the baseline subsystems on the pooled test set (Eq. 10-13).
+  [[nodiscard]] const VoteResult& votes() const noexcept { return votes_; }
+
+  /// T_DBA selection for a threshold (paper: c_jk > V; realised as
+  /// count >= min_votes — pass V directly, the column "V = n" of Tables
+  /// 1-3 uses min_votes = n).
+  [[nodiscard]] TrdbaSelection select(std::size_t min_votes) const {
+    return select_trdba(votes_, min_votes);
+  }
+
+  /// Re-train every subsystem's VSM on Tr_DBA(V, mode) and re-score.
+  [[nodiscard]] std::vector<SubsystemScores> run_dba(std::size_t min_votes,
+                                                     DbaMode mode) const;
+
+  /// Vote counting over arbitrary score blocks (e.g. a previous DBA pass,
+  /// enabling multi-iteration boosting) with a configurable criterion.
+  [[nodiscard]] VoteResult votes_for(
+      const std::vector<SubsystemScores>& blocks,
+      VoteCriterion criterion = VoteCriterion::kStrict) const;
+
+  /// Re-train from an explicit selection (the core of run_dba; exposed for
+  /// iterated boosting and criterion ablations).
+  [[nodiscard]] std::vector<SubsystemScores> run_dba_selection(
+      const TrdbaSelection& selection, DbaMode mode) const;
+
+  /// Calibrate (LDA-MMI per tier, trained on dev) and evaluate an arbitrary
+  /// set of subsystem score blocks.  `weights` empty = uniform (Eq. 15
+  /// weights are produced by fusion_weights_from_counts on a selection's
+  /// subsystem_fit_counts).
+  [[nodiscard]] EvalResult evaluate(
+      const std::vector<const SubsystemScores*>& blocks,
+      std::vector<double> weights = {}) const;
+
+  /// Single-subsystem convenience.
+  [[nodiscard]] EvalResult evaluate_single(const SubsystemScores& block) const;
+
+  /// Supervector caches (exposed for benches measuring VSM cost).
+  [[nodiscard]] const std::vector<phonotactic::SparseVec>& train_svs(
+      std::size_t q) const {
+    return train_svs_.at(q);
+  }
+  [[nodiscard]] const std::vector<phonotactic::SparseVec>& test_svs(
+      std::size_t q) const {
+    return test_svs_.at(q);
+  }
+  [[nodiscard]] const std::vector<std::int32_t>& train_labels() const noexcept {
+    return train_labels_;
+  }
+  [[nodiscard]] const svm::VsmModel& baseline_vsm(std::size_t q) const {
+    return baseline_vsms_.at(q);
+  }
+
+ private:
+  Experiment() = default;
+
+  ExperimentConfig config_;
+  corpus::LreCorpus corpus_;
+  std::vector<std::unique_ptr<Subsystem>> subsystems_;
+
+  std::vector<std::vector<phonotactic::SparseVec>> train_svs_;
+  std::vector<std::vector<phonotactic::SparseVec>> dev_svs_;
+  std::vector<std::vector<phonotactic::SparseVec>> test_svs_;
+  std::vector<std::int32_t> train_labels_;
+  std::vector<std::int32_t> dev_labels_;
+  std::vector<std::int32_t> test_labels_;
+
+  std::vector<svm::VsmModel> baseline_vsms_;
+  std::vector<SubsystemScores> baseline_;
+  VoteResult votes_;
+};
+
+}  // namespace phonolid::core

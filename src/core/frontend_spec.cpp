@@ -1,0 +1,90 @@
+#include "core/frontend_spec.h"
+
+namespace phonolid::core {
+
+const char* to_string(ModelFamily family) noexcept {
+  switch (family) {
+    case ModelFamily::kAnnHmm: return "ANN-HMM";
+    case ModelFamily::kDnnHmm: return "DNN-HMM";
+    case ModelFamily::kGmmHmm: return "GMM-HMM";
+  }
+  return "?";
+}
+
+std::vector<FrontEndSpec> default_frontends(util::Scale scale) {
+  // Paper inventories: HU 59, RU 50, CZ 43, EN 47, MA 64 phones.  Scaled to
+  // the synthetic universal inventory (30..48 phones) while preserving the
+  // ordering HU > MA > RU > EN > CZ.
+  const bool quick = (scale == util::Scale::kQuick);
+  const std::size_t hu = quick ? 22 : 30;
+  const std::size_t ru = quick ? 19 : 26;
+  const std::size_t cz = quick ? 16 : 22;
+  const std::size_t en = quick ? 17 : 24;
+  const std::size_t ma = quick ? 24 : 33;
+  const std::size_t hidden = quick ? 32 : 48;
+
+  std::vector<FrontEndSpec> specs(6);
+
+  specs[0].name = "ANN-HMM/HU";
+  specs[0].family = ModelFamily::kAnnHmm;
+  specs[0].feature = dsp::FeatureKind::kMfcc;
+  specs[0].num_phones = hu;
+  specs[0].native_language = 0;
+  specs[0].hidden_sizes = {hidden};
+  specs[0].decoder.lattice_beam = 3.0;
+  specs[0].decoder.acoustic_scale = 1.0;
+  specs[0].seed_salt = 0x51;
+
+  specs[1].name = "ANN-HMM/RU";
+  specs[1].family = ModelFamily::kAnnHmm;
+  specs[1].feature = dsp::FeatureKind::kMfcc;
+  specs[1].num_phones = ru;
+  specs[1].native_language = 1;
+  specs[1].hidden_sizes = {hidden};
+  specs[1].decoder.lattice_beam = 3.0;
+  specs[1].decoder.acoustic_scale = 1.0;
+  specs[1].seed_salt = 0x52;
+
+  specs[2].name = "ANN-HMM/CZ";
+  specs[2].family = ModelFamily::kAnnHmm;
+  specs[2].feature = dsp::FeatureKind::kMfcc;
+  specs[2].num_phones = cz;
+  specs[2].native_language = 2;
+  specs[2].hidden_sizes = {hidden};
+  specs[2].decoder.lattice_beam = 3.0;
+  specs[2].decoder.acoustic_scale = 1.0;
+  specs[2].seed_salt = 0x53;
+
+  // Paper §4.1(b): DNN-HMM English on 13-dim PLP + deltas.
+  specs[3].name = "DNN-HMM/EN";
+  specs[3].family = ModelFamily::kDnnHmm;
+  specs[3].feature = dsp::FeatureKind::kPlp;
+  specs[3].num_phones = en;
+  specs[3].native_language = 3;
+  specs[3].hidden_sizes = {hidden, hidden};
+  specs[3].decoder.lattice_beam = 3.0;
+  specs[3].decoder.acoustic_scale = 1.0;
+  specs[3].seed_salt = 0x54;
+
+  // Paper §4.1(c): GMM-HMM Mandarin (12 PLP + deltas in the paper; MFCC
+  // here to widen front-end diversity) and GMM-HMM English on PLP.
+  specs[4].name = "GMM-HMM/MA";
+  specs[4].family = ModelFamily::kGmmHmm;
+  specs[4].feature = dsp::FeatureKind::kMfcc;
+  specs[4].num_phones = ma;
+  specs[4].native_language = 4;
+  specs[4].gmm_components = quick ? 2 : 4;
+  specs[4].seed_salt = 0x55;
+
+  specs[5].name = "GMM-HMM/EN";
+  specs[5].family = ModelFamily::kGmmHmm;
+  specs[5].feature = dsp::FeatureKind::kPlp;
+  specs[5].num_phones = en;
+  specs[5].native_language = 5;
+  specs[5].gmm_components = quick ? 2 : 4;
+  specs[5].seed_salt = 0x56;
+
+  return specs;
+}
+
+}  // namespace phonolid::core

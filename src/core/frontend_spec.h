@@ -1,0 +1,46 @@
+// Front-end specifications.
+//
+// The paper's diversified front-end battery (§4.1):
+//   (a) three ANN-HMM phone recognizers with language-specific phone sets
+//       (BUT Hungarian / Czech / Russian TRAPs decoders),
+//   (b) one DNN-HMM English recognizer on PLP features (Tsinghua),
+//   (c) two GMM-HMM recognizers, English and Mandarin (Tsinghua).
+// Each spec fixes the model family, the acoustic feature kind, the phone
+// set size (scaled from the paper's 43..64) and its native training
+// language — everything the Subsystem builder needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "decoder/phone_loop_decoder.h"
+#include "dsp/features.h"
+#include "util/options.h"
+
+namespace phonolid::core {
+
+enum class ModelFamily : std::uint8_t { kAnnHmm, kDnnHmm, kGmmHmm };
+
+const char* to_string(ModelFamily family) noexcept;
+
+struct FrontEndSpec {
+  std::string name;                         // e.g. "ANN-HMM/HU"
+  ModelFamily family = ModelFamily::kGmmHmm;
+  dsp::FeatureKind feature = dsp::FeatureKind::kMfcc;
+  std::size_t num_phones = 24;              // front-end phone set size
+  std::size_t native_language = 0;          // index into corpus natives
+  std::vector<std::size_t> hidden_sizes = {64};  // ANN/DNN layer widths
+  std::size_t gmm_components = 4;           // GMM-HMM mixture size
+  float nn_score_gain = 1.0f;               // hybrid acoustic gain (ANN/DNN)
+  std::size_t ngram_order = 3;              // supervector N-gram order
+  bool use_lattice_counts = true;           // false = 1-best ablation
+  bool use_tfllr = true;                    // false = raw probabilities
+  decoder::DecoderConfig decoder;
+  std::uint64_t seed_salt = 0;
+};
+
+/// The paper's six front-ends, sized for the given scale.
+std::vector<FrontEndSpec> default_frontends(util::Scale scale);
+
+}  // namespace phonolid::core

@@ -1,0 +1,167 @@
+#include "core/subsystem.h"
+
+#include <stdexcept>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace phonolid::core {
+
+std::unique_ptr<Subsystem> Subsystem::build(const corpus::LreCorpus& corpus,
+                                            const FrontEndSpec& spec,
+                                            std::uint64_t seed) {
+  auto sub = std::unique_ptr<Subsystem>(new Subsystem());
+  sub->spec_ = spec;
+  const std::uint64_t sub_seed = util::derive_stream(seed, spec.seed_salt);
+
+  // 1. Front-end phone set.
+  sub->phone_map_ =
+      am::build_phone_map(corpus.inventory(), spec.num_phones, sub_seed);
+
+  // 2. Feature pipeline.
+  dsp::FeaturePipelineConfig fcfg;
+  fcfg.kind = spec.feature;
+  fcfg.mfcc.sample_rate = corpus.config().sample_rate;
+  fcfg.plp.sample_rate = corpus.config().sample_rate;
+  sub->features_ = std::make_unique<dsp::FeaturePipeline>(fcfg);
+
+  // 3. Supervision: align the native-language audio.
+  if (spec.native_language >= corpus.native_languages().size()) {
+    throw std::invalid_argument("Subsystem: native language out of range");
+  }
+  const corpus::Dataset& am_data = corpus.am_train(spec.native_language);
+  std::vector<am::AlignedUtterance> aligned(am_data.size());
+  util::parallel_for(0, am_data.size(), [&](std::size_t i) {
+    aligned[i] = am::align_utterance(am_data[i], *sub->features_,
+                                     sub->phone_map_);
+  });
+
+  // 4. Acoustic model per family.
+  am::HmmTopology topology{spec.num_phones, 3};
+  am::HmmTransitions transitions;
+  switch (spec.family) {
+    case ModelFamily::kGmmHmm: {
+      am::GmmHmmTrainConfig cfg;
+      cfg.gmm.num_components = spec.gmm_components;
+      cfg.seed = sub_seed;
+      auto model = std::make_unique<am::GmmHmmModel>(
+          am::train_gmm_hmm(aligned, spec.num_phones, cfg));
+      transitions = model->transitions();
+      sub->model_ = std::move(model);
+      break;
+    }
+    case ModelFamily::kAnnHmm:
+    case ModelFamily::kDnnHmm: {
+      am::NnHmmTrainConfig cfg;
+      cfg.nn.hidden_sizes = spec.hidden_sizes;
+      cfg.score_gain = spec.nn_score_gain;
+      cfg.seed = sub_seed;
+      auto model = std::make_unique<am::NnHmmModel>(
+          am::train_nn_hmm(aligned, spec.num_phones, cfg));
+      transitions = model->transitions();
+      sub->model_ = std::move(model);
+      break;
+    }
+  }
+
+  // 5. Lattice decoder.
+  sub->decoder_ = std::make_unique<decoder::PhoneLoopDecoder>(
+      *sub->model_, topology, transitions, spec.decoder);
+
+  // 6. Supervector builder + TFLLR background on the training set.
+  phonotactic::NgramIndexer indexer(spec.num_phones, spec.ngram_order);
+  phonotactic::SupervectorConfig sv_cfg;
+  sv_cfg.counts.max_order = spec.ngram_order;
+  sv_cfg.counts.acoustic_scale = spec.decoder.acoustic_scale;
+  sv_cfg.use_lattice = spec.use_lattice_counts;
+  sub->builder_ = std::make_unique<phonotactic::SupervectorBuilder>(
+      std::move(indexer), sv_cfg);
+
+  const corpus::Dataset& train = corpus.vsm_train();
+  std::vector<phonotactic::SparseVec> train_svs(train.size());
+  util::parallel_for(0, train.size(), [&](std::size_t i) {
+    util::WallTimer feature_timer;
+    const util::Matrix feats = sub->features_->process(train[i].samples);
+    const double feat_s = feature_timer.seconds();
+
+    util::WallTimer decode_timer;
+    const decoder::Lattice lattice = sub->decoder_->decode(feats);
+    const double dec_s = decode_timer.seconds();
+
+    util::WallTimer sv_timer;
+    train_svs[i] = sub->builder_->build(lattice);
+    const double sv_s = sv_timer.seconds();
+
+    std::lock_guard lock(sub->times_mutex_);
+    sub->times_.feature_s += feat_s;
+    sub->times_.decode_s += dec_s;
+    sub->times_.supervector_s += sv_s;
+    sub->times_.audio_s += static_cast<double>(train[i].samples.size()) /
+                           corpus.config().sample_rate;
+  });
+
+  sub->tfllr_ = phonotactic::TfllrScaler(sub->builder_->dimension());
+  for (const auto& sv : train_svs) sub->tfllr_.accumulate(sv);
+  sub->tfllr_.finalize();
+  if (spec.use_tfllr) {
+    for (auto& sv : train_svs) sub->tfllr_.transform(sv);
+  }
+  sub->train_supervectors_ = std::move(train_svs);
+
+  PHONOLID_INFO("core") << "built subsystem " << spec.name << ": "
+                        << spec.num_phones << " phones, supervector dim "
+                        << sub->builder_->dimension();
+  return sub;
+}
+
+decoder::Lattice Subsystem::decode(const corpus::Utterance& utt) const {
+  const util::Matrix feats = features_->process(utt.samples);
+  return decoder_->decode(feats);
+}
+
+phonotactic::SparseVec Subsystem::process(const corpus::Utterance& utt) const {
+  util::WallTimer feature_timer;
+  const util::Matrix feats = features_->process(utt.samples);
+  const double feat_s = feature_timer.seconds();
+
+  util::WallTimer decode_timer;
+  const decoder::Lattice lattice = decoder_->decode(feats);
+  const double dec_s = decode_timer.seconds();
+
+  util::WallTimer sv_timer;
+  phonotactic::SparseVec sv = builder_->build(lattice);
+  if (spec_.use_tfllr) tfllr_.transform(sv);
+  const double sv_s = sv_timer.seconds();
+
+  {
+    std::lock_guard lock(times_mutex_);
+    times_.feature_s += feat_s;
+    times_.decode_s += dec_s;
+    times_.supervector_s += sv_s;
+    times_.audio_s += static_cast<double>(utt.samples.size()) /
+                      features_->config().mfcc.sample_rate;
+  }
+  return sv;
+}
+
+std::vector<phonotactic::SparseVec> Subsystem::process_all(
+    const corpus::Dataset& data) const {
+  std::vector<phonotactic::SparseVec> out(data.size());
+  util::parallel_for(0, data.size(), [&](std::size_t i) {
+    out[i] = process(data[i]);
+  });
+  return out;
+}
+
+StageTimes Subsystem::stage_times() const {
+  std::lock_guard lock(times_mutex_);
+  return times_;
+}
+
+void Subsystem::reset_stage_times() const {
+  std::lock_guard lock(times_mutex_);
+  times_ = StageTimes{};
+}
+
+}  // namespace phonolid::core

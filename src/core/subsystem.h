@@ -1,0 +1,105 @@
+// One PPRVSM subsystem: front-end phone recognizer + supervector chain.
+//
+// Owns everything from raw audio to TFLLR-scaled supervectors for one
+// front-end: the phone-set map, the feature pipeline, the trained acoustic
+// model, the phone-loop lattice decoder, and the N-gram supervector
+// builder.  The DBA iteration re-trains only the VSM on top; all Subsystem
+// stages are computed once per utterance, which is the source of the
+// paper's C_DBA/C_baseline ≈ 1 result (§5.4).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "am/gmm_hmm.h"
+#include "am/nn_hmm.h"
+#include "core/frontend_spec.h"
+#include "corpus/dataset.h"
+#include "decoder/phone_loop_decoder.h"
+#include "phonotactic/supervector.h"
+#include "svm/vsm.h"
+
+namespace phonolid::core {
+
+/// Accumulated wall-clock per pipeline stage, for the paper's real-time
+/// factor analysis (Table 5) and cost model (Eq. 16-19).
+struct StageTimes {
+  double feature_s = 0.0;
+  double decode_s = 0.0;
+  double supervector_s = 0.0;
+  double audio_s = 0.0;  // seconds of audio processed
+
+  StageTimes& operator+=(const StageTimes& o) noexcept {
+    feature_s += o.feature_s;
+    decode_s += o.decode_s;
+    supervector_s += o.supervector_s;
+    audio_s += o.audio_s;
+    return *this;
+  }
+};
+
+class Subsystem {
+ public:
+  /// Train the front-end on its native-language aligned audio and fit the
+  /// TFLLR background on the VSM training set.  The scaled training-set
+  /// supervectors computed during the TFLLR fit are cached and retrievable
+  /// once via take_train_supervectors().
+  static std::unique_ptr<Subsystem> build(const corpus::LreCorpus& corpus,
+                                          const FrontEndSpec& spec,
+                                          std::uint64_t seed);
+
+  Subsystem(const Subsystem&) = delete;
+  Subsystem& operator=(const Subsystem&) = delete;
+
+  [[nodiscard]] const FrontEndSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const std::string& name() const noexcept { return spec_.name; }
+  [[nodiscard]] std::size_t supervector_dim() const noexcept {
+    return builder_->dimension();
+  }
+  [[nodiscard]] const am::PhoneSetMap& phone_map() const noexcept {
+    return phone_map_;
+  }
+  [[nodiscard]] const am::AcousticModel& acoustic_model() const noexcept {
+    return *model_;
+  }
+
+  /// VSM training-set supervectors cached during build (moves them out).
+  [[nodiscard]] std::vector<phonotactic::SparseVec> take_train_supervectors() {
+    return std::move(train_supervectors_);
+  }
+
+  /// Decode one utterance to a posterior lattice (exposed for examples and
+  /// diagnostics).
+  [[nodiscard]] decoder::Lattice decode(const corpus::Utterance& utt) const;
+
+  /// Full chain for one utterance: audio -> features -> lattice -> TFLLR
+  /// supervector.
+  [[nodiscard]] phonotactic::SparseVec process(
+      const corpus::Utterance& utt) const;
+
+  /// Parallel batch processing; also accumulates stage times.
+  [[nodiscard]] std::vector<phonotactic::SparseVec> process_all(
+      const corpus::Dataset& data) const;
+
+  /// Stage-time counters (accumulated across every process/process_all call).
+  [[nodiscard]] StageTimes stage_times() const;
+  void reset_stage_times() const;
+
+ private:
+  Subsystem() = default;
+
+  FrontEndSpec spec_;
+  am::PhoneSetMap phone_map_;
+  std::unique_ptr<dsp::FeaturePipeline> features_;
+  std::unique_ptr<am::AcousticModel> model_;
+  std::unique_ptr<decoder::PhoneLoopDecoder> decoder_;
+  std::unique_ptr<phonotactic::SupervectorBuilder> builder_;
+  phonotactic::TfllrScaler tfllr_;
+  std::vector<phonotactic::SparseVec> train_supervectors_;
+
+  mutable std::mutex times_mutex_;
+  mutable StageTimes times_;
+};
+
+}  // namespace phonolid::core

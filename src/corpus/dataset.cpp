@@ -1,0 +1,193 @@
+#include "corpus/dataset.h"
+
+#include <atomic>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace phonolid::corpus {
+
+const char* to_string(DurationTier tier) noexcept {
+  switch (tier) {
+    case DurationTier::k30s: return "30s";
+    case DurationTier::k10s: return "10s";
+    case DurationTier::k3s: return "3s";
+  }
+  return "?";
+}
+
+CorpusConfig CorpusConfig::preset(util::Scale scale, std::uint64_t seed) {
+  CorpusConfig c;
+  c.seed = seed;
+  switch (scale) {
+    case util::Scale::kQuick:
+      c.num_universal_phones = 30;
+      c.family.num_languages = 6;
+      c.num_native_languages = 6;
+      c.am_train_utts_per_native = 32;
+      c.am_train_seconds = 2.5;
+      c.train_utts_per_language = 24;
+      c.dev_utts_per_language_per_tier = 4;
+      c.test_utts_per_language_per_tier = 10;
+      c.tier_seconds[0] = 1.6;
+      c.tier_seconds[1] = 0.7;
+      c.tier_seconds[2] = 0.35;
+      c.train_seconds = 1.6;
+      break;
+    case util::Scale::kDefault:
+      // Defaults in the struct definition.
+      break;
+    case util::Scale::kFull:
+      c.num_universal_phones = 48;
+      c.family.num_languages = 14;
+      c.num_native_languages = 6;
+      c.am_train_utts_per_native = 80;
+      c.am_train_seconds = 4.0;
+      c.train_utts_per_language = 120;
+      c.dev_utts_per_language_per_tier = 10;
+      c.test_utts_per_language_per_tier = 50;
+      c.tier_seconds[0] = 4.5;
+      c.tier_seconds[1] = 1.5;
+      c.tier_seconds[2] = 0.5;
+      c.train_seconds = 4.5;
+      break;
+  }
+  return c;
+}
+
+namespace {
+
+/// Renders `count` utterances in parallel into `out` (resized first), with
+/// RNG streams derived from (seed, salt, index) so the result is identical
+/// under any thread count.
+struct RenderJob {
+  std::int32_t language = -1;
+  DurationTier tier = DurationTier::k30s;
+  const LanguageSpec* spec = nullptr;
+  double seconds = 1.0;
+  bool keep_alignment = false;
+  bool test_channel = false;
+};
+
+void render_jobs(const PhoneInventory& inventory, const Synthesizer& synth,
+                 std::uint64_t seed, std::uint64_t salt,
+                 const std::vector<RenderJob>& jobs, Dataset& out) {
+  out.resize(jobs.size());
+  util::parallel_for(0, jobs.size(), [&](std::size_t i) {
+    util::Rng rng(util::derive_stream(seed, salt * 0x10001ull + i));
+    const RenderJob& job = jobs[i];
+    const auto phones = job.spec->sample_sequence(inventory, job.seconds, rng);
+    const SpeakerProfile speaker = SpeakerProfile::sample(rng);
+    const ChannelProfile channel = job.test_channel
+                                       ? ChannelProfile::sample_test(rng)
+                                       : ChannelProfile::sample(rng);
+    RenderedUtterance rendered = synth.render(phones, speaker, channel, rng);
+    Utterance& utt = out[i];
+    utt.id = salt * 1000000ull + i;
+    utt.language = job.language;
+    utt.tier = job.tier;
+    utt.samples = std::move(rendered.samples);
+    if (job.keep_alignment) utt.alignment = std::move(rendered.alignment);
+  });
+}
+
+}  // namespace
+
+LreCorpus LreCorpus::build(const CorpusConfig& config) {
+  LreCorpus corpus;
+  corpus.config_ = config;
+  corpus.inventory_ =
+      build_universal_inventory(config.num_universal_phones, config.seed);
+  corpus.targets_ =
+      build_language_family(corpus.inventory_, config.family, config.seed);
+  corpus.natives_.reserve(config.num_native_languages);
+  for (std::size_t n = 0; n < config.num_native_languages; ++n) {
+    corpus.natives_.push_back(build_language(
+        corpus.inventory_, "native" + std::to_string(n),
+        config.family.concentration, config.family.subset_fraction,
+        util::derive_stream(config.seed, 0xB000 + n)));
+  }
+
+  const Synthesizer synth(corpus.inventory_, config.sample_rate);
+  const std::size_t k = corpus.targets_.size();
+
+  // Acoustic-model training sets: phone-aligned, one per native language.
+  corpus.am_train_.resize(config.num_native_languages);
+  for (std::size_t n = 0; n < config.num_native_languages; ++n) {
+    std::vector<RenderJob> jobs(config.am_train_utts_per_native);
+    for (auto& job : jobs) {
+      job.language = -1;
+      job.spec = &corpus.natives_[n];
+      job.seconds = config.am_train_seconds;
+      job.keep_alignment = true;
+    }
+    render_jobs(corpus.inventory_, synth, config.seed, 10 + n, jobs,
+                corpus.am_train_[n]);
+  }
+
+  // VSM training set: long utterances, per target language.
+  {
+    std::vector<RenderJob> jobs;
+    jobs.reserve(k * config.train_utts_per_language);
+    for (std::size_t lang = 0; lang < k; ++lang) {
+      for (std::size_t u = 0; u < config.train_utts_per_language; ++u) {
+        RenderJob job;
+        job.language = static_cast<std::int32_t>(lang);
+        job.spec = &corpus.targets_[lang];
+        job.seconds = config.train_seconds;
+        jobs.push_back(job);
+      }
+    }
+    render_jobs(corpus.inventory_, synth, config.seed, 100, jobs,
+                corpus.vsm_train_);
+  }
+
+  // Dev and test: all tiers, test channel conditions for the test set.
+  const auto build_tiered = [&](std::size_t per_lang_per_tier, bool test_channel,
+                                std::uint64_t salt, Dataset& out) {
+    std::vector<RenderJob> jobs;
+    jobs.reserve(k * per_lang_per_tier * kNumTiers);
+    for (std::size_t tier = 0; tier < kNumTiers; ++tier) {
+      for (std::size_t lang = 0; lang < k; ++lang) {
+        for (std::size_t u = 0; u < per_lang_per_tier; ++u) {
+          RenderJob job;
+          job.language = static_cast<std::int32_t>(lang);
+          job.tier = static_cast<DurationTier>(tier);
+          job.spec = &corpus.targets_[lang];
+          job.seconds = config.tier_seconds[tier];
+          job.test_channel = test_channel;
+          jobs.push_back(job);
+        }
+      }
+    }
+    render_jobs(corpus.inventory_, synth, config.seed, salt, jobs, out);
+  };
+  build_tiered(config.dev_utts_per_language_per_tier, false, 200, corpus.dev_);
+  build_tiered(config.test_utts_per_language_per_tier, true, 300, corpus.test_);
+
+  PHONOLID_INFO("corpus") << "built corpus: " << k << " target languages, "
+                          << corpus.vsm_train_.size() << " train / "
+                          << corpus.dev_.size() << " dev / "
+                          << corpus.test_.size() << " test utterances";
+  return corpus;
+}
+
+namespace {
+std::vector<std::size_t> tier_indices(const Dataset& set, DurationTier tier) {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    if (set[i].tier == tier) idx.push_back(i);
+  }
+  return idx;
+}
+}  // namespace
+
+std::vector<std::size_t> LreCorpus::test_indices(DurationTier tier) const {
+  return tier_indices(test_, tier);
+}
+
+std::vector<std::size_t> LreCorpus::dev_indices(DurationTier tier) const {
+  return tier_indices(dev_, tier);
+}
+
+}  // namespace phonolid::corpus

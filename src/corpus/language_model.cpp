@@ -1,0 +1,169 @@
+#include "corpus/language_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace phonolid::corpus {
+
+namespace {
+
+void normalize(std::vector<double>& v) {
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  if (sum <= 0.0) {
+    std::fill(v.begin(), v.end(), 1.0 / static_cast<double>(v.size()));
+    return;
+  }
+  for (auto& x : v) x /= sum;
+}
+
+/// Gamma(shape, 1) sampler (Marsaglia-Tsang for shape >= 1, boost for < 1);
+/// used to draw Dirichlet rows.
+double sample_gamma(double shape, util::Rng& rng) {
+  if (shape < 1.0) {
+    const double u = std::max(rng.uniform(), 1e-12);
+    return sample_gamma(shape + 1.0, rng) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = rng.gaussian();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = std::max(rng.uniform(), 1e-12);
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+std::vector<double> sample_dirichlet_row(std::size_t n, double concentration,
+                                         const std::vector<bool>& active,
+                                         util::Rng& rng) {
+  std::vector<double> row(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (active[i]) row[i] = sample_gamma(concentration, rng) + 1e-9;
+  }
+  normalize(row);
+  return row;
+}
+
+}  // namespace
+
+LanguageSpec::LanguageSpec(std::string name, std::vector<double> initial,
+                           std::vector<std::vector<double>> bigram)
+    : name_(std::move(name)),
+      initial_(std::move(initial)),
+      bigram_(std::move(bigram)) {
+  if (bigram_.size() != initial_.size()) {
+    throw std::invalid_argument("bigram row count != phone count");
+  }
+  for (const auto& row : bigram_) {
+    if (row.size() != initial_.size()) {
+      throw std::invalid_argument("bigram row has wrong width");
+    }
+  }
+}
+
+std::vector<std::size_t> LanguageSpec::sample_sequence(
+    const PhoneInventory& inventory, double target_seconds,
+    util::Rng& rng) const {
+  assert(inventory.size() == num_phones());
+  std::vector<std::size_t> seq;
+  seq.reserve(static_cast<std::size_t>(target_seconds / 0.05) + 4);
+  double elapsed = 0.0;
+  std::size_t current = rng.categorical(initial_);
+  while (elapsed < target_seconds) {
+    seq.push_back(current);
+    elapsed += std::max(0.02, inventory.phone(current).duration_mean_s);
+    current = rng.categorical(bigram_[current]);
+  }
+  return seq;
+}
+
+double LanguageSpec::bigram_distance(const LanguageSpec& a,
+                                     const LanguageSpec& b) {
+  if (a.num_phones() != b.num_phones()) {
+    throw std::invalid_argument("bigram_distance: size mismatch");
+  }
+  double dist = 0.0;
+  for (std::size_t p = 0; p < a.num_phones(); ++p) {
+    double row = 0.0;
+    for (std::size_t q = 0; q < a.num_phones(); ++q) {
+      row += std::abs(a.bigram_[p][q] - b.bigram_[p][q]);
+    }
+    dist += 0.5 * row;  // total variation per row
+  }
+  return dist / static_cast<double>(a.num_phones());
+}
+
+LanguageSpec build_language(const PhoneInventory& inventory, std::string name,
+                            double concentration, double subset_fraction,
+                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  const std::size_t n = inventory.size();
+
+  // Choose the phone subset this language uses.
+  const auto subset_size = std::max<std::size_t>(
+      4, static_cast<std::size_t>(std::lround(subset_fraction * static_cast<double>(n))));
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  rng.shuffle(order);
+  std::vector<bool> active(n, false);
+  for (std::size_t i = 0; i < subset_size; ++i) active[order[i]] = true;
+
+  std::vector<double> initial = sample_dirichlet_row(n, concentration, active, rng);
+  std::vector<std::vector<double>> bigram(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    if (active[p]) {
+      bigram[p] = sample_dirichlet_row(n, concentration, active, rng);
+    } else {
+      // Inactive phones never occur, but keep valid fallback rows so the
+      // chain is total (robust to label noise in tests).
+      bigram[p] = initial;
+    }
+  }
+  return LanguageSpec(std::move(name), std::move(initial), std::move(bigram));
+}
+
+std::vector<LanguageSpec> build_language_family(const PhoneInventory& inventory,
+                                                const LanguageFamilyConfig& config,
+                                                std::uint64_t seed) {
+  std::vector<LanguageSpec> langs;
+  langs.reserve(config.num_languages);
+  for (std::size_t k = 0; k < config.num_languages; ++k) {
+    std::string name = "lang" + std::to_string(k);
+    const std::uint64_t lang_seed = util::derive_stream(seed, 0xA000 + k);
+    const bool sibling = config.sibling_stride > 0 && k > 0 &&
+                         (k % config.sibling_stride) == (config.sibling_stride - 1);
+    LanguageSpec fresh = build_language(inventory, name, config.concentration,
+                                        config.subset_fraction, lang_seed);
+    if (!sibling) {
+      langs.push_back(std::move(fresh));
+      continue;
+    }
+    // Sibling: interpolate towards the previous language's chain.
+    const LanguageSpec& parent = langs.back();
+    const double w = config.sibling_similarity;
+    std::vector<double> initial(inventory.size());
+    for (std::size_t i = 0; i < initial.size(); ++i) {
+      initial[i] = w * parent.initial()[i] + (1.0 - w) * fresh.initial()[i];
+    }
+    std::vector<std::vector<double>> bigram(inventory.size());
+    for (std::size_t p = 0; p < bigram.size(); ++p) {
+      bigram[p].resize(inventory.size());
+      for (std::size_t q = 0; q < bigram[p].size(); ++q) {
+        bigram[p][q] =
+            w * parent.bigram()[p][q] + (1.0 - w) * fresh.bigram()[p][q];
+      }
+    }
+    langs.emplace_back(name + "_sib", std::move(initial), std::move(bigram));
+  }
+  return langs;
+}
+
+}  // namespace phonolid::corpus

@@ -1,0 +1,62 @@
+#include "corpus/phone_inventory.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace phonolid::corpus {
+
+PhoneInventory build_universal_inventory(std::size_t num_phones,
+                                         std::uint64_t seed) {
+  util::Rng rng(util::derive_stream(seed, 0x9051ull));
+  std::vector<PhoneDef> phones;
+  phones.reserve(num_phones);
+
+  // Lay phones on a roughly square grid in perceptual (F1, F2) space.
+  const auto grid =
+      static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(num_phones))));
+  const double f1_lo = 250.0, f1_hi = 900.0;   // vowel-like F1 range
+  const double f2_lo = 800.0, f2_hi = 2600.0;  // F2 range
+
+  for (std::size_t i = 0; i < num_phones; ++i) {
+    const std::size_t gx = i % grid;
+    const std::size_t gy = i / grid;
+    PhoneDef p;
+    char label[24];
+    std::snprintf(label, sizeof label, "p%02zu", i);
+    p.label = label;
+
+    const double fx = (grid > 1) ? static_cast<double>(gx) / static_cast<double>(grid - 1) : 0.5;
+    const double fy = (grid > 1) ? static_cast<double>(gy) / static_cast<double>(grid - 1) : 0.5;
+    // Jitter keeps the grid from being perfectly regular; +-12% of a cell.
+    const double jx = rng.uniform(-0.12, 0.12) / static_cast<double>(grid);
+    const double jy = rng.uniform(-0.12, 0.12) / static_cast<double>(grid);
+
+    p.formant_hz[0] = f1_lo + (f1_hi - f1_lo) * std::min(1.0, std::max(0.0, fx + jx));
+    p.formant_hz[1] = f2_lo + (f2_hi - f2_lo) * std::min(1.0, std::max(0.0, fy + jy));
+    // Keep the vowel-space ordering F2 > F1 (true of natural speech and
+    // assumed by the formant-space clustering in am::build_phone_map).
+    p.formant_hz[1] = std::max(p.formant_hz[1], p.formant_hz[0] + 150.0);
+    p.formant_hz[2] = 2800.0 + rng.uniform(0.0, 700.0);
+
+    p.formant_bw[0] = rng.uniform(60.0, 120.0);
+    p.formant_bw[1] = rng.uniform(80.0, 160.0);
+    p.formant_bw[2] = rng.uniform(120.0, 240.0);
+
+    p.formant_amp[0] = 1.0;
+    p.formant_amp[1] = rng.uniform(0.4, 0.8);
+    p.formant_amp[2] = rng.uniform(0.1, 0.3);
+
+    // Roughly a third of the inventory behaves like obstruents: noisier,
+    // shorter, sometimes unvoiced.
+    const bool obstruent = rng.uniform() < 0.35;
+    p.voiced = !obstruent || rng.bernoulli(0.4);
+    p.noise_fraction = obstruent ? rng.uniform(0.45, 0.85) : rng.uniform(0.02, 0.15);
+    p.duration_mean_s = obstruent ? rng.uniform(0.04, 0.08) : rng.uniform(0.06, 0.14);
+    p.duration_std_s = p.duration_mean_s * 0.25;
+
+    phones.push_back(std::move(p));
+  }
+  return PhoneInventory(std::move(phones));
+}
+
+}  // namespace phonolid::corpus

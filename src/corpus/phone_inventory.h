@@ -1,0 +1,58 @@
+// Universal phone inventory for the synthetic corpus.
+//
+// The paper's closed corpora (NIST LRE 2009 audio, Switchboard, CallFriend,
+// VOA...) are unavailable, so phonolid synthesises speech-like audio from an
+// inventory of abstract phones.  Each phone is an acoustic prototype: a set
+// of formant resonances (frequency + bandwidth + amplitude), a voicing flag,
+// a fricative-noise fraction and a duration distribution.  Languages differ
+// *phonotactically* (which phones follow which), which is exactly the signal
+// PPRVSM exploits; the acoustic layer exists so the phone recognizers are
+// realistically error-prone and channel/speaker sensitive.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace phonolid::corpus {
+
+inline constexpr std::size_t kMaxFormants = 3;
+
+struct PhoneDef {
+  std::string label;                     // e.g. "p07"
+  double formant_hz[kMaxFormants] = {};  // resonance centre frequencies
+  double formant_bw[kMaxFormants] = {};  // bandwidths (Hz)
+  double formant_amp[kMaxFormants] = {}; // relative amplitudes
+  bool voiced = true;                    // harmonic vs noise excitation mix
+  double noise_fraction = 0.1;           // aperiodic energy share
+  double duration_mean_s = 0.08;         // mean phone length, seconds
+  double duration_std_s = 0.02;
+};
+
+/// The shared phone set all languages draw from.
+class PhoneInventory {
+ public:
+  PhoneInventory() = default;
+  explicit PhoneInventory(std::vector<PhoneDef> phones)
+      : phones_(std::move(phones)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return phones_.size(); }
+  [[nodiscard]] const PhoneDef& phone(std::size_t i) const { return phones_.at(i); }
+  [[nodiscard]] const std::vector<PhoneDef>& phones() const noexcept {
+    return phones_;
+  }
+
+ private:
+  std::vector<PhoneDef> phones_;
+};
+
+/// Deterministically builds `num_phones` acoustically spread prototypes.
+/// Phones are placed on a jittered grid in (F1, F2) space so that most pairs
+/// are separable but near neighbours confuse — the error source the DBA
+/// voting criterion has to survive.
+PhoneInventory build_universal_inventory(std::size_t num_phones,
+                                         std::uint64_t seed);
+
+}  // namespace phonolid::corpus

@@ -1,0 +1,128 @@
+#include "corpus/synthesizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace phonolid::corpus {
+
+SpeakerProfile SpeakerProfile::sample(util::Rng& rng) {
+  SpeakerProfile s;
+  s.vtl_factor = rng.uniform(0.88, 1.14);
+  s.pitch_hz = rng.uniform(85.0, 220.0);
+  s.rate_factor = rng.uniform(0.85, 1.2);
+  s.breathiness = rng.uniform(0.02, 0.1);
+  return s;
+}
+
+ChannelProfile ChannelProfile::sample(util::Rng& rng) {
+  ChannelProfile c;
+  c.tilt = rng.uniform(-0.3, 0.3);
+  c.snr_db = rng.uniform(18.0, 32.0);
+  c.gain = rng.uniform(0.6, 1.4);
+  return c;
+}
+
+ChannelProfile ChannelProfile::sample_test(util::Rng& rng) {
+  ChannelProfile c;
+  // Wider tilt range and lower SNR floor: the test side is noisier and more
+  // varied than training, as in real evaluation data.
+  c.tilt = rng.uniform(-0.6, 0.6);
+  c.snr_db = rng.uniform(8.0, 26.0);
+  c.gain = rng.uniform(0.35, 1.8);
+  return c;
+}
+
+Synthesizer::Synthesizer(const PhoneInventory& inventory, double sample_rate)
+    : inventory_(&inventory), sample_rate_(sample_rate) {}
+
+RenderedUtterance Synthesizer::render(const std::vector<std::size_t>& phones,
+                                      const SpeakerProfile& speaker,
+                                      const ChannelProfile& channel,
+                                      util::Rng& rng) const {
+  RenderedUtterance out;
+  out.alignment.reserve(phones.size());
+
+  // First pass: durations -> total length.
+  std::vector<std::size_t> lengths(phones.size());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < phones.size(); ++i) {
+    const PhoneDef& def = inventory_->phone(phones[i]);
+    double dur = rng.gaussian(def.duration_mean_s, def.duration_std_s) /
+                 speaker.rate_factor;
+    dur = std::clamp(dur, 0.03, 0.4);
+    lengths[i] = static_cast<std::size_t>(dur * sample_rate_);
+    total += lengths[i];
+  }
+  out.samples.assign(total, 0.0f);
+
+  const double dt = 1.0 / sample_rate_;
+  const double nyquist = sample_rate_ / 2.0;
+  std::size_t cursor = 0;
+  double pitch_phase = 0.0;
+  for (std::size_t i = 0; i < phones.size(); ++i) {
+    const PhoneDef& def = inventory_->phone(phones[i]);
+    const std::size_t len = lengths[i];
+    out.alignment.push_back({phones[i], cursor, cursor + len});
+
+    // Formant oscillator phases start fresh each phone; slight random
+    // detuning models coarticulation variability.
+    double phase[kMaxFormants] = {rng.uniform(0.0, 2.0 * std::numbers::pi),
+                                  rng.uniform(0.0, 2.0 * std::numbers::pi),
+                                  rng.uniform(0.0, 2.0 * std::numbers::pi)};
+    double freq[kMaxFormants];
+    for (std::size_t f = 0; f < kMaxFormants; ++f) {
+      const double detune = 1.0 + rng.uniform(-0.03, 0.03);
+      freq[f] = std::min(def.formant_hz[f] * speaker.vtl_factor * detune,
+                         nyquist * 0.95);
+    }
+
+    for (std::size_t t = 0; t < len; ++t) {
+      // Raised-cosine amplitude envelope avoids clicks at phone joins.
+      const double pos = static_cast<double>(t) / static_cast<double>(std::max<std::size_t>(len, 1));
+      const double env = 0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * std::min(pos, 1.0)));
+
+      double harmonic = 0.0;
+      for (std::size_t f = 0; f < kMaxFormants; ++f) {
+        harmonic += def.formant_amp[f] * std::sin(phase[f]);
+        phase[f] += 2.0 * std::numbers::pi * freq[f] * dt;
+      }
+      // Voiced excitation: amplitude-modulate formants by the glottal cycle.
+      if (def.voiced) {
+        const double glottal = 0.6 + 0.4 * std::sin(pitch_phase);
+        harmonic *= glottal;
+        pitch_phase += 2.0 * std::numbers::pi * speaker.pitch_hz * dt;
+      }
+      const double noise = rng.gaussian();
+      const double mix = (1.0 - def.noise_fraction) * harmonic +
+                         (def.noise_fraction + speaker.breathiness) * noise * 0.7;
+      out.samples[cursor + t] = static_cast<float>(env * mix * 0.3);
+    }
+    cursor += len;
+  }
+
+  // Channel: one-pole tilt filter y[t] = x[t] + tilt * y[t-1], then additive
+  // noise at the requested SNR, then gain.
+  double prev = 0.0;
+  double signal_power = 0.0;
+  for (auto& s : out.samples) {
+    const double y = s + channel.tilt * prev;
+    prev = y;
+    s = static_cast<float>(y);
+    signal_power += y * y;
+  }
+  if (!out.samples.empty()) {
+    signal_power /= static_cast<double>(out.samples.size());
+    const double noise_power =
+        signal_power / std::pow(10.0, channel.snr_db / 10.0);
+    const double noise_std = std::sqrt(std::max(noise_power, 0.0));
+    for (auto& s : out.samples) {
+      s = static_cast<float>(
+          (s + noise_std * rng.gaussian()) * channel.gain);
+    }
+  }
+  return out;
+}
+
+}  // namespace phonolid::corpus

@@ -1,0 +1,71 @@
+// Waveform synthesis: phone sequence -> speech-like audio.
+//
+// Formant synthesis in miniature: each phone excites 2-3 damped resonances
+// (voiced phones with a harmonic pulse component, obstruents with noise),
+// modulated by speaker vocal-tract scaling and pitch, then coloured by a
+// channel (spectral tilt + additive noise + gain).  This reproduces the
+// train/test variability the paper names — "speakers, background noise,
+// channel conditions" — which is precisely the robustness gap DBA's
+// transductive adoption of test data is designed to close.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/language_model.h"
+#include "corpus/phone_inventory.h"
+#include "util/rng.h"
+
+namespace phonolid::corpus {
+
+struct SpeakerProfile {
+  double vtl_factor = 1.0;     // formant scaling (vocal tract length)
+  double pitch_hz = 120.0;     // fundamental for voiced excitation
+  double rate_factor = 1.0;    // speaking-rate multiplier on durations
+  double breathiness = 0.05;   // extra aspiration noise
+
+  static SpeakerProfile sample(util::Rng& rng);
+};
+
+struct ChannelProfile {
+  double tilt = 0.0;           // one-pole spectral tilt in [-0.6, 0.6]
+  double snr_db = 25.0;        // additive white noise level
+  double gain = 1.0;
+
+  static ChannelProfile sample(util::Rng& rng);
+  /// Harder channel distribution used for the *test* side, so test
+  /// conditions genuinely differ from training (paper §1).
+  static ChannelProfile sample_test(util::Rng& rng);
+};
+
+/// Ground-truth phone timing for acoustic-model supervision.
+struct PhoneAlignment {
+  std::size_t phone = 0;        // universal phone id
+  std::size_t start_sample = 0;
+  std::size_t end_sample = 0;   // exclusive
+};
+
+struct RenderedUtterance {
+  std::vector<float> samples;
+  std::vector<PhoneAlignment> alignment;
+};
+
+class Synthesizer {
+ public:
+  explicit Synthesizer(const PhoneInventory& inventory,
+                       double sample_rate = 8000.0);
+
+  [[nodiscard]] double sample_rate() const noexcept { return sample_rate_; }
+
+  /// Render a phone sequence to audio with per-phone alignment.
+  [[nodiscard]] RenderedUtterance render(const std::vector<std::size_t>& phones,
+                                         const SpeakerProfile& speaker,
+                                         const ChannelProfile& channel,
+                                         util::Rng& rng) const;
+
+ private:
+  const PhoneInventory* inventory_;
+  double sample_rate_;
+};
+
+}  // namespace phonolid::corpus

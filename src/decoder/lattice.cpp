@@ -1,0 +1,111 @@
+#include "decoder/lattice.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/math_util.h"
+
+namespace phonolid::decoder {
+
+Lattice::Lattice(std::size_t num_frames, std::vector<LatticeEdge> edges)
+    : num_frames_(num_frames), edges_(std::move(edges)) {
+  for (const auto& e : edges_) {
+    if (e.end_node <= e.start_node || e.end_node > num_frames_) {
+      throw std::invalid_argument("Lattice: malformed edge");
+    }
+  }
+}
+
+const std::vector<std::vector<std::uint32_t>>& Lattice::adjacency() const {
+  if (!adjacency_valid_) {
+    adjacency_.assign(num_nodes(), {});
+    for (std::uint32_t i = 0; i < edges_.size(); ++i) {
+      adjacency_[edges_[i].start_node].push_back(i);
+    }
+    adjacency_valid_ = true;
+  }
+  return adjacency_;
+}
+
+double Lattice::forward_backward(double acoustic_scale,
+                                 std::vector<double>& alpha,
+                                 std::vector<double>& beta) const {
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  const std::size_t nodes = num_nodes();
+  alpha.assign(nodes, kNegInf);
+  beta.assign(nodes, kNegInf);
+  if (nodes == 0) return kNegInf;
+  alpha[0] = 0.0;
+  beta[nodes - 1] = 0.0;
+  if (edges_.empty()) return kNegInf;
+
+  // Edges sorted by start node give a topological order over this
+  // time-indexed DAG (end > start always).
+  std::vector<std::uint32_t> order(edges_.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](std::uint32_t a, std::uint32_t b) {
+    return edges_[a].start_node < edges_[b].start_node;
+  });
+
+  for (std::uint32_t i : order) {
+    const auto& e = edges_[i];
+    if (alpha[e.start_node] == kNegInf) continue;
+    const double w = alpha[e.start_node] + acoustic_scale * e.score;
+    alpha[e.end_node] = util::log_add(alpha[e.end_node], w);
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const auto& e = edges_[*it];
+    if (beta[e.end_node] == kNegInf) continue;
+    const double w = beta[e.end_node] + acoustic_scale * e.score;
+    beta[e.start_node] = util::log_add(beta[e.start_node], w);
+  }
+  return alpha[nodes - 1];
+}
+
+double Lattice::compute_posteriors(double acoustic_scale,
+                                   double prune_threshold) {
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  if (edges_.empty()) return kNegInf;
+
+  std::vector<double> alpha, beta;
+  const double total = forward_backward(acoustic_scale, alpha, beta);
+  if (total == kNegInf) {
+    // No complete path (should not happen for decoder output).
+    for (auto& e : edges_) e.posterior = 0.0;
+    return total;
+  }
+
+  for (auto& e : edges_) {
+    if (alpha[e.start_node] == kNegInf || beta[e.end_node] == kNegInf) {
+      e.posterior = 0.0;
+      continue;
+    }
+    const double logp = alpha[e.start_node] + acoustic_scale * e.score +
+                        beta[e.end_node] - total;
+    e.posterior = std::exp(std::min(logp, 0.0));
+  }
+
+  if (prune_threshold > 0.0) {
+    edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                                [&](const LatticeEdge& e) {
+                                  return e.posterior < prune_threshold;
+                                }),
+                 edges_.end());
+    adjacency_valid_ = false;
+  }
+  return total;
+}
+
+std::vector<double> Lattice::frame_occupancy() const {
+  std::vector<double> occ(num_frames_, 0.0);
+  for (const auto& e : edges_) {
+    for (std::uint32_t t = e.start_node; t < e.end_node; ++t) {
+      occ[t] += e.posterior;
+    }
+  }
+  return occ;
+}
+
+}  // namespace phonolid::decoder

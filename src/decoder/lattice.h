@@ -1,0 +1,71 @@
+// Phone lattices.
+//
+// The decoder emits a time-indexed DAG: nodes are frame boundaries
+// (0..num_frames), edges are phone hypotheses with segment-local
+// log-scores (acoustic + HMM transitions).  Forward-backward over the DAG
+// produces the edge posteriors ξ(e) and node probabilities α/β used by the
+// paper's expected-count formula (its Eq. for c_E(h_i..h_{i+N-1}|ℓ)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace phonolid::decoder {
+
+struct LatticeEdge {
+  std::uint32_t start_node = 0;  // frame index where the phone begins
+  std::uint32_t end_node = 0;    // frame index one past the phone end
+  std::uint32_t phone = 0;       // front-end phone id
+  float score = 0.0f;            // segment log-score (unscaled)
+  /// Filled by compute_posteriors(): P(edge on path | lattice).
+  double posterior = 0.0;
+};
+
+class Lattice {
+ public:
+  Lattice() = default;
+  Lattice(std::size_t num_frames, std::vector<LatticeEdge> edges);
+
+  [[nodiscard]] std::size_t num_frames() const noexcept { return num_frames_; }
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return num_frames_ + 1; }
+  [[nodiscard]] const std::vector<LatticeEdge>& edges() const noexcept {
+    return edges_;
+  }
+  [[nodiscard]] std::vector<LatticeEdge>& edges() noexcept { return edges_; }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& best_path() const noexcept {
+    return best_path_;
+  }
+  void set_best_path(std::vector<std::uint32_t> path) {
+    best_path_ = std::move(path);
+  }
+
+  /// Edge indices leaving each node (built lazily, invalidated by edits).
+  [[nodiscard]] const std::vector<std::vector<std::uint32_t>>& adjacency() const;
+
+  /// Forward-backward node scores under `acoustic_scale`; returns the total
+  /// scaled log-probability (alpha of the final node), -inf if no complete
+  /// path exists.  alpha/beta are resized to num_nodes().
+  double forward_backward(double acoustic_scale, std::vector<double>& alpha,
+                          std::vector<double>& beta) const;
+
+  /// Runs forward-backward with the given acoustic scale, fills every
+  /// edge's `posterior`, removes edges with posterior < `prune_threshold`
+  /// (and any edge off every complete path), and returns the total scaled
+  /// log-probability of the lattice.  Returns -inf for an empty lattice.
+  double compute_posteriors(double acoustic_scale,
+                            double prune_threshold = 1e-6);
+
+  /// Sum of posteriors of edges covering each frame; == 1 for every frame
+  /// of a sound lattice (test invariant).
+  [[nodiscard]] std::vector<double> frame_occupancy() const;
+
+ private:
+  std::size_t num_frames_ = 0;
+  std::vector<LatticeEdge> edges_;
+  std::vector<std::uint32_t> best_path_;
+  mutable std::vector<std::vector<std::uint32_t>> adjacency_;
+  mutable bool adjacency_valid_ = false;
+};
+
+}  // namespace phonolid::decoder

@@ -1,0 +1,213 @@
+#include "decoder/phone_loop_decoder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace phonolid::decoder {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+PhoneLoopDecoder::PhoneLoopDecoder(const am::AcousticModel& model,
+                                   am::HmmTopology topology,
+                                   am::HmmTransitions transitions,
+                                   const DecoderConfig& config)
+    : model_(&model),
+      topology_(topology),
+      transitions_(std::move(transitions)),
+      config_(config) {
+  if (model.num_states() != topology_.num_states()) {
+    throw std::invalid_argument("decoder: model/topology state mismatch");
+  }
+  if (config_.phone_insertion_penalty == 0.0) {
+    config_.phone_insertion_penalty =
+        std::log(1.0 / static_cast<double>(std::max<std::size_t>(
+                          topology_.num_phones, 1)));
+  }
+}
+
+Lattice PhoneLoopDecoder::decode(const util::Matrix& features) const {
+  const std::size_t frames = features.rows();
+  const std::size_t num_phones = topology_.num_phones;
+  const std::size_t sp = topology_.states_per_phone;
+  if (frames == 0) return Lattice(0, {});
+
+  util::Matrix am_scores;
+  model_->score(features, am_scores);
+
+  // DP state per (phone, position): path score, entry frame, path score at
+  // entry (excluding this phone's own contributions).
+  struct Token {
+    double score = kNegInf;
+    std::uint32_t entry = 0;
+    double entry_base = 0.0;
+  };
+  std::vector<Token> cur(num_phones * sp), prev(num_phones * sp);
+  const auto idx = [sp](std::size_t p, std::size_t j) { return p * sp + j; };
+
+  // Boundary records: for boundary time t (phone ends after frame t-1),
+  // the best exiting phone and its entry frame (for 1-best traceback).
+  struct Boundary {
+    double best_exit = kNegInf;
+    std::uint32_t best_phone = 0;
+    std::uint32_t best_entry = 0;
+  };
+  std::vector<Boundary> boundaries(frames + 1);
+
+  std::vector<LatticeEdge> edges;
+  edges.reserve(frames * 4);
+
+  const double penalty = config_.phone_insertion_penalty;
+
+  // --- Frame 0: every phone may start. ---
+  for (std::size_t p = 0; p < num_phones; ++p) {
+    Token& tok = cur[idx(p, 0)];
+    tok.entry_base = 0.0;
+    tok.entry = 0;
+    tok.score = penalty + am_scores(0, topology_.state_of(p, 0));
+  }
+
+  // Per-boundary scratch for exit candidates: (phone, exit score, entry,
+  // entry_base).
+  struct ExitCand {
+    double score;
+    std::uint32_t entry;
+    double entry_base;
+  };
+  std::vector<ExitCand> exits(num_phones);
+
+  const auto harvest_boundary = [&](std::size_t boundary) {
+    // Called once per boundary t in 1..frames using `cur` == tokens after
+    // frame boundary-1.  Computes exit candidates, records lattice edges
+    // within the beam, and returns the entry score for new phones.
+    double best = kNegInf;
+    std::uint32_t best_p = 0;
+    for (std::size_t p = 0; p < num_phones; ++p) {
+      const Token& tok = cur[idx(p, sp - 1)];
+      ExitCand& cand = exits[p];
+      if (tok.score == kNegInf) {
+        cand.score = kNegInf;
+        continue;
+      }
+      const double exit_score =
+          tok.score +
+          transitions_.log_advance[topology_.state_of(p, sp - 1)];
+      cand.score = exit_score;
+      cand.entry = tok.entry;
+      cand.entry_base = tok.entry_base;
+      if (exit_score > best) {
+        best = exit_score;
+        best_p = static_cast<std::uint32_t>(p);
+      }
+    }
+    Boundary& b = boundaries[boundary];
+    b.best_exit = best;
+    b.best_phone = best_p;
+    b.best_entry = (best == kNegInf) ? 0 : exits[best_p].entry;
+    if (best == kNegInf) return kNegInf;
+    for (std::size_t p = 0; p < num_phones; ++p) {
+      const ExitCand& cand = exits[p];
+      if (cand.score == kNegInf || cand.score < best - config_.lattice_beam) {
+        continue;
+      }
+      LatticeEdge e;
+      e.start_node = cand.entry;
+      e.end_node = static_cast<std::uint32_t>(boundary);
+      e.phone = static_cast<std::uint32_t>(p);
+      e.score = static_cast<float>(cand.score - cand.entry_base);
+      edges.push_back(e);
+    }
+    return best;
+  };
+
+  for (std::size_t t = 1; t < frames; ++t) {
+    // Exits after frame t-1 (boundary t) — harvest reads `cur`, which still
+    // holds the frame t-1 tokens, and also emits lattice edges.
+    const double entry_score = harvest_boundary(t);
+    std::swap(cur, prev);  // prev = frame t-1 tokens, cur = scratch
+
+    for (std::size_t p = 0; p < num_phones; ++p) {
+      for (std::size_t j = 0; j < sp; ++j) {
+        const std::size_t state = topology_.state_of(p, j);
+        const Token& stay_tok = prev[idx(p, j)];
+        double stay = kNegInf, advance = kNegInf;
+        if (stay_tok.score != kNegInf) {
+          stay = stay_tok.score + transitions_.log_self[state];
+        }
+        if (j > 0 && prev[idx(p, j - 1)].score != kNegInf) {
+          advance = prev[idx(p, j - 1)].score +
+                    transitions_.log_advance[topology_.state_of(p, j - 1)];
+        }
+        Token& out = cur[idx(p, j)];
+        double enter = kNegInf;
+        if (j == 0 && entry_score != kNegInf) {
+          enter = entry_score + penalty;
+        }
+        if (stay >= advance && stay >= enter) {
+          if (stay == kNegInf) {
+            out.score = kNegInf;
+            continue;
+          }
+          out = stay_tok;
+          out.score = stay;
+        } else if (advance >= enter) {
+          out = prev[idx(p, j - 1)];
+          out.score = advance;
+        } else {
+          out.score = enter;
+          out.entry = static_cast<std::uint32_t>(t);
+          out.entry_base = entry_score;
+        }
+        out.score += am_scores(t, state);
+      }
+    }
+  }
+  // Final boundary.
+  const double final_best = harvest_boundary(frames);
+  if (final_best == kNegInf) {
+    // Pathological (e.g. single-frame utterance shorter than one HMM):
+    // fall back to a single best-state edge so downstream code sees a
+    // non-empty, sound lattice.
+    std::size_t best_state = 0;
+    float best_score = -std::numeric_limits<float>::infinity();
+    for (std::size_t s = 0; s < topology_.num_states(); ++s) {
+      float total = 0.0f;
+      for (std::size_t t = 0; t < frames; ++t) total += am_scores(t, s);
+      if (total > best_score) {
+        best_score = total;
+        best_state = s;
+      }
+    }
+    LatticeEdge e;
+    e.start_node = 0;
+    e.end_node = static_cast<std::uint32_t>(frames);
+    e.phone = static_cast<std::uint32_t>(topology_.phone_of(best_state));
+    e.score = best_score;
+    Lattice lat(frames, {e});
+    lat.compute_posteriors(config_.acoustic_scale, config_.posterior_prune);
+    lat.set_best_path({e.phone});
+    return lat;
+  }
+
+  Lattice lattice(frames, std::move(edges));
+  lattice.compute_posteriors(config_.acoustic_scale, config_.posterior_prune);
+
+  // 1-best phone sequence by boundary traceback.
+  std::vector<std::uint32_t> path;
+  std::size_t t = frames;
+  while (t > 0) {
+    const Boundary& b = boundaries[t];
+    path.push_back(b.best_phone);
+    assert(b.best_entry < t);
+    t = b.best_entry;
+  }
+  std::reverse(path.begin(), path.end());
+  lattice.set_best_path(std::move(path));
+  return lattice;
+}
+
+}  // namespace phonolid::decoder

@@ -1,0 +1,58 @@
+// Time-synchronous Viterbi phone-loop decoder with lattice output.
+//
+// The stand-in for HTK's HVite in the paper's pipeline (§4.1): speech is
+// tokenised by an unconstrained phone loop (no language model, as is
+// standard for LRE phonotactics) and a lattice of competitive phone
+// segmentations is emitted for expected-count analysis.
+//
+// Lattice generation: for each frame t and phone p the decoder keeps the
+// best score of a path that *ends* phone p at t along with the frame at
+// which that phone occurrence was entered.  Every (t, p) hypothesis within
+// `lattice_beam` of the frame-best exit score becomes a lattice edge with a
+// segment-local score — the classic Viterbi-lattice construction.
+#pragma once
+
+#include <cstdint>
+
+#include "am/hmm.h"
+#include "decoder/lattice.h"
+#include "util/matrix.h"
+
+namespace phonolid::decoder {
+
+struct DecoderConfig {
+  /// Log-score beam for admitting phone-end hypotheses into the lattice.
+  double lattice_beam = 10.0;
+  /// Uniform phone-loop transition penalty added at each phone boundary
+  /// (0 = log(1/num_phones) chosen automatically).
+  double phone_insertion_penalty = 0.0;
+  /// Acoustic scale used when computing lattice posteriors.
+  double acoustic_scale = 0.3;
+  /// Posterior floor below which edges are pruned after forward-backward.
+  double posterior_prune = 1e-4;
+};
+
+class PhoneLoopDecoder {
+ public:
+  PhoneLoopDecoder(const am::AcousticModel& model, am::HmmTopology topology,
+                   am::HmmTransitions transitions,
+                   const DecoderConfig& config = {});
+
+  [[nodiscard]] std::size_t num_phones() const noexcept {
+    return topology_.num_phones;
+  }
+  [[nodiscard]] const DecoderConfig& config() const noexcept { return config_; }
+
+  /// Decode a feature matrix into a posterior-annotated lattice.
+  /// The returned lattice already has posteriors computed and pruned and
+  /// its 1-best phone path filled in.
+  [[nodiscard]] Lattice decode(const util::Matrix& features) const;
+
+ private:
+  const am::AcousticModel* model_;
+  am::HmmTopology topology_;
+  am::HmmTransitions transitions_;
+  DecoderConfig config_;
+};
+
+}  // namespace phonolid::decoder

@@ -1,0 +1,102 @@
+#include "dsp/features.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace phonolid::dsp {
+
+util::Matrix add_deltas(const util::Matrix& features, std::size_t delta_window) {
+  const std::size_t frames = features.rows();
+  const std::size_t dim = features.cols();
+  util::Matrix out(frames, dim * 3);
+  if (frames == 0) return out;
+
+  const auto w = static_cast<std::ptrdiff_t>(delta_window);
+  double denom = 0.0;
+  for (std::ptrdiff_t k = 1; k <= w; ++k) denom += 2.0 * static_cast<double>(k * k);
+  const float inv_denom = static_cast<float>(1.0 / denom);
+
+  // value(t) clamped at utterance edges, applied to an arbitrary source.
+  const auto compute_delta = [&](const auto& src, std::size_t t, std::size_t d) {
+    float acc = 0.0f;
+    for (std::ptrdiff_t k = 1; k <= w; ++k) {
+      const auto tt = static_cast<std::ptrdiff_t>(t);
+      const auto last = static_cast<std::ptrdiff_t>(frames) - 1;
+      const std::size_t fwd = static_cast<std::size_t>(std::min(tt + k, last));
+      const std::size_t bwd = static_cast<std::size_t>(std::max(tt - k, std::ptrdiff_t{0}));
+      acc += static_cast<float>(k) * (src(fwd, d) - src(bwd, d));
+    }
+    return acc * inv_denom;
+  };
+
+  // Statics.
+  for (std::size_t t = 0; t < frames; ++t) {
+    for (std::size_t d = 0; d < dim; ++d) out(t, d) = features(t, d);
+  }
+  // Deltas over the statics.
+  const auto statics = [&](std::size_t t, std::size_t d) { return features(t, d); };
+  for (std::size_t t = 0; t < frames; ++t) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      out(t, dim + d) = compute_delta(statics, t, d);
+    }
+  }
+  // Delta-deltas over the deltas just written.
+  const auto deltas = [&](std::size_t t, std::size_t d) { return out(t, dim + d); };
+  for (std::size_t t = 0; t < frames; ++t) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      out(t, 2 * dim + d) = compute_delta(deltas, t, d);
+    }
+  }
+  return out;
+}
+
+void cmvn_inplace(util::Matrix& features, bool normalize_variance) {
+  const std::size_t frames = features.rows();
+  const std::size_t dim = features.cols();
+  if (frames == 0) return;
+  for (std::size_t d = 0; d < dim; ++d) {
+    double sum = 0.0, sum2 = 0.0;
+    for (std::size_t t = 0; t < frames; ++t) {
+      const double v = features(t, d);
+      sum += v;
+      sum2 += v * v;
+    }
+    const double m = sum / static_cast<double>(frames);
+    double inv_std = 1.0;
+    if (normalize_variance) {
+      const double var = sum2 / static_cast<double>(frames) - m * m;
+      inv_std = 1.0 / std::sqrt(std::max(var, 1e-10));
+    }
+    for (std::size_t t = 0; t < frames; ++t) {
+      features(t, d) =
+          static_cast<float>((features(t, d) - m) * inv_std);
+    }
+  }
+}
+
+FeaturePipeline::FeaturePipeline(const FeaturePipelineConfig& config)
+    : config_(config) {
+  if (config_.kind == FeatureKind::kMfcc) {
+    mfcc_ = std::make_unique<MfccExtractor>(config_.mfcc);
+  } else {
+    plp_ = std::make_unique<PlpExtractor>(config_.plp);
+  }
+}
+
+std::size_t FeaturePipeline::feature_dim() const noexcept {
+  const std::size_t base = (config_.kind == FeatureKind::kMfcc)
+                               ? config_.mfcc.num_ceps
+                               : config_.plp.num_ceps;
+  return config_.deltas ? base * 3 : base;
+}
+
+util::Matrix FeaturePipeline::process(std::span<const float> signal) const {
+  util::Matrix feats = (config_.kind == FeatureKind::kMfcc)
+                           ? mfcc_->extract(signal)
+                           : plp_->extract(signal);
+  if (config_.deltas) feats = add_deltas(feats, config_.delta_window);
+  if (config_.cmvn) cmvn_inplace(feats, config_.cmvn_variance);
+  return feats;
+}
+
+}  // namespace phonolid::dsp

@@ -1,0 +1,78 @@
+#include "dsp/fft.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace phonolid::dsp {
+
+Fft::Fft(std::size_t n) : n_(n) {
+  if (!is_power_of_two(n)) {
+    throw std::invalid_argument("Fft size must be a power of two >= 2");
+  }
+  // Bit-reversal permutation table.
+  bitrev_.resize(n);
+  std::size_t log2n = 0;
+  while ((std::size_t{1} << log2n) < n) ++log2n;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t r = 0;
+    for (std::size_t b = 0; b < log2n; ++b) {
+      r = (r << 1) | ((i >> b) & 1u);
+    }
+    bitrev_[i] = r;
+  }
+  // Twiddles for each butterfly span: W_m^j = exp(-2*pi*i*j/m), packed by
+  // stage (m = 2, 4, ..., n) contiguously: total n-1 entries.
+  twiddle_.reserve(n - 1);
+  for (std::size_t m = 2; m <= n; m <<= 1) {
+    for (std::size_t j = 0; j < m / 2; ++j) {
+      const double angle = -2.0 * std::numbers::pi * static_cast<double>(j) /
+                           static_cast<double>(m);
+      twiddle_.emplace_back(static_cast<float>(std::cos(angle)),
+                            static_cast<float>(std::sin(angle)));
+    }
+  }
+  scratch_.resize(n);
+}
+
+void Fft::forward(std::span<std::complex<float>> data) const {
+  assert(data.size() == n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  std::size_t tw_base = 0;
+  for (std::size_t m = 2; m <= n_; m <<= 1) {
+    const std::size_t half = m / 2;
+    for (std::size_t k = 0; k < n_; k += m) {
+      for (std::size_t j = 0; j < half; ++j) {
+        const auto w = twiddle_[tw_base + j];
+        const auto t = w * data[k + j + half];
+        const auto u = data[k + j];
+        data[k + j] = u + t;
+        data[k + j + half] = u - t;
+      }
+    }
+    tw_base += half;
+  }
+}
+
+void Fft::inverse(std::span<std::complex<float>> data) const {
+  assert(data.size() == n_);
+  for (auto& v : data) v = std::conj(v);
+  forward(data);
+  const float inv_n = 1.0f / static_cast<float>(n_);
+  for (auto& v : data) v = std::conj(v) * inv_n;
+}
+
+void Fft::power_spectrum(std::span<const float> in, std::span<float> out) const {
+  assert(in.size() == n_ && out.size() == n_ / 2 + 1);
+  for (std::size_t i = 0; i < n_; ++i) scratch_[i] = {in[i], 0.0f};
+  forward(scratch_);
+  for (std::size_t k = 0; k <= n_ / 2; ++k) {
+    out[k] = std::norm(scratch_[k]);
+  }
+}
+
+}  // namespace phonolid::dsp

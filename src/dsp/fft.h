@@ -1,0 +1,42 @@
+// Iterative radix-2 FFT.
+//
+// Sized for speech frames (N = 128..1024).  Twiddle factors are cached per
+// size inside the Fft object, so per-frame transforms allocate nothing.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace phonolid::dsp {
+
+class Fft {
+ public:
+  /// `n` must be a power of two >= 2.
+  explicit Fft(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// In-place forward transform of `data` (size n).
+  void forward(std::span<std::complex<float>> data) const;
+
+  /// In-place inverse transform (unscaled conjugate method; divides by n).
+  void inverse(std::span<std::complex<float>> data) const;
+
+  /// Power spectrum |X_k|^2 for k = 0..n/2 of a real signal.
+  /// `in` has size n (zero-padded by the caller), `out` has size n/2 + 1.
+  void power_spectrum(std::span<const float> in, std::span<float> out) const;
+
+  static bool is_power_of_two(std::size_t n) noexcept {
+    return n >= 2 && (n & (n - 1)) == 0;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<std::size_t> bitrev_;
+  std::vector<std::complex<float>> twiddle_;           // forward
+  mutable std::vector<std::complex<float>> scratch_;   // for power_spectrum
+};
+
+}  // namespace phonolid::dsp

@@ -1,0 +1,45 @@
+#include "dsp/mfcc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace phonolid::dsp {
+
+MfccExtractor::MfccExtractor(const MfccConfig& config)
+    : config_(config),
+      framer_(config.frame_length, config.frame_shift),
+      window_(make_window(config.window, config.frame_length)),
+      fft_(config.n_fft),
+      filterbank_(config.num_filters, config.n_fft / 2 + 1, config.sample_rate,
+                  config.low_hz, config.high_hz, FilterbankScale::kMel),
+      dct_(config.num_filters, config.num_ceps) {
+  if (config.frame_length > config.n_fft) {
+    throw std::invalid_argument("frame_length must be <= n_fft");
+  }
+}
+
+util::Matrix MfccExtractor::extract(std::span<const float> signal) const {
+  // Pre-emphasis operates on a copy so callers keep their raw signal.
+  std::vector<float> emphasized(signal.begin(), signal.end());
+  pre_emphasis(emphasized, config_.pre_emph);
+
+  const std::size_t frames = framer_.num_frames(emphasized.size());
+  util::Matrix features(frames, config_.num_ceps);
+
+  std::vector<float> frame(config_.n_fft, 0.0f);
+  std::vector<float> power(config_.n_fft / 2 + 1);
+  std::vector<float> fbank(config_.num_filters);
+  for (std::size_t t = 0; t < frames; ++t) {
+    std::fill(frame.begin(), frame.end(), 0.0f);
+    framer_.extract(emphasized, t, window_,
+                    std::span<float>(frame.data(), config_.frame_length));
+    fft_.power_spectrum(frame, power);
+    filterbank_.apply(power, fbank);
+    for (auto& v : fbank) v = std::log(std::max(v, config_.log_floor));
+    dct_.apply(fbank, features.row(t));
+  }
+  return features;
+}
+
+}  // namespace phonolid::dsp

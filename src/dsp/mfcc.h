@@ -1,0 +1,50 @@
+// MFCC front-end (paper §4.1: one of the acoustic feature choices that
+// diversifies the parallel phone recognizers).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dsp/fft.h"
+#include "dsp/filterbank.h"
+#include "dsp/window.h"
+#include "util/matrix.h"
+
+namespace phonolid::dsp {
+
+struct MfccConfig {
+  double sample_rate = 8000.0;
+  std::size_t frame_length = 200;   // 25 ms @ 8 kHz
+  std::size_t frame_shift = 80;     // 10 ms @ 8 kHz
+  std::size_t n_fft = 256;
+  std::size_t num_filters = 23;
+  std::size_t num_ceps = 13;        // including c0
+  double low_hz = 100.0;
+  double high_hz = 3800.0;
+  float pre_emph = 0.97f;
+  WindowType window = WindowType::kHamming;
+  float log_floor = 1e-10f;
+};
+
+class MfccExtractor {
+ public:
+  explicit MfccExtractor(const MfccConfig& config = {});
+
+  [[nodiscard]] const MfccConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t feature_dim() const noexcept { return config_.num_ceps; }
+
+  /// Extracts one feature row per frame; returns num_frames x num_ceps.
+  [[nodiscard]] util::Matrix extract(std::span<const float> signal) const;
+
+ private:
+  MfccConfig config_;
+  Framer framer_;
+  std::vector<float> window_;
+  Fft fft_;
+  Filterbank filterbank_;
+  Dct dct_;
+};
+
+}  // namespace phonolid::dsp

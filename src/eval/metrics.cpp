@@ -1,0 +1,184 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math_util.h"
+
+namespace phonolid::eval {
+
+TrialSet TrialSet::from_scores(const util::Matrix& scores,
+                               std::span<const std::int32_t> labels) {
+  if (scores.rows() != labels.size()) {
+    throw std::invalid_argument("TrialSet: label count mismatch");
+  }
+  TrialSet trials;
+  trials.target_scores.reserve(scores.rows());
+  trials.nontarget_scores.reserve(scores.rows() * (scores.cols() - 1));
+  for (std::size_t i = 0; i < scores.rows(); ++i) {
+    auto row = scores.row(i);
+    for (std::size_t k = 0; k < scores.cols(); ++k) {
+      // Non-finite scores (degenerate upstream models) are mapped to the
+      // worst possible value for their trial type, keeping every metric
+      // well defined instead of poisoning the threshold sweep.
+      double s = row[k];
+      if (!std::isfinite(s)) {
+        s = (static_cast<std::size_t>(labels[i]) == k) ? -1e300 : 1e300;
+      }
+      if (static_cast<std::size_t>(labels[i]) == k) {
+        trials.target_scores.push_back(s);
+      } else {
+        trials.nontarget_scores.push_back(s);
+      }
+    }
+  }
+  return trials;
+}
+
+std::vector<DetPoint> det_curve(const TrialSet& trials) {
+  std::vector<DetPoint> curve;
+  const std::size_t nt = trials.target_scores.size();
+  const std::size_t nn = trials.nontarget_scores.size();
+  if (nt == 0 || nn == 0) return curve;
+
+  // Merge-sort sweep from the highest threshold downwards.
+  std::vector<double> targets = trials.target_scores;
+  std::vector<double> nontargets = trials.nontarget_scores;
+  std::sort(targets.begin(), targets.end(), std::greater<>());
+  std::sort(nontargets.begin(), nontargets.end(), std::greater<>());
+
+  curve.reserve(nt + nn + 1);
+  std::size_t ti = 0, ni = 0;
+  // At threshold +inf: accept nothing -> P_miss = 1, P_fa = 0.
+  curve.push_back({0.0, 1.0});
+  while (ti < nt || ni < nn) {
+    // Lower the threshold past the next highest score(s).
+    const double next =
+        (ti < nt && (ni >= nn || targets[ti] >= nontargets[ni]))
+            ? targets[ti]
+            : nontargets[ni];
+    while (ti < nt && targets[ti] >= next) ++ti;
+    while (ni < nn && nontargets[ni] >= next) ++ni;
+    curve.push_back({static_cast<double>(ni) / static_cast<double>(nn),
+                     1.0 - static_cast<double>(ti) / static_cast<double>(nt)});
+  }
+  return curve;
+}
+
+double equal_error_rate(const TrialSet& trials) {
+  const auto curve = det_curve(trials);
+  if (curve.empty()) return 0.0;
+  // Walk the curve until P_fa >= P_miss, then interpolate with the previous
+  // point along the segment crossing the diagonal.
+  DetPoint prev = curve.front();
+  for (const DetPoint& p : curve) {
+    if (p.p_fa >= p.p_miss) {
+      const double d_prev = prev.p_miss - prev.p_fa;  // >= 0
+      const double d_cur = p.p_fa - p.p_miss;         // >= 0
+      const double denom = d_prev + d_cur;
+      if (denom <= 0.0) return 0.5 * (p.p_fa + p.p_miss);
+      const double w = d_prev / denom;
+      return (1.0 - w) * 0.5 * (prev.p_fa + prev.p_miss) +
+             w * 0.5 * (p.p_fa + p.p_miss);
+    }
+    prev = p;
+  }
+  return 0.5 * (prev.p_fa + prev.p_miss);
+}
+
+std::vector<DetPoint> thin_det_curve(const std::vector<DetPoint>& curve,
+                                     std::size_t max_points) {
+  if (curve.size() <= max_points || max_points < 2) return curve;
+  std::vector<DetPoint> out;
+  out.reserve(max_points);
+  const double step = static_cast<double>(curve.size() - 1) /
+                      static_cast<double>(max_points - 1);
+  for (std::size_t i = 0; i < max_points; ++i) {
+    out.push_back(curve[static_cast<std::size_t>(i * step)]);
+  }
+  return out;
+}
+
+util::Matrix log_posteriors_to_llr(const util::Matrix& log_posteriors) {
+  const std::size_t k = log_posteriors.cols();
+  if (k < 2) throw std::invalid_argument("llr: need >= 2 classes");
+  util::Matrix llr(log_posteriors.rows(), k);
+  std::vector<float> others(k - 1);
+  for (std::size_t i = 0; i < log_posteriors.rows(); ++i) {
+    auto row = log_posteriors.row(i);
+    for (std::size_t c = 0; c < k; ++c) {
+      std::size_t m = 0;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (j != c) others[m++] = row[j];
+      }
+      const float denom =
+          util::log_sum_exp(std::span<const float>(others.data(), others.size())) -
+          std::log(static_cast<float>(k - 1));
+      llr(i, c) = row[c] - denom;
+    }
+  }
+  return llr;
+}
+
+double cavg(const util::Matrix& llr_scores,
+            std::span<const std::int32_t> labels, std::size_t num_classes,
+            double p_target, double threshold) {
+  if (llr_scores.rows() != labels.size() || llr_scores.cols() != num_classes) {
+    throw std::invalid_argument("cavg: shape mismatch");
+  }
+  std::vector<std::size_t> class_count(num_classes, 0);
+  for (std::int32_t l : labels) ++class_count[static_cast<std::size_t>(l)];
+
+  double total = 0.0;
+  std::size_t active_classes = 0;
+  for (std::size_t k = 0; k < num_classes; ++k) {
+    if (class_count[k] == 0) continue;
+    ++active_classes;
+    // P_miss(k): target-language utterances rejected by model k.
+    std::size_t misses = 0;
+    // P_fa(k, j): language-j utterances accepted by model k.
+    std::vector<std::size_t> false_accepts(num_classes, 0);
+    for (std::size_t i = 0; i < llr_scores.rows(); ++i) {
+      const auto truth = static_cast<std::size_t>(labels[i]);
+      const bool accepted = llr_scores(i, k) >= threshold;
+      if (truth == k) {
+        if (!accepted) ++misses;
+      } else if (accepted) {
+        ++false_accepts[truth];
+      }
+    }
+    double cost = p_target * static_cast<double>(misses) /
+                  static_cast<double>(class_count[k]);
+    double fa_sum = 0.0;
+    std::size_t fa_classes = 0;
+    for (std::size_t j = 0; j < num_classes; ++j) {
+      if (j == k || class_count[j] == 0) continue;
+      ++fa_classes;
+      fa_sum += static_cast<double>(false_accepts[j]) /
+                static_cast<double>(class_count[j]);
+    }
+    if (fa_classes > 0) {
+      cost += (1.0 - p_target) * fa_sum / static_cast<double>(fa_classes);
+    }
+    total += cost;
+  }
+  return active_classes > 0 ? total / static_cast<double>(active_classes) : 0.0;
+}
+
+double identification_accuracy(const util::Matrix& scores,
+                               std::span<const std::int32_t> labels) {
+  if (scores.rows() != labels.size()) {
+    throw std::invalid_argument("identification_accuracy: shape mismatch");
+  }
+  if (scores.rows() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < scores.rows(); ++i) {
+    if (util::argmax(scores.row(i)) == static_cast<std::size_t>(labels[i])) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(scores.rows());
+}
+
+}  // namespace phonolid::eval

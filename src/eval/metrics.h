@@ -1,0 +1,61 @@
+// Language-recognition metrics: pooled EER, NIST LRE Cavg, DET curves.
+//
+// Trials follow the LRE convention: every (utterance, target language)
+// pair is a detection trial; the pair is a *target* trial when the
+// utterance is in that language.  EER is computed on the pooled trial set,
+// Cavg with the LRE09 cost model (C_miss = C_fa = 1, P_target = 0.5) at
+// the Bayes threshold for log-likelihood-ratio scores.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace phonolid::eval {
+
+/// A pooled detection trial set.
+struct TrialSet {
+  std::vector<double> target_scores;
+  std::vector<double> nontarget_scores;
+
+  /// Build from a score matrix (rows = utterances, cols = languages) and
+  /// per-utterance true labels.
+  static TrialSet from_scores(const util::Matrix& scores,
+                              std::span<const std::int32_t> labels);
+};
+
+/// Equal error rate in [0, 1]; linear interpolation between the ROC points
+/// bracketing P_miss = P_fa.  Returns 0 for empty target or nontarget sets.
+double equal_error_rate(const TrialSet& trials);
+
+struct DetPoint {
+  double p_fa = 0.0;
+  double p_miss = 0.0;
+};
+
+/// Full DET staircase (one point per distinct threshold), sorted by
+/// increasing P_fa.  Suitable for probit-probit plotting.
+std::vector<DetPoint> det_curve(const TrialSet& trials);
+
+/// Downsample a DET curve to ~`max_points` for printing.
+std::vector<DetPoint> thin_det_curve(const std::vector<DetPoint>& curve,
+                                     std::size_t max_points);
+
+/// Convert per-class log-posterior scores to detection log-likelihood
+/// ratios: llr_k = log p(x|k) - log( mean_{j != k} p(x|j) ).
+util::Matrix log_posteriors_to_llr(const util::Matrix& log_posteriors);
+
+/// NIST LRE09-style average detection cost (%/100 scale like EER) over
+/// LLR scores at the Bayes threshold (0 for flat priors):
+///   Cavg = (1/K) Σ_k [ P_t · P_miss(k) + (1-P_t)/(K-1) Σ_{j≠k} P_fa(k, j) ].
+double cavg(const util::Matrix& llr_scores,
+            std::span<const std::int32_t> labels, std::size_t num_classes,
+            double p_target = 0.5, double threshold = 0.0);
+
+/// Utterance-level identification accuracy (arg-max decision).
+double identification_accuracy(const util::Matrix& scores,
+                               std::span<const std::int32_t> labels);
+
+}  // namespace phonolid::eval

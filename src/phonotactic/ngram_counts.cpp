@@ -1,0 +1,148 @@
+#include "phonotactic/ngram_counts.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/math_util.h"
+
+namespace phonolid::phonotactic {
+
+NgramIndexer::NgramIndexer(std::size_t num_phones, std::size_t max_order)
+    : num_phones_(num_phones), max_order_(max_order) {
+  if (num_phones == 0 || max_order == 0) {
+    throw std::invalid_argument("NgramIndexer: empty configuration");
+  }
+  std::size_t offset = 0;
+  std::size_t size = 1;
+  for (std::size_t n = 1; n <= max_order; ++n) {
+    size *= num_phones;
+    if (offset + size > std::numeric_limits<std::uint32_t>::max()) {
+      throw std::invalid_argument("NgramIndexer: feature space exceeds 2^32");
+    }
+    offsets_.push_back(offset);
+    sizes_.push_back(size);
+    offset += size;
+  }
+  dimension_ = offset;
+}
+
+std::uint32_t NgramIndexer::index(const std::uint32_t* phones,
+                                  std::size_t order) const {
+  assert(order >= 1 && order <= max_order_);
+  std::size_t id = 0;
+  for (std::size_t i = 0; i < order; ++i) {
+    assert(phones[i] < num_phones_);
+    id = id * num_phones_ + phones[i];
+  }
+  return static_cast<std::uint32_t>(offsets_[order - 1] + id);
+}
+
+std::vector<std::uint32_t> NgramIndexer::decode(std::uint32_t id) const {
+  std::size_t order = 0;
+  std::size_t local = id;
+  for (std::size_t n = 1; n <= max_order_; ++n) {
+    if (local < sizes_[n - 1]) {
+      order = n;
+      break;
+    }
+    local -= sizes_[n - 1];
+  }
+  if (order == 0) throw std::out_of_range("NgramIndexer::decode: bad id");
+  std::vector<std::uint32_t> phones(order);
+  for (std::size_t i = order; i-- > 0;) {
+    phones[i] = static_cast<std::uint32_t>(local % num_phones_);
+    local /= num_phones_;
+  }
+  return phones;
+}
+
+SparseVec expected_ngram_counts(const decoder::Lattice& lattice,
+                                const NgramIndexer& indexer,
+                                const NgramCountConfig& config) {
+  std::vector<std::pair<std::uint32_t, float>> pairs;
+  if (lattice.edges().empty()) return SparseVec();
+
+  std::vector<double> alpha, beta;
+  const double total =
+      lattice.forward_backward(config.acoustic_scale, alpha, beta);
+  if (!std::isfinite(total)) return SparseVec();
+
+  const auto& edges = lattice.edges();
+  const auto& adj = lattice.adjacency();
+
+  // Upper bound on any node's backward score, for safe DFS pruning (edge
+  // scores may be positive, so beta is not bounded by 0).
+  double max_beta = 0.0;
+  for (double b : beta) {
+    if (std::isfinite(b)) max_beta = std::max(max_beta, b);
+  }
+
+  // Depth-first enumeration of connected edge tuples up to max_order.
+  // `prefix_score` = alpha(start of first edge) + Σ scaled edge scores.
+  std::uint32_t phones[8];
+  if (indexer.max_order() > 8) {
+    throw std::invalid_argument("expected_ngram_counts: max_order > 8");
+  }
+  const double floor_log = std::log(config.count_floor);
+
+  struct StackItem {
+    std::uint32_t edge;
+    std::size_t depth;      // 1-based order of this tuple element
+    double prefix_score;    // includes this edge's scaled score
+  };
+  std::vector<StackItem> stack;
+  std::vector<std::uint32_t> chain(indexer.max_order());
+
+  pairs.reserve(edges.size() * 4);
+  for (std::uint32_t e0 = 0; e0 < edges.size(); ++e0) {
+    const auto& first = edges[e0];
+    const double a = alpha[first.start_node];
+    if (!std::isfinite(a)) continue;
+    stack.push_back(
+        {e0, 1, a + config.acoustic_scale * first.score});
+    while (!stack.empty()) {
+      const StackItem item = stack.back();
+      stack.pop_back();
+      const auto& edge = edges[item.edge];
+      chain[item.depth - 1] = item.edge;
+      // Emit the count for this tuple (order = depth).
+      const double logp = item.prefix_score + beta[edge.end_node] - total;
+      if (logp >= floor_log && std::isfinite(beta[edge.end_node])) {
+        for (std::size_t i = 0; i < item.depth; ++i) {
+          phones[i] = edges[chain[i]].phone;
+        }
+        pairs.emplace_back(indexer.index(phones, item.depth),
+                           static_cast<float>(std::exp(std::min(logp, 0.0))));
+      }
+      // Extend.
+      if (item.depth < indexer.max_order() &&
+          std::isfinite(beta[edge.end_node])) {
+        for (std::uint32_t next : adj[edge.end_node]) {
+          const double score =
+              item.prefix_score + config.acoustic_scale * edges[next].score;
+          // Cheap bound: even with the most favourable continuation the
+          // tuple can't beat the floor.
+          if (score - total + max_beta < floor_log - 1.0) continue;
+          stack.push_back({next, item.depth + 1, score});
+        }
+      }
+    }
+  }
+  return SparseVec::from_pairs(std::move(pairs));
+}
+
+SparseVec sequence_ngram_counts(const std::vector<std::uint32_t>& phones,
+                                const NgramIndexer& indexer) {
+  std::vector<std::pair<std::uint32_t, float>> pairs;
+  for (std::size_t n = 1; n <= indexer.max_order(); ++n) {
+    if (phones.size() < n) break;
+    for (std::size_t i = 0; i + n <= phones.size(); ++i) {
+      pairs.emplace_back(indexer.index(&phones[i], n), 1.0f);
+    }
+  }
+  return SparseVec::from_pairs(std::move(pairs));
+}
+
+}  // namespace phonolid::phonotactic

@@ -1,0 +1,69 @@
+// Expected N-gram counts over phone lattices (paper §2.2, Eq. 2).
+//
+//   c_E(h_i..h_{i+N-1} | ℓ) = Σ over connected edge tuples
+//       exp( α(start(e_i)) + Σ_j scale·score(e_j) + β(end(e_{i+N-1})) − total )
+//
+// i.e. the posterior-weighted number of times the phone N-gram occurs on a
+// path through the lattice.  Indexing packs all orders 1..N into one id
+// space so a supervector is a single sparse vector (paper Eq. 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "decoder/lattice.h"
+#include "phonotactic/sparse.h"
+
+namespace phonolid::phonotactic {
+
+/// Dense id packing for N-grams over `num_phones` phones, orders 1..max_order.
+class NgramIndexer {
+ public:
+  NgramIndexer(std::size_t num_phones, std::size_t max_order);
+
+  [[nodiscard]] std::size_t num_phones() const noexcept { return num_phones_; }
+  [[nodiscard]] std::size_t max_order() const noexcept { return max_order_; }
+  /// Total feature-space dimensionality F = Σ_n f^n.
+  [[nodiscard]] std::size_t dimension() const noexcept { return dimension_; }
+  /// First id of order-n features (n in 1..max_order).
+  [[nodiscard]] std::size_t order_offset(std::size_t order) const {
+    return offsets_.at(order - 1);
+  }
+  /// Number of order-n features (= f^n).
+  [[nodiscard]] std::size_t order_size(std::size_t order) const {
+    return sizes_.at(order - 1);
+  }
+
+  /// Id of the n-gram `phones[0..n)`.
+  [[nodiscard]] std::uint32_t index(const std::uint32_t* phones,
+                                    std::size_t order) const;
+  /// Decode an id back to (order, phones); for diagnostics and tests.
+  [[nodiscard]] std::vector<std::uint32_t> decode(std::uint32_t id) const;
+
+ private:
+  std::size_t num_phones_;
+  std::size_t max_order_;
+  std::size_t dimension_;
+  std::vector<std::size_t> offsets_;
+  std::vector<std::size_t> sizes_;
+};
+
+struct NgramCountConfig {
+  std::size_t max_order = 3;
+  double acoustic_scale = 0.3;
+  /// Tuples whose path posterior falls below this are skipped.
+  double count_floor = 1e-6;
+};
+
+/// Expected counts of every 1..N-gram in the lattice, as a sparse vector in
+/// the indexer's id space.
+SparseVec expected_ngram_counts(const decoder::Lattice& lattice,
+                                const NgramIndexer& indexer,
+                                const NgramCountConfig& config);
+
+/// Exact N-gram counts of a 1-best phone sequence (baseline / ablation:
+/// "1-best counting" vs lattice expected counting).
+SparseVec sequence_ngram_counts(const std::vector<std::uint32_t>& phones,
+                                const NgramIndexer& indexer);
+
+}  // namespace phonolid::phonotactic

@@ -1,0 +1,155 @@
+#include "phonotactic/ngram_lm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math_util.h"
+#include "util/thread_pool.h"
+
+namespace phonolid::phonotactic {
+
+NgramLm::NgramLm(std::size_t num_phones, const NgramLmConfig& config)
+    : config_(config), num_phones_(num_phones) {
+  if (num_phones == 0 || num_phones >= (1u << 15)) {
+    throw std::invalid_argument("NgramLm: phone alphabet out of range");
+  }
+  if (config.order == 0 || config.order > 4) {
+    throw std::invalid_argument("NgramLm: order must be in 1..4");
+  }
+  counts_.resize(config.order + 1);
+  types_.resize(config.order);
+  context_totals_.resize(config.order);
+}
+
+std::uint64_t NgramLm::key(const std::uint32_t* phones, std::size_t n) const {
+  // Length in the top bits, 15 bits per phone: supports order <= 4 and
+  // alphabets < 2^15 without overflowing 64 bits.
+  std::uint64_t k = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    k = (k << 15) | (phones[i] + 1);
+  }
+  return k;
+}
+
+void NgramLm::add_sequence(const std::vector<std::uint32_t>& phones) {
+  for (std::uint32_t p : phones) {
+    if (p >= num_phones_) throw std::invalid_argument("NgramLm: bad phone id");
+  }
+  for (std::size_t n = 1; n <= config_.order; ++n) {
+    if (phones.size() < n) break;
+    for (std::size_t i = 0; i + n <= phones.size(); ++i) {
+      auto& slot = counts_[n][key(&phones[i], n)];
+      // Distinct-continuation bookkeeping: first time we see (h, w) the
+      // history h gains one continuation type.
+      if (n >= 2) {
+        if (slot == 0.0) {
+          types_[n - 1][key(&phones[i], n - 1)] += 1.0;
+        }
+        context_totals_[n - 1][key(&phones[i], n - 1)] += 1.0;
+      }
+      slot += 1.0;
+      if (n == 1) total_unigrams_ += 1.0;
+    }
+  }
+}
+
+double NgramLm::probability(std::uint32_t w,
+                            const std::vector<std::uint32_t>& history) const {
+  // Recursive interpolated Witten-Bell; iterative from the shortest
+  // history outwards for clarity.
+  const double uniform = 1.0 / static_cast<double>(num_phones_);
+
+  // Unigram.
+  double p = uniform;
+  {
+    const auto it = counts_[1].find(key(&w, 1));
+    const double c = (it != counts_[1].end()) ? it->second : 0.0;
+    // Interpolate with uniform using the unigram type count as T.
+    const double t = static_cast<double>(counts_[1].size()) + 1.0;
+    const double denom = total_unigrams_ + t;
+    if (denom > 0.0) p = (c + t * uniform) / denom;
+  }
+
+  // Higher orders, shortest history first.
+  const std::size_t max_h =
+      std::min(history.size(), config_.order - 1);
+  for (std::size_t h = 1; h <= max_h; ++h) {
+    // history suffix of length h followed by w.
+    std::uint32_t gram[8];
+    for (std::size_t i = 0; i < h; ++i) {
+      gram[i] = history[history.size() - h + i];
+    }
+    gram[h] = w;
+    const auto hist_it = context_totals_[h].find(key(gram, h));
+    const double c_hist =
+        (hist_it != context_totals_[h].end()) ? hist_it->second : 0.0;
+    const auto type_it = types_[h].find(key(gram, h));
+    const double t_hist = (type_it != types_[h].end()) ? type_it->second : 0.0;
+    if (c_hist <= 0.0) {
+      // Unseen history: fall back entirely to the lower order.
+      continue;
+    }
+    const auto full_it = counts_[h + 1].find(key(gram, h + 1));
+    const double c_full = (full_it != counts_[h + 1].end()) ? full_it->second : 0.0;
+    p = (c_full + t_hist * p) / (c_hist + t_hist);
+  }
+  return std::max(p, 1e-12);
+}
+
+double NgramLm::score(const std::vector<std::uint32_t>& phones) const {
+  if (phones.empty()) return 0.0;
+  double logp = 0.0;
+  std::vector<std::uint32_t> history;
+  history.reserve(config_.order);
+  for (std::uint32_t w : phones) {
+    logp += std::log(probability(w, history));
+    history.push_back(w);
+    if (history.size() > config_.order - 1) {
+      history.erase(history.begin());
+    }
+  }
+  return logp / static_cast<double>(phones.size());
+}
+
+PrlmSystem PrlmSystem::train(
+    const std::vector<std::vector<std::uint32_t>>& sequences,
+    const std::vector<std::int32_t>& labels, std::size_t num_languages,
+    std::size_t num_phones, const NgramLmConfig& config) {
+  if (sequences.size() != labels.size() || num_languages == 0) {
+    throw std::invalid_argument("PrlmSystem::train: bad inputs");
+  }
+  PrlmSystem system;
+  system.models_.reserve(num_languages);
+  for (std::size_t l = 0; l < num_languages; ++l) {
+    system.models_.emplace_back(num_phones, config);
+  }
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    const auto l = static_cast<std::size_t>(labels[i]);
+    if (labels[i] < 0 || l >= num_languages) {
+      throw std::invalid_argument("PrlmSystem::train: bad label");
+    }
+    system.models_[l].add_sequence(sequences[i]);
+  }
+  return system;
+}
+
+void PrlmSystem::score(const std::vector<std::uint32_t>& phones,
+                       std::span<float> out) const {
+  if (out.size() != models_.size()) {
+    throw std::invalid_argument("PrlmSystem::score: bad output span");
+  }
+  for (std::size_t l = 0; l < models_.size(); ++l) {
+    out[l] = static_cast<float>(models_[l].score(phones));
+  }
+}
+
+util::Matrix PrlmSystem::score_all(
+    const std::vector<std::vector<std::uint32_t>>& sequences) const {
+  util::Matrix scores(sequences.size(), models_.size());
+  util::parallel_for(0, sequences.size(), [&](std::size_t i) {
+    score(sequences[i], scores.row(i));
+  });
+  return scores;
+}
+
+}  // namespace phonolid::phonotactic

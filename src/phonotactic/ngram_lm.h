@@ -1,0 +1,88 @@
+// Phone N-gram language models — the classical PRLM backend.
+//
+// Before vector space modeling, phonotactic LR scored each decoded phone
+// stream against per-language N-gram language models (Zissman 1996, the
+// paper's reference [2]).  phonolid includes this as a historical baseline:
+// interpolated Witten-Bell smoothing over phone N-grams, scored as average
+// log-probability per phone.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace phonolid::phonotactic {
+
+struct NgramLmConfig {
+  std::size_t order = 3;
+};
+
+/// Interpolated Witten-Bell N-gram model over a phone alphabet.
+class NgramLm {
+ public:
+  NgramLm() = default;
+  NgramLm(std::size_t num_phones, const NgramLmConfig& config);
+
+  [[nodiscard]] std::size_t order() const noexcept { return config_.order; }
+  [[nodiscard]] std::size_t num_phones() const noexcept { return num_phones_; }
+
+  /// Accumulate one training sequence.
+  void add_sequence(const std::vector<std::uint32_t>& phones);
+
+  /// log P(phones) / |phones| — length-normalised sequence log-probability.
+  [[nodiscard]] double score(const std::vector<std::uint32_t>& phones) const;
+
+  /// P(w | history): interpolated Witten-Bell probability.  `history` may
+  /// be shorter than order-1 (backs off naturally).
+  [[nodiscard]] double probability(std::uint32_t w,
+                                   const std::vector<std::uint32_t>& history) const;
+
+ private:
+  /// Packs up to `order` phones into a 64-bit key (num_phones < 2^15).
+  [[nodiscard]] std::uint64_t key(const std::uint32_t* phones,
+                                  std::size_t n) const;
+
+  NgramLmConfig config_;
+  std::size_t num_phones_ = 0;
+  /// Counts per n-gram order: counts_[n][key] = c(w_1..w_n).
+  std::vector<std::unordered_map<std::uint64_t, double>> counts_;
+  /// Distinct-continuation counts: types_[n][key(h)] = T(h) for |h| = n.
+  std::vector<std::unordered_map<std::uint64_t, double>> types_;
+  /// Continuation totals: context_totals_[n][key(h)] = sum_w c(h, w); this
+  /// differs from the raw history count by sequence-final occurrences and
+  /// is the denominator that makes Witten-Bell normalise exactly.
+  std::vector<std::unordered_map<std::uint64_t, double>> context_totals_;
+  /// Total unigram mass.
+  double total_unigrams_ = 0.0;
+};
+
+/// PRLM language recognizer: one NgramLm per target language over one
+/// front-end's 1-best phone streams.
+class PrlmSystem {
+ public:
+  PrlmSystem() = default;
+
+  /// Train from decoded phone sequences with language labels.
+  static PrlmSystem train(
+      const std::vector<std::vector<std::uint32_t>>& sequences,
+      const std::vector<std::int32_t>& labels, std::size_t num_languages,
+      std::size_t num_phones, const NgramLmConfig& config = {});
+
+  [[nodiscard]] std::size_t num_languages() const noexcept {
+    return models_.size();
+  }
+
+  /// Per-language length-normalised log-likelihoods.
+  void score(const std::vector<std::uint32_t>& phones,
+             std::span<float> out) const;
+
+  [[nodiscard]] util::Matrix score_all(
+      const std::vector<std::vector<std::uint32_t>>& sequences) const;
+
+ private:
+  std::vector<NgramLm> models_;
+};
+
+}  // namespace phonolid::phonotactic

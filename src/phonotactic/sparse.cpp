@@ -1,0 +1,115 @@
+#include "phonotactic/sparse.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/serialize.h"
+
+namespace phonolid::phonotactic {
+
+SparseVec::SparseVec(std::vector<std::uint32_t> indices,
+                     std::vector<float> values)
+    : indices_(std::move(indices)), values_(std::move(values)) {
+  if (indices_.size() != values_.size()) {
+    throw std::invalid_argument("SparseVec: size mismatch");
+  }
+  for (std::size_t i = 1; i < indices_.size(); ++i) {
+    if (indices_[i] <= indices_[i - 1]) {
+      throw std::invalid_argument("SparseVec: indices must be increasing");
+    }
+  }
+}
+
+SparseVec SparseVec::from_pairs(
+    std::vector<std::pair<std::uint32_t, float>> pairs) {
+  std::sort(pairs.begin(), pairs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  SparseVec out;
+  out.indices_.reserve(pairs.size());
+  out.values_.reserve(pairs.size());
+  for (const auto& [idx, val] : pairs) {
+    if (!out.indices_.empty() && out.indices_.back() == idx) {
+      out.values_.back() += val;
+    } else {
+      out.indices_.push_back(idx);
+      out.values_.push_back(val);
+    }
+  }
+  return out;
+}
+
+float SparseVec::at(std::uint32_t index) const noexcept {
+  const auto it = std::lower_bound(indices_.begin(), indices_.end(), index);
+  if (it == indices_.end() || *it != index) return 0.0f;
+  return values_[static_cast<std::size_t>(it - indices_.begin())];
+}
+
+double SparseVec::sum() const noexcept {
+  double s = 0.0;
+  for (float v : values_) s += v;
+  return s;
+}
+
+double SparseVec::norm() const noexcept {
+  double s = 0.0;
+  for (float v : values_) s += static_cast<double>(v) * v;
+  return std::sqrt(s);
+}
+
+void SparseVec::scale(float factor) noexcept {
+  for (auto& v : values_) v *= factor;
+}
+
+double SparseVec::dot(const SparseVec& a, const SparseVec& b) noexcept {
+  double s = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < a.indices_.size() && j < b.indices_.size()) {
+    const std::uint32_t ia = a.indices_[i];
+    const std::uint32_t jb = b.indices_[j];
+    if (ia == jb) {
+      s += static_cast<double>(a.values_[i]) * b.values_[j];
+      ++i;
+      ++j;
+    } else if (ia < jb) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return s;
+}
+
+double SparseVec::dot_dense(std::span<const float> dense) const noexcept {
+  double s = 0.0;
+  for (std::size_t i = 0; i < indices_.size(); ++i) {
+    assert(indices_[i] < dense.size());
+    s += static_cast<double>(values_[i]) * dense[indices_[i]];
+  }
+  return s;
+}
+
+void SparseVec::add_to_dense(float alpha, std::span<float> dense) const noexcept {
+  for (std::size_t i = 0; i < indices_.size(); ++i) {
+    assert(indices_[i] < dense.size());
+    dense[indices_[i]] += alpha * values_[i];
+  }
+}
+
+void SparseVec::serialize(std::ostream& out) const {
+  util::BinaryWriter w(out);
+  w.write_magic("PSPV", 1);
+  w.write_u32_vec(indices_);
+  w.write_f32_vec(values_);
+}
+
+SparseVec SparseVec::deserialize(std::istream& in) {
+  util::BinaryReader r(in);
+  r.expect_magic("PSPV", 1);
+  auto indices = r.read_u32_vec();
+  auto values = r.read_f32_vec();
+  return SparseVec(std::move(indices), std::move(values));
+}
+
+}  // namespace phonolid::phonotactic

@@ -1,0 +1,61 @@
+// Sparse feature vectors.
+//
+// Phonotactic supervectors live in R^F with F = f + f^2 + ... + f^N
+// (paper Eq. 3); only the N-grams observed in a lattice are non-zero, so
+// everything downstream (TFLLR scaling, SVM training, scoring) operates on
+// index-sorted sparse vectors.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+namespace phonolid::phonotactic {
+
+class SparseVec {
+ public:
+  SparseVec() = default;
+  /// `indices` must be strictly increasing and the same length as `values`.
+  SparseVec(std::vector<std::uint32_t> indices, std::vector<float> values);
+
+  /// Builds from unsorted (index, value) pairs, merging duplicates by sum.
+  static SparseVec from_pairs(
+      std::vector<std::pair<std::uint32_t, float>> pairs);
+
+  [[nodiscard]] std::size_t nnz() const noexcept { return indices_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return indices_.empty(); }
+  [[nodiscard]] const std::vector<std::uint32_t>& indices() const noexcept {
+    return indices_;
+  }
+  [[nodiscard]] const std::vector<float>& values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] std::vector<float>& values() noexcept { return values_; }
+
+  /// Value at `index` (0 if absent); O(log nnz).
+  [[nodiscard]] float at(std::uint32_t index) const noexcept;
+
+  /// Sum of values.
+  [[nodiscard]] double sum() const noexcept;
+  /// Euclidean norm.
+  [[nodiscard]] double norm() const noexcept;
+
+  void scale(float factor) noexcept;
+
+  /// Sparse-sparse dot product.
+  [[nodiscard]] static double dot(const SparseVec& a, const SparseVec& b) noexcept;
+  /// Sparse-dense dot product (`dense` indexed by feature id).
+  [[nodiscard]] double dot_dense(std::span<const float> dense) const noexcept;
+  /// dense += alpha * this.
+  void add_to_dense(float alpha, std::span<float> dense) const noexcept;
+
+  void serialize(std::ostream& out) const;
+  static SparseVec deserialize(std::istream& in);
+
+ private:
+  std::vector<std::uint32_t> indices_;
+  std::vector<float> values_;
+};
+
+}  // namespace phonolid::phonotactic

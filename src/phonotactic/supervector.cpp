@@ -1,0 +1,105 @@
+#include "phonotactic/supervector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/serialize.h"
+
+namespace phonolid::phonotactic {
+
+SupervectorBuilder::SupervectorBuilder(NgramIndexer indexer,
+                                       SupervectorConfig config)
+    : indexer_(std::move(indexer)), config_(config) {}
+
+SparseVec SupervectorBuilder::build(const decoder::Lattice& lattice) const {
+  SparseVec counts =
+      config_.use_lattice
+          ? expected_ngram_counts(lattice, indexer_, config_.counts)
+          : sequence_ngram_counts(lattice.best_path(), indexer_);
+  if (counts.empty()) return counts;
+
+  // Per-order normalisation: p(d | ℓ) = c(d) / Σ_{same order} c(m).
+  const std::size_t max_order = indexer_.max_order();
+  std::vector<double> order_total(max_order, 0.0);
+  const auto order_of = [&](std::uint32_t id) {
+    std::size_t n = 1;
+    while (n < max_order &&
+           id >= indexer_.order_offset(n + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  const auto& idx = counts.indices();
+  auto& val = counts.values();
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    order_total[order_of(idx[i]) - 1] += val[i];
+  }
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const double tot = order_total[order_of(idx[i]) - 1];
+    if (tot > 0.0) val[i] = static_cast<float>(val[i] / tot);
+  }
+  return counts;
+}
+
+TfllrScaler::TfllrScaler(std::size_t dimension)
+    : accum_(dimension, 0.0), scales_(dimension, 1.0f) {}
+
+void TfllrScaler::accumulate(const SparseVec& supervector) {
+  if (finalized_) throw std::logic_error("TfllrScaler: already finalized");
+  const auto& idx = supervector.indices();
+  const auto& val = supervector.values();
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    if (idx[i] >= accum_.size()) {
+      throw std::out_of_range("TfllrScaler: index out of range");
+    }
+    accum_[idx[i]] += val[i];
+    total_ += val[i];
+  }
+}
+
+void TfllrScaler::finalize() {
+  if (finalized_) return;
+  // p(d_q | ℓ_all): background probability with an epsilon floor so that
+  // rare/unseen features get a large-but-bounded boost (the TFLLR
+  // "log-likelihood-ratio" weighting of informative rare N-grams).
+  const double floor = 1.0 / std::max(1.0, total_ * 10.0 +
+                                                static_cast<double>(accum_.size()));
+  for (std::size_t i = 0; i < accum_.size(); ++i) {
+    const double p = std::max(accum_[i] / std::max(total_, 1.0), floor);
+    scales_[i] = static_cast<float>(1.0 / std::sqrt(p));
+  }
+  accum_.clear();
+  accum_.shrink_to_fit();
+  finalized_ = true;
+}
+
+void TfllrScaler::transform(SparseVec& supervector) const {
+  if (!finalized_) throw std::logic_error("TfllrScaler: not finalized");
+  const auto& idx = supervector.indices();
+  auto& val = supervector.values();
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    if (idx[i] >= scales_.size()) {
+      throw std::out_of_range("TfllrScaler: index out of range");
+    }
+    val[i] *= scales_[idx[i]];
+  }
+}
+
+void TfllrScaler::serialize(std::ostream& out) const {
+  if (!finalized_) throw std::logic_error("TfllrScaler: not finalized");
+  util::BinaryWriter w(out);
+  w.write_magic("PTFL", 1);
+  w.write_f32_vec(scales_);
+}
+
+TfllrScaler TfllrScaler::deserialize(std::istream& in) {
+  util::BinaryReader r(in);
+  r.expect_magic("PTFL", 1);
+  TfllrScaler s;
+  s.scales_ = r.read_f32_vec();
+  s.finalized_ = true;
+  return s;
+}
+
+}  // namespace phonolid::phonotactic

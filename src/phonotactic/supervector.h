@@ -1,0 +1,82 @@
+// Phonotactic supervectors (paper Eq. 2-3) and TFLLR scaling (Eq. 5).
+//
+// The supervector φ(x) holds, for every N-gram d_q, its probability in the
+// lattice:  p(d_q | ℓ) = c_E(d_q | ℓ) / Σ_m c_E(d_m | ℓ), normalised
+// *within each order* so unigrams/bigrams/trigrams each form a probability
+// distribution.  The TFLLR kernel K(x_i, x_j) = Σ_q p_q(x_i) p_q(x_j) /
+// p_q(all) is realised as a feature-space scaling by 1/sqrt(p(d_q|ℓ_all)),
+// which makes the plain linear SVM compute the TFLLR kernel exactly.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "decoder/lattice.h"
+#include "phonotactic/ngram_counts.h"
+#include "phonotactic/sparse.h"
+
+namespace phonolid::phonotactic {
+
+struct SupervectorConfig {
+  NgramCountConfig counts;
+  /// Use lattice expected counts (true) or 1-best sequence counts (false —
+  /// ablation mode).
+  bool use_lattice = true;
+};
+
+/// Builds probability supervectors from lattices.
+class SupervectorBuilder {
+ public:
+  SupervectorBuilder(NgramIndexer indexer, SupervectorConfig config = {});
+
+  [[nodiscard]] const NgramIndexer& indexer() const noexcept { return indexer_; }
+  [[nodiscard]] std::size_t dimension() const noexcept {
+    return indexer_.dimension();
+  }
+
+  /// φ(x) for one decoded utterance.
+  [[nodiscard]] SparseVec build(const decoder::Lattice& lattice) const;
+
+ private:
+  NgramIndexer indexer_;
+  SupervectorConfig config_;
+};
+
+/// TFLLR feature map: v_q -> v_q / sqrt(p(d_q | ℓ_all)).
+///
+/// fit() accumulates the background distribution over a training collection;
+/// transform() applies the scaling in place.  Unseen N-grams fall back to a
+/// uniform-probability floor so test-time features stay bounded.
+class TfllrScaler {
+ public:
+  TfllrScaler() = default;
+  explicit TfllrScaler(std::size_t dimension);
+
+  /// Accumulate one training supervector into the background distribution.
+  void accumulate(const SparseVec& supervector);
+
+  /// Finalise p(d_q | ℓ_all) and the per-feature scale factors.
+  void finalize();
+
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+  [[nodiscard]] std::size_t dimension() const noexcept { return scales_.size(); }
+
+  /// Scale a supervector in place.
+  void transform(SparseVec& supervector) const;
+
+  /// Scale factor of one feature (for tests / diagnostics).
+  [[nodiscard]] float scale_of(std::uint32_t index) const {
+    return scales_.at(index);
+  }
+
+  void serialize(std::ostream& out) const;
+  static TfllrScaler deserialize(std::istream& in);
+
+ private:
+  std::vector<double> accum_;
+  std::vector<float> scales_;
+  double total_ = 0.0;
+  bool finalized_ = false;
+};
+
+}  // namespace phonolid::phonotactic

@@ -1,0 +1,116 @@
+#include "svm/linear_svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace phonolid::svm {
+
+double LinearSvm::score(const phonotactic::SparseVec& x) const noexcept {
+  return x.dot_dense(weights_) + bias_value_;
+}
+
+std::size_t LinearSvm::train(std::span<const phonotactic::SparseVec* const> x,
+                             std::span<const std::int8_t> y,
+                             std::size_t dimension, const SvmConfig& config) {
+  const std::size_t n = x.size();
+  if (n == 0 || y.size() != n) {
+    throw std::invalid_argument("LinearSvm::train: bad inputs");
+  }
+  for (std::int8_t label : y) {
+    if (label != 1 && label != -1) {
+      throw std::invalid_argument("LinearSvm::train: labels must be +-1");
+    }
+  }
+
+  // Dual coordinate descent (Hsieh et al. 2008, Algorithm 1).
+  const double diag = config.l2_loss ? 1.0 / (2.0 * config.C) : 0.0;
+  const double upper =
+      config.l2_loss ? std::numeric_limits<double>::infinity() : config.C;
+
+  weights_.assign(dimension, 0.0f);
+  bias_scale_ = config.bias;
+  double w_bias = 0.0;  // weight of the constant bias feature
+  std::vector<double> alpha(n, 0.0);
+  std::vector<double> q_ii(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sq = 0.0;
+    for (float v : x[i]->values()) sq += static_cast<double>(v) * v;
+    sq += config.bias * config.bias;
+    q_ii[i] = sq + diag;
+  }
+
+  util::Rng rng(config.seed);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+  std::size_t epoch = 0;
+  for (; epoch < config.max_epochs; ++epoch) {
+    rng.shuffle(order);
+    double max_violation = 0.0;
+    for (const std::size_t i : order) {
+      const double yi = y[i];
+      const double wx =
+          x[i]->dot_dense(weights_) + w_bias * config.bias;
+      const double grad = yi * wx - 1.0 + diag * alpha[i];
+
+      // Projected gradient.
+      double pg = grad;
+      if (alpha[i] <= 0.0) {
+        pg = std::min(grad, 0.0);
+      } else if (alpha[i] >= upper) {
+        pg = std::max(grad, 0.0);
+      }
+      max_violation = std::max(max_violation, std::abs(pg));
+      if (pg == 0.0) continue;
+
+      const double old_alpha = alpha[i];
+      alpha[i] = std::clamp(old_alpha - grad / q_ii[i], 0.0, upper);
+      const double delta = (alpha[i] - old_alpha) * yi;
+      if (delta != 0.0) {
+        x[i]->add_to_dense(static_cast<float>(delta), weights_);
+        w_bias += delta * config.bias;
+      }
+    }
+    if (max_violation < config.epsilon) {
+      ++epoch;
+      break;
+    }
+  }
+
+  bias_value_ = w_bias * config.bias;
+
+  // Dual objective: 0.5 ||w||^2 (incl. bias & diag term) - sum alpha.
+  double wnorm = w_bias * w_bias;
+  for (float v : weights_) wnorm += static_cast<double>(v) * v;
+  double obj = 0.5 * wnorm;
+  for (std::size_t i = 0; i < n; ++i) {
+    obj += 0.5 * diag * alpha[i] * alpha[i] - alpha[i];
+  }
+  dual_obj_ = obj;
+  return epoch;
+}
+
+void LinearSvm::serialize(std::ostream& out) const {
+  util::BinaryWriter w(out);
+  w.write_magic("PSVM", 1);
+  w.write_f32_vec(weights_);
+  w.write_f64(bias_value_);
+  w.write_f64(bias_scale_);
+}
+
+LinearSvm LinearSvm::deserialize(std::istream& in) {
+  util::BinaryReader r(in);
+  r.expect_magic("PSVM", 1);
+  LinearSvm svm;
+  svm.weights_ = r.read_f32_vec();
+  svm.bias_value_ = r.read_f64();
+  svm.bias_scale_ = r.read_f64();
+  return svm;
+}
+
+}  // namespace phonolid::svm

@@ -1,0 +1,66 @@
+// Linear SVM trained by dual coordinate descent.
+//
+// The optimiser inside LIBLINEAR (Hsieh et al., ICML 2008), which is what
+// the paper uses for its VSM classifiers (§4.1).  L2-regularised L1- or
+// L2-loss SVM on sparse inputs; the bias term of paper Eq. 4 is realised by
+// augmenting every example with a constant feature.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "phonotactic/sparse.h"
+
+namespace phonolid::svm {
+
+struct SvmConfig {
+  double C = 1.0;
+  /// L2 (squared hinge) when true, else L1 hinge.
+  bool l2_loss = true;
+  std::size_t max_epochs = 200;
+  /// Stop when the maximal projected-gradient violation over an epoch falls
+  /// below this.
+  double epsilon = 0.01;
+  /// Weight of the constant bias feature (0 disables the bias).
+  double bias = 1.0;
+  std::uint64_t seed = 1;
+};
+
+class LinearSvm {
+ public:
+  LinearSvm() = default;
+
+  /// Decision value w·x + b for one example.
+  [[nodiscard]] double score(const phonotactic::SparseVec& x) const noexcept;
+
+  [[nodiscard]] std::size_t dimension() const noexcept {
+    return weights_.size();
+  }
+  [[nodiscard]] const std::vector<float>& weights() const noexcept {
+    return weights_;
+  }
+  [[nodiscard]] double bias_value() const noexcept { return bias_value_; }
+
+  /// Trains on examples `x` with labels `y` in {+1, -1}.
+  /// `dimension` = feature-space size (indices must be < dimension).
+  /// Returns the number of epochs run.
+  std::size_t train(std::span<const phonotactic::SparseVec* const> x,
+                    std::span<const std::int8_t> y, std::size_t dimension,
+                    const SvmConfig& config);
+
+  /// Dual objective value of the last training run (for convergence tests).
+  [[nodiscard]] double dual_objective() const noexcept { return dual_obj_; }
+
+  void serialize(std::ostream& out) const;
+  static LinearSvm deserialize(std::istream& in);
+
+ private:
+  std::vector<float> weights_;
+  double bias_value_ = 0.0;
+  double bias_scale_ = 0.0;  // config.bias used in training
+  double dual_obj_ = 0.0;
+};
+
+}  // namespace phonolid::svm

@@ -1,0 +1,87 @@
+#include "svm/vsm.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "util/thread_pool.h"
+
+namespace phonolid::svm {
+
+VsmModel VsmModel::train(std::span<const phonotactic::SparseVec> x,
+                         std::span<const std::int32_t> labels,
+                         std::size_t num_classes, std::size_t dimension,
+                         const VsmTrainConfig& config) {
+  std::vector<const phonotactic::SparseVec*> xptr(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) xptr[i] = &x[i];
+  return train(std::span<const phonotactic::SparseVec* const>(xptr), labels,
+               num_classes, dimension, config);
+}
+
+VsmModel VsmModel::train(std::span<const phonotactic::SparseVec* const> xptr,
+                         std::span<const std::int32_t> labels,
+                         std::size_t num_classes, std::size_t dimension,
+                         const VsmTrainConfig& config) {
+  const std::size_t n = xptr.size();
+  if (n == 0 || labels.size() != n || num_classes == 0) {
+    throw std::invalid_argument("VsmModel::train: bad inputs");
+  }
+  for (std::int32_t l : labels) {
+    if (l < 0 || static_cast<std::size_t>(l) >= num_classes) {
+      throw std::invalid_argument("VsmModel::train: label out of range");
+    }
+  }
+
+  VsmModel model;
+  model.classifiers_.resize(num_classes);
+  util::parallel_for(0, num_classes, [&](std::size_t k) {
+    std::vector<std::int8_t> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] = (static_cast<std::size_t>(labels[i]) == k) ? 1 : -1;
+    }
+    SvmConfig svm_cfg = config.svm;
+    svm_cfg.seed = util::derive_stream(config.seed, 0xE000 + k);
+    model.classifiers_[k].train(xptr, y, dimension, svm_cfg);
+  });
+  return model;
+}
+
+void VsmModel::score(const phonotactic::SparseVec& x,
+                     std::span<float> out) const {
+  if (out.size() != classifiers_.size()) {
+    throw std::invalid_argument("VsmModel::score: bad output span");
+  }
+  for (std::size_t k = 0; k < classifiers_.size(); ++k) {
+    out[k] = static_cast<float>(classifiers_[k].score(x));
+  }
+}
+
+util::Matrix VsmModel::score_all(
+    std::span<const phonotactic::SparseVec> x) const {
+  util::Matrix scores(x.size(), classifiers_.size());
+  util::parallel_for(0, x.size(), [&](std::size_t i) {
+    score(x[i], scores.row(i));
+  });
+  return scores;
+}
+
+void VsmModel::serialize(std::ostream& out) const {
+  util::BinaryWriter w(out);
+  w.write_magic("PVSM", 1);
+  w.write_u64(classifiers_.size());
+  for (const auto& c : classifiers_) c.serialize(out);
+}
+
+VsmModel VsmModel::deserialize(std::istream& in) {
+  util::BinaryReader r(in);
+  r.expect_magic("PVSM", 1);
+  const std::uint64_t k = r.read_u64();
+  VsmModel model;
+  model.classifiers_.reserve(k);
+  for (std::uint64_t i = 0; i < k; ++i) {
+    model.classifiers_.push_back(LinearSvm::deserialize(in));
+  }
+  return model;
+}
+
+}  // namespace phonolid::svm

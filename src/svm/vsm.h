@@ -1,0 +1,65 @@
+// Vector space model: the paper's per-subsystem language classifier.
+//
+// One-versus-rest linear SVMs over TFLLR-scaled phonotactic supervectors
+// (paper §2.3).  A VsmModel is one row M_q = {mdl_q1 .. mdl_qK} of the
+// language-model matrix in paper Eq. 7; scoring a test set produces one
+// block F_q of the score matrix in Eq. 8-9.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "svm/linear_svm.h"
+#include "util/matrix.h"
+
+namespace phonolid::svm {
+
+struct VsmTrainConfig {
+  SvmConfig svm;
+  std::uint64_t seed = 1;
+};
+
+class VsmModel {
+ public:
+  VsmModel() = default;
+
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return classifiers_.size();
+  }
+  [[nodiscard]] const LinearSvm& classifier(std::size_t k) const {
+    return classifiers_.at(k);
+  }
+
+  /// One-versus-rest training: class k's machine sees label +1 for
+  /// utterances of language k and -1 for everything else (paper Eq. 6).
+  /// Classes are trained in parallel.
+  static VsmModel train(std::span<const phonotactic::SparseVec> x,
+                        std::span<const std::int32_t> labels,
+                        std::size_t num_classes, std::size_t dimension,
+                        const VsmTrainConfig& config);
+
+  /// Pointer-based overload (avoids copying supervectors when composing
+  /// derived training sets such as Tr_DBA).
+  static VsmModel train(std::span<const phonotactic::SparseVec* const> x,
+                        std::span<const std::int32_t> labels,
+                        std::size_t num_classes, std::size_t dimension,
+                        const VsmTrainConfig& config);
+
+  /// Confidence scores f(φ(x)) against every language model (one row of
+  /// paper Eq. 9).
+  void score(const phonotactic::SparseVec& x, std::span<float> out) const;
+
+  /// Score a whole collection: rows = utterances, cols = classes.
+  [[nodiscard]] util::Matrix score_all(
+      std::span<const phonotactic::SparseVec> x) const;
+
+  void serialize(std::ostream& out) const;
+  static VsmModel deserialize(std::istream& in);
+
+ private:
+  std::vector<LinearSvm> classifiers_;
+};
+
+}  // namespace phonolid::svm

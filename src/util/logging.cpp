@@ -1,0 +1,53 @@
+#include "util/logging.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace phonolid::util {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() : level_(LogLevel::kWarn) {
+  if (const char* env = std::getenv("PHONOLID_LOG")) {
+    level_ = parse_log_level(env);
+  }
+}
+
+void Logger::write(LogLevel level, const std::string& component,
+                   const std::string& message) {
+  using clock = std::chrono::steady_clock;
+  static const auto start = clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(clock::now() - start).count();
+  std::lock_guard lock(mutex_);
+  std::fprintf(stderr, "[%9.3fs %-5s %s] %s\n", elapsed, to_string(level),
+               component.c_str(), message.c_str());
+}
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(const std::string& text) noexcept {
+  if (text == "trace") return LogLevel::kTrace;
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (text == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+}  // namespace phonolid::util

@@ -1,0 +1,71 @@
+// Minimal leveled logger.
+//
+// Thread-safe (one mutex around the sink), level controlled at runtime via
+// set_level() or the PHONOLID_LOG env var (trace|debug|info|warn|error|off).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace phonolid::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return level >= level_;
+  }
+
+  void write(LogLevel level, const std::string& component,
+             const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_;
+  std::mutex mutex_;
+};
+
+const char* to_string(LogLevel level) noexcept;
+LogLevel parse_log_level(const std::string& text) noexcept;
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* component)
+      : level_(level), component_(component) {}
+  ~LogLine() {
+    if (Logger::instance().enabled(level_)) {
+      Logger::instance().write(level_, component_, stream_.str());
+    }
+  }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (Logger::instance().enabled(level_)) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace phonolid::util
+
+#define PHONOLID_LOG(level, component) \
+  ::phonolid::util::detail::LogLine(level, component)
+#define PHONOLID_INFO(component) \
+  PHONOLID_LOG(::phonolid::util::LogLevel::kInfo, component)
+#define PHONOLID_DEBUG(component) \
+  PHONOLID_LOG(::phonolid::util::LogLevel::kDebug, component)
+#define PHONOLID_WARN(component) \
+  PHONOLID_LOG(::phonolid::util::LogLevel::kWarn, component)
+#define PHONOLID_ERROR(component) \
+  PHONOLID_LOG(::phonolid::util::LogLevel::kError, component)

@@ -1,0 +1,141 @@
+#include "util/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace phonolid::util {
+
+double safe_log(double x) noexcept {
+  return std::log(std::max(x, 1e-300));
+}
+
+double log_add(double a, double b) noexcept {
+  if (a < b) std::swap(a, b);
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  return a + std::log1p(std::exp(b - a));
+}
+
+double log_sum_exp(std::span<const double> values) noexcept {
+  if (values.empty()) return -std::numeric_limits<double>::infinity();
+  const double m = *std::max_element(values.begin(), values.end());
+  if (!std::isfinite(m)) return m;
+  double sum = 0.0;
+  for (double v : values) sum += std::exp(v - m);
+  return m + std::log(sum);
+}
+
+float log_sum_exp(std::span<const float> values) noexcept {
+  if (values.empty()) return -std::numeric_limits<float>::infinity();
+  const float m = *std::max_element(values.begin(), values.end());
+  if (!std::isfinite(m)) return m;
+  double sum = 0.0;
+  for (float v : values) sum += std::exp(static_cast<double>(v - m));
+  return m + static_cast<float>(std::log(sum));
+}
+
+double sigmoid(double x) noexcept {
+  if (x >= 0.0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+void softmax_inplace(std::span<float> values) noexcept {
+  if (values.empty()) return;
+  const float m = *std::max_element(values.begin(), values.end());
+  double sum = 0.0;
+  for (auto& v : values) {
+    v = std::exp(v - m);
+    sum += v;
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (auto& v : values) v *= inv;
+}
+
+void softmax_inplace(std::span<double> values) noexcept {
+  if (values.empty()) return;
+  const double m = *std::max_element(values.begin(), values.end());
+  double sum = 0.0;
+  for (auto& v : values) {
+    v = std::exp(v - m);
+    sum += v;
+  }
+  const double inv = 1.0 / sum;
+  for (auto& v : values) v *= inv;
+}
+
+void log_softmax_inplace(std::span<float> values) noexcept {
+  if (values.empty()) return;
+  const float lse = log_sum_exp(std::span<const float>(values.data(), values.size()));
+  for (auto& v : values) v -= lse;
+}
+
+double probit(double p) noexcept {
+  // Peter Acklam's inverse-normal approximation, |relative error| < 1.15e-9.
+  p = std::clamp(p, 1e-300, 1.0 - 1e-16);
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  constexpr double phigh = 1.0 - plow;
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > phigh) {
+    q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  q = p - 0.5;
+  r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+double normal_cdf(double x) noexcept {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double mean(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) noexcept {
+  const std::size_t n = values.size();
+  if (n < 2) return 0.0;
+  const double m = mean(values);
+  double s = 0.0;
+  for (double v : values) s += (v - m) * (v - m);
+  return s / static_cast<double>(n - 1);
+}
+
+std::size_t argmax(std::span<const float> values) noexcept {
+  if (values.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::max_element(values.begin(), values.end()) - values.begin());
+}
+
+std::size_t argmax(std::span<const double> values) noexcept {
+  if (values.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::max_element(values.begin(), values.end()) - values.begin());
+}
+
+}  // namespace phonolid::util

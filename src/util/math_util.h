@@ -1,0 +1,47 @@
+// Numerics shared by the acoustic models, backends and metrics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace phonolid::util {
+
+/// Natural log of a value clamped away from zero.
+double safe_log(double x) noexcept;
+
+/// log(exp(a) + exp(b)) without overflow.
+double log_add(double a, double b) noexcept;
+
+/// log(sum exp(v_i)) without overflow; returns -inf for empty input.
+double log_sum_exp(std::span<const double> values) noexcept;
+float log_sum_exp(std::span<const float> values) noexcept;
+
+/// Numerically stable logistic function.
+double sigmoid(double x) noexcept;
+
+/// In-place softmax over `values`.
+void softmax_inplace(std::span<float> values) noexcept;
+void softmax_inplace(std::span<double> values) noexcept;
+
+/// In-place log-softmax over `values`.
+void log_softmax_inplace(std::span<float> values) noexcept;
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation).
+/// Used for DET-curve probit axes.  p must lie in (0, 1).
+double probit(double p) noexcept;
+
+/// Standard normal CDF.
+double normal_cdf(double x) noexcept;
+
+/// Mean of a span (0 for empty input).
+double mean(std::span<const double> values) noexcept;
+
+/// Unbiased sample variance (0 for n < 2).
+double variance(std::span<const double> values) noexcept;
+
+/// argmax index; 0 for empty input.
+std::size_t argmax(std::span<const float> values) noexcept;
+std::size_t argmax(std::span<const double> values) noexcept;
+
+}  // namespace phonolid::util

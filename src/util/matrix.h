@@ -1,0 +1,95 @@
+// Dense row-major matrix / vector math used throughout phonolid.
+//
+// Deliberately minimal: contiguous storage, bounds-checked accessors in
+// debug builds, and the handful of BLAS-1/2/3 style kernels the acoustic
+// models and SVM need.  All hot loops operate on raw spans so the compiler
+// can vectorise them.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace phonolid::util {
+
+using Vec = std::vector<float>;
+
+/// Row-major dense matrix of float.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  float& operator()(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<float> row(std::size_t r) noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const float> row(std::size_t r) const noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] float* data() noexcept { return data_.data(); }
+  [[nodiscard]] const float* data() const noexcept { return data_.data(); }
+
+  void resize(std::size_t rows, std::size_t cols, float fill = 0.0f) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  bool operator==(const Matrix& o) const noexcept {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// y += alpha * x
+void axpy(float alpha, std::span<const float> x, std::span<float> y) noexcept;
+
+/// Dot product.
+float dot(std::span<const float> a, std::span<const float> b) noexcept;
+
+/// Euclidean norm.
+float norm2(std::span<const float> a) noexcept;
+
+/// x *= alpha
+void scale(float alpha, std::span<float> x) noexcept;
+
+/// out = A * x  (A: m x n, x: n, out: m).  out may not alias x.
+void matvec(const Matrix& a, std::span<const float> x, std::span<float> out) noexcept;
+
+/// out = A^T * x (A: m x n, x: m, out: n).  out may not alias x.
+void matvec_transposed(const Matrix& a, std::span<const float> x,
+                       std::span<float> out) noexcept;
+
+/// C = A * B (A: m x k, B: k x n, C: m x n).  C may not alias A or B.
+void matmul(const Matrix& a, const Matrix& b, Matrix& c) noexcept;
+
+/// Rank-1 update: A += alpha * x * y^T (x: m, y: n, A: m x n).
+void ger(float alpha, std::span<const float> x, std::span<const float> y,
+         Matrix& a) noexcept;
+
+}  // namespace phonolid::util

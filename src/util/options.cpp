@@ -1,0 +1,42 @@
+#include "util/options.h"
+
+#include <cstdlib>
+
+namespace phonolid::util {
+
+Scale parse_scale(const std::string& text) noexcept {
+  if (text == "quick") return Scale::kQuick;
+  if (text == "full") return Scale::kFull;
+  return Scale::kDefault;
+}
+
+Scale scale_from_env() noexcept {
+  if (const char* env = std::getenv("PHONOLID_SCALE")) {
+    return parse_scale(env);
+  }
+  return Scale::kDefault;
+}
+
+const char* to_string(Scale scale) noexcept {
+  switch (scale) {
+    case Scale::kQuick: return "quick";
+    case Scale::kDefault: return "default";
+    case Scale::kFull: return "full";
+  }
+  return "?";
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) noexcept {
+  if (const char* env = std::getenv(name)) {
+    char* end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    if (end != env) return v;
+  }
+  return fallback;
+}
+
+std::uint64_t master_seed() noexcept {
+  return static_cast<std::uint64_t>(env_int("PHONOLID_SEED", 20090704));
+}
+
+}  // namespace phonolid::util

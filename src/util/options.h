@@ -1,0 +1,30 @@
+// Experiment-scale configuration.
+//
+// Every bench/example reads its corpus scale from here so "quick" CI runs
+// and "full" paper-shaped runs share one switch:
+//   PHONOLID_SCALE=quick|default|full   (env var), or set explicitly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace phonolid::util {
+
+enum class Scale { kQuick, kDefault, kFull };
+
+/// Parse "quick"/"default"/"full" (anything else -> kDefault).
+Scale parse_scale(const std::string& text) noexcept;
+
+/// Reads PHONOLID_SCALE, defaulting to kDefault.
+Scale scale_from_env() noexcept;
+
+const char* to_string(Scale scale) noexcept;
+
+/// Integer env override helper: returns `fallback` when unset/invalid.
+std::int64_t env_int(const char* name, std::int64_t fallback) noexcept;
+
+/// Master seed for experiments (PHONOLID_SEED, default 20090704 — the LRE09
+/// vintage makes a memorable default).
+std::uint64_t master_seed() noexcept;
+
+}  // namespace phonolid::util

@@ -1,0 +1,123 @@
+#include "util/serialize.h"
+
+#include <cstring>
+
+namespace phonolid::util {
+
+void BinaryWriter::raw(const void* data, std::size_t bytes) {
+  out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+  if (!out_) throw SerializeError("write failed");
+}
+
+void BinaryWriter::write_magic(const char magic[4], std::uint32_t version) {
+  raw(magic, 4);
+  write_u32(version);
+}
+
+void BinaryWriter::write_u32(std::uint32_t v) { raw(&v, sizeof v); }
+void BinaryWriter::write_u64(std::uint64_t v) { raw(&v, sizeof v); }
+void BinaryWriter::write_i64(std::int64_t v) { raw(&v, sizeof v); }
+void BinaryWriter::write_f32(float v) { raw(&v, sizeof v); }
+void BinaryWriter::write_f64(double v) { raw(&v, sizeof v); }
+
+void BinaryWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  if (!s.empty()) raw(s.data(), s.size());
+}
+
+void BinaryWriter::write_f32_vec(const std::vector<float>& v) {
+  write_u64(v.size());
+  if (!v.empty()) raw(v.data(), v.size() * sizeof(float));
+}
+
+void BinaryWriter::write_f64_vec(const std::vector<double>& v) {
+  write_u64(v.size());
+  if (!v.empty()) raw(v.data(), v.size() * sizeof(double));
+}
+
+void BinaryWriter::write_u32_vec(const std::vector<std::uint32_t>& v) {
+  write_u64(v.size());
+  if (!v.empty()) raw(v.data(), v.size() * sizeof(std::uint32_t));
+}
+
+void BinaryReader::raw(void* data, std::size_t bytes) {
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (static_cast<std::size_t>(in_.gcount()) != bytes) {
+    throw SerializeError("unexpected end of stream");
+  }
+}
+
+void BinaryReader::expect_magic(const char magic[4],
+                                std::uint32_t expected_version) {
+  char got[4];
+  raw(got, 4);
+  if (std::memcmp(got, magic, 4) != 0) {
+    throw SerializeError(std::string("bad magic, expected '") +
+                         std::string(magic, 4) + "'");
+  }
+  const std::uint32_t version = read_u32();
+  if (version != expected_version) {
+    throw SerializeError("unsupported format version " +
+                         std::to_string(version));
+  }
+}
+
+std::uint32_t BinaryReader::read_u32() {
+  std::uint32_t v;
+  raw(&v, sizeof v);
+  return v;
+}
+std::uint64_t BinaryReader::read_u64() {
+  std::uint64_t v;
+  raw(&v, sizeof v);
+  return v;
+}
+std::int64_t BinaryReader::read_i64() {
+  std::int64_t v;
+  raw(&v, sizeof v);
+  return v;
+}
+float BinaryReader::read_f32() {
+  float v;
+  raw(&v, sizeof v);
+  return v;
+}
+double BinaryReader::read_f64() {
+  double v;
+  raw(&v, sizeof v);
+  return v;
+}
+
+std::string BinaryReader::read_string() {
+  const std::uint64_t n = read_u64();
+  if (n > kMaxElements) throw SerializeError("string too long");
+  std::string s(n, '\0');
+  if (n > 0) raw(s.data(), n);
+  return s;
+}
+
+std::vector<float> BinaryReader::read_f32_vec() {
+  const std::uint64_t n = read_u64();
+  if (n > kMaxElements) throw SerializeError("vector too long");
+  std::vector<float> v(n);
+  if (n > 0) raw(v.data(), n * sizeof(float));
+  return v;
+}
+
+std::vector<double> BinaryReader::read_f64_vec() {
+  const std::uint64_t n = read_u64();
+  if (n > kMaxElements) throw SerializeError("vector too long");
+  std::vector<double> v(n);
+  if (n > 0) raw(v.data(), n * sizeof(double));
+  return v;
+}
+
+std::vector<std::uint32_t> BinaryReader::read_u32_vec() {
+  const std::uint64_t n = read_u64();
+  if (n > kMaxElements) throw SerializeError("vector too long");
+  std::vector<std::uint32_t> v(n);
+  if (n > 0) raw(v.data(), n * sizeof(std::uint32_t));
+  return v;
+}
+
+}  // namespace phonolid::util

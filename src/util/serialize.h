@@ -1,0 +1,65 @@
+// Binary model serialization.
+//
+// A tagged little-endian stream: every model file starts with a 4-byte
+// magic and a format version so load errors are explicit rather than
+// garbage reads.  Readers validate sizes before allocating.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace phonolid::util {
+
+class SerializeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& out) : out_(out) {}
+
+  void write_magic(const char magic[4], std::uint32_t version);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i64(std::int64_t v);
+  void write_f32(float v);
+  void write_f64(double v);
+  void write_string(const std::string& s);
+  void write_f32_vec(const std::vector<float>& v);
+  void write_f64_vec(const std::vector<double>& v);
+  void write_u32_vec(const std::vector<std::uint32_t>& v);
+
+ private:
+  void raw(const void* data, std::size_t bytes);
+  std::ostream& out_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& in) : in_(in) {}
+
+  /// Throws SerializeError if magic or version mismatch.
+  void expect_magic(const char magic[4], std::uint32_t expected_version);
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::int64_t read_i64();
+  float read_f32();
+  double read_f64();
+  std::string read_string();
+  std::vector<float> read_f32_vec();
+  std::vector<double> read_f64_vec();
+  std::vector<std::uint32_t> read_u32_vec();
+
+ private:
+  void raw(void* data, std::size_t bytes);
+  std::istream& in_;
+  // Guard against hostile / corrupt length prefixes.
+  static constexpr std::uint64_t kMaxElements = 1ull << 32;
+};
+
+}  // namespace phonolid::util

@@ -1,0 +1,60 @@
+// Shared-memory parallelism substrate.
+//
+// A fixed-size worker pool with a blocking task queue, plus a
+// `parallel_for` that block-partitions an index range across the pool.
+// Parallel results must be written to disjoint, pre-sized slots so the
+// outcome is independent of scheduling order (keeps experiments
+// deterministic under any thread count).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace phonolid::util {
+
+class ThreadPool {
+ public:
+  /// `num_threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t num_threads() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Process-wide pool, sized from PHONOLID_THREADS or hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Run body(i) for i in [begin, end) across the pool, in contiguous blocks.
+/// Blocks until every index is done.  Exceptions from the body propagate
+/// (the first one encountered is rethrown).
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t min_block = 1);
+
+/// Convenience overload on the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t min_block = 1);
+
+}  // namespace phonolid::util

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "acoustic/gmm_lr.h"
+#include "acoustic/sdc.h"
+#include "corpus/dataset.h"
+#include "eval/metrics.h"
+
+namespace phonolid::acoustic {
+namespace {
+
+TEST(Sdc, DimensionFormula) {
+  EXPECT_EQ(sdc_dim({7, 1, 3, 7}), 7u * 8u);
+  EXPECT_EQ(sdc_dim({5, 2, 2, 3}), 5u * 4u);
+}
+
+TEST(Sdc, OutputShape) {
+  util::Matrix ceps(40, 13);
+  const auto out = compute_sdc(ceps, {7, 1, 3, 7});
+  EXPECT_EQ(out.rows(), 40u);
+  EXPECT_EQ(out.cols(), 56u);
+}
+
+TEST(Sdc, StaticsCopied) {
+  util::Matrix ceps(10, 8);
+  for (std::size_t t = 0; t < 10; ++t) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      ceps(t, c) = static_cast<float>(t + 10 * c);
+    }
+  }
+  const SdcConfig cfg{7, 1, 3, 2};
+  const auto out = compute_sdc(ceps, cfg);
+  for (std::size_t t = 0; t < 10; ++t) {
+    for (std::size_t c = 0; c < 7; ++c) {
+      EXPECT_FLOAT_EQ(out(t, c), ceps(t, c));
+    }
+  }
+}
+
+TEST(Sdc, DeltasOfLinearRampAreConstant) {
+  // cepstra(t, c) = t -> every delta = 2*d (interior frames).
+  util::Matrix ceps(30, 7);
+  for (std::size_t t = 0; t < 30; ++t) {
+    for (std::size_t c = 0; c < 7; ++c) ceps(t, c) = static_cast<float>(t);
+  }
+  const SdcConfig cfg{7, 1, 3, 3};
+  const auto out = compute_sdc(ceps, cfg);
+  // Frame 5: all blocks interior (5 + 2*3 + 1 = 12 < 30).
+  for (std::size_t block = 0; block < 3; ++block) {
+    for (std::size_t c = 0; c < 7; ++c) {
+      EXPECT_FLOAT_EQ(out(5, 7 * (1 + block) + c), 2.0f);
+    }
+  }
+}
+
+TEST(Sdc, ConstantSignalHasZeroDeltas) {
+  util::Matrix ceps(20, 7, 3.0f);
+  const auto out = compute_sdc(ceps, {7, 1, 3, 7});
+  for (std::size_t t = 0; t < 20; ++t) {
+    for (std::size_t j = 7; j < out.cols(); ++j) {
+      EXPECT_FLOAT_EQ(out(t, j), 0.0f);
+    }
+  }
+}
+
+TEST(Sdc, RejectsTooFewCepstra) {
+  util::Matrix ceps(10, 5);
+  EXPECT_THROW(compute_sdc(ceps, {7, 1, 3, 7}), std::invalid_argument);
+}
+
+TEST(Sdc, EmptyInput) {
+  util::Matrix ceps(0, 13);
+  const auto out = compute_sdc(ceps, {7, 1, 3, 7});
+  EXPECT_EQ(out.rows(), 0u);
+}
+
+TEST(GmmLr, BeatsChanceOnMicroCorpus) {
+  corpus::CorpusConfig cfg = corpus::CorpusConfig::preset(util::Scale::kQuick, 99);
+  cfg.family.num_languages = 3;
+  // Acoustic LR discriminates via per-frame phone inventories, not phone
+  // ordering; shrink the subset overlap so the languages are acoustically
+  // (not just phonotactically) separable.
+  cfg.family.subset_fraction = 0.45;
+  cfg.train_utts_per_language = 16;
+  cfg.dev_utts_per_language_per_tier = 1;
+  cfg.test_utts_per_language_per_tier = 5;
+  cfg.num_native_languages = 1;
+  cfg.am_train_utts_per_native = 1;
+  const auto corpus = corpus::LreCorpus::build(cfg);
+
+  GmmLrConfig lr_cfg;
+  lr_cfg.gmm.num_components = 8;
+  const auto system = GmmLrSystem::train(corpus.vsm_train(), 3, lr_cfg);
+  EXPECT_EQ(system.num_languages(), 3u);
+
+  const util::Matrix scores = system.score_all(corpus.test());
+  std::vector<std::int32_t> labels;
+  for (const auto& u : corpus.test()) labels.push_back(u.language);
+  const double acc = eval::identification_accuracy(scores, labels);
+  EXPECT_GT(acc, 0.45);  // chance = 1/3
+}
+
+TEST(GmmLr, DeterministicScores) {
+  corpus::CorpusConfig cfg = corpus::CorpusConfig::preset(util::Scale::kQuick, 7);
+  cfg.family.num_languages = 2;
+  cfg.train_utts_per_language = 4;
+  cfg.dev_utts_per_language_per_tier = 1;
+  cfg.test_utts_per_language_per_tier = 2;
+  cfg.num_native_languages = 1;
+  cfg.am_train_utts_per_native = 1;
+  const auto corpus = corpus::LreCorpus::build(cfg);
+  const auto a = GmmLrSystem::train(corpus.vsm_train(), 2, {});
+  const auto b = GmmLrSystem::train(corpus.vsm_train(), 2, {});
+  const auto sa = a.score_all(corpus.test());
+  const auto sb = b.score_all(corpus.test());
+  EXPECT_TRUE(sa == sb);
+}
+
+TEST(GmmLr, InputValidation) {
+  EXPECT_THROW(GmmLrSystem::train({}, 3, {}), std::invalid_argument);
+  corpus::Dataset bad(1);
+  bad[0].language = -1;
+  bad[0].samples.assign(4000, 0.1f);
+  EXPECT_THROW(GmmLrSystem::train(bad, 3, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phonolid::acoustic

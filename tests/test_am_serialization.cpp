@@ -1,0 +1,148 @@
+// Round-trip serialization of the trained acoustic models — the pieces a
+// deployment would persist between the (expensive) front-end training and
+// the (cheap) VSM/DBA stages.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/serialize.h"
+
+#include "am/gmm_hmm.h"
+#include "am/nn_hmm.h"
+#include "decoder/phone_loop_decoder.h"
+#include "corpus/language_model.h"
+#include "corpus/synthesizer.h"
+
+namespace phonolid::am {
+namespace {
+
+struct SerWorld {
+  corpus::PhoneInventory inventory;
+  PhoneSetMap map;
+  dsp::FeaturePipeline pipeline;
+  corpus::Synthesizer synth;
+
+  SerWorld()
+      : inventory(corpus::build_universal_inventory(10, 3)),
+        map(build_phone_map(inventory, 4, 5)),
+        pipeline(dsp::FeaturePipelineConfig{}),
+        synth(inventory, 8000.0) {}
+
+  std::vector<AlignedUtterance> make_corpus(std::size_t n) {
+    const auto lang = corpus::build_language(inventory, "t", 0.4, 0.9, 17);
+    std::vector<AlignedUtterance> out;
+    for (std::size_t i = 0; i < n; ++i) {
+      util::Rng rng(300 + i);
+      const auto phones = lang.sample_sequence(inventory, 1.2, rng);
+      auto speaker = corpus::SpeakerProfile::sample(rng);
+      auto channel = corpus::ChannelProfile::sample(rng);
+      auto rendered = synth.render(phones, speaker, channel, rng);
+      corpus::Utterance utt;
+      utt.samples = std::move(rendered.samples);
+      utt.alignment = std::move(rendered.alignment);
+      out.push_back(align_utterance(utt, pipeline, map));
+    }
+    return out;
+  }
+};
+
+TEST(AmSerialization, GmmHmmRoundTripScoresIdentical) {
+  SerWorld world;
+  const auto data = world.make_corpus(5);
+  GmmHmmTrainConfig cfg;
+  cfg.gmm.num_components = 2;
+  const auto model = train_gmm_hmm(data, 4, cfg);
+
+  std::stringstream ss;
+  model.serialize(ss);
+  const auto loaded = GmmHmmModel::deserialize(ss);
+
+  EXPECT_EQ(loaded.num_states(), model.num_states());
+  EXPECT_EQ(loaded.feature_dim(), model.feature_dim());
+  util::Matrix a, b;
+  model.score(data[0].features, a);
+  loaded.score(data[0].features, b);
+  ASSERT_TRUE(a.rows() == b.rows() && a.cols() == b.cols());
+  for (std::size_t t = 0; t < a.rows(); ++t) {
+    for (std::size_t s = 0; s < a.cols(); ++s) {
+      EXPECT_FLOAT_EQ(a(t, s), b(t, s));
+    }
+  }
+  // Transitions preserved.
+  for (std::size_t s = 0; s < model.num_states(); ++s) {
+    EXPECT_FLOAT_EQ(loaded.transitions().log_self[s],
+                    model.transitions().log_self[s]);
+  }
+}
+
+TEST(AmSerialization, NnHmmRoundTripScoresIdentical) {
+  SerWorld world;
+  const auto data = world.make_corpus(5);
+  NnHmmTrainConfig cfg;
+  cfg.nn.hidden_sizes = {8};
+  cfg.nn.max_epochs = 2;
+  cfg.score_gain = 2.5f;
+  const auto model = train_nn_hmm(data, 4, cfg);
+
+  std::stringstream ss;
+  model.serialize(ss);
+  const auto loaded = NnHmmModel::deserialize(ss);
+
+  EXPECT_EQ(loaded.num_states(), model.num_states());
+  EXPECT_EQ(loaded.context(), model.context());
+  util::Matrix a, b;
+  model.score(data[1].features, a);
+  loaded.score(data[1].features, b);
+  for (std::size_t t = 0; t < a.rows(); ++t) {
+    for (std::size_t s = 0; s < a.cols(); ++s) {
+      EXPECT_FLOAT_EQ(a(t, s), b(t, s));
+    }
+  }
+}
+
+TEST(AmSerialization, GmmHmmRejectsCorruptMagic) {
+  std::stringstream ss;
+  ss << "XXXX garbage";
+  EXPECT_THROW(GmmHmmModel::deserialize(ss), util::SerializeError);
+}
+
+TEST(AmSerialization, NnHmmRejectsTruncatedStream) {
+  SerWorld world;
+  const auto data = world.make_corpus(4);
+  NnHmmTrainConfig cfg;
+  cfg.nn.hidden_sizes = {6};
+  cfg.nn.max_epochs = 1;
+  const auto model = train_nn_hmm(data, 4, cfg);
+  std::stringstream ss;
+  model.serialize(ss);
+  const std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(NnHmmModel::deserialize(truncated), util::SerializeError);
+}
+
+TEST(AmSerialization, DecodingIdenticalThroughRoundTrip) {
+  // The persisted model must drive the decoder to identical lattices.
+  SerWorld world;
+  const auto data = world.make_corpus(5);
+  GmmHmmTrainConfig cfg;
+  cfg.gmm.num_components = 2;
+  const auto model = train_gmm_hmm(data, 4, cfg);
+  std::stringstream ss;
+  model.serialize(ss);
+  const auto loaded = GmmHmmModel::deserialize(ss);
+
+  decoder::PhoneLoopDecoder dec_a(model, model.topology(),
+                                  model.transitions(), {});
+  decoder::PhoneLoopDecoder dec_b(loaded, loaded.topology(),
+                                  loaded.transitions(), {});
+  const auto lat_a = dec_a.decode(data[2].features);
+  const auto lat_b = dec_b.decode(data[2].features);
+  EXPECT_EQ(lat_a.best_path(), lat_b.best_path());
+  ASSERT_EQ(lat_a.edges().size(), lat_b.edges().size());
+  for (std::size_t i = 0; i < lat_a.edges().size(); ++i) {
+    EXPECT_FLOAT_EQ(lat_a.edges()[i].score, lat_b.edges()[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace phonolid::am

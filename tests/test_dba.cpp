@@ -1,0 +1,199 @@
+#include "core/dba.h"
+
+#include <gtest/gtest.h>
+
+namespace phonolid::core {
+namespace {
+
+/// Builds a score matrix from a row-major initialiser.
+util::Matrix scores_from(std::initializer_list<std::initializer_list<float>> rows) {
+  util::Matrix m(rows.size(), rows.begin()->size());
+  std::size_t r = 0;
+  for (const auto& row : rows) {
+    std::size_t c = 0;
+    for (float v : row) m(r, c++) = v;
+    ++r;
+  }
+  return m;
+}
+
+TEST(ComputeVotes, StrictCriterionMatchesEq13) {
+  // Utterance 0: class 0 positive, others negative -> vote for 0.
+  // Utterance 1: two positives -> no vote (rival not negative).
+  // Utterance 2: all negative -> no vote.
+  const util::Matrix s = scores_from({{1.0f, -0.5f, -0.2f},
+                                      {0.5f, 0.4f, -1.0f},
+                                      {-0.1f, -0.2f, -0.3f}});
+  const auto votes = compute_votes({&s}, VoteCriterion::kStrict);
+  EXPECT_EQ(votes.count(0, 0), 1);
+  EXPECT_EQ(votes.count(0, 1), 0);
+  EXPECT_EQ(votes.count(1, 0), 0);
+  EXPECT_EQ(votes.count(1, 1), 0);
+  EXPECT_EQ(votes.count(2, 0), 0);
+  EXPECT_TRUE(votes.vote(0, 0, 0));
+  EXPECT_FALSE(votes.vote(0, 1, 0));
+}
+
+TEST(ComputeVotes, PositiveArgmaxIsLooser) {
+  const util::Matrix s = scores_from({{0.5f, 0.4f, -1.0f}});
+  const auto strict = compute_votes({&s}, VoteCriterion::kStrict);
+  const auto loose = compute_votes({&s}, VoteCriterion::kPositiveArgmax);
+  EXPECT_EQ(strict.count(0, 0), 0);
+  EXPECT_EQ(loose.count(0, 0), 1);
+}
+
+TEST(ComputeVotes, ArgmaxAlwaysVotes) {
+  const util::Matrix s = scores_from({{-3.0f, -1.0f, -2.0f}});
+  const auto votes = compute_votes({&s}, VoteCriterion::kArgmax);
+  EXPECT_EQ(votes.count(0, 1), 1);
+}
+
+TEST(ComputeVotes, AccumulatesAcrossSubsystems) {
+  const util::Matrix a = scores_from({{1.0f, -1.0f}});
+  const util::Matrix b = scores_from({{2.0f, -0.5f}});
+  const util::Matrix c = scores_from({{-1.0f, 0.5f}});
+  const auto votes = compute_votes({&a, &b, &c}, VoteCriterion::kStrict);
+  EXPECT_EQ(votes.count(0, 0), 2);
+  EXPECT_EQ(votes.count(0, 1), 1);
+  EXPECT_EQ(votes.num_subsystems, 3u);
+}
+
+TEST(ComputeVotes, ValidatesShapes) {
+  const util::Matrix a = scores_from({{1.0f, -1.0f}});
+  const util::Matrix b = scores_from({{1.0f, -1.0f}, {0.0f, 0.0f}});
+  EXPECT_THROW(compute_votes({&a, &b}), std::invalid_argument);
+  EXPECT_THROW(compute_votes({}), std::invalid_argument);
+}
+
+VoteResult make_votes(std::initializer_list<std::initializer_list<int>> counts,
+                      std::size_t num_subsystems = 6) {
+  VoteResult v;
+  v.num_utts = counts.size();
+  v.num_classes = counts.begin()->size();
+  v.num_subsystems = num_subsystems;
+  for (const auto& row : counts) {
+    for (int c : row) v.counts.push_back(static_cast<std::uint16_t>(c));
+  }
+  // per_subsystem bits: mark subsystem 0..count-1 as voters for the class.
+  v.per_subsystem.assign(num_subsystems,
+                         std::vector<std::uint8_t>(v.counts.size(), 0));
+  for (std::size_t j = 0; j < v.num_utts; ++j) {
+    for (std::size_t k = 0; k < v.num_classes; ++k) {
+      const std::uint16_t n = v.counts[j * v.num_classes + k];
+      for (std::uint16_t q = 0; q < n && q < num_subsystems; ++q) {
+        v.per_subsystem[q][j * v.num_classes + k] = 1;
+      }
+    }
+  }
+  return v;
+}
+
+TEST(SelectTrdba, ThresholdFiltersUtterances) {
+  const auto votes = make_votes({{5, 0, 0}, {3, 0, 0}, {0, 2, 0}, {0, 0, 6}});
+  const auto sel3 = select_trdba(votes, 3);
+  ASSERT_EQ(sel3.utt_index.size(), 3u);
+  EXPECT_EQ(sel3.label[0], 0);
+  EXPECT_EQ(sel3.label[1], 0);
+  EXPECT_EQ(sel3.label[2], 2);
+
+  const auto sel6 = select_trdba(votes, 6);
+  ASSERT_EQ(sel6.utt_index.size(), 1u);
+  EXPECT_EQ(sel6.utt_index[0], 3u);
+}
+
+TEST(SelectTrdba, MonotoneInThreshold) {
+  // Lower thresholds must adopt supersets (Table 1's monotone counts).
+  const auto votes =
+      make_votes({{6, 0}, {5, 0}, {4, 0}, {3, 0}, {2, 0}, {1, 0}, {0, 0}});
+  std::size_t prev = 0;
+  for (std::size_t v = 6; v >= 1; --v) {
+    const auto sel = select_trdba(votes, v);
+    EXPECT_GE(sel.utt_index.size(), prev);
+    prev = sel.utt_index.size();
+  }
+  EXPECT_EQ(prev, 6u);
+}
+
+TEST(SelectTrdba, SkipsAmbiguousTies) {
+  const auto votes = make_votes({{3, 3, 0}});
+  const auto sel = select_trdba(votes, 3);
+  EXPECT_TRUE(sel.utt_index.empty());
+}
+
+TEST(SelectTrdba, FitCountsMatchVotes) {
+  const auto votes = make_votes({{4, 0}, {2, 0}}, 6);
+  const auto sel = select_trdba(votes, 2);
+  ASSERT_EQ(sel.subsystem_fit_counts.size(), 6u);
+  // Subsystems 0 and 1 voted for both adopted utterances; 2 and 3 only for
+  // the first; 4 and 5 for none.
+  EXPECT_EQ(sel.subsystem_fit_counts[0], 2u);
+  EXPECT_EQ(sel.subsystem_fit_counts[1], 2u);
+  EXPECT_EQ(sel.subsystem_fit_counts[2], 1u);
+  EXPECT_EQ(sel.subsystem_fit_counts[3], 1u);
+  EXPECT_EQ(sel.subsystem_fit_counts[4], 0u);
+  EXPECT_EQ(sel.subsystem_fit_counts[5], 0u);
+}
+
+TEST(SelectTrdba, RejectsZeroThreshold) {
+  const auto votes = make_votes({{1, 0}});
+  EXPECT_THROW(select_trdba(votes, 0), std::invalid_argument);
+}
+
+TEST(SelectionErrorRate, CountsMislabels) {
+  TrdbaSelection sel;
+  sel.utt_index = {0, 1, 2, 3};
+  sel.label = {0, 1, 0, 1};
+  const std::vector<std::int32_t> truth = {0, 1, 1, 1};
+  EXPECT_NEAR(selection_error_rate(sel, truth), 0.25, 1e-12);
+  TrdbaSelection empty;
+  EXPECT_EQ(selection_error_rate(empty, truth), 0.0);
+}
+
+TEST(ComposeTrdba, M1UsesOnlyAdoptedTestData) {
+  std::vector<phonotactic::SparseVec> test_svs(3), train_svs(2);
+  std::vector<std::int32_t> train_labels = {0, 1};
+  TrdbaSelection sel;
+  sel.utt_index = {1, 2};
+  sel.label = {1, 0};
+  std::vector<const phonotactic::SparseVec*> x;
+  std::vector<std::int32_t> y;
+  compose_trdba(DbaMode::kM1, sel, test_svs, train_svs, train_labels, x, y);
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_EQ(x[0], &test_svs[1]);
+  EXPECT_EQ(x[1], &test_svs[2]);
+  EXPECT_EQ(y, (std::vector<std::int32_t>{1, 0}));
+}
+
+TEST(ComposeTrdba, M2AppendsOriginalTraining) {
+  std::vector<phonotactic::SparseVec> test_svs(3), train_svs(2);
+  std::vector<std::int32_t> train_labels = {0, 1};
+  TrdbaSelection sel;
+  sel.utt_index = {0};
+  sel.label = {1};
+  std::vector<const phonotactic::SparseVec*> x;
+  std::vector<std::int32_t> y;
+  compose_trdba(DbaMode::kM2, sel, test_svs, train_svs, train_labels, x, y);
+  ASSERT_EQ(x.size(), 3u);
+  EXPECT_EQ(x[0], &test_svs[0]);
+  EXPECT_EQ(x[1], &train_svs[0]);
+  EXPECT_EQ(x[2], &train_svs[1]);
+  EXPECT_EQ(y, (std::vector<std::int32_t>{1, 0, 1}));
+}
+
+TEST(ComposeTrdba, M2EmptySelectionIsJustTraining) {
+  std::vector<phonotactic::SparseVec> test_svs(2), train_svs(2);
+  std::vector<std::int32_t> train_labels = {0, 1};
+  TrdbaSelection sel;
+  std::vector<const phonotactic::SparseVec*> x;
+  std::vector<std::int32_t> y;
+  compose_trdba(DbaMode::kM2, sel, test_svs, train_svs, train_labels, x, y);
+  EXPECT_EQ(x.size(), 2u);
+}
+
+TEST(DbaModeNames, Strings) {
+  EXPECT_STREQ(to_string(DbaMode::kM1), "DBA-M1");
+  EXPECT_STREQ(to_string(DbaMode::kM2), "DBA-M2");
+}
+
+}  // namespace
+}  // namespace phonolid::core

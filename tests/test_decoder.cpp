@@ -1,0 +1,155 @@
+#include "decoder/phone_loop_decoder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "am/hmm.h"
+
+namespace phonolid::decoder {
+namespace {
+
+/// A synthetic acoustic model over P phones x 3 states whose score for
+/// state s at frame t is high when `truth[t] == phone_of(s)`.
+class OracleModel final : public am::AcousticModel {
+ public:
+  OracleModel(am::HmmTopology topo, std::vector<std::size_t> truth,
+              float margin)
+      : topo_(topo), truth_(std::move(truth)), margin_(margin) {}
+
+  [[nodiscard]] std::size_t num_states() const noexcept override {
+    return topo_.num_states();
+  }
+  [[nodiscard]] std::size_t feature_dim() const noexcept override { return 1; }
+
+  void score(const util::Matrix& features, util::Matrix& out) const override {
+    out.resize(features.rows(), num_states());
+    for (std::size_t t = 0; t < features.rows(); ++t) {
+      for (std::size_t s = 0; s < num_states(); ++s) {
+        const bool correct = topo_.phone_of(s) == truth_.at(t);
+        out(t, s) = correct ? 0.0f : -margin_;
+      }
+    }
+  }
+
+ private:
+  am::HmmTopology topo_;
+  std::vector<std::size_t> truth_;
+  float margin_;
+};
+
+struct DecoderFixture {
+  am::HmmTopology topo{4, 3};
+  std::vector<std::size_t> truth;
+  std::unique_ptr<OracleModel> model;
+  std::unique_ptr<PhoneLoopDecoder> decoder;
+
+  explicit DecoderFixture(float margin = 5.0f, DecoderConfig cfg = {}) {
+    // Ground truth: phone 1 for 6 frames, phone 3 for 6, phone 0 for 6.
+    for (int i = 0; i < 6; ++i) truth.push_back(1);
+    for (int i = 0; i < 6; ++i) truth.push_back(3);
+    for (int i = 0; i < 6; ++i) truth.push_back(0);
+    model = std::make_unique<OracleModel>(topo, truth, margin);
+    decoder = std::make_unique<PhoneLoopDecoder>(
+        *model, topo, am::HmmTransitions::uniform(topo.num_states(), 2.0), cfg);
+  }
+
+  util::Matrix features() const {
+    return util::Matrix(truth.size(), 1, 0.0f);
+  }
+};
+
+TEST(PhoneLoopDecoder, OneBestRecoversClearSequence) {
+  DecoderFixture fx(8.0f);
+  const Lattice lat = fx.decoder->decode(fx.features());
+  EXPECT_EQ(lat.best_path(), (std::vector<std::uint32_t>{1, 3, 0}));
+}
+
+TEST(PhoneLoopDecoder, LatticeContainsBestPathEdges) {
+  DecoderFixture fx(8.0f);
+  const Lattice lat = fx.decoder->decode(fx.features());
+  std::set<std::uint32_t> phones;
+  for (const auto& e : lat.edges()) phones.insert(e.phone);
+  EXPECT_TRUE(phones.count(1));
+  EXPECT_TRUE(phones.count(3));
+  EXPECT_TRUE(phones.count(0));
+}
+
+TEST(PhoneLoopDecoder, PosteriorsFormValidDistribution) {
+  DecoderFixture fx(2.0f);  // small margin -> competitive lattice
+  const Lattice lat = fx.decoder->decode(fx.features());
+  ASSERT_FALSE(lat.edges().empty());
+  const auto occ = lat.frame_occupancy();
+  for (std::size_t t = 0; t < occ.size(); ++t) {
+    EXPECT_NEAR(occ[t], 1.0, 1e-3) << "frame " << t;
+  }
+  for (const auto& e : lat.edges()) {
+    EXPECT_GE(e.posterior, 0.0);
+    EXPECT_LE(e.posterior, 1.0 + 1e-9);
+  }
+}
+
+TEST(PhoneLoopDecoder, AmbiguousAcousticsYieldRicherLattice) {
+  DecoderFixture clear(10.0f);
+  DecoderConfig wide;
+  wide.lattice_beam = 20.0;
+  DecoderFixture fuzzy(0.5f, wide);
+  const Lattice lat_clear = clear.decoder->decode(clear.features());
+  const Lattice lat_fuzzy = fuzzy.decoder->decode(fuzzy.features());
+  EXPECT_GT(lat_fuzzy.edges().size(), lat_clear.edges().size());
+}
+
+TEST(PhoneLoopDecoder, EmptyFeaturesGiveEmptyLattice) {
+  DecoderFixture fx;
+  util::Matrix empty(0, 1);
+  const Lattice lat = fx.decoder->decode(empty);
+  EXPECT_EQ(lat.num_frames(), 0u);
+  EXPECT_TRUE(lat.edges().empty());
+}
+
+TEST(PhoneLoopDecoder, VeryShortUtteranceStillProducesLattice) {
+  DecoderFixture fx;
+  util::Matrix two(2, 1, 0.0f);  // shorter than one 3-state phone
+  const Lattice lat = fx.decoder->decode(two);
+  EXPECT_FALSE(lat.edges().empty());
+  EXPECT_FALSE(lat.best_path().empty());
+  const auto occ = lat.frame_occupancy();
+  for (double o : occ) EXPECT_NEAR(o, 1.0, 1e-6);
+}
+
+TEST(PhoneLoopDecoder, EdgesAreWellFormed) {
+  DecoderFixture fx(1.0f);
+  const Lattice lat = fx.decoder->decode(fx.features());
+  for (const auto& e : lat.edges()) {
+    EXPECT_LT(e.start_node, e.end_node);
+    EXPECT_LE(e.end_node, lat.num_frames());
+    EXPECT_LT(e.phone, 4u);
+    EXPECT_TRUE(std::isfinite(e.score));
+  }
+}
+
+TEST(PhoneLoopDecoder, StateCountMismatchThrows) {
+  am::HmmTopology topo{4, 3};
+  OracleModel model(topo, std::vector<std::size_t>(5, 0), 1.0f);
+  am::HmmTopology wrong{5, 3};
+  EXPECT_THROW(PhoneLoopDecoder(model, wrong,
+                                am::HmmTransitions::uniform(15, 2.0), {}),
+               std::invalid_argument);
+}
+
+TEST(PhoneLoopDecoder, DeterministicDecoding) {
+  DecoderFixture fx(1.5f);
+  const Lattice a = fx.decoder->decode(fx.features());
+  const Lattice b = fx.decoder->decode(fx.features());
+  ASSERT_EQ(a.edges().size(), b.edges().size());
+  for (std::size_t i = 0; i < a.edges().size(); ++i) {
+    EXPECT_EQ(a.edges()[i].start_node, b.edges()[i].start_node);
+    EXPECT_EQ(a.edges()[i].phone, b.edges()[i].phone);
+    EXPECT_FLOAT_EQ(a.edges()[i].score, b.edges()[i].score);
+  }
+  EXPECT_EQ(a.best_path(), b.best_path());
+}
+
+}  // namespace
+}  // namespace phonolid::decoder

@@ -1,0 +1,114 @@
+// Cross-checks between the evaluation primitives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace phonolid::eval {
+namespace {
+
+TrialSet gaussian_trials(double separation, std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  TrialSet t;
+  for (std::size_t i = 0; i < n; ++i) {
+    t.target_scores.push_back(rng.gaussian(separation, 1.0));
+    t.nontarget_scores.push_back(rng.gaussian(-separation, 1.0));
+  }
+  return t;
+}
+
+TEST(EvalConsistency, EerLiesOnTheDetCurveDiagonal) {
+  const auto trials = gaussian_trials(0.8, 4000, 3);
+  const double eer = equal_error_rate(trials);
+  const auto curve = det_curve(trials);
+  // Find the curve point closest to the diagonal; its coordinates must
+  // bracket the reported EER.
+  double best_gap = 1e9;
+  DetPoint closest;
+  for (const auto& p : curve) {
+    const double gap = std::abs(p.p_fa - p.p_miss);
+    if (gap < best_gap) {
+      best_gap = gap;
+      closest = p;
+    }
+  }
+  EXPECT_NEAR(eer, 0.5 * (closest.p_fa + closest.p_miss), 0.01);
+}
+
+TEST(EvalConsistency, GaussianEerMatchesTheory) {
+  // Equal-variance Gaussians separated by 2a: EER = Phi(-a).
+  for (double a : {0.5, 1.0, 1.5}) {
+    const auto trials = gaussian_trials(a, 60000, 7);
+    const double theory = util::normal_cdf(-a);
+    EXPECT_NEAR(equal_error_rate(trials), theory, 0.01) << a;
+  }
+}
+
+TEST(EvalConsistency, CavgAtBayesThresholdUpperBoundsEerTimesTwoApprox) {
+  // For well-calibrated LLR scores, Cavg at threshold 0 is close to the
+  // EER (both average miss/fa at nearby operating points).
+  util::Rng rng(11);
+  const std::size_t n = 6000;
+  util::Matrix llr(n, 2);
+  std::vector<std::int32_t> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = static_cast<std::int32_t>(i % 2);
+    for (std::size_t c = 0; c < 2; ++c) {
+      const double mean = (static_cast<std::int32_t>(c) == y[i]) ? 1.0 : -1.0;
+      llr(i, c) = static_cast<float>(rng.gaussian(mean, 1.0));
+    }
+  }
+  const double c = cavg(llr, y, 2);
+  const double e = equal_error_rate(TrialSet::from_scores(llr, y));
+  EXPECT_NEAR(c, e, 0.03);
+}
+
+TEST(EvalConsistency, ThinnedCurveEerApproximatesFullCurveEer) {
+  const auto trials = gaussian_trials(1.0, 3000, 13);
+  const auto curve = det_curve(trials);
+  const auto thin = thin_det_curve(curve, 64);
+  // Recompute an EER estimate from the thinned curve.
+  double eer_thin = 0.5;
+  DetPoint prev = thin.front();
+  for (const auto& p : thin) {
+    if (p.p_fa >= p.p_miss) {
+      eer_thin = 0.25 * (p.p_fa + p.p_miss + prev.p_fa + prev.p_miss);
+      break;
+    }
+    prev = p;
+  }
+  EXPECT_NEAR(eer_thin, equal_error_rate(trials), 0.02);
+}
+
+TEST(EvalConsistency, LlrIdentityOrderPreserved) {
+  // Converting log-posteriors to LLR must not change the arg-max decision.
+  util::Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    util::Matrix lp(1, 4);
+    double lse_in[4];
+    for (std::size_t c = 0; c < 4; ++c) lse_in[c] = rng.gaussian();
+    const double lse = util::log_sum_exp(std::span<const double>(lse_in, 4));
+    for (std::size_t c = 0; c < 4; ++c) {
+      lp(0, c) = static_cast<float>(lse_in[c] - lse);
+    }
+    const auto llr = log_posteriors_to_llr(lp);
+    EXPECT_EQ(util::argmax(lp.row(0)), util::argmax(llr.row(0)));
+  }
+}
+
+TEST(EvalConsistency, IdentificationAccuracyConsistentWithPerfectScores) {
+  util::Matrix scores(6, 3, -1.0f);
+  std::vector<std::int32_t> y = {0, 1, 2, 0, 1, 2};
+  for (std::size_t i = 0; i < 6; ++i) {
+    scores(i, static_cast<std::size_t>(y[i])) = 1.0f;
+  }
+  EXPECT_DOUBLE_EQ(identification_accuracy(scores, y), 1.0);
+  const auto trials = TrialSet::from_scores(scores, y);
+  EXPECT_DOUBLE_EQ(equal_error_rate(trials), 0.0);
+}
+
+}  // namespace
+}  // namespace phonolid::eval

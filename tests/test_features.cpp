@@ -1,0 +1,147 @@
+#include "dsp/features.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.h"
+
+namespace phonolid::dsp {
+namespace {
+
+util::Matrix random_features(std::size_t frames, std::size_t dim,
+                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  util::Matrix m(frames, dim);
+  for (std::size_t t = 0; t < frames; ++t) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      m(t, d) = static_cast<float>(rng.gaussian(static_cast<double>(d), 2.0));
+    }
+  }
+  return m;
+}
+
+TEST(Deltas, TriplesDimension) {
+  const auto base = random_features(50, 13, 1);
+  const auto out = add_deltas(base, 2);
+  EXPECT_EQ(out.rows(), 50u);
+  EXPECT_EQ(out.cols(), 39u);
+}
+
+TEST(Deltas, StaticsPreserved) {
+  const auto base = random_features(20, 5, 2);
+  const auto out = add_deltas(base, 2);
+  for (std::size_t t = 0; t < 20; ++t) {
+    for (std::size_t d = 0; d < 5; ++d) {
+      EXPECT_FLOAT_EQ(out(t, d), base(t, d));
+    }
+  }
+}
+
+TEST(Deltas, ConstantSignalHasZeroDeltas) {
+  util::Matrix base(30, 4, 3.5f);
+  const auto out = add_deltas(base, 2);
+  for (std::size_t t = 0; t < 30; ++t) {
+    for (std::size_t d = 4; d < 12; ++d) {
+      EXPECT_NEAR(out(t, d), 0.0f, 1e-6);
+    }
+  }
+}
+
+TEST(Deltas, LinearRampHasConstantDelta) {
+  util::Matrix base(40, 1);
+  for (std::size_t t = 0; t < 40; ++t) base(t, 0) = static_cast<float>(t);
+  const auto out = add_deltas(base, 2);
+  // Interior frames: delta of slope-1 ramp is exactly 1.
+  for (std::size_t t = 2; t < 38; ++t) {
+    EXPECT_NEAR(out(t, 1), 1.0f, 1e-5) << t;
+  }
+  // Delta-delta of a ramp is 0 in the interior.
+  for (std::size_t t = 4; t < 36; ++t) {
+    EXPECT_NEAR(out(t, 2), 0.0f, 1e-5) << t;
+  }
+}
+
+TEST(Deltas, EmptyInput) {
+  util::Matrix empty(0, 13);
+  const auto out = add_deltas(empty, 2);
+  EXPECT_EQ(out.rows(), 0u);
+  EXPECT_EQ(out.cols(), 39u);
+}
+
+TEST(Cmvn, ZeroMeanUnitVariance) {
+  auto m = random_features(200, 7, 3);
+  cmvn_inplace(m, true);
+  for (std::size_t d = 0; d < 7; ++d) {
+    double sum = 0.0, sum2 = 0.0;
+    for (std::size_t t = 0; t < 200; ++t) {
+      sum += m(t, d);
+      sum2 += static_cast<double>(m(t, d)) * m(t, d);
+    }
+    const double mean = sum / 200.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sum2 / 200.0 - mean * mean, 1.0, 1e-3);
+  }
+}
+
+TEST(Cmvn, MeanOnlyMode) {
+  auto m = random_features(100, 3, 4);
+  auto copy = m;
+  cmvn_inplace(m, false);
+  for (std::size_t d = 0; d < 3; ++d) {
+    double sum = 0.0;
+    for (std::size_t t = 0; t < 100; ++t) sum += m(t, d);
+    EXPECT_NEAR(sum / 100.0, 0.0, 1e-4);
+  }
+  // Shape (relative differences) preserved in mean-only mode.
+  EXPECT_NEAR(m(1, 0) - m(0, 0), copy(1, 0) - copy(0, 0), 1e-4);
+}
+
+TEST(Cmvn, ConstantColumnStaysFinite) {
+  util::Matrix m(50, 2, 4.0f);
+  cmvn_inplace(m, true);
+  for (std::size_t t = 0; t < 50; ++t) {
+    EXPECT_TRUE(std::isfinite(m(t, 0)));
+    EXPECT_NEAR(m(t, 0), 0.0f, 1e-4);
+  }
+}
+
+TEST(FeaturePipeline, MfccDimWithDeltas) {
+  FeaturePipelineConfig cfg;
+  cfg.kind = FeatureKind::kMfcc;
+  FeaturePipeline pipe(cfg);
+  EXPECT_EQ(pipe.feature_dim(), cfg.mfcc.num_ceps * 3);
+}
+
+TEST(FeaturePipeline, PlpDimWithoutDeltas) {
+  FeaturePipelineConfig cfg;
+  cfg.kind = FeatureKind::kPlp;
+  cfg.deltas = false;
+  FeaturePipeline pipe(cfg);
+  EXPECT_EQ(pipe.feature_dim(), cfg.plp.num_ceps);
+}
+
+TEST(FeaturePipeline, EndToEndProducesNormalisedFeatures) {
+  FeaturePipelineConfig cfg;
+  FeaturePipeline pipe(cfg);
+  util::Rng rng(7);
+  std::vector<float> x(8000);
+  for (auto& v : x) {
+    v = static_cast<float>(
+        std::sin(2.0 * std::numbers::pi * 0.05 * static_cast<double>(&v - x.data())) +
+        0.3 * rng.gaussian());
+  }
+  const auto feats = pipe.process(x);
+  EXPECT_EQ(feats.cols(), pipe.feature_dim());
+  EXPECT_GT(feats.rows(), 50u);
+  // CMVN applied: every column ~zero mean.
+  for (std::size_t d = 0; d < feats.cols(); ++d) {
+    double sum = 0.0;
+    for (std::size_t t = 0; t < feats.rows(); ++t) sum += feats(t, d);
+    EXPECT_NEAR(sum / static_cast<double>(feats.rows()), 0.0, 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace phonolid::dsp

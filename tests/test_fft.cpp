@@ -1,0 +1,132 @@
+#include "dsp/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace phonolid::dsp {
+namespace {
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(Fft(0), std::invalid_argument);
+  EXPECT_THROW(Fft(1), std::invalid_argument);
+  EXPECT_THROW(Fft(100), std::invalid_argument);
+  EXPECT_NO_THROW(Fft(2));
+  EXPECT_NO_THROW(Fft(256));
+}
+
+TEST(Fft, DeltaFunctionIsFlat) {
+  Fft fft(16);
+  std::vector<std::complex<float>> x(16, {0.0f, 0.0f});
+  x[0] = {1.0f, 0.0f};
+  fft.forward(x);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0f, 1e-5);
+    EXPECT_NEAR(v.imag(), 0.0f, 1e-5);
+  }
+}
+
+TEST(Fft, PureToneLandsInOneBin) {
+  const std::size_t n = 64;
+  Fft fft(n);
+  std::vector<std::complex<float>> x(n);
+  const std::size_t bin = 5;
+  for (std::size_t t = 0; t < n; ++t) {
+    const double angle =
+        2.0 * std::numbers::pi * static_cast<double>(bin * t) / static_cast<double>(n);
+    x[t] = {static_cast<float>(std::cos(angle)), 0.0f};
+  }
+  fft.forward(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    const float mag = std::abs(x[k]);
+    if (k == bin || k == n - bin) {
+      EXPECT_NEAR(mag, n / 2.0f, 1e-3) << k;
+    } else {
+      EXPECT_NEAR(mag, 0.0f, 1e-3) << k;
+    }
+  }
+}
+
+TEST(Fft, InverseRecoversSignal) {
+  const std::size_t n = 128;
+  Fft fft(n);
+  util::Rng rng(5);
+  std::vector<std::complex<float>> x(n), orig(n);
+  for (auto& v : x) {
+    v = {static_cast<float>(rng.gaussian()), static_cast<float>(rng.gaussian())};
+  }
+  orig = x;
+  fft.forward(x);
+  fft.inverse(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i].real(), orig[i].real(), 1e-4);
+    EXPECT_NEAR(x[i].imag(), orig[i].imag(), 1e-4);
+  }
+}
+
+TEST(Fft, LinearityProperty) {
+  const std::size_t n = 32;
+  Fft fft(n);
+  util::Rng rng(9);
+  std::vector<std::complex<float>> a(n), b(n), sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = {static_cast<float>(rng.gaussian()), 0.0f};
+    b[i] = {static_cast<float>(rng.gaussian()), 0.0f};
+    sum[i] = a[i] + b[i];
+  }
+  fft.forward(a);
+  fft.forward(b);
+  fft.forward(sum);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(sum[i].real(), a[i].real() + b[i].real(), 1e-3);
+    EXPECT_NEAR(sum[i].imag(), a[i].imag() + b[i].imag(), 1e-3);
+  }
+}
+
+TEST(Fft, ParsevalForPowerSpectrum) {
+  // Sum of |x|^2 over time == mean of |X|^2 over frequency.
+  const std::size_t n = 256;
+  Fft fft(n);
+  util::Rng rng(11);
+  std::vector<float> x(n);
+  double time_energy = 0.0;
+  for (auto& v : x) {
+    v = static_cast<float>(rng.gaussian());
+    time_energy += static_cast<double>(v) * v;
+  }
+  std::vector<float> power(n / 2 + 1);
+  fft.power_spectrum(x, power);
+  // Reassemble full-spectrum energy from the half spectrum (bins 1..n/2-1
+  // appear twice in the full spectrum).
+  double freq_energy = power[0] + power[n / 2];
+  for (std::size_t k = 1; k < n / 2; ++k) freq_energy += 2.0 * power[k];
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              time_energy * 1e-4);
+}
+
+class FftSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizeTest, RoundTripAtEverySize) {
+  const std::size_t n = GetParam();
+  Fft fft(n);
+  util::Rng rng(n);
+  std::vector<std::complex<float>> x(n), orig;
+  for (auto& v : x) v = {static_cast<float>(rng.uniform(-1, 1)), 0.0f};
+  orig = x;
+  fft.forward(x);
+  fft.inverse(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i].real(), orig[i].real(), 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizeTest,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128, 256, 512,
+                                           1024));
+
+}  // namespace
+}  // namespace phonolid::dsp

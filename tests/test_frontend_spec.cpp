@@ -1,0 +1,83 @@
+#include "core/frontend_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace phonolid::core {
+namespace {
+
+TEST(FrontendSpec, SixDiversifiedFrontends) {
+  for (auto scale : {util::Scale::kQuick, util::Scale::kDefault,
+                     util::Scale::kFull}) {
+    const auto specs = default_frontends(scale);
+    ASSERT_EQ(specs.size(), 6u) << to_string(scale);
+
+    // The paper's battery: 3 ANN-HMM, 1 DNN-HMM, 2 GMM-HMM.
+    std::size_t ann = 0, dnn = 0, gmm = 0;
+    for (const auto& s : specs) {
+      switch (s.family) {
+        case ModelFamily::kAnnHmm: ++ann; break;
+        case ModelFamily::kDnnHmm: ++dnn; break;
+        case ModelFamily::kGmmHmm: ++gmm; break;
+      }
+    }
+    EXPECT_EQ(ann, 3u);
+    EXPECT_EQ(dnn, 1u);
+    EXPECT_EQ(gmm, 2u);
+  }
+}
+
+TEST(FrontendSpec, DistinctNativeLanguagesAndSeeds) {
+  const auto specs = default_frontends(util::Scale::kDefault);
+  std::set<std::size_t> natives;
+  std::set<std::uint64_t> salts;
+  std::set<std::string> names;
+  for (const auto& s : specs) {
+    natives.insert(s.native_language);
+    salts.insert(s.seed_salt);
+    names.insert(s.name);
+  }
+  EXPECT_EQ(natives.size(), 6u);
+  EXPECT_EQ(salts.size(), 6u);
+  EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(FrontendSpec, PhoneSetOrderingMatchesPaper) {
+  // Paper inventories: MA 64 > HU 59 > RU 50 > EN 47 > CZ 43.
+  const auto specs = default_frontends(util::Scale::kDefault);
+  std::size_t hu = 0, ru = 0, cz = 0, ma = 0, en = 0;
+  for (const auto& s : specs) {
+    if (s.name.find("HU") != std::string::npos) hu = s.num_phones;
+    if (s.name.find("RU") != std::string::npos) ru = s.num_phones;
+    if (s.name.find("CZ") != std::string::npos) cz = s.num_phones;
+    if (s.name.find("MA") != std::string::npos) ma = s.num_phones;
+    if (s.family == ModelFamily::kDnnHmm) en = s.num_phones;
+  }
+  EXPECT_GT(ma, hu);
+  EXPECT_GT(hu, ru);
+  EXPECT_GT(ru, en);
+  EXPECT_GT(en, cz);
+}
+
+TEST(FrontendSpec, DnnUsesPlpAsInPaper) {
+  const auto specs = default_frontends(util::Scale::kDefault);
+  for (const auto& s : specs) {
+    if (s.family == ModelFamily::kDnnHmm) {
+      EXPECT_EQ(s.feature, dsp::FeatureKind::kPlp);
+      EXPECT_GE(s.hidden_sizes.size(), 2u);  // deep
+    }
+    if (s.family == ModelFamily::kAnnHmm) {
+      EXPECT_EQ(s.hidden_sizes.size(), 1u);  // shallow
+    }
+  }
+}
+
+TEST(FrontendSpec, FamilyNames) {
+  EXPECT_STREQ(to_string(ModelFamily::kAnnHmm), "ANN-HMM");
+  EXPECT_STREQ(to_string(ModelFamily::kDnnHmm), "DNN-HMM");
+  EXPECT_STREQ(to_string(ModelFamily::kGmmHmm), "GMM-HMM");
+}
+
+}  // namespace
+}  // namespace phonolid::core

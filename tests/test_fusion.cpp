@@ -1,0 +1,136 @@
+#include "backend/fusion.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace phonolid::backend {
+namespace {
+
+/// Builds Q subsystem score matrices for a 3-class problem.  Subsystem
+/// quality varies: higher `quality` = cleaner scores.
+struct FusionData {
+  std::vector<util::Matrix> dev_scores, test_scores;
+  std::vector<std::int32_t> dev_y, test_y;
+};
+
+FusionData make_data(const std::vector<double>& qualities, std::size_t n,
+                     std::uint64_t seed) {
+  util::Rng rng(seed);
+  FusionData d;
+  const std::size_t k = 3;
+  const auto fill = [&](util::Matrix& m, std::vector<std::int32_t>& y,
+                        double quality, bool fresh_labels) {
+    m.resize(n, k);
+    if (fresh_labels) y.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (fresh_labels) y[i] = static_cast<std::int32_t>(i % k);
+      for (std::size_t c = 0; c < k; ++c) {
+        const double mean = (static_cast<std::int32_t>(c) == y[i]) ? quality : -quality;
+        m(i, c) = static_cast<float>(rng.gaussian(mean, 1.0));
+      }
+    }
+  };
+  for (double q : qualities) {
+    util::Matrix dev, test;
+    fill(dev, d.dev_y, q, d.dev_y.empty());
+    fill(test, d.test_y, q, d.test_y.empty());
+    d.dev_scores.push_back(std::move(dev));
+    d.test_scores.push_back(std::move(test));
+  }
+  return d;
+}
+
+double accuracy(const util::Matrix& log_post,
+                const std::vector<std::int32_t>& y) {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < log_post.rows(); ++i) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < log_post.cols(); ++c) {
+      if (log_post(i, c) > log_post(i, best)) best = c;
+    }
+    if (static_cast<std::int32_t>(best) == y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(log_post.rows());
+}
+
+TEST(FusionWeights, NormalisedFromCounts) {
+  const auto w = fusion_weights_from_counts({10, 30, 60});
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_NEAR(w[0], 0.1, 1e-12);
+  EXPECT_NEAR(w[1], 0.3, 1e-12);
+  EXPECT_NEAR(w[2], 0.6, 1e-12);
+}
+
+TEST(FusionWeights, ZeroCountsFallBackToUniform) {
+  const auto w = fusion_weights_from_counts({0, 0});
+  EXPECT_NEAR(w[0], 0.5, 1e-12);
+  EXPECT_NEAR(w[1], 0.5, 1e-12);
+}
+
+TEST(ScoreFusion, FusionBeatsWeakSubsystem) {
+  const auto d = make_data({0.8, 0.8, 0.8}, 300, 1);
+  ScoreFusion fusion;
+  fusion.fit(d.dev_scores, d.dev_y, 3);
+  const double fused_acc = accuracy(fusion.apply(d.test_scores), d.test_y);
+
+  ScoreFusion single;
+  single.fit({d.dev_scores[0]}, d.dev_y, 3);
+  const double single_acc = accuracy(single.apply({d.test_scores[0]}), d.test_y);
+  EXPECT_GT(fused_acc, single_acc);
+}
+
+TEST(ScoreFusion, ApplyShape) {
+  const auto d = make_data({1.0, 0.5}, 120, 3);
+  ScoreFusion fusion;
+  fusion.fit(d.dev_scores, d.dev_y, 3);
+  const util::Matrix out = fusion.apply(d.test_scores);
+  EXPECT_EQ(out.rows(), 120u);
+  EXPECT_EQ(out.cols(), 3u);
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) {
+      sum += std::exp(static_cast<double>(out(i, c)));
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+  }
+}
+
+TEST(ScoreFusion, WeightsNormalisedInternally) {
+  const auto d = make_data({1.0, 1.0}, 90, 5);
+  ScoreFusion fusion;
+  fusion.fit(d.dev_scores, d.dev_y, 3, {2.0, 6.0});
+  ASSERT_EQ(fusion.weights().size(), 2u);
+  EXPECT_NEAR(fusion.weights()[0], 0.25, 1e-12);
+  EXPECT_NEAR(fusion.weights()[1], 0.75, 1e-12);
+}
+
+TEST(ScoreFusion, NoLdaAblationStillWorks) {
+  const auto d = make_data({1.2, 1.2}, 240, 7);
+  ScoreFusion with_lda, without_lda;
+  FusionConfig plain;
+  plain.use_lda = false;
+  with_lda.fit(d.dev_scores, d.dev_y, 3);
+  without_lda.fit(d.dev_scores, d.dev_y, 3, {}, plain);
+  const double a = accuracy(with_lda.apply(d.test_scores), d.test_y);
+  const double b = accuracy(without_lda.apply(d.test_scores), d.test_y);
+  EXPECT_GT(a, 0.7);
+  EXPECT_GT(b, 0.7);
+}
+
+TEST(ScoreFusion, InputValidation) {
+  ScoreFusion fusion;
+  EXPECT_THROW(fusion.fit({}, {}, 3), std::invalid_argument);
+  const auto d = make_data({1.0}, 30, 9);
+  EXPECT_THROW(fusion.fit(d.dev_scores, d.dev_y, 3, {1.0, 2.0}),
+               std::invalid_argument);
+  // Inconsistent shapes across subsystems.
+  auto bad = d.dev_scores;
+  bad.push_back(util::Matrix(10, 3));
+  EXPECT_THROW(fusion.fit(bad, d.dev_y, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phonolid::backend

@@ -1,0 +1,152 @@
+#include "backend/gaussian_backend.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace phonolid::backend {
+namespace {
+
+void make_gaussian_classes(util::Matrix& x, std::vector<std::int32_t>& y,
+                           std::size_t n, double separation,
+                           std::uint64_t seed) {
+  util::Rng rng(seed);
+  x.resize(n, 2);
+  y.resize(n);
+  static const double angle[3] = {0.0, 2.1, 4.2};
+  for (std::size_t i = 0; i < n; ++i) {
+    const int c = static_cast<int>(i % 3);
+    x(i, 0) = static_cast<float>(separation * std::cos(angle[c]) +
+                                 rng.gaussian(0.0, 1.0));
+    x(i, 1) = static_cast<float>(separation * std::sin(angle[c]) +
+                                 rng.gaussian(0.0, 1.0));
+    y[i] = c;
+  }
+}
+
+TEST(GaussianBackend, PosteriorsNormalised) {
+  util::Matrix x;
+  std::vector<std::int32_t> y;
+  make_gaussian_classes(x, y, 300, 2.0, 1);
+  GaussianBackend backend;
+  backend.fit(x, y, 3);
+  const util::Matrix lp = backend.log_posteriors(x);
+  for (std::size_t i = 0; i < lp.rows(); ++i) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) {
+      sum += std::exp(static_cast<double>(lp(i, c)));
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(GaussianBackend, ClassifiesSeparatedClasses) {
+  util::Matrix x;
+  std::vector<std::int32_t> y;
+  make_gaussian_classes(x, y, 600, 4.0, 3);
+  GaussianBackend backend;
+  backend.fit(x, y, 3);
+  const util::Matrix lp = backend.log_posteriors(x);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < lp.rows(); ++i) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < 3; ++c) {
+      if (lp(i, c) > lp(i, best)) best = c;
+    }
+    if (static_cast<std::int32_t>(best) == y[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(lp.rows()),
+            0.95);
+}
+
+TEST(GaussianBackend, MmiImprovesObjective) {
+  util::Matrix x;
+  std::vector<std::int32_t> y;
+  make_gaussian_classes(x, y, 400, 1.5, 5);  // overlapping classes
+  GaussianBackend ml_only, mmi;
+  MmiConfig no_mmi;
+  no_mmi.iterations = 0;
+  MmiConfig with_mmi;
+  with_mmi.iterations = 60;
+  with_mmi.learning_rate = 0.2;
+  ml_only.fit(x, y, 3, no_mmi);
+  mmi.fit(x, y, 3, with_mmi);
+  EXPECT_GT(mmi.objective(x, y), ml_only.objective(x, y));
+}
+
+TEST(GaussianBackend, MmiObjectiveIsMeanLogPosterior) {
+  util::Matrix x;
+  std::vector<std::int32_t> y;
+  make_gaussian_classes(x, y, 150, 2.0, 7);
+  GaussianBackend backend;
+  backend.fit(x, y, 3);
+  const util::Matrix lp = backend.log_posteriors(x);
+  double manual = 0.0;
+  for (std::size_t i = 0; i < lp.rows(); ++i) {
+    manual += lp(i, static_cast<std::size_t>(y[i]));
+  }
+  manual /= static_cast<double>(lp.rows());
+  EXPECT_NEAR(backend.objective(x, y), manual, 1e-9);
+}
+
+TEST(GaussianBackend, FlatPriorsGiveSymmetricMidpointPosterior) {
+  // Two classes mirrored across the origin with equal counts: with flat
+  // priors and ML fit (no MMI drift), the midpoint must score 50/50.
+  util::Rng rng(11);
+  const std::size_t n = 400;
+  util::Matrix x(n, 2);
+  std::vector<std::int32_t> y(n);
+  for (std::size_t i = 0; i < n; i += 2) {
+    // Pairwise-mirrored noise makes the two sample means exact mirrors.
+    const double g0 = rng.gaussian(), g1 = rng.gaussian();
+    x(i, 0) = static_cast<float>(-2.0 + g0);
+    x(i, 1) = static_cast<float>(g1);
+    y[i] = 0;
+    x(i + 1, 0) = static_cast<float>(2.0 - g0);
+    x(i + 1, 1) = static_cast<float>(-g1);
+    y[i + 1] = 1;
+  }
+  GaussianBackend backend;
+  MmiConfig cfg;
+  cfg.flat_priors = true;
+  cfg.iterations = 0;
+  backend.fit(x, y, 2, cfg);
+  std::vector<float> center = {0.0f, 0.0f};
+  std::vector<float> lp(2);
+  backend.log_posteriors(center, lp);
+  EXPECT_NEAR(std::exp(static_cast<double>(lp[0])), 0.5, 0.05);
+  EXPECT_NEAR(std::exp(static_cast<double>(lp[1])), 0.5, 0.05);
+}
+
+TEST(GaussianBackend, InputValidation) {
+  GaussianBackend backend;
+  util::Matrix x(4, 2, 0.0f);
+  std::vector<std::int32_t> y = {0, 1, 0, 1};
+  EXPECT_THROW(backend.fit(x, y, 1), std::invalid_argument);
+  std::vector<std::int32_t> bad = {0, 9, 0, 1};
+  EXPECT_THROW(backend.fit(x, bad, 2), std::invalid_argument);
+}
+
+TEST(GaussianBackend, VarianceUpdateStaysPositive) {
+  util::Matrix x;
+  std::vector<std::int32_t> y;
+  make_gaussian_classes(x, y, 200, 2.0, 13);
+  GaussianBackend backend;
+  MmiConfig cfg;
+  cfg.update_variance = true;
+  cfg.iterations = 100;
+  cfg.learning_rate = 0.5;
+  backend.fit(x, y, 3, cfg);
+  // Posteriors remain finite and normalised after aggressive variance MMI.
+  const util::Matrix lp = backend.log_posteriors(x);
+  for (std::size_t i = 0; i < lp.rows(); ++i) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_TRUE(std::isfinite(lp(i, c)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace phonolid::backend

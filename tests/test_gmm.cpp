@@ -1,0 +1,156 @@
+#include "am/gmm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace phonolid::am {
+namespace {
+
+util::Matrix sample_two_clusters(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  util::Matrix data(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 2 == 0) {
+      data(i, 0) = static_cast<float>(rng.gaussian(-3.0, 0.5));
+      data(i, 1) = static_cast<float>(rng.gaussian(0.0, 0.5));
+    } else {
+      data(i, 0) = static_cast<float>(rng.gaussian(3.0, 0.5));
+      data(i, 1) = static_cast<float>(rng.gaussian(1.0, 0.5));
+    }
+  }
+  return data;
+}
+
+TEST(DiagGaussian, LogLikelihoodMatchesClosedForm) {
+  DiagGaussian g({0.0f, 0.0f}, {1.0f, 1.0f});
+  std::vector<float> x = {0.0f, 0.0f};
+  EXPECT_NEAR(g.log_likelihood(x), -std::log(2.0 * std::numbers::pi), 1e-5);
+  x = {1.0f, 0.0f};
+  EXPECT_NEAR(g.log_likelihood(x), -std::log(2.0 * std::numbers::pi) - 0.5,
+              1e-5);
+}
+
+TEST(DiagGaussian, VarianceFloorApplied) {
+  DiagGaussian g({0.0f}, {0.0f});  // zero variance must be floored
+  std::vector<float> x = {0.0f};
+  EXPECT_TRUE(std::isfinite(g.log_likelihood(x)));
+}
+
+TEST(DiagGaussian, MismatchedSizesThrow) {
+  EXPECT_THROW(DiagGaussian({0.0f, 1.0f}, {1.0f}), std::invalid_argument);
+}
+
+TEST(DiagGmm, RecoverTwoClusters) {
+  const auto data = sample_two_clusters(2000, 7);
+  DiagGmm gmm;
+  GmmTrainConfig cfg;
+  cfg.num_components = 2;
+  cfg.seed = 3;
+  gmm.train(data, cfg);
+  ASSERT_EQ(gmm.num_components(), 2u);
+  // The two component means should sit near (-3, 0) and (3, 1).
+  const auto& m0 = gmm.component(0).mean();
+  const auto& m1 = gmm.component(1).mean();
+  const bool first_is_left = m0[0] < m1[0];
+  const auto& left = first_is_left ? m0 : m1;
+  const auto& right = first_is_left ? m1 : m0;
+  EXPECT_NEAR(left[0], -3.0, 0.3);
+  EXPECT_NEAR(right[0], 3.0, 0.3);
+}
+
+TEST(DiagGmm, WeightsFormDistribution) {
+  const auto data = sample_two_clusters(500, 11);
+  DiagGmm gmm;
+  GmmTrainConfig cfg;
+  cfg.num_components = 3;
+  gmm.train(data, cfg);
+  double total = 0.0;
+  for (float lw : gmm.log_weights()) total += std::exp(static_cast<double>(lw));
+  EXPECT_NEAR(total, 1.0, 1e-4);
+}
+
+TEST(DiagGmm, EmTrainingImprovesLikelihood) {
+  const auto data = sample_two_clusters(1000, 13);
+  GmmTrainConfig short_cfg;
+  short_cfg.num_components = 2;
+  short_cfg.kmeans_iters = 1;
+  short_cfg.em_iters = 0;
+  short_cfg.seed = 5;
+  DiagGmm rough;
+  rough.train(data, short_cfg);
+
+  GmmTrainConfig long_cfg = short_cfg;
+  long_cfg.em_iters = 10;
+  DiagGmm refined;
+  refined.train(data, long_cfg);
+
+  EXPECT_GE(refined.average_log_likelihood(data),
+            rough.average_log_likelihood(data) - 1e-6);
+}
+
+TEST(DiagGmm, MoreComponentsFitAtLeastAsWell) {
+  const auto data = sample_two_clusters(1000, 17);
+  double prev = -1e18;
+  for (std::size_t m : {1, 2, 4}) {
+    DiagGmm gmm;
+    GmmTrainConfig cfg;
+    cfg.num_components = m;
+    cfg.seed = 23;
+    gmm.train(data, cfg);
+    const double ll = gmm.average_log_likelihood(data);
+    EXPECT_GE(ll, prev - 0.05) << m;  // tiny slack for EM local optima
+    prev = ll;
+  }
+}
+
+TEST(DiagGmm, HandlesFewerFramesThanComponents) {
+  util::Matrix tiny(3, 2, 0.5f);
+  tiny(1, 0) = 1.0f;
+  tiny(2, 1) = -1.0f;
+  DiagGmm gmm;
+  GmmTrainConfig cfg;
+  cfg.num_components = 8;
+  gmm.train(tiny, cfg);
+  EXPECT_LE(gmm.num_components(), 3u);
+  std::vector<float> x = {0.5f, 0.5f};
+  EXPECT_TRUE(std::isfinite(gmm.log_likelihood(x)));
+}
+
+TEST(DiagGmm, EmptyDataThrows) {
+  util::Matrix empty(0, 3);
+  DiagGmm gmm;
+  EXPECT_THROW(gmm.train(empty, {}), std::invalid_argument);
+}
+
+TEST(DiagGmm, DeterministicForSeed) {
+  const auto data = sample_two_clusters(300, 29);
+  GmmTrainConfig cfg;
+  cfg.num_components = 2;
+  cfg.seed = 31;
+  DiagGmm a, b;
+  a.train(data, cfg);
+  b.train(data, cfg);
+  std::vector<float> x = {0.7f, -0.2f};
+  EXPECT_FLOAT_EQ(a.log_likelihood(x), b.log_likelihood(x));
+}
+
+TEST(DiagGmm, SerializationRoundTrip) {
+  const auto data = sample_two_clusters(300, 37);
+  DiagGmm gmm;
+  GmmTrainConfig cfg;
+  cfg.num_components = 2;
+  gmm.train(data, cfg);
+  std::stringstream ss;
+  gmm.serialize(ss);
+  const DiagGmm loaded = DiagGmm::deserialize(ss);
+  std::vector<float> x = {1.5f, 0.3f};
+  EXPECT_FLOAT_EQ(gmm.log_likelihood(x), loaded.log_likelihood(x));
+}
+
+}  // namespace
+}  // namespace phonolid::am

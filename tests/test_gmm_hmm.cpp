@@ -1,0 +1,201 @@
+#include "am/gmm_hmm.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "corpus/language_model.h"
+#include "corpus/synthesizer.h"
+
+namespace phonolid::am {
+namespace {
+
+struct TinyWorld {
+  corpus::PhoneInventory inventory;
+  PhoneSetMap map;
+  dsp::FeaturePipeline pipeline;
+  corpus::Synthesizer synth;
+
+  TinyWorld()
+      : inventory(corpus::build_universal_inventory(12, 3)),
+        map(build_phone_map(inventory, 6, 5)),
+        pipeline(dsp::FeaturePipelineConfig{}),
+        synth(inventory, 8000.0) {}
+
+  corpus::Utterance make_utterance(std::uint64_t seed, double seconds = 1.5) {
+    util::Rng rng(seed);
+    const auto lang = corpus::build_language(inventory, "t", 0.4, 0.9, 17);
+    const auto phones = lang.sample_sequence(inventory, seconds, rng);
+    auto speaker = corpus::SpeakerProfile::sample(rng);
+    auto channel = corpus::ChannelProfile::sample(rng);
+    auto rendered = synth.render(phones, speaker, channel, rng);
+    corpus::Utterance utt;
+    utt.samples = std::move(rendered.samples);
+    utt.alignment = std::move(rendered.alignment);
+    return utt;
+  }
+
+  std::vector<AlignedUtterance> make_corpus(std::size_t n) {
+    std::vector<AlignedUtterance> out;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(align_utterance(make_utterance(100 + i), pipeline, map));
+    }
+    return out;
+  }
+};
+
+TEST(AlignUtterance, SegmentsTileFrames) {
+  TinyWorld world;
+  const auto utt = world.make_utterance(1);
+  const auto aligned = align_utterance(utt, world.pipeline, world.map);
+  ASSERT_GT(aligned.features.rows(), 0u);
+  ASSERT_FALSE(aligned.phone_seq.empty());
+  ASSERT_EQ(aligned.phone_seq.size(), aligned.seg_begin.size());
+  ASSERT_EQ(aligned.phone_seq.size(), aligned.seg_end.size());
+  EXPECT_EQ(aligned.seg_begin.front(), 0u);
+  for (std::size_t s = 0; s + 1 < aligned.phone_seq.size(); ++s) {
+    EXPECT_EQ(aligned.seg_end[s], aligned.seg_begin[s + 1]);
+    EXPECT_LT(aligned.seg_begin[s], aligned.seg_end[s]);
+  }
+  EXPECT_EQ(aligned.seg_end.back(), aligned.features.rows());
+  for (std::size_t p : aligned.phone_seq) {
+    EXPECT_LT(p, world.map.num_frontend_phones());
+  }
+}
+
+TEST(AlignUtterance, EmptyAlignmentYieldsNoSegments) {
+  TinyWorld world;
+  corpus::Utterance utt;
+  utt.samples.assign(4000, 0.01f);
+  const auto aligned = align_utterance(utt, world.pipeline, world.map);
+  EXPECT_TRUE(aligned.phone_seq.empty());
+  EXPECT_GT(aligned.features.rows(), 0u);
+}
+
+TEST(UniformStateLabels, SplitsSegmentsAcrossStates) {
+  TinyWorld world;
+  const auto aligned =
+      align_utterance(world.make_utterance(2), world.pipeline, world.map);
+  HmmTopology topo{world.map.num_frontend_phones(), 3};
+  const auto labels = uniform_state_labels(aligned, topo);
+  ASSERT_EQ(labels.state.size(), aligned.features.rows());
+  // Every frame's state belongs to its segment's phone, and positions are
+  // non-decreasing within a segment.
+  for (std::size_t s = 0; s < aligned.phone_seq.size(); ++s) {
+    std::size_t prev_pos = 0;
+    for (std::size_t t = aligned.seg_begin[s]; t < aligned.seg_end[s]; ++t) {
+      EXPECT_EQ(topo.phone_of(labels.state[t]), aligned.phone_seq[s]);
+      const std::size_t pos = topo.position_of(labels.state[t]);
+      EXPECT_GE(pos, prev_pos);
+      prev_pos = pos;
+    }
+    // A long enough segment must reach the last state.
+    if (aligned.seg_end[s] - aligned.seg_begin[s] >= 3) {
+      EXPECT_EQ(prev_pos, 2u);
+    }
+  }
+}
+
+TEST(TrainGmmHmm, ProducesFiniteScores) {
+  TinyWorld world;
+  const auto data = world.make_corpus(6);
+  GmmHmmTrainConfig cfg;
+  cfg.gmm.num_components = 2;
+  cfg.realign_passes = 1;
+  const auto model = train_gmm_hmm(data, world.map.num_frontend_phones(), cfg);
+  EXPECT_EQ(model.num_states(), world.map.num_frontend_phones() * 3);
+  util::Matrix scores;
+  model.score(data[0].features, scores);
+  ASSERT_EQ(scores.rows(), data[0].features.rows());
+  ASSERT_EQ(scores.cols(), model.num_states());
+  for (std::size_t t = 0; t < scores.rows(); ++t) {
+    for (std::size_t s = 0; s < scores.cols(); ++s) {
+      EXPECT_TRUE(std::isfinite(scores(t, s)));
+    }
+  }
+}
+
+TEST(TrainGmmHmm, ModelPrefersTrueStateOnAverage) {
+  TinyWorld world;
+  const auto data = world.make_corpus(8);
+  GmmHmmTrainConfig cfg;
+  cfg.gmm.num_components = 2;
+  const auto model = train_gmm_hmm(data, world.map.num_frontend_phones(), cfg);
+  HmmTopology topo{world.map.num_frontend_phones(), 3};
+
+  // On training data the true phone's states should beat the average
+  // competing phone clearly more often than chance.
+  const auto eval = align_utterance(world.make_utterance(500), world.pipeline,
+                                    world.map);
+  const auto labels = uniform_state_labels(eval, topo);
+  util::Matrix scores;
+  model.score(eval.features, scores);
+  std::size_t wins = 0;
+  for (std::size_t t = 0; t < scores.rows(); ++t) {
+    const std::size_t truth = labels.state[t];
+    double others = 0.0;
+    for (std::size_t s = 0; s < scores.cols(); ++s) {
+      if (s != truth) others += scores(t, s);
+    }
+    others /= static_cast<double>(scores.cols() - 1);
+    if (scores(t, truth) > others) ++wins;
+  }
+  EXPECT_GT(static_cast<double>(wins) / static_cast<double>(scores.rows()),
+            0.6);
+}
+
+TEST(ForcedAlign, RespectsPhoneSequence) {
+  TinyWorld world;
+  const auto data = world.make_corpus(6);
+  GmmHmmTrainConfig cfg;
+  cfg.gmm.num_components = 2;
+  const auto model = train_gmm_hmm(data, world.map.num_frontend_phones(), cfg);
+
+  const auto& utt = data[0];
+  const auto labels = forced_align(utt, model);
+  ASSERT_EQ(labels.state.size(), utt.features.rows());
+  // Reconstruct the phone sequence from the alignment: collapsing runs of
+  // equal phones must yield a subsequence consistent with utt.phone_seq.
+  const HmmTopology& topo = model.topology();
+  std::vector<std::size_t> decoded;
+  for (std::size_t t = 0; t < labels.state.size(); ++t) {
+    const std::size_t phone = topo.phone_of(labels.state[t]);
+    if (decoded.empty() || decoded.back() != phone ||
+        (t > 0 && topo.position_of(labels.state[t]) <
+                      topo.position_of(labels.state[t - 1]))) {
+      if (decoded.empty() || phone != decoded.back()) decoded.push_back(phone);
+    }
+  }
+  // The forced alignment visits phones in order; every decoded phone must
+  // appear in the reference sequence order (allowing merged repetitions).
+  std::size_t ref = 0;
+  for (std::size_t phone : decoded) {
+    while (ref < utt.phone_seq.size() && utt.phone_seq[ref] != phone) ++ref;
+    EXPECT_LT(ref, utt.phone_seq.size()) << "phone out of order";
+  }
+}
+
+TEST(ForcedAlign, FallsBackWhenTooShort) {
+  TinyWorld world;
+  const auto data = world.make_corpus(4);
+  GmmHmmTrainConfig cfg;
+  cfg.gmm.num_components = 1;
+  const auto model = train_gmm_hmm(data, world.map.num_frontend_phones(), cfg);
+
+  // Construct an utterance whose frame count is below its chain length.
+  AlignedUtterance tiny;
+  tiny.features = util::Matrix(4, data[0].features.cols(), 0.1f);
+  tiny.phone_seq = {0, 1, 2};  // needs 9 frames minimum
+  tiny.seg_begin = {0, 1, 2};
+  tiny.seg_end = {1, 2, 4};
+  const auto labels = forced_align(tiny, model);
+  EXPECT_EQ(labels.state.size(), 4u);  // uniform fallback, no crash
+}
+
+TEST(TrainGmmHmm, ThrowsOnEmptyData) {
+  EXPECT_THROW(train_gmm_hmm({}, 5, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phonolid::am

@@ -1,0 +1,63 @@
+#include "am/hmm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace phonolid::am {
+namespace {
+
+TEST(HmmTopology, StateIndexing) {
+  HmmTopology topo{10, 3};
+  EXPECT_EQ(topo.num_states(), 30u);
+  EXPECT_EQ(topo.state_of(0, 0), 0u);
+  EXPECT_EQ(topo.state_of(4, 2), 14u);
+  EXPECT_EQ(topo.phone_of(14), 4u);
+  EXPECT_EQ(topo.position_of(14), 2u);
+  // Round trip over all states.
+  for (std::size_t s = 0; s < topo.num_states(); ++s) {
+    EXPECT_EQ(topo.state_of(topo.phone_of(s), topo.position_of(s)), s);
+  }
+}
+
+TEST(HmmTransitions, UniformProbabilitiesSumToOne) {
+  const auto t = HmmTransitions::uniform(6, 3.0);
+  ASSERT_EQ(t.log_self.size(), 6u);
+  for (std::size_t s = 0; s < 6; ++s) {
+    const double total =
+        std::exp(static_cast<double>(t.log_self[s])) +
+        std::exp(static_cast<double>(t.log_advance[s]));
+    EXPECT_NEAR(total, 1.0, 1e-5);
+  }
+}
+
+TEST(HmmTransitions, UniformMatchesMeanOccupancy) {
+  // stay prob p gives mean occupancy 1/(1-p).
+  const auto t = HmmTransitions::uniform(1, 4.0);
+  const double stay = std::exp(static_cast<double>(t.log_self[0]));
+  EXPECT_NEAR(1.0 / (1.0 - stay), 4.0, 1e-6);
+}
+
+TEST(HmmTransitions, EstimateFromCounts) {
+  std::vector<std::size_t> self = {30, 0};
+  std::vector<std::size_t> advance = {10, 0};
+  const auto t = HmmTransitions::estimate(self, advance, 3.0);
+  EXPECT_NEAR(std::exp(static_cast<double>(t.log_self[0])), 0.75, 1e-5);
+  // Unobserved state falls back to the prior (finite, valid).
+  EXPECT_TRUE(std::isfinite(t.log_self[1]));
+  const double total = std::exp(static_cast<double>(t.log_self[1])) +
+                       std::exp(static_cast<double>(t.log_advance[1]));
+  EXPECT_NEAR(total, 1.0, 1e-5);
+}
+
+TEST(HmmTransitions, EstimateClampsExtremes) {
+  // All-self counts would give stay=1.0 (absorbing) -> must be clamped.
+  std::vector<std::size_t> self = {1000};
+  std::vector<std::size_t> advance = {0};
+  const auto t = HmmTransitions::estimate(self, advance, 3.0);
+  EXPECT_LT(std::exp(static_cast<double>(t.log_self[0])), 0.999);
+  EXPECT_TRUE(std::isfinite(t.log_advance[0]));
+}
+
+}  // namespace
+}  // namespace phonolid::am

@@ -1,0 +1,147 @@
+// Statistical properties of the synthetic language family — the corpus
+// must actually carry the phonotactic signal the recognizers model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "corpus/language_model.h"
+#include "corpus/phone_inventory.h"
+
+namespace phonolid::corpus {
+namespace {
+
+/// Empirical bigram matrix from samples of a language.
+std::vector<std::vector<double>> empirical_bigram(const LanguageSpec& lang,
+                                                  const PhoneInventory& inv,
+                                                  std::size_t num_seqs,
+                                                  std::uint64_t seed) {
+  const std::size_t n = inv.size();
+  std::vector<std::vector<double>> counts(n, std::vector<double>(n, 0.0));
+  util::Rng rng(seed);
+  for (std::size_t s = 0; s < num_seqs; ++s) {
+    const auto seq = lang.sample_sequence(inv, 8.0, rng);
+    for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+      counts[seq[i]][seq[i + 1]] += 1.0;
+    }
+  }
+  for (auto& row : counts) {
+    double total = 0.0;
+    for (double c : row) total += c;
+    if (total > 0.0) {
+      for (auto& c : row) c /= total;
+    }
+  }
+  return counts;
+}
+
+TEST(LanguageStatistics, SampledSequencesFollowTheBigramChain) {
+  const auto inv = build_universal_inventory(15, 3);
+  const auto lang = build_language(inv, "x", 0.25, 0.8, 7);
+  const auto empirical = empirical_bigram(lang, inv, 120, 11);
+
+  // For rows with enough observations, the empirical distribution must be
+  // close to the specification in total variation.
+  std::size_t checked = 0;
+  for (std::size_t p = 0; p < inv.size(); ++p) {
+    double mass = 0.0;
+    for (double c : empirical[p]) mass += c;
+    if (mass == 0.0) continue;  // phone unused by this language
+    double tv = 0.0;
+    for (std::size_t q = 0; q < inv.size(); ++q) {
+      tv += std::abs(empirical[p][q] - lang.bigram()[p][q]);
+    }
+    if (tv / 2.0 < 0.15) ++checked;
+  }
+  EXPECT_GT(checked, inv.size() / 2);
+}
+
+TEST(LanguageStatistics, SequencesFromDifferentLanguagesAreDistinguishable) {
+  // A simple likelihood-ratio classifier on the *true* chains must be able
+  // to tell two generated languages apart from their samples — otherwise
+  // no recognizer could.
+  const auto inv = build_universal_inventory(20, 5);
+  const auto a = build_language(inv, "a", 0.25, 0.8, 100);
+  const auto b = build_language(inv, "b", 0.25, 0.8, 200);
+
+  const auto loglik = [&](const std::vector<std::size_t>& seq,
+                          const LanguageSpec& lang) {
+    double lp = std::log(std::max(lang.initial()[seq[0]], 1e-12));
+    for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+      lp += std::log(std::max(lang.bigram()[seq[i]][seq[i + 1]], 1e-12));
+    }
+    return lp;
+  };
+
+  util::Rng rng(13);
+  std::size_t correct = 0;
+  const std::size_t trials = 60;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const bool from_a = t % 2 == 0;
+    const auto seq =
+        (from_a ? a : b).sample_sequence(inv, 2.0, rng);
+    const bool classified_a = loglik(seq, a) > loglik(seq, b);
+    if (classified_a == from_a) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / trials, 0.95);
+}
+
+TEST(LanguageStatistics, ShorterSequencesAreHarder) {
+  // The duration-tier difficulty ordering the paper's tables rest on.
+  const auto inv = build_universal_inventory(20, 5);
+  const auto a = build_language(inv, "a", 0.25, 0.8, 300);
+  const auto b = build_language(inv, "b", 0.25, 0.8, 400);
+
+  const auto loglik = [&](const std::vector<std::size_t>& seq,
+                          const LanguageSpec& lang) {
+    if (seq.empty()) return 0.0;
+    double lp = 0.0;
+    for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+      lp += std::log(std::max(lang.bigram()[seq[i]][seq[i + 1]], 1e-12));
+    }
+    return lp;
+  };
+
+  const auto accuracy_at = [&](double seconds, std::uint64_t seed) {
+    util::Rng rng(seed);
+    std::size_t correct = 0;
+    const std::size_t trials = 300;
+    for (std::size_t t = 0; t < trials; ++t) {
+      const bool from_a = t % 2 == 0;
+      const auto seq = (from_a ? a : b).sample_sequence(inv, seconds, rng);
+      if ((loglik(seq, a) > loglik(seq, b)) == from_a) ++correct;
+    }
+    return static_cast<double>(correct) / trials;
+  };
+
+  const double long_acc = accuracy_at(3.0, 17);
+  const double short_acc = accuracy_at(0.3, 19);
+  EXPECT_GT(long_acc, short_acc);
+  EXPECT_GT(long_acc, 0.9);
+}
+
+TEST(LanguageStatistics, ConcentrationControlsDistinctness) {
+  // Lower Dirichlet concentration -> spikier chains -> more distinct
+  // languages (larger pairwise bigram distance on average).
+  const auto inv = build_universal_inventory(20, 5);
+  const auto dist_at = [&](double concentration) {
+    LanguageFamilyConfig cfg;
+    cfg.num_languages = 6;
+    cfg.concentration = concentration;
+    cfg.sibling_stride = 0;
+    const auto langs = build_language_family(inv, cfg, 55);
+    double total = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t i = 0; i < langs.size(); ++i) {
+      for (std::size_t j = i + 1; j < langs.size(); ++j) {
+        total += LanguageSpec::bigram_distance(langs[i], langs[j]);
+        ++pairs;
+      }
+    }
+    return total / static_cast<double>(pairs);
+  };
+  EXPECT_GT(dist_at(0.1), dist_at(2.0));
+}
+
+}  // namespace
+}  // namespace phonolid::corpus

@@ -1,0 +1,113 @@
+#include "decoder/lattice.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace phonolid::decoder {
+namespace {
+
+/// Two-frame lattice with two competing paths:
+///   path A: edge(0->2, phone 0, score a)
+///   path B: edge(0->1, phone 1, score b1) + edge(1->2, phone 2, score b2)
+Lattice two_path_lattice(float a, float b1, float b2) {
+  std::vector<LatticeEdge> edges;
+  edges.push_back({0, 2, 0, a, 0.0});
+  edges.push_back({0, 1, 1, b1, 0.0});
+  edges.push_back({1, 2, 2, b2, 0.0});
+  return Lattice(2, std::move(edges));
+}
+
+TEST(Lattice, RejectsMalformedEdges) {
+  std::vector<LatticeEdge> bad;
+  bad.push_back({2, 1, 0, 0.0f, 0.0});
+  EXPECT_THROW(Lattice(3, std::move(bad)), std::invalid_argument);
+  std::vector<LatticeEdge> oob;
+  oob.push_back({0, 5, 0, 0.0f, 0.0});
+  EXPECT_THROW(Lattice(3, std::move(oob)), std::invalid_argument);
+}
+
+TEST(Lattice, PosteriorsMatchClosedForm) {
+  // With scale 1: P(A) = e^a / (e^a + e^{b1+b2}).
+  Lattice lat = two_path_lattice(1.0f, 0.2f, 0.3f);
+  const double total = lat.compute_posteriors(1.0, 0.0);
+  const double pa = std::exp(1.0) / (std::exp(1.0) + std::exp(0.5));
+  ASSERT_EQ(lat.edges().size(), 3u);
+  // Edge scores are stored as float, so allow float-level tolerance.
+  EXPECT_NEAR(lat.edges()[0].posterior, pa, 1e-6);
+  EXPECT_NEAR(lat.edges()[1].posterior, 1.0 - pa, 1e-6);
+  EXPECT_NEAR(lat.edges()[2].posterior, 1.0 - pa, 1e-6);
+  EXPECT_NEAR(total, std::log(std::exp(1.0) + std::exp(0.5)), 1e-6);
+}
+
+TEST(Lattice, AcousticScaleFlattensPosteriors) {
+  Lattice sharp = two_path_lattice(3.0f, 0.0f, 0.0f);
+  Lattice flat = two_path_lattice(3.0f, 0.0f, 0.0f);
+  sharp.compute_posteriors(1.0, 0.0);
+  flat.compute_posteriors(0.1, 0.0);
+  EXPECT_GT(sharp.edges()[0].posterior, flat.edges()[0].posterior);
+  EXPECT_GT(flat.edges()[0].posterior, 0.5);  // still the better path
+}
+
+TEST(Lattice, FrameOccupancySumsToOne) {
+  Lattice lat = two_path_lattice(0.5f, -0.2f, 0.4f);
+  lat.compute_posteriors(0.7, 0.0);
+  const auto occ = lat.frame_occupancy();
+  ASSERT_EQ(occ.size(), 2u);
+  EXPECT_NEAR(occ[0], 1.0, 1e-9);
+  EXPECT_NEAR(occ[1], 1.0, 1e-9);
+}
+
+TEST(Lattice, PruningRemovesWeakEdges) {
+  // Make path B extremely unlikely.
+  Lattice lat = two_path_lattice(30.0f, 0.0f, 0.0f);
+  lat.compute_posteriors(1.0, 1e-6);
+  EXPECT_EQ(lat.edges().size(), 1u);
+  EXPECT_EQ(lat.edges()[0].phone, 0u);
+}
+
+TEST(Lattice, DeadEndEdgeGetsZeroPosterior) {
+  std::vector<LatticeEdge> edges;
+  edges.push_back({0, 3, 0, 0.0f, 0.0});  // complete path
+  edges.push_back({0, 2, 1, 5.0f, 0.0});  // dangles: nothing leaves node 2
+  Lattice lat(3, std::move(edges));
+  lat.compute_posteriors(1.0, 0.0);
+  EXPECT_NEAR(lat.edges()[0].posterior, 1.0, 1e-12);
+  EXPECT_NEAR(lat.edges()[1].posterior, 0.0, 1e-12);
+}
+
+TEST(Lattice, EmptyLatticeReturnsNegInf) {
+  Lattice lat(5, {});
+  EXPECT_EQ(lat.compute_posteriors(1.0), -std::numeric_limits<double>::infinity());
+}
+
+TEST(Lattice, ForwardBackwardConsistency) {
+  // alpha(final) == beta(initial) == total log-probability.
+  Lattice lat = two_path_lattice(0.3f, 0.1f, -0.2f);
+  std::vector<double> alpha, beta;
+  const double total = lat.forward_backward(0.5, alpha, beta);
+  EXPECT_NEAR(alpha.back(), total, 1e-12);
+  EXPECT_NEAR(beta.front(), total, 1e-12);
+  // alpha(n) + beta(n) <= total only when no path through n... for nodes on
+  // every path it equals total exactly: node 0 and final node qualify.
+  EXPECT_NEAR(alpha[0] + beta[0], total, 1e-12);
+}
+
+TEST(Lattice, AdjacencyIndexesBySourceNode) {
+  Lattice lat = two_path_lattice(0.0f, 0.0f, 0.0f);
+  const auto& adj = lat.adjacency();
+  ASSERT_EQ(adj.size(), 3u);
+  EXPECT_EQ(adj[0].size(), 2u);
+  EXPECT_EQ(adj[1].size(), 1u);
+  EXPECT_TRUE(adj[2].empty());
+}
+
+TEST(Lattice, BestPathStorage) {
+  Lattice lat(2, {});
+  lat.set_best_path({3, 1, 4});
+  EXPECT_EQ(lat.best_path(), (std::vector<std::uint32_t>{3, 1, 4}));
+}
+
+}  // namespace
+}  // namespace phonolid::decoder

@@ -1,0 +1,173 @@
+#include "backend/lda.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace phonolid::backend {
+namespace {
+
+TEST(SymmetricEigen, DiagonalMatrix) {
+  util::Matrix m(3, 3, 0.0f);
+  m(0, 0) = 3.0f;
+  m(1, 1) = 1.0f;
+  m(2, 2) = 2.0f;
+  std::vector<double> evals;
+  util::Matrix evecs;
+  symmetric_eigen(m, evals, evecs);
+  ASSERT_EQ(evals.size(), 3u);
+  EXPECT_NEAR(evals[0], 3.0, 1e-9);
+  EXPECT_NEAR(evals[1], 2.0, 1e-9);
+  EXPECT_NEAR(evals[2], 1.0, 1e-9);
+  // Leading eigenvector = e0 (up to sign).
+  EXPECT_NEAR(std::abs(evecs(0, 0)), 1.0, 1e-9);
+}
+
+TEST(SymmetricEigen, Known2x2) {
+  util::Matrix m(2, 2);
+  m(0, 0) = 2.0f;
+  m(0, 1) = m(1, 0) = 1.0f;
+  m(1, 1) = 2.0f;
+  std::vector<double> evals;
+  util::Matrix evecs;
+  symmetric_eigen(m, evals, evecs);
+  EXPECT_NEAR(evals[0], 3.0, 1e-8);
+  EXPECT_NEAR(evals[1], 1.0, 1e-8);
+  // Eigenvector for 3 is (1,1)/sqrt(2).
+  EXPECT_NEAR(std::abs(evecs(0, 0)), 1.0 / std::sqrt(2.0), 1e-6);
+  EXPECT_NEAR(std::abs(evecs(0, 1)), 1.0 / std::sqrt(2.0), 1e-6);
+}
+
+TEST(SymmetricEigen, ReconstructsMatrix) {
+  // A = V^T diag(e) V with our row-convention eigenvectors.
+  util::Rng rng(3);
+  const std::size_t n = 6;
+  util::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      a(i, j) = a(j, i) = static_cast<float>(rng.gaussian());
+    }
+  }
+  std::vector<double> evals;
+  util::Matrix v;
+  symmetric_eigen(a, evals, v);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        sum += evals[k] * v(k, i) * v(k, j);
+      }
+      EXPECT_NEAR(sum, a(i, j), 1e-4) << i << "," << j;
+    }
+  }
+}
+
+TEST(SymmetricEigen, EigenvectorsOrthonormal) {
+  util::Rng rng(5);
+  const std::size_t n = 5;
+  util::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      a(i, j) = a(j, i) = static_cast<float>(rng.uniform(-1, 1));
+    }
+  }
+  std::vector<double> evals;
+  util::Matrix v;
+  symmetric_eigen(a, evals, v);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double d = util::dot(v.row(i), v.row(j));
+      EXPECT_NEAR(d, i == j ? 1.0 : 0.0, 1e-5);
+    }
+  }
+}
+
+TEST(SymmetricEigen, RejectsNonSquare) {
+  util::Matrix m(2, 3);
+  std::vector<double> evals;
+  util::Matrix v;
+  EXPECT_THROW(symmetric_eigen(m, evals, v), std::invalid_argument);
+}
+
+/// Two classes separated along (1,1,0) with strong noise along (1,-1,0).
+void make_lda_data(util::Matrix& x, std::vector<std::int32_t>& y,
+                   std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  x.resize(n, 3);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int c = static_cast<int>(i % 2);
+    const double offset = c == 0 ? -1.0 : 1.0;
+    const double noise = rng.gaussian(0.0, 3.0);
+    x(i, 0) = static_cast<float>(offset + noise + rng.gaussian(0.0, 0.2));
+    x(i, 1) = static_cast<float>(offset - noise + rng.gaussian(0.0, 0.2));
+    x(i, 2) = static_cast<float>(rng.gaussian(0.0, 1.0));
+    y[i] = c;
+  }
+}
+
+TEST(Lda, FindsDiscriminativeDirection) {
+  util::Matrix x;
+  std::vector<std::int32_t> y;
+  make_lda_data(x, y, 600, 7);
+  Lda lda;
+  lda.fit(x, y, 2);
+  EXPECT_EQ(lda.output_dim(), 1u);
+
+  const util::Matrix projected = lda.transform(x);
+  // Class means in the projected space must be well separated relative to
+  // the within-class spread.
+  double m0 = 0.0, m1 = 0.0;
+  std::size_t n0 = 0, n1 = 0;
+  for (std::size_t i = 0; i < projected.rows(); ++i) {
+    if (y[i] == 0) {
+      m0 += projected(i, 0);
+      ++n0;
+    } else {
+      m1 += projected(i, 0);
+      ++n1;
+    }
+  }
+  m0 /= static_cast<double>(n0);
+  m1 /= static_cast<double>(n1);
+  double var = 0.0;
+  for (std::size_t i = 0; i < projected.rows(); ++i) {
+    const double m = y[i] == 0 ? m0 : m1;
+    var += (projected(i, 0) - m) * (projected(i, 0) - m);
+  }
+  var /= static_cast<double>(projected.rows());
+  const double separation = std::abs(m1 - m0) / std::sqrt(var + 1e-12);
+  EXPECT_GT(separation, 3.0);
+}
+
+TEST(Lda, OutputDimCappedByClassesAndRequest) {
+  util::Rng rng(11);
+  util::Matrix x(90, 5);
+  std::vector<std::int32_t> y(90);
+  for (std::size_t i = 0; i < 90; ++i) {
+    y[i] = static_cast<std::int32_t>(i % 3);
+    for (std::size_t d = 0; d < 5; ++d) {
+      x(i, d) = static_cast<float>(rng.gaussian(y[i], 1.0));
+    }
+  }
+  Lda lda;
+  lda.fit(x, y, 3);
+  EXPECT_EQ(lda.output_dim(), 2u);
+  Lda capped;
+  capped.fit(x, y, 3, 1);
+  EXPECT_EQ(capped.output_dim(), 1u);
+}
+
+TEST(Lda, InputValidation) {
+  Lda lda;
+  util::Matrix x(4, 2, 0.0f);
+  std::vector<std::int32_t> y = {0, 1, 0, 1};
+  EXPECT_THROW(lda.fit(x, y, 1), std::invalid_argument);
+  std::vector<std::int32_t> bad = {0, 5, 0, 1};
+  EXPECT_THROW(lda.fit(x, bad, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phonolid::backend

@@ -1,0 +1,197 @@
+#include "svm/linear_svm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace phonolid::svm {
+namespace {
+
+using phonotactic::SparseVec;
+
+struct Problem {
+  std::vector<SparseVec> x;
+  std::vector<const SparseVec*> xptr;
+  std::vector<std::int8_t> y;
+  std::size_t dim;
+
+  void finish() {
+    xptr.clear();
+    for (const auto& v : x) xptr.push_back(&v);
+  }
+};
+
+/// Linearly separable: label = sign(x0 - x1).
+Problem separable_problem(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Problem p;
+  p.dim = 3;  // feature 2 is noise
+  for (std::size_t i = 0; i < n; ++i) {
+    const float a = static_cast<float>(rng.uniform(0.0, 1.0));
+    const float b = static_cast<float>(rng.uniform(0.0, 1.0));
+    const float noise = static_cast<float>(rng.uniform(0.0, 1.0));
+    if (std::abs(a - b) < 0.1f) continue;  // margin
+    p.x.push_back(SparseVec({0, 1, 2}, {a, b, noise}));
+    p.y.push_back(a > b ? 1 : -1);
+  }
+  p.finish();
+  return p;
+}
+
+TEST(LinearSvm, SeparatesSeparableData) {
+  Problem p = separable_problem(400, 1);
+  LinearSvm svm;
+  SvmConfig cfg;
+  cfg.C = 10.0;
+  svm.train(p.xptr, p.y, p.dim, cfg);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < p.x.size(); ++i) {
+    const double s = svm.score(p.x[i]);
+    if ((s > 0) == (p.y[i] > 0)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(p.x.size()),
+            0.98);
+}
+
+TEST(LinearSvm, WeightSignsMatchProblemStructure) {
+  Problem p = separable_problem(400, 2);
+  LinearSvm svm;
+  svm.train(p.xptr, p.y, p.dim, {});
+  EXPECT_GT(svm.weights()[0], 0.0f);
+  EXPECT_LT(svm.weights()[1], 0.0f);
+  // The noise feature should carry much less weight.
+  EXPECT_LT(std::abs(svm.weights()[2]),
+            0.5f * std::abs(svm.weights()[0]));
+}
+
+TEST(LinearSvm, DualObjectiveDecreasesWithEpochs) {
+  Problem p = separable_problem(300, 3);
+  SvmConfig one;
+  one.max_epochs = 1;
+  one.epsilon = 0.0;
+  SvmConfig many;
+  many.max_epochs = 50;
+  many.epsilon = 0.0;
+  LinearSvm a, b;
+  a.train(p.xptr, p.y, p.dim, one);
+  b.train(p.xptr, p.y, p.dim, many);
+  EXPECT_LE(b.dual_objective(), a.dual_objective() + 1e-9);
+}
+
+TEST(LinearSvm, ConvergesBeforeMaxEpochs) {
+  Problem p = separable_problem(200, 4);
+  LinearSvm svm;
+  SvmConfig cfg;
+  cfg.max_epochs = 1000;
+  cfg.epsilon = 0.01;
+  const std::size_t epochs = svm.train(p.xptr, p.y, p.dim, cfg);
+  EXPECT_LT(epochs, 1000u);
+}
+
+TEST(LinearSvm, L1LossVariantAlsoSeparates) {
+  Problem p = separable_problem(300, 5);
+  LinearSvm svm;
+  SvmConfig cfg;
+  cfg.l2_loss = false;
+  cfg.C = 5.0;
+  svm.train(p.xptr, p.y, p.dim, cfg);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < p.x.size(); ++i) {
+    if ((svm.score(p.x[i]) > 0) == (p.y[i] > 0)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(p.x.size()),
+            0.95);
+}
+
+TEST(LinearSvm, BiasShiftsDecisionBoundary) {
+  // All-positive vs all-negative in a single constant feature needs bias.
+  Problem p;
+  p.dim = 1;
+  for (int i = 0; i < 20; ++i) {
+    p.x.push_back(SparseVec({0}, {i < 10 ? 2.0f : 1.0f}));
+    p.y.push_back(i < 10 ? 1 : -1);
+  }
+  p.finish();
+  LinearSvm svm;
+  SvmConfig cfg;
+  cfg.C = 100.0;
+  cfg.bias = 1.0;
+  svm.train(p.xptr, p.y, p.dim, cfg);
+  EXPECT_GT(svm.score(p.x[0]), 0.0);
+  EXPECT_LT(svm.score(p.x[19]), 0.0);
+}
+
+TEST(LinearSvm, DeterministicForSeed) {
+  Problem p = separable_problem(200, 7);
+  SvmConfig cfg;
+  cfg.seed = 11;
+  LinearSvm a, b;
+  a.train(p.xptr, p.y, p.dim, cfg);
+  b.train(p.xptr, p.y, p.dim, cfg);
+  EXPECT_EQ(a.weights(), b.weights());
+}
+
+TEST(LinearSvm, InputValidation) {
+  LinearSvm svm;
+  std::vector<const SparseVec*> empty;
+  std::vector<std::int8_t> y;
+  EXPECT_THROW(svm.train(empty, y, 3, {}), std::invalid_argument);
+
+  SparseVec v({0}, {1.0f});
+  std::vector<const SparseVec*> x = {&v};
+  std::vector<std::int8_t> bad_label = {0};
+  EXPECT_THROW(svm.train(x, bad_label, 1, {}), std::invalid_argument);
+}
+
+TEST(LinearSvm, SerializationRoundTrip) {
+  Problem p = separable_problem(150, 13);
+  LinearSvm svm;
+  svm.train(p.xptr, p.y, p.dim, {});
+  std::stringstream ss;
+  svm.serialize(ss);
+  const LinearSvm loaded = LinearSvm::deserialize(ss);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(svm.score(p.x[i]), loaded.score(p.x[i]));
+  }
+}
+
+TEST(LinearSvm, ImbalancedDataStillScoresTargetsHigher) {
+  // One-versus-rest produces ~10% positives; the machine must still rank
+  // positives above negatives on average (this mirrors the VSM setting).
+  util::Rng rng(17);
+  Problem p;
+  p.dim = 4;
+  for (std::size_t i = 0; i < 400; ++i) {
+    const bool pos = i % 10 == 0;
+    const float base = pos ? 1.0f : 0.0f;
+    p.x.push_back(SparseVec(
+        {0, 1, 2, 3},
+        {base + static_cast<float>(rng.gaussian(0, 0.2)),
+         static_cast<float>(rng.gaussian(0, 0.2)),
+         static_cast<float>(rng.gaussian(0, 0.2)),
+         1.0f}));
+    p.y.push_back(pos ? 1 : -1);
+  }
+  p.finish();
+  LinearSvm svm;
+  svm.train(p.xptr, p.y, p.dim, {});
+  double pos_mean = 0.0, neg_mean = 0.0;
+  std::size_t pos_n = 0, neg_n = 0;
+  for (std::size_t i = 0; i < p.x.size(); ++i) {
+    if (p.y[i] > 0) {
+      pos_mean += svm.score(p.x[i]);
+      ++pos_n;
+    } else {
+      neg_mean += svm.score(p.x[i]);
+      ++neg_n;
+    }
+  }
+  EXPECT_GT(pos_mean / static_cast<double>(pos_n),
+            neg_mean / static_cast<double>(neg_n) + 0.5);
+}
+
+}  // namespace
+}  // namespace phonolid::svm

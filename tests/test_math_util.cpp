@@ -1,0 +1,124 @@
+#include "util/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace phonolid::util {
+namespace {
+
+TEST(MathUtil, SafeLogClampsZero) {
+  EXPECT_TRUE(std::isfinite(safe_log(0.0)));
+  EXPECT_NEAR(safe_log(std::exp(1.0)), 1.0, 1e-12);
+}
+
+TEST(MathUtil, LogAddMatchesDirect) {
+  const double a = std::log(0.3), b = std::log(0.45);
+  EXPECT_NEAR(log_add(a, b), std::log(0.75), 1e-12);
+}
+
+TEST(MathUtil, LogAddHandlesNegInfinity) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_NEAR(log_add(-inf, 1.5), 1.5, 1e-12);
+  EXPECT_NEAR(log_add(1.5, -inf), 1.5, 1e-12);
+}
+
+TEST(MathUtil, LogAddExtremeMagnitudes) {
+  // exp(1000) would overflow; log_add must not.
+  EXPECT_NEAR(log_add(1000.0, 990.0), 1000.0 + std::log1p(std::exp(-10.0)),
+              1e-9);
+}
+
+TEST(MathUtil, LogSumExpBasics) {
+  std::vector<double> v = {std::log(1.0), std::log(2.0), std::log(3.0)};
+  EXPECT_NEAR(log_sum_exp(std::span<const double>(v)), std::log(6.0), 1e-12);
+}
+
+TEST(MathUtil, LogSumExpEmptyIsNegInf) {
+  std::vector<double> v;
+  EXPECT_EQ(log_sum_exp(std::span<const double>(v)),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(MathUtil, LogSumExpFloatVariant) {
+  std::vector<float> v = {0.0f, 0.0f, 0.0f, 0.0f};
+  EXPECT_NEAR(log_sum_exp(std::span<const float>(v)), std::log(4.0f), 1e-5);
+}
+
+TEST(MathUtil, SigmoidSymmetry) {
+  EXPECT_NEAR(sigmoid(0.0), 0.5, 1e-12);
+  for (double x : {0.5, 1.0, 3.0, 10.0, 50.0}) {
+    EXPECT_NEAR(sigmoid(x) + sigmoid(-x), 1.0, 1e-12) << x;
+  }
+}
+
+TEST(MathUtil, SigmoidExtremesDontOverflow) {
+  EXPECT_NEAR(sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(sigmoid(-1000.0), 0.0, 1e-12);
+}
+
+TEST(MathUtil, SoftmaxSumsToOne) {
+  std::vector<float> v = {1.0f, 2.0f, 3.0f, -1.0f};
+  softmax_inplace(std::span<float>(v));
+  float sum = 0.0f;
+  for (float x : v) {
+    EXPECT_GT(x, 0.0f);
+    sum += x;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-6);
+  EXPECT_GT(v[2], v[1]);
+  EXPECT_GT(v[1], v[0]);
+}
+
+TEST(MathUtil, SoftmaxInvariantToShift) {
+  std::vector<float> a = {1.0f, 2.0f, 3.0f};
+  std::vector<float> b = {101.0f, 102.0f, 103.0f};
+  softmax_inplace(std::span<float>(a));
+  softmax_inplace(std::span<float>(b));
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(a[i], b[i], 1e-6);
+}
+
+TEST(MathUtil, LogSoftmaxExpSumsToOne) {
+  std::vector<float> v = {0.3f, -2.0f, 5.0f};
+  log_softmax_inplace(std::span<float>(v));
+  double sum = 0.0;
+  for (float x : v) sum += std::exp(static_cast<double>(x));
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(MathUtil, ProbitInvertsNormalCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_cdf(probit(p)), p, 1e-8) << p;
+  }
+}
+
+TEST(MathUtil, ProbitKnownValues) {
+  EXPECT_NEAR(probit(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(probit(0.975), 1.959964, 1e-4);
+  EXPECT_NEAR(probit(0.025), -1.959964, 1e-4);
+}
+
+TEST(MathUtil, MeanAndVariance) {
+  std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(mean(std::span<const double>(v)), 5.0, 1e-12);
+  EXPECT_NEAR(variance(std::span<const double>(v)), 32.0 / 7.0, 1e-12);
+}
+
+TEST(MathUtil, VarianceDegenerate) {
+  std::vector<double> one = {3.0};
+  EXPECT_EQ(variance(std::span<const double>(one)), 0.0);
+  std::vector<double> empty;
+  EXPECT_EQ(mean(std::span<const double>(empty)), 0.0);
+}
+
+TEST(MathUtil, Argmax) {
+  std::vector<float> v = {1.0f, 5.0f, 3.0f, 5.0f};
+  EXPECT_EQ(argmax(std::span<const float>(v)), 1u);  // first max wins
+  std::vector<double> d = {-3.0, -1.0, -2.0};
+  EXPECT_EQ(argmax(std::span<const double>(d)), 1u);
+}
+
+}  // namespace
+}  // namespace phonolid::util

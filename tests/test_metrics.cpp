@@ -1,0 +1,187 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace phonolid::eval {
+namespace {
+
+TEST(TrialSet, SplitsTargetsAndNontargets) {
+  util::Matrix scores(2, 3);
+  scores(0, 0) = 1.0f;
+  scores(0, 1) = -1.0f;
+  scores(0, 2) = -2.0f;
+  scores(1, 0) = -3.0f;
+  scores(1, 1) = 2.0f;
+  scores(1, 2) = -4.0f;
+  std::vector<std::int32_t> labels = {0, 1};
+  const auto trials = TrialSet::from_scores(scores, labels);
+  ASSERT_EQ(trials.target_scores.size(), 2u);
+  ASSERT_EQ(trials.nontarget_scores.size(), 4u);
+  EXPECT_DOUBLE_EQ(trials.target_scores[0], 1.0);
+  EXPECT_DOUBLE_EQ(trials.target_scores[1], 2.0);
+}
+
+TEST(Eer, PerfectSeparationIsZero) {
+  TrialSet trials;
+  trials.target_scores = {3.0, 4.0, 5.0};
+  trials.nontarget_scores = {-1.0, 0.0, 1.0};
+  EXPECT_NEAR(equal_error_rate(trials), 0.0, 1e-9);
+}
+
+TEST(Eer, CompleteOverlapIsHalf) {
+  // Identical score distributions: EER = 0.5.
+  TrialSet trials;
+  util::Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    trials.target_scores.push_back(rng.gaussian());
+    trials.nontarget_scores.push_back(rng.gaussian());
+  }
+  EXPECT_NEAR(equal_error_rate(trials), 0.5, 0.02);
+}
+
+TEST(Eer, InvertedScoresGiveHighError) {
+  TrialSet trials;
+  trials.target_scores = {-5.0, -4.0};
+  trials.nontarget_scores = {4.0, 5.0};
+  EXPECT_NEAR(equal_error_rate(trials), 1.0, 1e-9);
+}
+
+TEST(Eer, KnownPartialOverlap) {
+  // Gaussian shift of 2 sigma: EER = Phi(-1) ~ 0.1587.
+  TrialSet trials;
+  util::Rng rng(3);
+  for (int i = 0; i < 60000; ++i) {
+    trials.target_scores.push_back(rng.gaussian(1.0, 1.0));
+    trials.nontarget_scores.push_back(rng.gaussian(-1.0, 1.0));
+  }
+  EXPECT_NEAR(equal_error_rate(trials), 0.1587, 0.01);
+}
+
+TEST(Eer, EmptyTrialsGiveZero) {
+  TrialSet trials;
+  EXPECT_EQ(equal_error_rate(trials), 0.0);
+}
+
+TEST(DetCurve, MonotoneStaircase) {
+  TrialSet trials;
+  util::Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    trials.target_scores.push_back(rng.gaussian(1.0, 1.0));
+    trials.nontarget_scores.push_back(rng.gaussian(-1.0, 1.0));
+  }
+  const auto curve = det_curve(trials);
+  ASSERT_GT(curve.size(), 10u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].p_fa, curve[i - 1].p_fa);
+    EXPECT_LE(curve[i].p_miss, curve[i - 1].p_miss + 1e-12);
+  }
+  EXPECT_NEAR(curve.front().p_miss, 1.0, 1e-9);
+  EXPECT_NEAR(curve.back().p_fa, 1.0, 1e-9);
+  EXPECT_NEAR(curve.back().p_miss, 0.0, 1e-9);
+}
+
+TEST(DetCurve, ThinningPreservesEndpoints) {
+  TrialSet trials;
+  util::Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    trials.target_scores.push_back(rng.gaussian(0.5, 1.0));
+    trials.nontarget_scores.push_back(rng.gaussian(-0.5, 1.0));
+  }
+  const auto curve = det_curve(trials);
+  const auto thin = thin_det_curve(curve, 50);
+  ASSERT_EQ(thin.size(), 50u);
+  EXPECT_DOUBLE_EQ(thin.front().p_fa, curve.front().p_fa);
+  EXPECT_DOUBLE_EQ(thin.back().p_miss, curve.back().p_miss);
+}
+
+TEST(Llr, ConversionAgainstManual) {
+  util::Matrix lp(1, 3);
+  lp(0, 0) = std::log(0.7f);
+  lp(0, 1) = std::log(0.2f);
+  lp(0, 2) = std::log(0.1f);
+  const auto llr = log_posteriors_to_llr(lp);
+  // llr_0 = log(0.7) - log((0.2+0.1)/2)
+  EXPECT_NEAR(llr(0, 0), std::log(0.7) - std::log(0.15), 1e-5);
+  EXPECT_NEAR(llr(0, 1), std::log(0.2) - std::log(0.4), 1e-5);
+}
+
+TEST(Cavg, PerfectLlrScoresGiveZero) {
+  // Targets well above 0, nontargets well below.
+  util::Matrix llr(4, 2);
+  std::vector<std::int32_t> y = {0, 0, 1, 1};
+  for (std::size_t i = 0; i < 4; ++i) {
+    llr(i, 0) = y[i] == 0 ? 5.0f : -5.0f;
+    llr(i, 1) = y[i] == 1 ? 5.0f : -5.0f;
+  }
+  EXPECT_NEAR(cavg(llr, y, 2), 0.0, 1e-9);
+}
+
+TEST(Cavg, AllWrongGivesOneHalfPlusHalf) {
+  // Every target rejected (P_miss=1) and every nontarget accepted (P_fa=1):
+  // Cavg = P_t * 1 + (1-P_t) * 1 = 1 with default P_t = 0.5... per class.
+  util::Matrix llr(4, 2);
+  std::vector<std::int32_t> y = {0, 0, 1, 1};
+  for (std::size_t i = 0; i < 4; ++i) {
+    llr(i, 0) = y[i] == 0 ? -5.0f : 5.0f;
+    llr(i, 1) = y[i] == 1 ? -5.0f : 5.0f;
+  }
+  EXPECT_NEAR(cavg(llr, y, 2), 1.0, 1e-9);
+}
+
+TEST(Cavg, MidpointForChanceScores) {
+  // Scores exactly at threshold accept everything: P_miss = 0, P_fa = 1
+  // -> Cavg = 0.5.
+  util::Matrix llr(6, 3, 0.5f);
+  std::vector<std::int32_t> y = {0, 1, 2, 0, 1, 2};
+  EXPECT_NEAR(cavg(llr, y, 3), 0.5, 1e-9);
+}
+
+TEST(Cavg, ShapeValidation) {
+  util::Matrix llr(2, 2, 0.0f);
+  std::vector<std::int32_t> y = {0};
+  EXPECT_THROW(cavg(llr, y, 2), std::invalid_argument);
+}
+
+TEST(IdentificationAccuracy, Basic) {
+  util::Matrix scores(3, 2);
+  scores(0, 0) = 1.0f;
+  scores(0, 1) = 0.0f;
+  scores(1, 0) = 0.0f;
+  scores(1, 1) = 1.0f;
+  scores(2, 0) = 1.0f;
+  scores(2, 1) = 2.0f;  // wrong
+  std::vector<std::int32_t> y = {0, 1, 0};
+  EXPECT_NEAR(identification_accuracy(scores, y), 2.0 / 3.0, 1e-12);
+}
+
+TEST(EerAndCavg, CorrelateOnSyntheticSweep) {
+  // Property: as score separation grows, both EER and Cavg shrink.
+  util::Rng rng(11);
+  double prev_eer = 1.0, prev_cavg = 1.0;
+  for (double sep : {0.2, 1.0, 3.0}) {
+    const std::size_t n = 3000;
+    util::Matrix llr(n, 2);
+    std::vector<std::int32_t> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] = static_cast<std::int32_t>(i % 2);
+      for (std::size_t c = 0; c < 2; ++c) {
+        const double mean = (static_cast<std::int32_t>(c) == y[i]) ? sep : -sep;
+        llr(i, c) = static_cast<float>(rng.gaussian(mean, 1.0));
+      }
+    }
+    const auto trials = TrialSet::from_scores(llr, y);
+    const double e = equal_error_rate(trials);
+    const double c = cavg(llr, y, 2);
+    EXPECT_LT(e, prev_eer);
+    EXPECT_LT(c, prev_cavg);
+    prev_eer = e;
+    prev_cavg = c;
+  }
+}
+
+}  // namespace
+}  // namespace phonolid::eval

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/mfcc.h"
+#include "dsp/plp.h"
+#include "util/rng.h"
+
+namespace phonolid::dsp {
+namespace {
+
+std::vector<float> make_tone(double freq, double seconds, double sr,
+                             double noise = 0.0, std::uint64_t seed = 1) {
+  util::Rng rng(seed);
+  std::vector<float> x(static_cast<std::size_t>(seconds * sr));
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    x[t] = static_cast<float>(
+        std::sin(2.0 * std::numbers::pi * freq * static_cast<double>(t) / sr) +
+        noise * rng.gaussian());
+  }
+  return x;
+}
+
+TEST(Mfcc, OutputShape) {
+  MfccConfig cfg;
+  MfccExtractor mfcc(cfg);
+  const auto x = make_tone(440.0, 0.5, cfg.sample_rate);
+  const auto feats = mfcc.extract(x);
+  EXPECT_EQ(feats.cols(), cfg.num_ceps);
+  EXPECT_EQ(feats.rows(), (x.size() - cfg.frame_length) / cfg.frame_shift + 1);
+}
+
+TEST(Mfcc, EmptySignalGivesNoFrames) {
+  MfccExtractor mfcc;
+  std::vector<float> x(10, 0.0f);  // shorter than one frame
+  EXPECT_EQ(mfcc.extract(x).rows(), 0u);
+}
+
+TEST(Mfcc, FiniteOnSilence) {
+  MfccExtractor mfcc;
+  std::vector<float> x(4000, 0.0f);
+  const auto feats = mfcc.extract(x);
+  for (std::size_t t = 0; t < feats.rows(); ++t) {
+    for (std::size_t d = 0; d < feats.cols(); ++d) {
+      EXPECT_TRUE(std::isfinite(feats(t, d)));
+    }
+  }
+}
+
+TEST(Mfcc, DistinguishesTones) {
+  MfccExtractor mfcc;
+  const auto lo = mfcc.extract(make_tone(300.0, 0.3, 8000.0));
+  const auto hi = mfcc.extract(make_tone(2000.0, 0.3, 8000.0));
+  ASSERT_GT(lo.rows(), 0u);
+  // Compare mean cepstra: different spectral envelopes must differ clearly.
+  double dist = 0.0;
+  for (std::size_t d = 1; d < lo.cols(); ++d) {
+    double m_lo = 0.0, m_hi = 0.0;
+    for (std::size_t t = 0; t < lo.rows(); ++t) m_lo += lo(t, d);
+    for (std::size_t t = 0; t < hi.rows(); ++t) m_hi += hi(t, d);
+    m_lo /= static_cast<double>(lo.rows());
+    m_hi /= static_cast<double>(hi.rows());
+    dist += (m_lo - m_hi) * (m_lo - m_hi);
+  }
+  EXPECT_GT(std::sqrt(dist), 1.0);
+}
+
+TEST(Mfcc, DeterministicForSameInput) {
+  MfccExtractor mfcc;
+  const auto x = make_tone(700.0, 0.2, 8000.0, 0.1);
+  const auto a = mfcc.extract(x);
+  const auto b = mfcc.extract(x);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Mfcc, RejectsFrameLongerThanFft) {
+  MfccConfig cfg;
+  cfg.frame_length = 512;
+  cfg.n_fft = 256;
+  EXPECT_THROW(MfccExtractor{cfg}, std::invalid_argument);
+}
+
+TEST(LevinsonDurbin, SolvesKnownAr1Process) {
+  // AR(1): x[t] = a x[t-1] + e  ->  R[k] = a^k / (1-a^2) (up to scale).
+  const double a = 0.7;
+  std::vector<double> autocorr(4);
+  for (std::size_t k = 0; k < 4; ++k) autocorr[k] = std::pow(a, k);
+  std::vector<double> lpc(2);
+  const double err = levinson_durbin(autocorr, lpc);
+  EXPECT_NEAR(lpc[0], a, 1e-9);
+  EXPECT_NEAR(lpc[1], 0.0, 1e-9);
+  EXPECT_NEAR(err, 1.0 - a * a, 1e-9);
+}
+
+TEST(LevinsonDurbin, RejectsNonPositiveR0) {
+  std::vector<double> autocorr = {0.0, 0.1};
+  std::vector<double> lpc(1);
+  EXPECT_THROW(levinson_durbin(autocorr, lpc), std::invalid_argument);
+}
+
+TEST(LevinsonDurbin, StableFilterForValidAutocorrelation) {
+  // For a positive-definite autocorrelation the reflection coefficients
+  // stay in (-1, 1) and the error remains positive.
+  std::vector<double> autocorr = {2.0, 1.1, 0.6, 0.2, 0.05};
+  std::vector<double> lpc(4);
+  const double err = levinson_durbin(autocorr, lpc);
+  EXPECT_GT(err, 0.0);
+  EXPECT_LT(err, 2.0);  // prediction reduces error
+}
+
+TEST(LpcToCepstrum, FirstCepstrumIsLogGain) {
+  std::vector<double> lpc = {0.5};
+  std::vector<double> ceps(3);
+  lpc_to_cepstrum(lpc, std::exp(2.0), ceps);
+  EXPECT_NEAR(ceps[0], 2.0, 1e-12);
+  EXPECT_NEAR(ceps[1], 0.5, 1e-12);
+  // c2 = a2 + (1/2) c1 a1 = 0 + 0.5*0.5*0.5
+  EXPECT_NEAR(ceps[2], 0.125, 1e-12);
+}
+
+TEST(Plp, OutputShapeAndFiniteness) {
+  PlpConfig cfg;
+  PlpExtractor plp(cfg);
+  const auto x = make_tone(600.0, 0.4, cfg.sample_rate, 0.2);
+  const auto feats = plp.extract(x);
+  EXPECT_EQ(feats.cols(), cfg.num_ceps);
+  EXPECT_GT(feats.rows(), 0u);
+  for (std::size_t t = 0; t < feats.rows(); ++t) {
+    for (std::size_t d = 0; d < feats.cols(); ++d) {
+      EXPECT_TRUE(std::isfinite(feats(t, d))) << t << "," << d;
+    }
+  }
+}
+
+TEST(Plp, DistinguishesTones) {
+  PlpExtractor plp;
+  const auto lo = plp.extract(make_tone(350.0, 0.3, 8000.0));
+  const auto hi = plp.extract(make_tone(1800.0, 0.3, 8000.0));
+  ASSERT_GT(lo.rows(), 0u);
+  double dist = 0.0;
+  for (std::size_t d = 1; d < lo.cols(); ++d) {
+    double m_lo = 0.0, m_hi = 0.0;
+    for (std::size_t t = 0; t < lo.rows(); ++t) m_lo += lo(t, d);
+    for (std::size_t t = 0; t < hi.rows(); ++t) m_hi += hi(t, d);
+    dist += std::abs(m_lo / static_cast<double>(lo.rows()) -
+                     m_hi / static_cast<double>(hi.rows()));
+  }
+  EXPECT_GT(dist, 0.1);
+}
+
+TEST(Plp, DiffersFromMfcc) {
+  // The two front-ends must produce genuinely different representations —
+  // that difference is the diversification the paper fuses over.
+  MfccExtractor mfcc;
+  PlpExtractor plp;
+  const auto x = make_tone(500.0, 0.3, 8000.0, 0.3);
+  const auto a = mfcc.extract(x);
+  const auto b = plp.extract(x);
+  ASSERT_EQ(a.rows(), b.rows());
+  double diff = 0.0;
+  for (std::size_t t = 0; t < a.rows(); ++t) {
+    for (std::size_t d = 0; d < std::min(a.cols(), b.cols()); ++d) {
+      diff += std::abs(a(t, d) - b(t, d));
+    }
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+}  // namespace
+}  // namespace phonolid::dsp

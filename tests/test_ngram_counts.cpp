@@ -1,0 +1,145 @@
+#include "phonotactic/ngram_counts.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace phonolid::phonotactic {
+namespace {
+
+TEST(NgramIndexer, DimensionsPerOrder) {
+  NgramIndexer idx(5, 3);
+  EXPECT_EQ(idx.dimension(), 5u + 25u + 125u);
+  EXPECT_EQ(idx.order_offset(1), 0u);
+  EXPECT_EQ(idx.order_offset(2), 5u);
+  EXPECT_EQ(idx.order_offset(3), 30u);
+  EXPECT_EQ(idx.order_size(1), 5u);
+  EXPECT_EQ(idx.order_size(2), 25u);
+  EXPECT_EQ(idx.order_size(3), 125u);
+}
+
+TEST(NgramIndexer, IndexDecodeRoundTrip) {
+  NgramIndexer idx(7, 3);
+  std::uint32_t unigram[] = {4};
+  std::uint32_t bigram[] = {2, 6};
+  std::uint32_t trigram[] = {1, 0, 5};
+  EXPECT_EQ(idx.decode(idx.index(unigram, 1)), std::vector<std::uint32_t>{4});
+  EXPECT_EQ(idx.decode(idx.index(bigram, 2)),
+            (std::vector<std::uint32_t>{2, 6}));
+  EXPECT_EQ(idx.decode(idx.index(trigram, 3)),
+            (std::vector<std::uint32_t>{1, 0, 5}));
+}
+
+TEST(NgramIndexer, IdsAreUniqueAcrossOrders) {
+  NgramIndexer idx(3, 2);
+  std::vector<bool> seen(idx.dimension(), false);
+  for (std::uint32_t a = 0; a < 3; ++a) {
+    const std::uint32_t id = idx.index(&a, 1);
+    ASSERT_LT(id, idx.dimension());
+    EXPECT_FALSE(seen[id]);
+    seen[id] = true;
+  }
+  for (std::uint32_t a = 0; a < 3; ++a) {
+    for (std::uint32_t b = 0; b < 3; ++b) {
+      std::uint32_t gram[] = {a, b};
+      const std::uint32_t id = idx.index(gram, 2);
+      ASSERT_LT(id, idx.dimension());
+      EXPECT_FALSE(seen[id]);
+      seen[id] = true;
+    }
+  }
+}
+
+TEST(NgramIndexer, RejectsOversizedSpace) {
+  EXPECT_THROW(NgramIndexer(5000, 4), std::invalid_argument);
+  EXPECT_THROW(NgramIndexer(0, 2), std::invalid_argument);
+}
+
+TEST(SequenceCounts, CountsAllOrders) {
+  NgramIndexer idx(4, 2);
+  const std::vector<std::uint32_t> phones = {0, 1, 0, 1};
+  const auto counts = sequence_ngram_counts(phones, idx);
+  std::uint32_t u0[] = {0};
+  std::uint32_t u1[] = {1};
+  std::uint32_t b01[] = {0, 1};
+  std::uint32_t b10[] = {1, 0};
+  EXPECT_FLOAT_EQ(counts.at(idx.index(u0, 1)), 2.0f);
+  EXPECT_FLOAT_EQ(counts.at(idx.index(u1, 1)), 2.0f);
+  EXPECT_FLOAT_EQ(counts.at(idx.index(b01, 2)), 2.0f);
+  EXPECT_FLOAT_EQ(counts.at(idx.index(b10, 2)), 1.0f);
+}
+
+TEST(SequenceCounts, ShortSequenceSkipsHighOrders) {
+  NgramIndexer idx(4, 3);
+  const std::vector<std::uint32_t> phones = {2};
+  const auto counts = sequence_ngram_counts(phones, idx);
+  EXPECT_EQ(counts.nnz(), 1u);
+}
+
+// Deterministic two-path lattice: path A = [p0], path B = [p1, p2], with
+// equal scores so each path has posterior 0.5 at scale 1.
+decoder::Lattice balanced_lattice() {
+  std::vector<decoder::LatticeEdge> edges;
+  edges.push_back({0, 2, 0, 0.0f, 0.0});
+  edges.push_back({0, 1, 1, 0.0f, 0.0});
+  edges.push_back({1, 2, 2, 0.0f, 0.0});
+  return decoder::Lattice(2, std::move(edges));
+}
+
+TEST(ExpectedCounts, MatchPathPosteriors) {
+  NgramIndexer idx(3, 2);
+  NgramCountConfig cfg;
+  cfg.acoustic_scale = 1.0;
+  cfg.count_floor = 1e-9;
+  const auto counts = expected_ngram_counts(balanced_lattice(), idx, cfg);
+
+  std::uint32_t p0[] = {0};
+  std::uint32_t p1[] = {1};
+  std::uint32_t p2[] = {2};
+  std::uint32_t b12[] = {1, 2};
+  EXPECT_NEAR(counts.at(idx.index(p0, 1)), 0.5f, 1e-6);
+  EXPECT_NEAR(counts.at(idx.index(p1, 1)), 0.5f, 1e-6);
+  EXPECT_NEAR(counts.at(idx.index(p2, 1)), 0.5f, 1e-6);
+  EXPECT_NEAR(counts.at(idx.index(b12, 2)), 0.5f, 1e-6);
+  // Bigram (0, anything) never occurs: path A is a single edge.
+  std::uint32_t b01[] = {0, 1};
+  EXPECT_FLOAT_EQ(counts.at(idx.index(b01, 2)), 0.0f);
+}
+
+TEST(ExpectedCounts, UnigramMassEqualsExpectedPathLength) {
+  // Expected #edges on a path = 0.5 * 1 + 0.5 * 2 = 1.5.
+  NgramIndexer idx(3, 1);
+  NgramCountConfig cfg;
+  cfg.acoustic_scale = 1.0;
+  cfg.count_floor = 1e-9;
+  const auto counts = expected_ngram_counts(balanced_lattice(), idx, cfg);
+  EXPECT_NEAR(counts.sum(), 1.5, 1e-6);
+}
+
+TEST(ExpectedCounts, EmptyLatticeGivesEmptyCounts) {
+  NgramIndexer idx(3, 2);
+  decoder::Lattice lat(4, {});
+  const auto counts = expected_ngram_counts(lat, idx, {});
+  EXPECT_TRUE(counts.empty());
+}
+
+TEST(ExpectedCounts, FloorFiltersNegligibleTuples) {
+  // Heavily skewed lattice: path B nearly impossible.
+  std::vector<decoder::LatticeEdge> edges;
+  edges.push_back({0, 2, 0, 20.0f, 0.0});
+  edges.push_back({0, 1, 1, 0.0f, 0.0});
+  edges.push_back({1, 2, 2, 0.0f, 0.0});
+  decoder::Lattice lat(2, std::move(edges));
+  NgramIndexer idx(3, 2);
+  NgramCountConfig strict;
+  strict.acoustic_scale = 1.0;
+  strict.count_floor = 1e-3;
+  const auto counts = expected_ngram_counts(lat, idx, strict);
+  std::uint32_t p1[] = {1};
+  EXPECT_FLOAT_EQ(counts.at(idx.index(p1, 1)), 0.0f);
+  std::uint32_t p0[] = {0};
+  EXPECT_GT(counts.at(idx.index(p0, 1)), 0.99f);
+}
+
+}  // namespace
+}  // namespace phonolid::phonotactic

@@ -1,0 +1,150 @@
+#include "phonotactic/ngram_lm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace phonolid::phonotactic {
+namespace {
+
+TEST(NgramLm, ValidatesConfiguration) {
+  EXPECT_THROW(NgramLm(0, {2}), std::invalid_argument);
+  EXPECT_THROW(NgramLm(5, {0}), std::invalid_argument);
+  EXPECT_THROW(NgramLm(5, {5}), std::invalid_argument);
+  EXPECT_NO_THROW(NgramLm(5, {3}));
+}
+
+TEST(NgramLm, ProbabilitiesSumToOneOverAlphabet) {
+  NgramLm lm(4, {2});
+  lm.add_sequence({0, 1, 2, 1, 0, 3, 1});
+  lm.add_sequence({2, 2, 1, 0});
+  // Unconditional distribution.
+  double total = 0.0;
+  for (std::uint32_t w = 0; w < 4; ++w) {
+    total += lm.probability(w, {});
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Conditional on a seen history.
+  total = 0.0;
+  for (std::uint32_t w = 0; w < 4; ++w) {
+    total += lm.probability(w, {1});
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(NgramLm, LearnsBigramPreference) {
+  NgramLm lm(3, {2});
+  // 0 is almost always followed by 1.
+  for (int i = 0; i < 20; ++i) lm.add_sequence({0, 1, 0, 1, 0, 1});
+  lm.add_sequence({0, 2});
+  EXPECT_GT(lm.probability(1, {0}), lm.probability(2, {0}));
+  EXPECT_GT(lm.probability(1, {0}), 0.5);
+}
+
+TEST(NgramLm, UnseenHistoryBacksOffToUnigram) {
+  NgramLm lm(4, {3});
+  lm.add_sequence({0, 1, 0, 1});
+  const double backoff = lm.probability(1, {3, 3});  // history never seen
+  const double unigram = lm.probability(1, {});
+  EXPECT_NEAR(backoff, unigram, 1e-9);
+}
+
+TEST(NgramLm, UntrainedModelIsUniform) {
+  NgramLm lm(5, {2});
+  for (std::uint32_t w = 0; w < 5; ++w) {
+    EXPECT_NEAR(lm.probability(w, {}), 0.2, 1e-9);
+  }
+}
+
+TEST(NgramLm, ScoreIsLengthNormalised) {
+  NgramLm lm(3, {2});
+  for (int i = 0; i < 10; ++i) lm.add_sequence({0, 1, 2, 0, 1, 2});
+  const std::vector<std::uint32_t> once = {0, 1, 2};
+  const std::vector<std::uint32_t> twice = {0, 1, 2, 0, 1, 2};
+  // Per-phone log-prob should be nearly equal (same pattern).
+  EXPECT_NEAR(lm.score(once), lm.score(twice), 0.25);
+  EXPECT_EQ(lm.score({}), 0.0);
+}
+
+TEST(NgramLm, InDomainScoresHigherThanOutOfDomain) {
+  NgramLm lm(4, {3});
+  util::Rng rng(5);
+  for (int u = 0; u < 30; ++u) {
+    std::vector<std::uint32_t> seq;
+    std::uint32_t prev = 0;
+    for (int t = 0; t < 40; ++t) {
+      // Deterministic-ish cycle 0->1->2->0 with noise.
+      prev = rng.uniform() < 0.85 ? (prev + 1) % 3 : 3;
+      seq.push_back(prev);
+    }
+    lm.add_sequence(seq);
+  }
+  const std::vector<std::uint32_t> in_domain = {0, 1, 2, 0, 1, 2, 0, 1};
+  const std::vector<std::uint32_t> out_domain = {3, 3, 2, 1, 0, 2, 3, 3};
+  EXPECT_GT(lm.score(in_domain), lm.score(out_domain));
+}
+
+TEST(PrlmSystem, DiscriminatesLanguagesBySequenceStatistics) {
+  util::Rng rng(7);
+  // Language 0 prefers ascending cycles, language 1 descending.
+  const auto sample = [&](int lang) {
+    std::vector<std::uint32_t> seq;
+    std::uint32_t prev = rng.uniform_index(5);
+    for (int t = 0; t < 60; ++t) {
+      if (rng.uniform() < 0.8) {
+        prev = lang == 0 ? (prev + 1) % 5 : (prev + 4) % 5;
+      } else {
+        prev = static_cast<std::uint32_t>(rng.uniform_index(5));
+      }
+      seq.push_back(prev);
+    }
+    return seq;
+  };
+  std::vector<std::vector<std::uint32_t>> train;
+  std::vector<std::int32_t> labels;
+  for (int i = 0; i < 40; ++i) {
+    train.push_back(sample(i % 2));
+    labels.push_back(i % 2);
+  }
+  const auto prlm = PrlmSystem::train(train, labels, 2, 5, {2});
+  ASSERT_EQ(prlm.num_languages(), 2u);
+
+  std::size_t correct = 0;
+  const std::size_t trials = 50;
+  std::vector<float> scores(2);
+  for (std::size_t i = 0; i < trials; ++i) {
+    const int truth = static_cast<int>(i % 2);
+    prlm.score(sample(truth), scores);
+    if ((scores[1] > scores[0]) == (truth == 1)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / trials, 0.9);
+}
+
+TEST(PrlmSystem, ScoreAllShape) {
+  std::vector<std::vector<std::uint32_t>> train = {{0, 1, 2}, {2, 1, 0}};
+  std::vector<std::int32_t> labels = {0, 1};
+  const auto prlm = PrlmSystem::train(train, labels, 2, 3, {2});
+  const auto scores = prlm.score_all(train);
+  EXPECT_EQ(scores.rows(), 2u);
+  EXPECT_EQ(scores.cols(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_TRUE(std::isfinite(scores(i, c)));
+      EXPECT_LE(scores(i, c), 0.0f);
+    }
+  }
+}
+
+TEST(PrlmSystem, InputValidation) {
+  std::vector<std::vector<std::uint32_t>> seqs = {{0, 1}};
+  std::vector<std::int32_t> bad = {5};
+  EXPECT_THROW(PrlmSystem::train(seqs, bad, 2, 3, {}), std::invalid_argument);
+  std::vector<std::int32_t> short_labels;
+  EXPECT_THROW(PrlmSystem::train(seqs, short_labels, 2, 3, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phonolid::phonotactic

@@ -1,0 +1,166 @@
+#include "am/nn_hmm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "corpus/language_model.h"
+#include "corpus/synthesizer.h"
+
+namespace phonolid::am {
+namespace {
+
+TEST(StackContext, ZeroContextIsIdentity) {
+  util::Matrix m(3, 2);
+  m(1, 0) = 5.0f;
+  const auto out = stack_context(m, 0);
+  EXPECT_TRUE(out == m);
+}
+
+TEST(StackContext, WidthAndCenterColumn) {
+  util::Matrix m(5, 3);
+  for (std::size_t t = 0; t < 5; ++t) {
+    for (std::size_t d = 0; d < 3; ++d) {
+      m(t, d) = static_cast<float>(t * 10 + d);
+    }
+  }
+  const auto out = stack_context(m, 2);
+  ASSERT_EQ(out.rows(), 5u);
+  ASSERT_EQ(out.cols(), 15u);
+  // Centre block (offset 2*dim) must equal the original frame.
+  for (std::size_t t = 0; t < 5; ++t) {
+    for (std::size_t d = 0; d < 3; ++d) {
+      EXPECT_FLOAT_EQ(out(t, 6 + d), m(t, d));
+    }
+  }
+  // Interior frame: left block = previous frames.
+  EXPECT_FLOAT_EQ(out(2, 0), m(0, 0));
+  EXPECT_FLOAT_EQ(out(2, 3), m(1, 0));
+  EXPECT_FLOAT_EQ(out(2, 12), m(4, 0));
+}
+
+TEST(StackContext, EdgesClampToBoundaryFrames) {
+  util::Matrix m(3, 1);
+  m(0, 0) = 1.0f;
+  m(1, 0) = 2.0f;
+  m(2, 0) = 3.0f;
+  const auto out = stack_context(m, 1);
+  // Frame 0: left neighbour clamped to frame 0.
+  EXPECT_FLOAT_EQ(out(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(out(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(out(0, 2), 2.0f);
+  // Frame 2: right neighbour clamped to frame 2.
+  EXPECT_FLOAT_EQ(out(2, 1), 3.0f);
+  EXPECT_FLOAT_EQ(out(2, 2), 3.0f);
+}
+
+struct NnWorld {
+  corpus::PhoneInventory inventory;
+  PhoneSetMap map;
+  dsp::FeaturePipeline pipeline;
+  corpus::Synthesizer synth;
+
+  NnWorld()
+      : inventory(corpus::build_universal_inventory(12, 3)),
+        map(build_phone_map(inventory, 5, 5)),
+        pipeline(dsp::FeaturePipelineConfig{}),
+        synth(inventory, 8000.0) {}
+
+  std::vector<AlignedUtterance> make_corpus(std::size_t n) {
+    const auto lang = corpus::build_language(inventory, "t", 0.4, 0.9, 17);
+    std::vector<AlignedUtterance> out;
+    for (std::size_t i = 0; i < n; ++i) {
+      util::Rng rng(200 + i);
+      const auto phones = lang.sample_sequence(inventory, 1.5, rng);
+      auto speaker = corpus::SpeakerProfile::sample(rng);
+      auto channel = corpus::ChannelProfile::sample(rng);
+      auto rendered = synth.render(phones, speaker, channel, rng);
+      corpus::Utterance utt;
+      utt.samples = std::move(rendered.samples);
+      utt.alignment = std::move(rendered.alignment);
+      out.push_back(align_utterance(utt, pipeline, map));
+    }
+    return out;
+  }
+};
+
+TEST(TrainNnHmm, ProducesFiniteScaledLikelihoods) {
+  NnWorld world;
+  const auto data = world.make_corpus(8);
+  NnHmmTrainConfig cfg;
+  cfg.nn.hidden_sizes = {16};
+  cfg.nn.max_epochs = 4;
+  const auto model = train_nn_hmm(data, 5, cfg);
+  EXPECT_EQ(model.num_states(), 15u);
+  EXPECT_EQ(model.context(), cfg.context);
+  util::Matrix scores;
+  model.score(data[0].features, scores);
+  ASSERT_EQ(scores.rows(), data[0].features.rows());
+  ASSERT_EQ(scores.cols(), 15u);
+  for (std::size_t t = 0; t < scores.rows(); ++t) {
+    for (std::size_t s = 0; s < scores.cols(); ++s) {
+      EXPECT_TRUE(std::isfinite(scores(t, s)));
+    }
+  }
+}
+
+TEST(TrainNnHmm, ScoreGainScalesOutput) {
+  NnWorld world;
+  const auto data = world.make_corpus(6);
+  NnHmmTrainConfig cfg;
+  cfg.nn.hidden_sizes = {12};
+  cfg.nn.max_epochs = 2;
+  cfg.score_gain = 1.0f;
+  const auto base = train_nn_hmm(data, 5, cfg);
+  cfg.score_gain = 3.0f;
+  const auto gained = train_nn_hmm(data, 5, cfg);
+  util::Matrix a, b;
+  base.score(data[0].features, a);
+  gained.score(data[0].features, b);
+  for (std::size_t s = 0; s < a.cols(); ++s) {
+    EXPECT_NEAR(b(0, s), 3.0f * a(0, s), 5e-2f * std::abs(a(0, s)) + 1e-3f);
+  }
+}
+
+TEST(TrainNnHmm, BetterThanChanceOnTrainingFrames) {
+  NnWorld world;
+  const auto data = world.make_corpus(10);
+  NnHmmTrainConfig cfg;
+  cfg.nn.hidden_sizes = {24};
+  cfg.nn.max_epochs = 12;
+  const auto model = train_nn_hmm(data, 5, cfg);
+  HmmTopology topo{5, 3};
+  util::Matrix scores;
+  std::size_t correct = 0, total = 0;
+  for (const auto& utt : data) {
+    const auto labels = uniform_state_labels(utt, topo);
+    model.score(utt.features, scores);
+    for (std::size_t t = 0; t < labels.state.size(); ++t) {
+      std::size_t best = 0;
+      for (std::size_t s = 1; s < scores.cols(); ++s) {
+        if (scores(t, s) > scores(t, best)) best = s;
+      }
+      // Count phone-level (not state-level) accuracy.
+      if (topo.phone_of(best) == topo.phone_of(labels.state[t])) ++correct;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total), 0.4);
+}
+
+TEST(TrainNnHmm, ThrowsOnEmptyData) {
+  EXPECT_THROW(train_nn_hmm({}, 5, {}), std::invalid_argument);
+}
+
+TEST(NnHmmModel, ValidatesStateCounts) {
+  util::Rng rng(1);
+  FeedForwardNet net(10, {4}, 6, rng);  // 6 outputs
+  HmmTopology topo{5, 3};               // 15 states
+  std::vector<float> priors(15, -1.0f);
+  EXPECT_THROW(NnHmmModel(topo, std::move(net), std::move(priors),
+                          HmmTransitions::uniform(15, 3.0), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phonolid::am

@@ -1,0 +1,82 @@
+#include "util/options.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace phonolid::util {
+namespace {
+
+TEST(Options, ParseScale) {
+  EXPECT_EQ(parse_scale("quick"), Scale::kQuick);
+  EXPECT_EQ(parse_scale("default"), Scale::kDefault);
+  EXPECT_EQ(parse_scale("full"), Scale::kFull);
+  EXPECT_EQ(parse_scale("bogus"), Scale::kDefault);
+  EXPECT_EQ(parse_scale(""), Scale::kDefault);
+}
+
+TEST(Options, ScaleNames) {
+  EXPECT_STREQ(to_string(Scale::kQuick), "quick");
+  EXPECT_STREQ(to_string(Scale::kDefault), "default");
+  EXPECT_STREQ(to_string(Scale::kFull), "full");
+}
+
+TEST(Options, ScaleFromEnv) {
+  ::setenv("PHONOLID_SCALE", "full", 1);
+  EXPECT_EQ(scale_from_env(), Scale::kFull);
+  ::setenv("PHONOLID_SCALE", "quick", 1);
+  EXPECT_EQ(scale_from_env(), Scale::kQuick);
+  ::unsetenv("PHONOLID_SCALE");
+  EXPECT_EQ(scale_from_env(), Scale::kDefault);
+}
+
+TEST(Options, EnvIntFallbacks) {
+  ::unsetenv("PHONOLID_TEST_INT");
+  EXPECT_EQ(env_int("PHONOLID_TEST_INT", 42), 42);
+  ::setenv("PHONOLID_TEST_INT", "123", 1);
+  EXPECT_EQ(env_int("PHONOLID_TEST_INT", 42), 123);
+  ::setenv("PHONOLID_TEST_INT", "-7", 1);
+  EXPECT_EQ(env_int("PHONOLID_TEST_INT", 42), -7);
+  ::setenv("PHONOLID_TEST_INT", "notanumber", 1);
+  EXPECT_EQ(env_int("PHONOLID_TEST_INT", 42), 42);
+  ::unsetenv("PHONOLID_TEST_INT");
+}
+
+TEST(Options, MasterSeedOverride) {
+  ::unsetenv("PHONOLID_SEED");
+  EXPECT_EQ(master_seed(), 20090704u);
+  ::setenv("PHONOLID_SEED", "777", 1);
+  EXPECT_EQ(master_seed(), 777u);
+  ::unsetenv("PHONOLID_SEED");
+}
+
+TEST(Logging, LevelParsing) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("???"), LogLevel::kWarn);
+}
+
+TEST(Logging, LevelFiltering) {
+  Logger& logger = Logger::instance();
+  const LogLevel saved = logger.level();
+  logger.set_level(LogLevel::kError);
+  EXPECT_FALSE(logger.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(logger.enabled(LogLevel::kError));
+  logger.set_level(LogLevel::kTrace);
+  EXPECT_TRUE(logger.enabled(LogLevel::kDebug));
+  logger.set_level(saved);
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace phonolid::util

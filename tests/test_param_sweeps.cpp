@@ -1,0 +1,169 @@
+// Parameterised property sweeps across configuration axes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "am/gmm.h"
+#include "decoder/phone_loop_decoder.h"
+#include "phonotactic/ngram_counts.h"
+#include "svm/linear_svm.h"
+#include "util/rng.h"
+
+namespace phonolid {
+namespace {
+
+// ---------------------------------------------------------------- SVM / C
+class SvmCSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SvmCSweep, SeparableProblemSolvedAtEveryC) {
+  const double c = GetParam();
+  util::Rng rng(17);
+  std::vector<phonotactic::SparseVec> x;
+  std::vector<std::int8_t> y;
+  for (int i = 0; i < 200; ++i) {
+    const float a = static_cast<float>(rng.uniform(0.0, 1.0));
+    const float b = static_cast<float>(rng.uniform(0.0, 1.0));
+    if (std::abs(a - b) < 0.15f) continue;
+    x.push_back(phonotactic::SparseVec({0, 1}, {a, b}));
+    y.push_back(a > b ? 1 : -1);
+  }
+  std::vector<const phonotactic::SparseVec*> xptr;
+  for (const auto& v : x) xptr.push_back(&v);
+  svm::LinearSvm machine;
+  svm::SvmConfig cfg;
+  cfg.C = c;
+  machine.train(xptr, y, 2, cfg);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if ((machine.score(x[i]) > 0) == (y[i] > 0)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(x.size()), 0.97)
+      << "C=" << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(CValues, SvmCSweep,
+                         ::testing::Values(0.01, 0.1, 1.0, 10.0, 100.0));
+
+// ------------------------------------------------------------- GMM / dims
+class GmmDimSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GmmDimSweep, LikelihoodHigherOnInDistributionData) {
+  const std::size_t dim = GetParam();
+  util::Rng rng(dim);
+  util::Matrix train(400, dim), in_dist(100, dim), out_dist(100, dim);
+  for (std::size_t i = 0; i < 400; ++i) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      train(i, d) = static_cast<float>(rng.gaussian(1.0, 0.5));
+    }
+  }
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      in_dist(i, d) = static_cast<float>(rng.gaussian(1.0, 0.5));
+      out_dist(i, d) = static_cast<float>(rng.gaussian(-2.0, 0.5));
+    }
+  }
+  am::DiagGmm gmm;
+  am::GmmTrainConfig cfg;
+  cfg.num_components = 4;
+  gmm.train(train, cfg);
+  EXPECT_GT(gmm.average_log_likelihood(in_dist),
+            gmm.average_log_likelihood(out_dist) + 1.0)
+      << "dim=" << dim;
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, GmmDimSweep, ::testing::Values(1, 2, 8, 24, 39));
+
+// -------------------------------------------------------- decoder / beams
+class BeamSweep : public ::testing::TestWithParam<double> {};
+
+class SweepOracle final : public am::AcousticModel {
+ public:
+  SweepOracle(am::HmmTopology topo, std::vector<std::size_t> truth)
+      : topo_(topo), truth_(std::move(truth)) {}
+  [[nodiscard]] std::size_t num_states() const noexcept override {
+    return topo_.num_states();
+  }
+  [[nodiscard]] std::size_t feature_dim() const noexcept override { return 1; }
+  void score(const util::Matrix& f, util::Matrix& out) const override {
+    out.resize(f.rows(), num_states());
+    for (std::size_t t = 0; t < f.rows(); ++t) {
+      for (std::size_t s = 0; s < num_states(); ++s) {
+        out(t, s) = topo_.phone_of(s) == truth_[t] ? 0.0f : -2.0f;
+      }
+    }
+  }
+
+ private:
+  am::HmmTopology topo_;
+  std::vector<std::size_t> truth_;
+};
+
+TEST_P(BeamSweep, LatticeIsSoundAtEveryBeam) {
+  const double beam = GetParam();
+  am::HmmTopology topo{4, 3};
+  std::vector<std::size_t> truth;
+  for (int seg = 0; seg < 6; ++seg) {
+    for (int i = 0; i < 5; ++i) truth.push_back(seg % 4);
+  }
+  SweepOracle model(topo, truth);
+  decoder::DecoderConfig cfg;
+  cfg.lattice_beam = beam;
+  decoder::PhoneLoopDecoder dec(
+      model, topo, am::HmmTransitions::uniform(topo.num_states(), 3.0), cfg);
+  const auto lat = dec.decode(util::Matrix(truth.size(), 1, 0.0f));
+  ASSERT_FALSE(lat.edges().empty());
+  const auto occ = lat.frame_occupancy();
+  for (double o : occ) EXPECT_NEAR(o, 1.0, 1e-3) << "beam=" << beam;
+  // The 1-best must be identical regardless of lattice beam (the beam only
+  // affects which *alternatives* are kept).
+  EXPECT_EQ(lat.best_path(), (std::vector<std::uint32_t>{0, 1, 2, 3, 0, 1}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Beams, BeamSweep,
+                         ::testing::Values(0.5, 2.0, 5.0, 10.0, 25.0));
+
+TEST(BeamMonotonicity, WiderBeamNeverShrinksTheLattice) {
+  am::HmmTopology topo{4, 3};
+  std::vector<std::size_t> truth;
+  util::Rng rng(3);
+  for (int i = 0; i < 30; ++i) truth.push_back(rng.uniform_index(4));
+  SweepOracle model(topo, truth);
+  std::size_t prev = 0;
+  for (double beam : {0.5, 2.0, 5.0, 10.0, 25.0}) {
+    decoder::DecoderConfig cfg;
+    cfg.lattice_beam = beam;
+    cfg.posterior_prune = 0.0;
+    decoder::PhoneLoopDecoder dec(
+        model, topo, am::HmmTransitions::uniform(topo.num_states(), 3.0), cfg);
+    const auto lat = dec.decode(util::Matrix(truth.size(), 1, 0.0f));
+    EXPECT_GE(lat.edges().size(), prev) << "beam=" << beam;
+    prev = lat.edges().size();
+  }
+}
+
+// ---------------------------------------------------- N-gram order sweep
+class OrderSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OrderSweep, IndexerDimensionAndRoundTrip) {
+  const std::size_t order = GetParam();
+  phonotactic::NgramIndexer idx(6, order);
+  std::size_t expected = 0, power = 1;
+  for (std::size_t n = 1; n <= order; ++n) {
+    power *= 6;
+    expected += power;
+  }
+  EXPECT_EQ(idx.dimension(), expected);
+  // Round-trip a few ids at each order.
+  util::Rng rng(order);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(order);
+    std::vector<std::uint32_t> gram(n);
+    for (auto& g : gram) g = static_cast<std::uint32_t>(rng.uniform_index(6));
+    EXPECT_EQ(idx.decode(idx.index(gram.data(), n)), gram);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, OrderSweep, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace phonolid

@@ -1,0 +1,97 @@
+#include "am/phone_map.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "corpus/phone_inventory.h"
+
+namespace phonolid::am {
+namespace {
+
+TEST(PhoneSetMap, EveryFrontendPhoneNonEmpty) {
+  const auto inv = corpus::build_universal_inventory(40, 1);
+  for (std::size_t target : {5, 10, 20, 39}) {
+    const auto map = build_phone_map(inv, target, 7);
+    ASSERT_EQ(map.num_frontend_phones(), target);
+    std::vector<std::size_t> counts(target, 0);
+    for (std::size_t u = 0; u < inv.size(); ++u) {
+      ASSERT_LT(map.map(u), target);
+      ++counts[map.map(u)];
+    }
+    for (std::size_t c = 0; c < target; ++c) {
+      EXPECT_GT(counts[c], 0u) << "empty front-end phone " << c
+                               << " for target " << target;
+    }
+  }
+}
+
+TEST(PhoneSetMap, IdentityWhenFrontendLargerOrEqual) {
+  const auto inv = corpus::build_universal_inventory(20, 2);
+  const auto map = build_phone_map(inv, 20, 3);
+  for (std::size_t u = 0; u < 20; ++u) EXPECT_EQ(map.map(u), u);
+  const auto bigger = build_phone_map(inv, 30, 3);
+  EXPECT_EQ(bigger.num_frontend_phones(), 20u);
+}
+
+TEST(PhoneSetMap, DifferentSeedsGiveDifferentMaps) {
+  // The paper's front-end diversity: equal-sized phone sets must still
+  // carve the space differently.
+  const auto inv = corpus::build_universal_inventory(40, 4);
+  const auto a = build_phone_map(inv, 15, 100);
+  const auto b = build_phone_map(inv, 15, 200);
+  std::size_t differences = 0;
+  for (std::size_t u = 0; u < 40; ++u) {
+    // Maps are label-permutation-ambiguous, so compare co-clustering of
+    // pairs instead of raw labels.
+    for (std::size_t v = u + 1; v < 40; ++v) {
+      const bool same_a = a.map(u) == a.map(v);
+      const bool same_b = b.map(u) == b.map(v);
+      if (same_a != same_b) ++differences;
+    }
+  }
+  EXPECT_GT(differences, 10u);
+}
+
+TEST(PhoneSetMap, DeterministicForSeed) {
+  const auto inv = corpus::build_universal_inventory(30, 4);
+  const auto a = build_phone_map(inv, 12, 55);
+  const auto b = build_phone_map(inv, 12, 55);
+  EXPECT_EQ(a.mapping(), b.mapping());
+}
+
+TEST(PhoneSetMap, ClustersAcousticNeighbours) {
+  // Phones mapped together should on average be closer in formant space
+  // than phones mapped apart.
+  const auto inv = corpus::build_universal_inventory(40, 6);
+  const auto map = build_phone_map(inv, 10, 8);
+  double same_dist = 0.0, diff_dist = 0.0;
+  std::size_t same_n = 0, diff_n = 0;
+  for (std::size_t u = 0; u < 40; ++u) {
+    for (std::size_t v = u + 1; v < 40; ++v) {
+      const double df1 = inv.phone(u).formant_hz[0] - inv.phone(v).formant_hz[0];
+      const double df2 = inv.phone(u).formant_hz[1] - inv.phone(v).formant_hz[1];
+      const double d = df1 * df1 + df2 * df2;
+      if (map.map(u) == map.map(v)) {
+        same_dist += d;
+        ++same_n;
+      } else {
+        diff_dist += d;
+        ++diff_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0u);
+  ASSERT_GT(diff_n, 0u);
+  EXPECT_LT(same_dist / static_cast<double>(same_n),
+            diff_dist / static_cast<double>(diff_n));
+}
+
+TEST(PhoneSetMap, ValidatesConstruction) {
+  EXPECT_THROW(PhoneSetMap({0, 1, 5}, 3), std::invalid_argument);
+  EXPECT_NO_THROW(PhoneSetMap({0, 1, 2}, 3));
+}
+
+}  // namespace
+}  // namespace phonolid::am

@@ -1,0 +1,185 @@
+// Cross-module property tests: decoder lattices and phonotactic expected
+// counts must be mutually consistent.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "am/hmm.h"
+#include "decoder/phone_loop_decoder.h"
+#include "phonotactic/ngram_counts.h"
+#include "phonotactic/supervector.h"
+#include "util/rng.h"
+
+namespace phonolid {
+namespace {
+
+/// Noisy oracle: score(state, frame) is high when phone matches truth,
+/// plus Gaussian jitter controlled by `noise`.
+class NoisyOracle final : public am::AcousticModel {
+ public:
+  NoisyOracle(am::HmmTopology topo, std::vector<std::size_t> truth,
+              float margin, float noise, std::uint64_t seed)
+      : topo_(topo), truth_(std::move(truth)) {
+    util::Rng rng(seed);
+    scores_.resize(truth_.size(), topo_.num_states());
+    for (std::size_t t = 0; t < truth_.size(); ++t) {
+      for (std::size_t s = 0; s < topo_.num_states(); ++s) {
+        const bool correct = topo_.phone_of(s) == truth_[t];
+        scores_(t, s) = (correct ? 0.0f : -margin) +
+                        static_cast<float>(rng.gaussian(0.0, noise));
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t num_states() const noexcept override {
+    return topo_.num_states();
+  }
+  [[nodiscard]] std::size_t feature_dim() const noexcept override { return 1; }
+  void score(const util::Matrix& features, util::Matrix& out) const override {
+    (void)features;
+    out = scores_;
+  }
+
+ private:
+  am::HmmTopology topo_;
+  std::vector<std::size_t> truth_;
+  util::Matrix scores_;
+};
+
+struct PipelineCase {
+  am::HmmTopology topo{5, 3};
+  std::vector<std::size_t> truth;
+  std::unique_ptr<NoisyOracle> model;
+  std::unique_ptr<decoder::PhoneLoopDecoder> dec;
+
+  PipelineCase(float margin, float noise, std::uint64_t seed,
+               decoder::DecoderConfig cfg = {}) {
+    util::Rng rng(seed);
+    for (int seg = 0; seg < 8; ++seg) {
+      const std::size_t phone = rng.uniform_index(5);
+      const std::size_t len = 4 + rng.uniform_index(5);
+      for (std::size_t i = 0; i < len; ++i) truth.push_back(phone);
+    }
+    model = std::make_unique<NoisyOracle>(topo, truth, margin, noise, seed);
+    dec = std::make_unique<decoder::PhoneLoopDecoder>(
+        *model, topo, am::HmmTransitions::uniform(topo.num_states(), 3.0),
+        cfg);
+  }
+
+  decoder::Lattice decode() const {
+    return dec->decode(util::Matrix(truth.size(), 1, 0.0f));
+  }
+};
+
+TEST(PipelineProperties, ExpectedUnigramMassEqualsExpectedPathLength) {
+  // Sum of unigram expected counts == expected number of edges on a path,
+  // which must be >= 1 and <= num_frames.
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    PipelineCase pc(3.0f, 1.0f, seed);
+    const auto lattice = pc.decode();
+    phonotactic::NgramIndexer idx(5, 1);
+    phonotactic::NgramCountConfig cfg;
+    cfg.acoustic_scale = pc.dec->config().acoustic_scale;
+    cfg.count_floor = 1e-9;
+    const auto counts = expected_ngram_counts(lattice, idx, cfg);
+    const double mass = counts.sum();
+    EXPECT_GE(mass, 1.0 - 1e-6) << seed;
+    EXPECT_LE(mass, static_cast<double>(lattice.num_frames()) + 1e-6) << seed;
+  }
+}
+
+TEST(PipelineProperties, SharpScaleConvergesToOneBestCounts) {
+  // As the acoustic scale grows, expected counts concentrate on the best
+  // path, approaching the 1-best sequence counts.
+  PipelineCase pc(6.0f, 0.5f, 7);
+  const auto lattice = pc.decode();
+  phonotactic::NgramIndexer idx(5, 2);
+  const auto onebest = sequence_ngram_counts(lattice.best_path(), idx);
+
+  phonotactic::NgramCountConfig sharp;
+  sharp.acoustic_scale = 50.0;
+  sharp.count_floor = 1e-9;
+  const auto expected = expected_ngram_counts(lattice, idx, sharp);
+
+  // L1 distance between the count vectors should be small relative to the
+  // total 1-best mass.
+  double l1 = 0.0;
+  for (std::size_t i = 0; i < onebest.nnz(); ++i) {
+    l1 += std::abs(onebest.values()[i] -
+                   expected.at(onebest.indices()[i]));
+  }
+  for (std::size_t i = 0; i < expected.nnz(); ++i) {
+    if (onebest.at(expected.indices()[i]) == 0.0f) {
+      l1 += expected.values()[i];
+    }
+  }
+  EXPECT_LT(l1 / onebest.sum(), 0.15);
+}
+
+TEST(PipelineProperties, BigramMassBoundedByUnigramMass) {
+  // Every path with E edges contributes E unigrams and E-1 bigrams, so the
+  // expected bigram mass must be exactly unigram mass minus 1.
+  PipelineCase pc(2.0f, 1.0f, 11);
+  const auto lattice = pc.decode();
+  phonotactic::NgramIndexer idx(5, 2);
+  phonotactic::NgramCountConfig cfg;
+  cfg.acoustic_scale = pc.dec->config().acoustic_scale;
+  cfg.count_floor = 1e-12;
+  const auto counts = expected_ngram_counts(lattice, idx, cfg);
+  double unigram = 0.0, bigram = 0.0;
+  for (std::size_t i = 0; i < counts.nnz(); ++i) {
+    if (counts.indices()[i] < idx.order_offset(2)) {
+      unigram += counts.values()[i];
+    } else {
+      bigram += counts.values()[i];
+    }
+  }
+  EXPECT_NEAR(bigram, unigram - 1.0, 0.02);
+}
+
+TEST(PipelineProperties, SupervectorInvariantToLatticeScaleShift) {
+  // Adding a constant to every edge score must not change per-order
+  // normalised supervectors (it cancels in path posteriors only when the
+  // path lengths are equal; for mixed lengths it re-weights, so we test a
+  // *uniform-length* chain lattice where invariance is exact).
+  std::vector<decoder::LatticeEdge> edges;
+  for (std::uint32_t t = 0; t < 6; ++t) {
+    edges.push_back({t, t + 1, t % 3, 0.5f, 0.0});
+    edges.push_back({t, t + 1, (t + 1) % 3, 0.2f, 0.0});
+  }
+  auto shifted = edges;
+  for (auto& e : shifted) e.score += 2.0f;
+
+  phonotactic::NgramIndexer idx(3, 2);
+  phonotactic::SupervectorBuilder builder(
+      idx, {{2, 1.0, 1e-9}, true});
+  const auto a = builder.build(decoder::Lattice(6, std::move(edges)));
+  const auto b = builder.build(decoder::Lattice(6, std::move(shifted)));
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (std::size_t i = 0; i < a.nnz(); ++i) {
+    EXPECT_EQ(a.indices()[i], b.indices()[i]);
+    EXPECT_NEAR(a.values()[i], b.values()[i], 1e-4);
+  }
+}
+
+TEST(PipelineProperties, NoiseIncreasesLatticeDensity) {
+  double clear_edges = 0.0, noisy_edges = 0.0;
+  for (std::uint64_t seed : {21u, 22u, 23u}) {
+    PipelineCase clear(8.0f, 0.2f, seed);
+    PipelineCase noisy(1.0f, 2.0f, seed);
+    clear_edges += static_cast<double>(clear.decode().edges().size());
+    noisy_edges += static_cast<double>(noisy.decode().edges().size());
+  }
+  EXPECT_GT(noisy_edges, clear_edges);
+}
+
+TEST(PipelineProperties, OneBestStableUnderSmallNoise) {
+  // With a large margin, small acoustic jitter must not change the 1-best
+  // phone sequence.
+  PipelineCase a(8.0f, 0.0f, 31);
+  PipelineCase b(8.0f, 0.3f, 31);
+  EXPECT_EQ(a.decode().best_path(), b.decode().best_path());
+}
+
+}  // namespace
+}  // namespace phonolid

@@ -1,0 +1,182 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace phonolid::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 7.25);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.25);
+  }
+}
+
+TEST(Rng, UniformIndexBounded) {
+  Rng rng(5);
+  std::vector<int> hist(7, 0);
+  for (int i = 0; i < 70000; ++i) {
+    const auto idx = rng.uniform_index(7);
+    ASSERT_LT(idx, 7u);
+    ++hist[idx];
+  }
+  // Each bucket should be close to 10000.
+  for (int count : hist) EXPECT_NEAR(count, 10000, 500);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, GaussianScaled) {
+  Rng rng(17);
+  const int n = 100000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian(3.0, 2.0);
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.03);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(19);
+  std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> hist(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++hist[rng.categorical(weights)];
+  EXPECT_NEAR(hist[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(hist[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_EQ(hist[2], 0);
+  EXPECT_NEAR(hist[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, CategoricalDegenerateWeights) {
+  Rng rng(23);
+  std::vector<double> zero = {0.0, 0.0, 0.0};
+  // Falls back to uniform rather than crashing.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(rng.categorical(zero), 3u);
+  }
+}
+
+TEST(Rng, ForkDecorrelatesStreams) {
+  Rng root(99);
+  Rng a = root.fork(0);
+  Rng b = root.fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkDeterministic) {
+  Rng root(99);
+  Rng a = root.fork(123);
+  Rng b = Rng(99).fork(123);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DeriveStreamDistinct) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t id = 0; id < 10000; ++id) {
+    seen.insert(derive_stream(42, id));
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(37);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  const auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(41);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+class RngStreamTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngStreamTest, EveryStreamHasHealthyMoments) {
+  Rng rng = Rng(7).fork(GetParam());
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Streams, RngStreamTest,
+                         ::testing::Values(0, 1, 2, 17, 255, 1024, 99999));
+
+}  // namespace
+}  // namespace phonolid::util

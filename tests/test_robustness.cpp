@@ -1,0 +1,156 @@
+// Failure-injection and robustness tests: degenerate inputs must produce
+// defined (chance-level) behaviour, never crashes, hangs or NaNs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "backend/fusion.h"
+#include "backend/gaussian_backend.h"
+#include "backend/lda.h"
+#include "decoder/phone_loop_decoder.h"
+#include "eval/metrics.h"
+#include "util/rng.h"
+
+namespace phonolid {
+namespace {
+
+TEST(Robustness, TrialSetSanitisesNonFiniteScores) {
+  util::Matrix scores(2, 2);
+  scores(0, 0) = std::numeric_limits<float>::quiet_NaN();
+  scores(0, 1) = std::numeric_limits<float>::infinity();
+  scores(1, 0) = -std::numeric_limits<float>::infinity();
+  scores(1, 1) = 1.0f;
+  std::vector<std::int32_t> labels = {0, 1};
+  const auto trials = eval::TrialSet::from_scores(scores, labels);
+  for (double s : trials.target_scores) EXPECT_TRUE(std::isfinite(s));
+  for (double s : trials.nontarget_scores) EXPECT_TRUE(std::isfinite(s));
+  // NaN target -> pessimistic; inf nontarget -> pessimistic.
+  const double eer = eval::equal_error_rate(trials);
+  EXPECT_GE(eer, 0.0);
+  EXPECT_LE(eer, 1.0);
+}
+
+TEST(Robustness, DetCurveTerminatesOnPathologicalScores) {
+  eval::TrialSet trials;
+  for (int i = 0; i < 100; ++i) {
+    trials.target_scores.push_back(i % 2 ? 1e300 : -1e300);
+    trials.nontarget_scores.push_back(i % 2 ? -1e300 : 1e300);
+  }
+  const auto curve = eval::det_curve(trials);
+  EXPECT_FALSE(curve.empty());
+  EXPECT_LT(curve.size(), 1000u);
+}
+
+TEST(Robustness, LdaSurvivesConstantFeatures) {
+  // A feature with zero variance everywhere must not blow up the whitening.
+  util::Rng rng(3);
+  util::Matrix x(60, 4);
+  std::vector<std::int32_t> y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    y[i] = static_cast<std::int32_t>(i % 2);
+    x(i, 0) = static_cast<float>(y[i] + rng.gaussian(0.0, 0.1));
+    x(i, 1) = 7.0f;  // constant
+    x(i, 2) = 7.0f;  // constant
+    x(i, 3) = static_cast<float>(rng.gaussian());
+  }
+  backend::Lda lda;
+  lda.fit(x, y, 2);
+  const auto projected = lda.transform(x);
+  for (std::size_t i = 0; i < projected.rows(); ++i) {
+    for (std::size_t c = 0; c < projected.cols(); ++c) {
+      EXPECT_TRUE(std::isfinite(projected(i, c)));
+      EXPECT_LT(std::abs(projected(i, c)), 1e6f);
+    }
+  }
+}
+
+TEST(Robustness, GaussianBackendSurvivesHugeInputs) {
+  util::Matrix x(20, 2);
+  std::vector<std::int32_t> y(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    y[i] = static_cast<std::int32_t>(i % 2);
+    x(i, 0) = y[i] == 0 ? -1e18f : 1e18f;
+    x(i, 1) = 0.0f;
+  }
+  backend::GaussianBackend backend;
+  backend.fit(x, y, 2);
+  std::vector<float> probe = {1e18f, 0.0f};
+  std::vector<float> lp(2);
+  backend.log_posteriors(probe, lp);
+  for (float v : lp) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Robustness, FusionWithSingleUtterancePerClass) {
+  // Minimal dev data: must not crash (quality is allowed to be poor).
+  std::vector<util::Matrix> blocks(1);
+  blocks[0].resize(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      blocks[0](i, c) = (i == c) ? 1.0f : -1.0f;
+    }
+  }
+  std::vector<std::int32_t> y = {0, 1, 2};
+  backend::ScoreFusion fusion;
+  EXPECT_NO_THROW(fusion.fit(blocks, y, 3));
+  const auto out = fusion.apply(blocks);
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      EXPECT_TRUE(std::isfinite(out(i, c)));
+    }
+  }
+}
+
+/// Minimal acoustic model where one state is impossibly bad everywhere.
+class HostileModel final : public am::AcousticModel {
+ public:
+  explicit HostileModel(am::HmmTopology topo) : topo_(topo) {}
+  [[nodiscard]] std::size_t num_states() const noexcept override {
+    return topo_.num_states();
+  }
+  [[nodiscard]] std::size_t feature_dim() const noexcept override { return 1; }
+  void score(const util::Matrix& features, util::Matrix& out) const override {
+    out.resize(features.rows(), num_states());
+    for (std::size_t t = 0; t < out.rows(); ++t) {
+      for (std::size_t s = 0; s < out.cols(); ++s) {
+        // Phone 0 is catastrophically bad; others near-equal.
+        out(t, s) = (topo_.phone_of(s) == 0) ? -1e30f : 0.0f;
+      }
+    }
+  }
+
+ private:
+  am::HmmTopology topo_;
+};
+
+TEST(Robustness, DecoderHandlesExtremeScoreRanges) {
+  am::HmmTopology topo{3, 3};
+  HostileModel model(topo);
+  decoder::PhoneLoopDecoder dec(
+      model, topo, am::HmmTransitions::uniform(topo.num_states(), 2.0), {});
+  const auto lattice = dec.decode(util::Matrix(12, 1, 0.0f));
+  EXPECT_FALSE(lattice.edges().empty());
+  EXPECT_FALSE(lattice.best_path().empty());
+  for (std::uint32_t phone : lattice.best_path()) {
+    EXPECT_NE(phone, 0u);  // never picks the impossible phone
+  }
+  const auto occ = lattice.frame_occupancy();
+  for (double o : occ) EXPECT_NEAR(o, 1.0, 1e-3);
+}
+
+TEST(Robustness, CavgWithMissingClassesInTestSet) {
+  // Test labels only cover 2 of 4 classes; Cavg must ignore empty classes.
+  util::Matrix llr(4, 4, -1.0f);
+  llr(0, 0) = 1.0f;
+  llr(1, 0) = 1.0f;
+  llr(2, 1) = 1.0f;
+  llr(3, 1) = 1.0f;
+  std::vector<std::int32_t> y = {0, 0, 1, 1};
+  const double c = eval::cavg(llr, y, 4);
+  EXPECT_GE(c, 0.0);
+  EXPECT_LE(c, 1.0);
+  EXPECT_NEAR(c, 0.0, 1e-9);  // perfectly separated on the present classes
+}
+
+}  // namespace
+}  // namespace phonolid

@@ -1,0 +1,93 @@
+#include "util/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace phonolid::util {
+namespace {
+
+TEST(Serialize, ScalarRoundTrip) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_u32(0xDEADBEEF);
+  w.write_u64(0x1234567890ABCDEFull);
+  w.write_i64(-42);
+  w.write_f32(3.25f);
+  w.write_f64(-2.5e100);
+
+  BinaryReader r(ss);
+  EXPECT_EQ(r.read_u32(), 0xDEADBEEF);
+  EXPECT_EQ(r.read_u64(), 0x1234567890ABCDEFull);
+  EXPECT_EQ(r.read_i64(), -42);
+  EXPECT_FLOAT_EQ(r.read_f32(), 3.25f);
+  EXPECT_DOUBLE_EQ(r.read_f64(), -2.5e100);
+}
+
+TEST(Serialize, StringRoundTrip) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_string("hello phonolid");
+  w.write_string("");
+  BinaryReader r(ss);
+  EXPECT_EQ(r.read_string(), "hello phonolid");
+  EXPECT_EQ(r.read_string(), "");
+}
+
+TEST(Serialize, VectorRoundTrip) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_f32_vec({1.0f, -2.0f, 3.5f});
+  w.write_f64_vec({});
+  w.write_u32_vec({7, 8, 9});
+  BinaryReader r(ss);
+  EXPECT_EQ(r.read_f32_vec(), (std::vector<float>{1.0f, -2.0f, 3.5f}));
+  EXPECT_TRUE(r.read_f64_vec().empty());
+  EXPECT_EQ(r.read_u32_vec(), (std::vector<std::uint32_t>{7, 8, 9}));
+}
+
+TEST(Serialize, MagicRoundTrip) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_magic("TEST", 3);
+  BinaryReader r(ss);
+  EXPECT_NO_THROW(r.expect_magic("TEST", 3));
+}
+
+TEST(Serialize, BadMagicThrows) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_magic("AAAA", 1);
+  BinaryReader r(ss);
+  EXPECT_THROW(r.expect_magic("BBBB", 1), SerializeError);
+}
+
+TEST(Serialize, WrongVersionThrows) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_magic("TEST", 2);
+  BinaryReader r(ss);
+  EXPECT_THROW(r.expect_magic("TEST", 1), SerializeError);
+}
+
+TEST(Serialize, TruncatedStreamThrows) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_u32(5);
+  BinaryReader r(ss);
+  (void)r.read_u32();
+  EXPECT_THROW(r.read_u64(), SerializeError);
+}
+
+TEST(Serialize, CorruptLengthPrefixThrows) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  // A length prefix far beyond the guard (kMaxElements) must be rejected
+  // before any allocation attempt.
+  w.write_u64(0xFFFFFFFFFFFFull);
+  BinaryReader r(ss);
+  EXPECT_THROW(r.read_f32_vec(), SerializeError);
+}
+
+}  // namespace
+}  // namespace phonolid::util

@@ -1,0 +1,96 @@
+#include "phonotactic/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace phonolid::phonotactic {
+namespace {
+
+TEST(SparseVec, ConstructionValidation) {
+  EXPECT_NO_THROW(SparseVec({1, 5, 9}, {1.0f, 2.0f, 3.0f}));
+  EXPECT_THROW(SparseVec({1, 5}, {1.0f}), std::invalid_argument);
+  EXPECT_THROW(SparseVec({5, 1}, {1.0f, 2.0f}), std::invalid_argument);
+  EXPECT_THROW(SparseVec({3, 3}, {1.0f, 2.0f}), std::invalid_argument);
+}
+
+TEST(SparseVec, FromPairsSortsAndMerges) {
+  const auto v = SparseVec::from_pairs({{7, 1.0f}, {2, 2.0f}, {7, 3.0f}});
+  ASSERT_EQ(v.nnz(), 2u);
+  EXPECT_EQ(v.indices()[0], 2u);
+  EXPECT_EQ(v.indices()[1], 7u);
+  EXPECT_FLOAT_EQ(v.values()[0], 2.0f);
+  EXPECT_FLOAT_EQ(v.values()[1], 4.0f);
+}
+
+TEST(SparseVec, AtLookup) {
+  const auto v = SparseVec({1, 4, 8}, {0.5f, 1.5f, 2.5f});
+  EXPECT_FLOAT_EQ(v.at(1), 0.5f);
+  EXPECT_FLOAT_EQ(v.at(4), 1.5f);
+  EXPECT_FLOAT_EQ(v.at(8), 2.5f);
+  EXPECT_FLOAT_EQ(v.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(v.at(5), 0.0f);
+  EXPECT_FLOAT_EQ(v.at(100), 0.0f);
+}
+
+TEST(SparseVec, SumAndNorm) {
+  const auto v = SparseVec({0, 3}, {3.0f, 4.0f});
+  EXPECT_DOUBLE_EQ(v.sum(), 7.0);
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+}
+
+TEST(SparseVec, ScaleInPlace) {
+  auto v = SparseVec({0, 1}, {1.0f, 2.0f});
+  v.scale(3.0f);
+  EXPECT_FLOAT_EQ(v.values()[0], 3.0f);
+  EXPECT_FLOAT_EQ(v.values()[1], 6.0f);
+}
+
+TEST(SparseVec, SparseSparseDot) {
+  const auto a = SparseVec({1, 3, 5}, {1.0f, 2.0f, 3.0f});
+  const auto b = SparseVec({0, 3, 5, 9}, {7.0f, 4.0f, 5.0f, 11.0f});
+  EXPECT_DOUBLE_EQ(SparseVec::dot(a, b), 2.0 * 4.0 + 3.0 * 5.0);
+  EXPECT_DOUBLE_EQ(SparseVec::dot(a, SparseVec()), 0.0);
+}
+
+TEST(SparseVec, DotDense) {
+  const auto a = SparseVec({0, 2}, {2.0f, 3.0f});
+  std::vector<float> dense = {1.0f, 10.0f, 4.0f};
+  EXPECT_DOUBLE_EQ(a.dot_dense(dense), 2.0 + 12.0);
+}
+
+TEST(SparseVec, AddToDense) {
+  const auto a = SparseVec({1, 2}, {1.0f, -2.0f});
+  std::vector<float> dense = {0.0f, 1.0f, 1.0f};
+  a.add_to_dense(2.0f, dense);
+  EXPECT_FLOAT_EQ(dense[0], 0.0f);
+  EXPECT_FLOAT_EQ(dense[1], 3.0f);
+  EXPECT_FLOAT_EQ(dense[2], -3.0f);
+}
+
+TEST(SparseVec, DotIsSymmetric) {
+  const auto a = SparseVec::from_pairs({{3, 1.5f}, {10, -1.0f}, {77, 2.0f}});
+  const auto b = SparseVec::from_pairs({{3, 2.0f}, {77, 0.5f}, {100, 9.0f}});
+  EXPECT_DOUBLE_EQ(SparseVec::dot(a, b), SparseVec::dot(b, a));
+}
+
+TEST(SparseVec, SerializationRoundTrip) {
+  const auto v = SparseVec({2, 9, 200000}, {1.25f, -0.5f, 7.0f});
+  std::stringstream ss;
+  v.serialize(ss);
+  const auto loaded = SparseVec::deserialize(ss);
+  EXPECT_EQ(loaded.indices(), v.indices());
+  EXPECT_EQ(loaded.values(), v.values());
+}
+
+TEST(SparseVec, EmptyBehaviour) {
+  SparseVec v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.nnz(), 0u);
+  EXPECT_DOUBLE_EQ(v.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(v.norm(), 0.0);
+}
+
+}  // namespace
+}  // namespace phonolid::phonotactic

@@ -1,0 +1,144 @@
+// Subsystem-level tests on a micro corpus (cheaper than the full
+// integration suite; exercises the audio -> supervector chain directly).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/subsystem.h"
+
+namespace phonolid::core {
+namespace {
+
+corpus::CorpusConfig micro_corpus_config() {
+  corpus::CorpusConfig cfg = corpus::CorpusConfig::preset(util::Scale::kQuick, 31);
+  cfg.family.num_languages = 2;
+  cfg.num_universal_phones = 14;
+  cfg.train_utts_per_language = 4;
+  cfg.dev_utts_per_language_per_tier = 1;
+  cfg.test_utts_per_language_per_tier = 2;
+  cfg.num_native_languages = 1;
+  cfg.am_train_utts_per_native = 8;
+  cfg.am_train_seconds = 1.5;
+  return cfg;
+}
+
+FrontEndSpec micro_spec(ModelFamily family) {
+  FrontEndSpec spec;
+  spec.name = "micro";
+  spec.family = family;
+  spec.num_phones = 6;
+  spec.native_language = 0;
+  spec.hidden_sizes = {12};
+  spec.gmm_components = 2;
+  spec.seed_salt = 0x99;
+  return spec;
+}
+
+class SubsystemTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new corpus::LreCorpus(corpus::LreCorpus::build(micro_corpus_config()));
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+  static corpus::LreCorpus* corpus_;
+};
+
+corpus::LreCorpus* SubsystemTest::corpus_ = nullptr;
+
+TEST_F(SubsystemTest, BuildsForEveryFamily) {
+  for (auto family : {ModelFamily::kGmmHmm, ModelFamily::kAnnHmm,
+                      ModelFamily::kDnnHmm}) {
+    auto sub = Subsystem::build(*corpus_, micro_spec(family), 1);
+    EXPECT_EQ(sub->spec().family, family);
+    EXPECT_GT(sub->supervector_dim(), 6u);
+    const auto train_svs = sub->take_train_supervectors();
+    EXPECT_EQ(train_svs.size(), corpus_->vsm_train().size());
+  }
+}
+
+TEST_F(SubsystemTest, ProcessProducesNormalisedSparseVector) {
+  auto sub = Subsystem::build(*corpus_, micro_spec(ModelFamily::kGmmHmm), 2);
+  const auto sv = sub->process(corpus_->test()[0]);
+  ASSERT_FALSE(sv.empty());
+  for (std::size_t i = 0; i < sv.nnz(); ++i) {
+    EXPECT_TRUE(std::isfinite(sv.values()[i]));
+    EXPECT_GE(sv.values()[i], 0.0f);
+    ASSERT_LT(sv.indices()[i], sub->supervector_dim());
+  }
+}
+
+TEST_F(SubsystemTest, ProcessIsDeterministic) {
+  auto a = Subsystem::build(*corpus_, micro_spec(ModelFamily::kGmmHmm), 3);
+  auto b = Subsystem::build(*corpus_, micro_spec(ModelFamily::kGmmHmm), 3);
+  const auto sva = a->process(corpus_->test()[1]);
+  const auto svb = b->process(corpus_->test()[1]);
+  ASSERT_EQ(sva.nnz(), svb.nnz());
+  for (std::size_t i = 0; i < sva.nnz(); ++i) {
+    EXPECT_EQ(sva.indices()[i], svb.indices()[i]);
+    EXPECT_FLOAT_EQ(sva.values()[i], svb.values()[i]);
+  }
+}
+
+TEST_F(SubsystemTest, DifferentSeedsGiveDifferentFrontends) {
+  auto a = Subsystem::build(*corpus_, micro_spec(ModelFamily::kGmmHmm), 10);
+  FrontEndSpec spec_b = micro_spec(ModelFamily::kGmmHmm);
+  spec_b.seed_salt = 0xAB;
+  auto b = Subsystem::build(*corpus_, spec_b, 10);
+  // Phone maps should cluster differently (diversification).
+  EXPECT_NE(a->phone_map().mapping(), b->phone_map().mapping());
+}
+
+TEST_F(SubsystemTest, ProcessAllMatchesProcess) {
+  auto sub = Subsystem::build(*corpus_, micro_spec(ModelFamily::kGmmHmm), 4);
+  const auto batch = sub->process_all(corpus_->dev());
+  ASSERT_EQ(batch.size(), corpus_->dev().size());
+  const auto single = sub->process(corpus_->dev()[0]);
+  ASSERT_EQ(batch[0].nnz(), single.nnz());
+  for (std::size_t i = 0; i < single.nnz(); ++i) {
+    EXPECT_FLOAT_EQ(batch[0].values()[i], single.values()[i]);
+  }
+}
+
+TEST_F(SubsystemTest, StageTimesGrowAndReset) {
+  auto sub = Subsystem::build(*corpus_, micro_spec(ModelFamily::kGmmHmm), 5);
+  sub->reset_stage_times();
+  (void)sub->process(corpus_->test()[0]);
+  const auto t1 = sub->stage_times();
+  EXPECT_GT(t1.decode_s + t1.feature_s + t1.supervector_s, 0.0);
+  EXPECT_GT(t1.audio_s, 0.0);
+  (void)sub->process(corpus_->test()[1]);
+  const auto t2 = sub->stage_times();
+  EXPECT_GT(t2.audio_s, t1.audio_s);
+  sub->reset_stage_times();
+  const auto t3 = sub->stage_times();
+  EXPECT_EQ(t3.audio_s, 0.0);
+}
+
+TEST_F(SubsystemTest, InvalidNativeLanguageThrows) {
+  FrontEndSpec spec = micro_spec(ModelFamily::kGmmHmm);
+  spec.native_language = 99;
+  EXPECT_THROW(Subsystem::build(*corpus_, spec, 1), std::invalid_argument);
+}
+
+TEST_F(SubsystemTest, TfllrOffChangesSupervectors) {
+  auto with = Subsystem::build(*corpus_, micro_spec(ModelFamily::kGmmHmm), 6);
+  FrontEndSpec raw_spec = micro_spec(ModelFamily::kGmmHmm);
+  raw_spec.use_tfllr = false;
+  auto without = Subsystem::build(*corpus_, raw_spec, 6);
+  const auto a = with->process(corpus_->test()[0]);
+  const auto b = without->process(corpus_->test()[0]);
+  ASSERT_EQ(a.nnz(), b.nnz());
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.nnz(); ++i) {
+    if (std::abs(a.values()[i] - b.values()[i]) > 1e-6f) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+  // Raw supervectors are per-order probabilities: values <= 1.
+  for (float v : b.values()) EXPECT_LE(v, 1.0f + 1e-5f);
+}
+
+}  // namespace
+}  // namespace phonolid::core

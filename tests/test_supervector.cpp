@@ -1,0 +1,133 @@
+#include "phonotactic/supervector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace phonolid::phonotactic {
+namespace {
+
+decoder::Lattice chain_lattice(const std::vector<std::uint32_t>& phones) {
+  std::vector<decoder::LatticeEdge> edges;
+  for (std::uint32_t i = 0; i < phones.size(); ++i) {
+    edges.push_back({i, i + 1, phones[i], 0.0f, 0.0});
+  }
+  decoder::Lattice lat(phones.size(), std::move(edges));
+  lat.set_best_path(phones);
+  return lat;
+}
+
+TEST(SupervectorBuilder, PerOrderProbabilitiesSumToOne) {
+  NgramIndexer idx(4, 3);
+  SupervectorBuilder builder(idx);
+  const auto sv = builder.build(chain_lattice({0, 1, 2, 3, 0, 1}));
+  ASSERT_FALSE(sv.empty());
+  double order_sum[3] = {0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < sv.nnz(); ++i) {
+    const std::uint32_t id = sv.indices()[i];
+    std::size_t order = 1;
+    if (id >= idx.order_offset(3)) {
+      order = 3;
+    } else if (id >= idx.order_offset(2)) {
+      order = 2;
+    }
+    order_sum[order - 1] += sv.values()[i];
+  }
+  EXPECT_NEAR(order_sum[0], 1.0, 1e-5);
+  EXPECT_NEAR(order_sum[1], 1.0, 1e-5);
+  EXPECT_NEAR(order_sum[2], 1.0, 1e-5);
+}
+
+TEST(SupervectorBuilder, OneBestModeUsesBestPath) {
+  NgramIndexer idx(4, 2);
+  SupervectorConfig cfg;
+  cfg.use_lattice = false;
+  SupervectorBuilder builder(idx, cfg);
+  const auto sv = builder.build(chain_lattice({1, 1, 2}));
+  std::uint32_t p1[] = {1};
+  std::uint32_t p2[] = {2};
+  // Unigrams: p1 2/3, p2 1/3.
+  EXPECT_NEAR(sv.at(idx.index(p1, 1)), 2.0f / 3.0f, 1e-5);
+  EXPECT_NEAR(sv.at(idx.index(p2, 1)), 1.0f / 3.0f, 1e-5);
+}
+
+TEST(SupervectorBuilder, EmptyLatticeGivesEmptySupervector) {
+  NgramIndexer idx(4, 2);
+  SupervectorBuilder builder(idx);
+  decoder::Lattice empty(0, {});
+  EXPECT_TRUE(builder.build(empty).empty());
+}
+
+TEST(TfllrScaler, ScalesByInverseSqrtBackground) {
+  TfllrScaler scaler(4);
+  // Background: feature 0 seen with probability ~0.75, feature 1 ~0.25.
+  scaler.accumulate(SparseVec({0, 1}, {3.0f, 1.0f}));
+  scaler.finalize();
+  EXPECT_NEAR(scaler.scale_of(0), 1.0f / std::sqrt(0.75f), 1e-4);
+  EXPECT_NEAR(scaler.scale_of(1), 1.0f / std::sqrt(0.25f), 1e-4);
+  // Rare features get a bigger boost than frequent ones.
+  EXPECT_GT(scaler.scale_of(1), scaler.scale_of(0));
+}
+
+TEST(TfllrScaler, UnseenFeatureScaleIsBoundedAndLargest) {
+  TfllrScaler scaler(3);
+  scaler.accumulate(SparseVec({0}, {10.0f}));
+  scaler.finalize();
+  EXPECT_TRUE(std::isfinite(scaler.scale_of(2)));
+  EXPECT_GT(scaler.scale_of(2), scaler.scale_of(0));
+}
+
+TEST(TfllrScaler, TransformAppliesScales) {
+  TfllrScaler scaler(4);
+  scaler.accumulate(SparseVec({0, 1}, {1.0f, 1.0f}));
+  scaler.finalize();
+  SparseVec v({0, 1}, {2.0f, 4.0f});
+  scaler.transform(v);
+  EXPECT_NEAR(v.values()[0], 2.0f * scaler.scale_of(0), 1e-5);
+  EXPECT_NEAR(v.values()[1], 4.0f * scaler.scale_of(1), 1e-5);
+}
+
+TEST(TfllrScaler, KernelEquivalence) {
+  // TFLLR kernel (paper Eq. 5): K(x,y) = sum p_x p_y / p_all.
+  // After transform, plain dot product must equal the kernel.
+  TfllrScaler scaler(3);
+  scaler.accumulate(SparseVec({0, 1, 2}, {2.0f, 1.0f, 1.0f}));
+  scaler.finalize();
+  SparseVec x({0, 1}, {0.6f, 0.4f});
+  SparseVec y({0, 2}, {0.5f, 0.5f});
+  double kernel = 0.0;
+  for (std::uint32_t q = 0; q < 3; ++q) {
+    const double p_all =
+        1.0 / (static_cast<double>(scaler.scale_of(q)) * scaler.scale_of(q));
+    kernel += static_cast<double>(x.at(q)) * y.at(q) / p_all;
+  }
+  scaler.transform(x);
+  scaler.transform(y);
+  EXPECT_NEAR(SparseVec::dot(x, y), kernel, 1e-5);
+}
+
+TEST(TfllrScaler, LifecycleErrors) {
+  TfllrScaler scaler(2);
+  SparseVec v({0}, {1.0f});
+  EXPECT_THROW(scaler.transform(v), std::logic_error);
+  scaler.accumulate(v);
+  scaler.finalize();
+  EXPECT_THROW(scaler.accumulate(v), std::logic_error);
+  SparseVec oob({5}, {1.0f});
+  EXPECT_THROW(scaler.transform(oob), std::out_of_range);
+}
+
+TEST(TfllrScaler, SerializationRoundTrip) {
+  TfllrScaler scaler(3);
+  scaler.accumulate(SparseVec({0, 2}, {1.0f, 3.0f}));
+  scaler.finalize();
+  std::stringstream ss;
+  scaler.serialize(ss);
+  const auto loaded = TfllrScaler::deserialize(ss);
+  for (std::uint32_t q = 0; q < 3; ++q) {
+    EXPECT_FLOAT_EQ(loaded.scale_of(q), scaler.scale_of(q));
+  }
+}
+
+}  // namespace
+}  // namespace phonolid::phonotactic

@@ -1,0 +1,100 @@
+#include "acoustic/ubm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.h"
+
+namespace phonolid::acoustic {
+namespace {
+
+corpus::LreCorpus make_corpus(double subset_fraction, std::uint64_t seed) {
+  corpus::CorpusConfig cfg = corpus::CorpusConfig::preset(util::Scale::kQuick, seed);
+  cfg.family.num_languages = 3;
+  cfg.family.subset_fraction = subset_fraction;
+  cfg.train_utts_per_language = 14;
+  cfg.dev_utts_per_language_per_tier = 1;
+  cfg.test_utts_per_language_per_tier = 5;
+  cfg.num_native_languages = 1;
+  cfg.am_train_utts_per_native = 1;
+  return corpus::LreCorpus::build(cfg);
+}
+
+TEST(UbmLr, TrainsAndScoresFinite) {
+  const auto corpus = make_corpus(0.5, 123);
+  UbmMapConfig cfg;
+  cfg.ubm_components = 8;
+  const auto system = UbmLrSystem::train(corpus.vsm_train(), 3, cfg);
+  EXPECT_EQ(system.num_languages(), 3u);
+  EXPECT_EQ(system.ubm().num_components(), 8u);
+  const auto scores = system.score_all(corpus.test());
+  ASSERT_EQ(scores.rows(), corpus.test().size());
+  for (std::size_t i = 0; i < scores.rows(); ++i) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_TRUE(std::isfinite(scores(i, c)));
+    }
+  }
+}
+
+TEST(UbmLr, BeatsChanceOnAcousticallySeparableLanguages) {
+  const auto corpus = make_corpus(0.45, 99);
+  UbmMapConfig cfg;
+  cfg.ubm_components = 8;
+  const auto system = UbmLrSystem::train(corpus.vsm_train(), 3, cfg);
+  const auto scores = system.score_all(corpus.test());
+  std::vector<std::int32_t> labels;
+  for (const auto& u : corpus.test()) labels.push_back(u.language);
+  EXPECT_GT(eval::identification_accuracy(scores, labels), 0.45);
+}
+
+TEST(UbmLr, LlrScoresAreChannelNormalisedAroundZero) {
+  // The UBM LLR should hover around 0 for non-target languages (that's the
+  // point of the UBM normalisation) rather than drifting with channel.
+  const auto corpus = make_corpus(0.5, 7);
+  UbmMapConfig cfg;
+  cfg.ubm_components = 8;
+  const auto system = UbmLrSystem::train(corpus.vsm_train(), 3, cfg);
+  const auto scores = system.score_all(corpus.test());
+  double mean_abs = 0.0;
+  for (std::size_t i = 0; i < scores.rows(); ++i) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      mean_abs += std::abs(scores(i, c));
+    }
+  }
+  mean_abs /= static_cast<double>(scores.rows() * 3);
+  EXPECT_LT(mean_abs, 20.0);  // loglik-ratio scale, not raw loglik scale
+}
+
+TEST(UbmLr, RelevanceControlsAdaptationStrength) {
+  const auto corpus = make_corpus(0.5, 11);
+  UbmMapConfig weak, strong;
+  weak.ubm_components = strong.ubm_components = 4;
+  weak.relevance = 1e6;   // effectively no adaptation
+  strong.relevance = 2.0; // strong adaptation
+  const auto sys_weak = UbmLrSystem::train(corpus.vsm_train(), 3, weak);
+  const auto sys_strong = UbmLrSystem::train(corpus.vsm_train(), 3, strong);
+  const auto s_weak = sys_weak.score_all(corpus.test());
+  const auto s_strong = sys_strong.score_all(corpus.test());
+  // With huge relevance, adapted models == UBM -> LLR ~ 0 everywhere.
+  double weak_mag = 0.0, strong_mag = 0.0;
+  for (std::size_t i = 0; i < s_weak.rows(); ++i) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      weak_mag += std::abs(s_weak(i, c));
+      strong_mag += std::abs(s_strong(i, c));
+    }
+  }
+  EXPECT_LT(weak_mag, strong_mag);
+  EXPECT_NEAR(weak_mag / static_cast<double>(s_weak.rows() * 3), 0.0, 0.05);
+}
+
+TEST(UbmLr, InputValidation) {
+  EXPECT_THROW(UbmLrSystem::train({}, 3, {}), std::invalid_argument);
+  corpus::Dataset bad(1);
+  bad[0].language = 7;
+  bad[0].samples.assign(4000, 0.1f);
+  EXPECT_THROW(UbmLrSystem::train(bad, 3, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phonolid::acoustic

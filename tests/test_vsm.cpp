@@ -1,0 +1,140 @@
+#include "svm/vsm.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace phonolid::svm {
+namespace {
+
+using phonotactic::SparseVec;
+
+/// K classes, each concentrated on its own feature block.
+struct MultiProblem {
+  std::vector<SparseVec> x;
+  std::vector<std::int32_t> y;
+  std::size_t num_classes;
+  std::size_t dim;
+};
+
+MultiProblem make_problem(std::size_t k, std::size_t per_class,
+                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  MultiProblem p;
+  p.num_classes = k;
+  p.dim = k * 2;
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      std::vector<std::pair<std::uint32_t, float>> pairs;
+      for (std::uint32_t d = 0; d < p.dim; ++d) {
+        const bool own = d / 2 == c;
+        const float v = static_cast<float>(
+            rng.gaussian(own ? 1.0 : 0.0, 0.25));
+        if (std::abs(v) > 0.01f) pairs.emplace_back(d, v);
+      }
+      p.x.push_back(SparseVec::from_pairs(std::move(pairs)));
+      p.y.push_back(static_cast<std::int32_t>(c));
+    }
+  }
+  return p;
+}
+
+TEST(VsmModel, OneVersusRestClassifiesAllClasses) {
+  const auto p = make_problem(4, 40, 1);
+  const VsmModel model = VsmModel::train(p.x, p.y, 4, p.dim, {});
+  ASSERT_EQ(model.num_classes(), 4u);
+  std::size_t correct = 0;
+  std::vector<float> scores(4);
+  for (std::size_t i = 0; i < p.x.size(); ++i) {
+    model.score(p.x[i], scores);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < 4; ++c) {
+      if (scores[c] > scores[best]) best = c;
+    }
+    if (static_cast<std::int32_t>(best) == p.y[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(p.x.size()),
+            0.95);
+}
+
+TEST(VsmModel, OwnScorePositiveRivalsNegativeOnClearData) {
+  // This is exactly the paper's Eq. 13 voting precondition: on clean data
+  // most utterances should have a positive own-model score and negative
+  // rival scores.
+  const auto p = make_problem(3, 50, 2);
+  const VsmModel model = VsmModel::train(p.x, p.y, 3, p.dim, {});
+  std::size_t strict_votes = 0;
+  std::vector<float> scores(3);
+  for (std::size_t i = 0; i < p.x.size(); ++i) {
+    model.score(p.x[i], scores);
+    bool own_pos = scores[p.y[i]] > 0.0f;
+    bool rivals_neg = true;
+    for (std::size_t c = 0; c < 3; ++c) {
+      if (static_cast<std::int32_t>(c) != p.y[i] && scores[c] >= 0.0f) {
+        rivals_neg = false;
+      }
+    }
+    if (own_pos && rivals_neg) ++strict_votes;
+  }
+  EXPECT_GT(static_cast<double>(strict_votes) /
+                static_cast<double>(p.x.size()),
+            0.7);
+}
+
+TEST(VsmModel, ScoreAllMatchesScore) {
+  const auto p = make_problem(3, 10, 3);
+  const VsmModel model = VsmModel::train(p.x, p.y, 3, p.dim, {});
+  const util::Matrix all = model.score_all(p.x);
+  ASSERT_EQ(all.rows(), p.x.size());
+  ASSERT_EQ(all.cols(), 3u);
+  std::vector<float> one(3);
+  for (std::size_t i = 0; i < p.x.size(); i += 7) {
+    model.score(p.x[i], one);
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_FLOAT_EQ(all(i, c), one[c]);
+    }
+  }
+}
+
+TEST(VsmModel, PointerOverloadMatchesValueOverload) {
+  const auto p = make_problem(3, 15, 4);
+  std::vector<const SparseVec*> ptrs;
+  for (const auto& v : p.x) ptrs.push_back(&v);
+  VsmTrainConfig cfg;
+  cfg.seed = 5;
+  const VsmModel a = VsmModel::train(p.x, p.y, 3, p.dim, cfg);
+  const VsmModel b = VsmModel::train(
+      std::span<const SparseVec* const>(ptrs), p.y, 3, p.dim, cfg);
+  std::vector<float> sa(3), sb(3);
+  a.score(p.x[0], sa);
+  b.score(p.x[0], sb);
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_FLOAT_EQ(sa[c], sb[c]);
+}
+
+TEST(VsmModel, InputValidation) {
+  const auto p = make_problem(2, 5, 6);
+  auto bad_labels = p.y;
+  bad_labels[0] = 7;
+  EXPECT_THROW(VsmModel::train(p.x, bad_labels, 2, p.dim, {}),
+               std::invalid_argument);
+  EXPECT_THROW(VsmModel::train(std::span<const SparseVec>{}, {}, 2, 4, {}),
+               std::invalid_argument);
+}
+
+TEST(VsmModel, SerializationRoundTrip) {
+  const auto p = make_problem(3, 20, 7);
+  const VsmModel model = VsmModel::train(p.x, p.y, 3, p.dim, {});
+  std::stringstream ss;
+  model.serialize(ss);
+  const VsmModel loaded = VsmModel::deserialize(ss);
+  ASSERT_EQ(loaded.num_classes(), 3u);
+  std::vector<float> sa(3), sb(3);
+  model.score(p.x[3], sa);
+  loaded.score(p.x[3], sb);
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_FLOAT_EQ(sa[c], sb[c]);
+}
+
+}  // namespace
+}  // namespace phonolid::svm

@@ -1,0 +1,256 @@
+// phonolid — command-line driver for the library.
+//
+//   phonolid corpus  [--scale S] [--seed N]         corpus statistics
+//   phonolid decode  [--frontend Q] [--utterance I] decode + lattice dump
+//   phonolid run     [--v N] [--mode m1|m2|both]    baseline vs DBA summary
+//   phonolid det     [--v N] [--points N]           DET series (CSV)
+//   phonolid votes                                  vote histogram (Table 1)
+//
+// Global flags: --scale quick|default|full, --seed <uint>.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/math_util.h"
+#include "util/options.h"
+
+namespace {
+
+using namespace phonolid;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atol(it->second.c_str());
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2 && argv[1][0] != '-') args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0 && i + 1 < argc) {
+      args.flags[key.substr(2)] = argv[++i];
+    }
+  }
+  return args;
+}
+
+core::ExperimentConfig config_from(const Args& args) {
+  const auto scale = util::parse_scale(
+      args.get("scale", util::to_string(util::scale_from_env())));
+  const auto seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<long>(util::master_seed())));
+  return core::ExperimentConfig::preset(scale, seed);
+}
+
+int cmd_corpus(const Args& args) {
+  const auto cfg = config_from(args);
+  const auto corpus = corpus::LreCorpus::build(cfg.corpus);
+  std::printf("phone inventory : %zu universal phones\n",
+              corpus.inventory().size());
+  std::printf("target languages: %zu (", corpus.num_target_languages());
+  for (const auto& l : corpus.target_languages()) std::printf(" %s", l.name().c_str());
+  std::printf(" )\n");
+  std::printf("native languages: %zu\n", corpus.native_languages().size());
+  std::printf("vsm train       : %zu utterances\n", corpus.vsm_train().size());
+  std::printf("dev             : %zu utterances\n", corpus.dev().size());
+  std::printf("test            : %zu utterances\n", corpus.test().size());
+  for (std::size_t t = 0; t < corpus::kNumTiers; ++t) {
+    const auto tier = static_cast<corpus::DurationTier>(t);
+    const auto idx = corpus.test_indices(tier);
+    double seconds = 0.0;
+    for (std::size_t i : idx) {
+      seconds += static_cast<double>(corpus.test()[i].samples.size()) /
+                 cfg.corpus.sample_rate;
+    }
+    std::printf("  tier %-4s: %4zu utterances, mean %.2fs audio\n",
+                corpus::to_string(tier), idx.size(),
+                idx.empty() ? 0.0 : seconds / static_cast<double>(idx.size()));
+  }
+  // Pairwise language distinctness.
+  double min_dist = 1e9, max_dist = 0.0;
+  const auto& langs = corpus.target_languages();
+  for (std::size_t i = 0; i < langs.size(); ++i) {
+    for (std::size_t j = i + 1; j < langs.size(); ++j) {
+      const double d = corpus::LanguageSpec::bigram_distance(langs[i], langs[j]);
+      min_dist = std::min(min_dist, d);
+      max_dist = std::max(max_dist, d);
+    }
+  }
+  std::printf("bigram distance : min %.3f  max %.3f (pairwise TV)\n", min_dist,
+              max_dist);
+  return 0;
+}
+
+int cmd_decode(const Args& args) {
+  auto cfg = config_from(args);
+  const auto q = static_cast<std::size_t>(args.get_int("frontend", 0));
+  if (q >= cfg.frontends.size()) {
+    std::fprintf(stderr, "error: frontend %zu out of range (have %zu)\n", q,
+                 cfg.frontends.size());
+    return 1;
+  }
+  const auto corpus = corpus::LreCorpus::build(cfg.corpus);
+  const auto sub = core::Subsystem::build(corpus, cfg.frontends[q], cfg.seed);
+  const auto utt_index =
+      static_cast<std::size_t>(args.get_int("utterance", 0)) %
+      corpus.test().size();
+  const auto& utt = corpus.test()[utt_index];
+  std::printf("front-end : %s\n", sub->name().c_str());
+  std::printf("utterance : #%zu, language %d, tier %s, %.2fs audio\n",
+              utt_index, utt.language, corpus::to_string(utt.tier),
+              static_cast<double>(utt.samples.size()) / cfg.corpus.sample_rate);
+  const auto lattice = sub->decode(utt);
+  std::printf("lattice   : %zu frames, %zu edges\n", lattice.num_frames(),
+              lattice.edges().size());
+  std::printf("1-best    :");
+  for (std::uint32_t p : lattice.best_path()) std::printf(" %u", p);
+  std::printf("\nedges (start end phone posterior):\n");
+  const std::size_t show = std::min<std::size_t>(lattice.edges().size(), 40);
+  for (std::size_t i = 0; i < show; ++i) {
+    const auto& e = lattice.edges()[i];
+    std::printf("  %4u %4u  p%02u  %.3f\n", e.start_node, e.end_node, e.phone,
+                e.posterior);
+  }
+  if (show < lattice.edges().size()) {
+    std::printf("  ... (%zu more)\n", lattice.edges().size() - show);
+  }
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  const auto cfg = config_from(args);
+  const auto exp = core::Experiment::build(cfg);
+  const auto v = static_cast<std::size_t>(
+      args.get_int("v", static_cast<long>(std::min<std::size_t>(3, exp->num_subsystems()))));
+  const std::string mode = args.get("mode", "both");
+
+  std::vector<const core::SubsystemScores*> blocks;
+  for (const auto& b : exp->baseline_scores()) blocks.push_back(&b);
+  const auto baseline = exp->evaluate(blocks);
+
+  const auto selection = exp->select(v);
+  std::printf("Tr_DBA(V=%zu): %zu utterances, label error %.2f%%\n", v,
+              selection.utt_index.size(),
+              100.0 * core::selection_error_rate(selection, exp->test_labels()));
+
+  std::vector<core::SubsystemScores> m1, m2;
+  std::vector<const core::SubsystemScores*> dba_blocks;
+  std::vector<double> weights;
+  if (mode == "m1" || mode == "both") {
+    m1 = exp->run_dba(v, core::DbaMode::kM1);
+    for (const auto& b : m1) dba_blocks.push_back(&b);
+    for (std::size_t c : selection.subsystem_fit_counts) {
+      weights.push_back(static_cast<double>(c));
+    }
+  }
+  if (mode == "m2" || mode == "both") {
+    m2 = exp->run_dba(v, core::DbaMode::kM2);
+    for (const auto& b : m2) dba_blocks.push_back(&b);
+    for (std::size_t c : selection.subsystem_fit_counts) {
+      weights.push_back(static_cast<double>(c));
+    }
+  }
+  if (dba_blocks.empty()) {
+    std::fprintf(stderr, "error: --mode must be m1, m2 or both\n");
+    return 1;
+  }
+  const auto dba = exp->evaluate(dba_blocks, std::move(weights));
+
+  std::printf("\n%-8s %18s %18s\n", "tier", "baseline EER/Cavg",
+              "DBA EER/Cavg");
+  static const char* tiers[] = {"30s", "10s", "3s"};
+  for (std::size_t t = 0; t < corpus::kNumTiers; ++t) {
+    std::printf("%-8s %8.2f / %-7.2f %8.2f / %-7.2f\n", tiers[t],
+                100.0 * baseline.tier[t].eer, 100.0 * baseline.tier[t].cavg,
+                100.0 * dba.tier[t].eer, 100.0 * dba.tier[t].cavg);
+  }
+  return 0;
+}
+
+int cmd_det(const Args& args) {
+  const auto cfg = config_from(args);
+  const auto exp = core::Experiment::build(cfg);
+  const auto points = static_cast<std::size_t>(args.get_int("points", 50));
+
+  std::vector<const core::SubsystemScores*> blocks;
+  for (const auto& b : exp->baseline_scores()) blocks.push_back(&b);
+  const auto result = exp->evaluate(blocks);
+
+  std::printf("tier,p_fa,p_miss,probit_fa,probit_miss\n");
+  static const char* tiers[] = {"30s", "10s", "3s"};
+  for (std::size_t t = 0; t < corpus::kNumTiers; ++t) {
+    for (const auto& p : eval::thin_det_curve(result.det[t], points)) {
+      std::printf("%s,%.6f,%.6f,%.4f,%.4f\n", tiers[t], p.p_fa, p.p_miss,
+                  util::probit(std::max(p.p_fa, 1e-6)),
+                  util::probit(std::max(p.p_miss, 1e-6)));
+    }
+  }
+  return 0;
+}
+
+int cmd_votes(const Args& args) {
+  const auto cfg = config_from(args);
+  const auto exp = core::Experiment::build(cfg);
+  const auto& votes = exp->votes();
+  std::vector<std::size_t> hist(exp->num_subsystems() + 1, 0);
+  for (std::size_t j = 0; j < votes.num_utts; ++j) {
+    std::uint16_t best = 0;
+    for (std::size_t k = 0; k < votes.num_classes; ++k) {
+      best = std::max(best, votes.count(j, k));
+    }
+    ++hist[best];
+  }
+  std::printf("max-votes histogram over %zu test utterances:\n",
+              votes.num_utts);
+  for (std::size_t c = 0; c < hist.size(); ++c) {
+    std::printf("  %zu: %zu\n", c, hist[c]);
+  }
+  std::printf("\nTr_DBA per threshold:\n");
+  for (std::size_t v = exp->num_subsystems(); v >= 1; --v) {
+    const auto sel = exp->select(v);
+    std::printf("  V=%zu: %5zu adopted, label error %.2f%%\n", v,
+                sel.utt_index.size(),
+                100.0 * core::selection_error_rate(sel, exp->test_labels()));
+  }
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: phonolid <command> [flags]\n"
+               "  corpus   corpus statistics\n"
+               "  decode   decode one test utterance (--frontend N --utterance I)\n"
+               "  run      baseline vs DBA summary (--v N --mode m1|m2|both)\n"
+               "  det      DET curve CSV for the baseline fusion (--points N)\n"
+               "  votes    vote histogram and Tr_DBA sizes\n"
+               "global flags: --scale quick|default|full  --seed N\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (args.command == "corpus") return cmd_corpus(args);
+  if (args.command == "decode") return cmd_decode(args);
+  if (args.command == "run") return cmd_run(args);
+  if (args.command == "det") return cmd_det(args);
+  if (args.command == "votes") return cmd_votes(args);
+  usage();
+  return args.command.empty() ? 1 : 2;
+}
