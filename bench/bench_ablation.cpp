@@ -112,5 +112,6 @@ int main() {
                  onebest_exp->evaluate(bench::baseline_blocks(*onebest_exp)));
     print_result("lattice expected counts (reference)", base);
   }
+  bench::maybe_write_report(*exp, "bench_ablation");
   return 0;
 }

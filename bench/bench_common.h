@@ -2,12 +2,14 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/experiment.h"
+#include "obs/trace.h"
 #include "util/options.h"
-#include "util/timer.h"
 
 namespace phonolid::bench {
 
@@ -16,15 +18,26 @@ inline std::unique_ptr<core::Experiment> build_experiment() {
   std::printf("# phonolid bench (scale=%s, seed=%llu)\n",
               util::to_string(scale),
               static_cast<unsigned long long>(util::master_seed()));
-  util::WallTimer timer;
+  obs::Span build_span("bench_build");
   auto config = core::ExperimentConfig::preset(scale, util::master_seed());
   auto experiment = core::Experiment::build(config);
   std::printf("# experiment built in %.1fs: %zu languages, %zu subsystems, "
               "%zu test utterances\n",
-              timer.seconds(), experiment->num_languages(),
+              build_span.stop(), experiment->num_languages(),
               experiment->num_subsystems(),
               experiment->corpus().test().size());
   return experiment;
+}
+
+/// When PHONOLID_REPORT=<path> is set, write the structured JSON run report
+/// (same schema as `phonolid run --report`, DESIGN.md "Observability") after
+/// the bench finishes.  Call at the end of every bench main.
+inline void maybe_write_report(const core::Experiment& exp,
+                               const std::string& bench_name) {
+  const char* path = std::getenv("PHONOLID_REPORT");
+  if (path == nullptr || *path == '\0') return;
+  exp.write_report(path, bench_name);
+  std::printf("# wrote run report to %s\n", path);
 }
 
 /// All baseline blocks as evaluate() input.

@@ -55,5 +55,6 @@ int main() {
                 100.0 * dba.tier[t].eer);
   }
   std::printf("\n");
+  bench::maybe_write_report(*exp, "bench_fig3_det");
   return 0;
 }

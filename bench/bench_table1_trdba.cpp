@@ -29,6 +29,8 @@ int main() {
   std::printf("\n\n# paper (41793-utterance NIST test set): counts "
               "4939..35262, error 4.74%%..31.88%% over V=6..1\n");
 
+  bench::maybe_write_report(*exp, "bench_table1_trdba");
+
   // Invariant check for the harness itself: monotone counts.
   for (std::size_t i = 1; i < selections.size(); ++i) {
     if (selections[i].utt_index.size() < selections[i - 1].utt_index.size()) {

@@ -66,5 +66,6 @@ int main() {
                 exp->subsystem(s).name().c_str(), best_v, 100.0 * best,
                 100.0 * base.tier[2].eer);
   }
+  bench::maybe_write_report(*exp, "bench_table2_dba_m1");
   return 0;
 }

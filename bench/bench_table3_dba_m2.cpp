@@ -60,5 +60,6 @@ int main() {
                 100.0 * mean_m1 / static_cast<double>(q),
                 100.0 * mean_m2 / static_cast<double>(q));
   }
+  bench::maybe_write_report(*exp, "bench_table3_dba_m2");
   return 0;
 }

@@ -66,5 +66,6 @@ int main() {
     std::printf(" %s %.1f%%", tiers[t], rel);
   }
   std::printf("  (paper: 1.8%% / 11.7%% / 15.4%%)\n");
+  bench::maybe_write_report(*exp, "bench_table4_fusion");
   return 0;
 }

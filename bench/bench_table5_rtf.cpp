@@ -12,9 +12,10 @@
 
 #include <memory>
 
+#include "bench_common.h"
 #include "core/experiment.h"
+#include "obs/trace.h"
 #include "util/options.h"
-#include "util/timer.h"
 
 namespace {
 
@@ -105,10 +106,10 @@ int main(int argc, char** argv) {
   }
   const double c_phi = total.feature_s + total.decode_s + total.supervector_s;
   // DBA adds one more VSM training + one more scoring pass; measure them.
-  util::WallTimer timer;
+  obs::Span dba_span("dba_extra_cost");
   const auto dba = exp.run_dba(1, core::DbaMode::kM2);
   (void)dba;
-  const double c_extra = timer.seconds();
+  const double c_extra = dba_span.stop();
   const double ratio = (c_phi + c_extra) / c_phi;
 
   std::printf("\nCost model (paper Eq. 16-19):\n");
@@ -120,6 +121,7 @@ int main(int argc, char** argv) {
               total.audio_s, c_phi / total.audio_s);
   std::printf("  extra DBA cost (VSM retrain + rescore): %.2fs\n", c_extra);
   std::printf("  C_DBA / C_baseline = %.3f   (paper: ~1)\n", ratio);
+  bench::maybe_write_report(exp, "bench_table5_rtf");
   benchmark::Shutdown();
   return 0;
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification (see ROADMAP.md): full build + test suite, then the
+# concurrency-sensitive tests again under ThreadSanitizer to vet the
+# lock-free obs metrics / trace-span plumbing and the thread pool.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+cmake -B build-tsan -S . -DPHONOLID_SANITIZE=thread
+cmake --build build-tsan -j --target test_obs test_thread_pool
+./build-tsan/tests/test_obs
+./build-tsan/tests/test_thread_pool
+
+echo "tier-1 OK"

@@ -4,10 +4,18 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace phonolid::core {
 
 VoteResult compute_votes(const std::vector<const util::Matrix*>& scores,
                          VoteCriterion criterion) {
+  static obs::Counter& votes_cast = obs::Metrics::counter("dba.votes_cast");
+  static obs::Counter& vote_passes =
+      obs::Metrics::counter("dba.vote_passes");
+  PHONOLID_SPAN("dba_votes");
+  vote_passes.add();
   if (scores.empty()) throw std::invalid_argument("compute_votes: no scores");
   const std::size_t m = scores[0]->rows();
   const std::size_t k = scores[0]->cols();
@@ -62,15 +70,22 @@ VoteResult compute_votes(const std::vector<const util::Matrix*>& scores,
       }
     }
   }
+  std::uint64_t total = 0;
+  for (const std::uint16_t c : result.counts) total += c;
+  votes_cast.add(total);
   return result;
 }
 
 TrdbaSelection select_trdba(const VoteResult& votes, std::size_t min_votes) {
+  static obs::Counter& adopted = obs::Metrics::counter("dba.utts_adopted");
+  static obs::Counter& selections = obs::Metrics::counter("dba.selections");
   if (min_votes == 0) {
     throw std::invalid_argument("select_trdba: min_votes must be >= 1");
   }
   TrdbaSelection sel;
+  sel.min_votes = min_votes;
   sel.subsystem_fit_counts.assign(votes.num_subsystems, 0);
+  for (const std::uint16_t c : votes.counts) sel.votes_cast += c;
   const std::size_t k = votes.num_classes;
   for (std::size_t j = 0; j < votes.num_utts; ++j) {
     std::size_t best = 0;
@@ -87,12 +102,14 @@ TrdbaSelection select_trdba(const VoteResult& votes, std::size_t min_votes) {
       }
     }
     if (best_count < min_votes || tie) continue;
+    adopted.add();
     sel.utt_index.push_back(static_cast<std::uint32_t>(j));
     sel.label.push_back(static_cast<std::int32_t>(best));
     for (std::size_t q = 0; q < votes.num_subsystems; ++q) {
       if (votes.vote(q, j, best)) ++sel.subsystem_fit_counts[q];
     }
   }
+  selections.add();
   return sel;
 }
 

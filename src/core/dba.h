@@ -52,6 +52,12 @@ struct TrdbaSelection {
   /// M_n of Eq. 15: per subsystem, how many adopted utterances it voted for
   /// (with the adopted label).
   std::vector<std::size_t> subsystem_fit_counts;
+  /// Total votes cast across the whole VoteResult (all utterances, all
+  /// subsystems) — independent of min_votes; carried here so run reports can
+  /// attribute per-round vote volume without re-deriving the VoteResult.
+  std::size_t votes_cast = 0;
+  /// The threshold this selection was made with (0 for hand-built ones).
+  std::size_t min_votes = 0;
 };
 
 /// Adopt every utterance with >= `min_votes` votes for its best class

@@ -2,7 +2,11 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "util/logging.h"
+#include "util/options.h"
 #include "util/thread_pool.h"
 
 namespace phonolid::core {
@@ -11,6 +15,7 @@ ExperimentConfig ExperimentConfig::preset(util::Scale scale,
                                           std::uint64_t seed) {
   ExperimentConfig cfg;
   cfg.seed = seed;
+  cfg.scale = scale;
   cfg.corpus = corpus::CorpusConfig::preset(scale, seed);
   cfg.frontends = default_frontends(scale);
   cfg.vsm.svm.C = 1.0;
@@ -21,9 +26,13 @@ ExperimentConfig ExperimentConfig::preset(util::Scale scale,
 }
 
 std::unique_ptr<Experiment> Experiment::build(const ExperimentConfig& config) {
+  PHONOLID_SPAN("experiment_build");
   auto exp = std::unique_ptr<Experiment>(new Experiment());
   exp->config_ = config;
-  exp->corpus_ = corpus::LreCorpus::build(config.corpus);
+  {
+    PHONOLID_SPAN("corpus");
+    exp->corpus_ = corpus::LreCorpus::build(config.corpus);
+  }
   const corpus::LreCorpus& corpus = exp->corpus_;
   const std::size_t k = corpus.num_target_languages();
 
@@ -43,6 +52,7 @@ std::unique_ptr<Experiment> Experiment::build(const ExperimentConfig& config) {
   exp->baseline_.resize(q);
 
   for (std::size_t s = 0; s < q; ++s) {
+    PHONOLID_SPAN("subsystem");
     FrontEndSpec spec = config.frontends[s];
     // The 1-best ablation flows through the supervector builder config.
     spec.use_lattice_counts = config.use_lattice_counts;
@@ -86,8 +96,13 @@ VoteResult Experiment::votes_for(const std::vector<SubsystemScores>& blocks,
 
 std::vector<SubsystemScores> Experiment::run_dba_selection(
     const TrdbaSelection& selection, DbaMode mode) const {
+  PHONOLID_SPAN("dba_round");
   const std::size_t k = num_languages();
   std::vector<SubsystemScores> out(subsystems_.size());
+  const std::size_t trdba_size =
+      selection.utt_index.size() +
+      (mode == DbaMode::kM2 ? train_labels_.size() : 0);
+  record_dba_round(selection, mode, trdba_size);
   if (selection.utt_index.empty() && mode == DbaMode::kM1) {
     // Nothing adopted: fall back to the baseline models' scores (an empty
     // SVM training set is undefined), mirroring a no-op boosting pass.
@@ -157,6 +172,84 @@ EvalResult Experiment::evaluate(
 
 EvalResult Experiment::evaluate_single(const SubsystemScores& block) const {
   return evaluate({&block});
+}
+
+void Experiment::record_dba_round(const TrdbaSelection& selection,
+                                  DbaMode mode,
+                                  std::size_t trdba_size) const {
+  DbaRoundStats stats;
+  stats.mode = mode;
+  stats.min_votes = selection.min_votes;
+  stats.votes_cast = selection.votes_cast;
+  stats.utts_adopted = selection.utt_index.size();
+  stats.trdba_size = trdba_size;
+  stats.selection_error = selection_error_rate(selection, test_labels_);
+
+  std::lock_guard lock(dba_mutex_);
+  stats.round = dba_rounds_.size() + 1;
+  for (std::size_t i = 0; i < selection.utt_index.size(); ++i) {
+    const auto it = last_adopted_.find(selection.utt_index[i]);
+    if (it != last_adopted_.end() && it->second != selection.label[i]) {
+      ++stats.label_flips;
+    }
+  }
+  last_adopted_.clear();
+  for (std::size_t i = 0; i < selection.utt_index.size(); ++i) {
+    last_adopted_.emplace(selection.utt_index[i], selection.label[i]);
+  }
+  dba_rounds_.push_back(stats);
+}
+
+std::vector<DbaRoundStats> Experiment::dba_rounds() const {
+  std::lock_guard lock(dba_mutex_);
+  return dba_rounds_;
+}
+
+obs::Json Experiment::dba_report() const {
+  obs::Json rounds = obs::Json::array();
+  for (const DbaRoundStats& r : dba_rounds()) {
+    obs::Json entry = obs::Json::object();
+    entry["round"] = obs::Json(r.round);
+    entry["mode"] = obs::Json(to_string(r.mode));
+    entry["min_votes"] = obs::Json(r.min_votes);
+    entry["votes_cast"] = obs::Json(r.votes_cast);
+    entry["utts_adopted"] = obs::Json(r.utts_adopted);
+    entry["trdba_size"] = obs::Json(r.trdba_size);
+    entry["label_flips"] = obs::Json(r.label_flips);
+    entry["selection_error"] = obs::Json(r.selection_error);
+    rounds.push_back(std::move(entry));
+  }
+  obs::Json dba = obs::Json::object();
+  dba["rounds"] = std::move(rounds);
+  return dba;
+}
+
+void Experiment::write_report(const std::string& path,
+                              const std::string& command,
+                              obs::Json extra) const {
+  obs::ReportMeta meta;
+  meta.tool = "phonolid";
+  meta.command = command;
+  meta.scale = util::to_string(config_.scale);
+  meta.seed = config_.seed;
+  meta.threads = util::ThreadPool::global().num_threads();
+
+  obs::Json experiment = obs::Json::object();
+  experiment["num_subsystems"] = obs::Json(num_subsystems());
+  experiment["num_languages"] = obs::Json(num_languages());
+  experiment["train_utterances"] = obs::Json(train_labels_.size());
+  experiment["dev_utterances"] = obs::Json(dev_labels_.size());
+  experiment["test_utterances"] = obs::Json(test_labels_.size());
+  experiment["use_lattice_counts"] = obs::Json(config_.use_lattice_counts);
+
+  obs::Json merged = obs::Json::object();
+  merged["experiment"] = std::move(experiment);
+  merged["dba"] = dba_report();
+  for (auto& [key, value] : extra.as_object()) {
+    merged[key] = std::move(value);
+  }
+  obs::write_report_file(path, obs::build_report(meta, std::move(merged)));
+  PHONOLID_INFO("core") << "wrote run report to " << path;
 }
 
 }  // namespace phonolid::core

@@ -12,7 +12,10 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "backend/fusion.h"
@@ -20,6 +23,7 @@
 #include "core/frontend_spec.h"
 #include "core/subsystem.h"
 #include "eval/metrics.h"
+#include "obs/json.h"
 #include "svm/vsm.h"
 
 namespace phonolid::core {
@@ -33,9 +37,31 @@ struct ExperimentConfig {
   /// Use lattice expected counts; false = 1-best ablation.
   bool use_lattice_counts = true;
   std::uint64_t seed = 20090704;
+  /// The scale this config was preset at (report metadata).
+  util::Scale scale = util::Scale::kDefault;
+  /// When non-empty, entry points (CLI/benches) write a structured JSON run
+  /// report here after the experiment finishes (see Experiment::write_report
+  /// and DESIGN.md "Observability").
+  std::string report_path;
 
   /// Paper-shaped configuration for the given scale.
   static ExperimentConfig preset(util::Scale scale, std::uint64_t seed);
+};
+
+/// Adoption statistics of one DBA re-training pass, recorded by
+/// run_dba_selection in call order (a multi-iteration boosting loop produces
+/// one entry per round).
+struct DbaRoundStats {
+  std::size_t round = 0;  // 1-based
+  DbaMode mode = DbaMode::kM1;
+  std::size_t min_votes = 0;        // 0 when the selection was hand-built
+  std::size_t votes_cast = 0;       // total votes in the underlying VoteResult
+  std::size_t utts_adopted = 0;     // |T_DBA|
+  std::size_t trdba_size = 0;       // |Tr_DBA| fed to the VSM re-training
+  /// Adopted utterances whose hypothesised label changed vs the previous
+  /// round that adopted them (0 for the first round).
+  std::size_t label_flips = 0;
+  double selection_error = 0.0;     // vs ground truth (Table 1 column)
 };
 
 /// Scores of one subsystem on the dev and test sets (utterances x K).
@@ -127,6 +153,18 @@ class Experiment {
   /// Single-subsystem convenience.
   [[nodiscard]] EvalResult evaluate_single(const SubsystemScores& block) const;
 
+  /// Per-round DBA adoption statistics accumulated by run_dba_selection.
+  [[nodiscard]] std::vector<DbaRoundStats> dba_rounds() const;
+
+  /// The "dba" section of the run report ({"rounds": [...]}).
+  [[nodiscard]] obs::Json dba_report() const;
+
+  /// Write the full structured JSON run report: obs metrics + trace spans +
+  /// per-round DBA stats + experiment metadata, plus caller-provided extra
+  /// sections (must be an object; merged at the top level).
+  void write_report(const std::string& path, const std::string& command,
+                    obs::Json extra = obs::Json::object()) const;
+
   /// Supervector caches (exposed for benches measuring VSM cost).
   [[nodiscard]] const std::vector<phonotactic::SparseVec>& train_svs(
       std::size_t q) const {
@@ -146,6 +184,9 @@ class Experiment {
  private:
   Experiment() = default;
 
+  void record_dba_round(const TrdbaSelection& selection, DbaMode mode,
+                        std::size_t trdba_size) const;
+
   ExperimentConfig config_;
   corpus::LreCorpus corpus_;
   std::vector<std::unique_ptr<Subsystem>> subsystems_;
@@ -160,6 +201,12 @@ class Experiment {
   std::vector<svm::VsmModel> baseline_vsms_;
   std::vector<SubsystemScores> baseline_;
   VoteResult votes_;
+
+  // DBA round bookkeeping (mutated by const re-training entry points).
+  mutable std::mutex dba_mutex_;
+  mutable std::vector<DbaRoundStats> dba_rounds_;
+  /// Adopted label per test utterance in the latest round, for flip counts.
+  mutable std::unordered_map<std::uint32_t, std::int32_t> last_adopted_;
 };
 
 }  // namespace phonolid::core

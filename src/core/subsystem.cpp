@@ -2,9 +2,10 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
-#include "util/timer.h"
 
 namespace phonolid::core {
 
@@ -81,24 +82,7 @@ std::unique_ptr<Subsystem> Subsystem::build(const corpus::LreCorpus& corpus,
   const corpus::Dataset& train = corpus.vsm_train();
   std::vector<phonotactic::SparseVec> train_svs(train.size());
   util::parallel_for(0, train.size(), [&](std::size_t i) {
-    util::WallTimer feature_timer;
-    const util::Matrix feats = sub->features_->process(train[i].samples);
-    const double feat_s = feature_timer.seconds();
-
-    util::WallTimer decode_timer;
-    const decoder::Lattice lattice = sub->decoder_->decode(feats);
-    const double dec_s = decode_timer.seconds();
-
-    util::WallTimer sv_timer;
-    train_svs[i] = sub->builder_->build(lattice);
-    const double sv_s = sv_timer.seconds();
-
-    std::lock_guard lock(sub->times_mutex_);
-    sub->times_.feature_s += feat_s;
-    sub->times_.decode_s += dec_s;
-    sub->times_.supervector_s += sv_s;
-    sub->times_.audio_s += static_cast<double>(train[i].samples.size()) /
-                           corpus.config().sample_rate;
+    train_svs[i] = sub->process_internal(train[i], /*apply_tfllr=*/false);
   });
 
   sub->tfllr_ = phonotactic::TfllrScaler(sub->builder_->dimension());
@@ -120,20 +104,26 @@ decoder::Lattice Subsystem::decode(const corpus::Utterance& utt) const {
   return decoder_->decode(feats);
 }
 
-phonotactic::SparseVec Subsystem::process(const corpus::Utterance& utt) const {
-  util::WallTimer feature_timer;
+phonotactic::SparseVec Subsystem::process_internal(const corpus::Utterance& utt,
+                                                   bool apply_tfllr) const {
+  static obs::Counter& utterances =
+      obs::Metrics::counter("pipeline.utterances");
+  PHONOLID_SPAN("pipeline");
+
+  obs::Span feature_span("features");
   const util::Matrix feats = features_->process(utt.samples);
-  const double feat_s = feature_timer.seconds();
+  const double feat_s = feature_span.stop();
 
-  util::WallTimer decode_timer;
+  obs::Span decode_span("decode");
   const decoder::Lattice lattice = decoder_->decode(feats);
-  const double dec_s = decode_timer.seconds();
+  const double dec_s = decode_span.stop();
 
-  util::WallTimer sv_timer;
+  obs::Span sv_span("supervector");
   phonotactic::SparseVec sv = builder_->build(lattice);
-  if (spec_.use_tfllr) tfllr_.transform(sv);
-  const double sv_s = sv_timer.seconds();
+  if (apply_tfllr && spec_.use_tfllr) tfllr_.transform(sv);
+  const double sv_s = sv_span.stop();
 
+  utterances.add();
   {
     std::lock_guard lock(times_mutex_);
     times_.feature_s += feat_s;
@@ -143,6 +133,10 @@ phonotactic::SparseVec Subsystem::process(const corpus::Utterance& utt) const {
                       features_->config().mfcc.sample_rate;
   }
   return sv;
+}
+
+phonotactic::SparseVec Subsystem::process(const corpus::Utterance& utt) const {
+  return process_internal(utt, /*apply_tfllr=*/true);
 }
 
 std::vector<phonotactic::SparseVec> Subsystem::process_all(

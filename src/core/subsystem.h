@@ -89,6 +89,13 @@ class Subsystem {
  private:
   Subsystem() = default;
 
+  /// Shared stage chain (features -> decode -> supervector) used by both the
+  /// TFLLR-fit pass in build() (apply_tfllr = false; scaling happens after
+  /// the background fit) and process(); emits trace spans and accumulates
+  /// StageTimes in one place.
+  [[nodiscard]] phonotactic::SparseVec process_internal(
+      const corpus::Utterance& utt, bool apply_tfllr) const;
+
   FrontEndSpec spec_;
   am::PhoneSetMap phone_map_;
   std::unique_ptr<dsp::FeaturePipeline> features_;

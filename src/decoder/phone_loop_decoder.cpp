@@ -6,6 +6,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace phonolid::decoder {
 
 namespace {
@@ -31,9 +34,16 @@ PhoneLoopDecoder::PhoneLoopDecoder(const am::AcousticModel& model,
 }
 
 Lattice PhoneLoopDecoder::decode(const util::Matrix& features) const {
+  static obs::Counter& lattices_out =
+      obs::Metrics::counter("decoder.lattices");
+  static obs::Counter& frames_in = obs::Metrics::counter("decoder.frames");
+  static obs::Counter& edges_out = obs::Metrics::counter("decoder.edges");
+  PHONOLID_SPAN("viterbi");
+
   const std::size_t frames = features.rows();
   const std::size_t num_phones = topology_.num_phones;
   const std::size_t sp = topology_.states_per_phone;
+  frames_in.add(frames);
   if (frames == 0) return Lattice(0, {});
 
   util::Matrix am_scores;
@@ -190,9 +200,13 @@ Lattice PhoneLoopDecoder::decode(const util::Matrix& features) const {
     Lattice lat(frames, {e});
     lat.compute_posteriors(config_.acoustic_scale, config_.posterior_prune);
     lat.set_best_path({e.phone});
+    lattices_out.add();
+    edges_out.add(1);
     return lat;
   }
 
+  lattices_out.add();
+  edges_out.add(edges.size());
   Lattice lattice(frames, std::move(edges));
   lattice.compute_posteriors(config_.acoustic_scale, config_.posterior_prune);
 

@@ -1,0 +1,85 @@
+// Minimal JSON document model for run reports: build, serialize, parse.
+//
+// Objects preserve insertion order so reports are stable and diffable.
+// Non-finite doubles serialize as null (JSON has no NaN/Inf).  The parser
+// accepts exactly the documents the emitter produces (standard JSON with
+// UTF-8 passed through verbatim); it exists so tests and downstream tools
+// can round-trip reports without an external dependency.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace phonolid::obs {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(int i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(long i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(long long i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(unsigned u) : v_(static_cast<std::int64_t>(u)) {}
+  Json(unsigned long u) : v_(static_cast<std::int64_t>(u)) {}
+  Json(unsigned long long u) : v_(static_cast<std::int64_t>(u)) {}
+  Json(double d) : v_(d) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+  Json(Array a) : v_(std::move(a)) {}
+  Json(Object o) : v_(std::move(o)) {}
+
+  static Json object() { return Json(Object{}); }
+  static Json array() { return Json(Array{}); }
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  [[nodiscard]] bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  [[nodiscard]] bool is_double() const { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool is_number() const { return is_int() || is_double(); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(v_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+  [[nodiscard]] std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
+  /// Numeric value as double (works for both int and double nodes).
+  [[nodiscard]] double as_double() const {
+    return is_int() ? static_cast<double>(std::get<std::int64_t>(v_))
+                    : std::get<double>(v_);
+  }
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(v_); }
+  [[nodiscard]] const Array& as_array() const { return std::get<Array>(v_); }
+  [[nodiscard]] Array& as_array() { return std::get<Array>(v_); }
+  [[nodiscard]] const Object& as_object() const { return std::get<Object>(v_); }
+  [[nodiscard]] Object& as_object() { return std::get<Object>(v_); }
+
+  /// Object field access; appends the key if absent (object nodes only).
+  Json& operator[](const std::string& key);
+  /// Read-only lookup: nullptr when missing or not an object.
+  [[nodiscard]] const Json* find(const std::string& key) const;
+
+  void push_back(Json v) { as_array().push_back(std::move(v)); }
+
+  void dump(std::ostream& out, int indent = 2) const;
+  [[nodiscard]] std::string dump_string(int indent = 2) const;
+
+  /// Parse a complete JSON document; throws std::runtime_error with a byte
+  /// offset on malformed input.
+  static Json parse(const std::string& text);
+
+ private:
+  void dump_impl(std::ostream& out, int indent, int depth) const;
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               Object>
+      v_;
+};
+
+}  // namespace phonolid::obs

@@ -1,0 +1,119 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace phonolid::obs {
+
+Histogram::Histogram(std::vector<double> upper_edges)
+    : edges_(std::move(upper_edges)) {
+  if (edges_.empty()) {
+    throw std::invalid_argument("Histogram: need at least one bucket edge");
+  }
+  if (!std::is_sorted(edges_.begin(), edges_.end())) {
+    throw std::invalid_argument("Histogram: edges must be sorted ascending");
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(edges_.size() + 1);
+  for (std::size_t i = 0; i <= edges_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) noexcept {
+  // First edge >= v; values above every edge land in the overflow bucket.
+  const std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(edges_.begin(), edges_.end(), v) - edges_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= edges_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Metrics& Metrics::instance() {
+  // Leaked on purpose: worker threads may record metrics during static
+  // destruction (e.g. while the global thread pool joins), so the registry
+  // must outlive every other static.
+  static Metrics* metrics = new Metrics();
+  return *metrics;
+}
+
+Counter& Metrics::counter(const std::string& name) {
+  Metrics& m = instance();
+  std::lock_guard lock(m.mutex_);
+  auto& slot = m.counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Metrics::gauge(const std::string& name) {
+  Metrics& m = instance();
+  std::lock_guard lock(m.mutex_);
+  auto& slot = m.gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Metrics::histogram(const std::string& name,
+                              const std::vector<double>& upper_edges) {
+  Metrics& m = instance();
+  std::lock_guard lock(m.mutex_);
+  auto& slot = m.histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(upper_edges);
+  } else if (slot->edges() != upper_edges) {
+    throw std::invalid_argument("Metrics::histogram: edge mismatch for '" +
+                                name + "'");
+  }
+  return *slot;
+}
+
+std::map<std::string, std::uint64_t> Metrics::counters() {
+  Metrics& m = instance();
+  std::lock_guard lock(m.mutex_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, c] : m.counters_) out[name] = c->value();
+  return out;
+}
+
+std::map<std::string, GaugeSnapshot> Metrics::gauges() {
+  Metrics& m = instance();
+  std::lock_guard lock(m.mutex_);
+  std::map<std::string, GaugeSnapshot> out;
+  for (const auto& [name, g] : m.gauges_) {
+    out[name] = GaugeSnapshot{g->value(), g->max()};
+  }
+  return out;
+}
+
+std::map<std::string, HistogramSnapshot> Metrics::histograms() {
+  Metrics& m = instance();
+  std::lock_guard lock(m.mutex_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, h] : m.histograms_) {
+    HistogramSnapshot snap;
+    snap.edges = h->edges();
+    snap.counts.resize(h->num_buckets());
+    for (std::size_t i = 0; i < h->num_buckets(); ++i) {
+      snap.counts[i] = h->bucket_count(i);
+    }
+    snap.count = h->total_count();
+    snap.sum = h->sum();
+    out[name] = std::move(snap);
+  }
+  return out;
+}
+
+void Metrics::reset() {
+  Metrics& m = instance();
+  std::lock_guard lock(m.mutex_);
+  for (auto& [name, c] : m.counters_) c->reset();
+  for (auto& [name, g] : m.gauges_) g->reset();
+  for (auto& [name, h] : m.histograms_) h->reset();
+}
+
+}  // namespace phonolid::obs

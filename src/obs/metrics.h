@@ -1,0 +1,151 @@
+// Process-wide metrics registry: monotonic counters, gauges, and
+// fixed-bucket histograms.
+//
+// Creation/lookup takes the registry mutex once; call sites hoist the
+// returned reference into a function-local static so the hot path is a
+// single relaxed atomic op with no locking:
+//
+//   static obs::Counter& decoded = obs::Metrics::counter("decoder.lattices");
+//   decoded.add();
+//
+// Metric objects are never destroyed or re-allocated, so hoisted references
+// stay valid for the life of the process (reset() zeroes values in place).
+// This library intentionally depends on nothing but the standard library so
+// every layer — including util/thread_pool — can be instrumented.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace phonolid::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (e.g. queue depth) with a high-watermark.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+    bump_max(v);
+  }
+  /// Returns the post-update value.
+  std::int64_t add(std::int64_t delta) noexcept {
+    const std::int64_t v =
+        value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    bump_max(v);
+    return v;
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void bump_max(std::int64_t v) noexcept {
+    std::int64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Fixed-bucket histogram.  Bucket i counts observations v with
+/// edges[i-1] < v <= edges[i]; the final (overflow) bucket counts
+/// v > edges.back().  Edges are fixed at creation.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_edges);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] const std::vector<double>& edges() const noexcept {
+    return edges_;
+  }
+  [[nodiscard]] std::size_t num_buckets() const noexcept {
+    return edges_.size() + 1;
+  }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+ private:
+  std::vector<double> edges_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+struct GaugeSnapshot {
+  std::int64_t value = 0;
+  std::int64_t max = 0;
+};
+
+struct HistogramSnapshot {
+  std::vector<double> edges;
+  std::vector<std::uint64_t> counts;  // edges.size() + 1 entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// The process-wide registry.  Lookup by name creates on first use.
+class Metrics {
+ public:
+  static Counter& counter(const std::string& name);
+  static Gauge& gauge(const std::string& name);
+  /// `upper_edges` must be sorted ascending; on first creation they define
+  /// the buckets, later lookups of the same name ignore them (a mismatch
+  /// throws std::invalid_argument to catch inconsistent call sites).
+  static Histogram& histogram(const std::string& name,
+                              const std::vector<double>& upper_edges);
+
+  static std::map<std::string, std::uint64_t> counters();
+  static std::map<std::string, GaugeSnapshot> gauges();
+  static std::map<std::string, HistogramSnapshot> histograms();
+
+  /// Zero every metric in place (objects and hoisted references survive).
+  static void reset();
+
+ private:
+  Metrics() = default;
+  static Metrics& instance();
+
+  std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace phonolid::obs

@@ -1,0 +1,119 @@
+#include "obs/report.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace phonolid::obs {
+
+std::string iso8601_utc_now() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const std::time_t secs = system_clock::to_time_t(now);
+  const auto ms =
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
+
+Json build_report(const ReportMeta& meta, Json extra) {
+  if (!extra.is_object()) {
+    throw std::invalid_argument("build_report: extra must be an object");
+  }
+  Json doc = Json::object();
+  doc["schema_version"] = Json(kReportSchemaVersion);
+  doc["generated_at"] = Json(iso8601_utc_now());
+
+  Json meta_obj = Json::object();
+  meta_obj["tool"] = Json(meta.tool);
+  meta_obj["command"] = Json(meta.command);
+  meta_obj["scale"] = Json(meta.scale);
+  meta_obj["seed"] = Json(meta.seed);
+  meta_obj["threads"] = Json(meta.threads);
+  doc["meta"] = std::move(meta_obj);
+
+  Json counters = Json::object();
+  for (const auto& [name, value] : Metrics::counters()) {
+    counters[name] = Json(value);
+  }
+  Json gauges = Json::object();
+  for (const auto& [name, g] : Metrics::gauges()) {
+    Json entry = Json::object();
+    entry["value"] = Json(g.value);
+    entry["max"] = Json(g.max);
+    gauges[name] = std::move(entry);
+  }
+  Json histograms = Json::object();
+  for (const auto& [name, h] : Metrics::histograms()) {
+    Json entry = Json::object();
+    Json edges = Json::array();
+    for (double e : h.edges) edges.push_back(Json(e));
+    Json counts = Json::array();
+    for (std::uint64_t c : h.counts) counts.push_back(Json(c));
+    entry["edges"] = std::move(edges);
+    entry["counts"] = std::move(counts);
+    entry["count"] = Json(h.count);
+    entry["sum"] = Json(h.sum);
+    histograms[name] = std::move(entry);
+  }
+  Json metrics = Json::object();
+  metrics["counters"] = std::move(counters);
+  metrics["gauges"] = std::move(gauges);
+  metrics["histograms"] = std::move(histograms);
+  doc["metrics"] = std::move(metrics);
+
+  Json spans = Json::array();
+  for (const SpanSnapshot& s : Trace::snapshot()) {
+    Json entry = Json::object();
+    entry["path"] = Json(s.path);
+    entry["count"] = Json(s.total.count);
+    entry["total_s"] = Json(s.total.total_s);
+    entry["mean_s"] = Json(s.total.count == 0
+                               ? 0.0
+                               : s.total.total_s /
+                                     static_cast<double>(s.total.count));
+    entry["min_s"] = Json(s.total.count == 0 ? 0.0 : s.total.min_s);
+    entry["max_s"] = Json(s.total.max_s);
+    Json by_thread = Json::array();
+    for (const auto& [thread, stats] : s.by_thread) {
+      Json t = Json::object();
+      t["thread"] = Json(thread);
+      t["count"] = Json(stats.count);
+      t["total_s"] = Json(stats.total_s);
+      by_thread.push_back(std::move(t));
+    }
+    entry["by_thread"] = std::move(by_thread);
+    spans.push_back(std::move(entry));
+  }
+  doc["spans"] = std::move(spans);
+
+  for (auto& [key, value] : extra.as_object()) {
+    doc[key] = std::move(value);
+  }
+  return doc;
+}
+
+void write_report_file(const std::string& path, const Json& report) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_report_file: cannot open '" + path + "'");
+  }
+  report.dump(out);
+  out << '\n';
+  if (!out.good()) {
+    throw std::runtime_error("write_report_file: write failed for '" + path +
+                             "'");
+  }
+}
+
+}  // namespace phonolid::obs

@@ -1,0 +1,49 @@
+// Structured JSON run reports.
+//
+// Every entry point (phonolid CLI commands, bench binaries, tests) emits the
+// same schema, so BENCH_*.json trajectories and --report files are directly
+// comparable:
+//
+//   {
+//     "schema_version": 1,
+//     "generated_at": "2026-08-06T12:34:56.789Z",
+//     "meta":    { "tool": ..., "command": ..., ... },
+//     "metrics": { "counters": {...}, "gauges": {...}, "histograms": {...} },
+//     "spans":   [ { "path", "count", "total_s", "mean_s", "min_s", "max_s",
+//                    "by_thread": [{ "thread", "count", "total_s" }] } ],
+//     ...caller-provided extra sections (e.g. "dba", "results")...
+//   }
+//
+// See DESIGN.md "Observability" for the full field reference.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.h"
+
+namespace phonolid::obs {
+
+inline constexpr int kReportSchemaVersion = 1;
+
+/// Common identification fields for the "meta" section.
+struct ReportMeta {
+  std::string tool;     // e.g. "phonolid" or "bench_table5_rtf"
+  std::string command;  // e.g. "run"; empty for benches
+  std::string scale;
+  std::uint64_t seed = 0;
+  std::size_t threads = 0;
+};
+
+/// Current UTC time as ISO-8601 with millisecond precision ("...Z").
+std::string iso8601_utc_now();
+
+/// Snapshot the metrics and trace registries into a full report document.
+/// `extra` must be an object; its fields are appended at the top level.
+Json build_report(const ReportMeta& meta, Json extra = Json::object());
+
+/// Serialize `report` to `path` (pretty-printed, trailing newline).
+/// Throws std::runtime_error when the file cannot be written.
+void write_report_file(const std::string& path, const Json& report);
+
+}  // namespace phonolid::obs

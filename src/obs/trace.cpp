@@ -1,0 +1,121 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+
+namespace phonolid::obs {
+
+namespace {
+
+/// Per-thread span state.  The table mutex is only ever contended by
+/// snapshot()/reset() — the owning thread takes it uncontended on each span
+/// exit, which on Linux is a couple of uncontended atomic ops.
+struct ThreadTable {
+  std::mutex mutex;
+  std::unordered_map<std::string, SpanStats> stats;
+  std::string path;    // '/'-joined stack of active span names
+  std::uint32_t index = 0;
+
+  ~ThreadTable();
+};
+
+struct TraceRegistry {
+  std::mutex mutex;
+  std::vector<ThreadTable*> live;
+  /// Stats of exited threads, keyed by (path, thread index).
+  std::map<std::pair<std::string, std::uint32_t>, SpanStats> retired;
+  std::uint32_t next_index = 0;
+};
+
+TraceRegistry& registry() {
+  // Leaked on purpose: pool worker threads flush their tables here when they
+  // exit, which can happen during static destruction.
+  static TraceRegistry* reg = new TraceRegistry();
+  return *reg;
+}
+
+ThreadTable::~ThreadTable() {
+  TraceRegistry& reg = registry();
+  std::lock_guard reg_lock(reg.mutex);
+  std::lock_guard lock(mutex);
+  for (auto& [path, s] : stats) {
+    reg.retired[{path, index}].merge(s);
+  }
+  std::erase(reg.live, this);
+}
+
+ThreadTable& thread_table() {
+  thread_local ThreadTable t;
+  thread_local bool registered = [] {
+    TraceRegistry& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    t.index = reg.next_index++;
+    reg.live.push_back(&t);
+    return true;
+  }();
+  (void)registered;
+  return t;
+}
+
+}  // namespace
+
+Span::Span(const char* name) noexcept {
+  ThreadTable& t = thread_table();
+  parent_len_ = t.path.size();
+  if (!t.path.empty()) t.path.push_back('/');
+  t.path.append(name);
+  start_ = std::chrono::steady_clock::now();
+}
+
+double Span::stop() noexcept {
+  if (stopped_) return 0.0;
+  stopped_ = true;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  ThreadTable& t = thread_table();
+  {
+    std::lock_guard lock(t.mutex);
+    t.stats[t.path].record(seconds);
+  }
+  t.path.resize(parent_len_);
+  return seconds;
+}
+
+Span::~Span() { stop(); }
+
+std::vector<SpanSnapshot> Trace::snapshot() {
+  TraceRegistry& reg = registry();
+  std::map<std::string, SpanSnapshot> merged;
+  const auto absorb = [&merged](const std::string& path, std::uint32_t thread,
+                                const SpanStats& s) {
+    SpanSnapshot& snap = merged[path];
+    snap.path = path;
+    snap.total.merge(s);
+    snap.by_thread[thread].merge(s);
+  };
+  std::lock_guard reg_lock(reg.mutex);
+  for (ThreadTable* t : reg.live) {
+    std::lock_guard lock(t->mutex);
+    for (const auto& [path, s] : t->stats) absorb(path, t->index, s);
+  }
+  for (const auto& [key, s] : reg.retired) absorb(key.first, key.second, s);
+
+  std::vector<SpanSnapshot> out;
+  out.reserve(merged.size());
+  for (auto& [path, snap] : merged) out.push_back(std::move(snap));
+  return out;
+}
+
+void Trace::reset() {
+  TraceRegistry& reg = registry();
+  std::lock_guard reg_lock(reg.mutex);
+  for (ThreadTable* t : reg.live) {
+    std::lock_guard lock(t->mutex);
+    t->stats.clear();
+  }
+  reg.retired.clear();
+}
+
+}  // namespace phonolid::obs

@@ -1,0 +1,88 @@
+// Hierarchical trace spans with per-thread attribution.
+//
+// A Span is an RAII scope that measures wall time under a '/'-joined path
+// built from the enclosing spans *on the same thread*:
+//
+//   void process() {
+//     PHONOLID_SPAN("pipeline");
+//     { PHONOLID_SPAN("decode"); ... }   // aggregates under "pipeline/decode"
+//   }
+//
+// Each thread owns a private aggregation table (path -> count/total/min/max),
+// so entering and leaving a span never contends with other threads; tables
+// are merged when Trace::snapshot() is called and when a thread exits.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace phonolid::obs {
+
+/// Aggregated statistics for one span path (on one thread, or merged).
+struct SpanStats {
+  std::uint64_t count = 0;
+  double total_s = 0.0;
+  double min_s = std::numeric_limits<double>::infinity();
+  double max_s = 0.0;
+
+  void record(double seconds) noexcept {
+    ++count;
+    total_s += seconds;
+    if (seconds < min_s) min_s = seconds;
+    if (seconds > max_s) max_s = seconds;
+  }
+  void merge(const SpanStats& o) noexcept {
+    count += o.count;
+    total_s += o.total_s;
+    if (o.min_s < min_s) min_s = o.min_s;
+    if (o.max_s > max_s) max_s = o.max_s;
+  }
+};
+
+/// One path's merged view plus the per-thread breakdown.
+struct SpanSnapshot {
+  std::string path;
+  SpanStats total;
+  /// Keyed by a small per-thread index assigned in registration order
+  /// (index 0 is whichever thread recorded a span first).
+  std::map<std::uint32_t, SpanStats> by_thread;
+};
+
+class Span {
+ public:
+  explicit Span(const char* name) noexcept;
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Record the span now (instead of at scope exit) and return the elapsed
+  /// seconds.  Subsequent destruction is a no-op.
+  double stop() noexcept;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  std::size_t parent_len_ = 0;  // path length to restore on exit
+  bool stopped_ = false;
+};
+
+class Trace {
+ public:
+  /// Merged view over every thread that ever recorded a span (including
+  /// threads that have since exited), sorted by path.
+  static std::vector<SpanSnapshot> snapshot();
+
+  /// Drop all recorded statistics (active spans still record on exit).
+  static void reset();
+};
+
+#define PHONOLID_OBS_CAT2(a, b) a##b
+#define PHONOLID_OBS_CAT(a, b) PHONOLID_OBS_CAT2(a, b)
+/// Opens an RAII trace span for the rest of the enclosing scope.
+#define PHONOLID_SPAN(name) \
+  ::phonolid::obs::Span PHONOLID_OBS_CAT(phonolid_span_, __LINE__)(name)
+
+}  // namespace phonolid::obs

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/math_util.h"
 
 namespace phonolid::phonotactic {
@@ -61,6 +63,13 @@ std::vector<std::uint32_t> NgramIndexer::decode(std::uint32_t id) const {
 SparseVec expected_ngram_counts(const decoder::Lattice& lattice,
                                 const NgramIndexer& indexer,
                                 const NgramCountConfig& config) {
+  static obs::Counter& lattices =
+      obs::Metrics::counter("phonotactic.counts.lattices");
+  static obs::Counter& tuples =
+      obs::Metrics::counter("phonotactic.counts.tuples");
+  PHONOLID_SPAN("counts");
+  lattices.add();
+
   std::vector<std::pair<std::uint32_t, float>> pairs;
   if (lattice.edges().empty()) return SparseVec();
 
@@ -130,6 +139,7 @@ SparseVec expected_ngram_counts(const decoder::Lattice& lattice,
       }
     }
   }
+  tuples.add(pairs.size());
   return SparseVec::from_pairs(std::move(pairs));
 }
 

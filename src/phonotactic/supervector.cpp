@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "util/serialize.h"
 
 namespace phonolid::phonotactic {
@@ -13,6 +14,9 @@ SupervectorBuilder::SupervectorBuilder(NgramIndexer indexer,
     : indexer_(std::move(indexer)), config_(config) {}
 
 SparseVec SupervectorBuilder::build(const decoder::Lattice& lattice) const {
+  static obs::Counter& built =
+      obs::Metrics::counter("phonotactic.supervectors");
+  built.add();
   SparseVec counts =
       config_.use_lattice
           ? expected_ngram_counts(lattice, indexer_, config_.counts)

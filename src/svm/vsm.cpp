@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/serialize.h"
 #include "util/thread_pool.h"
@@ -22,10 +24,17 @@ VsmModel VsmModel::train(std::span<const phonotactic::SparseVec* const> xptr,
                          std::span<const std::int32_t> labels,
                          std::size_t num_classes, std::size_t dimension,
                          const VsmTrainConfig& config) {
+  static obs::Counter& trainings = obs::Metrics::counter("vsm.trainings");
+  static obs::Counter& train_examples =
+      obs::Metrics::counter("vsm.train_examples");
+  PHONOLID_SPAN("vsm_train");
+
   const std::size_t n = xptr.size();
   if (n == 0 || labels.size() != n || num_classes == 0) {
     throw std::invalid_argument("VsmModel::train: bad inputs");
   }
+  trainings.add();
+  train_examples.add(n);
   for (std::int32_t l : labels) {
     if (l < 0 || static_cast<std::size_t>(l) >= num_classes) {
       throw std::invalid_argument("VsmModel::train: label out of range");
@@ -58,6 +67,9 @@ void VsmModel::score(const phonotactic::SparseVec& x,
 
 util::Matrix VsmModel::score_all(
     std::span<const phonotactic::SparseVec> x) const {
+  static obs::Counter& scored = obs::Metrics::counter("vsm.scored_utterances");
+  PHONOLID_SPAN("vsm_score");
+  scored.add(x.size());
   util::Matrix scores(x.size(), classifiers_.size());
   util::parallel_for(0, x.size(), [&](std::size_t i) {
     score(x[i], scores.row(i));

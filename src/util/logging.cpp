@@ -1,8 +1,10 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 
 namespace phonolid::util {
 
@@ -19,13 +21,49 @@ Logger::Logger() : level_(LogLevel::kWarn) {
 
 void Logger::write(LogLevel level, const std::string& component,
                    const std::string& message) {
-  using clock = std::chrono::steady_clock;
-  static const auto start = clock::now();
-  const double elapsed =
-      std::chrono::duration<double>(clock::now() - start).count();
+  const std::string prefix =
+      format_log_prefix(level, component, std::chrono::system_clock::now(),
+                        current_log_thread_id());
   std::lock_guard lock(mutex_);
-  std::fprintf(stderr, "[%9.3fs %-5s %s] %s\n", elapsed, to_string(level),
-               component.c_str(), message.c_str());
+  std::fprintf(stderr, "%s %s\n", prefix.c_str(), message.c_str());
+}
+
+std::string format_log_timestamp(std::chrono::system_clock::time_point tp) {
+  using namespace std::chrono;
+  const auto since_epoch = tp.time_since_epoch();
+  const auto secs = duration_cast<seconds>(since_epoch);
+  const auto millis = duration_cast<milliseconds>(since_epoch - secs).count();
+  const std::time_t t = static_cast<std::time_t>(secs.count());
+  std::tm utc{};
+  gmtime_r(&t, &utc);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, static_cast<int>(millis));
+  return buf;
+}
+
+std::uint32_t current_log_thread_id() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::string format_log_prefix(LogLevel level, const std::string& component,
+                              std::chrono::system_clock::time_point tp,
+                              std::uint32_t thread_id) {
+  std::string prefix = "[";
+  prefix += format_log_timestamp(tp);
+  char tid[16];
+  std::snprintf(tid, sizeof(tid), " T%02u ", thread_id);
+  prefix += tid;
+  char lvl[8];
+  std::snprintf(lvl, sizeof(lvl), "%-5s ", to_string(level));
+  prefix += lvl;
+  prefix += component;
+  prefix += "]";
+  return prefix;
 }
 
 const char* to_string(LogLevel level) noexcept {

@@ -2,8 +2,12 @@
 //
 // Thread-safe (one mutex around the sink), level controlled at runtime via
 // set_level() or the PHONOLID_LOG env var (trace|debug|info|warn|error|off).
+// Every line is prefixed with an ISO-8601 UTC timestamp and a compact
+// per-thread id:  [2026-08-06T12:34:56.789Z T00 INFO  core] message
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -33,6 +37,19 @@ class Logger {
 
 const char* to_string(LogLevel level) noexcept;
 LogLevel parse_log_level(const std::string& text) noexcept;
+
+/// ISO-8601 UTC with millisecond precision: "2026-08-06T12:34:56.789Z".
+std::string format_log_timestamp(std::chrono::system_clock::time_point tp);
+
+/// Small sequential id of the calling thread (0 for the first thread that
+/// logs, 1 for the next, ...) — far more readable than the OS thread id.
+std::uint32_t current_log_thread_id() noexcept;
+
+/// The full line prefix: "[<iso8601> T<id> <LEVEL> <component>]".
+/// Split out from Logger::write so the format is unit-testable.
+std::string format_log_prefix(LogLevel level, const std::string& component,
+                              std::chrono::system_clock::time_point tp,
+                              std::uint32_t thread_id);
 
 namespace detail {
 class LogLine {

@@ -5,7 +5,36 @@
 #include <cstdlib>
 #include <exception>
 
+#include "obs/metrics.h"
+
 namespace phonolid::util {
+
+namespace {
+
+// Latency buckets spanning sub-microsecond queue waits up to multi-second
+// stalls (seconds, upper edges).
+const std::vector<double>& latency_edges() {
+  static const std::vector<double> edges = {1e-6, 1e-5, 1e-4, 1e-3, 1e-2,
+                                            1e-1, 1.0,  10.0};
+  return edges;
+}
+
+struct PoolMetrics {
+  obs::Counter& submitted = obs::Metrics::counter("threadpool.tasks_submitted");
+  obs::Counter& completed = obs::Metrics::counter("threadpool.tasks_completed");
+  obs::Gauge& queue_depth = obs::Metrics::gauge("threadpool.queue_depth");
+  obs::Histogram& wait_s =
+      obs::Metrics::histogram("threadpool.task_wait_s", latency_edges());
+  obs::Histogram& run_s =
+      obs::Metrics::histogram("threadpool.task_run_s", latency_edges());
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m;
+  return m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -27,27 +56,39 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
+  PoolMetrics& metrics = pool_metrics();
   std::packaged_task<void()> pt(std::move(task));
   auto fut = pt.get_future();
   {
     std::lock_guard lock(mutex_);
-    tasks_.push(std::move(pt));
+    tasks_.push({std::move(pt), std::chrono::steady_clock::now()});
   }
+  metrics.submitted.add();
+  metrics.queue_depth.add(1);
   cv_.notify_one();
   return fut;
 }
 
 void ThreadPool::worker_loop() {
+  using clock = std::chrono::steady_clock;
+  PoolMetrics& metrics = pool_metrics();
   for (;;) {
-    std::packaged_task<void()> task;
+    QueuedTask item;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
       if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
+      item = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();  // packaged_task captures exceptions into the future
+    metrics.queue_depth.add(-1);
+    const auto start = clock::now();
+    metrics.wait_s.observe(
+        std::chrono::duration<double>(start - item.enqueued).count());
+    item.task();  // packaged_task captures exceptions into the future
+    metrics.run_s.observe(
+        std::chrono::duration<double>(clock::now() - start).count());
+    metrics.completed.add();
   }
 }
 

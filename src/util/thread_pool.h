@@ -5,8 +5,14 @@
 // Parallel results must be written to disjoint, pre-sized slots so the
 // outcome is independent of scheduling order (keeps experiments
 // deterministic under any thread count).
+//
+// The pool is instrumented via obs::Metrics (shared across all pools):
+//   threadpool.tasks_submitted / threadpool.tasks_completed   counters
+//   threadpool.queue_depth                                    gauge (+max)
+//   threadpool.task_wait_s / threadpool.task_run_s            histograms
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -36,10 +42,15 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
+  struct QueuedTask {
+    std::packaged_task<void()> task;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
+  std::queue<QueuedTask> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -1,0 +1,367 @@
+// Tests for the observability layer: metrics registry, trace spans, JSON
+// round-trips, and structured run reports (src/obs/).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace phonolid {
+namespace {
+
+// --- Counters -------------------------------------------------------------
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  obs::Counter& c = obs::Metrics::counter("test.counter.basic");
+  const std::uint64_t before = c.value();
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), before + 42);
+}
+
+TEST(Counter, LookupReturnsSameObject) {
+  obs::Counter& a = obs::Metrics::counter("test.counter.same");
+  obs::Counter& b = obs::Metrics::counter("test.counter.same");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Counter, ConcurrentIncrementsSumExactly) {
+  // The tentpole property: relaxed-atomic increments from a thread pool must
+  // lose nothing.  4 workers x 256 tasks x 100 increments.
+  obs::Counter& c = obs::Metrics::counter("test.counter.concurrent");
+  const std::uint64_t before = c.value();
+  constexpr std::size_t kTasks = 256;
+  constexpr std::size_t kAddsPerTask = 100;
+  util::ThreadPool pool(4);
+  util::parallel_for(pool, 0, kTasks, [&](std::size_t) {
+    for (std::size_t i = 0; i < kAddsPerTask; ++i) c.add();
+  });
+  EXPECT_EQ(c.value(), before + kTasks * kAddsPerTask);
+}
+
+// --- Gauges ---------------------------------------------------------------
+
+TEST(Gauge, TracksValueAndHighWatermark) {
+  obs::Gauge& g = obs::Metrics::gauge("test.gauge.watermark");
+  g.reset();
+  EXPECT_EQ(g.add(3), 3);
+  EXPECT_EQ(g.add(4), 7);
+  EXPECT_EQ(g.add(-5), 2);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.max(), 7);
+  g.set(-1);
+  EXPECT_EQ(g.value(), -1);
+  EXPECT_EQ(g.max(), 7);  // watermark never decreases
+}
+
+TEST(Gauge, ConcurrentAddsBalanceToZero) {
+  obs::Gauge& g = obs::Metrics::gauge("test.gauge.concurrent");
+  g.reset();
+  util::ThreadPool pool(4);
+  util::parallel_for(pool, 0, 200, [&](std::size_t) {
+    g.add(1);
+    g.add(-1);
+  });
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_GE(g.max(), 1);
+}
+
+// --- Histograms -----------------------------------------------------------
+
+TEST(Histogram, BucketEdgesAreInclusiveUpperBounds) {
+  obs::Histogram& h =
+      obs::Metrics::histogram("test.hist.edges", {1.0, 2.0, 5.0});
+  h.reset();
+  // Bucket i counts edges[i-1] < v <= edges[i]; final bucket is overflow.
+  h.observe(0.5);   // bucket 0
+  h.observe(1.0);   // bucket 0 (inclusive upper edge)
+  h.observe(1.001); // bucket 1
+  h.observe(2.0);   // bucket 1
+  h.observe(5.0);   // bucket 2
+  h.observe(5.1);   // bucket 3 (overflow)
+  h.observe(100.0); // bucket 3
+  ASSERT_EQ(h.num_buckets(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 2u);
+  EXPECT_EQ(h.total_count(), 7u);
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 1.001 + 2.0 + 5.0 + 5.1 + 100.0, 1e-9);
+}
+
+TEST(Histogram, EdgeMismatchThrows) {
+  obs::Metrics::histogram("test.hist.mismatch", {1.0, 2.0});
+  EXPECT_THROW(obs::Metrics::histogram("test.hist.mismatch", {1.0, 3.0}),
+               std::invalid_argument);
+  // Same edges: fine, same object.
+  obs::Histogram& a = obs::Metrics::histogram("test.hist.mismatch", {1.0, 2.0});
+  obs::Histogram& b = obs::Metrics::histogram("test.hist.mismatch", {1.0, 2.0});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Histogram, ConcurrentObservationsCountExactly) {
+  obs::Histogram& h = obs::Metrics::histogram("test.hist.concurrent", {0.5});
+  h.reset();
+  util::ThreadPool pool(4);
+  util::parallel_for(pool, 0, 1000, [&](std::size_t i) {
+    h.observe(i % 2 == 0 ? 0.25 : 0.75);
+  });
+  EXPECT_EQ(h.total_count(), 1000u);
+  EXPECT_EQ(h.bucket_count(0), 500u);
+  EXPECT_EQ(h.bucket_count(1), 500u);
+}
+
+TEST(Metrics, SnapshotsContainRegisteredNames) {
+  obs::Metrics::counter("test.snapshot.counter").add(5);
+  obs::Metrics::gauge("test.snapshot.gauge").set(9);
+  obs::Metrics::histogram("test.snapshot.hist", {1.0}).observe(0.5);
+
+  const auto counters = obs::Metrics::counters();
+  ASSERT_TRUE(counters.count("test.snapshot.counter"));
+  EXPECT_GE(counters.at("test.snapshot.counter"), 5u);
+
+  const auto gauges = obs::Metrics::gauges();
+  ASSERT_TRUE(gauges.count("test.snapshot.gauge"));
+  EXPECT_EQ(gauges.at("test.snapshot.gauge").value, 9);
+
+  const auto hists = obs::Metrics::histograms();
+  ASSERT_TRUE(hists.count("test.snapshot.hist"));
+  EXPECT_EQ(hists.at("test.snapshot.hist").counts.size(), 2u);
+}
+
+TEST(Metrics, ResetZeroesInPlace) {
+  obs::Counter& c = obs::Metrics::counter("test.reset.counter");
+  c.add(10);
+  obs::Metrics::reset();
+  EXPECT_EQ(c.value(), 0u);  // hoisted reference still valid
+  c.add(1);
+  EXPECT_EQ(c.value(), 1u);
+}
+
+// --- Trace spans ----------------------------------------------------------
+
+const obs::SpanSnapshot* find_span(const std::vector<obs::SpanSnapshot>& spans,
+                                   const std::string& path) {
+  for (const auto& s : spans) {
+    if (s.path == path) return &s;
+  }
+  return nullptr;
+}
+
+TEST(Trace, NestedSpansAggregateUnderJoinedPath) {
+  obs::Trace::reset();
+  {
+    PHONOLID_SPAN("outer");
+    { PHONOLID_SPAN("inner"); }
+    { PHONOLID_SPAN("inner"); }
+  }
+  const auto spans = obs::Trace::snapshot();
+  const auto* outer = find_span(spans, "outer");
+  const auto* inner = find_span(spans, "outer/inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->total.count, 1u);
+  EXPECT_EQ(inner->total.count, 2u);
+  // The outer span covers both inner spans.
+  EXPECT_GE(outer->total.total_s, inner->total.total_s);
+  EXPECT_LE(inner->total.min_s, inner->total.max_s);
+  // Sibling scopes at the same depth do not nest under each other.
+  EXPECT_EQ(find_span(spans, "outer/inner/inner"), nullptr);
+}
+
+TEST(Trace, StopReturnsElapsedAndRecordsOnce) {
+  obs::Trace::reset();
+  obs::Span span("stopped");
+  const double elapsed = span.stop();
+  EXPECT_GE(elapsed, 0.0);
+  {
+    // Destruction after stop() must not double-record; a sibling span after
+    // stop() starts from the restored parent path.
+    PHONOLID_SPAN("sibling");
+  }
+  const auto spans = obs::Trace::snapshot();
+  const auto* stopped = find_span(spans, "stopped");
+  ASSERT_NE(stopped, nullptr);
+  EXPECT_EQ(stopped->total.count, 1u);
+  EXPECT_NEAR(stopped->total.total_s, elapsed, 1e-12);
+  EXPECT_NE(find_span(spans, "sibling"), nullptr);
+  EXPECT_EQ(find_span(spans, "stopped/sibling"), nullptr);
+}
+
+TEST(Trace, MergesSpansAcrossThreads) {
+  obs::Trace::reset();
+  { PHONOLID_SPAN("xthread"); }
+  std::thread worker([] {
+    { PHONOLID_SPAN("xthread"); }
+    { PHONOLID_SPAN("xthread"); }
+  });
+  worker.join();  // retired-thread stats must survive the thread's exit
+  const auto spans = obs::Trace::snapshot();
+  const auto* s = find_span(spans, "xthread");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->total.count, 3u);
+  ASSERT_EQ(s->by_thread.size(), 2u);
+  std::uint64_t by_thread_total = 0;
+  for (const auto& [tid, stats] : s->by_thread) by_thread_total += stats.count;
+  EXPECT_EQ(by_thread_total, 3u);
+}
+
+TEST(Trace, ResetDropsHistory) {
+  { PHONOLID_SPAN("doomed"); }
+  obs::Trace::reset();
+  EXPECT_EQ(find_span(obs::Trace::snapshot(), "doomed"), nullptr);
+}
+
+// --- Thread-pool instrumentation -----------------------------------------
+
+TEST(ThreadPoolMetrics, CountsTasksAndDrainsQueue) {
+  obs::Counter& submitted = obs::Metrics::counter("threadpool.tasks_submitted");
+  obs::Counter& completed = obs::Metrics::counter("threadpool.tasks_completed");
+  obs::Gauge& depth = obs::Metrics::gauge("threadpool.queue_depth");
+  const std::uint64_t sub0 = submitted.value();
+  const std::uint64_t com0 = completed.value();
+
+  util::ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.submit([] {}));
+  }
+  for (auto& f : futures) f.get();
+
+  EXPECT_EQ(submitted.value() - sub0, 20u);
+  EXPECT_EQ(completed.value() - com0, 20u);
+  EXPECT_EQ(depth.value(), 0);  // fully drained
+
+  const auto hists = obs::Metrics::histograms();
+  ASSERT_TRUE(hists.count("threadpool.task_wait_s"));
+  ASSERT_TRUE(hists.count("threadpool.task_run_s"));
+  EXPECT_GE(hists.at("threadpool.task_run_s").count, 20u);
+}
+
+// --- JSON -----------------------------------------------------------------
+
+TEST(Json, DumpParseRoundTrip) {
+  obs::Json doc = obs::Json::object();
+  doc["null"] = obs::Json(nullptr);
+  doc["bool"] = obs::Json(true);
+  doc["int"] = obs::Json(-42);
+  doc["big"] = obs::Json(std::int64_t{1} << 53);
+  doc["double"] = obs::Json(2.5);
+  doc["string"] = obs::Json("he said \"hi\"\n\ttab");
+  obs::Json arr = obs::Json::array();
+  arr.push_back(obs::Json(1));
+  arr.push_back(obs::Json("two"));
+  arr.push_back(obs::Json::object());
+  doc["array"] = std::move(arr);
+
+  const obs::Json parsed = obs::Json::parse(doc.dump_string());
+  ASSERT_TRUE(parsed.is_object());
+  EXPECT_TRUE(parsed.find("null")->is_null());
+  EXPECT_EQ(parsed.find("bool")->as_bool(), true);
+  EXPECT_EQ(parsed.find("int")->as_int(), -42);
+  EXPECT_EQ(parsed.find("big")->as_int(), std::int64_t{1} << 53);
+  EXPECT_DOUBLE_EQ(parsed.find("double")->as_double(), 2.5);
+  EXPECT_EQ(parsed.find("string")->as_string(), "he said \"hi\"\n\ttab");
+  ASSERT_TRUE(parsed.find("array")->is_array());
+  ASSERT_EQ(parsed.find("array")->as_array().size(), 3u);
+  EXPECT_EQ(parsed.find("array")->as_array()[1].as_string(), "two");
+  // Insertion order is preserved.
+  EXPECT_EQ(parsed.as_object().front().first, "null");
+  EXPECT_EQ(parsed.as_object().back().first, "array");
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(obs::Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(obs::Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(obs::Json::parse("{\"a\": 1} trailing"), std::runtime_error);
+  EXPECT_THROW(obs::Json::parse(""), std::runtime_error);
+}
+
+TEST(Json, NonFiniteDoublesSerializeAsNull) {
+  obs::Json doc = obs::Json::object();
+  doc["inf"] = obs::Json(std::numeric_limits<double>::infinity());
+  const obs::Json parsed = obs::Json::parse(doc.dump_string());
+  EXPECT_TRUE(parsed.find("inf")->is_null());
+}
+
+// --- Run reports ----------------------------------------------------------
+
+TEST(Report, BuildContainsSchemaMetaMetricsAndSpans) {
+  obs::Metrics::counter("test.report.counter").add(3);
+  obs::Trace::reset();
+  { PHONOLID_SPAN("report_span"); }
+
+  obs::ReportMeta meta;
+  meta.tool = "test_obs";
+  meta.command = "unit";
+  meta.scale = "quick";
+  meta.seed = 7;
+  meta.threads = 2;
+  obs::Json extra = obs::Json::object();
+  extra["custom"] = obs::Json("section");
+  const obs::Json report = obs::build_report(meta, std::move(extra));
+
+  EXPECT_EQ(report.find("schema_version")->as_int(), obs::kReportSchemaVersion);
+  const std::string& ts = report.find("generated_at")->as_string();
+  EXPECT_EQ(ts.size(), 24u);  // 2026-08-06T12:34:56.789Z
+  EXPECT_EQ(ts.back(), 'Z');
+
+  const obs::Json* m = report.find("meta");
+  EXPECT_EQ(m->find("tool")->as_string(), "test_obs");
+  EXPECT_EQ(m->find("command")->as_string(), "unit");
+  EXPECT_EQ(m->find("seed")->as_int(), 7);
+
+  const obs::Json* counters = report.find("metrics")->find("counters");
+  ASSERT_NE(counters->find("test.report.counter"), nullptr);
+  EXPECT_GE(counters->find("test.report.counter")->as_int(), 3);
+
+  bool saw_span = false;
+  for (const auto& s : report.find("spans")->as_array()) {
+    if (s.find("path")->as_string() == "report_span") {
+      saw_span = true;
+      EXPECT_EQ(s.find("count")->as_int(), 1);
+      EXPECT_GE(s.find("total_s")->as_double(), 0.0);
+      EXPECT_GE(s.find("by_thread")->as_array().size(), 1u);
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_EQ(report.find("custom")->as_string(), "section");
+}
+
+TEST(Report, FileRoundTrip) {
+  obs::ReportMeta meta;
+  meta.tool = "test_obs";
+  const std::string path = testing::TempDir() + "phonolid_test_report.json";
+  obs::write_report_file(path, obs::build_report(meta));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const obs::Json parsed = obs::Json::parse(buf.str());
+  EXPECT_EQ(parsed.find("schema_version")->as_int(),
+            obs::kReportSchemaVersion);
+  EXPECT_EQ(parsed.find("meta")->find("tool")->as_string(), "test_obs");
+  std::remove(path.c_str());
+}
+
+TEST(Report, UnwritablePathThrows) {
+  obs::ReportMeta meta;
+  EXPECT_THROW(
+      obs::write_report_file("/nonexistent-dir/report.json",
+                             obs::build_report(meta)),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace phonolid

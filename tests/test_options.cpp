@@ -78,5 +78,30 @@ TEST(Logging, LevelNames) {
   EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
 }
 
+TEST(Logging, Iso8601Timestamp) {
+  // 2026-08-06T12:34:56.789Z
+  const auto tp = std::chrono::system_clock::time_point(
+      std::chrono::milliseconds(1786019696789LL));
+  EXPECT_EQ(format_log_timestamp(tp), "2026-08-06T12:34:56.789Z");
+  // The epoch itself.
+  EXPECT_EQ(format_log_timestamp(std::chrono::system_clock::time_point{}),
+            "1970-01-01T00:00:00.000Z");
+}
+
+TEST(Logging, PrefixFormat) {
+  const auto tp = std::chrono::system_clock::time_point(
+      std::chrono::milliseconds(1786019696789LL));
+  EXPECT_EQ(format_log_prefix(LogLevel::kInfo, "core", tp, 0),
+            "[2026-08-06T12:34:56.789Z T00 INFO  core]");
+  EXPECT_EQ(format_log_prefix(LogLevel::kError, "decoder", tp, 7),
+            "[2026-08-06T12:34:56.789Z T07 ERROR decoder]");
+}
+
+TEST(Logging, ThreadIdStableWithinThread) {
+  const std::uint32_t a = current_log_thread_id();
+  const std::uint32_t b = current_log_thread_id();
+  EXPECT_EQ(a, b);
+}
+
 }  // namespace
 }  // namespace phonolid::util

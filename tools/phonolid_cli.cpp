@@ -6,7 +6,9 @@
 //   phonolid det     [--v N] [--points N]           DET series (CSV)
 //   phonolid votes                                  vote histogram (Table 1)
 //
-// Global flags: --scale quick|default|full, --seed <uint>.
+// Global flags: --scale quick|default|full, --seed <uint>,
+// --report out.json (run/det/votes: structured JSON run report).
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,9 +34,22 @@ struct Args {
     const auto it = flags.find(key);
     return it == flags.end() ? fallback : it->second;
   }
+  /// Strict integer parse: any junk ("3x", "", "1e3") is a hard error, not a
+  /// silent 0 — a mistyped --v or --seed must not quietly change the run.
   [[nodiscard]] long get_int(const std::string& key, long fallback) const {
     const auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::atol(it->second.c_str());
+    if (it == flags.end()) return fallback;
+    const std::string& text = it->second;
+    long value = 0;
+    const char* begin = text.data();
+    const char* end = begin + text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc() || ptr != end || text.empty()) {
+      std::fprintf(stderr, "error: flag --%s expects an integer, got '%s'\n",
+                   key.c_str(), text.c_str());
+      std::exit(2);
+    }
+    return value;
   }
 };
 
@@ -55,7 +70,21 @@ core::ExperimentConfig config_from(const Args& args) {
       args.get("scale", util::to_string(util::scale_from_env())));
   const auto seed = static_cast<std::uint64_t>(
       args.get_int("seed", static_cast<long>(util::master_seed())));
-  return core::ExperimentConfig::preset(scale, seed);
+  auto cfg = core::ExperimentConfig::preset(scale, seed);
+  cfg.report_path = args.get("report", "");
+  return cfg;
+}
+
+obs::Json tier_metrics_json(const core::EvalResult& result) {
+  static const char* tiers[] = {"30s", "10s", "3s"};
+  obs::Json out = obs::Json::object();
+  for (std::size_t t = 0; t < corpus::kNumTiers; ++t) {
+    obs::Json entry = obs::Json::object();
+    entry["eer"] = obs::Json(result.tier[t].eer);
+    entry["cavg"] = obs::Json(result.tier[t].cavg);
+    out[tiers[t]] = std::move(entry);
+  }
+  return out;
 }
 
 int cmd_corpus(const Args& args) {
@@ -180,6 +209,17 @@ int cmd_run(const Args& args) {
                 100.0 * baseline.tier[t].eer, 100.0 * baseline.tier[t].cavg,
                 100.0 * dba.tier[t].eer, 100.0 * dba.tier[t].cavg);
   }
+
+  if (!cfg.report_path.empty()) {
+    obs::Json results = obs::Json::object();
+    results["baseline"] = tier_metrics_json(baseline);
+    results["dba"] = tier_metrics_json(dba);
+    results["mode"] = obs::Json(mode);
+    results["min_votes"] = obs::Json(v);
+    obs::Json extra = obs::Json::object();
+    extra["results"] = std::move(results);
+    exp->write_report(cfg.report_path, "run", std::move(extra));
+  }
   return 0;
 }
 
@@ -200,6 +240,19 @@ int cmd_det(const Args& args) {
                   util::probit(std::max(p.p_fa, 1e-6)),
                   util::probit(std::max(p.p_miss, 1e-6)));
     }
+  }
+
+  if (!cfg.report_path.empty()) {
+    obs::Json results = obs::Json::object();
+    results["baseline"] = tier_metrics_json(result);
+    obs::Json det = obs::Json::object();
+    for (std::size_t t = 0; t < corpus::kNumTiers; ++t) {
+      det[tiers[t]] = obs::Json(result.det[t].size());
+    }
+    results["det_points"] = std::move(det);
+    obs::Json extra = obs::Json::object();
+    extra["results"] = std::move(results);
+    exp->write_report(cfg.report_path, "det", std::move(extra));
   }
   return 0;
 }
@@ -222,11 +275,31 @@ int cmd_votes(const Args& args) {
     std::printf("  %zu: %zu\n", c, hist[c]);
   }
   std::printf("\nTr_DBA per threshold:\n");
+  obs::Json thresholds = obs::Json::array();
   for (std::size_t v = exp->num_subsystems(); v >= 1; --v) {
     const auto sel = exp->select(v);
     std::printf("  V=%zu: %5zu adopted, label error %.2f%%\n", v,
                 sel.utt_index.size(),
                 100.0 * core::selection_error_rate(sel, exp->test_labels()));
+    obs::Json entry = obs::Json::object();
+    entry["min_votes"] = obs::Json(v);
+    entry["adopted"] = obs::Json(sel.utt_index.size());
+    entry["label_error"] =
+        obs::Json(core::selection_error_rate(sel, exp->test_labels()));
+    thresholds.push_back(std::move(entry));
+  }
+
+  if (!cfg.report_path.empty()) {
+    obs::Json histogram = obs::Json::array();
+    for (std::size_t c = 0; c < hist.size(); ++c) {
+      histogram.push_back(obs::Json(hist[c]));
+    }
+    obs::Json results = obs::Json::object();
+    results["max_votes_histogram"] = std::move(histogram);
+    results["trdba_per_threshold"] = std::move(thresholds);
+    obs::Json extra = obs::Json::object();
+    extra["results"] = std::move(results);
+    exp->write_report(cfg.report_path, "votes", std::move(extra));
   }
   return 0;
 }
@@ -239,18 +312,26 @@ void usage() {
                "  run      baseline vs DBA summary (--v N --mode m1|m2|both)\n"
                "  det      DET curve CSV for the baseline fusion (--points N)\n"
                "  votes    vote histogram and Tr_DBA sizes\n"
-               "global flags: --scale quick|default|full  --seed N\n");
+               "global flags: --scale quick|default|full  --seed N\n"
+               "              --report out.json  (run/det/votes: write a\n"
+               "              structured JSON run report)\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
-  if (args.command == "corpus") return cmd_corpus(args);
-  if (args.command == "decode") return cmd_decode(args);
-  if (args.command == "run") return cmd_run(args);
-  if (args.command == "det") return cmd_det(args);
-  if (args.command == "votes") return cmd_votes(args);
+  try {
+    if (args.command == "corpus") return cmd_corpus(args);
+    if (args.command == "decode") return cmd_decode(args);
+    if (args.command == "run") return cmd_run(args);
+    if (args.command == "det") return cmd_det(args);
+    if (args.command == "votes") return cmd_votes(args);
+  } catch (const std::exception& e) {
+    // E.g. an unwritable --report path; don't lose the run to a terminate().
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   usage();
   return args.command.empty() ? 1 : 2;
 }
