@@ -8,12 +8,17 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "obs/exporters.h"
 #include "obs/trace.h"
 #include "util/options.h"
 
 namespace phonolid::bench {
 
 inline std::unique_ptr<core::Experiment> build_experiment() {
+  // Honors PHONOLID_TRACE before any instrumented work, so the flight
+  // recorder captures the build itself; the matching export happens in
+  // maybe_write_report at bench exit.
+  obs::enable_recorder_from_env();
   const auto scale = util::scale_from_env();
   std::printf("# phonolid bench (scale=%s, seed=%llu)\n",
               util::to_string(scale),
@@ -31,9 +36,12 @@ inline std::unique_ptr<core::Experiment> build_experiment() {
 
 /// When PHONOLID_REPORT=<path> is set, write the structured JSON run report
 /// (same schema as `phonolid run --report`, DESIGN.md "Observability") after
-/// the bench finishes.  Call at the end of every bench main.
+/// the bench finishes; likewise PHONOLID_TRACE (Chrome trace-event JSON)
+/// and PHONOLID_PROM (Prometheus text).  Call at the end of every bench
+/// main.
 inline void maybe_write_report(const core::Experiment& exp,
                                const std::string& bench_name) {
+  obs::export_from_env();
   const char* path = std::getenv("PHONOLID_REPORT");
   if (path == nullptr || *path == '\0') return;
   exp.write_report(path, bench_name);

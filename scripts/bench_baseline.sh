@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regenerate the committed run-report baselines that `phonolid report-diff`
+# gates against (see DESIGN.md "Observability" and scripts/tier1.sh).
+#
+#   scripts/bench_baseline.sh [scale]     # scale: quick|default|full
+#
+# Writes BENCH_<scale>_{run,det,votes}.json at the repo root from the CLI
+# subcommands.  Reports embed wall-clock span timings, so regenerate on the
+# reference machine before committing; the tier-1 gate only checks the
+# deterministic accuracy leaves (EER/Cavg), never timings, exactly so that
+# baselines stay meaningful across machines.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-default}"
+case "$SCALE" in
+  quick|default|full) ;;
+  *) echo "usage: $0 [quick|default|full]" >&2; exit 2 ;;
+esac
+
+PHONOLID="build/tools/phonolid"
+if [[ ! -x "$PHONOLID" ]]; then
+  echo "error: $PHONOLID not built (run: cmake -B build -S . && cmake --build build -j)" >&2
+  exit 1
+fi
+
+for cmd in run det votes; do
+  out="BENCH_${SCALE}_${cmd}.json"
+  echo "=== $cmd --scale $SCALE -> $out"
+  "$PHONOLID" "$cmd" --scale "$SCALE" --report "$out"
+done
+
+echo "baselines written: BENCH_${SCALE}_{run,det,votes}.json"

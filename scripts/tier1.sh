@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification (see ROADMAP.md): full build + test suite, then the
 # concurrency-sensitive tests again under ThreadSanitizer to vet the
-# lock-free obs metrics / trace-span plumbing and the thread pool.
+# lock-free obs metrics / trace-span plumbing and the thread pool, then a
+# quick-scale end-to-end run with the flight recorder on, gated against the
+# committed baseline report via `phonolid report-diff`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,5 +15,20 @@ cmake -B build-tsan -S . -DPHONOLID_SANITIZE=thread
 cmake --build build-tsan -j --target test_obs test_thread_pool
 ./build-tsan/tests/test_obs
 ./build-tsan/tests/test_thread_pool
+
+# End-to-end observability smoke: a traced quick run must produce a loadable
+# Chrome trace, Prometheus text, and a schema-v1 report that (a) diffs clean
+# against itself and (b) keeps the deterministic accuracy leaves (EER/Cavg)
+# within +0.02 of the committed baseline.  Span timings are never gated here
+# (they are machine-dependent); BENCH_*.json track the reference trajectory.
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+PHONOLID_TRACE="$TMP/quick.trace.json" PHONOLID_PROM="$TMP/quick.prom" \
+  ./build/tools/phonolid run --scale quick --report "$TMP/quick.report.json"
+test -s "$TMP/quick.trace.json"
+test -s "$TMP/quick.prom"
+./build/tools/phonolid report-diff "$TMP/quick.report.json" "$TMP/quick.report.json" > /dev/null
+./build/tools/phonolid report-diff BENCH_quick_run.json "$TMP/quick.report.json" \
+  --max-eer-delta 0.02
 
 echo "tier-1 OK"

@@ -96,13 +96,15 @@ VoteResult Experiment::votes_for(const std::vector<SubsystemScores>& blocks,
 
 std::vector<SubsystemScores> Experiment::run_dba_selection(
     const TrdbaSelection& selection, DbaMode mode) const {
-  PHONOLID_SPAN("dba_round");
+  obs::Span span("dba_round");
   const std::size_t k = num_languages();
   std::vector<SubsystemScores> out(subsystems_.size());
   const std::size_t trdba_size =
       selection.utt_index.size() +
       (mode == DbaMode::kM2 ? train_labels_.size() : 0);
-  record_dba_round(selection, mode, trdba_size);
+  const std::size_t round = record_dba_round(selection, mode, trdba_size);
+  span.annotate("round", static_cast<std::int64_t>(round));
+  span.annotate("trdba", static_cast<std::int64_t>(trdba_size));
   if (selection.utt_index.empty() && mode == DbaMode::kM1) {
     // Nothing adopted: fall back to the baseline models' scores (an empty
     // SVM training set is undefined), mirroring a no-op boosting pass.
@@ -174,9 +176,9 @@ EvalResult Experiment::evaluate_single(const SubsystemScores& block) const {
   return evaluate({&block});
 }
 
-void Experiment::record_dba_round(const TrdbaSelection& selection,
-                                  DbaMode mode,
-                                  std::size_t trdba_size) const {
+std::size_t Experiment::record_dba_round(const TrdbaSelection& selection,
+                                         DbaMode mode,
+                                         std::size_t trdba_size) const {
   DbaRoundStats stats;
   stats.mode = mode;
   stats.min_votes = selection.min_votes;
@@ -198,6 +200,10 @@ void Experiment::record_dba_round(const TrdbaSelection& selection,
     last_adopted_.emplace(selection.utt_index[i], selection.label[i]);
   }
   dba_rounds_.push_back(stats);
+  PHONOLID_EVENT("dba_round_recorded", "round",
+                 static_cast<std::int64_t>(stats.round), "adopted",
+                 static_cast<std::int64_t>(stats.utts_adopted));
+  return stats.round;
 }
 
 std::vector<DbaRoundStats> Experiment::dba_rounds() const {

@@ -184,8 +184,9 @@ class Experiment {
  private:
   Experiment() = default;
 
-  void record_dba_round(const TrdbaSelection& selection, DbaMode mode,
-                        std::size_t trdba_size) const;
+  /// Returns the 1-based round index just recorded.
+  std::size_t record_dba_round(const TrdbaSelection& selection, DbaMode mode,
+                               std::size_t trdba_size) const;
 
   ExperimentConfig config_;
   corpus::LreCorpus corpus_;

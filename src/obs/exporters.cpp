@@ -1,0 +1,219 @@
+#include "obs/exporters.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace phonolid::obs {
+
+namespace {
+
+// All events share one process; the constant keeps traces from separate
+// runs mergeable by offsetting pid externally if ever needed.
+constexpr int kTracePid = 1;
+
+Json event_args(const TraceEvent& e) {
+  Json args = Json::object();
+  for (std::size_t i = 0; i < e.num_args; ++i) {
+    args[e.args[i].key] = Json(e.args[i].value);
+  }
+  return args;
+}
+
+Json event_base(const char* phase, std::uint32_t tid, std::uint64_t ts_ns,
+                const char* name) {
+  Json ev = Json::object();
+  ev["ph"] = Json(phase);
+  ev["pid"] = Json(kTracePid);
+  ev["tid"] = Json(tid);
+  ev["ts"] = Json(static_cast<double>(ts_ns) / 1000.0);  // microseconds
+  ev["name"] = Json(name);
+  ev["cat"] = Json("phonolid");
+  return ev;
+}
+
+}  // namespace
+
+Json chrome_trace_json() {
+  Json events = Json::array();
+  for (const ThreadEvents& t : FlightRecorder::snapshot()) {
+    Json meta = Json::object();
+    meta["ph"] = Json("M");
+    meta["pid"] = Json(kTracePid);
+    meta["tid"] = Json(t.tid);
+    meta["name"] = Json("thread_name");
+    Json meta_args = Json::object();
+    meta_args["name"] = Json(t.name);
+    meta["args"] = std::move(meta_args);
+    events.push_back(std::move(meta));
+
+    // Names of spans whose begin is in the window but whose end has not
+    // been seen yet; used to drop orphaned ends (begin lost to ring
+    // wraparound) and to close still-open spans at export time.
+    std::vector<const char*> open;
+    std::uint64_t last_ts = 0;
+    for (const TraceEvent& e : t.events) {
+      last_ts = e.ts_ns;
+      switch (e.phase) {
+        case TraceEvent::Phase::kBegin: {
+          events.push_back(event_base("B", t.tid, e.ts_ns, e.name));
+          open.push_back(e.name);
+          break;
+        }
+        case TraceEvent::Phase::kEnd: {
+          if (open.empty()) break;  // matching begin was overwritten
+          open.pop_back();
+          Json ev = event_base("E", t.tid, e.ts_ns, e.name);
+          if (e.num_args > 0) ev["args"] = event_args(e);
+          events.push_back(std::move(ev));
+          break;
+        }
+        case TraceEvent::Phase::kInstant: {
+          Json ev = event_base("i", t.tid, e.ts_ns, e.name);
+          ev["s"] = Json("t");  // thread-scoped instant
+          if (e.num_args > 0) ev["args"] = event_args(e);
+          events.push_back(std::move(ev));
+          break;
+        }
+        case TraceEvent::Phase::kCounter: {
+          Json ev = event_base("C", t.tid, e.ts_ns, e.name);
+          Json args = Json::object();
+          args["value"] = Json(e.value);
+          ev["args"] = std::move(args);
+          events.push_back(std::move(ev));
+          break;
+        }
+      }
+    }
+    // Close spans still open at export time (e.g. the scope doing the
+    // export), innermost first, so every "B" has a matching "E".
+    while (!open.empty()) {
+      events.push_back(event_base("E", t.tid, last_ts, open.back()));
+      open.pop_back();
+    }
+  }
+  Json doc = Json::object();
+  doc["displayTimeUnit"] = Json("ms");
+  doc["traceEvents"] = std::move(events);
+  return doc;
+}
+
+void write_chrome_trace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_chrome_trace: cannot open '" + path + "'");
+  }
+  chrome_trace_json().dump(out);
+  out << '\n';
+  if (!out.good()) {
+    throw std::runtime_error("write_chrome_trace: write failed for '" + path +
+                             "'");
+  }
+}
+
+namespace {
+
+/// "decoder.lattices" -> "phonolid_decoder_lattices".
+std::string prom_name(const std::string& name) {
+  std::string out = "phonolid_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string prom_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string prometheus_text() {
+  std::ostringstream out;
+  for (const auto& [name, value] : Metrics::counters()) {
+    const std::string n = prom_name(name) + "_total";
+    out << "# TYPE " << n << " counter\n";
+    out << n << ' ' << value << '\n';
+  }
+  for (const auto& [name, g] : Metrics::gauges()) {
+    const std::string n = prom_name(name);
+    out << "# TYPE " << n << " gauge\n";
+    out << n << ' ' << g.value << '\n';
+    out << "# TYPE " << n << "_max gauge\n";
+    out << n << "_max " << g.max << '\n';
+  }
+  for (const auto& [name, h] : Metrics::histograms()) {
+    const std::string n = prom_name(name);
+    out << "# TYPE " << n << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      cumulative += h.counts[i];
+      const std::string le =
+          i < h.edges.size() ? prom_number(h.edges[i]) : "+Inf";
+      out << n << "_bucket{le=\"" << le << "\"} " << cumulative << '\n';
+    }
+    out << n << "_sum " << prom_number(h.sum) << '\n';
+    out << n << "_count " << h.count << '\n';
+  }
+  return out.str();
+}
+
+void write_prometheus(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_prometheus: cannot open '" + path + "'");
+  }
+  out << prometheus_text();
+  if (!out.good()) {
+    throw std::runtime_error("write_prometheus: write failed for '" + path +
+                             "'");
+  }
+}
+
+void enable_recorder_from_env() {
+  const char* path = std::getenv("PHONOLID_TRACE");
+  if (path == nullptr || *path == '\0') return;
+  std::size_t capacity = 0;
+  if (const char* cap = std::getenv("PHONOLID_TRACE_CAPACITY")) {
+    const long long n = std::strtoll(cap, nullptr, 10);
+    if (n > 0) capacity = static_cast<std::size_t>(n);
+  }
+  FlightRecorder::enable(capacity);
+  FlightRecorder::set_thread_name("main");
+}
+
+void export_from_env() noexcept {
+  if (const char* path = std::getenv("PHONOLID_TRACE");
+      path != nullptr && *path != '\0') {
+    try {
+      write_chrome_trace(path);
+      std::fprintf(stderr, "phonolid: wrote Chrome trace to %s\n", path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "phonolid: trace export failed: %s\n", e.what());
+    }
+  }
+  if (const char* path = std::getenv("PHONOLID_PROM");
+      path != nullptr && *path != '\0') {
+    try {
+      write_prometheus(path);
+      std::fprintf(stderr, "phonolid: wrote Prometheus metrics to %s\n", path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "phonolid: prometheus export failed: %s\n",
+                   e.what());
+    }
+  }
+}
+
+}  // namespace phonolid::obs

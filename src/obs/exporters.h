@@ -1,0 +1,59 @@
+// Exporters over the observability registries:
+//
+//   - Chrome trace-event JSON (chrome_trace_json / write_chrome_trace):
+//     renders the flight recorder's event rings as a {"traceEvents": [...]}
+//     document loadable in Perfetto (https://ui.perfetto.dev) and
+//     chrome://tracing.  Spans become matched "B"/"E" pairs per thread,
+//     PHONOLID_EVENT instants become "i" events, PHONOLID_COUNTER_SAMPLE
+//     becomes "C" counter tracks, and thread names are attached via "M"
+//     metadata events.  End events whose begin was lost to ring wraparound
+//     are dropped, and spans still open at export time are closed with a
+//     synthetic end at the thread's last timestamp, so the output always
+//     contains matched pairs with per-thread non-decreasing timestamps.
+//
+//   - Prometheus text format (prometheus_text / write_prometheus):
+//     serializes the obs::Metrics registry.  Names are prefixed with
+//     "phonolid_" and sanitized ('.' -> '_'); counters gain the
+//     conventional "_total" suffix, gauges additionally export their
+//     high-watermark as "<name>_max", histograms emit cumulative
+//     "_bucket{le=...}" series plus "_sum"/"_count".
+//
+// Both are reachable from the CLI (`phonolid export --trace T --prom P`)
+// and, for every entry point that calls the env helpers below, via
+//   PHONOLID_TRACE=out.trace.json   (also enables the flight recorder)
+//   PHONOLID_PROM=out.prom
+//   PHONOLID_TRACE_CAPACITY=N       (per-thread ring capacity, events)
+#pragma once
+
+#include <string>
+
+#include "obs/json.h"
+
+namespace phonolid::obs {
+
+/// The flight recorder's current snapshot as a Chrome trace-event document.
+[[nodiscard]] Json chrome_trace_json();
+
+/// Serialize chrome_trace_json() to `path` (throws std::runtime_error on
+/// I/O failure).
+void write_chrome_trace(const std::string& path);
+
+/// The metrics registry in Prometheus text exposition format.
+[[nodiscard]] std::string prometheus_text();
+
+/// Serialize prometheus_text() to `path` (throws std::runtime_error on
+/// I/O failure).
+void write_prometheus(const std::string& path);
+
+/// When PHONOLID_TRACE is set, enables the flight recorder (honoring
+/// PHONOLID_TRACE_CAPACITY) and names the calling thread "main".  Call
+/// once at entry-point startup, before any instrumented work runs.
+void enable_recorder_from_env();
+
+/// Writes PHONOLID_TRACE / PHONOLID_PROM output files when the respective
+/// env var is set.  Call at entry-point exit; logs the paths written to
+/// stderr.  I/O failures are reported to stderr, not thrown (a broken
+/// export must not fail the run it observed).
+void export_from_env() noexcept;
+
+}  // namespace phonolid::obs

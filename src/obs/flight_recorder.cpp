@@ -1,0 +1,215 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <utility>
+
+namespace phonolid::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::size_t> g_capacity{FlightRecorder::kDefaultCapacity};
+
+/// Nanoseconds since the process-wide recorder epoch (pinned at first use,
+/// which enable() forces before any event can be recorded).
+std::uint64_t now_ns() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+/// Per-thread ring.  Same locking discipline as trace.cpp's ThreadTable:
+/// the owning thread takes its own mutex uncontended on every push; only
+/// snapshot()/reset() ever contend.
+struct ThreadRing {
+  std::mutex mutex;
+  std::vector<TraceEvent> slots;  // allocated on the first event
+  std::uint64_t seq = 0;          // events ever written (wraps the ring)
+  std::string name;
+  std::uint32_t tid = 0;
+
+  ~ThreadRing();
+
+  void push(const TraceEvent& e) {
+    std::lock_guard lock(mutex);
+    if (slots.empty()) {
+      slots.resize(g_capacity.load(std::memory_order_relaxed));
+    }
+    slots[seq % slots.size()] = e;
+    ++seq;
+  }
+
+  /// Retained events oldest-to-newest; requires `mutex` held.
+  [[nodiscard]] std::vector<TraceEvent> drain() const {
+    std::vector<TraceEvent> out;
+    const std::uint64_t cap = slots.size();
+    const std::uint64_t n = std::min<std::uint64_t>(seq, cap);
+    out.reserve(n);
+    for (std::uint64_t i = seq - n; i < seq; ++i) {
+      out.push_back(slots[i % cap]);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t dropped() const {
+    return seq > slots.size() && !slots.empty() ? seq - slots.size() : 0;
+  }
+
+  [[nodiscard]] std::string display_name() const {
+    return name.empty() ? "thread-" + std::to_string(tid) : name;
+  }
+};
+
+struct RecorderRegistry {
+  std::mutex mutex;
+  std::vector<ThreadRing*> live;
+  std::vector<ThreadEvents> retired;  // flushed by exiting threads
+  std::uint32_t next_tid = 0;
+};
+
+RecorderRegistry& registry() {
+  // Leaked on purpose: pool worker threads flush their rings here when they
+  // exit, which can happen during static destruction.
+  static RecorderRegistry* reg = new RecorderRegistry();
+  return *reg;
+}
+
+ThreadRing::~ThreadRing() {
+  RecorderRegistry& reg = registry();
+  std::lock_guard reg_lock(reg.mutex);
+  std::lock_guard lock(mutex);
+  if (seq > 0 || !name.empty()) {
+    ThreadEvents te;
+    te.tid = tid;
+    te.name = display_name();
+    te.dropped = dropped();
+    te.events = drain();
+    reg.retired.push_back(std::move(te));
+  }
+  std::erase(reg.live, this);
+}
+
+ThreadRing& thread_ring() {
+  thread_local ThreadRing r;
+  thread_local bool registered = [] {
+    RecorderRegistry& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    r.tid = reg.next_tid++;
+    reg.live.push_back(&r);
+    return true;
+  }();
+  (void)registered;
+  return r;
+}
+
+void emit(TraceEvent::Phase phase, const char* name, double value,
+          const EventArg* args, std::size_t num_args) noexcept {
+  TraceEvent e;
+  e.phase = phase;
+  e.name = name;
+  e.value = value;
+  e.num_args =
+      static_cast<std::uint8_t>(std::min(num_args, kMaxEventArgs));
+  for (std::size_t i = 0; i < e.num_args; ++i) e.args[i] = args[i];
+  e.ts_ns = now_ns();
+  thread_ring().push(e);
+}
+
+}  // namespace
+
+void FlightRecorder::enable(std::size_t capacity_per_thread) {
+  if (capacity_per_thread > 0) {
+    g_capacity.store(capacity_per_thread, std::memory_order_relaxed);
+  }
+  now_ns();  // pin the epoch before the first event
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void FlightRecorder::disable() noexcept {
+  g_enabled.store(false, std::memory_order_release);
+}
+
+bool FlightRecorder::enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::reset() {
+  RecorderRegistry& reg = registry();
+  std::lock_guard reg_lock(reg.mutex);
+  for (ThreadRing* r : reg.live) {
+    std::lock_guard lock(r->mutex);
+    r->seq = 0;
+  }
+  reg.retired.clear();
+}
+
+void FlightRecorder::set_thread_name(std::string name) {
+  ThreadRing& r = thread_ring();
+  std::lock_guard lock(r.mutex);
+  r.name = std::move(name);
+}
+
+void FlightRecorder::begin(const char* name) noexcept {
+  if (!enabled()) return;
+  emit(TraceEvent::Phase::kBegin, name, 0.0, nullptr, 0);
+}
+
+void FlightRecorder::end(const char* name, const EventArg* args,
+                         std::size_t num_args) noexcept {
+  if (!enabled()) return;
+  emit(TraceEvent::Phase::kEnd, name, 0.0, args, num_args);
+}
+
+void FlightRecorder::instant(const char* name) noexcept {
+  if (!enabled()) return;
+  emit(TraceEvent::Phase::kInstant, name, 0.0, nullptr, 0);
+}
+
+void FlightRecorder::instant(const char* name, const char* k1,
+                             std::int64_t v1) noexcept {
+  if (!enabled()) return;
+  const EventArg args[] = {{k1, v1}};
+  emit(TraceEvent::Phase::kInstant, name, 0.0, args, 1);
+}
+
+void FlightRecorder::instant(const char* name, const char* k1,
+                             std::int64_t v1, const char* k2,
+                             std::int64_t v2) noexcept {
+  if (!enabled()) return;
+  const EventArg args[] = {{k1, v1}, {k2, v2}};
+  emit(TraceEvent::Phase::kInstant, name, 0.0, args, 2);
+}
+
+void FlightRecorder::counter_sample(const char* name, double value) noexcept {
+  if (!enabled()) return;
+  emit(TraceEvent::Phase::kCounter, name, value, nullptr, 0);
+}
+
+std::vector<ThreadEvents> FlightRecorder::snapshot() {
+  RecorderRegistry& reg = registry();
+  std::vector<ThreadEvents> out;
+  std::lock_guard reg_lock(reg.mutex);
+  for (ThreadRing* r : reg.live) {
+    std::lock_guard lock(r->mutex);
+    if (r->seq == 0 && r->name.empty()) continue;
+    ThreadEvents te;
+    te.tid = r->tid;
+    te.name = r->display_name();
+    te.dropped = r->dropped();
+    te.events = r->drain();
+    out.push_back(std::move(te));
+  }
+  for (const ThreadEvents& te : reg.retired) out.push_back(te);
+  std::sort(out.begin(), out.end(),
+            [](const ThreadEvents& a, const ThreadEvents& b) {
+              return a.tid < b.tid;
+            });
+  return out;
+}
+
+}  // namespace phonolid::obs

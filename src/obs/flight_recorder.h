@@ -1,0 +1,111 @@
+// Event-level flight recorder: a bounded per-thread ring buffer of
+// timestamped begin/end/instant/counter events.
+//
+// The aggregate span statistics in obs/trace.h answer "how much time went
+// where"; the flight recorder answers "when, and in what order" — the
+// question behind DBA-round convergence and thread-pool stall debugging.
+// Recording is off by default: every emit site first does one relaxed
+// atomic load and bails, so instrumented hot paths cost nothing in normal
+// runs.  When enabled (PHONOLID_TRACE, `phonolid export`, or
+// FlightRecorder::enable()), each thread appends fixed-size events to a
+// private ring it alone writes; the ring's mutex is only ever contended by
+// snapshot(), so steady-state recording is an uncontended lock plus a
+// struct store.  The ring is bounded: once full it overwrites the oldest
+// events (`dropped` counts them), so a trace of the last N events per
+// thread survives arbitrarily long runs.
+//
+// Sources of events:
+//   - every PHONOLID_SPAN (obs/trace.h) emits kBegin/kEnd around its scope,
+//     so the whole already-instrumented pipeline gets timelines for free;
+//   - PHONOLID_EVENT("name", "key", v, ...) emits an instant;
+//   - PHONOLID_COUNTER_SAMPLE("name", value) emits a counter sample
+//     (rendered as a counter track, e.g. thread-pool queue depth).
+//
+// Exporters (obs/exporters.h) turn a snapshot into Chrome trace-event JSON
+// (Perfetto / chrome://tracing) or serve the metrics registry as
+// Prometheus text.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace phonolid::obs {
+
+/// One optional key/value annotation attached to an event.  Keys must be
+/// string literals (or otherwise outlive the recorder) — events store the
+/// pointer, not a copy.
+struct EventArg {
+  const char* key = nullptr;
+  std::int64_t value = 0;
+};
+
+inline constexpr std::size_t kMaxEventArgs = 2;
+
+/// Fixed-size ring slot.  `name` must outlive the recorder (PHONOLID_SPAN /
+/// PHONOLID_EVENT pass string literals).
+struct TraceEvent {
+  enum class Phase : std::uint8_t { kBegin, kEnd, kInstant, kCounter };
+
+  Phase phase = Phase::kInstant;
+  std::uint8_t num_args = 0;
+  std::uint64_t ts_ns = 0;  // steady-clock time since the recorder epoch
+  const char* name = nullptr;
+  double value = 0.0;  // counter samples only
+  EventArg args[kMaxEventArgs];
+};
+
+/// All retained events of one thread, oldest first.
+struct ThreadEvents {
+  std::uint32_t tid = 0;     // small sequential index (registration order)
+  std::string name;          // set_thread_name(), else "thread-<tid>"
+  std::uint64_t dropped = 0; // events overwritten by ring wraparound
+  std::vector<TraceEvent> events;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 15;  // per thread
+
+  /// Start recording.  `capacity_per_thread` bounds each thread's ring
+  /// (0 = kDefaultCapacity); it applies to rings created after this call —
+  /// existing rings keep their size.  Idempotent.
+  static void enable(std::size_t capacity_per_thread = 0);
+  /// Stop recording.  Retained events survive for snapshot()/export.
+  static void disable() noexcept;
+  [[nodiscard]] static bool enabled() noexcept;
+
+  /// Drop every retained event (live and exited threads); keeps the
+  /// enabled/disabled state and thread names.
+  static void reset();
+
+  /// Name the calling thread in exported traces (e.g. "pool-worker-3").
+  /// Works while disabled, so threads can name themselves at startup.
+  static void set_thread_name(std::string name);
+
+  // Emit sites.  All are no-ops (one relaxed load) while disabled.
+  static void begin(const char* name) noexcept;
+  static void end(const char* name, const EventArg* args = nullptr,
+                  std::size_t num_args = 0) noexcept;
+  static void instant(const char* name) noexcept;
+  static void instant(const char* name, const char* k1,
+                      std::int64_t v1) noexcept;
+  static void instant(const char* name, const char* k1, std::int64_t v1,
+                      const char* k2, std::int64_t v2) noexcept;
+  static void counter_sample(const char* name, double value) noexcept;
+
+  /// Every thread that ever recorded an event (or set a name), sorted by
+  /// tid; events oldest-to-newest.  Safe to call while other threads
+  /// record — each sees a consistent per-thread prefix.
+  [[nodiscard]] static std::vector<ThreadEvents> snapshot();
+};
+
+/// Emits an instant event: PHONOLID_EVENT("checkpoint"),
+/// PHONOLID_EVENT("dba_round", "round", 2, "trdba", 1234).
+#define PHONOLID_EVENT(...) \
+  ::phonolid::obs::FlightRecorder::instant(__VA_ARGS__)
+/// Emits a counter sample rendered as a counter track in trace viewers.
+#define PHONOLID_COUNTER_SAMPLE(name, value) \
+  ::phonolid::obs::FlightRecorder::counter_sample(name, value)
+
+}  // namespace phonolid::obs

@@ -1,0 +1,194 @@
+#include "obs/report_diff.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace phonolid::obs {
+
+namespace {
+
+std::map<std::string, double> span_means(const Json& report) {
+  std::map<std::string, double> out;
+  const Json* spans = report.find("spans");
+  if (spans == nullptr || !spans->is_array()) return out;
+  for (const Json& s : spans->as_array()) {
+    const Json* path = s.find("path");
+    const Json* mean = s.find("mean_s");
+    if (path != nullptr && path->is_string() && mean != nullptr &&
+        mean->is_number()) {
+      out[path->as_string()] = mean->as_double();
+    }
+  }
+  return out;
+}
+
+std::map<std::string, double> counter_values(const Json& report) {
+  std::map<std::string, double> out;
+  const Json* metrics = report.find("metrics");
+  const Json* counters =
+      metrics == nullptr ? nullptr : metrics->find("counters");
+  if (counters == nullptr || !counters->is_object()) return out;
+  for (const auto& [name, v] : counters->as_object()) {
+    if (v.is_number()) out[name] = v.as_double();
+  }
+  return out;
+}
+
+/// Flatten every numeric leaf under "results" into "results/a/b"-style keys
+/// (array elements indexed numerically), so reports from any command
+/// compare structurally.
+void collect_numeric_leaves(const Json& node, const std::string& prefix,
+                            std::map<std::string, double>& out) {
+  if (node.is_object()) {
+    for (const auto& [key, value] : node.as_object()) {
+      collect_numeric_leaves(value, prefix + "/" + key, out);
+    }
+  } else if (node.is_array()) {
+    const auto& arr = node.as_array();
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      collect_numeric_leaves(arr[i], prefix + "/" + std::to_string(i), out);
+    }
+  } else if (node.is_number()) {
+    out[prefix] = node.as_double();
+  }
+}
+
+std::map<std::string, double> result_leaves(const Json& report) {
+  std::map<std::string, double> out;
+  const Json* results = report.find("results");
+  if (results != nullptr) collect_numeric_leaves(*results, "results", out);
+  return out;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Walk two keyed maps in lockstep: common keys produce rows via `on_both`,
+/// one-sided keys produce notes.
+template <typename OnBoth>
+void compare_maps(const std::map<std::string, double>& base,
+                  const std::map<std::string, double>& cur,
+                  const std::string& kind, ReportDiffResult& result,
+                  OnBoth on_both) {
+  for (const auto& [key, b] : base) {
+    const auto it = cur.find(key);
+    if (it == cur.end()) {
+      result.notes.push_back(kind + " only in baseline: " + key);
+    } else {
+      on_both(key, b, it->second);
+    }
+  }
+  for (const auto& [key, c] : cur) {
+    (void)c;
+    if (base.find(key) == base.end()) {
+      result.notes.push_back(kind + " only in current: " + key);
+    }
+  }
+}
+
+}  // namespace
+
+ReportDiffResult diff_reports(const Json& baseline, const Json& current,
+                              const ReportDiffOptions& options) {
+  ReportDiffResult result;
+
+  const Json* bs = baseline.find("schema_version");
+  const Json* cs = current.find("schema_version");
+  const std::int64_t bv = bs != nullptr && bs->is_int() ? bs->as_int() : -1;
+  const std::int64_t cv = cs != nullptr && cs->is_int() ? cs->as_int() : -1;
+  if (bv != cv || bv < 0) {
+    result.notes.push_back("schema_version mismatch (baseline " +
+                           std::to_string(bv) + ", current " +
+                           std::to_string(cv) + ")");
+    result.violated = true;
+  }
+
+  compare_maps(span_means(baseline), span_means(current), "span", result,
+               [&](const std::string& path, double b, double c) {
+                 ReportDiffRow row;
+                 row.kind = "span";
+                 row.key = path;
+                 row.base = b;
+                 row.cur = c;
+                 row.gated = options.max_regress_pct >= 0.0 &&
+                             b >= options.min_span_s && b > 0.0;
+                 if (row.gated) {
+                   const double pct = 100.0 * (c - b) / b;
+                   row.violation = pct > options.max_regress_pct;
+                 }
+                 result.rows.push_back(std::move(row));
+               });
+
+  compare_maps(counter_values(baseline), counter_values(current), "counter",
+               result, [&](const std::string& name, double b, double c) {
+                 ReportDiffRow row;
+                 row.kind = "counter";
+                 row.key = name;
+                 row.base = b;
+                 row.cur = c;
+                 result.rows.push_back(std::move(row));
+               });
+
+  compare_maps(result_leaves(baseline), result_leaves(current), "result",
+               result, [&](const std::string& key, double b, double c) {
+                 ReportDiffRow row;
+                 row.kind = "result";
+                 row.key = key;
+                 row.base = b;
+                 row.cur = c;
+                 row.gated = options.max_eer_delta >= 0.0 &&
+                             (ends_with(key, "/eer") || ends_with(key, "/cavg"));
+                 if (row.gated) {
+                   row.violation = (c - b) > options.max_eer_delta;
+                 }
+                 result.rows.push_back(std::move(row));
+               });
+
+  for (const ReportDiffRow& row : result.rows) {
+    if (row.violation) result.violated = true;
+  }
+  return result;
+}
+
+std::string ReportDiffResult::format() const {
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-8s %-48s %14s %14s %12s\n", "kind",
+                "key", "baseline", "current", "delta");
+  out << line;
+  std::size_t hidden = 0;
+  for (const ReportDiffRow& row : rows) {
+    // Unchanged counters are the bulk of a same-machine diff; elide them.
+    if (row.kind == "counter" && row.base == row.cur && !row.violation) {
+      ++hidden;
+      continue;
+    }
+    const double delta = row.cur - row.base;
+    char delta_text[48];
+    if (row.kind == "span" && row.base > 0.0) {
+      std::snprintf(delta_text, sizeof(delta_text), "%+.1f%%",
+                    100.0 * delta / row.base);
+    } else {
+      std::snprintf(delta_text, sizeof(delta_text), "%+.6g", delta);
+    }
+    std::snprintf(line, sizeof(line), "%-8s %-48s %14.6g %14.6g %12s%s%s\n",
+                  row.kind.c_str(), row.key.c_str(), row.base, row.cur,
+                  delta_text, row.gated ? "  [gated]" : "",
+                  row.violation ? "  VIOLATION" : "");
+    out << line;
+  }
+  if (hidden > 0) {
+    out << "(" << hidden << " unchanged counters elided)\n";
+  }
+  for (const std::string& note : notes) {
+    out << "note: " << note << '\n';
+  }
+  out << (violated ? "report-diff: FAIL (threshold violated)\n"
+                   : "report-diff: OK\n");
+  return out.str();
+}
+
+}  // namespace phonolid::obs

@@ -1,0 +1,71 @@
+// Structural comparison of two schema-v1 run reports (obs/report.h).
+//
+// Turns the committed BENCH_*.json trajectory into an enforced regression
+// signal: `phonolid report-diff baseline.json current.json` prints a delta
+// table over span means, counters, and the results section (EER/Cavg), and
+// the caller exits nonzero when a configured threshold is violated.
+//
+// Gating semantics:
+//   - span means gate on relative regression: a span whose baseline mean is
+//     at least `min_span_s` and whose current mean grew by more than
+//     `max_regress_pct` percent is a violation (negative deltas — speedups —
+//     never violate).  Spans below `min_span_s` are reported but not gated;
+//     sub-10ms means are timer noise, not signal.
+//   - numeric leaves under "results" named "eer" or "cavg" gate on absolute
+//     regression: current - baseline > max_eer_delta is a violation
+//     (improvements never violate).  Values are fractions, so 0.02 = 2
+//     percentage points.
+//   - counters are compared and reported when they differ but never gate:
+//     they are deterministic diagnostics (e.g. thread counts legitimately
+//     change threadpool.* volume across machines).
+//   - a schema_version mismatch between the two documents is itself a
+//     violation (the comparison would be meaningless).
+//   - sections/keys present on only one side are reported as notes, never
+//     violations, so reports from different commands stay comparable.
+//
+// Thresholds set to a negative value (the default) disable that gate, so a
+// bare `report-diff a.json b.json` is a pure inspection tool that always
+// exits 0.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace phonolid::obs {
+
+struct ReportDiffOptions {
+  /// Max allowed span-mean growth in percent; negative = don't gate timing.
+  double max_regress_pct = -1.0;
+  /// Max allowed absolute EER/Cavg increase; negative = don't gate accuracy.
+  double max_eer_delta = -1.0;
+  /// Spans with a baseline mean below this (seconds) are never gated.
+  double min_span_s = 0.01;
+};
+
+struct ReportDiffRow {
+  std::string kind;  // "span" | "counter" | "result"
+  std::string key;   // span path, counter name, or results/...-style path
+  double base = 0.0;
+  double cur = 0.0;
+  bool gated = false;      // a threshold was applied to this row
+  bool violation = false;  // ... and it fired
+};
+
+struct ReportDiffResult {
+  std::vector<ReportDiffRow> rows;
+  std::vector<std::string> notes;  // added/removed keys, schema issues
+  bool violated = false;
+
+  /// Human-readable delta table (rows that changed, notes, verdict line).
+  [[nodiscard]] std::string format() const;
+};
+
+/// Compare two parsed schema-v1 reports.  Never throws on missing
+/// sections — absent pieces become notes.
+[[nodiscard]] ReportDiffResult diff_reports(const Json& baseline,
+                                            const Json& current,
+                                            const ReportDiffOptions& options = {});
+
+}  // namespace phonolid::obs

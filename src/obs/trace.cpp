@@ -60,11 +60,12 @@ ThreadTable& thread_table() {
 
 }  // namespace
 
-Span::Span(const char* name) noexcept {
+Span::Span(const char* name) noexcept : name_(name) {
   ThreadTable& t = thread_table();
   parent_len_ = t.path.size();
   if (!t.path.empty()) t.path.push_back('/');
   t.path.append(name);
+  FlightRecorder::begin(name);
   start_ = std::chrono::steady_clock::now();
 }
 
@@ -74,6 +75,7 @@ double Span::stop() noexcept {
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
+  FlightRecorder::end(name_, args_, num_args_);
   ThreadTable& t = thread_table();
   {
     std::lock_guard lock(t.mutex);
@@ -81,6 +83,13 @@ double Span::stop() noexcept {
   }
   t.path.resize(parent_len_);
   return seconds;
+}
+
+void Span::annotate(const char* key, std::int64_t value) noexcept {
+  if (num_args_ < kMaxEventArgs) {
+    args_[num_args_] = EventArg{key, value};
+    ++num_args_;
+  }
 }
 
 Span::~Span() { stop(); }

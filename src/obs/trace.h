@@ -11,6 +11,10 @@
 // Each thread owns a private aggregation table (path -> count/total/min/max),
 // so entering and leaving a span never contends with other threads; tables
 // are merged when Trace::snapshot() is called and when a thread exits.
+//
+// When the flight recorder (obs/flight_recorder.h) is enabled, every span
+// additionally emits a begin/end event pair, so Perfetto timelines come for
+// free from the same instrumentation points.
 #pragma once
 
 #include <chrono>
@@ -19,6 +23,8 @@
 #include <map>
 #include <string>
 #include <vector>
+
+#include "obs/flight_recorder.h"
 
 namespace phonolid::obs {
 
@@ -63,8 +69,17 @@ class Span {
   /// seconds.  Subsequent destruction is a no-op.
   double stop() noexcept;
 
+  /// Attach a key/value to this span's end event in the flight recorder
+  /// (shown as "args" in Perfetto; e.g. the DBA round index or |Tr_DBA|).
+  /// At most kMaxEventArgs annotations; extras are silently dropped.  Has
+  /// no effect on the aggregated statistics.
+  void annotate(const char* key, std::int64_t value) noexcept;
+
  private:
   std::chrono::steady_clock::time_point start_;
+  const char* name_ = nullptr;
+  EventArg args_[kMaxEventArgs];
+  std::uint8_t num_args_ = 0;
   std::size_t parent_len_ = 0;  // path length to restore on exit
   bool stopped_ = false;
 };

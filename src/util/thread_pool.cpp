@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <exception>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace phonolid::util {
@@ -42,7 +43,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -64,13 +65,17 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
     tasks_.push({std::move(pt), std::chrono::steady_clock::now()});
   }
   metrics.submitted.add();
-  metrics.queue_depth.add(1);
+  const std::int64_t depth = metrics.queue_depth.add(1);
+  PHONOLID_COUNTER_SAMPLE("threadpool.queue_depth",
+                          static_cast<double>(depth));
   cv_.notify_one();
   return fut;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
   using clock = std::chrono::steady_clock;
+  obs::FlightRecorder::set_thread_name("pool-worker-" +
+                                       std::to_string(worker_index));
   PoolMetrics& metrics = pool_metrics();
   for (;;) {
     QueuedTask item;
@@ -81,7 +86,9 @@ void ThreadPool::worker_loop() {
       item = std::move(tasks_.front());
       tasks_.pop();
     }
-    metrics.queue_depth.add(-1);
+    const std::int64_t depth = metrics.queue_depth.add(-1);
+    PHONOLID_COUNTER_SAMPLE("threadpool.queue_depth",
+                            static_cast<double>(depth));
     const auto start = clock::now();
     metrics.wait_s.observe(
         std::chrono::duration<double>(start - item.enqueued).count());

@@ -47,7 +47,7 @@ class ThreadPool {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
   std::queue<QueuedTask> tasks_;

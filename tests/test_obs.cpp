@@ -4,15 +4,19 @@
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/exporters.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/report_diff.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
 
@@ -107,6 +111,25 @@ TEST(Histogram, EdgeMismatchThrows) {
   obs::Histogram& a = obs::Metrics::histogram("test.hist.mismatch", {1.0, 2.0});
   obs::Histogram& b = obs::Metrics::histogram("test.hist.mismatch", {1.0, 2.0});
   EXPECT_EQ(&a, &b);
+}
+
+TEST(Histogram, ConcurrentObserveStressLosesNothing) {
+  // Heavier stress than the pool variant: 8 raw threads x 10k observations
+  // of exactly 1.0, so both the count and the sum must be bit-exact.
+  obs::Histogram& h = obs::Metrics::histogram("test.hist.stress", {0.5, 2.0});
+  h.reset();
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (std::size_t i = 0; i < kPerThread; ++i) h.observe(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.total_count(), kThreads * kPerThread);
+  EXPECT_EQ(h.bucket_count(1), kThreads * kPerThread);  // 0.5 < 1.0 <= 2.0
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kThreads * kPerThread));
 }
 
 TEST(Histogram, ConcurrentObservationsCountExactly) {
@@ -361,6 +384,416 @@ TEST(Report, UnwritablePathThrows) {
       obs::write_report_file("/nonexistent-dir/report.json",
                              obs::build_report(meta)),
       std::runtime_error);
+}
+
+// --- Flight recorder ------------------------------------------------------
+
+/// Leaves the recorder disabled, empty, and at default capacity regardless
+/// of what the test did (capacity is sticky per-process otherwise).
+struct RecorderGuard {
+  RecorderGuard() { obs::FlightRecorder::reset(); }
+  ~RecorderGuard() {
+    obs::FlightRecorder::disable();
+    obs::FlightRecorder::enable(obs::FlightRecorder::kDefaultCapacity);
+    obs::FlightRecorder::disable();
+    obs::FlightRecorder::reset();
+  }
+};
+
+const obs::ThreadEvents* find_thread_with_event(
+    const std::vector<obs::ThreadEvents>& threads, const std::string& name) {
+  for (const auto& t : threads) {
+    for (const auto& e : t.events) {
+      if (e.name != nullptr && name == e.name) return &t;
+    }
+  }
+  return nullptr;
+}
+
+TEST(FlightRecorder, DisabledEmitsNothing) {
+  RecorderGuard guard;
+  ASSERT_FALSE(obs::FlightRecorder::enabled());
+  obs::FlightRecorder::begin("fr_disabled");
+  obs::FlightRecorder::end("fr_disabled");
+  PHONOLID_EVENT("fr_disabled_evt", "k", 1);
+  PHONOLID_COUNTER_SAMPLE("fr_disabled_ctr", 2.0);
+  const auto snap = obs::FlightRecorder::snapshot();
+  EXPECT_EQ(find_thread_with_event(snap, "fr_disabled"), nullptr);
+  EXPECT_EQ(find_thread_with_event(snap, "fr_disabled_evt"), nullptr);
+  EXPECT_EQ(find_thread_with_event(snap, "fr_disabled_ctr"), nullptr);
+}
+
+TEST(FlightRecorder, SpansEmitMatchedBeginEndInOrder) {
+  RecorderGuard guard;
+  obs::FlightRecorder::enable();
+  {
+    PHONOLID_SPAN("fr_outer");
+    { PHONOLID_SPAN("fr_inner"); }
+  }
+  obs::FlightRecorder::disable();
+  const auto snap = obs::FlightRecorder::snapshot();
+  const auto* t = find_thread_with_event(snap, "fr_outer");
+  ASSERT_NE(t, nullptr);
+
+  // Project out just this test's events (the ring may hold unrelated ones).
+  std::vector<const obs::TraceEvent*> mine;
+  for (const auto& e : t->events) {
+    if (std::string(e.name) == "fr_outer" || std::string(e.name) == "fr_inner")
+      mine.push_back(&e);
+  }
+  ASSERT_EQ(mine.size(), 4u);
+  EXPECT_EQ(mine[0]->phase, obs::TraceEvent::Phase::kBegin);
+  EXPECT_STREQ(mine[0]->name, "fr_outer");
+  EXPECT_EQ(mine[1]->phase, obs::TraceEvent::Phase::kBegin);
+  EXPECT_STREQ(mine[1]->name, "fr_inner");
+  EXPECT_EQ(mine[2]->phase, obs::TraceEvent::Phase::kEnd);
+  EXPECT_STREQ(mine[2]->name, "fr_inner");
+  EXPECT_EQ(mine[3]->phase, obs::TraceEvent::Phase::kEnd);
+  EXPECT_STREQ(mine[3]->name, "fr_outer");
+  for (std::size_t i = 1; i < mine.size(); ++i) {
+    EXPECT_GE(mine[i]->ts_ns, mine[i - 1]->ts_ns);
+  }
+}
+
+TEST(FlightRecorder, SpanAnnotateAttachesArgsToEndEvent) {
+  RecorderGuard guard;
+  obs::FlightRecorder::enable();
+  {
+    obs::Span span("fr_annotated");
+    span.annotate("round", 7);
+    span.annotate("trdba", 1234);
+  }
+  obs::FlightRecorder::disable();
+  const auto snap = obs::FlightRecorder::snapshot();
+  const auto* t = find_thread_with_event(snap, "fr_annotated");
+  ASSERT_NE(t, nullptr);
+  bool saw_end = false;
+  for (const auto& e : t->events) {
+    if (std::string(e.name) != "fr_annotated" ||
+        e.phase != obs::TraceEvent::Phase::kEnd)
+      continue;
+    saw_end = true;
+    ASSERT_EQ(e.num_args, 2u);
+    EXPECT_STREQ(e.args[0].key, "round");
+    EXPECT_EQ(e.args[0].value, 7);
+    EXPECT_STREQ(e.args[1].key, "trdba");
+    EXPECT_EQ(e.args[1].value, 1234);
+  }
+  EXPECT_TRUE(saw_end);
+}
+
+TEST(FlightRecorder, WraparoundKeepsNewestAndCountsDropped) {
+  RecorderGuard guard;
+  obs::FlightRecorder::enable(8);  // applies to rings created from now on
+  std::thread worker([] {
+    for (std::int64_t i = 0; i < 20; ++i) {
+      PHONOLID_EVENT("fr_wrap", "i", i);
+    }
+  });
+  worker.join();
+  obs::FlightRecorder::disable();
+  const auto snap = obs::FlightRecorder::snapshot();
+  const auto* t = find_thread_with_event(snap, "fr_wrap");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->events.size(), 8u);  // ring is full, not grown
+  EXPECT_EQ(t->dropped, 12u);
+  // Oldest events were overwritten; the newest 8 survive in order.
+  for (std::size_t i = 0; i < t->events.size(); ++i) {
+    ASSERT_EQ(t->events[i].num_args, 1u);
+    EXPECT_EQ(t->events[i].args[0].value,
+              static_cast<std::int64_t>(12 + i));
+  }
+}
+
+TEST(FlightRecorder, CrossThreadEventsKeepPerThreadIdentityAndOrder) {
+  RecorderGuard guard;
+  obs::FlightRecorder::enable();
+  auto work = [](const char* name) {
+    obs::FlightRecorder::set_thread_name(name);
+    for (int i = 0; i < 50; ++i) PHONOLID_EVENT("fr_xthread");
+  };
+  std::thread a(work, "worker-a");
+  std::thread b(work, "worker-b");
+  a.join();
+  b.join();
+  obs::FlightRecorder::disable();
+
+  const auto snap = obs::FlightRecorder::snapshot();
+  std::size_t named = 0;
+  std::uint32_t last_tid = 0;
+  bool first = true;
+  for (const auto& t : snap) {
+    if (!first) EXPECT_GT(t.tid, last_tid);  // sorted, unique tids
+    last_tid = t.tid;
+    first = false;
+    if (t.name == "worker-a" || t.name == "worker-b") {
+      ++named;
+      EXPECT_EQ(t.events.size(), 50u);
+      for (std::size_t i = 1; i < t.events.size(); ++i) {
+        EXPECT_GE(t.events[i].ts_ns, t.events[i - 1].ts_ns);
+      }
+    }
+  }
+  EXPECT_EQ(named, 2u);
+}
+
+// --- Chrome trace export --------------------------------------------------
+
+/// Asserts the acceptance-criteria invariants on a parsed trace document:
+/// every "B" has a matching "E" (per thread, properly nested) and per-thread
+/// timestamps are monotonically non-decreasing.
+void check_trace_invariants(const obs::Json& doc) {
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("displayTimeUnit")->as_string(), "ms");
+  const obs::Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  std::map<std::int64_t, std::vector<std::string>> stacks;
+  std::map<std::int64_t, double> last_ts;
+  for (const obs::Json& e : events->as_array()) {
+    const std::string ph = e.find("ph")->as_string();
+    const std::int64_t tid = e.find("tid")->as_int();
+    if (ph == "M") continue;  // metadata carries no timestamp ordering
+    const double ts = e.find("ts")->as_double();
+    const auto it = last_ts.find(tid);
+    if (it != last_ts.end()) EXPECT_GE(ts, it->second);
+    last_ts[tid] = ts;
+    if (ph == "B") {
+      stacks[tid].push_back(e.find("name")->as_string());
+    } else if (ph == "E") {
+      ASSERT_FALSE(stacks[tid].empty()) << "unmatched E on tid " << tid;
+      EXPECT_EQ(stacks[tid].back(), e.find("name")->as_string());
+      stacks[tid].pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : stacks) {
+    EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+  }
+}
+
+TEST(ChromeTrace, ExportedFileIsValidAndMatched) {
+  RecorderGuard guard;
+  obs::FlightRecorder::enable();
+  obs::FlightRecorder::set_thread_name("test-main");
+  {
+    PHONOLID_SPAN("ct_outer");
+    { PHONOLID_SPAN("ct_inner"); }
+    PHONOLID_EVENT("ct_instant", "round", 3, "trdba", 99);
+    PHONOLID_COUNTER_SAMPLE("ct_depth", 5.0);
+  }
+  std::thread worker([] {
+    obs::FlightRecorder::set_thread_name("ct-worker");
+    PHONOLID_SPAN("ct_worker_span");
+  });
+  worker.join();
+  obs::FlightRecorder::disable();
+
+  const std::string path = testing::TempDir() + "phonolid_test_trace.json";
+  obs::write_chrome_trace(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::remove(path.c_str());
+  const obs::Json doc = obs::Json::parse(buf.str());
+  check_trace_invariants(doc);
+
+  bool saw_main_name = false, saw_worker_name = false, saw_instant = false,
+       saw_counter = false;
+  for (const obs::Json& e : doc.find("traceEvents")->as_array()) {
+    const std::string ph = e.find("ph")->as_string();
+    const std::string name = e.find("name")->as_string();
+    if (ph == "M" && name == "thread_name") {
+      const std::string& tn = e.find("args")->find("name")->as_string();
+      saw_main_name |= tn == "test-main";
+      saw_worker_name |= tn == "ct-worker";
+    }
+    if (ph == "i" && name == "ct_instant") {
+      saw_instant = true;
+      EXPECT_EQ(e.find("s")->as_string(), "t");
+      EXPECT_EQ(e.find("args")->find("round")->as_int(), 3);
+      EXPECT_EQ(e.find("args")->find("trdba")->as_int(), 99);
+    }
+    if (ph == "C" && name == "ct_depth") {
+      saw_counter = true;
+      EXPECT_DOUBLE_EQ(e.find("args")->find("value")->as_double(), 5.0);
+    }
+  }
+  EXPECT_TRUE(saw_main_name);
+  EXPECT_TRUE(saw_worker_name);
+  EXPECT_TRUE(saw_instant);
+  EXPECT_TRUE(saw_counter);
+}
+
+TEST(ChromeTrace, WraparoundOrphansAndOpenSpansStayMatched) {
+  RecorderGuard guard;
+  obs::FlightRecorder::enable(4);
+  std::thread worker([] {
+    // Begins fall off the ring (4 slots), leaving orphaned ends...
+    obs::FlightRecorder::begin("ct_lost_a");
+    obs::FlightRecorder::begin("ct_lost_b");
+    for (int i = 0; i < 6; ++i) PHONOLID_EVENT("ct_filler");
+    obs::FlightRecorder::end("ct_lost_b");
+    obs::FlightRecorder::end("ct_lost_a");
+    // ...and this span is still open when the thread exits.
+    obs::FlightRecorder::begin("ct_left_open");
+  });
+  worker.join();
+  obs::FlightRecorder::disable();
+  // The exporter must drop the orphaned E's and synthesize a close for the
+  // open B — the result still satisfies the matched-pairs invariant.
+  check_trace_invariants(obs::chrome_trace_json());
+}
+
+// --- Prometheus export ----------------------------------------------------
+
+TEST(Prometheus, TextFormatExposesAllMetricKinds) {
+  obs::Metrics::counter("test.prom.counter").add(7);
+  obs::Gauge& g = obs::Metrics::gauge("test.prom.gauge");
+  g.reset();
+  g.set(3);
+  g.set(1);
+  obs::Histogram& h = obs::Metrics::histogram("test.prom.hist", {1.0, 2.0});
+  h.reset();
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(2.5);
+
+  const std::string text = obs::prometheus_text();
+  // Counter: dots sanitized, _total suffix, TYPE line.
+  EXPECT_NE(text.find("# TYPE phonolid_test_prom_counter_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("phonolid_test_prom_counter_total 7\n"),
+            std::string::npos);
+  // Gauge: value plus high-watermark companion series.
+  EXPECT_NE(text.find("# TYPE phonolid_test_prom_gauge gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("phonolid_test_prom_gauge 1\n"), std::string::npos);
+  EXPECT_NE(text.find("phonolid_test_prom_gauge_max 3\n"), std::string::npos);
+  // Histogram: cumulative buckets ending in +Inf, then _sum and _count.
+  EXPECT_NE(text.find("# TYPE phonolid_test_prom_hist histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("phonolid_test_prom_hist_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("phonolid_test_prom_hist_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("phonolid_test_prom_hist_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("phonolid_test_prom_hist_sum 4.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("phonolid_test_prom_hist_count 3\n"),
+            std::string::npos);
+}
+
+// --- report-diff ----------------------------------------------------------
+
+/// Minimal schema-v1 run report with one slow span, one sub-threshold span,
+/// one counter, and one EER leaf.
+obs::Json mini_report(double build_s, double tiny_s, double eer,
+                      long long lattices) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"schema_version\": 1,"
+      " \"spans\": [{\"path\": \"experiment_build\", \"mean_s\": %.17g},"
+      "             {\"path\": \"tiny\", \"mean_s\": %.17g}],"
+      " \"metrics\": {\"counters\": {\"decoder.lattices\": %lld}},"
+      " \"results\": {\"dba\": {\"30s\": {\"eer\": %.17g}}}}",
+      build_s, tiny_s, lattices, eer);
+  return obs::Json::parse(buf);
+}
+
+obs::ReportDiffOptions gated_options() {
+  obs::ReportDiffOptions opt;
+  opt.max_regress_pct = 20.0;
+  opt.max_eer_delta = 0.02;
+  return opt;
+}
+
+TEST(ReportDiff, IdenticalReportsPass) {
+  const obs::Json r = mini_report(10.0, 0.001, 0.15, 2376);
+  const auto result = obs::diff_reports(r, r, gated_options());
+  EXPECT_FALSE(result.violated);
+  EXPECT_FALSE(result.rows.empty());
+  EXPECT_NE(result.format().find("report-diff: OK"), std::string::npos);
+}
+
+TEST(ReportDiff, SpanRegressionBeyondThresholdViolates) {
+  const obs::Json base = mini_report(10.0, 0.001, 0.15, 2376);
+  const obs::Json slow = mini_report(13.0, 0.001, 0.15, 2376);  // +30%
+  const auto result = obs::diff_reports(base, slow, gated_options());
+  EXPECT_TRUE(result.violated);
+  EXPECT_NE(result.format().find("VIOLATION"), std::string::npos);
+  // +10% stays inside the 20% budget.
+  const obs::Json ok = mini_report(11.0, 0.001, 0.15, 2376);
+  EXPECT_FALSE(obs::diff_reports(base, ok, gated_options()).violated);
+  // A speedup is never a violation, however large.
+  const obs::Json fast = mini_report(1.0, 0.001, 0.15, 2376);
+  EXPECT_FALSE(obs::diff_reports(base, fast, gated_options()).violated);
+}
+
+TEST(ReportDiff, SubMinimumSpansAreNotGated) {
+  // "tiny" regresses 100x but its baseline mean is below min_span_s: noise,
+  // not signal.
+  const obs::Json base = mini_report(10.0, 0.001, 0.15, 2376);
+  const obs::Json cur = mini_report(10.0, 0.1, 0.15, 2376);
+  EXPECT_FALSE(obs::diff_reports(base, cur, gated_options()).violated);
+}
+
+TEST(ReportDiff, EerDeltaGatesAbsolutely) {
+  const obs::Json base = mini_report(10.0, 0.001, 0.15, 2376);
+  const obs::Json worse = mini_report(10.0, 0.001, 0.18, 2376);
+  EXPECT_TRUE(obs::diff_reports(base, worse, gated_options()).violated);
+  const obs::Json slightly = mini_report(10.0, 0.001, 0.16, 2376);
+  EXPECT_FALSE(obs::diff_reports(base, slightly, gated_options()).violated);
+  const obs::Json better = mini_report(10.0, 0.001, 0.05, 2376);
+  EXPECT_FALSE(obs::diff_reports(base, better, gated_options()).violated);
+}
+
+TEST(ReportDiff, CountersReportButNeverGate) {
+  const obs::Json base = mini_report(10.0, 0.001, 0.15, 1000);
+  const obs::Json cur = mini_report(10.0, 0.001, 0.15, 9999);
+  const auto result = obs::diff_reports(base, cur, gated_options());
+  EXPECT_FALSE(result.violated);
+  bool saw_counter = false;
+  for (const auto& row : result.rows) {
+    if (row.kind == "counter") {
+      saw_counter = true;
+      EXPECT_FALSE(row.gated);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+}
+
+TEST(ReportDiff, ThresholdsDefaultOff) {
+  // Default options (negative thresholds) report deltas without gating.
+  const obs::Json base = mini_report(10.0, 0.001, 0.15, 2376);
+  const obs::Json worse = mini_report(30.0, 0.001, 0.40, 2376);
+  const auto result = obs::diff_reports(base, worse, obs::ReportDiffOptions{});
+  EXPECT_FALSE(result.violated);
+}
+
+TEST(ReportDiff, OneSidedKeysAreNotesNotViolations) {
+  obs::Json base = mini_report(10.0, 0.001, 0.15, 2376);
+  const obs::Json cur = obs::Json::parse(
+      "{\"schema_version\": 1, \"spans\": [],"
+      " \"metrics\": {\"counters\": {}}, \"results\": {}}");
+  const auto result = obs::diff_reports(base, cur, gated_options());
+  EXPECT_FALSE(result.violated);
+  EXPECT_FALSE(result.notes.empty());
+  bool saw = false;
+  for (const auto& note : result.notes) {
+    saw |= note.find("only in baseline") != std::string::npos;
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(ReportDiff, SchemaMismatchViolates) {
+  const obs::Json base = mini_report(10.0, 0.001, 0.15, 2376);
+  obs::Json cur = mini_report(10.0, 0.001, 0.15, 2376);
+  cur["schema_version"] = obs::Json(2);
+  EXPECT_TRUE(obs::diff_reports(base, cur, obs::ReportDiffOptions{}).violated);
 }
 
 }  // namespace

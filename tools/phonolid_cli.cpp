@@ -5,29 +5,68 @@
 //   phonolid run     [--v N] [--mode m1|m2|both]    baseline vs DBA summary
 //   phonolid det     [--v N] [--points N]           DET series (CSV)
 //   phonolid votes                                  vote histogram (Table 1)
+//   phonolid export  [--trace T] [--prom P]         run pipeline, export
+//                                                   trace / Prometheus text
+//   phonolid report-diff base.json cur.json         compare two run reports
 //
 // Global flags: --scale quick|default|full, --seed <uint>,
-// --report out.json (run/det/votes: structured JSON run report).
+// --report out.json (structured JSON run report).  PHONOLID_TRACE /
+// PHONOLID_PROM env vars additionally export a Perfetto trace / Prometheus
+// metrics from any command.
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/experiment.h"
+#include "obs/exporters.h"
+#include "obs/flight_recorder.h"
+#include "obs/report.h"
+#include "obs/report_diff.h"
 #include "util/math_util.h"
 #include "util/options.h"
+#include "util/thread_pool.h"
 
 namespace {
 
 using namespace phonolid;
 
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: phonolid <command> [flags]\n"
+      "  corpus       corpus statistics\n"
+      "  decode       decode one test utterance (--frontend N --utterance I)\n"
+      "  run          baseline vs DBA summary (--v N --mode m1|m2|both)\n"
+      "  det          DET curve CSV for the baseline fusion (--points N)\n"
+      "  votes        vote histogram and Tr_DBA sizes\n"
+      "  export       run the pipeline and export observability artifacts:\n"
+      "               --trace out.trace.json  Chrome trace-event JSON\n"
+      "                                       (open in ui.perfetto.dev)\n"
+      "               --prom  out.prom        Prometheus text metrics\n"
+      "  report-diff  compare two structured run reports:\n"
+      "               report-diff baseline.json current.json\n"
+      "                 [--max-regress pct] [--max-eer-delta x]\n"
+      "                 [--min-span-s s]\n"
+      "               exits 1 when a threshold is violated\n"
+      "global flags: --scale quick|default|full  --seed N\n"
+      "              --report out.json  (corpus/decode/run/det/votes: write\n"
+      "              a structured JSON run report)\n"
+      "env: PHONOLID_TRACE=t.json PHONOLID_PROM=m.prom  record and export a\n"
+      "     flight-recorder trace / Prometheus metrics from any command\n");
+}
+
 struct Args {
   std::string command;
   std::map<std::string, std::string> flags;
+  std::vector<std::string> positionals;
 
   [[nodiscard]] std::string get(const std::string& key,
                                 const std::string& fallback) const {
@@ -51,23 +90,85 @@ struct Args {
     }
     return value;
   }
+  /// Same strictness for floating-point flags (report-diff thresholds).
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const {
+    const auto it = flags.find(key);
+    if (it == flags.end()) return fallback;
+    const std::string& text = it->second;
+    double value = 0.0;
+    const char* begin = text.data();
+    const char* end = begin + text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc() || ptr != end || text.empty()) {
+      std::fprintf(stderr, "error: flag --%s expects a number, got '%s'\n",
+                   key.c_str(), text.c_str());
+      std::exit(2);
+    }
+    return value;
+  }
 };
+
+/// Every flag each command accepts; anything else is a usage error, not a
+/// silent no-op (a typoed --sclae must not quietly run at default scale).
+const std::map<std::string, std::set<std::string>>& command_flags() {
+  static const std::map<std::string, std::set<std::string>> flags = {
+      {"corpus", {"scale", "seed", "report"}},
+      {"decode", {"scale", "seed", "report", "frontend", "utterance"}},
+      {"run", {"scale", "seed", "report", "v", "mode"}},
+      {"det", {"scale", "seed", "report", "points"}},
+      {"votes", {"scale", "seed", "report"}},
+      {"export", {"scale", "seed", "v", "trace", "prom"}},
+      {"report-diff", {"max-regress", "max-eer-delta", "min-span-s"}},
+  };
+  return flags;
+}
 
 Args parse_args(int argc, char** argv) {
   Args args;
   if (argc >= 2 && argv[1][0] != '-') args.command = argv[1];
+  const auto known = command_flags().find(args.command);
+  if (!args.command.empty() && known == command_flags().end()) {
+    std::fprintf(stderr, "error: unknown command '%s'\n",
+                 args.command.c_str());
+    usage();
+    std::exit(2);
+  }
   for (int i = 2; i < argc; ++i) {
-    std::string key = argv[i];
-    if (key.rfind("--", 0) == 0 && i + 1 < argc) {
-      args.flags[key.substr(2)] = argv[++i];
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::string key = token.substr(2);
+      if (known == command_flags().end() || known->second.count(key) == 0) {
+        std::fprintf(stderr, "error: unknown flag --%s for command '%s'\n",
+                     key.c_str(), args.command.c_str());
+        usage();
+        std::exit(2);
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: flag --%s expects a value\n",
+                     key.c_str());
+        usage();
+        std::exit(2);
+      }
+      args.flags[key] = argv[++i];
+    } else {
+      args.positionals.push_back(token);
     }
   }
   return args;
 }
 
 core::ExperimentConfig config_from(const Args& args) {
-  const auto scale = util::parse_scale(
-      args.get("scale", util::to_string(util::scale_from_env())));
+  const std::string scale_text =
+      args.get("scale", util::to_string(util::scale_from_env()));
+  if (scale_text != "quick" && scale_text != "default" &&
+      scale_text != "full") {
+    std::fprintf(stderr,
+                 "error: flag --scale expects quick|default|full, got '%s'\n",
+                 scale_text.c_str());
+    std::exit(2);
+  }
+  const auto scale = util::parse_scale(scale_text);
   const auto seed = static_cast<std::uint64_t>(
       args.get_int("seed", static_cast<long>(util::master_seed())));
   auto cfg = core::ExperimentConfig::preset(scale, seed);
@@ -87,6 +188,36 @@ obs::Json tier_metrics_json(const core::EvalResult& result) {
   return out;
 }
 
+/// Run report for commands that don't hold a full Experiment (corpus,
+/// decode); same schema as Experiment::write_report minus its sections.
+void write_plain_report(const core::ExperimentConfig& cfg,
+                        const std::string& command, obs::Json results) {
+  obs::ReportMeta meta;
+  meta.tool = "phonolid";
+  meta.command = command;
+  meta.scale = util::to_string(cfg.scale);
+  meta.seed = cfg.seed;
+  meta.threads = util::ThreadPool::global().num_threads();
+  obs::Json extra = obs::Json::object();
+  extra["results"] = std::move(results);
+  obs::write_report_file(cfg.report_path,
+                         obs::build_report(meta, std::move(extra)));
+}
+
+obs::Json load_json_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open '" + path + "'");
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  try {
+    return obs::Json::parse(buf.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error("parsing '" + path + "': " + e.what());
+  }
+}
+
 int cmd_corpus(const Args& args) {
   const auto cfg = config_from(args);
   const auto corpus = corpus::LreCorpus::build(cfg.corpus);
@@ -99,6 +230,7 @@ int cmd_corpus(const Args& args) {
   std::printf("vsm train       : %zu utterances\n", corpus.vsm_train().size());
   std::printf("dev             : %zu utterances\n", corpus.dev().size());
   std::printf("test            : %zu utterances\n", corpus.test().size());
+  obs::Json tiers_json = obs::Json::object();
   for (std::size_t t = 0; t < corpus::kNumTiers; ++t) {
     const auto tier = static_cast<corpus::DurationTier>(t);
     const auto idx = corpus.test_indices(tier);
@@ -107,9 +239,14 @@ int cmd_corpus(const Args& args) {
       seconds += static_cast<double>(corpus.test()[i].samples.size()) /
                  cfg.corpus.sample_rate;
     }
+    const double mean_s =
+        idx.empty() ? 0.0 : seconds / static_cast<double>(idx.size());
     std::printf("  tier %-4s: %4zu utterances, mean %.2fs audio\n",
-                corpus::to_string(tier), idx.size(),
-                idx.empty() ? 0.0 : seconds / static_cast<double>(idx.size()));
+                corpus::to_string(tier), idx.size(), mean_s);
+    obs::Json tier_entry = obs::Json::object();
+    tier_entry["utterances"] = obs::Json(idx.size());
+    tier_entry["mean_audio_s"] = obs::Json(mean_s);
+    tiers_json[corpus::to_string(tier)] = std::move(tier_entry);
   }
   // Pairwise language distinctness.
   double min_dist = 1e9, max_dist = 0.0;
@@ -123,6 +260,20 @@ int cmd_corpus(const Args& args) {
   }
   std::printf("bigram distance : min %.3f  max %.3f (pairwise TV)\n", min_dist,
               max_dist);
+
+  if (!cfg.report_path.empty()) {
+    obs::Json results = obs::Json::object();
+    results["phone_inventory"] = obs::Json(corpus.inventory().size());
+    results["target_languages"] = obs::Json(corpus.num_target_languages());
+    results["native_languages"] = obs::Json(corpus.native_languages().size());
+    results["vsm_train_utterances"] = obs::Json(corpus.vsm_train().size());
+    results["dev_utterances"] = obs::Json(corpus.dev().size());
+    results["test_utterances"] = obs::Json(corpus.test().size());
+    results["test_tiers"] = std::move(tiers_json);
+    results["bigram_distance_min"] = obs::Json(min_dist);
+    results["bigram_distance_max"] = obs::Json(max_dist);
+    write_plain_report(cfg, "corpus", std::move(results));
+  }
   return 0;
 }
 
@@ -158,6 +309,19 @@ int cmd_decode(const Args& args) {
   }
   if (show < lattice.edges().size()) {
     std::printf("  ... (%zu more)\n", lattice.edges().size() - show);
+  }
+
+  if (!cfg.report_path.empty()) {
+    obs::Json results = obs::Json::object();
+    results["frontend"] = obs::Json(sub->name());
+    results["frontend_index"] = obs::Json(q);
+    results["utterance_index"] = obs::Json(utt_index);
+    results["utterance_language"] = obs::Json(utt.language);
+    results["utterance_tier"] = obs::Json(corpus::to_string(utt.tier));
+    results["lattice_frames"] = obs::Json(lattice.num_frames());
+    results["lattice_edges"] = obs::Json(lattice.edges().size());
+    results["best_path_length"] = obs::Json(lattice.best_path().size());
+    write_plain_report(cfg, "decode", std::move(results));
   }
   return 0;
 }
@@ -281,11 +445,12 @@ int cmd_votes(const Args& args) {
     std::printf("  V=%zu: %5zu adopted, label error %.2f%%\n", v,
                 sel.utt_index.size(),
                 100.0 * core::selection_error_rate(sel, exp->test_labels()));
+    const double label_error =
+        core::selection_error_rate(sel, exp->test_labels());
     obs::Json entry = obs::Json::object();
     entry["min_votes"] = obs::Json(v);
     entry["adopted"] = obs::Json(sel.utt_index.size());
-    entry["label_error"] =
-        obs::Json(core::selection_error_rate(sel, exp->test_labels()));
+    entry["label_error"] = obs::Json(label_error);
     thresholds.push_back(std::move(entry));
   }
 
@@ -304,34 +469,91 @@ int cmd_votes(const Args& args) {
   return 0;
 }
 
-void usage() {
-  std::fprintf(stderr,
-               "usage: phonolid <command> [flags]\n"
-               "  corpus   corpus statistics\n"
-               "  decode   decode one test utterance (--frontend N --utterance I)\n"
-               "  run      baseline vs DBA summary (--v N --mode m1|m2|both)\n"
-               "  det      DET curve CSV for the baseline fusion (--points N)\n"
-               "  votes    vote histogram and Tr_DBA sizes\n"
-               "global flags: --scale quick|default|full  --seed N\n"
-               "              --report out.json  (run/det/votes: write a\n"
-               "              structured JSON run report)\n");
+int cmd_export(const Args& args) {
+  const std::string trace_path = args.get("trace", "");
+  const std::string prom_path = args.get("prom", "");
+  if (trace_path.empty() && prom_path.empty()) {
+    std::fprintf(stderr, "error: export needs --trace and/or --prom\n");
+    usage();
+    return 2;
+  }
+  if (!trace_path.empty() && !obs::FlightRecorder::enabled()) {
+    obs::FlightRecorder::enable();
+    obs::FlightRecorder::set_thread_name("main");
+  }
+  // Exercise the full pipeline — build, baseline fusion, one M1 DBA round —
+  // so the exported timeline covers decode, VSM training, DBA, and fusion.
+  const auto cfg = config_from(args);
+  const auto exp = core::Experiment::build(cfg);
+  const auto v = static_cast<std::size_t>(args.get_int(
+      "v", static_cast<long>(std::min<std::size_t>(3, exp->num_subsystems()))));
+  std::vector<const core::SubsystemScores*> blocks;
+  for (const auto& b : exp->baseline_scores()) blocks.push_back(&b);
+  (void)exp->evaluate(blocks);
+  const auto m1 = exp->run_dba(v, core::DbaMode::kM1);
+  std::vector<const core::SubsystemScores*> dba_blocks;
+  for (const auto& b : m1) dba_blocks.push_back(&b);
+  (void)exp->evaluate(dba_blocks);
+
+  if (!trace_path.empty()) {
+    obs::write_chrome_trace(trace_path);
+    std::printf("wrote Chrome trace to %s (open in ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
+  if (!prom_path.empty()) {
+    obs::write_prometheus(prom_path);
+    std::printf("wrote Prometheus metrics to %s\n", prom_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_report_diff(const Args& args) {
+  if (args.positionals.size() != 2) {
+    std::fprintf(stderr,
+                 "error: report-diff needs exactly two report files: "
+                 "report-diff <baseline.json> <current.json>\n");
+    usage();
+    return 2;
+  }
+  obs::ReportDiffOptions options;
+  options.max_regress_pct = args.get_double("max-regress", -1.0);
+  options.max_eer_delta = args.get_double("max-eer-delta", -1.0);
+  options.min_span_s = args.get_double("min-span-s", options.min_span_s);
+  const obs::Json baseline = load_json_file(args.positionals[0]);
+  const obs::Json current = load_json_file(args.positionals[1]);
+  const obs::ReportDiffResult result =
+      obs::diff_reports(baseline, current, options);
+  std::fputs(result.format().c_str(), stdout);
+  return result.violated ? 1 : 0;
+}
+
+int dispatch(const Args& args) {
+  if (args.command == "corpus") return cmd_corpus(args);
+  if (args.command == "decode") return cmd_decode(args);
+  if (args.command == "run") return cmd_run(args);
+  if (args.command == "det") return cmd_det(args);
+  if (args.command == "votes") return cmd_votes(args);
+  if (args.command == "export") return cmd_export(args);
+  if (args.command == "report-diff") return cmd_report_diff(args);
+  usage();
+  return args.command.empty() ? 1 : 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
+  obs::enable_recorder_from_env();
+  int rc = 0;
   try {
-    if (args.command == "corpus") return cmd_corpus(args);
-    if (args.command == "decode") return cmd_decode(args);
-    if (args.command == "run") return cmd_run(args);
-    if (args.command == "det") return cmd_det(args);
-    if (args.command == "votes") return cmd_votes(args);
+    rc = dispatch(args);
   } catch (const std::exception& e) {
     // E.g. an unwritable --report path; don't lose the run to a terminate().
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
-  usage();
-  return args.command.empty() ? 1 : 2;
+  // Flush PHONOLID_TRACE / PHONOLID_PROM even on failure — a trace of a
+  // failed run is exactly when you want one.
+  obs::export_from_env();
+  return rc;
 }
