@@ -17,7 +17,9 @@ namespace phonolid::bench {
 inline std::unique_ptr<core::Experiment> build_experiment() {
   // Honors PHONOLID_TRACE before any instrumented work, so the flight
   // recorder captures the build itself; the matching export happens in
-  // maybe_write_report at bench exit.
+  // maybe_write_report at bench exit.  When $PHONOLID_CACHE is set (see
+  // scripts/bench_baseline.sh) every bench shares one artifact store, so
+  // only the first bench of a session pays for AM training and decoding.
   obs::enable_recorder_from_env();
   const auto scale = util::scale_from_env();
   std::printf("# phonolid bench (scale=%s, seed=%llu)\n",

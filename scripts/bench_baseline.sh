@@ -24,6 +24,14 @@ if [[ ! -x "$PHONOLID" ]]; then
   exit 1
 fi
 
+# All three commands build the same experiment, so share one artifact store:
+# `run` trains and decodes everything cold, `det` and `votes` pull every
+# stage warm.  The same store also serves the bench/ binaries (they read
+# $PHONOLID_CACHE via Experiment::build).  Accuracy leaves are unaffected —
+# artifacts are bit-identical to a cold computation by construction.
+export PHONOLID_CACHE="${PHONOLID_CACHE:-$PWD/.phonolid-cache}"
+echo "=== artifact store: $PHONOLID_CACHE"
+
 for cmd in run det votes; do
   out="BENCH_${SCALE}_${cmd}.json"
   echo "=== $cmd --scale $SCALE -> $out"

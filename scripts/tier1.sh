@@ -12,9 +12,10 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
 cmake -B build-tsan -S . -DPHONOLID_SANITIZE=thread
-cmake --build build-tsan -j --target test_obs test_thread_pool
+cmake --build build-tsan -j --target test_obs test_thread_pool test_pipeline_store
 ./build-tsan/tests/test_obs
 ./build-tsan/tests/test_thread_pool
+./build-tsan/tests/test_pipeline_store
 
 # End-to-end observability smoke: a traced quick run must produce a loadable
 # Chrome trace, Prometheus text, and a schema-v1 report that (a) diffs clean
@@ -23,12 +24,26 @@ cmake --build build-tsan -j --target test_obs test_thread_pool
 # (they are machine-dependent); BENCH_*.json track the reference trajectory.
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
+# Artifact store: $PHONOLID_CACHE (CI restores one across runs) or a temp
+# dir.  Either way the cold/warm pair below shares it.
+CACHE_DIR="${PHONOLID_CACHE:-$TMP/cache}"
 PHONOLID_TRACE="$TMP/quick.trace.json" PHONOLID_PROM="$TMP/quick.prom" \
-  ./build/tools/phonolid run --scale quick --report "$TMP/quick.report.json"
+  ./build/tools/phonolid run --scale quick --report "$TMP/quick.report.json" \
+  --cache-dir "$CACHE_DIR"
 test -s "$TMP/quick.trace.json"
 test -s "$TMP/quick.prom"
 ./build/tools/phonolid report-diff "$TMP/quick.report.json" "$TMP/quick.report.json" > /dev/null
 ./build/tools/phonolid report-diff BENCH_quick_run.json "$TMP/quick.report.json" \
   --max-eer-delta 0.02
+
+# Artifact-store determinism gate: the warm run (every stage a cache hit)
+# must reproduce the cold run's accuracy leaves *exactly* — zero EER/Cavg
+# delta — while skipping AM training and decoding entirely.
+./build/tools/phonolid run --scale quick --report "$TMP/warm.report.json" \
+  --cache-dir "$CACHE_DIR"
+./build/tools/phonolid report-diff "$TMP/quick.report.json" "$TMP/warm.report.json" \
+  --max-eer-delta 0
+./build/tools/phonolid pipeline status --cache-dir "$CACHE_DIR"
+./build/tools/phonolid pipeline gc --cache-dir "$CACHE_DIR"
 
 echo "tier-1 OK"

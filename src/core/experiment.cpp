@@ -1,10 +1,14 @@
 #include "core/experiment.h"
 
 #include <stdexcept>
+#include <utility>
 
+#include "core/stage_cache.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "pipeline/artifact_store.h"
+#include "pipeline/stage_runner.h"
 #include "util/logging.h"
 #include "util/options.h"
 #include "util/thread_pool.h"
@@ -29,6 +33,12 @@ std::unique_ptr<Experiment> Experiment::build(const ExperimentConfig& config) {
   PHONOLID_SPAN("experiment_build");
   auto exp = std::unique_ptr<Experiment>(new Experiment());
   exp->config_ = config;
+  pipeline::ArtifactStore store(
+      pipeline::ArtifactStore::resolve_root(config.cache_dir));
+  exp->cache_root_ = store.root();
+  if (store.enabled()) {
+    PHONOLID_INFO("core") << "artifact store at " << store.root();
+  }
   {
     PHONOLID_SPAN("corpus");
     exp->corpus_ = corpus::LreCorpus::build(config.corpus);
@@ -44,34 +54,71 @@ std::unique_ptr<Experiment> Experiment::build(const ExperimentConfig& config) {
   for (const auto& u : corpus.test()) exp->test_labels_.push_back(u.language);
 
   const std::size_t q = config.frontends.size();
-  exp->subsystems_.reserve(q);
+  exp->subsystems_.resize(q);
   exp->train_svs_.resize(q);
   exp->dev_svs_.resize(q);
   exp->test_svs_.resize(q);
   exp->baseline_vsms_.resize(q);
   exp->baseline_.resize(q);
 
+  // The six per-front-end chains (train -> decode -> vsm) share no state —
+  // each writes only slot s and all randomness derives from (seed, salt) —
+  // so they run as independent stages.  Every stage product is pulled from
+  // the artifact store when its key matches (see core/stage_cache.h for the
+  // invalidation chain).
+  const pipeline::StageKey corpus_key =
+      corpus_stage_key(config.corpus, config.scale, config.seed);
+  pipeline::StageRunner runner;
   for (std::size_t s = 0; s < q; ++s) {
-    PHONOLID_SPAN("subsystem");
-    FrontEndSpec spec = config.frontends[s];
-    // The 1-best ablation flows through the supervector builder config.
-    spec.use_lattice_counts = config.use_lattice_counts;
-    auto sub = Subsystem::build(corpus, spec, config.seed);
-    exp->train_svs_[s] = sub->take_train_supervectors();
-    exp->dev_svs_[s] = sub->process_all(corpus.dev());
-    exp->test_svs_[s] = sub->process_all(corpus.test());
-    exp->subsystems_.push_back(std::move(sub));
+    runner.add("subsystem/" + config.frontends[s].name, [&, s] {
+      FrontEndSpec spec = config.frontends[s];
+      // The 1-best ablation flows through the supervector builder config.
+      spec.use_lattice_counts = config.use_lattice_counts;
 
-    // Baseline VSM (paper step (b)) and score matrices (Eq. 8-9).
-    svm::VsmTrainConfig vsm_cfg = config.vsm;
-    vsm_cfg.seed = util::derive_stream(config.seed, 0xF000 + s);
-    exp->baseline_vsms_[s] = svm::VsmModel::train(
-        exp->train_svs_[s], exp->train_labels_, k,
-        exp->subsystems_[s]->supervector_dim(), vsm_cfg);
-    exp->baseline_[s].dev = exp->baseline_vsms_[s].score_all(exp->dev_svs_[s]);
-    exp->baseline_[s].test = exp->baseline_vsms_[s].score_all(exp->test_svs_[s]);
-    PHONOLID_INFO("core") << "baseline VSM ready for " << spec.name;
+      const pipeline::StageKey fe_key =
+          frontend_stage_key(corpus_key, spec, config.seed);
+      TrainedFrontEnd fe = store.get_or_compute<TrainedFrontEnd>(
+          fe_key,
+          [](std::istream& in) { return TrainedFrontEnd::deserialize(in); },
+          [](std::ostream& out, const TrainedFrontEnd& v) { v.serialize(out); },
+          [&] { return Subsystem::train_front_end(corpus, spec, config.seed); });
+      auto sub = Subsystem::assemble(corpus, spec, std::move(fe));
+
+      const pipeline::StageKey sv_key = supervectors_stage_key(fe_key);
+      DecodedSupervectors ds = store.get_or_compute<DecodedSupervectors>(
+          sv_key,
+          [](std::istream& in) { return DecodedSupervectors::deserialize(in); },
+          [](std::ostream& out, const DecodedSupervectors& v) {
+            v.serialize(out);
+          },
+          [&] { return sub->decode_splits(corpus); });
+      sub->set_tfllr(ds.tfllr);
+
+      // Baseline VSM (paper step (b)) and score matrices (Eq. 8-9).
+      svm::VsmTrainConfig vsm_cfg = config.vsm;
+      vsm_cfg.seed = util::derive_stream(config.seed, 0xF000 + s);
+      const pipeline::StageKey vsm_key =
+          vsm_stage_key(sv_key, vsm_cfg, vsm_cfg.seed, k);
+      svm::VsmModel vsm = store.get_or_compute<svm::VsmModel>(
+          vsm_key,
+          [](std::istream& in) { return svm::VsmModel::deserialize(in); },
+          [](std::ostream& out, const svm::VsmModel& v) { v.serialize(out); },
+          [&] {
+            return svm::VsmModel::train(ds.train, exp->train_labels_, k,
+                                        sub->supervector_dim(), vsm_cfg);
+          });
+
+      exp->baseline_[s].dev = vsm.score_all(ds.dev);
+      exp->baseline_[s].test = vsm.score_all(ds.test);
+      exp->train_svs_[s] = std::move(ds.train);
+      exp->dev_svs_[s] = std::move(ds.dev);
+      exp->test_svs_[s] = std::move(ds.test);
+      exp->baseline_vsms_[s] = std::move(vsm);
+      exp->subsystems_[s] = std::move(sub);
+      PHONOLID_INFO("core") << "baseline VSM ready for " << spec.name;
+    });
   }
+  runner.run_all();
 
   // Votes over the pooled test set (Eq. 10-13).
   std::vector<const util::Matrix*> test_scores;
@@ -248,9 +295,21 @@ void Experiment::write_report(const std::string& path,
   experiment["test_utterances"] = obs::Json(test_labels_.size());
   experiment["use_lattice_counts"] = obs::Json(config_.use_lattice_counts);
 
+  obs::Json cache = obs::Json::object();
+  cache["enabled"] = obs::Json(!cache_root_.empty());
+  cache["dir"] = obs::Json(cache_root_);
+  cache["hits"] = obs::Json(obs::Metrics::counter("pipeline.cache.hits").value());
+  cache["misses"] =
+      obs::Json(obs::Metrics::counter("pipeline.cache.misses").value());
+  cache["evictions"] =
+      obs::Json(obs::Metrics::counter("pipeline.cache.evictions").value());
+  cache["writes"] =
+      obs::Json(obs::Metrics::counter("pipeline.cache.writes").value());
+
   obs::Json merged = obs::Json::object();
   merged["experiment"] = std::move(experiment);
   merged["dba"] = dba_report();
+  merged["cache"] = std::move(cache);
   for (auto& [key, value] : extra.as_object()) {
     merged[key] = std::move(value);
   }

@@ -43,6 +43,11 @@ struct ExperimentConfig {
   /// report here after the experiment finishes (see Experiment::write_report
   /// and DESIGN.md "Observability").
   std::string report_path;
+  /// Artifact-store root for the stage cache (--cache-dir).  Empty means
+  /// "resolve from $PHONOLID_CACHE, else run uncached" (see
+  /// pipeline::ArtifactStore::resolve_root and DESIGN.md "Pipeline &
+  /// artifact store").
+  std::string cache_dir;
 
   /// Paper-shaped configuration for the given scale.
   static ExperimentConfig preset(util::Scale scale, std::uint64_t seed);
@@ -84,9 +89,20 @@ struct EvalResult {
 
 class Experiment {
  public:
-  /// Heavy: generates the corpus, trains every front-end, computes all
-  /// supervectors, trains the baseline VSMs and scores dev+test.
+  /// Heavy on a cold cache: generates the corpus, trains every front-end,
+  /// computes all supervectors, trains the baseline VSMs and scores
+  /// dev+test.  With an artifact store configured (config.cache_dir /
+  /// $PHONOLID_CACHE) each front-end's train / decode / VSM stage is pulled
+  /// from the store when its key matches, so a warm run skips straight to
+  /// scoring — bit-identical to the cold run by construction (the artifacts
+  /// *are* the cold run's products).  The six front-end stage chains run
+  /// concurrently on the thread pool (pipeline::StageRunner).
   static std::unique_ptr<Experiment> build(const ExperimentConfig& config);
+
+  /// Artifact-store root this experiment resolved ("" = uncached run).
+  [[nodiscard]] const std::string& cache_root() const noexcept {
+    return cache_root_;
+  }
 
   [[nodiscard]] const ExperimentConfig& config() const noexcept {
     return config_;
@@ -189,6 +205,7 @@ class Experiment {
                                std::size_t trdba_size) const;
 
   ExperimentConfig config_;
+  std::string cache_root_;
   corpus::LreCorpus corpus_;
   std::vector<std::unique_ptr<Subsystem>> subsystems_;
 

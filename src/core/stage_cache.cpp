@@ -1,0 +1,79 @@
+#include "core/stage_cache.h"
+
+namespace phonolid::core {
+
+using pipeline::KeyHasher;
+using pipeline::StageKey;
+
+StageKey corpus_stage_key(const corpus::CorpusConfig& config,
+                          util::Scale scale, std::uint64_t seed) {
+  KeyHasher h("corpus");
+  h.add_string(util::to_string(scale));
+  h.add_u64(seed);
+  h.add_u64(config.seed);
+  h.add_f64(config.sample_rate);
+  h.add_u64(config.num_universal_phones);
+  h.add_u64(config.family.num_languages);
+  h.add_f64(config.family.concentration);
+  h.add_f64(config.family.subset_fraction);
+  h.add_u64(config.family.sibling_stride);
+  h.add_f64(config.family.sibling_similarity);
+  h.add_u64(config.num_native_languages);
+  h.add_u64(config.am_train_utts_per_native);
+  h.add_f64(config.am_train_seconds);
+  h.add_u64(config.train_utts_per_language);
+  h.add_u64(config.dev_utts_per_language_per_tier);
+  h.add_u64(config.test_utts_per_language_per_tier);
+  for (double s : config.tier_seconds) h.add_f64(s);
+  h.add_f64(config.train_seconds);
+  return h.finish();
+}
+
+StageKey frontend_stage_key(const StageKey& corpus_key,
+                            const FrontEndSpec& spec, std::uint64_t seed) {
+  KeyHasher h("frontend");
+  h.add_key(corpus_key);
+  h.add_u64(seed);
+  h.add_string(spec.name);
+  h.add_u64(static_cast<std::uint64_t>(spec.family));
+  h.add_u64(static_cast<std::uint64_t>(spec.feature));
+  h.add_u64(spec.num_phones);
+  h.add_u64(spec.native_language);
+  h.add_u64(spec.hidden_sizes.size());
+  for (std::size_t s : spec.hidden_sizes) h.add_u64(s);
+  h.add_u64(spec.gmm_components);
+  h.add_f64(spec.nn_score_gain);
+  h.add_u64(spec.ngram_order);
+  h.add_bool(spec.use_lattice_counts);
+  h.add_bool(spec.use_tfllr);
+  h.add_f64(spec.decoder.lattice_beam);
+  h.add_f64(spec.decoder.phone_insertion_penalty);
+  h.add_f64(spec.decoder.acoustic_scale);
+  h.add_f64(spec.decoder.posterior_prune);
+  h.add_u64(spec.seed_salt);
+  return h.finish();
+}
+
+StageKey supervectors_stage_key(const StageKey& frontend_key) {
+  KeyHasher h("supervectors");
+  h.add_key(frontend_key);
+  return h.finish();
+}
+
+StageKey vsm_stage_key(const StageKey& supervectors_key,
+                       const svm::VsmTrainConfig& vsm, std::uint64_t train_seed,
+                       std::size_t num_classes) {
+  KeyHasher h("vsm");
+  h.add_key(supervectors_key);
+  h.add_u64(train_seed);
+  h.add_u64(num_classes);
+  h.add_f64(vsm.svm.C);
+  h.add_bool(vsm.svm.l2_loss);
+  h.add_u64(vsm.svm.max_epochs);
+  h.add_f64(vsm.svm.epsilon);
+  h.add_f64(vsm.svm.bias);
+  h.add_u64(vsm.svm.seed);
+  return h.finish();
+}
+
+}  // namespace phonolid::core

@@ -5,51 +5,153 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/serialize.h"
 #include "util/thread_pool.h"
 
 namespace phonolid::core {
 
-std::unique_ptr<Subsystem> Subsystem::build(const corpus::LreCorpus& corpus,
-                                            const FrontEndSpec& spec,
-                                            std::uint64_t seed) {
-  auto sub = std::unique_ptr<Subsystem>(new Subsystem());
-  sub->spec_ = spec;
+const am::HmmTransitions& TrainedFrontEnd::transitions() const {
+  switch (family) {
+    case ModelFamily::kGmmHmm:
+      return static_cast<const am::GmmHmmModel&>(*model).transitions();
+    case ModelFamily::kAnnHmm:
+    case ModelFamily::kDnnHmm:
+      return static_cast<const am::NnHmmModel&>(*model).transitions();
+  }
+  throw std::logic_error("TrainedFrontEnd: unknown model family");
+}
+
+void TrainedFrontEnd::serialize(std::ostream& out) const {
+  util::BinaryWriter w(out);
+  w.write_magic("PTFE", 1);
+  w.write_u32(static_cast<std::uint32_t>(family));
+  std::vector<std::uint32_t> mapping(phone_map.mapping().size());
+  for (std::size_t i = 0; i < mapping.size(); ++i) {
+    mapping[i] = static_cast<std::uint32_t>(phone_map.mapping()[i]);
+  }
+  w.write_u32_vec(mapping);
+  w.write_u64(phone_map.num_frontend_phones());
+  switch (family) {
+    case ModelFamily::kGmmHmm:
+      static_cast<const am::GmmHmmModel&>(*model).serialize(out);
+      break;
+    case ModelFamily::kAnnHmm:
+    case ModelFamily::kDnnHmm:
+      static_cast<const am::NnHmmModel&>(*model).serialize(out);
+      break;
+  }
+}
+
+TrainedFrontEnd TrainedFrontEnd::deserialize(std::istream& in) {
+  util::BinaryReader r(in);
+  r.expect_magic("PTFE", 1);
+  TrainedFrontEnd fe;
+  const std::uint32_t family_tag = r.read_u32();
+  if (family_tag > static_cast<std::uint32_t>(ModelFamily::kGmmHmm)) {
+    throw util::SerializeError("TrainedFrontEnd: bad model family tag");
+  }
+  fe.family = static_cast<ModelFamily>(family_tag);
+  const std::vector<std::uint32_t> mapping32 = r.read_u32_vec();
+  std::vector<std::size_t> mapping(mapping32.begin(), mapping32.end());
+  const std::uint64_t num_phones = r.read_u64();
+  fe.phone_map =
+      am::PhoneSetMap(std::move(mapping), static_cast<std::size_t>(num_phones));
+  switch (fe.family) {
+    case ModelFamily::kGmmHmm:
+      fe.model =
+          std::make_unique<am::GmmHmmModel>(am::GmmHmmModel::deserialize(in));
+      break;
+    case ModelFamily::kAnnHmm:
+    case ModelFamily::kDnnHmm:
+      fe.model =
+          std::make_unique<am::NnHmmModel>(am::NnHmmModel::deserialize(in));
+      break;
+  }
+  return fe;
+}
+
+namespace {
+
+void serialize_split(util::BinaryWriter& w, std::ostream& out,
+                     const std::vector<phonotactic::SparseVec>& split) {
+  w.write_u64(split.size());
+  for (const auto& sv : split) sv.serialize(out);
+}
+
+std::vector<phonotactic::SparseVec> deserialize_split(util::BinaryReader& r,
+                                                      std::istream& in) {
+  const std::uint64_t n = r.read_u64();
+  // A split is bounded by the corpus size; anything bigger is corruption.
+  if (n > (1ull << 24)) {
+    throw util::SerializeError("DecodedSupervectors: split too large");
+  }
+  std::vector<phonotactic::SparseVec> split;
+  split.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    split.push_back(phonotactic::SparseVec::deserialize(in));
+  }
+  return split;
+}
+
+}  // namespace
+
+void DecodedSupervectors::serialize(std::ostream& out) const {
+  util::BinaryWriter w(out);
+  w.write_magic("PDSV", 1);
+  tfllr.serialize(out);
+  serialize_split(w, out, train);
+  serialize_split(w, out, dev);
+  serialize_split(w, out, test);
+}
+
+DecodedSupervectors DecodedSupervectors::deserialize(std::istream& in) {
+  util::BinaryReader r(in);
+  r.expect_magic("PDSV", 1);
+  DecodedSupervectors ds;
+  ds.tfllr = phonotactic::TfllrScaler::deserialize(in);
+  ds.train = deserialize_split(r, in);
+  ds.dev = deserialize_split(r, in);
+  ds.test = deserialize_split(r, in);
+  return ds;
+}
+
+TrainedFrontEnd Subsystem::train_front_end(const corpus::LreCorpus& corpus,
+                                           const FrontEndSpec& spec,
+                                           std::uint64_t seed) {
+  PHONOLID_SPAN("train_front_end");
   const std::uint64_t sub_seed = util::derive_stream(seed, spec.seed_salt);
+  TrainedFrontEnd fe;
+  fe.family = spec.family;
 
   // 1. Front-end phone set.
-  sub->phone_map_ =
+  fe.phone_map =
       am::build_phone_map(corpus.inventory(), spec.num_phones, sub_seed);
 
-  // 2. Feature pipeline.
+  // 2. Feature pipeline (local: only needed to align the training audio).
   dsp::FeaturePipelineConfig fcfg;
   fcfg.kind = spec.feature;
   fcfg.mfcc.sample_rate = corpus.config().sample_rate;
   fcfg.plp.sample_rate = corpus.config().sample_rate;
-  sub->features_ = std::make_unique<dsp::FeaturePipeline>(fcfg);
+  const dsp::FeaturePipeline features(fcfg);
 
-  // 3. Supervision: align the native-language audio.
+  // 3. Supervision: align the native-language aligned audio.
   if (spec.native_language >= corpus.native_languages().size()) {
     throw std::invalid_argument("Subsystem: native language out of range");
   }
   const corpus::Dataset& am_data = corpus.am_train(spec.native_language);
   std::vector<am::AlignedUtterance> aligned(am_data.size());
   util::parallel_for(0, am_data.size(), [&](std::size_t i) {
-    aligned[i] = am::align_utterance(am_data[i], *sub->features_,
-                                     sub->phone_map_);
+    aligned[i] = am::align_utterance(am_data[i], features, fe.phone_map);
   });
 
   // 4. Acoustic model per family.
-  am::HmmTopology topology{spec.num_phones, 3};
-  am::HmmTransitions transitions;
   switch (spec.family) {
     case ModelFamily::kGmmHmm: {
       am::GmmHmmTrainConfig cfg;
       cfg.gmm.num_components = spec.gmm_components;
       cfg.seed = sub_seed;
-      auto model = std::make_unique<am::GmmHmmModel>(
+      fe.model = std::make_unique<am::GmmHmmModel>(
           am::train_gmm_hmm(aligned, spec.num_phones, cfg));
-      transitions = model->transitions();
-      sub->model_ = std::move(model);
       break;
     }
     case ModelFamily::kAnnHmm:
@@ -58,19 +160,33 @@ std::unique_ptr<Subsystem> Subsystem::build(const corpus::LreCorpus& corpus,
       cfg.nn.hidden_sizes = spec.hidden_sizes;
       cfg.score_gain = spec.nn_score_gain;
       cfg.seed = sub_seed;
-      auto model = std::make_unique<am::NnHmmModel>(
+      fe.model = std::make_unique<am::NnHmmModel>(
           am::train_nn_hmm(aligned, spec.num_phones, cfg));
-      transitions = model->transitions();
-      sub->model_ = std::move(model);
       break;
     }
   }
+  return fe;
+}
 
-  // 5. Lattice decoder.
+std::unique_ptr<Subsystem> Subsystem::assemble(const corpus::LreCorpus& corpus,
+                                               const FrontEndSpec& spec,
+                                               TrainedFrontEnd front_end) {
+  auto sub = std::unique_ptr<Subsystem>(new Subsystem());
+  sub->spec_ = spec;
+  sub->phone_map_ = std::move(front_end.phone_map);
+
+  dsp::FeaturePipelineConfig fcfg;
+  fcfg.kind = spec.feature;
+  fcfg.mfcc.sample_rate = corpus.config().sample_rate;
+  fcfg.plp.sample_rate = corpus.config().sample_rate;
+  sub->features_ = std::make_unique<dsp::FeaturePipeline>(fcfg);
+
+  am::HmmTopology topology{spec.num_phones, 3};
+  am::HmmTransitions transitions = front_end.transitions();
+  sub->model_ = std::move(front_end.model);
   sub->decoder_ = std::make_unique<decoder::PhoneLoopDecoder>(
-      *sub->model_, topology, transitions, spec.decoder);
+      *sub->model_, topology, std::move(transitions), spec.decoder);
 
-  // 6. Supervector builder + TFLLR background on the training set.
   phonotactic::NgramIndexer indexer(spec.num_phones, spec.ngram_order);
   phonotactic::SupervectorConfig sv_cfg;
   sv_cfg.counts.max_order = spec.ngram_order;
@@ -78,25 +194,60 @@ std::unique_ptr<Subsystem> Subsystem::build(const corpus::LreCorpus& corpus,
   sv_cfg.use_lattice = spec.use_lattice_counts;
   sub->builder_ = std::make_unique<phonotactic::SupervectorBuilder>(
       std::move(indexer), sv_cfg);
+  return sub;
+}
 
-  const corpus::Dataset& train = corpus.vsm_train();
+std::vector<phonotactic::SparseVec> Subsystem::fit_tfllr(
+    const corpus::Dataset& train) {
   std::vector<phonotactic::SparseVec> train_svs(train.size());
   util::parallel_for(0, train.size(), [&](std::size_t i) {
-    train_svs[i] = sub->process_internal(train[i], /*apply_tfllr=*/false);
+    train_svs[i] = process_internal(train[i], /*apply_tfllr=*/false);
   });
 
-  sub->tfllr_ = phonotactic::TfllrScaler(sub->builder_->dimension());
-  for (const auto& sv : train_svs) sub->tfllr_.accumulate(sv);
-  sub->tfllr_.finalize();
-  if (spec.use_tfllr) {
-    for (auto& sv : train_svs) sub->tfllr_.transform(sv);
+  tfllr_ = phonotactic::TfllrScaler(builder_->dimension());
+  for (const auto& sv : train_svs) tfllr_.accumulate(sv);
+  tfllr_.finalize();
+  if (spec_.use_tfllr) {
+    for (auto& sv : train_svs) tfllr_.transform(sv);
   }
-  sub->train_supervectors_ = std::move(train_svs);
+  return train_svs;
+}
+
+DecodedSupervectors Subsystem::decode_splits(const corpus::LreCorpus& corpus) {
+  PHONOLID_SPAN("decode_splits");
+  DecodedSupervectors ds;
+  ds.train = fit_tfllr(corpus.vsm_train());
+  ds.dev = process_all(corpus.dev());
+  ds.test = process_all(corpus.test());
+  ds.tfllr = tfllr_;
+  return ds;
+}
+
+void Subsystem::set_tfllr(phonotactic::TfllrScaler tfllr) {
+  tfllr_ = std::move(tfllr);
+}
+
+std::unique_ptr<Subsystem> Subsystem::build(const corpus::LreCorpus& corpus,
+                                            const FrontEndSpec& spec,
+                                            std::uint64_t seed) {
+  auto sub = assemble(corpus, spec, train_front_end(corpus, spec, seed));
+  sub->train_supervectors_ = sub->fit_tfllr(corpus.vsm_train());
 
   PHONOLID_INFO("core") << "built subsystem " << spec.name << ": "
                         << spec.num_phones << " phones, supervector dim "
                         << sub->builder_->dimension();
   return sub;
+}
+
+std::vector<phonotactic::SparseVec> Subsystem::take_train_supervectors() {
+  if (train_supervectors_taken_) {
+    throw std::logic_error(
+        "Subsystem::take_train_supervectors: already taken — the cached "
+        "training supervectors are moved out by the first call (use "
+        "decode_splits() / the artifact store for repeatable access)");
+  }
+  train_supervectors_taken_ = true;
+  return std::move(train_supervectors_);
 }
 
 decoder::Lattice Subsystem::decode(const corpus::Utterance& utt) const {

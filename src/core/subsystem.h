@@ -6,8 +6,20 @@
 // builder.  The DBA iteration re-trains only the VSM on top; all Subsystem
 // stages are computed once per utterance, which is the source of the
 // paper's C_DBA/C_baseline ≈ 1 result (§5.4).
+//
+// The construction path is split into persistable stage products so the
+// artifact store (pipeline/artifact_store.h) can skip whole stages on a
+// warm run:
+//
+//   TrainedFrontEnd      = train_front_end(corpus, spec, seed)   [expensive]
+//   Subsystem            = assemble(corpus, spec, fe)            [cheap]
+//   DecodedSupervectors  = subsystem.decode_splits(corpus)       [dominant]
+//
+// build() composes all three for callers that don't cache (examples,
+// `phonolid decode`, tests).
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -39,6 +51,37 @@ struct StageTimes {
   }
 };
 
+/// Stage product of the front-end training stage: the phone-set map and the
+/// acoustic model (the parts of a Subsystem that cost AM training time; the
+/// feature pipeline / decoder / supervector builder are rebuilt from the
+/// spec in milliseconds).
+struct TrainedFrontEnd {
+  ModelFamily family = ModelFamily::kGmmHmm;
+  am::PhoneSetMap phone_map;
+  std::unique_ptr<am::AcousticModel> model;
+
+  /// HMM transition model of the concrete acoustic model (needed to
+  /// reconstruct the phone-loop decoder).
+  [[nodiscard]] const am::HmmTransitions& transitions() const;
+
+  void serialize(std::ostream& out) const;
+  static TrainedFrontEnd deserialize(std::istream& in);
+};
+
+/// Stage product of the decode stage: TFLLR-scaled supervectors for every
+/// split plus the fitted scaler (so a warm Subsystem can still process new
+/// utterances).  This is the dominant artifact — a hit skips every feature
+/// extraction and lattice decode of the run.
+struct DecodedSupervectors {
+  phonotactic::TfllrScaler tfllr;
+  std::vector<phonotactic::SparseVec> train;
+  std::vector<phonotactic::SparseVec> dev;
+  std::vector<phonotactic::SparseVec> test;
+
+  void serialize(std::ostream& out) const;
+  static DecodedSupervectors deserialize(std::istream& in);
+};
+
 class Subsystem {
  public:
   /// Train the front-end on its native-language aligned audio and fit the
@@ -48,6 +91,29 @@ class Subsystem {
   static std::unique_ptr<Subsystem> build(const corpus::LreCorpus& corpus,
                                           const FrontEndSpec& spec,
                                           std::uint64_t seed);
+
+  /// Stage 1: phone map + acoustic model (the only seeded, training-cost
+  /// parts).  Throws std::invalid_argument when spec.native_language is out
+  /// of range.
+  static TrainedFrontEnd train_front_end(const corpus::LreCorpus& corpus,
+                                         const FrontEndSpec& spec,
+                                         std::uint64_t seed);
+
+  /// Rebuild a full Subsystem around a (possibly deserialized) front end.
+  /// The TFLLR scaler starts unset: fit it via decode_splits() or install a
+  /// cached one via set_tfllr().
+  static std::unique_ptr<Subsystem> assemble(const corpus::LreCorpus& corpus,
+                                             const FrontEndSpec& spec,
+                                             TrainedFrontEnd front_end);
+
+  /// Stage 2: decode every split, fit the TFLLR background on the training
+  /// set and return the per-split scaled supervectors.  Also installs the
+  /// fitted scaler on this subsystem.
+  [[nodiscard]] DecodedSupervectors decode_splits(
+      const corpus::LreCorpus& corpus);
+
+  /// Install a cached TFLLR scaler (warm path — decode_splits was skipped).
+  void set_tfllr(phonotactic::TfllrScaler tfllr);
 
   Subsystem(const Subsystem&) = delete;
   Subsystem& operator=(const Subsystem&) = delete;
@@ -65,9 +131,10 @@ class Subsystem {
   }
 
   /// VSM training-set supervectors cached during build (moves them out).
-  [[nodiscard]] std::vector<phonotactic::SparseVec> take_train_supervectors() {
-    return std::move(train_supervectors_);
-  }
+  /// Calling twice is always a bug — the second call would silently return
+  /// an empty set — so it throws std::logic_error.  Artifact-backed callers
+  /// (Experiment) use decode_splits() instead.
+  [[nodiscard]] std::vector<phonotactic::SparseVec> take_train_supervectors();
 
   /// Decode one utterance to a posterior lattice (exposed for examples and
   /// diagnostics).
@@ -90,11 +157,16 @@ class Subsystem {
   Subsystem() = default;
 
   /// Shared stage chain (features -> decode -> supervector) used by both the
-  /// TFLLR-fit pass in build() (apply_tfllr = false; scaling happens after
-  /// the background fit) and process(); emits trace spans and accumulates
-  /// StageTimes in one place.
+  /// TFLLR-fit pass in decode_splits() (apply_tfllr = false; scaling happens
+  /// after the background fit) and process(); emits trace spans and
+  /// accumulates StageTimes in one place.
   [[nodiscard]] phonotactic::SparseVec process_internal(
       const corpus::Utterance& utt, bool apply_tfllr) const;
+
+  /// Decode the VSM training set, fit + install the TFLLR background and
+  /// return the (scaled, when spec.use_tfllr) training supervectors.
+  [[nodiscard]] std::vector<phonotactic::SparseVec> fit_tfllr(
+      const corpus::Dataset& train);
 
   FrontEndSpec spec_;
   am::PhoneSetMap phone_map_;
@@ -104,6 +176,7 @@ class Subsystem {
   std::unique_ptr<phonotactic::SupervectorBuilder> builder_;
   phonotactic::TfllrScaler tfllr_;
   std::vector<phonotactic::SparseVec> train_supervectors_;
+  bool train_supervectors_taken_ = false;
 
   mutable std::mutex times_mutex_;
   mutable StageTimes times_;

@@ -1,0 +1,99 @@
+// Persistent, content-addressed artifact store.
+//
+// One file per stage product, named by its StageKey, under a cache root
+// resolved from --cache-dir or $PHONOLID_CACHE (unset => the store is
+// disabled and every lookup is a miss).  Entries are self-validating:
+//
+//   "PLAF" magic + kPipelineFormatVersion     (util::BinaryWriter layout)
+//   stage name + key hash                     (echo check: wrong file => miss)
+//   payload byte blob                         (the product's own serialize)
+//   FNV-1a checksum of the payload            (bit flips => miss)
+//
+// Any validation failure *evicts* the entry (unlink + counter + warning)
+// and reports a miss, so corrupt or stale caches degrade to recompute,
+// never to a crash or a wrong result.  Writers serialize to a private temp
+// file and atomically rename it into place, so concurrent producers of the
+// same key are safe (last rename wins; both wrote identical bytes).
+//
+// Counters (obs::Metrics): pipeline.cache.hits / .misses / .evictions /
+// .writes; loads and stores run under trace spans annotated with the key.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "pipeline/stage_key.h"
+
+namespace phonolid::pipeline {
+
+class ArtifactStore {
+ public:
+  /// Disabled store: every load misses, every save is a no-op.
+  ArtifactStore() = default;
+  /// Enabled store rooted at `root` (created if absent).
+  explicit ArtifactStore(std::string root);
+
+  /// Cache root resolution: explicit flag > $PHONOLID_CACHE > disabled.
+  [[nodiscard]] static std::string resolve_root(const std::string& flag);
+
+  [[nodiscard]] bool enabled() const noexcept { return !root_.empty(); }
+  [[nodiscard]] const std::string& root() const noexcept { return root_; }
+
+  /// True (hit) when a valid entry exists: `read` is invoked with a stream
+  /// positioned at the start of the payload.  False on miss, corrupt entry
+  /// (evicted first) or when `read` itself throws util::SerializeError (the
+  /// envelope validated but the payload didn't parse — also evicted).
+  bool load(const StageKey& key,
+            const std::function<void(std::istream&)>& read);
+
+  /// Serialize `write`'s output under `key` (atomic temp + rename).
+  /// Disabled stores and IO failures are non-fatal: the pipeline's result
+  /// never depends on whether a save worked.
+  void save(const StageKey& key,
+            const std::function<void(std::ostream&)>& write);
+
+  /// load-else-compute-and-save in one call.
+  template <typename T>
+  T get_or_compute(const StageKey& key,
+                   const std::function<T(std::istream&)>& load_fn,
+                   const std::function<void(std::ostream&, const T&)>& save_fn,
+                   const std::function<T()>& compute_fn) {
+    T product{};
+    bool hit = false;
+    if (enabled()) {
+      hit = load(key, [&](std::istream& in) { product = load_fn(in); });
+    }
+    if (!hit) {
+      product = compute_fn();
+      save(key, [&](std::ostream& out) { save_fn(out, product); });
+    }
+    return product;
+  }
+
+  struct Status {
+    std::size_t entries = 0;
+    std::uintmax_t bytes = 0;
+  };
+  /// Counts "*.art" entries under the root (0/0 when disabled).
+  [[nodiscard]] Status status() const;
+
+  struct GcResult {
+    std::size_t removed = 0;
+    std::uintmax_t reclaimed_bytes = 0;
+    std::size_t kept = 0;
+  };
+  /// Removes corrupt and stale-format entries plus orphaned temp files;
+  /// valid current-format artifacts are kept.
+  GcResult gc();
+
+  [[nodiscard]] std::string path_for(const StageKey& key) const;
+
+ private:
+  void evict(const StageKey& key, const std::string& reason);
+
+  std::string root_;
+};
+
+}  // namespace phonolid::pipeline

@@ -1,0 +1,104 @@
+#include "pipeline/stage_key.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace phonolid::pipeline {
+
+namespace {
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+}  // namespace
+
+std::uint64_t fnv1a(const void* data, std::size_t size, std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::string StageKey::hex() const {
+  static const char digits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  std::uint64_t h = hash;
+  for (std::size_t i = 16; i-- > 0;) {
+    out[i] = digits[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
+
+std::string StageKey::filename() const { return stage + "-" + hex() + ".art"; }
+
+KeyHasher::KeyHasher(std::string stage)
+    : stage_(std::move(stage)), hash_(kFnvOffset) {
+  add_string(stage_);
+  add_u64(kPipelineFormatVersion);
+}
+
+void KeyHasher::mix(const void* data, std::size_t size) {
+  hash_ = fnv1a(data, size, hash_);
+}
+
+void KeyHasher::tag(char t) { mix(&t, 1); }
+
+KeyHasher& KeyHasher::add_bytes(const void* data, std::size_t size) {
+  tag('b');
+  const auto n = static_cast<std::uint64_t>(size);
+  mix(&n, sizeof n);
+  mix(data, size);
+  return *this;
+}
+
+KeyHasher& KeyHasher::add_u64(std::uint64_t v) {
+  tag('u');
+  mix(&v, sizeof v);
+  return *this;
+}
+
+KeyHasher& KeyHasher::add_i64(std::int64_t v) {
+  tag('i');
+  mix(&v, sizeof v);
+  return *this;
+}
+
+KeyHasher& KeyHasher::add_f64(double v) {
+  // Canonicalise the two zero bit patterns so -0.0 and 0.0 (numerically
+  // equal, so stage outputs are identical) produce the same key.
+  if (v == 0.0) v = 0.0;
+  tag('f');
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  mix(&bits, sizeof bits);
+  return *this;
+}
+
+KeyHasher& KeyHasher::add_bool(bool v) {
+  tag('B');
+  const unsigned char b = v ? 1 : 0;
+  mix(&b, 1);
+  return *this;
+}
+
+KeyHasher& KeyHasher::add_string(const std::string& s) {
+  tag('s');
+  const auto n = static_cast<std::uint64_t>(s.size());
+  mix(&n, sizeof n);
+  mix(s.data(), s.size());
+  return *this;
+}
+
+KeyHasher& KeyHasher::add_key(const StageKey& upstream) {
+  tag('k');
+  add_string(upstream.stage);
+  add_u64(upstream.hash);
+  return *this;
+}
+
+StageKey KeyHasher::finish() const { return StageKey{stage_, hash_}; }
+
+}  // namespace phonolid::pipeline

@@ -1,0 +1,68 @@
+// Content-addressed stage keys.
+//
+// A StageKey fingerprints everything that determines a stage's output: the
+// serialized stage configuration, the keys of its upstream stages, the
+// experiment seed and the on-disk format version.  Equal keys => the cached
+// artifact is byte-reusable; any config / seed / upstream / format change
+// flips the key and the stage recomputes (invalidation is purely by
+// content, never by timestamps).
+//
+// The fingerprint is 64-bit FNV-1a over *tagged* fields — every add_* call
+// mixes a type tag and, for variable-length data, the length, so field
+// sequences cannot alias ("ab"+"c" != "a"+"bc").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace phonolid::pipeline {
+
+/// Bump when any artifact's on-disk layout changes; participates in every
+/// key, so stale-format entries simply miss (and `phonolid pipeline gc`
+/// removes them).  Mirrored by the CI artifact-cache key in
+/// .github/workflows/ci.yml — bump both together.
+inline constexpr std::uint32_t kPipelineFormatVersion = 1;
+
+struct StageKey {
+  std::string stage;       // e.g. "frontend", "supervectors", "vsm"
+  std::uint64_t hash = 0;  // FNV-1a fingerprint
+
+  [[nodiscard]] std::string hex() const;       // 16 lowercase hex digits
+  [[nodiscard]] std::string filename() const;  // "<stage>-<hex>.art"
+
+  friend bool operator==(const StageKey& a, const StageKey& b) noexcept {
+    return a.hash == b.hash && a.stage == b.stage;
+  }
+};
+
+/// Incremental FNV-1a fingerprint builder.  The constructor mixes the stage
+/// name and kPipelineFormatVersion, so keys are stable across processes for
+/// identical inputs and never collide across stages or format revisions.
+class KeyHasher {
+ public:
+  explicit KeyHasher(std::string stage);
+
+  KeyHasher& add_bytes(const void* data, std::size_t size);
+  KeyHasher& add_u64(std::uint64_t v);
+  KeyHasher& add_i64(std::int64_t v);
+  KeyHasher& add_f64(double v);
+  KeyHasher& add_bool(bool v);
+  KeyHasher& add_string(const std::string& s);
+  /// Chains an upstream stage's key into this one.
+  KeyHasher& add_key(const StageKey& upstream);
+
+  [[nodiscard]] StageKey finish() const;
+
+ private:
+  void mix(const void* data, std::size_t size);
+  void tag(char t);
+
+  std::string stage_;
+  std::uint64_t hash_;
+};
+
+/// Raw FNV-1a over a byte range (used for artifact payload checksums).
+[[nodiscard]] std::uint64_t fnv1a(const void* data, std::size_t size,
+                                  std::uint64_t seed = 14695981039346656037ull);
+
+}  // namespace phonolid::pipeline

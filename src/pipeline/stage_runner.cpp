@@ -1,0 +1,44 @@
+#include "pipeline/stage_runner.h"
+
+#include <future>
+
+#include "obs/trace.h"
+
+namespace phonolid::pipeline {
+
+void StageRunner::add(std::string name, std::function<void()> fn) {
+  stages_.push_back({std::move(name), std::move(fn)});
+}
+
+void StageRunner::run_all() {
+  std::vector<Stage> stages = std::move(stages_);
+  stages_.clear();
+  if (stages.empty()) return;
+  if (stages.size() == 1) {
+    obs::Span span(stages[0].name.c_str());
+    stages[0].fn();
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(stages.size());
+  for (Stage& stage : stages) {
+    // stage.name outlives the span: `stages` is alive until every future
+    // below completed.
+    futures.push_back(pool_.submit([&stage] {
+      obs::Span span(stage.name.c_str());
+      stage.fn();
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    pool_.wait_helping(f);
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace phonolid::pipeline

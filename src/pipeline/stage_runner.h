@@ -1,0 +1,48 @@
+// Scheduler for independent pipeline stages.
+//
+// The experiment's stage graph is wide and shallow: the six front-ends'
+// train -> decode -> vsm chains have no cross edges until the vote stage,
+// so each chain is submitted to the existing thread pool as one job.  The
+// calling thread *helps* drain the pool while waiting
+// (ThreadPool::wait_helping), which makes the nesting safe: stage bodies
+// freely call parallel_for over utterances without deadlocking even on a
+// single-worker pool.
+//
+// Per-stage wall time is recorded under the "stage/<name>" trace span path;
+// exceptions propagate to run_all() (first one wins, remaining stages still
+// finish — disjoint outputs keep results deterministic).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace phonolid::pipeline {
+
+class StageRunner {
+ public:
+  explicit StageRunner(util::ThreadPool& pool = util::ThreadPool::global())
+      : pool_(pool) {}
+
+  /// Register one independent stage; `fn` runs exactly once per run_all().
+  void add(std::string name, std::function<void()> fn);
+
+  [[nodiscard]] std::size_t size() const noexcept { return stages_.size(); }
+
+  /// Run every registered stage, then clear the list.  Rethrows the first
+  /// stage exception after all stages completed.
+  void run_all();
+
+ private:
+  struct Stage {
+    std::string name;
+    std::function<void()> fn;
+  };
+
+  util::ThreadPool& pool_;
+  std::vector<Stage> stages_;
+};
+
+}  // namespace phonolid::pipeline

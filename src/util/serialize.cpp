@@ -25,6 +25,11 @@ void BinaryWriter::write_string(const std::string& s) {
   if (!s.empty()) raw(s.data(), s.size());
 }
 
+void BinaryWriter::write_bytes(const std::string& bytes) {
+  write_u64(bytes.size());
+  if (!bytes.empty()) raw(bytes.data(), bytes.size());
+}
+
 void BinaryWriter::write_f32_vec(const std::vector<float>& v) {
   write_u64(v.size());
   if (!v.empty()) raw(v.data(), v.size() * sizeof(float));
@@ -90,7 +95,15 @@ double BinaryReader::read_f64() {
 
 std::string BinaryReader::read_string() {
   const std::uint64_t n = read_u64();
-  if (n > kMaxElements) throw SerializeError("string too long");
+  if (n > kMaxStringBytes) throw SerializeError("string too long");
+  std::string s(n, '\0');
+  if (n > 0) raw(s.data(), n);
+  return s;
+}
+
+std::string BinaryReader::read_bytes() {
+  const std::uint64_t n = read_u64();
+  if (n > kMaxElements) throw SerializeError("byte blob too long");
   std::string s(n, '\0');
   if (n > 0) raw(s.data(), n);
   return s;

@@ -30,6 +30,8 @@ class BinaryWriter {
   void write_f32(float v);
   void write_f64(double v);
   void write_string(const std::string& s);
+  /// Length-prefixed raw byte blob (artifact payloads); no interpretation.
+  void write_bytes(const std::string& bytes);
   void write_f32_vec(const std::vector<float>& v);
   void write_f64_vec(const std::vector<double>& v);
   void write_u32_vec(const std::vector<std::uint32_t>& v);
@@ -51,6 +53,8 @@ class BinaryReader {
   float read_f32();
   double read_f64();
   std::string read_string();
+  /// Counterpart of write_bytes; rejects blobs larger than kMaxElements.
+  std::string read_bytes();
   std::vector<float> read_f32_vec();
   std::vector<double> read_f64_vec();
   std::vector<std::uint32_t> read_u32_vec();
@@ -60,6 +64,9 @@ class BinaryReader {
   std::istream& in_;
   // Guard against hostile / corrupt length prefixes.
   static constexpr std::uint64_t kMaxElements = 1ull << 32;
+  // Strings are identifiers/paths, never bulk data: a multi-gigabyte length
+  // prefix is always corruption, so cap them far tighter than the vectors.
+  static constexpr std::uint64_t kMaxStringBytes = 1ull << 20;
 };
 
 }  // namespace phonolid::util

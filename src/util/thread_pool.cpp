@@ -72,11 +72,24 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   return fut;
 }
 
-void ThreadPool::worker_loop(std::size_t worker_index) {
+void ThreadPool::run_task(QueuedTask& item) {
   using clock = std::chrono::steady_clock;
+  PoolMetrics& metrics = pool_metrics();
+  const std::int64_t depth = metrics.queue_depth.add(-1);
+  PHONOLID_COUNTER_SAMPLE("threadpool.queue_depth",
+                          static_cast<double>(depth));
+  const auto start = clock::now();
+  metrics.wait_s.observe(
+      std::chrono::duration<double>(start - item.enqueued).count());
+  item.task();  // packaged_task captures exceptions into the future
+  metrics.run_s.observe(
+      std::chrono::duration<double>(clock::now() - start).count());
+  metrics.completed.add();
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
   obs::FlightRecorder::set_thread_name("pool-worker-" +
                                        std::to_string(worker_index));
-  PoolMetrics& metrics = pool_metrics();
   for (;;) {
     QueuedTask item;
     {
@@ -86,16 +99,29 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       item = std::move(tasks_.front());
       tasks_.pop();
     }
-    const std::int64_t depth = metrics.queue_depth.add(-1);
-    PHONOLID_COUNTER_SAMPLE("threadpool.queue_depth",
-                            static_cast<double>(depth));
-    const auto start = clock::now();
-    metrics.wait_s.observe(
-        std::chrono::duration<double>(start - item.enqueued).count());
-    item.task();  // packaged_task captures exceptions into the future
-    metrics.run_s.observe(
-        std::chrono::duration<double>(clock::now() - start).count());
-    metrics.completed.add();
+    run_task(item);
+  }
+}
+
+bool ThreadPool::try_run_one() {
+  QueuedTask item;
+  {
+    std::lock_guard lock(mutex_);
+    if (tasks_.empty()) return false;
+    item = std::move(tasks_.front());
+    tasks_.pop();
+  }
+  run_task(item);
+  return true;
+}
+
+void ThreadPool::wait_helping(std::future<void>& future) {
+  using namespace std::chrono_literals;
+  while (future.wait_for(0s) != std::future_status::ready) {
+    if (!try_run_one()) {
+      // Queue empty but our task still runs elsewhere; back off briefly.
+      future.wait_for(100us);
+    }
   }
 }
 
@@ -142,6 +168,7 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
   }
   std::exception_ptr first_error;
   for (auto& f : futures) {
+    pool.wait_helping(f);
     try {
       f.get();
     } catch (...) {

@@ -38,6 +38,17 @@ class ThreadPool {
   /// Enqueue a task; returns a future for its completion.
   std::future<void> submit(std::function<void()> task);
 
+  /// Pop one queued task and run it on the *calling* thread; returns false
+  /// when the queue is empty.  This is how blocked waiters (parallel_for,
+  /// pipeline::StageRunner) help drain the queue instead of deadlocking
+  /// when every worker is itself waiting on nested tasks.
+  bool try_run_one();
+
+  /// Wait for `future`, executing queued tasks while it is not ready.
+  /// Safe to call from pool workers (nested parallelism cannot deadlock:
+  /// the waiter makes progress on whatever is queued).
+  void wait_helping(std::future<void>& future);
+
   /// Process-wide pool, sized from PHONOLID_THREADS or hardware concurrency.
   static ThreadPool& global();
 
@@ -47,6 +58,7 @@ class ThreadPool {
     std::chrono::steady_clock::time_point enqueued;
   };
 
+  void run_task(QueuedTask& item);
   void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;

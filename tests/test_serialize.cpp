@@ -89,5 +89,36 @@ TEST(Serialize, CorruptLengthPrefixThrows) {
   EXPECT_THROW(r.read_f32_vec(), SerializeError);
 }
 
+TEST(Serialize, BytesRoundTrip) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  std::string blob = "binary\0blob\xff payload";
+  blob.push_back('\0');
+  w.write_bytes(blob);
+  w.write_bytes("");
+  BinaryReader r(ss);
+  EXPECT_EQ(r.read_bytes(), blob);
+  EXPECT_EQ(r.read_bytes(), "");
+}
+
+TEST(Serialize, OversizedBytesLengthThrows) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_u64(0x7FFFFFFFFFFFull);  // claims ~128 TiB of payload
+  BinaryReader r(ss);
+  EXPECT_THROW(r.read_bytes(), SerializeError);
+}
+
+TEST(Serialize, OversizedStringLengthThrows) {
+  // Strings are identifiers, never bulk data: a corrupted length prefix
+  // beyond kMaxStringBytes must be rejected before allocation, even though
+  // it would pass the (much larger) element-count guard.
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.write_u64((1ull << 20) + 1);
+  BinaryReader r(ss);
+  EXPECT_THROW(r.read_string(), SerializeError);
+}
+
 }  // namespace
 }  // namespace phonolid::util

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 
 #include "core/subsystem.h"
 
@@ -121,6 +122,73 @@ TEST_F(SubsystemTest, InvalidNativeLanguageThrows) {
   FrontEndSpec spec = micro_spec(ModelFamily::kGmmHmm);
   spec.native_language = 99;
   EXPECT_THROW(Subsystem::build(*corpus_, spec, 1), std::invalid_argument);
+}
+
+TEST_F(SubsystemTest, SecondTakeOfTrainSupervectorsThrows) {
+  auto sub = Subsystem::build(*corpus_, micro_spec(ModelFamily::kGmmHmm), 7);
+  const auto svs = sub->take_train_supervectors();
+  EXPECT_EQ(svs.size(), corpus_->vsm_train().size());
+  // The moved-out cache would silently be empty — that's always a bug.
+  EXPECT_THROW((void)sub->take_train_supervectors(), std::logic_error);
+}
+
+TEST_F(SubsystemTest, TrainedFrontEndRoundTripReproducesSubsystem) {
+  for (auto family : {ModelFamily::kGmmHmm, ModelFamily::kAnnHmm,
+                      ModelFamily::kDnnHmm}) {
+    const FrontEndSpec spec = micro_spec(family);
+    TrainedFrontEnd fe = Subsystem::train_front_end(*corpus_, spec, 8);
+    std::stringstream ss;
+    fe.serialize(ss);
+    TrainedFrontEnd restored = TrainedFrontEnd::deserialize(ss);
+    EXPECT_EQ(restored.family, family);
+    EXPECT_EQ(restored.phone_map.mapping(), fe.phone_map.mapping());
+
+    // A subsystem assembled from the deserialized front end must process
+    // identically to the freshly built one.
+    auto direct = Subsystem::build(*corpus_, spec, 8);
+    auto warm = Subsystem::assemble(*corpus_, spec, std::move(restored));
+    const DecodedSupervectors ds = warm->decode_splits(*corpus_);
+    const auto direct_svs = direct->take_train_supervectors();
+    ASSERT_EQ(ds.train.size(), direct_svs.size());
+    for (std::size_t u = 0; u < ds.train.size(); ++u) {
+      ASSERT_EQ(ds.train[u].nnz(), direct_svs[u].nnz());
+      for (std::size_t i = 0; i < ds.train[u].nnz(); ++i) {
+        EXPECT_EQ(ds.train[u].indices()[i], direct_svs[u].indices()[i]);
+        EXPECT_FLOAT_EQ(ds.train[u].values()[i], direct_svs[u].values()[i]);
+      }
+    }
+  }
+}
+
+TEST_F(SubsystemTest, DecodedSupervectorsRoundTrip) {
+  auto sub = Subsystem::build(*corpus_, micro_spec(ModelFamily::kGmmHmm), 9);
+  auto warm = Subsystem::assemble(
+      *corpus_, micro_spec(ModelFamily::kGmmHmm),
+      Subsystem::train_front_end(*corpus_, micro_spec(ModelFamily::kGmmHmm),
+                                 9));
+  const DecodedSupervectors ds = warm->decode_splits(*corpus_);
+  std::stringstream ss;
+  ds.serialize(ss);
+  const DecodedSupervectors restored = DecodedSupervectors::deserialize(ss);
+  ASSERT_EQ(restored.train.size(), ds.train.size());
+  ASSERT_EQ(restored.dev.size(), ds.dev.size());
+  ASSERT_EQ(restored.test.size(), ds.test.size());
+  for (std::size_t u = 0; u < ds.test.size(); ++u) {
+    ASSERT_EQ(restored.test[u].nnz(), ds.test[u].nnz());
+    for (std::size_t i = 0; i < ds.test[u].nnz(); ++i) {
+      EXPECT_EQ(restored.test[u].indices()[i], ds.test[u].indices()[i]);
+      EXPECT_FLOAT_EQ(restored.test[u].values()[i], ds.test[u].values()[i]);
+    }
+  }
+  // The restored scaler transforms a fresh utterance identically to the
+  // fitted one (warm runs install it via set_tfllr).
+  sub->set_tfllr(restored.tfllr);
+  const auto direct = warm->process(corpus_->test()[0]);
+  const auto via_restored = sub->process(corpus_->test()[0]);
+  ASSERT_EQ(direct.nnz(), via_restored.nnz());
+  for (std::size_t i = 0; i < direct.nnz(); ++i) {
+    EXPECT_FLOAT_EQ(direct.values()[i], via_restored.values()[i]);
+  }
 }
 
 TEST_F(SubsystemTest, TfllrOffChangesSupervectors) {

@@ -26,7 +26,9 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "core/stage_cache.h"
 #include "obs/exporters.h"
+#include "pipeline/artifact_store.h"
 #include "obs/flight_recorder.h"
 #include "obs/report.h"
 #include "obs/report_diff.h"
@@ -56,9 +58,16 @@ void usage() {
       "                 [--max-regress pct] [--max-eer-delta x]\n"
       "                 [--min-span-s s]\n"
       "               exits 1 when a threshold is violated\n"
+      "  pipeline     artifact-store maintenance:\n"
+      "               pipeline status [--cache-dir D]  entry count + bytes\n"
+      "               pipeline gc     [--cache-dir D]  drop corrupt/stale\n"
+      "                                               entries + orphan temps\n"
       "global flags: --scale quick|default|full  --seed N\n"
       "              --report out.json  (corpus/decode/run/det/votes: write\n"
       "              a structured JSON run report)\n"
+      "              --cache-dir D  persist stage artifacts (front-end\n"
+      "              models, supervectors, VSMs) so re-runs skip training\n"
+      "              and decoding; $PHONOLID_CACHE is the env fallback\n"
       "env: PHONOLID_TRACE=t.json PHONOLID_PROM=m.prom  record and export a\n"
       "     flight-recorder trace / Prometheus metrics from any command\n");
 }
@@ -113,13 +122,15 @@ struct Args {
 /// silent no-op (a typoed --sclae must not quietly run at default scale).
 const std::map<std::string, std::set<std::string>>& command_flags() {
   static const std::map<std::string, std::set<std::string>> flags = {
-      {"corpus", {"scale", "seed", "report"}},
-      {"decode", {"scale", "seed", "report", "frontend", "utterance"}},
-      {"run", {"scale", "seed", "report", "v", "mode"}},
-      {"det", {"scale", "seed", "report", "points"}},
-      {"votes", {"scale", "seed", "report"}},
-      {"export", {"scale", "seed", "v", "trace", "prom"}},
+      {"corpus", {"scale", "seed", "report", "cache-dir"}},
+      {"decode",
+       {"scale", "seed", "report", "frontend", "utterance", "cache-dir"}},
+      {"run", {"scale", "seed", "report", "v", "mode", "cache-dir"}},
+      {"det", {"scale", "seed", "report", "points", "cache-dir"}},
+      {"votes", {"scale", "seed", "report", "cache-dir"}},
+      {"export", {"scale", "seed", "v", "trace", "prom", "cache-dir"}},
       {"report-diff", {"max-regress", "max-eer-delta", "min-span-s"}},
+      {"pipeline", {"cache-dir"}},
   };
   return flags;
 }
@@ -173,6 +184,7 @@ core::ExperimentConfig config_from(const Args& args) {
       args.get_int("seed", static_cast<long>(util::master_seed())));
   auto cfg = core::ExperimentConfig::preset(scale, seed);
   cfg.report_path = args.get("report", "");
+  cfg.cache_dir = args.get("cache-dir", "");
   return cfg;
 }
 
@@ -286,7 +298,26 @@ int cmd_decode(const Args& args) {
     return 1;
   }
   const auto corpus = corpus::LreCorpus::build(cfg.corpus);
-  const auto sub = core::Subsystem::build(corpus, cfg.frontends[q], cfg.seed);
+  // Pull the trained front-end from the artifact store when possible —
+  // decoding one utterance needs no TFLLR fit, so a warm decode skips all
+  // training (a disabled store just computes).
+  pipeline::ArtifactStore store(
+      pipeline::ArtifactStore::resolve_root(cfg.cache_dir));
+  const auto fe_key = core::frontend_stage_key(
+      core::corpus_stage_key(cfg.corpus, cfg.scale, cfg.seed),
+      cfg.frontends[q], cfg.seed);
+  auto fe = store.get_or_compute<core::TrainedFrontEnd>(
+      fe_key,
+      [](std::istream& in) { return core::TrainedFrontEnd::deserialize(in); },
+      [](std::ostream& out, const core::TrainedFrontEnd& v) {
+        v.serialize(out);
+      },
+      [&] {
+        return core::Subsystem::train_front_end(corpus, cfg.frontends[q],
+                                                cfg.seed);
+      });
+  const auto sub =
+      core::Subsystem::assemble(corpus, cfg.frontends[q], std::move(fe));
   const auto utt_index =
       static_cast<std::size_t>(args.get_int("utterance", 0)) %
       corpus.test().size();
@@ -507,6 +538,40 @@ int cmd_export(const Args& args) {
   return 0;
 }
 
+int cmd_pipeline(const Args& args) {
+  const std::string verb =
+      args.positionals.empty() ? "status" : args.positionals[0];
+  const std::string root =
+      pipeline::ArtifactStore::resolve_root(args.get("cache-dir", ""));
+  if (root.empty()) {
+    std::fprintf(stderr,
+                 "error: no cache directory (pass --cache-dir or set "
+                 "$PHONOLID_CACHE)\n");
+    return 2;
+  }
+  pipeline::ArtifactStore store(root);
+  if (verb == "status") {
+    const auto st = store.status();
+    std::printf("cache dir : %s\n", store.root().c_str());
+    std::printf("format    : v%u\n",
+                static_cast<unsigned>(pipeline::kPipelineFormatVersion));
+    std::printf("entries   : %zu\n", st.entries);
+    std::printf("bytes     : %ju\n", static_cast<std::uintmax_t>(st.bytes));
+    return 0;
+  }
+  if (verb == "gc") {
+    const auto r = store.gc();
+    std::printf("kept %zu entries, removed %zu (%ju bytes reclaimed)\n",
+                r.kept, r.removed,
+                static_cast<std::uintmax_t>(r.reclaimed_bytes));
+    return 0;
+  }
+  std::fprintf(stderr, "error: unknown pipeline verb '%s' (status|gc)\n",
+               verb.c_str());
+  usage();
+  return 2;
+}
+
 int cmd_report_diff(const Args& args) {
   if (args.positionals.size() != 2) {
     std::fprintf(stderr,
@@ -534,6 +599,7 @@ int dispatch(const Args& args) {
   if (args.command == "det") return cmd_det(args);
   if (args.command == "votes") return cmd_votes(args);
   if (args.command == "export") return cmd_export(args);
+  if (args.command == "pipeline") return cmd_pipeline(args);
   if (args.command == "report-diff") return cmd_report_diff(args);
   usage();
   return args.command.empty() ? 1 : 2;
