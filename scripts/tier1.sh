@@ -12,10 +12,16 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
 cmake -B build-tsan -S . -DPHONOLID_SANITIZE=thread
-cmake --build build-tsan -j --target test_obs test_thread_pool test_pipeline_store
+cmake --build build-tsan -j --target test_obs test_thread_pool test_pipeline_store test_la_kernels
 ./build-tsan/tests/test_obs
 ./build-tsan/tests/test_thread_pool
 ./build-tsan/tests/test_pipeline_store
+./build-tsan/tests/test_la_kernels
+
+# Kernel microbenchmark smoke: one repetition at minimal time, just to prove
+# the harness runs and every registered shape executes.
+cmake --build build -j --target bench_kernels
+./build/bench/bench_kernels --benchmark_min_time=0.01
 
 # End-to-end observability smoke: a traced quick run must produce a loadable
 # Chrome trace, Prometheus text, and a schema-v1 report that (a) diffs clean

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "dsp/features.h"
+#include "la/kernels.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 #include "util/rng.h"
@@ -67,39 +68,31 @@ UbmLrSystem UbmLrSystem::train(const corpus::Dataset& train,
   system.ubm_.train(pool, ubm_cfg);
 
   // --- MAP adaptation of means, per language. ---
+  // Component posteriors for a whole utterance come from one batched GEMM
+  // against the UBM; the zeroth/first-order statistics are then a column
+  // sum and a Gamma^T X product.
   const std::size_t m = system.ubm_.num_components();
   std::vector<util::Matrix> acc_x(num_languages, util::Matrix(m, dim, 0.0f));
   std::vector<std::vector<double>> acc_gamma(num_languages,
                                              std::vector<double>(m, 0.0));
-  std::vector<double> post(m);
+  util::Matrix gamma;
   for (std::size_t i = 0; i < train.size(); ++i) {
     const auto lang = static_cast<std::size_t>(train[i].language);
     if (train[i].language < 0 || lang >= num_languages) {
       throw std::invalid_argument("UbmLrSystem::train: bad label");
     }
     const auto& f = features[i];
+    if (f.rows() == 0) continue;
+    system.ubm_.component_log_likelihoods(f, gamma);
     for (std::size_t t = 0; t < f.rows(); ++t) {
-      auto row = f.row(t);
-      // Component posteriors under the UBM.
-      double best = -1e300;
+      auto row = gamma.row(t);
+      const float lse = util::log_sum_exp(row);
       for (std::size_t c = 0; c < m; ++c) {
-        post[c] = system.ubm_.log_weights()[c] +
-                  system.ubm_.component(c).log_likelihood(row);
-        best = std::max(best, post[c]);
-      }
-      double sum = 0.0;
-      for (std::size_t c = 0; c < m; ++c) {
-        post[c] = std::exp(post[c] - best);
-        sum += post[c];
-      }
-      const double inv = 1.0 / sum;
-      for (std::size_t c = 0; c < m; ++c) {
-        const double g = post[c] * inv;
-        if (g < 1e-6) continue;
-        acc_gamma[lang][c] += g;
-        util::axpy(static_cast<float>(g), row, acc_x[lang].row(c));
+        row[c] = std::exp(row[c] - lse);
+        acc_gamma[lang][c] += row[c];
       }
     }
+    la::gemm_tn(gamma, f, acc_x[lang], 1.0f, /*accumulate=*/true);
   }
   system.adapted_means_.resize(num_languages);
   for (std::size_t l = 0; l < num_languages; ++l) {
@@ -117,34 +110,28 @@ UbmLrSystem UbmLrSystem::train(const corpus::Dataset& train,
       }
     }
   }
+  system.rebuild_adapted_scorer();
   PHONOLID_INFO("acoustic") << "trained GMM-UBM: " << m << " components, "
                             << num_languages << " MAP-adapted languages";
   return system;
 }
 
-double UbmLrSystem::adapted_log_likelihood(std::span<const float> x,
-                                           std::size_t l) const {
+void UbmLrSystem::rebuild_adapted_scorer() {
   const std::size_t m = ubm_.num_components();
-  double lls[64];
-  double best = -1e300;
-  for (std::size_t c = 0; c < m; ++c) {
-    // Shared UBM covariances/weights, adapted mean.
-    const auto& var = ubm_.component(c).var();
-    const auto mean = adapted_means_[l].row(c);
-    double quad = 0.0, log_det = 0.0;
-    for (std::size_t d = 0; d < x.size(); ++d) {
-      const double diff = x[d] - mean[d];
-      quad += diff * diff / var[d];
-      log_det += std::log(static_cast<double>(var[d]));
+  const std::size_t langs = adapted_means_.size();
+  la::BatchedGaussians::Builder builder(ubm_.dim(), langs * m);
+  lang_seg_.clear();
+  lang_seg_.reserve(langs + 1);
+  lang_seg_.push_back(0);
+  for (std::size_t l = 0; l < langs; ++l) {
+    for (std::size_t c = 0; c < m; ++c) {
+      // Shared UBM covariances/weights, adapted mean.
+      builder.add(adapted_means_[l].row(c), ubm_.component(c).var(),
+                  ubm_.log_weights()[c]);
     }
-    lls[c] = ubm_.log_weights()[c] -
-             0.5 * (static_cast<double>(x.size()) * std::log(2.0 * 3.14159265358979) +
-                    log_det + quad);
-    best = std::max(best, lls[c]);
+    lang_seg_.push_back(lang_seg_.back() + m);
   }
-  double sum = 0.0;
-  for (std::size_t c = 0; c < m; ++c) sum += std::exp(lls[c] - best);
-  return best + std::log(sum);
+  adapted_all_ = builder.build();
 }
 
 void UbmLrSystem::score(const corpus::Utterance& utt,
@@ -153,18 +140,24 @@ void UbmLrSystem::score(const corpus::Utterance& utt,
     throw std::invalid_argument("UbmLrSystem::score: bad output span");
   }
   const util::Matrix feats = features_of(utt.samples);
-  std::vector<double> totals(num_languages(), 0.0);
+  const std::size_t langs = num_languages();
+  std::vector<double> totals(langs, 0.0);
   double ubm_total = 0.0;
+  std::vector<float> ubm_ll;
+  ubm_.log_likelihoods(feats, ubm_ll);
+  for (const float ll : ubm_ll) ubm_total += ll;
+  // All languages' adapted mixtures score as one GEMM; the per-language
+  // mixture reduction is a segment log-sum-exp over the packed row.
+  util::Matrix comp_scores;
+  adapted_all_.score(feats, comp_scores);
+  std::vector<float> lang_ll(langs);
   for (std::size_t t = 0; t < feats.rows(); ++t) {
-    auto row = feats.row(t);
-    ubm_total += ubm_.log_likelihood(row);
-    for (std::size_t l = 0; l < num_languages(); ++l) {
-      totals[l] += adapted_log_likelihood(row, l);
-    }
+    la::logsumexp_segments(comp_scores.row(t), lang_seg_, lang_ll);
+    for (std::size_t l = 0; l < langs; ++l) totals[l] += lang_ll[l];
   }
   const double inv =
       feats.rows() > 0 ? 1.0 / static_cast<double>(feats.rows()) : 0.0;
-  for (std::size_t l = 0; l < num_languages(); ++l) {
+  for (std::size_t l = 0; l < langs; ++l) {
     out[l] = static_cast<float>((totals[l] - ubm_total) * inv);
   }
 }

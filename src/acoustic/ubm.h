@@ -53,16 +53,17 @@ class UbmLrSystem {
  private:
   [[nodiscard]] util::Matrix features_of(
       const std::vector<float>& samples) const;
-  /// Log-likelihood of a frame under language `l`'s adapted means (shared
-  /// UBM weights and variances).
-  [[nodiscard]] double adapted_log_likelihood(std::span<const float> x,
-                                              std::size_t l) const;
+  /// Packs every language's adapted components (shared UBM weights and
+  /// variances) into one GEMM scorer; built eagerly at the end of train().
+  void rebuild_adapted_scorer();
 
   UbmMapConfig config_;
   dsp::MfccExtractor mfcc_{dsp::MfccConfig{}};
   am::DiagGmm ubm_;
   /// adapted_means_[l] : components x dim matrix of MAP-adapted means.
   std::vector<util::Matrix> adapted_means_;
+  la::BatchedGaussians adapted_all_;      // num_languages * m components
+  std::vector<std::size_t> lang_seg_;     // per-language component offsets
 };
 
 }  // namespace phonolid::acoustic

@@ -7,6 +7,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "la/kernels.h"
 #include "util/math_util.h"
 #include "util/serialize.h"
 
@@ -50,18 +51,39 @@ float DiagGaussian::log_likelihood(std::span<const float> x) const noexcept {
 
 float DiagGmm::log_likelihood(std::span<const float> x) const noexcept {
   if (components_.empty()) return -std::numeric_limits<float>::infinity();
-  float best = -std::numeric_limits<float>::infinity();
-  // Small component counts: direct log-sum-exp without a scratch buffer.
+  // Small component counts: stack scratch plus the shared log-sum-exp.
   float lls[64];
   const std::size_t m = components_.size();
   assert(m <= 64);
   for (std::size_t i = 0; i < m; ++i) {
     lls[i] = log_weights_[i] + components_[i].log_likelihood(x);
-    best = std::max(best, lls[i]);
   }
-  double sum = 0.0;
-  for (std::size_t i = 0; i < m; ++i) sum += std::exp(static_cast<double>(lls[i] - best));
-  return best + static_cast<float>(std::log(sum));
+  return util::log_sum_exp(std::span<const float>(lls, m));
+}
+
+void DiagGmm::rebuild_batched() {
+  la::BatchedGaussians::Builder builder(dim(), components_.size());
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    builder.add(components_[i].mean(), components_[i].var(), log_weights_[i]);
+  }
+  batched_ = builder.build();
+}
+
+void DiagGmm::component_log_likelihoods(const util::Matrix& frames,
+                                        util::Matrix& out,
+                                        util::ThreadPool* pool) const {
+  batched_.score(frames, out, pool);
+}
+
+void DiagGmm::log_likelihoods(const util::Matrix& frames,
+                              std::vector<float>& out,
+                              util::ThreadPool* pool) const {
+  util::Matrix scores;
+  batched_.score(frames, scores, pool);
+  out.resize(frames.rows());
+  for (std::size_t t = 0; t < frames.rows(); ++t) {
+    out[t] = util::log_sum_exp(scores.row(t));
+  }
 }
 
 double DiagGmm::train(const util::Matrix& frames, const GmmTrainConfig& config) {
@@ -106,18 +128,28 @@ double DiagGmm::train(const util::Matrix& frames, const GmmTrainConfig& config) 
     }
   }
   std::vector<std::size_t> assign(n, 0);
+  util::Matrix centroid_mat(m, dim);
+  util::Matrix proj;  // n x m frame-centroid inner products
+  std::vector<float> half_norm(m);
   for (std::size_t iter = 0; iter < config.kmeans_iters; ++iter) {
-    // Assign.
+    // Assign: argmin_i ||x - c_i||^2 = argmin_i (||c_i||^2/2 - x.c_i), with
+    // all inner products computed as one GEMM.
+    for (std::size_t i = 0; i < m; ++i) {
+      float* __restrict__ dst = centroid_mat.row(i).data();
+      float nrm = 0.0f;
+      for (std::size_t d = 0; d < dim; ++d) {
+        dst[d] = centroids[i][d];
+        nrm += centroids[i][d] * centroids[i][d];
+      }
+      half_norm[i] = 0.5f * nrm;
+    }
+    la::gemm_nt(frames, centroid_mat, proj);
     for (std::size_t t = 0; t < n; ++t) {
-      auto row = frames.row(t);
+      const float* __restrict__ p = proj.row(t).data();
       float best = std::numeric_limits<float>::infinity();
       std::size_t best_i = 0;
       for (std::size_t i = 0; i < m; ++i) {
-        float dist = 0.0f;
-        for (std::size_t d = 0; d < dim; ++d) {
-          const float diff = row[d] - centroids[i][d];
-          dist += diff * diff;
-        }
+        const float dist = half_norm[i] - p[i];
         if (dist < best) {
           best = dist;
           best_i = i;
@@ -177,40 +209,40 @@ double DiagGmm::train(const util::Matrix& frames, const GmmTrainConfig& config) 
     for (auto& w : log_weights_) w -= lse;
   }
 
-  // --- EM refinement. ---
+  rebuild_batched();
+
+  // --- EM refinement, fully batched: the E-step scores every frame against
+  // every component as one GEMM, and the M-step sufficient statistics are
+  // Gamma^T X / Gamma^T X^2 products.  Reduction orders are fixed, so the
+  // result is independent of thread count.
   double avg_ll = -std::numeric_limits<double>::infinity();
-  std::vector<double> gamma(m);
+  util::Matrix gamma;  // n x m: scores, then responsibilities in place
+  util::Matrix sq(n, dim);
+  for (std::size_t t = 0; t < n; ++t) {
+    const float* __restrict__ x = frames.row(t).data();
+    float* __restrict__ s = sq.row(t).data();
+    for (std::size_t d = 0; d < dim; ++d) s[d] = x[d] * x[d];
+  }
+  util::Matrix stat_mean;  // m x dim: sum_t gamma(t,i) x_t
+  util::Matrix stat_sq;    // m x dim: sum_t gamma(t,i) x_t^2
   for (std::size_t iter = 0; iter < config.em_iters; ++iter) {
-    std::vector<double> acc_w(m, 0.0);
-    std::vector<std::vector<double>> acc_mean(m, std::vector<double>(dim, 0.0));
-    std::vector<std::vector<double>> acc_sq(m, std::vector<double>(dim, 0.0));
+    batched_.score(frames, gamma);
     double total_ll = 0.0;
     for (std::size_t t = 0; t < n; ++t) {
-      auto row = frames.row(t);
-      double best = -std::numeric_limits<double>::infinity();
-      for (std::size_t i = 0; i < m; ++i) {
-        gamma[i] = log_weights_[i] + components_[i].log_likelihood(row);
-        best = std::max(best, gamma[i]);
-      }
-      double sum = 0.0;
-      for (std::size_t i = 0; i < m; ++i) {
-        gamma[i] = std::exp(gamma[i] - best);
-        sum += gamma[i];
-      }
-      total_ll += best + std::log(sum);
-      const double inv = 1.0 / sum;
-      for (std::size_t i = 0; i < m; ++i) {
-        const double g = gamma[i] * inv;
-        if (g < 1e-8) continue;
-        acc_w[i] += g;
-        for (std::size_t d = 0; d < dim; ++d) {
-          const double x = row[d];
-          acc_mean[i][d] += g * x;
-          acc_sq[i][d] += g * x * x;
-        }
-      }
+      auto row = gamma.row(t);
+      const float lse = util::log_sum_exp(row);
+      total_ll += lse;
+      for (auto& g : row) g = std::exp(g - lse);
     }
     avg_ll = total_ll / static_cast<double>(n);
+
+    std::vector<double> acc_w(m, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const float* __restrict__ g = gamma.row(t).data();
+      for (std::size_t i = 0; i < m; ++i) acc_w[i] += g[i];
+    }
+    la::gemm_tn(gamma, frames, stat_mean);
+    la::gemm_tn(gamma, sq, stat_sq);
 
     for (std::size_t i = 0; i < m; ++i) {
       const double w = acc_w[i] / static_cast<double>(n);
@@ -222,10 +254,10 @@ double DiagGmm::train(const util::Matrix& frames, const GmmTrainConfig& config) 
       }
       std::vector<float> mean(dim), var(dim);
       for (std::size_t d = 0; d < dim; ++d) {
-        const double mu = acc_mean[i][d] / acc_w[i];
-        const double sq = acc_sq[i][d] / acc_w[i] - mu * mu;
+        const double mu = stat_mean(i, d) / acc_w[i];
+        const double sqm = stat_sq(i, d) / acc_w[i] - mu * mu;
         mean[d] = static_cast<float>(mu);
-        var[d] = static_cast<float>(std::max(sq, static_cast<double>(DiagGaussian::kVarFloor)));
+        var[d] = static_cast<float>(std::max(sqm, static_cast<double>(DiagGaussian::kVarFloor)));
       }
       components_[i].set(std::move(mean), std::move(var));
       log_weights_[i] = static_cast<float>(std::log(w));
@@ -233,16 +265,17 @@ double DiagGmm::train(const util::Matrix& frames, const GmmTrainConfig& config) 
     const float lse = util::log_sum_exp(
         std::span<const float>(log_weights_.data(), log_weights_.size()));
     for (auto& w : log_weights_) w -= lse;
+    rebuild_batched();
   }
   return avg_ll;
 }
 
 double DiagGmm::average_log_likelihood(const util::Matrix& frames) const {
   if (frames.rows() == 0) return 0.0;
+  std::vector<float> lls;
+  log_likelihoods(frames, lls);
   double total = 0.0;
-  for (std::size_t t = 0; t < frames.rows(); ++t) {
-    total += log_likelihood(frames.row(t));
-  }
+  for (const float ll : lls) total += ll;
   return total / static_cast<double>(frames.rows());
 }
 
@@ -272,6 +305,7 @@ DiagGmm DiagGmm::deserialize(std::istream& in) {
     auto var = r.read_f32_vec();
     gmm.components_.emplace_back(std::move(mean), std::move(var));
   }
+  gmm.rebuild_batched();
   return gmm;
 }
 

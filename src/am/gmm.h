@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "la/batched_gaussian.h"
 #include "util/matrix.h"
 #include "util/rng.h"
 
@@ -68,6 +69,20 @@ class DiagGmm {
 
   [[nodiscard]] float log_likelihood(std::span<const float> x) const noexcept;
 
+  /// Batched scoring: out(t, i) = log w_i + log N(frames_t; component i),
+  /// evaluated for all frames and components as one GEMM.
+  void component_log_likelihoods(const util::Matrix& frames, util::Matrix& out,
+                                 util::ThreadPool* pool = nullptr) const;
+
+  /// Batched mixture log-likelihood for every row of `frames`.
+  void log_likelihoods(const util::Matrix& frames, std::vector<float>& out,
+                       util::ThreadPool* pool = nullptr) const;
+
+  /// Packed GEMM scorer over all components (log-weights folded in).
+  [[nodiscard]] const la::BatchedGaussians& batched() const noexcept {
+    return batched_;
+  }
+
   /// Trains on `frames` (rows = observations).  K-means init followed by EM.
   /// Returns the final average log-likelihood per frame.
   /// Degenerate inputs (fewer frames than components) shrink the mixture.
@@ -80,8 +95,12 @@ class DiagGmm {
   static DiagGmm deserialize(std::istream& in);
 
  private:
+  void rebuild_batched();
   std::vector<DiagGaussian> components_;
   std::vector<float> log_weights_;
+  // Eagerly rebuilt whenever the parameters change (train/deserialize), so
+  // concurrent const score() calls need no lazy-init synchronisation.
+  la::BatchedGaussians batched_;
 };
 
 }  // namespace phonolid::am

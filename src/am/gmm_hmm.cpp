@@ -62,19 +62,41 @@ GmmHmmModel::GmmHmmModel(HmmTopology topology, std::vector<DiagGmm> state_gmms,
   if (state_gmms_.size() != topology_.num_states()) {
     throw std::invalid_argument("GmmHmmModel: state count mismatch");
   }
+  rebuild_scorer();
+}
+
+void GmmHmmModel::rebuild_scorer() {
+  // Pack every component of every state into one matrix so a whole
+  // utterance scores against all states as a single GEMM.
+  std::size_t total = 0;
+  for (const auto& gmm : state_gmms_) total += gmm.num_components();
+  la::BatchedGaussians::Builder builder(feature_dim_, total);
+  seg_begin_.clear();
+  seg_begin_.reserve(state_gmms_.size() + 1);
+  seg_begin_.push_back(0);
+  for (const auto& gmm : state_gmms_) {
+    for (std::size_t i = 0; i < gmm.num_components(); ++i) {
+      builder.add(gmm.component(i).mean(), gmm.component(i).var(),
+                  gmm.log_weights()[i]);
+    }
+    seg_begin_.push_back(seg_begin_.back() + gmm.num_components());
+  }
+  all_components_ = builder.build();
 }
 
 void GmmHmmModel::score(const util::Matrix& features, util::Matrix& out) const {
   const std::size_t frames = features.rows();
   const std::size_t states = num_states();
   out.resize(frames, states);
+  util::Matrix comp_scores;
+  all_components_.score(features, comp_scores);
   for (std::size_t t = 0; t < frames; ++t) {
-    auto row = features.row(t);
-    auto dst = out.row(t);
-    for (std::size_t s = 0; s < states; ++s) {
-      dst[s] = state_gmms_[s].log_likelihood(row);
-    }
+    la::logsumexp_segments(comp_scores.row(t), seg_begin_, out.row(t));
   }
+}
+
+double GmmHmmModel::score_flops_per_frame() const noexcept {
+  return all_components_.flops_per_frame();
 }
 
 StateLabels uniform_state_labels(const AlignedUtterance& utt,

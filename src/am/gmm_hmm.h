@@ -47,6 +47,7 @@ class GmmHmmModel final : public AcousticModel {
     return feature_dim_;
   }
   void score(const util::Matrix& features, util::Matrix& out) const override;
+  [[nodiscard]] double score_flops_per_frame() const noexcept override;
 
   [[nodiscard]] const HmmTopology& topology() const noexcept { return topology_; }
   [[nodiscard]] const HmmTransitions& transitions() const noexcept {
@@ -60,10 +61,16 @@ class GmmHmmModel final : public AcousticModel {
   static GmmHmmModel deserialize(std::istream& in);
 
  private:
+  void rebuild_scorer();
   HmmTopology topology_;
   std::vector<DiagGmm> state_gmms_;
   HmmTransitions transitions_;
   std::size_t feature_dim_ = 0;
+  // Every component of every state packed into one GEMM scorer; the
+  // per-state mixture reduction uses seg_begin_ offsets.  Built eagerly in
+  // the constructor so concurrent const score() calls are safe.
+  la::BatchedGaussians all_components_;
+  std::vector<std::size_t> seg_begin_;  // num_states + 1 component offsets
 };
 
 struct GmmHmmTrainConfig {

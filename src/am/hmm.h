@@ -62,6 +62,12 @@ class AcousticModel {
   /// per-state log-likelihoods (up to a per-frame constant, which cancels
   /// in Viterbi/lattice posteriors).
   virtual void score(const util::Matrix& features, util::Matrix& out) const = 0;
+
+  /// Approximate floating-point operations one score() call spends per
+  /// frame, for GFLOP/s observability counters.  0 when unknown.
+  [[nodiscard]] virtual double score_flops_per_frame() const noexcept {
+    return 0.0;
+  }
 };
 
 }  // namespace phonolid::am

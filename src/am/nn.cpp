@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
+#include "la/kernels.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 #include "util/serialize.h"
@@ -55,22 +59,11 @@ void FeedForwardNet::forward(const util::Matrix& in,
   activations.resize(layers + 1);
   activations[0] = in;
   for (std::size_t l = 0; l < layers; ++l) {
-    const util::Matrix& x = activations[l];
-    const std::size_t batch = x.rows();
-    const std::size_t out_dim = weights_[l].rows();
-    util::Matrix& a = activations[l + 1];
-    a.resize(batch, out_dim);
-    for (std::size_t b = 0; b < batch; ++b) {
-      util::matvec(weights_[l], x.row(b), a.row(b));
-      auto row = a.row(b);
-      const auto& bias = biases_[l];
-      for (std::size_t j = 0; j < out_dim; ++j) row[j] += bias[j];
-      if (l + 1 < layers) {
-        for (std::size_t j = 0; j < out_dim; ++j) {
-          row[j] = static_cast<float>(util::sigmoid(row[j]));
-        }
-      }
-    }
+    // One fused GEMM per layer: A = sigmoid(X W^T + b) with the bias and
+    // activation applied in the kernel epilogue (logits on the last layer).
+    la::gemm_nt(activations[l], weights_[l], activations[l + 1], biases_[l],
+                l + 1 < layers ? la::Epilogue::kBiasSigmoid
+                               : la::Epilogue::kBias);
   }
 }
 
@@ -114,27 +107,28 @@ double FeedForwardNet::train_batch(const util::Matrix& batch_x,
   const float lr = static_cast<float>(learning_rate);
   const float mom = static_cast<float>(momentum);
   const float inv_batch = 1.0f / static_cast<float>(batch);
+  util::Matrix grad_w;
   for (std::size_t l = layers; l-- > 0;) {
-    // Gradient wrt weights: delta^T * activations[l] (accumulated per row).
-    util::Matrix grad_w(weights_[l].rows(), weights_[l].cols(), 0.0f);
+    // Gradient wrt weights as one GEMM: (1/B) delta^T acts[l].
+    la::gemm_tn(delta, acts[l], grad_w, inv_batch);
     std::vector<float> grad_b(weights_[l].rows(), 0.0f);
     for (std::size_t b = 0; b < batch; ++b) {
-      util::ger(inv_batch, delta.row(b), acts[l].row(b), grad_w);
-      auto drow = delta.row(b);
+      const float* __restrict__ drow = delta.row(b).data();
       for (std::size_t j = 0; j < grad_b.size(); ++j) {
         grad_b[j] += inv_batch * drow[j];
       }
     }
-    // Backprop delta to the previous layer (skip for the input layer).
+    // Backprop delta to the previous layer (skip for the input layer):
+    // next_delta = (delta W) .* a(1-a), the product as one GEMM.
     util::Matrix next_delta;
     if (l > 0) {
-      next_delta.resize(batch, weights_[l].cols());
+      la::gemm(delta, weights_[l], next_delta);
       for (std::size_t b = 0; b < batch; ++b) {
-        util::matvec_transposed(weights_[l], delta.row(b), next_delta.row(b));
-        auto nrow = next_delta.row(b);
-        auto arow = acts[l].row(b);
+        float* __restrict__ nrow = next_delta.row(b).data();
+        const float* __restrict__ arow = acts[l].row(b).data();
+        const std::size_t cols = next_delta.cols();
         // Sigmoid derivative a * (1 - a).
-        for (std::size_t j = 0; j < nrow.size(); ++j) {
+        for (std::size_t j = 0; j < cols; ++j) {
           nrow[j] *= arow[j] * (1.0f - arow[j]);
         }
       }
@@ -179,10 +173,15 @@ double train_net(FeedForwardNet& net, const util::Matrix& train_x,
   if (train_x.rows() != train_y.size()) {
     throw std::invalid_argument("train_net: label count mismatch");
   }
+  PHONOLID_SPAN("nn_train");
   const std::size_t n = train_x.rows();
   util::Rng rng(config.seed);
   std::vector<std::size_t> order(n);
   for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  // SGD spends ~6 multiply-adds per weight per frame (forward 2, grad 2,
+  // backprop 2); used for the per-epoch GFLOP/s counter.
+  const double flops_per_epoch =
+      6.0 * static_cast<double>(net.num_parameters()) * static_cast<double>(n);
 
   double lr = config.learning_rate;
   std::size_t halvings = 0;
@@ -191,6 +190,7 @@ double train_net(FeedForwardNet& net, const util::Matrix& train_x,
   std::vector<std::uint32_t> batch_y;
 
   for (std::size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    const auto epoch_start = std::chrono::steady_clock::now();
     rng.shuffle(order);
     double total_loss = 0.0;
     std::size_t batches = 0;
@@ -206,6 +206,14 @@ double train_net(FeedForwardNet& net, const util::Matrix& train_x,
       total_loss += net.train_batch(batch_x, batch_y, lr, config.momentum,
                                     config.l2);
       ++batches;
+    }
+    const double epoch_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      epoch_start)
+            .count();
+    if (epoch_s > 0.0) {
+      PHONOLID_COUNTER_SAMPLE("nn.train_gflops",
+                              flops_per_epoch / epoch_s / 1e9);
     }
     const double dev_acc = net.frame_accuracy(dev_x, dev_y);
     PHONOLID_DEBUG("nn") << "epoch " << epoch << " loss "

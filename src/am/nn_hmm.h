@@ -38,6 +38,10 @@ class NnHmmModel final : public AcousticModel {
   }
   [[nodiscard]] std::size_t context() const noexcept { return context_; }
   void score(const util::Matrix& features, util::Matrix& out) const override;
+  [[nodiscard]] double score_flops_per_frame() const noexcept override {
+    // One forward pass: ~2 flops per weight per frame.
+    return 2.0 * static_cast<double>(net_.num_parameters());
+  }
 
   [[nodiscard]] const HmmTopology& topology() const noexcept { return topology_; }
   [[nodiscard]] const HmmTransitions& transitions() const noexcept {

@@ -6,9 +6,25 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "la/batched_gaussian.h"
+#include "la/kernels.h"
 #include "util/math_util.h"
 
 namespace phonolid::backend {
+
+namespace {
+/// Scorer over the current class Gaussians with log-priors folded into the
+/// per-class constant.
+la::BatchedGaussians make_scorer(const util::Matrix& means,
+                                 const std::vector<float>& shared_var,
+                                 const std::vector<float>& log_priors) {
+  la::BatchedGaussians::Builder builder(means.cols(), means.rows());
+  for (std::size_t c = 0; c < means.rows(); ++c) {
+    builder.add(means.row(c), shared_var, log_priors[c]);
+  }
+  return builder.build();
+}
+}  // namespace
 
 double GaussianBackend::fit(const util::Matrix& x,
                             const std::vector<std::int32_t>& labels,
@@ -63,43 +79,71 @@ double GaussianBackend::fit(const util::Matrix& x,
   }
 
   // --- MMI gradient ascent on the means (optionally variance). ---
-  std::vector<double> post(num_classes);
-  util::Matrix grad(num_classes, d);
+  // Each iteration scores all samples against all classes as one GEMM, and
+  // the gradient reduces over samples as a W^T X product with
+  //   W(i, c) = delta(c = g(i)) - P(c | x_i):
+  //   dF/dmu_c = (sum_i W(i, c) x_i - (sum_i W(i, c)) mu_c) / var.
+  util::Matrix post_m;                // n x C: scores, then posteriors
+  util::Matrix w(n, num_classes);     // MMI weights
+  util::Matrix grad_raw, grad_sq;     // C x d reductions
+  util::Matrix xsq;
+  if (mmi.update_variance) {
+    xsq.resize(n, d);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* __restrict__ src = x.row(i).data();
+      float* __restrict__ dst = xsq.row(i).data();
+      for (std::size_t j = 0; j < d; ++j) dst[j] = src[j] * src[j];
+    }
+  }
+  std::vector<double> col_sum(num_classes);
   std::vector<double> grad_var(d);
   double objective_value = 0.0;
   for (std::size_t iter = 0; iter < mmi.iterations; ++iter) {
-    grad.fill(0.0f);
-    std::fill(grad_var.begin(), grad_var.end(), 0.0);
+    const la::BatchedGaussians scorer =
+        make_scorer(means_, shared_var_, log_priors_);
+    scorer.score(x, post_m);
     objective_value = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      auto row = x.row(i);
-      log_likelihoods(row, post);
-      for (std::size_t c = 0; c < num_classes; ++c) post[c] += log_priors_[c];
-      const double lse = util::log_sum_exp(std::span<const double>(post));
+      auto row = post_m.row(i);
+      const float lse = util::log_sum_exp(row);
       const auto truth = static_cast<std::size_t>(labels[i]);
-      objective_value += post[truth] - lse;
+      objective_value += row[truth] - lse;
+      float* __restrict__ wrow = w.row(i).data();
       for (std::size_t c = 0; c < num_classes; ++c) {
-        post[c] = std::exp(post[c] - lse);
+        wrow[c] = -std::exp(row[c] - lse);
       }
-      // dF/dmu_c = (delta(c=truth) - P(c|x)) * Sigma^-1 (x - mu_c)
+      wrow[truth] += 1.0f;
+    }
+    la::gemm_tn(w, x, grad_raw);
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < n; ++i) s += w(i, c);
+      col_sum[c] = s;
+    }
+    if (mmi.update_variance) {
+      // sum_i W(i,c) (x-mu)^2 = (W^T X^2) - 2 mu (W^T X) + s_c mu^2.
+      la::gemm_tn(w, xsq, grad_sq);
+      std::fill(grad_var.begin(), grad_var.end(), 0.0);
       for (std::size_t c = 0; c < num_classes; ++c) {
-        const double w = (c == truth ? 1.0 : 0.0) - post[c];
-        if (std::abs(w) < 1e-12) continue;
-        auto g = grad.row(c);
-        auto m = means_.row(c);
+        const float* __restrict__ m = means_.row(c).data();
         for (std::size_t j = 0; j < d; ++j) {
-          const double z = (row[j] - m[j]) / shared_var_[j];
-          g[j] += static_cast<float>(w * z);
-          if (mmi.update_variance) {
-            grad_var[j] += w * 0.5 * (z * z * shared_var_[j] - 1.0) / shared_var_[j];
-          }
+          const double v = shared_var_[j];
+          const double centred_sq = grad_sq(c, j) -
+                                    2.0 * m[j] * grad_raw(c, j) +
+                                    col_sum[c] * m[j] * m[j];
+          grad_var[j] += 0.5 * (centred_sq / (v * v) - col_sum[c] / v);
         }
       }
     }
     const float step =
         static_cast<float>(mmi.learning_rate / static_cast<double>(n));
     for (std::size_t c = 0; c < num_classes; ++c) {
-      util::axpy(step, grad.row(c), means_.row(c));
+      float* __restrict__ m = means_.row(c).data();
+      for (std::size_t j = 0; j < d; ++j) {
+        const float g = static_cast<float>(
+            (grad_raw(c, j) - col_sum[c] * m[j]) / shared_var_[j]);
+        m[j] += step * g;
+      }
     }
     if (mmi.update_variance) {
       for (std::size_t j = 0; j < d; ++j) {
@@ -144,9 +188,12 @@ void GaussianBackend::log_posteriors(std::span<const float> x,
 }
 
 util::Matrix GaussianBackend::log_posteriors(const util::Matrix& x) const {
-  util::Matrix out(x.rows(), num_classes());
-  for (std::size_t i = 0; i < x.rows(); ++i) {
-    log_posteriors(x.row(i), out.row(i));
+  // Batched: all samples against all classes as one GEMM (priors folded
+  // into the per-class constant), then a row-wise log-softmax.
+  util::Matrix out;
+  make_scorer(means_, shared_var_, log_priors_).score(x, out);
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    util::log_softmax_inplace(out.row(i));
   }
   return out;
 }

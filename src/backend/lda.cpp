@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "la/kernels.h"
+
 namespace phonolid::backend {
 
 void symmetric_eigen(const util::Matrix& symmetric,
@@ -154,16 +156,10 @@ void Lda::fit(const util::Matrix& x, const std::vector<std::int32_t>& labels,
     }
   }
 
-  // Eigen-decompose whitened Sb: B = W Sb W^T.
+  // Eigen-decompose whitened Sb: B = W Sb W^T, both products as GEMMs.
   util::Matrix tmp, b;
-  util::matmul(whiten, sb, tmp);
-  // b = tmp * whiten^T
-  b.resize(d, d);
-  for (std::size_t i = 0; i < d; ++i) {
-    for (std::size_t j = 0; j < d; ++j) {
-      b(i, j) = util::dot(tmp.row(i), whiten.row(j));
-    }
-  }
+  la::gemm(whiten, sb, tmp);
+  la::gemm_nt(tmp, whiten, b);
   // Symmetrise against round-off.
   for (std::size_t i = 0; i < d; ++i) {
     for (std::size_t j = i + 1; j < d; ++j) {
@@ -179,15 +175,12 @@ void Lda::fit(const util::Matrix& x, const std::vector<std::int32_t>& labels,
   if (max_components > 0) keep = std::min(keep, max_components);
 
   // projection = top-k rows of (b_evecs * whiten).
+  util::Matrix full_projection;
+  la::gemm(b_evecs, whiten, full_projection);
   projection_.resize(keep, d);
   for (std::size_t r = 0; r < keep; ++r) {
-    for (std::size_t k = 0; k < d; ++k) {
-      float acc = 0.0f;
-      for (std::size_t m = 0; m < d; ++m) {
-        acc += b_evecs(r, m) * whiten(m, k);
-      }
-      projection_(r, k) = acc;
-    }
+    auto src = full_projection.row(r);
+    std::copy(src.begin(), src.end(), projection_.row(r).begin());
   }
   mean_.resize(d);
   for (std::size_t j = 0; j < d; ++j) mean_[j] = static_cast<float>(global_mean[j]);
@@ -201,10 +194,15 @@ void Lda::transform(std::span<const float> in, std::span<float> out) const {
 }
 
 util::Matrix Lda::transform(const util::Matrix& x) const {
-  util::Matrix out(x.rows(), output_dim());
+  // Batched projection: centre every row, then one (X - mu) P^T GEMM.
+  util::Matrix centered(x.rows(), x.cols());
   for (std::size_t i = 0; i < x.rows(); ++i) {
-    transform(x.row(i), out.row(i));
+    const float* __restrict__ src = x.row(i).data();
+    float* __restrict__ dst = centered.row(i).data();
+    for (std::size_t j = 0; j < x.cols(); ++j) dst[j] = src[j] - mean_[j];
   }
+  util::Matrix out;
+  la::gemm_nt(centered, projection_, out);
   return out;
 }
 

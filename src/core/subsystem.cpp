@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -268,6 +269,13 @@ phonotactic::SparseVec Subsystem::process_internal(const corpus::Utterance& utt,
   obs::Span decode_span("decode");
   const decoder::Lattice lattice = decoder_->decode(feats);
   const double dec_s = decode_span.stop();
+  if (dec_s > 0.0 && feats.rows() > 0) {
+    const double flops =
+        model_->score_flops_per_frame() * static_cast<double>(feats.rows());
+    if (flops > 0.0) {
+      PHONOLID_COUNTER_SAMPLE("decode.gflops", flops / dec_s / 1e9);
+    }
+  }
 
   obs::Span sv_span("supervector");
   phonotactic::SparseVec sv = builder_->build(lattice);

@@ -34,20 +34,27 @@ PhoneLoopDecoder::PhoneLoopDecoder(const am::AcousticModel& model,
 }
 
 Lattice PhoneLoopDecoder::decode(const util::Matrix& features) const {
+  util::Matrix am_scores;
+  model_->score(features, am_scores);
+  return decode_from_scores(am_scores);
+}
+
+Lattice PhoneLoopDecoder::decode_from_scores(
+    const util::Matrix& am_scores) const {
   static obs::Counter& lattices_out =
       obs::Metrics::counter("decoder.lattices");
   static obs::Counter& frames_in = obs::Metrics::counter("decoder.frames");
   static obs::Counter& edges_out = obs::Metrics::counter("decoder.edges");
   PHONOLID_SPAN("viterbi");
 
-  const std::size_t frames = features.rows();
+  const std::size_t frames = am_scores.rows();
   const std::size_t num_phones = topology_.num_phones;
   const std::size_t sp = topology_.states_per_phone;
+  if (frames > 0 && am_scores.cols() != topology_.num_states()) {
+    throw std::invalid_argument("decode_from_scores: state count mismatch");
+  }
   frames_in.add(frames);
   if (frames == 0) return Lattice(0, {});
-
-  util::Matrix am_scores;
-  model_->score(features, am_scores);
 
   // DP state per (phone, position): path score, entry frame, path score at
   // entry (excluding this phone's own contributions).

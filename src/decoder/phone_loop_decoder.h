@@ -48,6 +48,11 @@ class PhoneLoopDecoder {
   /// its 1-best phone path filled in.
   [[nodiscard]] Lattice decode(const util::Matrix& features) const;
 
+  /// Viterbi over a precomputed frames x num_states acoustic score matrix
+  /// (as produced by AcousticModel::score).  Lets callers batch the model
+  /// evaluation separately from the search.
+  [[nodiscard]] Lattice decode_from_scores(const util::Matrix& am_scores) const;
+
  private:
   const am::AcousticModel* model_;
   am::HmmTopology topology_;

@@ -33,7 +33,6 @@ Fft::Fft(std::size_t n) : n_(n) {
                             static_cast<float>(std::sin(angle)));
     }
   }
-  scratch_.resize(n);
 }
 
 void Fft::forward(std::span<std::complex<float>> data) const {
@@ -68,10 +67,16 @@ void Fft::inverse(std::span<std::complex<float>> data) const {
 
 void Fft::power_spectrum(std::span<const float> in, std::span<float> out) const {
   assert(in.size() == n_ && out.size() == n_ / 2 + 1);
-  for (std::size_t i = 0; i < n_; ++i) scratch_[i] = {in[i], 0.0f};
-  forward(scratch_);
+  // Per-thread scratch: one Fft (inside a shared FeaturePipeline) is called
+  // concurrently from parallel_for over utterances, so the buffer must not
+  // live in the object.  A call never migrates threads, so thread_local is
+  // race-free and allocation-free once warm.
+  thread_local std::vector<std::complex<float>> scratch;
+  scratch.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) scratch[i] = {in[i], 0.0f};
+  forward(scratch);
   for (std::size_t k = 0; k <= n_ / 2; ++k) {
-    out[k] = std::norm(scratch_[k]);
+    out[k] = std::norm(scratch[k]);
   }
 }
 

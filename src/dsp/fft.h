@@ -35,8 +35,7 @@ class Fft {
  private:
   std::size_t n_;
   std::vector<std::size_t> bitrev_;
-  std::vector<std::complex<float>> twiddle_;           // forward
-  mutable std::vector<std::complex<float>> scratch_;   // for power_spectrum
+  std::vector<std::complex<float>> twiddle_;  // forward
 };
 
 }  // namespace phonolid::dsp

@@ -1,0 +1,105 @@
+#include "la/batched_gaussian.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "la/kernels.h"
+#include "util/math_util.h"
+
+namespace phonolid::la {
+
+namespace {
+// Frames per GEMM block: bounds the [X | X^2] scratch to block * 2D floats
+// regardless of utterance length.  Fixed, so blocking never changes
+// results.
+constexpr std::size_t kFrameBlock = 256;
+}  // namespace
+
+BatchedGaussians::Builder::Builder(std::size_t dim,
+                                   std::size_t expected_components)
+    : dim_(dim) {
+  packed_.reserve(expected_components * 2 * dim);
+  consts_.reserve(expected_components);
+}
+
+BatchedGaussians::Builder& BatchedGaussians::Builder::add(
+    std::span<const float> mean, std::span<const float> var, float bias) {
+  if (mean.size() != dim_ || var.size() != dim_) {
+    throw std::invalid_argument("BatchedGaussians: component dim mismatch");
+  }
+  double log_det = 0.0;
+  double mahal = 0.0;
+  const std::size_t base = packed_.size();
+  packed_.resize(base + 2 * dim_);
+  for (std::size_t d = 0; d < dim_; ++d) {
+    const double v = var[d];
+    assert(v > 0.0);
+    packed_[base + d] = static_cast<float>(mean[d] / v);
+    packed_[base + dim_ + d] = static_cast<float>(-0.5 / v);
+    log_det += std::log(v);
+    mahal += static_cast<double>(mean[d]) * mean[d] / v;
+  }
+  consts_.push_back(static_cast<float>(
+      static_cast<double>(bias) -
+      0.5 * (static_cast<double>(dim_) * std::log(2.0 * std::numbers::pi) +
+             log_det + mahal)));
+  return *this;
+}
+
+BatchedGaussians BatchedGaussians::Builder::build() {
+  BatchedGaussians out;
+  out.dim_ = dim_;
+  out.consts_ = std::move(consts_);
+  out.packed_.resize(out.consts_.size(), 2 * dim_);
+  std::copy(packed_.begin(), packed_.end(), out.packed_.data());
+  return out;
+}
+
+void BatchedGaussians::score(const util::Matrix& frames, util::Matrix& out,
+                             util::ThreadPool* pool) const {
+  if (frames.cols() != dim_) {
+    throw std::invalid_argument("BatchedGaussians::score: frame dim mismatch");
+  }
+  const std::size_t t_total = frames.rows();
+  const std::size_t m = num_components();
+  out.resize(t_total, m);
+  util::Matrix extended(std::min(kFrameBlock, std::max<std::size_t>(t_total, 1)),
+                        2 * dim_);
+  util::Matrix block_scores;
+  for (std::size_t t0 = 0; t0 < t_total; t0 += kFrameBlock) {
+    const std::size_t t1 = std::min(t_total, t0 + kFrameBlock);
+    const std::size_t bt = t1 - t0;
+    extended.resize(bt, 2 * dim_);
+    for (std::size_t t = 0; t < bt; ++t) {
+      const float* __restrict__ x = frames.row(t0 + t).data();
+      float* __restrict__ e = extended.row(t).data();
+      for (std::size_t d = 0; d < dim_; ++d) {
+        e[d] = x[d];
+        e[dim_ + d] = x[d] * x[d];
+      }
+    }
+    gemm_nt(extended, packed_, block_scores, {}, Epilogue::kNone, pool);
+    for (std::size_t t = 0; t < bt; ++t) {
+      const float* __restrict__ src = block_scores.row(t).data();
+      float* __restrict__ dst = out.row(t0 + t).data();
+      const float* __restrict__ k = consts_.data();
+      for (std::size_t c = 0; c < m; ++c) dst[c] = src[c] + k[c];
+    }
+  }
+}
+
+void logsumexp_segments(std::span<const float> row,
+                        std::span<const std::size_t> seg_begin,
+                        std::span<float> out) noexcept {
+  assert(seg_begin.size() == out.size() + 1);
+  for (std::size_t s = 0; s + 1 < seg_begin.size(); ++s) {
+    const std::size_t lo = seg_begin[s];
+    const std::size_t hi = seg_begin[s + 1];
+    out[s] = util::log_sum_exp(row.subspan(lo, hi - lo));
+  }
+}
+
+}  // namespace phonolid::la

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "la/kernels.h"
 #include "util/serialize.h"
 
 namespace phonolid::phonotactic {
@@ -82,19 +83,11 @@ double SparseVec::dot(const SparseVec& a, const SparseVec& b) noexcept {
 }
 
 double SparseVec::dot_dense(std::span<const float> dense) const noexcept {
-  double s = 0.0;
-  for (std::size_t i = 0; i < indices_.size(); ++i) {
-    assert(indices_[i] < dense.size());
-    s += static_cast<double>(values_[i]) * dense[indices_[i]];
-  }
-  return s;
+  return la::sparse_dot(indices_, values_, dense);
 }
 
 void SparseVec::add_to_dense(float alpha, std::span<float> dense) const noexcept {
-  for (std::size_t i = 0; i < indices_.size(); ++i) {
-    assert(indices_[i] < dense.size());
-    dense[indices_[i]] += alpha * values_[i];
-  }
+  la::sparse_axpy(alpha, indices_, values_, dense);
 }
 
 void SparseVec::serialize(std::ostream& out) const {

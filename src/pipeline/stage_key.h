@@ -21,7 +21,9 @@ namespace phonolid::pipeline {
 /// key, so stale-format entries simply miss (and `phonolid pipeline gc`
 /// removes them).  Mirrored by the CI artifact-cache key in
 /// .github/workflows/ci.yml — bump both together.
-inline constexpr std::uint32_t kPipelineFormatVersion = 1;
+// v2 ("plaf-v2"): batched la/ kernels changed numeric results of every
+// model-producing stage.
+inline constexpr std::uint32_t kPipelineFormatVersion = 2;
 
 struct StageKey {
   std::string stage;       // e.g. "frontend", "supervectors", "vsm"

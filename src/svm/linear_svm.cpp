@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "la/kernels.h"
 #include "util/rng.h"
 #include "util/serialize.h"
 
@@ -38,10 +39,9 @@ std::size_t LinearSvm::train(std::span<const phonotactic::SparseVec* const> x,
   std::vector<double> alpha(n, 0.0);
   std::vector<double> q_ii(n);
   for (std::size_t i = 0; i < n; ++i) {
-    double sq = 0.0;
-    for (float v : x[i]->values()) sq += static_cast<double>(v) * v;
-    sq += config.bias * config.bias;
-    q_ii[i] = sq + diag;
+    const auto& vals = x[i]->values();
+    const double sq = la::dot(vals, vals);
+    q_ii[i] = sq + config.bias * config.bias + diag;
   }
 
   util::Rng rng(config.seed);
@@ -85,8 +85,7 @@ std::size_t LinearSvm::train(std::span<const phonotactic::SparseVec* const> x,
   bias_value_ = w_bias * config.bias;
 
   // Dual objective: 0.5 ||w||^2 (incl. bias & diag term) - sum alpha.
-  double wnorm = w_bias * w_bias;
-  for (float v : weights_) wnorm += static_cast<double>(v) * v;
+  const double wnorm = w_bias * w_bias + la::dot(weights_, weights_);
   double obj = 0.5 * wnorm;
   for (std::size_t i = 0; i < n; ++i) {
     obj += 0.5 * diag * alpha[i] * alpha[i] - alpha[i];

@@ -1,7 +1,9 @@
 #include "svm/vsm.h"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "la/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/rng.h"
@@ -52,13 +54,49 @@ VsmModel VsmModel::train(std::span<const phonotactic::SparseVec* const> xptr,
     svm_cfg.seed = util::derive_stream(config.seed, 0xE000 + k);
     model.classifiers_[k].train(xptr, y, dimension, svm_cfg);
   });
+  model.rebuild_packed();
   return model;
+}
+
+void VsmModel::rebuild_packed() {
+  packed_weights_ = util::Matrix();
+  packed_bias_.clear();
+  const std::size_t k = classifiers_.size();
+  if (k == 0) return;
+  const std::size_t dim = classifiers_[0].dimension();
+  for (const auto& c : classifiers_) {
+    if (c.dimension() != dim) return;
+  }
+  // ~256 MB dense-pack ceiling; beyond it, per-classifier dots win anyway
+  // because the pack would thrash the cache.
+  constexpr std::size_t kMaxPackedFloats = std::size_t{1} << 26;
+  if (dim == 0 || dim * k > kMaxPackedFloats) return;
+  packed_weights_.resize(dim, k);
+  for (std::size_t c = 0; c < k; ++c) {
+    const auto& w = classifiers_[c].weights();
+    for (std::size_t j = 0; j < dim; ++j) packed_weights_(j, c) = w[j];
+  }
+  packed_bias_.resize(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    packed_bias_[c] = static_cast<float>(classifiers_[c].bias_value());
+  }
 }
 
 void VsmModel::score(const phonotactic::SparseVec& x,
                      std::span<float> out) const {
   if (out.size() != classifiers_.size()) {
     throw std::invalid_argument("VsmModel::score: bad output span");
+  }
+  if (packed_weights_.rows() > 0) {
+    // One pass over the non-zeros scores every classifier: out += v_i *
+    // packed_weights[row idx_i], then the biases.
+    std::copy(packed_bias_.begin(), packed_bias_.end(), out.begin());
+    const auto& idx = x.indices();
+    const auto& val = x.values();
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      la::axpy(val[i], packed_weights_.row(idx[i]), out);
+    }
+    return;
   }
   for (std::size_t k = 0; k < classifiers_.size(); ++k) {
     out[k] = static_cast<float>(classifiers_[k].score(x));
@@ -93,6 +131,7 @@ VsmModel VsmModel::deserialize(std::istream& in) {
   for (std::uint64_t i = 0; i < k; ++i) {
     model.classifiers_.push_back(LinearSvm::deserialize(in));
   }
+  model.rebuild_packed();
   return model;
 }
 

@@ -59,7 +59,14 @@ class VsmModel {
   static VsmModel deserialize(std::istream& in);
 
  private:
+  void rebuild_packed();
   std::vector<LinearSvm> classifiers_;
+  // dim x K column-packed classifier weights: one pass over a
+  // supervector's non-zeros scores all K classifiers at once.  Left empty
+  // (fall back to per-classifier dots) when the dense pack would be
+  // excessively large.
+  util::Matrix packed_weights_;
+  std::vector<float> packed_bias_;
 };
 
 }  // namespace phonolid::svm

@@ -8,12 +8,46 @@
 
 #include <cassert>
 #include <cstddef>
+#include <new>
 #include <span>
 #include <vector>
 
 namespace phonolid::util {
 
 using Vec = std::vector<float>;
+
+/// Minimal over-aligned allocator: matrix rows handed to the src/la kernels
+/// start on a cache-line boundary, so blocked GEMM tiles never straddle
+/// lines and the compiler's vector loads stay aligned.
+template <typename T, std::size_t Alignment>
+struct AlignedAllocator {
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0);
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// 64-byte-aligned float storage (one x86 cache line / AVX-512 vector).
+using AlignedVec = std::vector<float, AlignedAllocator<float, 64>>;
 
 /// Row-major dense matrix of float.
 class Matrix {
@@ -63,7 +97,7 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<float> data_;
+  AlignedVec data_;
 };
 
 /// y += alpha * x

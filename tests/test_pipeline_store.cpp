@@ -40,9 +40,9 @@ TEST(StageKey, StableAcrossProcesses) {
   // format revision) — update the constant AND bump kPipelineFormatVersion
   // so gc can reap the stale entries — but it must never happen by accident.
   const StageKey k = golden_key();
-  EXPECT_EQ(k.hash, 0x30df98b84f3407acull);
-  EXPECT_EQ(k.hex(), "30df98b84f3407ac");
-  EXPECT_EQ(k.filename(), "golden-30df98b84f3407ac.art");
+  EXPECT_EQ(k.hash, 0xaa8b041f8a86c619ull);
+  EXPECT_EQ(k.hex(), "aa8b041f8a86c619");
+  EXPECT_EQ(k.filename(), "golden-aa8b041f8a86c619.art");
 }
 
 TEST(StageKey, EveryFieldParticipates) {
