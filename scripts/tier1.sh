@@ -9,7 +9,10 @@ cd "$(dirname "$0")/.."
 
 cmake -B build -S .
 cmake --build build -j
-(cd build && ctest --output-on-failure -j)
+# Unit/integration tests must be hermetic: a restored $PHONOLID_CACHE would
+# serve the integration fixture warm artifacts and zero out the stage times
+# it asserts on.  The artifact store is exercised explicitly below.
+(cd build && env -u PHONOLID_CACHE ctest --output-on-failure -j)
 
 cmake -B build-tsan -S . -DPHONOLID_SANITIZE=thread
 cmake --build build-tsan -j --target test_obs test_thread_pool test_pipeline_store test_la_kernels
@@ -24,10 +27,12 @@ cmake --build build -j --target bench_kernels
 ./build/bench/bench_kernels --benchmark_min_time=0.01
 
 # End-to-end observability smoke: a traced quick run must produce a loadable
-# Chrome trace, Prometheus text, and a schema-v1 report that (a) diffs clean
-# against itself and (b) keeps the deterministic accuracy leaves (EER/Cavg)
-# within +0.02 of the committed baseline.  Span timings are never gated here
-# (they are machine-dependent); BENCH_*.json track the reference trajectory.
+# Chrome trace, Prometheus text, a decision ledger, and a schema-v1 report
+# that (a) diffs clean against itself and (b) keeps the deterministic
+# accuracy leaves (EER/Cavg) and the quality section (Cllr, adoption
+# precision) within budget of the committed baseline.  Span timings are
+# never gated here (they are machine-dependent); BENCH_*.json track the
+# reference trajectory.
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 # Artifact store: $PHONOLID_CACHE (CI restores one across runs) or a temp
@@ -35,21 +40,50 @@ trap 'rm -rf "$TMP"' EXIT
 CACHE_DIR="${PHONOLID_CACHE:-$TMP/cache}"
 PHONOLID_TRACE="$TMP/quick.trace.json" PHONOLID_PROM="$TMP/quick.prom" \
   ./build/tools/phonolid run --scale quick --report "$TMP/quick.report.json" \
-  --cache-dir "$CACHE_DIR"
+  --ledger "$TMP/quick.ledger.jsonl" --cache-dir "$CACHE_DIR"
 test -s "$TMP/quick.trace.json"
 test -s "$TMP/quick.prom"
+test -s "$TMP/quick.ledger.jsonl"
 ./build/tools/phonolid report-diff "$TMP/quick.report.json" "$TMP/quick.report.json" > /dev/null
 ./build/tools/phonolid report-diff BENCH_quick_run.json "$TMP/quick.report.json" \
-  --max-eer-delta 0.02
+  --max-eer-delta 0.02 --max-cavg-delta 0.02 --max-cllr-delta 0.25 \
+  --max-adoption-precision-drop 0.05
 
 # Artifact-store determinism gate: the warm run (every stage a cache hit)
 # must reproduce the cold run's accuracy leaves *exactly* — zero EER/Cavg
-# delta — while skipping AM training and decoding entirely.
-./build/tools/phonolid run --scale quick --report "$TMP/warm.report.json" \
+# delta — while skipping AM training and decoding entirely.  The decision
+# ledger must come out byte-identical regardless of thread count or cache
+# temperature: it is the explainability record, so any nondeterminism here
+# is a bug, not noise.
+PHONOLID_THREADS=1 ./build/tools/phonolid run --scale quick \
+  --report "$TMP/warm.report.json" --ledger "$TMP/warm_t1.ledger.jsonl" \
   --cache-dir "$CACHE_DIR"
+PHONOLID_THREADS=4 ./build/tools/phonolid run --scale quick \
+  --ledger "$TMP/warm_t4.ledger.jsonl" --cache-dir "$CACHE_DIR"
+cmp "$TMP/quick.ledger.jsonl" "$TMP/warm_t1.ledger.jsonl"
+cmp "$TMP/quick.ledger.jsonl" "$TMP/warm_t4.ledger.jsonl"
 ./build/tools/phonolid report-diff "$TMP/quick.report.json" "$TMP/warm.report.json" \
   --max-eer-delta 0
 ./build/tools/phonolid pipeline status --cache-dir "$CACHE_DIR"
 ./build/tools/phonolid pipeline gc --cache-dir "$CACHE_DIR"
+
+# Decision-ledger surface smoke: diag must summarize the ledger, explain
+# must resolve a recorded utterance id, and an unknown id must exit 2.
+./build/tools/phonolid diag --ledger "$TMP/quick.ledger.jsonl" > /dev/null
+./build/tools/phonolid explain 0 --scale quick --ledger "$TMP/quick.ledger.jsonl" > /dev/null
+rc=0
+./build/tools/phonolid explain 999999999 --scale quick \
+  --ledger "$TMP/quick.ledger.jsonl" 2> /dev/null || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "explain: unknown id should exit 2 (got $rc)" >&2
+  exit 1
+fi
+
+# Keep the run artifacts around for CI upload (the mktemp dir is wiped on
+# exit).
+ARTIFACTS="build/tier1-artifacts"
+rm -rf "$ARTIFACTS" && mkdir -p "$ARTIFACTS"
+cp "$TMP/quick.report.json" "$TMP/quick.ledger.jsonl" "$TMP/quick.trace.json" \
+   "$TMP/quick.prom" "$ARTIFACTS/"
 
 echo "tier-1 OK"

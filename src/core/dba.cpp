@@ -32,10 +32,12 @@ VoteResult compute_votes(const std::vector<const util::Matrix*>& scores,
   result.counts.assign(m * k, 0);
   result.per_subsystem.assign(scores.size(),
                               std::vector<std::uint8_t>(m * k, 0));
+  result.margins.assign(scores.size(), std::vector<float>(m * k, 0.0f));
 
   for (std::size_t q = 0; q < scores.size(); ++q) {
     const util::Matrix& f = *scores[q];
     auto& bits = result.per_subsystem[q];
+    auto& margins = result.margins[q];
     for (std::size_t j = 0; j < m; ++j) {
       auto row = f.row(j);
       // Top-1 and runner-up in one pass.
@@ -50,6 +52,25 @@ VoteResult compute_votes(const std::vector<const util::Matrix*>& scores,
         } else if (row[c] > second_score) {
           second_score = row[c];
         }
+      }
+      // Signed per-class margins: positive iff this subsystem votes for the
+      // class under `criterion`.  `rival` is the best score among the other
+      // classes, so for non-argmax classes the margin is always negative.
+      for (std::size_t c = 0; c < k; ++c) {
+        const float rival = (c == best) ? second_score : best_score;
+        float margin = 0.0f;
+        switch (criterion) {
+          case VoteCriterion::kStrict:
+            margin = std::min(row[c], -rival);
+            break;
+          case VoteCriterion::kPositiveArgmax:
+            margin = std::min(row[c], row[c] - rival);
+            break;
+          case VoteCriterion::kArgmax:
+            margin = row[c] - rival;
+            break;
+        }
+        margins[j * k + c] = margin;
       }
       bool votes = false;
       switch (criterion) {

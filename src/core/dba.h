@@ -32,12 +32,23 @@ struct VoteResult {
   std::vector<std::uint16_t> counts;
   /// v_{jqk} bits per subsystem, row-major (utt j, class k).
   std::vector<std::vector<std::uint8_t>> per_subsystem;
+  /// Signed vote margins per subsystem, row-major (utt j, class k): positive
+  /// iff the subsystem votes for class k under the criterion the result was
+  /// computed with (0 only on exact argmax ties).  Under kStrict (Eq. 13)
+  /// the margin is min(f_k, -max_{p != k} f_p) — how far the utterance sits
+  /// inside (or outside) the high-confidence region; the decision ledger
+  /// records it per adoption decision.
+  std::vector<std::vector<float>> margins;
 
   [[nodiscard]] std::uint16_t count(std::size_t j, std::size_t k) const {
     return counts.at(j * num_classes + k);
   }
   [[nodiscard]] bool vote(std::size_t q, std::size_t j, std::size_t k) const {
     return per_subsystem.at(q).at(j * num_classes + k) != 0;
+  }
+  [[nodiscard]] float margin(std::size_t q, std::size_t j,
+                             std::size_t k) const {
+    return margins.at(q).at(j * num_classes + k);
   }
 };
 

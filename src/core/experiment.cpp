@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/stage_cache.h"
+#include "eval/diagnostics.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -125,7 +126,35 @@ std::unique_ptr<Experiment> Experiment::build(const ExperimentConfig& config) {
   test_scores.reserve(q);
   for (const auto& b : exp->baseline_) test_scores.push_back(&b.test);
   exp->votes_ = compute_votes(test_scores, config.vote_criterion);
+  exp->init_ledger();
   return exp;
+}
+
+void Experiment::init_ledger() {
+  ledger_.num_classes = static_cast<std::uint32_t>(num_languages());
+  ledger_.num_subsystems = static_cast<std::uint32_t>(subsystems_.size());
+  ledger_.languages.clear();
+  for (const corpus::LanguageSpec& spec : corpus_.target_languages()) {
+    ledger_.languages.push_back(spec.name());
+  }
+  ledger_.scale = util::to_string(config_.scale);
+  ledger_.seed = config_.seed;
+  ledger_.entries.assign(corpus_.test().size(), obs::LedgerEntry{});
+  const std::size_t k = num_languages();
+  for (std::size_t j = 0; j < ledger_.entries.size(); ++j) {
+    obs::LedgerEntry& e = ledger_.entries[j];
+    const corpus::Utterance& u = corpus_.test()[j];
+    e.utt = j;
+    e.corpus_id = u.id;
+    e.true_label = u.language;
+    e.tier = corpus::to_string(u.tier);
+    e.scores.resize(baseline_.size());
+    for (std::size_t q = 0; q < baseline_.size(); ++q) {
+      auto row = baseline_[q].test.row(j);
+      e.scores[q].assign(k, 0.0);
+      for (std::size_t c = 0; c < k; ++c) e.scores[q][c] = row[c];
+    }
+  }
 }
 
 std::vector<SubsystemScores> Experiment::run_dba(std::size_t min_votes,
@@ -142,16 +171,20 @@ VoteResult Experiment::votes_for(const std::vector<SubsystemScores>& blocks,
 }
 
 std::vector<SubsystemScores> Experiment::run_dba_selection(
-    const TrdbaSelection& selection, DbaMode mode) const {
+    const TrdbaSelection& selection, DbaMode mode,
+    const VoteResult* votes) const {
   obs::Span span("dba_round");
   const std::size_t k = num_languages();
   std::vector<SubsystemScores> out(subsystems_.size());
   const std::size_t trdba_size =
       selection.utt_index.size() +
       (mode == DbaMode::kM2 ? train_labels_.size() : 0);
-  const std::size_t round = record_dba_round(selection, mode, trdba_size);
-  span.annotate("round", static_cast<std::int64_t>(round));
+  const DbaRoundStats stats = record_dba_round(
+      selection, mode, trdba_size, votes != nullptr ? *votes : votes_);
+  span.annotate("round", static_cast<std::int64_t>(stats.round));
   span.annotate("trdba", static_cast<std::int64_t>(trdba_size));
+  span.annotate("adopted", static_cast<std::int64_t>(stats.utts_adopted));
+  span.annotate("flips", static_cast<std::int64_t>(stats.label_flips));
   if (selection.utt_index.empty() && mode == DbaMode::kM1) {
     // Nothing adopted: fall back to the baseline models' scores (an empty
     // SVM training set is undefined), mirroring a no-op boosting pass.
@@ -215,6 +248,19 @@ EvalResult Experiment::evaluate(
     result.tier[tier].eer = eval::equal_error_rate(trials);
     result.tier[tier].cavg = eval::cavg(llr, test_y, k);
     result.det[tier] = eval::det_curve(trials);
+
+    // Record the fused + calibrated LLRs in the decision ledger; each
+    // evaluate() pass overwrites, so the ledger carries the last
+    // evaluation's scores (deterministic given the caller's call order).
+    std::lock_guard lock(dba_mutex_);
+    if (ledger_.entries.size() == test_labels_.size()) {
+      for (std::size_t i = 0; i < test_idx.size(); ++i) {
+        auto row = llr.row(i);
+        std::vector<double>& fused = ledger_.entries[test_idx[i]].fused_llr;
+        fused.assign(k, 0.0);
+        for (std::size_t c = 0; c < k; ++c) fused[c] = row[c];
+      }
+    }
   }
   return result;
 }
@@ -223,9 +269,10 @@ EvalResult Experiment::evaluate_single(const SubsystemScores& block) const {
   return evaluate({&block});
 }
 
-std::size_t Experiment::record_dba_round(const TrdbaSelection& selection,
-                                         DbaMode mode,
-                                         std::size_t trdba_size) const {
+DbaRoundStats Experiment::record_dba_round(const TrdbaSelection& selection,
+                                           DbaMode mode,
+                                           std::size_t trdba_size,
+                                           const VoteResult& votes) const {
   DbaRoundStats stats;
   stats.mode = mode;
   stats.min_votes = selection.min_votes;
@@ -242,6 +289,59 @@ std::size_t Experiment::record_dba_round(const TrdbaSelection& selection,
       ++stats.label_flips;
     }
   }
+
+  // Per-utterance ledger rounds.  Vote bits/margins are only attributable
+  // when the VoteResult covers the pooled test set with matching shape
+  // (hand-built selections over subsets skip the per-utterance record).
+  std::unordered_map<std::uint32_t, std::int32_t> hyp;
+  hyp.reserve(selection.utt_index.size());
+  for (std::size_t i = 0; i < selection.utt_index.size(); ++i) {
+    hyp.emplace(selection.utt_index[i], selection.label[i]);
+  }
+  if (votes.num_utts == ledger_.entries.size() &&
+      votes.num_classes == ledger_.num_classes) {
+    for (std::size_t j = 0; j < votes.num_utts; ++j) {
+      obs::LedgerRound r;
+      r.round = static_cast<std::uint32_t>(stats.round);
+      r.mode = to_string(mode);
+      r.min_votes = static_cast<std::uint32_t>(selection.min_votes);
+      std::int32_t best = -1;
+      std::uint32_t best_count = 0;
+      bool tie = false;
+      for (std::size_t c = 0; c < votes.num_classes; ++c) {
+        const std::uint32_t cnt = votes.count(j, c);
+        if (cnt > best_count) {
+          best = static_cast<std::int32_t>(c);
+          best_count = cnt;
+          tie = false;
+        } else if (cnt == best_count && cnt > 0) {
+          tie = true;
+        }
+      }
+      r.best_class = best;
+      r.vote_count = best_count;
+      r.tie = tie;
+      if (best >= 0) {
+        const auto b = static_cast<std::size_t>(best);
+        r.votes.resize(votes.num_subsystems);
+        r.margins.resize(votes.num_subsystems);
+        for (std::size_t q = 0; q < votes.num_subsystems; ++q) {
+          r.votes[q] = votes.vote(q, j, b) ? 1 : 0;
+          r.margins[q] = votes.margin(q, j, b);
+        }
+      }
+      const auto it = hyp.find(static_cast<std::uint32_t>(j));
+      if (it != hyp.end()) {
+        r.adopted = true;
+        r.hyp_label = it->second;
+        r.correct = it->second == test_labels_[j];
+        const auto prev = last_adopted_.find(it->first);
+        r.flip = prev != last_adopted_.end() && prev->second != it->second;
+      }
+      ledger_.entries[j].rounds.push_back(std::move(r));
+    }
+  }
+
   last_adopted_.clear();
   for (std::size_t i = 0; i < selection.utt_index.size(); ++i) {
     last_adopted_.emplace(selection.utt_index[i], selection.label[i]);
@@ -250,12 +350,22 @@ std::size_t Experiment::record_dba_round(const TrdbaSelection& selection,
   PHONOLID_EVENT("dba_round_recorded", "round",
                  static_cast<std::int64_t>(stats.round), "adopted",
                  static_cast<std::int64_t>(stats.utts_adopted));
-  return stats.round;
+  return stats;
 }
 
 std::vector<DbaRoundStats> Experiment::dba_rounds() const {
   std::lock_guard lock(dba_mutex_);
   return dba_rounds_;
+}
+
+obs::DecisionLedger Experiment::ledger() const {
+  std::lock_guard lock(dba_mutex_);
+  return ledger_;
+}
+
+void Experiment::write_ledger(const std::string& path) const {
+  ledger().write_jsonl_file(path);
+  PHONOLID_INFO("core") << "wrote decision ledger to " << path;
 }
 
 obs::Json Experiment::dba_report() const {
@@ -310,6 +420,14 @@ void Experiment::write_report(const std::string& path,
   merged["experiment"] = std::move(experiment);
   merged["dba"] = dba_report();
   merged["cache"] = std::move(cache);
+  // The "quality" section + float gauges (-> metrics.values / Prometheus)
+  // are derived from the decision ledger, so every report that went through
+  // an Experiment can be gated on calibration and adoption quality.
+  if (const obs::DecisionLedger led = ledger(); !led.empty()) {
+    const eval::DiagnosticsResult diag = eval::compute_diagnostics(led);
+    eval::publish_quality_gauges(diag);
+    merged["quality"] = eval::diagnostics_json(diag);
+  }
   for (auto& [key, value] : extra.as_object()) {
     merged[key] = std::move(value);
   }

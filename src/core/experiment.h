@@ -24,6 +24,7 @@
 #include "core/subsystem.h"
 #include "eval/metrics.h"
 #include "obs/json.h"
+#include "obs/ledger.h"
 #include "svm/vsm.h"
 
 namespace phonolid::core {
@@ -48,6 +49,10 @@ struct ExperimentConfig {
   /// pipeline::ArtifactStore::resolve_root and DESIGN.md "Pipeline &
   /// artifact store").
   std::string cache_dir;
+  /// When non-empty, entry points write the decision ledger (JSONL, see
+  /// obs/ledger.h) here after the experiment finishes (--ledger).  The
+  /// in-memory ledger is always recorded; this only controls the file.
+  std::string ledger_path;
 
   /// Paper-shaped configuration for the given scale.
   static ExperimentConfig preset(util::Scale scale, std::uint64_t seed);
@@ -154,9 +159,14 @@ class Experiment {
       VoteCriterion criterion = VoteCriterion::kStrict) const;
 
   /// Re-train from an explicit selection (the core of run_dba; exposed for
-  /// iterated boosting and criterion ablations).
+  /// iterated boosting and criterion ablations).  `votes` is the VoteResult
+  /// the selection was made from, used to attribute per-subsystem vote bits
+  /// and margins in the decision ledger; nullptr means the baseline votes()
+  /// (correct for run_dba / select; pass the matching result for selections
+  /// built from votes_for).
   [[nodiscard]] std::vector<SubsystemScores> run_dba_selection(
-      const TrdbaSelection& selection, DbaMode mode) const;
+      const TrdbaSelection& selection, DbaMode mode,
+      const VoteResult* votes = nullptr) const;
 
   /// Calibrate (LDA-MMI per tier, trained on dev) and evaluate an arbitrary
   /// set of subsystem score blocks.  `weights` empty = uniform (Eq. 15
@@ -174,6 +184,14 @@ class Experiment {
 
   /// The "dba" section of the run report ({"rounds": [...]}).
   [[nodiscard]] obs::Json dba_report() const;
+
+  /// Snapshot of the decision ledger: baseline scores are recorded at
+  /// build time, per-utterance round records by run_dba_selection, and
+  /// fused LLRs by every evaluate() pass (last pass wins).
+  [[nodiscard]] obs::DecisionLedger ledger() const;
+
+  /// Serialize the ledger as deterministic JSONL (--ledger).
+  void write_ledger(const std::string& path) const;
 
   /// Write the full structured JSON run report: obs metrics + trace spans +
   /// per-round DBA stats + experiment metadata, plus caller-provided extra
@@ -200,9 +218,14 @@ class Experiment {
  private:
   Experiment() = default;
 
-  /// Returns the 1-based round index just recorded.
-  std::size_t record_dba_round(const TrdbaSelection& selection, DbaMode mode,
-                               std::size_t trdba_size) const;
+  /// Seed the ledger header + per-utterance baseline entries (build time).
+  void init_ledger();
+
+  /// Records aggregate round stats and the per-utterance ledger rounds;
+  /// returns the stats (with the 1-based round index) just recorded.
+  DbaRoundStats record_dba_round(const TrdbaSelection& selection, DbaMode mode,
+                                 std::size_t trdba_size,
+                                 const VoteResult& votes) const;
 
   ExperimentConfig config_;
   std::string cache_root_;
@@ -225,6 +248,8 @@ class Experiment {
   mutable std::vector<DbaRoundStats> dba_rounds_;
   /// Adopted label per test utterance in the latest round, for flip counts.
   mutable std::unordered_map<std::uint32_t, std::int32_t> last_adopted_;
+  /// Decision ledger (guarded by dba_mutex_ after build).
+  mutable obs::DecisionLedger ledger_;
 };
 
 }  // namespace phonolid::core

@@ -1,0 +1,308 @@
+#include "eval/diagnostics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "util/matrix.h"
+
+namespace phonolid::eval {
+
+namespace {
+
+/// Fixed histogram edges: fine around the decision threshold (LLR 0) where
+/// calibration errors live, coarse in the tails.  Fixed edges keep ledgers
+/// from different runs directly comparable bucket-by-bucket.
+const std::vector<double> kHistogramEdges = {-10.0, -8.0, -6.0, -5.0, -4.0,
+                                             -3.0,  -2.0, -1.0, 0.0,  1.0,
+                                             2.0,   3.0,  4.0,  5.0,  6.0,
+                                             8.0,   10.0};
+
+std::size_t bucket_of(double s, const std::vector<double>& edges) {
+  std::size_t b = 0;
+  while (b < edges.size() && s > edges[b]) ++b;
+  return b;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
+}  // namespace
+
+DiagnosticsResult compute_diagnostics(const obs::DecisionLedger& ledger) {
+  if (ledger.empty()) {
+    throw std::invalid_argument("compute_diagnostics: empty ledger");
+  }
+  const std::size_t n = ledger.entries.size();
+  const std::size_t k = ledger.num_classes;
+  if (k < 2) {
+    throw std::invalid_argument("compute_diagnostics: need >= 2 classes");
+  }
+
+  DiagnosticsResult d;
+  d.num_utts = n;
+  d.num_classes = ledger.num_classes;
+  d.num_subsystems = ledger.num_subsystems;
+  d.calibrated =
+      std::all_of(ledger.entries.begin(), ledger.entries.end(),
+                  [&](const obs::LedgerEntry& e) {
+                    return e.fused_llr.size() == k;
+                  });
+
+  // Per-utterance score matrix: fused LLRs when every entry has them,
+  // otherwise the mean baseline subsystem score (vote-only runs).
+  util::Matrix scores(n, k);
+  std::vector<std::int32_t> labels(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const obs::LedgerEntry& e = ledger.entries[i];
+    labels[i] = e.true_label;
+    if (d.calibrated) {
+      for (std::size_t c = 0; c < k; ++c) {
+        scores(i, c) = static_cast<float>(e.fused_llr[c]);
+      }
+    } else {
+      for (std::size_t c = 0; c < k; ++c) {
+        double sum = 0.0;
+        for (const std::vector<double>& f : e.scores) sum += f[c];
+        scores(i, c) = static_cast<float>(
+            e.scores.empty() ? 0.0
+                             : sum / static_cast<double>(e.scores.size()));
+      }
+    }
+  }
+
+  const TrialSet pooled = TrialSet::from_scores(scores, labels);
+  d.eer = equal_error_rate(pooled);
+  d.cavg = cavg(scores, labels, k);
+  d.cllr = cllr(pooled);
+  d.min_cllr = min_cllr(pooled);
+  d.accuracy = identification_accuracy(scores, labels);
+  d.det = thin_det_curve(det_curve(pooled), 64);
+
+  d.histogram.edges = kHistogramEdges;
+  d.histogram.target_counts.assign(kHistogramEdges.size() + 1, 0);
+  d.histogram.nontarget_counts.assign(kHistogramEdges.size() + 1, 0);
+  for (double s : pooled.target_scores) {
+    ++d.histogram.target_counts[bucket_of(s, kHistogramEdges)];
+  }
+  for (double s : pooled.nontarget_scores) {
+    ++d.histogram.nontarget_counts[bucket_of(s, kHistogramEdges)];
+  }
+
+  // Confusion matrix + per-language one-vs-rest quality.
+  d.confusion.assign(k * k, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t pred = 0;
+    for (std::size_t c = 1; c < k; ++c) {
+      if (scores(i, c) > scores(i, pred)) pred = c;
+    }
+    d.confusion[static_cast<std::size_t>(labels[i]) * k + pred] += 1;
+  }
+  d.languages.reserve(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    LanguageDiag lang;
+    lang.language = ledger.language_name(static_cast<std::int32_t>(c));
+    TrialSet one_vs_rest;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (static_cast<std::size_t>(labels[i]) == c) {
+        one_vs_rest.target_scores.push_back(scores(i, c));
+      } else {
+        one_vs_rest.nontarget_scores.push_back(scores(i, c));
+      }
+    }
+    lang.trials = one_vs_rest.target_scores.size();
+    lang.correct = d.confusion[c * k + c];
+    lang.accuracy = lang.trials == 0
+                        ? 0.0
+                        : static_cast<double>(lang.correct) /
+                              static_cast<double>(lang.trials);
+    lang.eer = equal_error_rate(one_vs_rest);
+    lang.cllr = cllr(one_vs_rest);
+    d.languages.push_back(std::move(lang));
+  }
+
+  // Adoption quality per DBA round.  Rounds are keyed by their 1-based
+  // number; the mode string comes from the first utterance that saw the
+  // round (all utterances see the same mode).
+  std::map<std::uint32_t, AdoptionRoundDiag> rounds;
+  for (const obs::LedgerEntry& e : ledger.entries) {
+    for (const obs::LedgerRound& r : e.rounds) {
+      AdoptionRoundDiag& agg = rounds[r.round];
+      agg.round = r.round;
+      if (agg.mode.empty()) agg.mode = r.mode;
+      if (r.adopted) {
+        ++agg.adopted;
+        if (r.correct) ++agg.correct;
+      }
+      if (r.flip) ++agg.flips;
+    }
+  }
+  for (auto& [round, agg] : rounds) {
+    agg.precision = agg.adopted == 0 ? 1.0
+                                     : static_cast<double>(agg.correct) /
+                                           static_cast<double>(agg.adopted);
+    agg.recall =
+        static_cast<double>(agg.correct) / static_cast<double>(n);
+    d.adopted += agg.adopted;
+    d.adopted_correct += agg.correct;
+    d.flips += agg.flips;
+    d.rounds.push_back(agg);
+  }
+  d.adoption_precision = d.adopted == 0
+                             ? 1.0
+                             : static_cast<double>(d.adopted_correct) /
+                                   static_cast<double>(d.adopted);
+  d.adoption_recall =
+      static_cast<double>(d.adopted_correct) / static_cast<double>(n);
+  return d;
+}
+
+obs::Json diagnostics_json(const DiagnosticsResult& d) {
+  using obs::Json;
+  Json doc = Json::object();
+  doc["quality_version"] = Json(kQualityVersion);
+  doc["num_utts"] = Json(d.num_utts);
+  doc["num_classes"] = Json(d.num_classes);
+  doc["num_subsystems"] = Json(d.num_subsystems);
+  doc["calibrated"] = Json(d.calibrated);
+  doc["eer"] = Json(d.eer);
+  doc["cavg"] = Json(d.cavg);
+  doc["cllr"] = Json(d.cllr);
+  doc["min_cllr"] = Json(d.min_cllr);
+  doc["accuracy"] = Json(d.accuracy);
+
+  Json adoption = Json::object();
+  adoption["adopted"] = Json(d.adopted);
+  adoption["correct"] = Json(d.adopted_correct);
+  adoption["flips"] = Json(d.flips);
+  adoption["precision"] = Json(d.adoption_precision);
+  adoption["recall"] = Json(d.adoption_recall);
+  Json rounds = Json::array();
+  for (const AdoptionRoundDiag& r : d.rounds) {
+    Json row = Json::object();
+    row["round"] = Json(r.round);
+    row["mode"] = Json(r.mode);
+    row["adopted"] = Json(r.adopted);
+    row["correct"] = Json(r.correct);
+    row["flips"] = Json(r.flips);
+    row["precision"] = Json(r.precision);
+    row["recall"] = Json(r.recall);
+    rounds.push_back(std::move(row));
+  }
+  adoption["rounds"] = std::move(rounds);
+  doc["adoption"] = std::move(adoption);
+
+  Json languages = Json::array();
+  for (const LanguageDiag& lang : d.languages) {
+    Json row = Json::object();
+    row["language"] = Json(lang.language);
+    row["trials"] = Json(lang.trials);
+    row["correct"] = Json(lang.correct);
+    row["accuracy"] = Json(lang.accuracy);
+    row["eer"] = Json(lang.eer);
+    row["cllr"] = Json(lang.cllr);
+    languages.push_back(std::move(row));
+  }
+  doc["languages"] = std::move(languages);
+
+  Json confusion = Json::array();
+  for (std::size_t t = 0; t < d.num_classes; ++t) {
+    Json row = Json::array();
+    for (std::size_t p = 0; p < d.num_classes; ++p) {
+      row.push_back(Json(d.confusion[t * d.num_classes + p]));
+    }
+    confusion.push_back(std::move(row));
+  }
+  doc["confusion"] = std::move(confusion);
+
+  Json hist = Json::object();
+  Json edges = Json::array();
+  for (double e : d.histogram.edges) edges.push_back(Json(e));
+  Json targets = Json::array();
+  for (std::uint64_t c : d.histogram.target_counts) targets.push_back(Json(c));
+  Json nontargets = Json::array();
+  for (std::uint64_t c : d.histogram.nontarget_counts) {
+    nontargets.push_back(Json(c));
+  }
+  hist["edges"] = std::move(edges);
+  hist["target_counts"] = std::move(targets);
+  hist["nontarget_counts"] = std::move(nontargets);
+  doc["histogram"] = std::move(hist);
+
+  Json det = Json::array();
+  for (const DetPoint& p : d.det) {
+    Json row = Json::object();
+    row["p_fa"] = Json(p.p_fa);
+    row["p_miss"] = Json(p.p_miss);
+    det.push_back(std::move(row));
+  }
+  doc["det"] = std::move(det);
+  return doc;
+}
+
+std::string format_diagnostics(const DiagnosticsResult& d) {
+  std::ostringstream out;
+  out << "quality diagnostics over " << d.num_utts << " utterances, "
+      << d.num_classes << " languages, " << d.num_subsystems
+      << " subsystems"
+      << (d.calibrated ? "" : " (baseline scores: no fused LLRs in ledger)")
+      << "\n";
+  out << "  pooled: EER " << format_double(d.eer * 100.0) << "%  Cavg "
+      << format_double(d.cavg * 100.0) << "%  Cllr "
+      << format_double(d.cllr) << "  minCllr " << format_double(d.min_cllr)
+      << "  accuracy " << format_double(d.accuracy * 100.0) << "%\n";
+  out << "  adoption: " << d.adopted_correct << "/" << d.adopted
+      << " correct (precision " << format_double(d.adoption_precision)
+      << ", recall " << format_double(d.adoption_recall) << "), " << d.flips
+      << " label flips\n";
+  for (const AdoptionRoundDiag& r : d.rounds) {
+    out << "    round " << r.round << " [" << r.mode << "]: adopted "
+        << r.adopted << " (" << r.correct << " correct, precision "
+        << format_double(r.precision) << ", recall "
+        << format_double(r.recall) << ", flips " << r.flips << ")\n";
+  }
+  out << "  per-language:\n";
+  for (const LanguageDiag& lang : d.languages) {
+    out << "    " << lang.language << ": " << lang.correct << "/"
+        << lang.trials << " correct (accuracy "
+        << format_double(lang.accuracy * 100.0) << "%), EER "
+        << format_double(lang.eer * 100.0) << "%, Cllr "
+        << format_double(lang.cllr) << "\n";
+  }
+  out << "  confusion (rows = true, cols = predicted):\n";
+  for (std::size_t t = 0; t < d.num_classes; ++t) {
+    out << "    " << d.languages[t].language << ":";
+    for (std::size_t p = 0; p < d.num_classes; ++p) {
+      out << ' ' << d.confusion[t * d.num_classes + p];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+void publish_quality_gauges(const DiagnosticsResult& d) {
+  obs::Metrics::float_gauge("quality.eer").set(d.eer);
+  obs::Metrics::float_gauge("quality.cavg").set(d.cavg);
+  obs::Metrics::float_gauge("quality.cllr").set(d.cllr);
+  obs::Metrics::float_gauge("quality.min_cllr").set(d.min_cllr);
+  obs::Metrics::float_gauge("quality.accuracy").set(d.accuracy);
+  obs::Metrics::float_gauge("quality.adoption_precision")
+      .set(d.adoption_precision);
+  obs::Metrics::float_gauge("quality.adoption_recall").set(d.adoption_recall);
+  for (const LanguageDiag& lang : d.languages) {
+    obs::Metrics::float_gauge("quality.lang." + lang.language + ".eer")
+        .set(lang.eer);
+    obs::Metrics::float_gauge("quality.lang." + lang.language + ".cllr")
+        .set(lang.cllr);
+    obs::Metrics::float_gauge("quality.lang." + lang.language + ".accuracy")
+        .set(lang.accuracy);
+  }
+}
+
+}  // namespace phonolid::eval

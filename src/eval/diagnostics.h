@@ -1,0 +1,104 @@
+// Quality diagnostics derived from a decision ledger.
+//
+// compute_diagnostics() turns an obs::DecisionLedger into the numbers a
+// regression gate can act on: pooled EER / Cavg / Cllr / min-Cllr over the
+// final fused LLRs, a DET staircase, a per-language confusion matrix with
+// one-vs-rest EER + Cllr per language, pooled score histograms, and
+// per-DBA-round adoption precision / recall / flip counts.  The JSON
+// rendering (diagnostics_json) is the versioned "quality" report section;
+// report-diff gates on its leaves (--max-cllr-delta,
+// --max-adoption-precision-drop) and the per-language leaves are also
+// published as float gauges for the Prometheus exporter.
+//
+// When a ledger has no fused LLRs (the run never evaluated a fusion) the
+// per-utterance score falls back to the mean of the baseline subsystem
+// scores, so diagnostics stay defined for vote-only runs; `calibrated`
+// records which source was used.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "obs/json.h"
+#include "obs/ledger.h"
+
+namespace phonolid::eval {
+
+/// Version of the "quality" report section schema.
+inline constexpr int kQualityVersion = 1;
+
+/// Adoption outcome of one DBA round, aggregated over all utterances.
+struct AdoptionRoundDiag {
+  std::uint32_t round = 0;
+  std::string mode;  // "DBA-M1" / "DBA-M2"
+  std::uint64_t adopted = 0;
+  std::uint64_t correct = 0;  // adopted with hyp == true label
+  std::uint64_t flips = 0;    // hyp label changed vs. an earlier adoption
+  double precision = 1.0;     // correct / adopted; 1.0 when nothing adopted
+  double recall = 0.0;        // correct / total utterances
+};
+
+/// One-vs-rest detection quality for a single language.
+struct LanguageDiag {
+  std::string language;
+  std::uint64_t trials = 0;   // utterances whose true label is this language
+  std::uint64_t correct = 0;  // of those, arg-max picked this language
+  double accuracy = 0.0;
+  double eer = 0.0;
+  double cllr = 0.0;
+};
+
+/// Pooled score histogram with fixed, deterministic edges.
+struct ScoreHistogram {
+  std::vector<double> edges;  // bucket i covers (edges[i-1], edges[i]]
+  std::vector<std::uint64_t> target_counts;     // edges.size() + 1 buckets
+  std::vector<std::uint64_t> nontarget_counts;  // (underflow ... overflow)
+};
+
+struct DiagnosticsResult {
+  std::uint64_t num_utts = 0;
+  std::uint32_t num_classes = 0;
+  std::uint32_t num_subsystems = 0;
+  bool calibrated = false;  // scores were fused LLRs (vs. baseline fallback)
+
+  // Pooled detection quality over the per-utterance score matrix.
+  double eer = 0.0;
+  double cavg = 0.0;
+  double cllr = 0.0;
+  double min_cllr = 0.0;
+  double accuracy = 0.0;  // arg-max identification accuracy
+
+  /// confusion[t * num_classes + p]: true label t predicted as p.
+  std::vector<std::uint64_t> confusion;
+  std::vector<LanguageDiag> languages;
+  std::vector<AdoptionRoundDiag> rounds;
+
+  // Overall adoption quality across every round.
+  std::uint64_t adopted = 0;
+  std::uint64_t adopted_correct = 0;
+  std::uint64_t flips = 0;
+  double adoption_precision = 1.0;
+  double adoption_recall = 0.0;
+
+  ScoreHistogram histogram;
+  std::vector<DetPoint> det;  // thinned staircase, ready for plotting
+};
+
+/// Derive diagnostics from a ledger.  Deterministic: same ledger bytes ->
+/// same result.  Throws std::invalid_argument on an empty ledger.
+DiagnosticsResult compute_diagnostics(const obs::DecisionLedger& ledger);
+
+/// The versioned "quality" report section.
+obs::Json diagnostics_json(const DiagnosticsResult& d);
+
+/// Human rendering for `phonolid diag`.
+std::string format_diagnostics(const DiagnosticsResult& d);
+
+/// Publish the scalar + per-language leaves as obs float gauges
+/// ("quality.cllr", "quality.lang.<name>.eer", ...) so the Prometheus
+/// exporter picks them up.
+void publish_quality_gauges(const DiagnosticsResult& d);
+
+}  // namespace phonolid::eval

@@ -166,6 +166,100 @@ double cavg(const util::Matrix& llr_scores,
   return active_classes > 0 ? total / static_cast<double>(active_classes) : 0.0;
 }
 
+namespace {
+
+/// log2(1 + e^x) without overflow for large |x|.
+double log2_1p_exp(double x) {
+  constexpr double kLog2E = 1.4426950408889634;
+  if (x > 36.0) return x * kLog2E;  // 1 is lost to rounding beyond this
+  return std::log1p(std::exp(x)) * kLog2E;
+}
+
+}  // namespace
+
+double cllr(const TrialSet& trials) {
+  const std::size_t nt = trials.target_scores.size();
+  const std::size_t nn = trials.nontarget_scores.size();
+  if (nt == 0 || nn == 0) return 0.0;
+  double target_cost = 0.0;
+  for (double s : trials.target_scores) target_cost += log2_1p_exp(-s);
+  double nontarget_cost = 0.0;
+  for (double s : trials.nontarget_scores) nontarget_cost += log2_1p_exp(s);
+  return 0.5 * (target_cost / static_cast<double>(nt) +
+                nontarget_cost / static_cast<double>(nn));
+}
+
+double min_cllr(const TrialSet& trials) {
+  const std::size_t nt = trials.target_scores.size();
+  const std::size_t nn = trials.nontarget_scores.size();
+  if (nt == 0 || nn == 0) return 0.0;
+
+  // Pool trials sorted by (score, is_target); the secondary key makes ties
+  // deterministic and pessimistic (nontargets first at equal score).
+  struct Trial {
+    double score;
+    bool target;
+  };
+  std::vector<Trial> pooled;
+  pooled.reserve(nt + nn);
+  for (double s : trials.nontarget_scores) pooled.push_back({s, false});
+  for (double s : trials.target_scores) pooled.push_back({s, true});
+  std::sort(pooled.begin(), pooled.end(), [](const Trial& a, const Trial& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return a.target < b.target;
+  });
+
+  // Pool-adjacent-violators: isotonic (non-decreasing) fit of the target
+  // indicator in score order.  Each block keeps (sum of indicators, size);
+  // violating neighbours merge until the fitted means are monotone.
+  struct Block {
+    double sum;
+    double size;
+    [[nodiscard]] double mean() const { return sum / size; }
+  };
+  std::vector<Block> blocks;
+  blocks.reserve(pooled.size());
+  for (const Trial& t : pooled) {
+    blocks.push_back({t.target ? 1.0 : 0.0, 1.0});
+    while (blocks.size() >= 2 &&
+           blocks[blocks.size() - 2].mean() >= blocks.back().mean()) {
+      blocks[blocks.size() - 2].sum += blocks.back().sum;
+      blocks[blocks.size() - 2].size += blocks.back().size;
+      blocks.pop_back();
+    }
+  }
+
+  // Convert fitted posteriors back to LLRs at the empirical prior odds.
+  // Blocks with p == 0 or p == 1 map to -inf/+inf LLRs, but such blocks are
+  // pure nontarget/target runs: their trials contribute exactly 0 to Cllr,
+  // so a large finite stand-in keeps the arithmetic exact.
+  const double log_prior_odds = std::log(static_cast<double>(nt)) -
+                                std::log(static_cast<double>(nn));
+  TrialSet calibrated;
+  calibrated.target_scores.reserve(nt);
+  calibrated.nontarget_scores.reserve(nn);
+  std::size_t i = 0;
+  for (const Block& b : blocks) {
+    const double p = b.mean();
+    double llr = 0.0;
+    if (p <= 0.0) {
+      llr = -1e6;
+    } else if (p >= 1.0) {
+      llr = 1e6;
+    } else {
+      llr = std::log(p) - std::log1p(-p) - log_prior_odds;
+    }
+    for (double n = 0.0; n < b.size; n += 1.0, ++i) {
+      if (pooled[i].target) {
+        calibrated.target_scores.push_back(llr);
+      } else {
+        calibrated.nontarget_scores.push_back(llr);
+      }
+    }
+  }
+  return cllr(calibrated);
+}
+
 double identification_accuracy(const util::Matrix& scores,
                                std::span<const std::int32_t> labels) {
   if (scores.rows() != labels.size()) {

@@ -58,4 +58,19 @@ double cavg(const util::Matrix& llr_scores,
 double identification_accuracy(const util::Matrix& scores,
                                std::span<const std::int32_t> labels);
 
+/// Log-likelihood-ratio cost (Brümmer's Cllr, bits/trial):
+///   Cllr = 1/(2 N_t) Σ_t log2(1 + e^-s) + 1/(2 N_n) Σ_n log2(1 + e^s).
+/// 0 for perfectly calibrated, perfectly separating scores; 1 for a system
+/// whose LLRs carry no information (s = 0 everywhere); > 1 indicates
+/// actively miscalibrated scores.  Returns 0 for empty target or nontarget
+/// sets.
+double cllr(const TrialSet& trials);
+
+/// Discrimination-only Cllr: scores are first optimally recalibrated with
+/// the PAV algorithm (isotonic fit of the target posterior in score order,
+/// converted back to LLRs at the trial-set prior odds), then scored with
+/// cllr().  min_cllr(t) <= cllr(t) up to rounding; the gap is the
+/// calibration loss of the backend.  Returns 0 for empty sets.
+double min_cllr(const TrialSet& trials);
+
 }  // namespace phonolid::eval

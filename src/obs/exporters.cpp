@@ -154,6 +154,11 @@ std::string prometheus_text() {
     out << "# TYPE " << n << "_max gauge\n";
     out << n << "_max " << g.max << '\n';
   }
+  for (const auto& [name, value] : Metrics::float_gauges()) {
+    const std::string n = prom_name(name);
+    out << "# TYPE " << n << " gauge\n";
+    out << n << ' ' << prom_number(value) << '\n';
+  }
   for (const auto& [name, h] : Metrics::histograms()) {
     const std::string n = prom_name(name);
     out << "# TYPE " << n << " histogram\n";

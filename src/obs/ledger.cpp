@@ -1,0 +1,303 @@
+#include "obs/ledger.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace phonolid::obs {
+
+namespace {
+
+std::uint64_t get_u64(const Json& doc, const char* key, std::uint64_t dflt) {
+  const Json* v = doc.find(key);
+  return v != nullptr && v->is_int()
+             ? static_cast<std::uint64_t>(v->as_int())
+             : dflt;
+}
+
+std::int64_t get_i64(const Json& doc, const char* key, std::int64_t dflt) {
+  const Json* v = doc.find(key);
+  return v != nullptr && v->is_int() ? v->as_int() : dflt;
+}
+
+bool get_bool(const Json& doc, const char* key, bool dflt) {
+  const Json* v = doc.find(key);
+  return v != nullptr && v->is_bool() ? v->as_bool() : dflt;
+}
+
+std::string get_string(const Json& doc, const char* key) {
+  const Json* v = doc.find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : std::string();
+}
+
+Json doubles_to_json(const std::vector<double>& values) {
+  Json arr = Json::array();
+  for (double v : values) arr.push_back(Json(v));
+  return arr;
+}
+
+std::vector<double> doubles_from_json(const Json* arr) {
+  std::vector<double> out;
+  if (arr == nullptr || !arr->is_array()) return out;
+  out.reserve(arr->as_array().size());
+  for (const Json& v : arr->as_array()) {
+    out.push_back(v.is_number() ? v.as_double() : 0.0);
+  }
+  return out;
+}
+
+}  // namespace
+
+const LedgerEntry* DecisionLedger::find(std::uint64_t id) const noexcept {
+  if (id < entries.size() && entries[id].utt == id) return &entries[id];
+  for (const LedgerEntry& e : entries) {
+    if (e.utt == id || e.corpus_id == id) return &e;
+  }
+  return nullptr;
+}
+
+std::string DecisionLedger::language_name(std::int32_t k) const {
+  if (k >= 0 && static_cast<std::size_t>(k) < languages.size()) {
+    return languages[static_cast<std::size_t>(k)];
+  }
+  return k < 0 ? std::string("-") : "lang" + std::to_string(k);
+}
+
+Json DecisionLedger::entry_to_json(const LedgerEntry& entry) {
+  Json doc = Json::object();
+  doc["utt"] = Json(entry.utt);
+  doc["id"] = Json(entry.corpus_id);
+  doc["true_label"] = Json(entry.true_label);
+  doc["tier"] = Json(entry.tier);
+  Json scores = Json::array();
+  for (const auto& row : entry.scores) scores.push_back(doubles_to_json(row));
+  doc["scores"] = std::move(scores);
+  Json rounds = Json::array();
+  for (const LedgerRound& r : entry.rounds) {
+    Json rj = Json::object();
+    rj["round"] = Json(r.round);
+    rj["mode"] = Json(r.mode);
+    rj["min_votes"] = Json(r.min_votes);
+    rj["best_class"] = Json(r.best_class);
+    rj["vote_count"] = Json(r.vote_count);
+    rj["tie"] = Json(r.tie);
+    Json votes = Json::array();
+    for (std::uint8_t v : r.votes) votes.push_back(Json(v != 0));
+    rj["votes"] = std::move(votes);
+    rj["margins"] = doubles_to_json(r.margins);
+    rj["adopted"] = Json(r.adopted);
+    rj["hyp_label"] = Json(r.hyp_label);
+    rj["correct"] = Json(r.correct);
+    rj["flip"] = Json(r.flip);
+    rounds.push_back(std::move(rj));
+  }
+  doc["rounds"] = std::move(rounds);
+  doc["fused_llr"] = doubles_to_json(entry.fused_llr);
+  return doc;
+}
+
+LedgerEntry DecisionLedger::entry_from_json(const Json& doc) {
+  LedgerEntry entry;
+  entry.utt = get_u64(doc, "utt", 0);
+  entry.corpus_id = get_u64(doc, "id", 0);
+  entry.true_label = static_cast<std::int32_t>(get_i64(doc, "true_label", -1));
+  entry.tier = get_string(doc, "tier");
+  if (const Json* scores = doc.find("scores");
+      scores != nullptr && scores->is_array()) {
+    for (const Json& row : scores->as_array()) {
+      entry.scores.push_back(doubles_from_json(&row));
+    }
+  }
+  if (const Json* rounds = doc.find("rounds");
+      rounds != nullptr && rounds->is_array()) {
+    for (const Json& rj : rounds->as_array()) {
+      LedgerRound r;
+      r.round = static_cast<std::uint32_t>(get_u64(rj, "round", 0));
+      r.mode = get_string(rj, "mode");
+      r.min_votes = static_cast<std::uint32_t>(get_u64(rj, "min_votes", 0));
+      r.best_class = static_cast<std::int32_t>(get_i64(rj, "best_class", -1));
+      r.vote_count = static_cast<std::uint32_t>(get_u64(rj, "vote_count", 0));
+      r.tie = get_bool(rj, "tie", false);
+      if (const Json* votes = rj.find("votes");
+          votes != nullptr && votes->is_array()) {
+        for (const Json& v : votes->as_array()) {
+          r.votes.push_back(v.is_bool() && v.as_bool() ? 1 : 0);
+        }
+      }
+      r.margins = doubles_from_json(rj.find("margins"));
+      r.adopted = get_bool(rj, "adopted", false);
+      r.hyp_label = static_cast<std::int32_t>(get_i64(rj, "hyp_label", -1));
+      r.correct = get_bool(rj, "correct", false);
+      r.flip = get_bool(rj, "flip", false);
+      entry.rounds.push_back(std::move(r));
+    }
+  }
+  entry.fused_llr = doubles_from_json(doc.find("fused_llr"));
+  return entry;
+}
+
+void DecisionLedger::write_jsonl(std::ostream& out) const {
+  Json header = Json::object();
+  header["ledger_version"] = Json(kLedgerVersion);
+  header["num_classes"] = Json(num_classes);
+  header["num_subsystems"] = Json(num_subsystems);
+  Json langs = Json::array();
+  for (const std::string& l : languages) langs.push_back(Json(l));
+  header["languages"] = std::move(langs);
+  header["scale"] = Json(scale);
+  header["seed"] = Json(seed);
+  header["utterances"] = Json(entries.size());
+  header.dump(out, 0);
+  out << '\n';
+  for (const LedgerEntry& entry : entries) {
+    entry_to_json(entry).dump(out, 0);
+    out << '\n';
+  }
+}
+
+void DecisionLedger::write_jsonl_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("ledger: cannot open '" + path + "' for writing");
+  }
+  write_jsonl(out);
+  if (!out.good()) {
+    throw std::runtime_error("ledger: write failed for '" + path + "'");
+  }
+}
+
+DecisionLedger DecisionLedger::read_jsonl(std::istream& in) {
+  DecisionLedger ledger;
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("ledger: empty input");
+  }
+  const Json header = Json::parse(line);
+  const std::int64_t version = get_i64(header, "ledger_version", -1);
+  if (version != kLedgerVersion) {
+    throw std::runtime_error("ledger: unsupported ledger_version " +
+                             std::to_string(version));
+  }
+  ledger.num_classes =
+      static_cast<std::uint32_t>(get_u64(header, "num_classes", 0));
+  ledger.num_subsystems =
+      static_cast<std::uint32_t>(get_u64(header, "num_subsystems", 0));
+  if (const Json* langs = header.find("languages");
+      langs != nullptr && langs->is_array()) {
+    for (const Json& l : langs->as_array()) {
+      ledger.languages.push_back(l.is_string() ? l.as_string() : std::string());
+    }
+  }
+  ledger.scale = get_string(header, "scale");
+  ledger.seed = get_u64(header, "seed", 0);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ledger.entries.push_back(entry_from_json(Json::parse(line)));
+  }
+  return ledger;
+}
+
+DecisionLedger DecisionLedger::read_jsonl_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("ledger: cannot open '" + path + "'");
+  }
+  return read_jsonl(in);
+}
+
+std::string format_explain(const DecisionLedger& ledger,
+                           const LedgerEntry& entry) {
+  std::ostringstream out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "utterance #%llu (corpus id %llu)\n",
+                static_cast<unsigned long long>(entry.utt),
+                static_cast<unsigned long long>(entry.corpus_id));
+  out << buf;
+  std::snprintf(buf, sizeof(buf), "  true language : %s (%d)   tier: %s\n",
+                ledger.language_name(entry.true_label).c_str(),
+                entry.true_label, entry.tier.c_str());
+  out << buf;
+
+  out << "  baseline scores f_qk (* = true class, ^ = argmax):\n";
+  for (std::size_t q = 0; q < entry.scores.size(); ++q) {
+    const auto& row = entry.scores[q];
+    std::size_t argmax = 0;
+    for (std::size_t k = 1; k < row.size(); ++k) {
+      if (row[k] > row[argmax]) argmax = k;
+    }
+    std::snprintf(buf, sizeof(buf), "    q%zu:", q);
+    out << buf;
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      const bool is_true = static_cast<std::int32_t>(k) == entry.true_label;
+      const char* mark = k == argmax ? (is_true ? "^*" : "^ ")
+                                     : (is_true ? "* " : "  ");
+      std::snprintf(buf, sizeof(buf), " %+8.4f%s", row[k], mark);
+      out << buf;
+    }
+    out << '\n';
+  }
+
+  if (entry.rounds.empty()) {
+    out << "  rounds: none recorded (no DBA pass in this run)\n";
+  }
+  for (const LedgerRound& r : entry.rounds) {
+    std::snprintf(buf, sizeof(buf), "  round %u [%s, V>=%u]: ", r.round,
+                  r.mode.c_str(), r.min_votes);
+    out << buf;
+    if (r.best_class < 0) {
+      out << "no votes\n";
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf), "leading %s with %u/%u votes%s\n",
+                  ledger.language_name(r.best_class).c_str(), r.vote_count,
+                  static_cast<unsigned>(
+                      r.votes.empty() ? ledger.num_subsystems
+                                      : static_cast<std::uint32_t>(
+                                            r.votes.size())),
+                  r.tie ? " (tie)" : "");
+    out << buf;
+    out << "    votes:";
+    for (std::size_t q = 0; q < r.votes.size(); ++q) {
+      const double m = q < r.margins.size() ? r.margins[q] : 0.0;
+      std::snprintf(buf, sizeof(buf), " q%zu%c(%+.4f)", q,
+                    r.votes[q] != 0 ? '+' : '-', m);
+      out << buf;
+    }
+    out << '\n';
+    if (r.adopted) {
+      std::snprintf(buf, sizeof(buf),
+                    "    ADOPTED as %s (%s)%s\n",
+                    ledger.language_name(r.hyp_label).c_str(),
+                    r.correct ? "correct" : "WRONG",
+                    r.flip ? "  [label flip]" : "");
+      out << buf;
+    } else {
+      out << "    not adopted\n";
+    }
+  }
+
+  if (!entry.fused_llr.empty()) {
+    out << "  fused LLR (calibrated):\n   ";
+    std::size_t argmax = 0;
+    for (std::size_t k = 1; k < entry.fused_llr.size(); ++k) {
+      if (entry.fused_llr[k] > entry.fused_llr[argmax]) argmax = k;
+    }
+    for (std::size_t k = 0; k < entry.fused_llr.size(); ++k) {
+      std::snprintf(buf, sizeof(buf), " %+8.4f%c", entry.fused_llr[k],
+                    k == argmax ? '^' : ' ');
+      out << buf;
+    }
+    std::snprintf(buf, sizeof(buf), "\n  fused decision : %s (%s)\n",
+                  ledger.language_name(static_cast<std::int32_t>(argmax))
+                      .c_str(),
+                  static_cast<std::int32_t>(argmax) == entry.true_label
+                      ? "correct"
+                      : "WRONG");
+    out << buf;
+  }
+  return out.str();
+}
+
+}  // namespace phonolid::obs

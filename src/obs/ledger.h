@@ -1,0 +1,107 @@
+// Decision ledger: a per-utterance record of every DBA adoption decision.
+//
+// The span/counter layers answer "how long" and "how often"; the ledger
+// answers *why*: for every pooled test utterance it keeps the baseline
+// per-subsystem scores f_{qk}, and for every DBA round the per-subsystem
+// vote bits and signed vote margins, the vote tally for the leading class,
+// the adoption decision with hypothesised vs. true label, and label flips
+// across rounds — plus the final fused/calibrated LLR vector.  Serialized
+// as JSONL: one header line (ledger_version, class/subsystem counts,
+// language names, scale, seed) followed by one compact JSON object per
+// utterance in pooled-test order.  Everything recorded is a deterministic
+// function of the experiment config, so the artifact is byte-identical
+// across thread counts and repeated runs — `cmp` is a valid regression
+// check (scripts/tier1.sh does exactly that).
+//
+// This layer is pure data + (de)serialization: it knows nothing about
+// core::Experiment or eval metrics.  core fills it in; eval/diagnostics.h
+// derives DET curves, confusion matrices, adoption precision/recall and
+// Cllr from it; `phonolid explain` pretty-prints one entry.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace phonolid::obs {
+
+inline constexpr int kLedgerVersion = 1;
+
+/// One DBA round as seen by one utterance.  Vote bits/margins are for
+/// `best_class` (the class with the most votes this round); an utterance
+/// with no votes at all has best_class = -1 and empty vote vectors.
+struct LedgerRound {
+  std::uint32_t round = 0;  // 1-based, matches DbaRoundStats::round
+  std::string mode;         // "DBA-M1" / "DBA-M2"
+  std::uint32_t min_votes = 0;
+  std::int32_t best_class = -1;  // leading class by vote count; -1 = no votes
+  std::uint32_t vote_count = 0;  // c_{j,best}
+  bool tie = false;              // leading count shared by >= 2 classes
+  /// Per subsystem: did q vote for best_class (Eq. 13)?
+  std::vector<std::uint8_t> votes;
+  /// Per subsystem: signed vote margin for best_class (> 0 iff votes[q]).
+  std::vector<double> margins;
+  bool adopted = false;
+  std::int32_t hyp_label = -1;  // adopted label; -1 when not adopted
+  bool correct = false;         // hyp_label == true label (adopted only)
+  bool flip = false;  // hyp label differs from a previous round's adoption
+};
+
+/// Everything the ledger knows about one pooled test utterance.
+struct LedgerEntry {
+  std::uint64_t utt = 0;        // index into the pooled test set
+  std::uint64_t corpus_id = 0;  // corpus::Utterance::id
+  std::int32_t true_label = -1;
+  std::string tier;  // "30s" / "10s" / "3s"
+  /// Baseline per-subsystem score vectors f_q (each num_classes wide).
+  std::vector<std::vector<double>> scores;
+  std::vector<LedgerRound> rounds;
+  /// Final fused + calibrated per-class LLR (last evaluation pass; empty if
+  /// the run never evaluated a fusion).
+  std::vector<double> fused_llr;
+};
+
+class DecisionLedger {
+ public:
+  // Header metadata (the JSONL first line).
+  std::uint32_t num_classes = 0;
+  std::uint32_t num_subsystems = 0;
+  std::vector<std::string> languages;  // class index -> display name
+  std::string scale;
+  std::uint64_t seed = 0;
+
+  /// One entry per pooled test utterance, indexed by utt.
+  std::vector<LedgerEntry> entries;
+
+  [[nodiscard]] bool empty() const noexcept { return entries.empty(); }
+
+  /// Resolve an id the way `phonolid explain` does: first as a pooled test
+  /// index, then as a corpus utterance id.  nullptr when unknown.
+  [[nodiscard]] const LedgerEntry* find(std::uint64_t id) const noexcept;
+
+  /// Class index -> name ("lang<k>" fallback when names are absent).
+  [[nodiscard]] std::string language_name(std::int32_t k) const;
+
+  // --- JSONL (de)serialization -------------------------------------------
+  void write_jsonl(std::ostream& out) const;
+  /// Throws std::runtime_error when the file cannot be written.
+  void write_jsonl_file(const std::string& path) const;
+  /// Parses a header + entry lines; throws std::runtime_error on malformed
+  /// input or a ledger_version mismatch.
+  static DecisionLedger read_jsonl(std::istream& in);
+  static DecisionLedger read_jsonl_file(const std::string& path);
+
+  static Json entry_to_json(const LedgerEntry& entry);
+  static LedgerEntry entry_from_json(const Json& doc);
+};
+
+/// Multi-line human rendering of one entry (the `phonolid explain` body):
+/// baseline scores with true/argmax markers, per-round votes with margins,
+/// adoption + flip flags, fused LLRs.  Deterministic (fixed precision).
+[[nodiscard]] std::string format_explain(const DecisionLedger& ledger,
+                                         const LedgerEntry& entry);
+
+}  // namespace phonolid::obs

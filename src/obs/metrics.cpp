@@ -58,6 +58,14 @@ Gauge& Metrics::gauge(const std::string& name) {
   return *slot;
 }
 
+FloatGauge& Metrics::float_gauge(const std::string& name) {
+  Metrics& m = instance();
+  std::lock_guard lock(m.mutex_);
+  auto& slot = m.float_gauges_[name];
+  if (!slot) slot = std::make_unique<FloatGauge>();
+  return *slot;
+}
+
 Histogram& Metrics::histogram(const std::string& name,
                               const std::vector<double>& upper_edges) {
   Metrics& m = instance();
@@ -90,6 +98,14 @@ std::map<std::string, GaugeSnapshot> Metrics::gauges() {
   return out;
 }
 
+std::map<std::string, double> Metrics::float_gauges() {
+  Metrics& m = instance();
+  std::lock_guard lock(m.mutex_);
+  std::map<std::string, double> out;
+  for (const auto& [name, g] : m.float_gauges_) out[name] = g->value();
+  return out;
+}
+
 std::map<std::string, HistogramSnapshot> Metrics::histograms() {
   Metrics& m = instance();
   std::lock_guard lock(m.mutex_);
@@ -113,6 +129,7 @@ void Metrics::reset() {
   std::lock_guard lock(m.mutex_);
   for (auto& [name, c] : m.counters_) c->reset();
   for (auto& [name, g] : m.gauges_) g->reset();
+  for (auto& [name, g] : m.float_gauges_) g->reset();
   for (auto& [name, h] : m.histograms_) h->reset();
 }
 

@@ -108,6 +108,22 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// Instantaneous double-valued level, for derived quality metrics (Cllr,
+/// per-language EER, adoption precision) that the integer Gauge cannot
+/// carry without lossy scaling.  Exported to Prometheus as a gauge and into
+/// run reports under metrics.values.
+class FloatGauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
 struct GaugeSnapshot {
   std::int64_t value = 0;
   std::int64_t max = 0;
@@ -125,6 +141,7 @@ class Metrics {
  public:
   static Counter& counter(const std::string& name);
   static Gauge& gauge(const std::string& name);
+  static FloatGauge& float_gauge(const std::string& name);
   /// `upper_edges` must be sorted ascending; on first creation they define
   /// the buckets, later lookups of the same name ignore them (a mismatch
   /// throws std::invalid_argument to catch inconsistent call sites).
@@ -133,6 +150,7 @@ class Metrics {
 
   static std::map<std::string, std::uint64_t> counters();
   static std::map<std::string, GaugeSnapshot> gauges();
+  static std::map<std::string, double> float_gauges();
   static std::map<std::string, HistogramSnapshot> histograms();
 
   /// Zero every metric in place (objects and hoisted references survive).
@@ -145,6 +163,7 @@ class Metrics {
   std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<FloatGauge>> float_gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 

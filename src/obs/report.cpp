@@ -6,10 +6,57 @@
 #include <fstream>
 #include <stdexcept>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace phonolid::obs {
+
+namespace {
+
+/// Process resource usage + flight-recorder health.  Peak RSS and CPU time
+/// make "fast but fat" regressions visible in report-diff; the ring drop
+/// counts surface silent event loss (a trace that quietly wrapped is worse
+/// than no trace).
+Json resource_json() {
+  Json resource = Json::object();
+#if defined(__unix__) || defined(__APPLE__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+    const std::int64_t peak_rss_bytes = ru.ru_maxrss;  // bytes on macOS
+#else
+    const std::int64_t peak_rss_bytes = ru.ru_maxrss * 1024;  // KiB on Linux
+#endif
+    resource["peak_rss_bytes"] = Json(peak_rss_bytes);
+    resource["user_cpu_s"] =
+        Json(static_cast<double>(ru.ru_utime.tv_sec) +
+             static_cast<double>(ru.ru_utime.tv_usec) * 1e-6);
+    resource["system_cpu_s"] =
+        Json(static_cast<double>(ru.ru_stime.tv_sec) +
+             static_cast<double>(ru.ru_stime.tv_usec) * 1e-6);
+  }
+#endif
+  std::uint64_t threads = 0, events = 0, dropped = 0;
+  for (const ThreadEvents& t : FlightRecorder::snapshot()) {
+    ++threads;
+    events += t.events.size();
+    dropped += t.dropped;
+  }
+  Json recorder = Json::object();
+  recorder["enabled"] = Json(FlightRecorder::enabled());
+  recorder["threads"] = Json(threads);
+  recorder["events"] = Json(events);
+  recorder["dropped_events"] = Json(dropped);
+  resource["flight_recorder"] = std::move(recorder);
+  return resource;
+}
+
+}  // namespace
 
 std::string iso8601_utc_now() {
   using namespace std::chrono;
@@ -66,9 +113,14 @@ Json build_report(const ReportMeta& meta, Json extra) {
     entry["sum"] = Json(h.sum);
     histograms[name] = std::move(entry);
   }
+  Json values = Json::object();
+  for (const auto& [name, value] : Metrics::float_gauges()) {
+    values[name] = Json(value);
+  }
   Json metrics = Json::object();
   metrics["counters"] = std::move(counters);
   metrics["gauges"] = std::move(gauges);
+  metrics["values"] = std::move(values);
   metrics["histograms"] = std::move(histograms);
   doc["metrics"] = std::move(metrics);
 
@@ -78,6 +130,7 @@ Json build_report(const ReportMeta& meta, Json extra) {
     entry["path"] = Json(s.path);
     entry["count"] = Json(s.total.count);
     entry["total_s"] = Json(s.total.total_s);
+    entry["cpu_s"] = Json(s.total.cpu_s);
     entry["mean_s"] = Json(s.total.count == 0
                                ? 0.0
                                : s.total.total_s /
@@ -96,6 +149,7 @@ Json build_report(const ReportMeta& meta, Json extra) {
     spans.push_back(std::move(entry));
   }
   doc["spans"] = std::move(spans);
+  doc["resource"] = resource_json();
 
   for (auto& [key, value] : extra.as_object()) {
     doc[key] = std::move(value);

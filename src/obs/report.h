@@ -8,10 +8,15 @@
 //     "schema_version": 1,
 //     "generated_at": "2026-08-06T12:34:56.789Z",
 //     "meta":    { "tool": ..., "command": ..., ... },
-//     "metrics": { "counters": {...}, "gauges": {...}, "histograms": {...} },
-//     "spans":   [ { "path", "count", "total_s", "mean_s", "min_s", "max_s",
-//                    "by_thread": [{ "thread", "count", "total_s" }] } ],
-//     ...caller-provided extra sections (e.g. "dba", "results")...
+//     "metrics": { "counters": {...}, "gauges": {...}, "values": {...},
+//                  "histograms": {...} },
+//     "spans":   [ { "path", "count", "total_s", "cpu_s", "mean_s", "min_s",
+//                    "max_s", "by_thread": [{ "thread", "count",
+//                    "total_s" }] } ],
+//     "resource": { "peak_rss_bytes", "user_cpu_s", "system_cpu_s",
+//                   "flight_recorder": { "enabled", "threads", "events",
+//                                        "dropped_events" } },
+//     ...caller-provided extra sections (e.g. "dba", "results", "quality")...
 //   }
 //
 // See DESIGN.md "Observability" for the full field reference.

@@ -61,6 +61,28 @@ std::map<std::string, double> result_leaves(const Json& report) {
   return out;
 }
 
+/// Scalar + per-language/per-round "quality" leaves.  The bulky subtrees
+/// (DET staircase, histograms, confusion counts) are deliberately not
+/// diffed — they change shape freely and gating happens on the derived
+/// scalars instead.
+std::map<std::string, double> quality_leaves(const Json& report) {
+  std::map<std::string, double> out;
+  const Json* quality = report.find("quality");
+  if (quality == nullptr || !quality->is_object()) return out;
+  for (const auto& [key, value] : quality->as_object()) {
+    if (key == "det" || key == "histogram" || key == "confusion") continue;
+    collect_numeric_leaves(value, "quality/" + key, out);
+  }
+  return out;
+}
+
+std::map<std::string, double> resource_leaves(const Json& report) {
+  std::map<std::string, double> out;
+  const Json* resource = report.find("resource");
+  if (resource != nullptr) collect_numeric_leaves(*resource, "resource", out);
+  return out;
+}
+
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
@@ -132,18 +154,55 @@ ReportDiffResult diff_reports(const Json& baseline, const Json& current,
                  result.rows.push_back(std::move(row));
                });
 
+  // Accuracy/calibration leaves share one gating rule set so "results" and
+  // "quality" sections behave identically.
+  const auto accuracy_row = [&](const std::string& kind,
+                                const std::string& key, double b, double c) {
+    ReportDiffRow row;
+    row.kind = kind;
+    row.key = key;
+    row.base = b;
+    row.cur = c;
+    const double cavg_delta = options.max_cavg_delta >= 0.0
+                                  ? options.max_cavg_delta
+                                  : options.max_eer_delta;
+    if (ends_with(key, "/eer") && options.max_eer_delta >= 0.0) {
+      row.gated = true;
+      row.violation = (c - b) > options.max_eer_delta;
+    } else if (ends_with(key, "/cavg") && cavg_delta >= 0.0) {
+      row.gated = true;
+      row.violation = (c - b) > cavg_delta;
+    } else if ((ends_with(key, "/cllr") || ends_with(key, "/min_cllr")) &&
+               options.max_cllr_delta >= 0.0) {
+      row.gated = true;
+      row.violation = (c - b) > options.max_cllr_delta;
+    } else if (ends_with(key, "/precision") &&
+               key.find("/adoption") != std::string::npos &&
+               options.max_adoption_precision_drop >= 0.0) {
+      row.gated = true;
+      row.violation = (b - c) > options.max_adoption_precision_drop;
+    }
+    result.rows.push_back(std::move(row));
+  };
+
   compare_maps(result_leaves(baseline), result_leaves(current), "result",
                result, [&](const std::string& key, double b, double c) {
+                 accuracy_row("result", key, b, c);
+               });
+
+  compare_maps(quality_leaves(baseline), quality_leaves(current), "quality",
+               result, [&](const std::string& key, double b, double c) {
+                 accuracy_row("quality", key, b, c);
+               });
+
+  compare_maps(resource_leaves(baseline), resource_leaves(current),
+               "resource", result,
+               [&](const std::string& key, double b, double c) {
                  ReportDiffRow row;
-                 row.kind = "result";
+                 row.kind = "resource";
                  row.key = key;
                  row.base = b;
                  row.cur = c;
-                 row.gated = options.max_eer_delta >= 0.0 &&
-                             (ends_with(key, "/eer") || ends_with(key, "/cavg"));
-                 if (row.gated) {
-                   row.violation = (c - b) > options.max_eer_delta;
-                 }
                  result.rows.push_back(std::move(row));
                });
 
@@ -161,8 +220,10 @@ std::string ReportDiffResult::format() const {
   out << line;
   std::size_t hidden = 0;
   for (const ReportDiffRow& row : rows) {
-    // Unchanged counters are the bulk of a same-machine diff; elide them.
-    if (row.kind == "counter" && row.base == row.cur && !row.violation) {
+    // Unchanged counters/resource rows are the bulk of a same-machine diff;
+    // elide them.
+    if ((row.kind == "counter" || row.kind == "resource") &&
+        row.base == row.cur && !row.violation) {
       ++hidden;
       continue;
     }
@@ -181,7 +242,7 @@ std::string ReportDiffResult::format() const {
     out << line;
   }
   if (hidden > 0) {
-    out << "(" << hidden << " unchanged counters elided)\n";
+    out << "(" << hidden << " unchanged counter/resource rows elided)\n";
   }
   for (const std::string& note : notes) {
     out << "note: " << note << '\n';

@@ -11,13 +11,20 @@
 //     `max_regress_pct` percent is a violation (negative deltas — speedups —
 //     never violate).  Spans below `min_span_s` are reported but not gated;
 //     sub-10ms means are timer noise, not signal.
-//   - numeric leaves under "results" named "eer" or "cavg" gate on absolute
-//     regression: current - baseline > max_eer_delta is a violation
-//     (improvements never violate).  Values are fractions, so 0.02 = 2
-//     percentage points.
+//   - numeric leaves under "results" and "quality" named "eer" or "cavg"
+//     gate on absolute regression: current - baseline > max_eer_delta
+//     (cavg leaves prefer max_cavg_delta when set, falling back to
+//     max_eer_delta) is a violation (improvements never violate).  Values
+//     are fractions, so 0.02 = 2 percentage points.
+//   - "quality" leaves named "cllr" / "min_cllr" gate on absolute increase
+//     via max_cllr_delta; adoption "precision" leaves gate on absolute
+//     *drop* (baseline - current) via max_adoption_precision_drop.  The
+//     bulky quality subtrees (det, histogram, confusion) are not diffed.
 //   - counters are compared and reported when they differ but never gate:
 //     they are deterministic diagnostics (e.g. thread counts legitimately
 //     change threadpool.* volume across machines).
+//   - "resource" leaves (peak RSS, CPU time, recorder drops) are reported
+//     when they differ but never gate — they vary across machines.
 //   - a schema_version mismatch between the two documents is itself a
 //     violation (the comparison would be meaningless).
 //   - sections/keys present on only one side are reported as notes, never
@@ -40,12 +47,21 @@ struct ReportDiffOptions {
   double max_regress_pct = -1.0;
   /// Max allowed absolute EER/Cavg increase; negative = don't gate accuracy.
   double max_eer_delta = -1.0;
+  /// Max allowed absolute Cavg increase; negative = fall back to
+  /// max_eer_delta for cavg leaves (backward compatible).
+  double max_cavg_delta = -1.0;
+  /// Max allowed absolute Cllr / min-Cllr increase on "quality" leaves;
+  /// negative = don't gate calibration.
+  double max_cllr_delta = -1.0;
+  /// Max allowed absolute drop (baseline - current) of adoption precision
+  /// leaves under "quality"; negative = don't gate adoption.
+  double max_adoption_precision_drop = -1.0;
   /// Spans with a baseline mean below this (seconds) are never gated.
   double min_span_s = 0.01;
 };
 
 struct ReportDiffRow {
-  std::string kind;  // "span" | "counter" | "result"
+  std::string kind;  // "span" | "counter" | "result" | "quality" | "resource"
   std::string key;   // span path, counter name, or results/...-style path
   double base = 0.0;
   double cur = 0.0;

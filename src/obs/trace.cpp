@@ -1,12 +1,25 @@
 #include "obs/trace.h"
 
 #include <algorithm>
+#include <ctime>
 #include <mutex>
 #include <unordered_map>
 
 namespace phonolid::obs {
 
 namespace {
+
+/// Calling thread's CPU time in seconds (0 where the clock is unavailable).
+double thread_cpu_seconds() noexcept {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return 0.0;
+}
 
 /// Per-thread span state.  The table mutex is only ever contended by
 /// snapshot()/reset() — the owning thread takes it uncontended on each span
@@ -66,6 +79,7 @@ Span::Span(const char* name) noexcept : name_(name) {
   if (!t.path.empty()) t.path.push_back('/');
   t.path.append(name);
   FlightRecorder::begin(name);
+  cpu_start_s_ = thread_cpu_seconds();
   start_ = std::chrono::steady_clock::now();
 }
 
@@ -75,11 +89,13 @@ double Span::stop() noexcept {
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
+  const double cpu_seconds =
+      std::max(0.0, thread_cpu_seconds() - cpu_start_s_);
   FlightRecorder::end(name_, args_, num_args_);
   ThreadTable& t = thread_table();
   {
     std::lock_guard lock(t.mutex);
-    t.stats[t.path].record(seconds);
+    t.stats[t.path].record(seconds, cpu_seconds);
   }
   t.path.resize(parent_len_);
   return seconds;

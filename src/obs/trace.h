@@ -29,21 +29,27 @@
 namespace phonolid::obs {
 
 /// Aggregated statistics for one span path (on one thread, or merged).
+/// `cpu_s` is thread CPU time (CLOCK_THREAD_CPUTIME_ID) consumed between
+/// span entry and exit on the recording thread — wall vs. CPU separates
+/// "slow because busy" from "slow because waiting" per stage.
 struct SpanStats {
   std::uint64_t count = 0;
   double total_s = 0.0;
+  double cpu_s = 0.0;
   double min_s = std::numeric_limits<double>::infinity();
   double max_s = 0.0;
 
-  void record(double seconds) noexcept {
+  void record(double seconds, double cpu_seconds = 0.0) noexcept {
     ++count;
     total_s += seconds;
+    cpu_s += cpu_seconds;
     if (seconds < min_s) min_s = seconds;
     if (seconds > max_s) max_s = seconds;
   }
   void merge(const SpanStats& o) noexcept {
     count += o.count;
     total_s += o.total_s;
+    cpu_s += o.cpu_s;
     if (o.min_s < min_s) min_s = o.min_s;
     if (o.max_s > max_s) max_s = o.max_s;
   }
@@ -77,6 +83,7 @@ class Span {
 
  private:
   std::chrono::steady_clock::time_point start_;
+  double cpu_start_s_ = 0.0;  // thread CPU clock at entry
   const char* name_ = nullptr;
   EventArg args_[kMaxEventArgs];
   std::uint8_t num_args_ = 0;

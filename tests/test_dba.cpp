@@ -58,6 +58,53 @@ TEST(ComputeVotes, AccumulatesAcrossSubsystems) {
   EXPECT_EQ(votes.num_subsystems, 3u);
 }
 
+TEST(ComputeVotes, StrictMarginsArePositiveIffVote) {
+  const util::Matrix s = scores_from({{1.0f, -0.5f, -0.2f},
+                                      {0.5f, 0.4f, -1.0f},
+                                      {-0.1f, -0.2f, -0.3f}});
+  const auto votes = compute_votes({&s}, VoteCriterion::kStrict);
+  // Utterance 0 votes for class 0: margin = min(f_0, -max_rival)
+  //   = min(1.0, -(-0.2)) = 0.2.
+  EXPECT_NEAR(votes.margin(0, 0, 0), 0.2f, 1e-6f);
+  // Class 1 of utterance 0: margin = min(-0.5, -1.0) = -1.0 (no vote).
+  EXPECT_NEAR(votes.margin(0, 0, 1), -1.0f, 1e-6f);
+  // Utterance 1: rival 0.4 is positive, so class 0's margin is
+  //   min(0.5, -0.4) = -0.4 — inside argmax but outside Eq. 13.
+  EXPECT_NEAR(votes.margin(0, 1, 0), -0.4f, 1e-6f);
+  // Sign convention: margin > 0 exactly when the subsystem voted.
+  for (std::size_t j = 0; j < votes.num_utts; ++j) {
+    for (std::size_t k = 0; k < votes.num_classes; ++k) {
+      EXPECT_EQ(votes.vote(0, j, k), votes.margin(0, j, k) > 0.0f)
+          << "utt " << j << " class " << k;
+    }
+  }
+}
+
+TEST(ComputeVotes, MarginSignMatchesVoteForAllCriteria) {
+  const util::Matrix s = scores_from({{0.5f, 0.4f, -1.0f},
+                                      {-3.0f, -1.0f, -2.0f},
+                                      {1.0f, -0.5f, -0.2f}});
+  for (const auto criterion :
+       {VoteCriterion::kStrict, VoteCriterion::kPositiveArgmax,
+        VoteCriterion::kArgmax}) {
+    const auto votes = compute_votes({&s}, criterion);
+    for (std::size_t j = 0; j < votes.num_utts; ++j) {
+      for (std::size_t k = 0; k < votes.num_classes; ++k) {
+        EXPECT_EQ(votes.vote(0, j, k), votes.margin(0, j, k) > 0.0f);
+      }
+    }
+  }
+}
+
+TEST(ComputeVotes, ArgmaxMarginIsScoreGap) {
+  const util::Matrix s = scores_from({{-3.0f, -1.0f, -2.0f}});
+  const auto votes = compute_votes({&s}, VoteCriterion::kArgmax);
+  // Argmax class 1: margin = f_1 - runner-up = -1 - (-2) = 1.
+  EXPECT_NEAR(votes.margin(0, 0, 1), 1.0f, 1e-6f);
+  // Class 2: margin = f_2 - best = -2 - (-1) = -1.
+  EXPECT_NEAR(votes.margin(0, 0, 2), -1.0f, 1e-6f);
+}
+
 TEST(ComputeVotes, ValidatesShapes) {
   const util::Matrix a = scores_from({{1.0f, -1.0f}});
   const util::Matrix b = scores_from({{1.0f, -1.0f}, {0.0f, 0.0f}});

@@ -1,0 +1,363 @@
+#include "eval/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "eval/metrics.h"
+#include "obs/ledger.h"
+
+namespace phonolid::eval {
+namespace {
+
+double ref_cllr(const std::vector<double>& targets,
+                const std::vector<double>& nontargets) {
+  double t = 0.0, n = 0.0;
+  for (double s : targets) t += std::log2(1.0 + std::exp(-s));
+  for (double s : nontargets) n += std::log2(1.0 + std::exp(s));
+  return 0.5 * (t / static_cast<double>(targets.size()) +
+                n / static_cast<double>(nontargets.size()));
+}
+
+TEST(Cllr, MatchesHandComputedFormula) {
+  TrialSet trials;
+  trials.target_scores = {2.0, 1.0, -0.5};
+  trials.nontarget_scores = {-2.0, 0.3};
+  EXPECT_NEAR(cllr(trials),
+              ref_cllr(trials.target_scores, trials.nontarget_scores), 1e-12);
+}
+
+TEST(Cllr, ZeroScoresCostOneBit) {
+  // An LLR of 0 carries no information: exactly 1 bit per trial.
+  TrialSet trials;
+  trials.target_scores = {0.0, 0.0};
+  trials.nontarget_scores = {0.0};
+  EXPECT_NEAR(cllr(trials), 1.0, 1e-12);
+}
+
+TEST(Cllr, WellSeparatedScoresCostNothing) {
+  TrialSet trials;
+  trials.target_scores = {50.0};
+  trials.nontarget_scores = {-50.0};
+  EXPECT_NEAR(cllr(trials), 0.0, 1e-9);
+  EXPECT_EQ(cllr(TrialSet{}), 0.0);
+}
+
+TEST(Cllr, LargeScoresDoNotOverflow) {
+  TrialSet trials;
+  trials.target_scores = {-1000.0};  // catastrophically miscalibrated
+  trials.nontarget_scores = {-1000.0};
+  const double c = cllr(trials);
+  EXPECT_TRUE(std::isfinite(c));
+  EXPECT_GT(c, 500.0);  // ~ 1000 * log2(e) / 2
+}
+
+TEST(MinCllr, PerfectlySeparatedIsZero) {
+  // Badly calibrated (all scores negative) but perfectly *ranked*:
+  // PAV recalibration recovers a zero-cost system.
+  TrialSet trials;
+  trials.target_scores = {-1.0, -2.0};
+  trials.nontarget_scores = {-5.0, -4.0};
+  EXPECT_GT(cllr(trials), 1.0);
+  EXPECT_NEAR(min_cllr(trials), 0.0, 1e-9);
+}
+
+TEST(MinCllr, FullyReversedRankingCostsOneBit) {
+  // One target below one nontarget: PAV merges both into a single block
+  // with p = 0.5, i.e. LLR 0 everywhere, which costs exactly 1 bit.
+  TrialSet trials;
+  trials.target_scores = {-1.0};
+  trials.nontarget_scores = {1.0};
+  EXPECT_NEAR(min_cllr(trials), 1.0, 1e-12);
+}
+
+TEST(MinCllr, HandComputedPavBlocks) {
+  // Scores ascending: n(-2) t(-1) n(0) t(1) t(2); Nt = 3, Nn = 2.
+  // Isotonic fit of the target indicators [0 1 0 1 1] merges the (1, 0)
+  // violation at scores -1 / 0 into a p = 1/2 block:
+  //   [p=0 | p=1/2 p=1/2 | p=1 p=1].
+  // At prior odds Nt/Nn = 3/2 the middle block's LLR is
+  // logit(1/2) - log(3/2) = -log(3/2); the pure blocks contribute 0.
+  TrialSet trials;
+  trials.target_scores = {-1.0, 1.0, 2.0};
+  trials.nontarget_scores = {-2.0, 0.0};
+  const double l = std::log(1.5);
+  const double expected = 0.5 * (std::log2(1.0 + std::exp(l)) / 3.0 +
+                                 std::log2(1.0 + std::exp(-l)) / 2.0);
+  EXPECT_NEAR(min_cllr(trials), expected, 1e-9);
+}
+
+TEST(MinCllr, NeverExceedsCllr) {
+  TrialSet trials;
+  trials.target_scores = {0.3, -0.2, 1.7, 0.4};
+  trials.nontarget_scores = {-0.6, 0.9, -1.2, 0.1, -0.3};
+  EXPECT_LE(min_cllr(trials), cllr(trials) + 1e-12);
+}
+
+/// A hand-built 2-language, 2-subsystem ledger with 4 utterances and two
+/// DBA rounds; every diagnostic below is checkable by hand.
+obs::DecisionLedger make_ledger() {
+  obs::DecisionLedger led;
+  led.num_classes = 2;
+  led.num_subsystems = 2;
+  led.languages = {"alpha", "beta"};
+  led.scale = "quick";
+  led.seed = 7;
+  // True labels 0 0 1 1; fused arg-max 0 0 1 0 (utt 3 misclassified).
+  const double fused[4][2] = {
+      {2.0, -2.0}, {1.0, -1.0}, {-1.0, 1.0}, {3.0, -3.0}};
+  for (std::uint64_t j = 0; j < 4; ++j) {
+    obs::LedgerEntry e;
+    e.utt = j;
+    e.corpus_id = 100 + j;
+    e.true_label = j < 2 ? 0 : 1;
+    e.tier = j % 2 == 0 ? "30s" : "10s";
+    e.scores = {{0.5 - 0.1 * static_cast<double>(j), -0.5},
+                {0.25, -0.25 + 0.05 * static_cast<double>(j)}};
+    e.fused_llr = {fused[j][0], fused[j][1]};
+    led.entries.push_back(std::move(e));
+  }
+  // Round 1 adopts utts 0 (correct) and 3 (hyp alpha, wrong).
+  // Round 2 re-adopts utt 3 with hyp beta: correct, and a label flip.
+  for (std::uint64_t j = 0; j < 4; ++j) {
+    obs::LedgerRound r1;
+    r1.round = 1;
+    r1.mode = "DBA-M1";
+    r1.min_votes = 2;
+    r1.best_class = 0;
+    r1.vote_count = 2;
+    r1.votes = {1, 1};
+    r1.margins = {0.4, 0.2};
+    if (j == 0 || j == 3) {
+      r1.adopted = true;
+      r1.hyp_label = 0;
+      r1.correct = j == 0;
+    }
+    led.entries[j].rounds.push_back(std::move(r1));
+
+    obs::LedgerRound r2;
+    r2.round = 2;
+    r2.mode = "DBA-M2";
+    r2.min_votes = 2;
+    r2.best_class = j == 3 ? 1 : 0;
+    r2.vote_count = 1;
+    r2.votes = {1, 0};
+    r2.margins = {0.1, -0.3};
+    if (j == 3) {
+      r2.adopted = true;
+      r2.hyp_label = 1;
+      r2.correct = true;
+      r2.flip = true;
+    }
+    led.entries[j].rounds.push_back(std::move(r2));
+  }
+  return led;
+}
+
+TEST(Diagnostics, AdoptionPrecisionRecallPerRound) {
+  const DiagnosticsResult d = compute_diagnostics(make_ledger());
+  ASSERT_EQ(d.rounds.size(), 2u);
+  // Round 1: 2 adopted, 1 correct -> precision 1/2, recall 1/4.
+  EXPECT_EQ(d.rounds[0].round, 1u);
+  EXPECT_EQ(d.rounds[0].mode, "DBA-M1");
+  EXPECT_EQ(d.rounds[0].adopted, 2u);
+  EXPECT_EQ(d.rounds[0].correct, 1u);
+  EXPECT_NEAR(d.rounds[0].precision, 0.5, 1e-12);
+  EXPECT_NEAR(d.rounds[0].recall, 0.25, 1e-12);
+  EXPECT_EQ(d.rounds[0].flips, 0u);
+  // Round 2: 1 adopted, 1 correct, 1 flip.
+  EXPECT_EQ(d.rounds[1].round, 2u);
+  EXPECT_EQ(d.rounds[1].mode, "DBA-M2");
+  EXPECT_EQ(d.rounds[1].adopted, 1u);
+  EXPECT_EQ(d.rounds[1].correct, 1u);
+  EXPECT_NEAR(d.rounds[1].precision, 1.0, 1e-12);
+  EXPECT_EQ(d.rounds[1].flips, 1u);
+  // Overall: 3 adoptions, 2 correct, 1 flip.
+  EXPECT_EQ(d.adopted, 3u);
+  EXPECT_EQ(d.adopted_correct, 2u);
+  EXPECT_NEAR(d.adoption_precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(d.adoption_recall, 0.5, 1e-12);
+  EXPECT_EQ(d.flips, 1u);
+}
+
+TEST(Diagnostics, ConfusionAndAccuracyFromFusedScores) {
+  const DiagnosticsResult d = compute_diagnostics(make_ledger());
+  EXPECT_TRUE(d.calibrated);
+  EXPECT_EQ(d.num_utts, 4u);
+  EXPECT_NEAR(d.accuracy, 0.75, 1e-12);
+  // Rows = true label, cols = prediction: alpha [2 0], beta [1 1].
+  ASSERT_EQ(d.confusion.size(), 4u);
+  EXPECT_EQ(d.confusion[0], 2u);
+  EXPECT_EQ(d.confusion[1], 0u);
+  EXPECT_EQ(d.confusion[2], 1u);
+  EXPECT_EQ(d.confusion[3], 1u);
+  ASSERT_EQ(d.languages.size(), 2u);
+  EXPECT_EQ(d.languages[0].language, "alpha");
+  EXPECT_EQ(d.languages[0].trials, 2u);
+  EXPECT_EQ(d.languages[0].correct, 2u);
+  EXPECT_NEAR(d.languages[0].accuracy, 1.0, 1e-12);
+  EXPECT_EQ(d.languages[1].trials, 2u);
+  EXPECT_EQ(d.languages[1].correct, 1u);
+  EXPECT_NEAR(d.languages[1].accuracy, 0.5, 1e-12);
+}
+
+TEST(Diagnostics, PooledCllrMatchesTrialSetCllr) {
+  const DiagnosticsResult d = compute_diagnostics(make_ledger());
+  // The pooled trial set over the fused LLR matrix, written out by hand.
+  TrialSet trials;
+  trials.target_scores = {2.0, 1.0, 1.0, -3.0};
+  trials.nontarget_scores = {-2.0, -1.0, -1.0, 3.0};
+  EXPECT_NEAR(d.cllr, cllr(trials), 1e-9);
+  EXPECT_NEAR(d.min_cllr, min_cllr(trials), 1e-9);
+  EXPECT_LE(d.min_cllr, d.cllr + 1e-12);
+}
+
+TEST(Diagnostics, FallsBackToBaselineScoresWithoutFusedLlr) {
+  obs::DecisionLedger led = make_ledger();
+  for (auto& e : led.entries) e.fused_llr.clear();
+  const DiagnosticsResult d = compute_diagnostics(led);
+  EXPECT_FALSE(d.calibrated);
+  // Mean baseline scores still put class 0 on top for every utterance, so
+  // both beta utterances are misclassified.
+  EXPECT_NEAR(d.accuracy, 0.5, 1e-12);
+}
+
+TEST(Diagnostics, EmptyLedgerThrows) {
+  EXPECT_THROW(compute_diagnostics(obs::DecisionLedger{}),
+               std::invalid_argument);
+}
+
+TEST(Diagnostics, JsonHasVersionedQualityLeaves) {
+  const DiagnosticsResult d = compute_diagnostics(make_ledger());
+  const obs::Json doc = diagnostics_json(d);
+  ASSERT_NE(doc.find("quality_version"), nullptr);
+  EXPECT_EQ(doc.find("quality_version")->as_int(), kQualityVersion);
+  for (const char* key : {"eer", "cavg", "cllr", "min_cllr", "accuracy",
+                          "adoption", "languages", "confusion", "histogram",
+                          "det"}) {
+    EXPECT_NE(doc.find(key), nullptr) << key;
+  }
+  const obs::Json* adoption = doc.find("adoption");
+  ASSERT_NE(adoption, nullptr);
+  ASSERT_NE(adoption->find("rounds"), nullptr);
+  EXPECT_EQ(adoption->find("rounds")->as_array().size(), 2u);
+  EXPECT_NEAR(adoption->find("precision")->as_double(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Diagnostics, HistogramCountsEveryTrialExactlyOnce) {
+  const DiagnosticsResult d = compute_diagnostics(make_ledger());
+  std::uint64_t t = 0, n = 0;
+  for (std::uint64_t c : d.histogram.target_counts) t += c;
+  for (std::uint64_t c : d.histogram.nontarget_counts) n += c;
+  EXPECT_EQ(t, 4u);  // one target trial per utterance (2 classes)
+  EXPECT_EQ(n, 4u);
+  EXPECT_EQ(d.histogram.target_counts.size(), d.histogram.edges.size() + 1);
+  EXPECT_EQ(d.histogram.nontarget_counts.size(),
+            d.histogram.edges.size() + 1);
+}
+
+TEST(Ledger, JsonlRoundTripIsLossless) {
+  const obs::DecisionLedger led = make_ledger();
+  std::ostringstream first;
+  led.write_jsonl(first);
+
+  std::istringstream in(first.str());
+  const obs::DecisionLedger back = obs::DecisionLedger::read_jsonl(in);
+  EXPECT_EQ(back.num_classes, led.num_classes);
+  EXPECT_EQ(back.num_subsystems, led.num_subsystems);
+  EXPECT_EQ(back.languages, led.languages);
+  EXPECT_EQ(back.scale, led.scale);
+  EXPECT_EQ(back.seed, led.seed);
+  ASSERT_EQ(back.entries.size(), led.entries.size());
+  for (std::size_t j = 0; j < led.entries.size(); ++j) {
+    const obs::LedgerEntry& a = led.entries[j];
+    const obs::LedgerEntry& b = back.entries[j];
+    EXPECT_EQ(b.utt, a.utt);
+    EXPECT_EQ(b.corpus_id, a.corpus_id);
+    EXPECT_EQ(b.true_label, a.true_label);
+    EXPECT_EQ(b.tier, a.tier);
+    EXPECT_EQ(b.scores, a.scores);
+    EXPECT_EQ(b.fused_llr, a.fused_llr);
+    ASSERT_EQ(b.rounds.size(), a.rounds.size());
+    for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+      EXPECT_EQ(b.rounds[r].round, a.rounds[r].round);
+      EXPECT_EQ(b.rounds[r].mode, a.rounds[r].mode);
+      EXPECT_EQ(b.rounds[r].min_votes, a.rounds[r].min_votes);
+      EXPECT_EQ(b.rounds[r].best_class, a.rounds[r].best_class);
+      EXPECT_EQ(b.rounds[r].vote_count, a.rounds[r].vote_count);
+      EXPECT_EQ(b.rounds[r].tie, a.rounds[r].tie);
+      EXPECT_EQ(b.rounds[r].votes, a.rounds[r].votes);
+      EXPECT_EQ(b.rounds[r].margins, a.rounds[r].margins);
+      EXPECT_EQ(b.rounds[r].adopted, a.rounds[r].adopted);
+      EXPECT_EQ(b.rounds[r].hyp_label, a.rounds[r].hyp_label);
+      EXPECT_EQ(b.rounds[r].correct, a.rounds[r].correct);
+      EXPECT_EQ(b.rounds[r].flip, a.rounds[r].flip);
+    }
+  }
+
+  // Re-serializing the round-tripped ledger is byte-identical.
+  std::ostringstream second;
+  back.write_jsonl(second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(Ledger, VersionMismatchThrows) {
+  std::istringstream wrong("{\"ledger_version\":999}\n");
+  EXPECT_THROW(obs::DecisionLedger::read_jsonl(wrong), std::runtime_error);
+  std::istringstream empty("");
+  EXPECT_THROW(obs::DecisionLedger::read_jsonl(empty), std::runtime_error);
+}
+
+TEST(Ledger, FindResolvesUttIndexAndCorpusId) {
+  const obs::DecisionLedger led = make_ledger();
+  ASSERT_NE(led.find(1), nullptr);
+  EXPECT_EQ(led.find(1)->utt, 1u);
+  ASSERT_NE(led.find(103), nullptr);  // corpus id of utterance 3
+  EXPECT_EQ(led.find(103)->utt, 3u);
+  EXPECT_EQ(led.find(999), nullptr);
+}
+
+TEST(Ledger, GoldenExplainOutput) {
+  obs::DecisionLedger led;
+  led.num_classes = 2;
+  led.num_subsystems = 1;
+  led.languages = {"alpha", "beta"};
+  obs::LedgerEntry e;
+  e.utt = 1;
+  e.corpus_id = 101;
+  e.true_label = 0;
+  e.tier = "30s";
+  e.scores = {{0.5, -0.5}};
+  obs::LedgerRound r;
+  r.round = 1;
+  r.mode = "DBA-M1";
+  r.min_votes = 1;
+  r.best_class = 0;
+  r.vote_count = 1;
+  r.votes = {1};
+  r.margins = {0.5};
+  r.adopted = true;
+  r.hyp_label = 0;
+  r.correct = true;
+  e.rounds.push_back(r);
+  e.fused_llr = {1.5, -1.5};
+  led.entries.push_back(e);
+
+  const std::string expected =
+      "utterance #1 (corpus id 101)\n"
+      "  true language : alpha (0)   tier: 30s\n"
+      "  baseline scores f_qk (* = true class, ^ = argmax):\n"
+      "    q0:  +0.5000^*  -0.5000  \n"
+      "  round 1 [DBA-M1, V>=1]: leading alpha with 1/1 votes\n"
+      "    votes: q0+(+0.5000)\n"
+      "    ADOPTED as alpha (correct)\n"
+      "  fused LLR (calibrated):\n"
+      "     +1.5000^  -1.5000 \n"
+      "  fused decision : alpha (correct)\n";
+  EXPECT_EQ(obs::format_explain(led, led.entries[0]), expected);
+}
+
+}  // namespace
+}  // namespace phonolid::eval

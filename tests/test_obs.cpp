@@ -796,5 +796,115 @@ TEST(ReportDiff, SchemaMismatchViolates) {
   EXPECT_TRUE(obs::diff_reports(base, cur, obs::ReportDiffOptions{}).violated);
 }
 
+/// Minimal report with a "quality" section (scalars + adoption + an
+/// undiffed DET subtree) and a "resource" section.
+obs::Json quality_report(double cavg, double cllr, double precision,
+                         long long rss) {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"schema_version\": 1, \"spans\": [],"
+      " \"metrics\": {\"counters\": {}}, \"results\": {},"
+      " \"quality\": {\"quality_version\": 1, \"cavg\": %.17g,"
+      "   \"cllr\": %.17g,"
+      "   \"adoption\": {\"precision\": %.17g, \"recall\": 0.5},"
+      "   \"det\": [{\"p_fa\": 0.1, \"p_miss\": 0.2}]},"
+      " \"resource\": {\"peak_rss_bytes\": %lld, \"user_cpu_s\": 1.5}}",
+      cavg, cllr, precision, rss);
+  return obs::Json::parse(buf);
+}
+
+TEST(ReportDiff, CavgDeltaGatesWithDedicatedThreshold) {
+  const obs::Json base = quality_report(0.20, 1.0, 0.9, 1000);
+  const obs::Json worse = quality_report(0.24, 1.0, 0.9, 1000);
+  obs::ReportDiffOptions opt;
+  opt.max_cavg_delta = 0.03;
+  EXPECT_TRUE(obs::diff_reports(base, worse, opt).violated);
+  opt.max_cavg_delta = 0.05;
+  EXPECT_FALSE(obs::diff_reports(base, worse, opt).violated);
+}
+
+TEST(ReportDiff, CavgFallsBackToEerDelta) {
+  // With max_cavg_delta unset, cavg leaves gate on max_eer_delta
+  // (the pre-cavg-flag behaviour).
+  const obs::Json base = quality_report(0.20, 1.0, 0.9, 1000);
+  const obs::Json worse = quality_report(0.24, 1.0, 0.9, 1000);
+  obs::ReportDiffOptions opt;
+  opt.max_eer_delta = 0.02;
+  EXPECT_TRUE(obs::diff_reports(base, worse, opt).violated);
+  // A dedicated cavg budget overrides the fallback.
+  opt.max_cavg_delta = 0.1;
+  EXPECT_FALSE(obs::diff_reports(base, worse, opt).violated);
+}
+
+TEST(ReportDiff, CllrDeltaGatesQualityLeaves) {
+  const obs::Json base = quality_report(0.20, 1.0, 0.9, 1000);
+  const obs::Json worse = quality_report(0.20, 1.6, 0.9, 1000);
+  obs::ReportDiffOptions opt;
+  opt.max_cllr_delta = 0.5;
+  EXPECT_TRUE(obs::diff_reports(base, worse, opt).violated);
+  const obs::Json better = quality_report(0.20, 0.2, 0.9, 1000);
+  EXPECT_FALSE(obs::diff_reports(base, better, opt).violated);
+}
+
+TEST(ReportDiff, AdoptionPrecisionGatesOnDrop) {
+  const obs::Json base = quality_report(0.20, 1.0, 0.90, 1000);
+  obs::ReportDiffOptions opt;
+  opt.max_adoption_precision_drop = 0.05;
+  // Precision is better-high: a drop beyond the budget violates ...
+  const obs::Json dropped = quality_report(0.20, 1.0, 0.80, 1000);
+  EXPECT_TRUE(obs::diff_reports(base, dropped, opt).violated);
+  // ... a small drop or any rise does not.
+  const obs::Json slight = quality_report(0.20, 1.0, 0.87, 1000);
+  EXPECT_FALSE(obs::diff_reports(base, slight, opt).violated);
+  const obs::Json rise = quality_report(0.20, 1.0, 0.99, 1000);
+  EXPECT_FALSE(obs::diff_reports(base, rise, opt).violated);
+}
+
+TEST(ReportDiff, ResourceRowsReportButNeverGate) {
+  const obs::Json base = quality_report(0.20, 1.0, 0.9, 1000);
+  const obs::Json cur = quality_report(0.20, 1.0, 0.9, 999999);
+  obs::ReportDiffOptions opt;
+  opt.max_cllr_delta = 0.0;
+  opt.max_adoption_precision_drop = 0.0;
+  const auto result = obs::diff_reports(base, cur, opt);
+  EXPECT_FALSE(result.violated);
+  bool saw_resource = false;
+  for (const auto& row : result.rows) {
+    if (row.kind == "resource") {
+      saw_resource = true;
+      EXPECT_FALSE(row.gated);
+    }
+  }
+  EXPECT_TRUE(saw_resource);
+}
+
+TEST(ReportDiff, QualityDetSubtreeIsNotDiffed) {
+  const obs::Json base = quality_report(0.20, 1.0, 0.9, 1000);
+  const auto result = obs::diff_reports(base, base, obs::ReportDiffOptions{});
+  for (const auto& row : result.rows) {
+    EXPECT_EQ(row.key.find("quality/det"), std::string::npos) << row.key;
+  }
+}
+
+TEST(ReportDiff, MissingQualitySectionIsNoteNotViolation) {
+  // An old report without quality/resource sections must still compare
+  // cleanly against a new one — even with every quality gate enabled.
+  const obs::Json old_report = mini_report(10.0, 0.001, 0.15, 2376);
+  const obs::Json new_report = quality_report(0.20, 1.0, 0.9, 1000);
+  obs::ReportDiffOptions opt = gated_options();
+  opt.max_cavg_delta = 0.02;
+  opt.max_cllr_delta = 0.1;
+  opt.max_adoption_precision_drop = 0.02;
+  const auto ab = obs::diff_reports(old_report, new_report, opt);
+  EXPECT_FALSE(ab.violated);
+  bool saw = false;
+  for (const auto& note : ab.notes) {
+    saw |= note.find("quality") != std::string::npos;
+  }
+  EXPECT_TRUE(saw);
+  EXPECT_FALSE(obs::diff_reports(new_report, old_report, opt).violated);
+}
+
 }  // namespace
 }  // namespace phonolid

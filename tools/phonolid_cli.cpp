@@ -7,12 +7,17 @@
 //   phonolid votes                                  vote histogram (Table 1)
 //   phonolid export  [--trace T] [--prom P]         run pipeline, export
 //                                                   trace / Prometheus text
+//   phonolid explain <utt-id> [--ledger L]          why was this utterance
+//                                                   adopted/scored this way?
+//   phonolid diag    --ledger L [--report R]        quality diagnostics from
+//                                                   a decision ledger
 //   phonolid report-diff base.json cur.json         compare two run reports
 //
 // Global flags: --scale quick|default|full, --seed <uint>,
-// --report out.json (structured JSON run report).  PHONOLID_TRACE /
-// PHONOLID_PROM env vars additionally export a Perfetto trace / Prometheus
-// metrics from any command.
+// --report out.json (structured JSON run report), --ledger out.jsonl
+// (decision ledger, deterministic JSONL).  PHONOLID_TRACE / PHONOLID_PROM
+// env vars additionally export a Perfetto trace / Prometheus metrics from
+// any command.
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
@@ -27,7 +32,9 @@
 
 #include "core/experiment.h"
 #include "core/stage_cache.h"
+#include "eval/diagnostics.h"
 #include "obs/exporters.h"
+#include "obs/ledger.h"
 #include "pipeline/artifact_store.h"
 #include "obs/flight_recorder.h"
 #include "obs/report.h"
@@ -53,10 +60,18 @@ void usage() {
       "               --trace out.trace.json  Chrome trace-event JSON\n"
       "                                       (open in ui.perfetto.dev)\n"
       "               --prom  out.prom        Prometheus text metrics\n"
+      "  explain      explain every DBA decision for one utterance:\n"
+      "               explain <utt-id> [--ledger l.jsonl]\n"
+      "               (without --ledger, runs the quick pipeline first;\n"
+      "               exits 2 when the id is unknown)\n"
+      "  diag         quality diagnostics from a decision ledger:\n"
+      "               diag --ledger l.jsonl [--report out.json]\n"
+      "               (DET/confusion/Cllr/adoption precision per round)\n"
       "  report-diff  compare two structured run reports:\n"
       "               report-diff baseline.json current.json\n"
       "                 [--max-regress pct] [--max-eer-delta x]\n"
-      "                 [--min-span-s s]\n"
+      "                 [--max-cavg-delta x] [--max-cllr-delta x]\n"
+      "                 [--max-adoption-precision-drop x] [--min-span-s s]\n"
       "               exits 1 when a threshold is violated\n"
       "  pipeline     artifact-store maintenance:\n"
       "               pipeline status [--cache-dir D]  entry count + bytes\n"
@@ -65,6 +80,8 @@ void usage() {
       "global flags: --scale quick|default|full  --seed N\n"
       "              --report out.json  (corpus/decode/run/det/votes: write\n"
       "              a structured JSON run report)\n"
+      "              --ledger out.jsonl  (run/det/votes/export/explain: write\n"
+      "              the per-utterance decision ledger, deterministic JSONL)\n"
       "              --cache-dir D  persist stage artifacts (front-end\n"
       "              models, supervectors, VSMs) so re-runs skip training\n"
       "              and decoding; $PHONOLID_CACHE is the env fallback\n"
@@ -125,11 +142,15 @@ const std::map<std::string, std::set<std::string>>& command_flags() {
       {"corpus", {"scale", "seed", "report", "cache-dir"}},
       {"decode",
        {"scale", "seed", "report", "frontend", "utterance", "cache-dir"}},
-      {"run", {"scale", "seed", "report", "v", "mode", "cache-dir"}},
-      {"det", {"scale", "seed", "report", "points", "cache-dir"}},
-      {"votes", {"scale", "seed", "report", "cache-dir"}},
-      {"export", {"scale", "seed", "v", "trace", "prom", "cache-dir"}},
-      {"report-diff", {"max-regress", "max-eer-delta", "min-span-s"}},
+      {"run", {"scale", "seed", "report", "v", "mode", "cache-dir", "ledger"}},
+      {"det", {"scale", "seed", "report", "points", "cache-dir", "ledger"}},
+      {"votes", {"scale", "seed", "report", "cache-dir", "ledger"}},
+      {"export", {"scale", "seed", "v", "trace", "prom", "cache-dir", "ledger"}},
+      {"explain", {"scale", "seed", "v", "cache-dir", "ledger"}},
+      {"diag", {"ledger", "report"}},
+      {"report-diff",
+       {"max-regress", "max-eer-delta", "max-cavg-delta", "max-cllr-delta",
+        "max-adoption-precision-drop", "min-span-s"}},
       {"pipeline", {"cache-dir"}},
   };
   return flags;
@@ -185,6 +206,7 @@ core::ExperimentConfig config_from(const Args& args) {
   auto cfg = core::ExperimentConfig::preset(scale, seed);
   cfg.report_path = args.get("report", "");
   cfg.cache_dir = args.get("cache-dir", "");
+  cfg.ledger_path = args.get("ledger", "");
   return cfg;
 }
 
@@ -405,6 +427,7 @@ int cmd_run(const Args& args) {
                 100.0 * dba.tier[t].eer, 100.0 * dba.tier[t].cavg);
   }
 
+  if (!cfg.ledger_path.empty()) exp->write_ledger(cfg.ledger_path);
   if (!cfg.report_path.empty()) {
     obs::Json results = obs::Json::object();
     results["baseline"] = tier_metrics_json(baseline);
@@ -437,6 +460,7 @@ int cmd_det(const Args& args) {
     }
   }
 
+  if (!cfg.ledger_path.empty()) exp->write_ledger(cfg.ledger_path);
   if (!cfg.report_path.empty()) {
     obs::Json results = obs::Json::object();
     results["baseline"] = tier_metrics_json(result);
@@ -485,6 +509,7 @@ int cmd_votes(const Args& args) {
     thresholds.push_back(std::move(entry));
   }
 
+  if (!cfg.ledger_path.empty()) exp->write_ledger(cfg.ledger_path);
   if (!cfg.report_path.empty()) {
     obs::Json histogram = obs::Json::array();
     for (std::size_t c = 0; c < hist.size(); ++c) {
@@ -526,6 +551,7 @@ int cmd_export(const Args& args) {
   for (const auto& b : m1) dba_blocks.push_back(&b);
   (void)exp->evaluate(dba_blocks);
 
+  if (!cfg.ledger_path.empty()) exp->write_ledger(cfg.ledger_path);
   if (!trace_path.empty()) {
     obs::write_chrome_trace(trace_path);
     std::printf("wrote Chrome trace to %s (open in ui.perfetto.dev)\n",
@@ -534,6 +560,102 @@ int cmd_export(const Args& args) {
   if (!prom_path.empty()) {
     obs::write_prometheus(prom_path);
     std::printf("wrote Prometheus metrics to %s\n", prom_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_explain(const Args& args) {
+  if (args.positionals.size() != 1) {
+    std::fprintf(stderr,
+                 "error: explain needs exactly one utterance id: "
+                 "explain <utt-id> [--ledger l.jsonl]\n");
+    usage();
+    return 2;
+  }
+  const std::string& text = args.positionals[0];
+  std::uint64_t id = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, id);
+  if (ec != std::errc() || ptr != end || text.empty()) {
+    std::fprintf(stderr, "error: explain expects an utterance id, got '%s'\n",
+                 text.c_str());
+    return 2;
+  }
+
+  obs::DecisionLedger ledger;
+  const std::string ledger_path = args.get("ledger", "");
+  if (!ledger_path.empty()) {
+    try {
+      ledger = obs::DecisionLedger::read_jsonl_file(ledger_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  } else {
+    // No ledger file: run the pipeline (baseline eval, one M1 DBA round,
+    // fused eval) so the explanation covers scores, votes, and adoption.
+    const auto cfg = config_from(args);
+    const auto exp = core::Experiment::build(cfg);
+    const auto v = static_cast<std::size_t>(args.get_int(
+        "v",
+        static_cast<long>(std::min<std::size_t>(3, exp->num_subsystems()))));
+    std::vector<const core::SubsystemScores*> blocks;
+    for (const auto& b : exp->baseline_scores()) blocks.push_back(&b);
+    (void)exp->evaluate(blocks);
+    const auto m1 = exp->run_dba(v, core::DbaMode::kM1);
+    std::vector<const core::SubsystemScores*> dba_blocks;
+    for (const auto& b : m1) dba_blocks.push_back(&b);
+    (void)exp->evaluate(dba_blocks);
+    ledger = exp->ledger();
+  }
+
+  const obs::LedgerEntry* entry = ledger.find(id);
+  if (entry == nullptr) {
+    std::fprintf(stderr,
+                 "error: utterance id %llu not in the ledger (%zu entries)\n",
+                 static_cast<unsigned long long>(id), ledger.entries.size());
+    return 2;
+  }
+  std::fputs(obs::format_explain(ledger, *entry).c_str(), stdout);
+  return 0;
+}
+
+int cmd_diag(const Args& args) {
+  const std::string ledger_path = args.get("ledger", "");
+  if (ledger_path.empty()) {
+    std::fprintf(stderr, "error: diag needs --ledger <file.jsonl>\n");
+    usage();
+    return 2;
+  }
+  obs::DecisionLedger ledger;
+  try {
+    ledger = obs::DecisionLedger::read_jsonl_file(ledger_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  if (ledger.empty()) {
+    std::fprintf(stderr, "error: ledger '%s' has no entries\n",
+                 ledger_path.c_str());
+    return 2;
+  }
+  const eval::DiagnosticsResult diag = eval::compute_diagnostics(ledger);
+  std::fputs(eval::format_diagnostics(diag).c_str(), stdout);
+
+  if (const std::string report_path = args.get("report", "");
+      !report_path.empty()) {
+    eval::publish_quality_gauges(diag);
+    obs::ReportMeta meta;
+    meta.tool = "phonolid";
+    meta.command = "diag";
+    meta.scale = ledger.scale;
+    meta.seed = ledger.seed;
+    meta.threads = util::ThreadPool::global().num_threads();
+    obs::Json extra = obs::Json::object();
+    extra["quality"] = eval::diagnostics_json(diag);
+    obs::write_report_file(report_path,
+                           obs::build_report(meta, std::move(extra)));
   }
   return 0;
 }
@@ -583,6 +705,10 @@ int cmd_report_diff(const Args& args) {
   obs::ReportDiffOptions options;
   options.max_regress_pct = args.get_double("max-regress", -1.0);
   options.max_eer_delta = args.get_double("max-eer-delta", -1.0);
+  options.max_cavg_delta = args.get_double("max-cavg-delta", -1.0);
+  options.max_cllr_delta = args.get_double("max-cllr-delta", -1.0);
+  options.max_adoption_precision_drop =
+      args.get_double("max-adoption-precision-drop", -1.0);
   options.min_span_s = args.get_double("min-span-s", options.min_span_s);
   const obs::Json baseline = load_json_file(args.positionals[0]);
   const obs::Json current = load_json_file(args.positionals[1]);
@@ -599,6 +725,8 @@ int dispatch(const Args& args) {
   if (args.command == "det") return cmd_det(args);
   if (args.command == "votes") return cmd_votes(args);
   if (args.command == "export") return cmd_export(args);
+  if (args.command == "explain") return cmd_explain(args);
+  if (args.command == "diag") return cmd_diag(args);
   if (args.command == "pipeline") return cmd_pipeline(args);
   if (args.command == "report-diff") return cmd_report_diff(args);
   usage();
