@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "obs/energy.h"
 #include "obs/exporters.h"
 #include "obs/trace.h"
 #include "util/options.h"
@@ -44,6 +45,15 @@ inline std::unique_ptr<core::Experiment> build_experiment() {
 inline void maybe_write_report(const core::Experiment& exp,
                                const std::string& bench_name) {
   obs::export_from_env();
+  // One energy line per bench so trajectories of bench logs carry cost next
+  // to speed; the full per-stage breakdown lives in the report's "energy"
+  // section and `phonolid power --input <report>`.
+  if (obs::Energy::source() != obs::EnergySource::kOff) {
+    std::printf("# energy: %.3f J (%s), %.2f GFLOP charged\n",
+                obs::Energy::total_joules(),
+                obs::to_string(obs::Energy::source()),
+                obs::Energy::total_gflops());
+  }
   const char* path = std::getenv("PHONOLID_REPORT");
   if (path == nullptr || *path == '\0') return;
   exp.write_report(path, bench_name);

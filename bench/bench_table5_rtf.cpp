@@ -95,6 +95,10 @@ BENCHMARK(BM_VsmTraining)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Energy/perf accounting must be live before the lazily-built experiment
+  // trains and decodes (this bench builds it directly, not through
+  // bench::build_experiment).
+  obs::enable_recorder_from_env();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
@@ -119,6 +123,16 @@ int main(int argc, char** argv) {
               total.feature_s, total.decode_s, total.supervector_s);
   std::printf("  audio processed: %.1fs  (=> pipeline RT factor %.4f)\n",
               total.audio_s, c_phi / total.audio_s);
+  // Watts on the wire: the same per-second-of-audio normalization as the RT
+  // factor, but for energy — how many joules the pipeline spends to process
+  // one second of speech.
+  if (obs::Energy::source() != obs::EnergySource::kOff &&
+      total.audio_s > 0.0) {
+    const double joules = obs::Energy::total_joules();
+    std::printf("  energy: %.3f J (%s)  (=> %.4f J per second of audio)\n",
+                joules, obs::to_string(obs::Energy::source()),
+                joules / total.audio_s);
+  }
   std::printf("  extra DBA cost (VSM retrain + rescore): %.2fs\n", c_extra);
   std::printf("  C_DBA / C_baseline = %.3f   (paper: ~1)\n", ratio);
   bench::maybe_write_report(exp, "bench_table5_rtf");

@@ -24,6 +24,14 @@ if [[ ! -x "$PHONOLID" ]]; then
   exit 1
 fi
 
+# Baselines always carry the deterministic software energy model so the
+# tier-1 energy gate (`report-diff --max-energy-delta-pct`) has joule leaves
+# to compare.  NOTE: software joules measure work actually done — regenerate
+# BENCH_<scale>_run.json with a *fresh* store (unset/clear PHONOLID_CACHE)
+# or the warm `run` will bake in a fraction of the cold energy and the
+# tier-1 cold-cache smoke will trip its gate.
+export PHONOLID_ENERGY=software
+
 # All three commands build the same experiment, so share one artifact store:
 # `run` trains and decodes everything cold, `det` and `votes` pull every
 # stage warm.  The same store also serves the bench/ binaries (they read

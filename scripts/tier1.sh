@@ -15,11 +15,12 @@ cmake --build build -j
 (cd build && env -u PHONOLID_CACHE ctest --output-on-failure -j)
 
 cmake -B build-tsan -S . -DPHONOLID_SANITIZE=thread
-cmake --build build-tsan -j --target test_obs test_thread_pool test_pipeline_store test_la_kernels
+cmake --build build-tsan -j --target test_obs test_thread_pool test_pipeline_store test_la_kernels test_perf_energy
 ./build-tsan/tests/test_obs
 ./build-tsan/tests/test_thread_pool
 ./build-tsan/tests/test_pipeline_store
 ./build-tsan/tests/test_la_kernels
+./build-tsan/tests/test_perf_energy
 
 # Kernel microbenchmark smoke: one repetition at minimal time, just to prove
 # the harness runs and every registered shape executes.
@@ -67,6 +68,20 @@ cmp "$TMP/quick.ledger.jsonl" "$TMP/warm_t4.ledger.jsonl"
 ./build/tools/phonolid pipeline status --cache-dir "$CACHE_DIR"
 ./build/tools/phonolid pipeline gc --cache-dir "$CACHE_DIR"
 
+# Energy-accounting smoke: a run with the deterministic software cost model
+# must stay within 1% of the committed baseline's joules.  This run gets its
+# own cold cache dir on purpose — software joules measure work actually
+# done, so a warm store (which skips AM training and decoding) would report
+# a fraction of the baseline's energy and trip the gate spuriously.
+PHONOLID_ENERGY=software ./build/tools/phonolid run --scale quick \
+  --report "$TMP/energy.report.json" --cache-dir "$TMP/energy-cache"
+./build/tools/phonolid report-diff BENCH_quick_run.json "$TMP/energy.report.json" \
+  --max-energy-delta-pct 1 --max-eer-delta 0.02 --max-cavg-delta 0.02 \
+  --max-cllr-delta 0.25 --max-adoption-precision-drop 0.05
+# Per-stage watts table, kept with the CI artifacts.
+./build/tools/phonolid power --input "$TMP/energy.report.json" \
+  | tee "$TMP/quick.power.txt"
+
 # Decision-ledger surface smoke: diag must summarize the ledger, explain
 # must resolve a recorded utterance id, and an unknown id must exit 2.
 ./build/tools/phonolid diag --ledger "$TMP/quick.ledger.jsonl" > /dev/null
@@ -84,6 +99,7 @@ fi
 ARTIFACTS="build/tier1-artifacts"
 rm -rf "$ARTIFACTS" && mkdir -p "$ARTIFACTS"
 cp "$TMP/quick.report.json" "$TMP/quick.ledger.jsonl" "$TMP/quick.trace.json" \
-   "$TMP/quick.prom" "$ARTIFACTS/"
+   "$TMP/quick.prom" "$TMP/energy.report.json" "$TMP/quick.power.txt" \
+   "$ARTIFACTS/"
 
 echo "tier-1 OK"

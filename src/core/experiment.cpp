@@ -1,5 +1,6 @@
 #include "core/experiment.h"
 
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -431,7 +432,21 @@ void Experiment::write_report(const std::string& path,
   for (auto& [key, value] : extra.as_object()) {
     merged[key] = std::move(value);
   }
-  obs::write_report_file(path, obs::build_report(meta, std::move(merged)));
+  obs::Json report = obs::build_report(meta, std::move(merged));
+  // build_report cannot know the utterance count; normalize the energy
+  // total by this experiment's test-set size so runs at different scales
+  // compare on a per-utterance basis.
+  if (obs::Json* energy = const_cast<obs::Json*>(report.find("energy"));
+      energy != nullptr && !test_labels_.empty()) {
+    if (const obs::Json* total = energy->find("total_joules");
+        total != nullptr && total->is_number()) {
+      const double per_utt =
+          total->as_double() / static_cast<double>(test_labels_.size());
+      (*energy)["joules_per_test_utterance"] =
+          obs::Json(std::round(per_utt * 1e6) / 1e6);
+    }
+  }
+  obs::write_report_file(path, report);
   PHONOLID_INFO("core") << "wrote run report to " << path;
 }
 

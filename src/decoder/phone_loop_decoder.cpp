@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/energy.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -55,6 +56,10 @@ Lattice PhoneLoopDecoder::decode_from_scores(
   }
   frames_in.add(frames);
   if (frames == 0) return Lattice(0, {});
+  // Software energy model: the DP visits every (frame, state) cell with a
+  // handful of compare/add operations plus the per-boundary harvest.
+  obs::Energy::charge_flops(8.0 * static_cast<double>(frames) *
+                            static_cast<double>(topology_.num_states()));
 
   // DP state per (phone, position): path score, entry frame, path score at
   // entry (excluding this phone's own contributions).

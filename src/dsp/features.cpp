@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/energy.h"
+
 namespace phonolid::dsp {
 
 util::Matrix add_deltas(const util::Matrix& features, std::size_t delta_window) {
@@ -94,8 +96,29 @@ util::Matrix FeaturePipeline::process(std::span<const float> signal) const {
   util::Matrix feats = (config_.kind == FeatureKind::kMfcc)
                            ? mfcc_->extract(signal)
                            : plp_->extract(signal);
+  // Software energy model: per-frame FFT (~5 N log2 N), filterbank
+  // (~2 * filters * N/2), and cepstral projection (~2 * ceps * filters),
+  // plus deltas/CMVN below.  Depends only on the config and frame count,
+  // so the charge is deterministic for a given input.
+  const bool mfcc = config_.kind == FeatureKind::kMfcc;
+  const double n_fft =
+      static_cast<double>(mfcc ? config_.mfcc.n_fft : config_.plp.n_fft);
+  const double n_filters = static_cast<double>(
+      mfcc ? config_.mfcc.num_filters : config_.plp.num_filters);
+  const double n_ceps = static_cast<double>(mfcc ? config_.mfcc.num_ceps
+                                                 : config_.plp.num_ceps);
+  double per_frame = 5.0 * n_fft * std::log2(n_fft) +
+                     n_filters * n_fft + 2.0 * n_ceps * n_filters;
   if (config_.deltas) feats = add_deltas(feats, config_.delta_window);
-  if (config_.cmvn) cmvn_inplace(feats, config_.cmvn_variance);
+  if (config_.deltas) {
+    per_frame += 4.0 * static_cast<double>(config_.delta_window) *
+                 static_cast<double>(feats.cols());
+  }
+  if (config_.cmvn) {
+    cmvn_inplace(feats, config_.cmvn_variance);
+    per_frame += 4.0 * static_cast<double>(feats.cols());
+  }
+  obs::Energy::charge_flops(static_cast<double>(feats.rows()) * per_frame);
   return feats;
 }
 

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/energy.h"
 #include "util/thread_pool.h"
 
 namespace phonolid::la {
@@ -192,6 +193,8 @@ void axpy(float alpha, std::span<const float> x, std::span<float> y) noexcept {
 void gemv(const util::Matrix& a, std::span<const float> x,
           std::span<float> out) noexcept {
   assert(x.size() == a.cols() && out.size() == a.rows());
+  obs::Energy::charge_flops(2.0 * static_cast<double>(a.rows()) *
+                            static_cast<double>(a.cols()));
   for (std::size_t r = 0; r < a.rows(); ++r) {
     out[r] = dot8(a.row(r).data(), x.data(), a.cols());
   }
@@ -200,6 +203,8 @@ void gemv(const util::Matrix& a, std::span<const float> x,
 void gemv_t(const util::Matrix& a, std::span<const float> x,
             std::span<float> out) noexcept {
   assert(x.size() == a.rows() && out.size() == a.cols());
+  obs::Energy::charge_flops(2.0 * static_cast<double>(a.rows()) *
+                            static_cast<double>(a.cols()));
   std::memset(out.data(), 0, out.size() * sizeof(float));
   for (std::size_t r = 0; r < a.rows(); ++r) {
     axpy(x[r], a.row(r), out);
@@ -286,6 +291,9 @@ void gemm_tn(const util::Matrix& a, const util::Matrix& b, util::Matrix& c,
 
 void gemm(const util::Matrix& a, const util::Matrix& b, util::Matrix& c,
           util::ThreadPool* pool) {
+  obs::Energy::charge_flops(2.0 * static_cast<double>(a.rows()) *
+                            static_cast<double>(a.cols()) *
+                            static_cast<double>(b.cols()));
   if (active_impl() == KernelImpl::kGeneric) {
     ref::gemm(a, b, c);
     return;
@@ -303,6 +311,9 @@ void gemm_nt(const util::Matrix& a, const util::Matrix& b, util::Matrix& c,
   if (ep != Epilogue::kNone && bias.size() != b.rows()) {
     throw std::invalid_argument("gemm_nt: bias size mismatch");
   }
+  obs::Energy::charge_flops(2.0 * static_cast<double>(a.rows()) *
+                            static_cast<double>(a.cols()) *
+                            static_cast<double>(b.rows()));
   if (active_impl() == KernelImpl::kGeneric) {
     ref::gemm_nt(a, b, c, bias, ep);
     return;
@@ -317,6 +328,9 @@ void gemm_nt(const util::Matrix& a, const util::Matrix& b, util::Matrix& c,
 
 void gemm_tn(const util::Matrix& a, const util::Matrix& b, util::Matrix& c,
              float alpha, bool accumulate, util::ThreadPool* pool) {
+  obs::Energy::charge_flops(2.0 * static_cast<double>(a.rows()) *
+                            static_cast<double>(a.cols()) *
+                            static_cast<double>(b.cols()));
   if (active_impl() == KernelImpl::kGeneric) {
     ref::gemm_tn(a, b, c, alpha, accumulate);
     return;

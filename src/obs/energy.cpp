@@ -1,0 +1,385 @@
+#include "obs/energy.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace phonolid::obs {
+
+const char* to_string(EnergySource source) noexcept {
+  switch (source) {
+    case EnergySource::kOff:
+      return "off";
+    case EnergySource::kSoftware:
+      return "software";
+    case EnergySource::kRapl:
+      return "rapl";
+  }
+  return "off";
+}
+
+namespace {
+
+constexpr const char* kUnattributed = "(unattributed)";
+
+/// Lock-free add for the GFLOP accumulator (std::atomic<double>::fetch_add
+/// is C++20 for floating point but not universally lowered; CAS is portable).
+void atomic_add(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Per-thread software-model charge table, registered/merged/retired with
+/// the same pattern as the trace layer's span tables.
+struct EnergyTable {
+  std::mutex mutex;
+  std::unordered_map<std::string, double> joules;
+
+  ~EnergyTable();
+};
+
+/// One RAPL package domain (/sys/class/powercap/intel-rapl:<n>).
+struct RaplPackage {
+  std::string energy_path;
+  double max_range_j = 0.0;
+  double last_j = 0.0;
+};
+
+struct EnergyState {
+  std::mutex mutex;
+  std::atomic<int> source{static_cast<int>(EnergySource::kOff)};
+  std::atomic<bool> initialized{false};
+  std::atomic<double> gflops{0.0};
+  double joules_per_gflop = kDefaultJoulesPerGflop;
+
+  // Software model: live per-thread tables + retired merge target.
+  std::vector<EnergyTable*> live;
+  std::map<std::string, double> retired;
+
+  // RAPL sampler.
+  std::vector<RaplPackage> packages;
+  std::map<std::string, double> rapl_joules;
+  std::map<std::uint32_t, double> last_cpu_s;  // per trace thread index
+  std::uint64_t ticks = 0;
+  std::thread sampler;
+  std::condition_variable cv;
+  bool stop_requested = false;
+  int sample_period_ms = 50;
+};
+
+EnergyState& state() {
+  // Leaked on purpose: worker threads flush their charge tables here when
+  // they exit, which can happen during static destruction.
+  static EnergyState* s = new EnergyState();
+  return *s;
+}
+
+EnergyTable::~EnergyTable() {
+  EnergyState& s = state();
+  std::lock_guard state_lock(s.mutex);
+  std::lock_guard lock(mutex);
+  for (const auto& [path, j] : joules) s.retired[path] += j;
+  std::erase(s.live, this);
+}
+
+EnergyTable& energy_table() {
+  thread_local EnergyTable t;
+  thread_local bool registered = [] {
+    EnergyState& s = state();
+    std::lock_guard lock(s.mutex);
+    s.live.push_back(&t);
+    return true;
+  }();
+  (void)registered;
+  return t;
+}
+
+/// Read one whole-number value from a sysfs file; false on any failure.
+bool read_sysfs_u64(const std::string& path, std::uint64_t& out) noexcept {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  unsigned long long v = 0;
+  const bool ok = std::fscanf(f, "%llu", &v) == 1;
+  std::fclose(f);
+  out = v;
+  return ok;
+}
+
+/// Discover readable RAPL package domains.  Caller holds s.mutex.
+std::vector<RaplPackage> discover_rapl() {
+  std::vector<RaplPackage> pkgs;
+  for (int i = 0; i < 64; ++i) {
+    const std::string base =
+        "/sys/class/powercap/intel-rapl:" + std::to_string(i);
+    std::uint64_t uj = 0;
+    if (!read_sysfs_u64(base + "/energy_uj", uj)) break;
+    RaplPackage p;
+    p.energy_path = base + "/energy_uj";
+    std::uint64_t range = 0;
+    if (read_sysfs_u64(base + "/max_energy_range_uj", range)) {
+      p.max_range_j = static_cast<double>(range) * 1e-6;
+    }
+    p.last_j = static_cast<double>(uj) * 1e-6;
+    pkgs.push_back(std::move(p));
+  }
+  return pkgs;
+}
+
+/// Wrap-aware package energy delta since the previous read (joules).
+/// Caller holds s.mutex.
+double rapl_delta_locked(EnergyState& s) noexcept {
+  double delta = 0.0;
+  for (RaplPackage& p : s.packages) {
+    std::uint64_t uj = 0;
+    if (!read_sysfs_u64(p.energy_path, uj)) continue;
+    const double now_j = static_cast<double>(uj) * 1e-6;
+    double d = now_j - p.last_j;
+    if (d < 0.0 && p.max_range_j > 0.0) d += p.max_range_j;  // wrapped
+    if (d > 0.0) delta += d;
+    p.last_j = now_j;
+  }
+  return delta;
+}
+
+/// One sampler tick: apportion the interval's package joules to the span
+/// paths open on each live thread, by CPU-time weight.  Caller holds
+/// s.mutex.
+void rapl_tick_locked(EnergyState& s, double interval_s) {
+  const double delta_j = rapl_delta_locked(s);
+  ++s.ticks;
+  if (delta_j <= 0.0) return;
+  if (interval_s > 0.0) {
+    PHONOLID_COUNTER_SAMPLE("energy.package_watts", delta_j / interval_s);
+  }
+
+  const std::vector<ActiveThread> threads = Trace::active_threads();
+  double total_weight = 0.0;
+  std::vector<std::pair<std::string, double>> weights;
+  weights.reserve(threads.size());
+  for (const ActiveThread& t : threads) {
+    const auto it = s.last_cpu_s.find(t.index);
+    const double last = it == s.last_cpu_s.end() ? t.cpu_s : it->second;
+    const double w = t.cpu_s > last ? t.cpu_s - last : 0.0;
+    s.last_cpu_s[t.index] = t.cpu_s;
+    if (w > 0.0 && !t.path.empty()) {
+      weights.emplace_back(t.path, w);
+      total_weight += w;
+    }
+  }
+  if (total_weight <= 0.0) {
+    s.rapl_joules[kUnattributed] += delta_j;
+    return;
+  }
+  for (const auto& [path, w] : weights) {
+    s.rapl_joules[path] += delta_j * (w / total_weight);
+  }
+}
+
+void sampler_main() {
+  EnergyState& s = state();
+  auto last = std::chrono::steady_clock::now();
+  std::unique_lock lock(s.mutex);
+  while (!s.stop_requested) {
+    s.cv.wait_for(lock, std::chrono::milliseconds(s.sample_period_ms),
+                  [&s] { return s.stop_requested; });
+    if (s.stop_requested) break;
+    const auto now = std::chrono::steady_clock::now();
+    rapl_tick_locked(s, std::chrono::duration<double>(now - last).count());
+    last = now;
+  }
+  // Final sample so shutdown never loses the tail of the run.
+  const auto now = std::chrono::steady_clock::now();
+  rapl_tick_locked(s, std::chrono::duration<double>(now - last).count());
+}
+
+/// Resolve the configured source and start/stop machinery accordingly.
+/// Caller holds s.mutex.
+void activate_locked(EnergyState& s, EnergySource want) {
+  if (want == EnergySource::kRapl) {
+    s.packages = discover_rapl();
+    if (s.packages.empty()) want = EnergySource::kSoftware;  // degrade
+  }
+  s.source.store(static_cast<int>(want), std::memory_order_release);
+  if (want == EnergySource::kRapl && !s.sampler.joinable()) {
+    s.stop_requested = false;
+    s.sampler = std::thread(sampler_main);
+  }
+}
+
+void stop_sampler(EnergyState& s) noexcept {
+  std::thread to_join;
+  {
+    std::lock_guard lock(s.mutex);
+    if (!s.sampler.joinable()) return;
+    s.stop_requested = true;
+    to_join = std::move(s.sampler);
+  }
+  s.cv.notify_all();
+  to_join.join();
+}
+
+/// Round to 1 µJ: keeps software-model reports byte-stable across thread
+/// counts (accumulation-order FP noise is far below a microjoule).
+double round_uj(double joules) noexcept {
+  return std::round(joules * 1e6) / 1e6;
+}
+
+}  // namespace
+
+void Energy::init_from_env() {
+  EnergyState& s = state();
+  if (s.initialized.load(std::memory_order_acquire)) return;
+  std::lock_guard lock(s.mutex);
+  if (s.initialized.load(std::memory_order_acquire)) return;
+  if (const char* rate = std::getenv("PHONOLID_JOULES_PER_GFLOP")) {
+    const double v = std::strtod(rate, nullptr);
+    if (v > 0.0) s.joules_per_gflop = v;
+  }
+  if (const char* ms = std::getenv("PHONOLID_ENERGY_SAMPLE_MS")) {
+    const long v = std::strtol(ms, nullptr, 10);
+    if (v >= 1 && v <= 10000) s.sample_period_ms = static_cast<int>(v);
+  }
+  const char* mode = std::getenv("PHONOLID_ENERGY");
+  EnergySource want = EnergySource::kRapl;  // auto: rapl, degrade to software
+  if (mode != nullptr) {
+    if (std::strcmp(mode, "off") == 0) want = EnergySource::kOff;
+    else if (std::strcmp(mode, "software") == 0) want = EnergySource::kSoftware;
+    else if (std::strcmp(mode, "rapl") == 0) want = EnergySource::kRapl;
+  }
+  activate_locked(s, want);
+  s.initialized.store(true, std::memory_order_release);
+}
+
+EnergySource Energy::source() noexcept {
+  return static_cast<EnergySource>(
+      state().source.load(std::memory_order_acquire));
+}
+
+void Energy::charge_flops(double flops) noexcept {
+  if (flops <= 0.0) return;
+  EnergyState& s = state();
+  const auto src = static_cast<EnergySource>(
+      s.source.load(std::memory_order_relaxed));
+  if (src == EnergySource::kOff) return;
+  atomic_add(s.gflops, flops * 1e-9);
+  if (src != EnergySource::kSoftware) return;
+  const double joules = flops * 1e-9 * s.joules_per_gflop;
+  const std::string& path = Trace::current_thread_path();
+  EnergyTable& t = energy_table();
+  std::lock_guard lock(t.mutex);
+  t.joules[path.empty() ? kUnattributed : path] += joules;
+}
+
+double Energy::joules_per_gflop() noexcept { return state().joules_per_gflop; }
+
+double Energy::total_gflops() noexcept {
+  return state().gflops.load(std::memory_order_relaxed);
+}
+
+std::map<std::string, double> Energy::joules_by_span() {
+  EnergyState& s = state();
+  std::map<std::string, double> out;
+  std::lock_guard lock(s.mutex);
+  if (source() == EnergySource::kRapl) {
+    out = s.rapl_joules;
+    return out;
+  }
+  for (EnergyTable* t : s.live) {
+    std::lock_guard table_lock(t->mutex);
+    for (const auto& [path, j] : t->joules) out[path] += j;
+  }
+  for (const auto& [path, j] : s.retired) out[path] += j;
+  return out;
+}
+
+double Energy::total_joules() {
+  double total = 0.0;
+  for (const auto& [path, j] : joules_by_span()) total += j;
+  return total;
+}
+
+Json Energy::energy_json() {
+  EnergyState& s = state();
+  if (source() == EnergySource::kRapl) {
+    // Pull the tail of the run into the books before reporting.
+    std::lock_guard lock(s.mutex);
+    rapl_tick_locked(s, 0.0);
+  }
+  const double total = total_joules();
+  const double gflops = total_gflops();
+  static obs::Counter& utterances = Metrics::counter("pipeline.utterances");
+
+  Json energy = Json::object();
+  energy["source"] = Json(to_string(source()));
+  energy["total_joules"] = Json(round_uj(total));
+  energy["total_gflops"] = Json(gflops);
+  energy["gflops_per_watt"] = Json(total > 0.0 ? gflops / total : 0.0);
+  const std::uint64_t utts = utterances.value();
+  energy["joules_per_utterance"] =
+      Json(utts > 0 ? round_uj(total / static_cast<double>(utts)) : 0.0);
+  if (source() == EnergySource::kSoftware) {
+    energy["joules_per_gflop"] = Json(s.joules_per_gflop);
+  }
+  if (source() == EnergySource::kRapl) {
+    Json rapl = Json::object();
+    std::lock_guard lock(s.mutex);
+    rapl["packages"] = Json(s.packages.size());
+    rapl["ticks"] = Json(s.ticks);
+    rapl["sample_period_ms"] = Json(s.sample_period_ms);
+    const auto it = s.rapl_joules.find(kUnattributed);
+    rapl["unattributed_joules"] =
+        Json(round_uj(it == s.rapl_joules.end() ? 0.0 : it->second));
+    energy["rapl"] = std::move(rapl);
+  }
+  return energy;
+}
+
+void Energy::publish_gauges() {
+  if (source() == EnergySource::kOff) return;
+  const double total = round_uj(total_joules());
+  Metrics::float_gauge("energy.total_joules").set(total);
+  Metrics::float_gauge("energy.total_gflops").set(total_gflops());
+  Metrics::float_gauge("energy.gflops_per_watt")
+      .set(total > 0.0 ? total_gflops() / total : 0.0);
+}
+
+void Energy::reset() {
+  EnergyState& s = state();
+  std::lock_guard lock(s.mutex);
+  for (EnergyTable* t : s.live) {
+    std::lock_guard table_lock(t->mutex);
+    t->joules.clear();
+  }
+  s.retired.clear();
+  s.rapl_joules.clear();
+  s.last_cpu_s.clear();
+  s.ticks = 0;
+  s.gflops.store(0.0, std::memory_order_relaxed);
+}
+
+void Energy::shutdown() noexcept { stop_sampler(state()); }
+
+void Energy::force_source_for_test(EnergySource source) {
+  EnergyState& s = state();
+  stop_sampler(s);
+  reset();
+  std::lock_guard lock(s.mutex);
+  activate_locked(s, source);
+  s.initialized.store(true, std::memory_order_release);
+}
+
+}  // namespace phonolid::obs

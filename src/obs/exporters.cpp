@@ -9,8 +9,10 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/energy.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/perf.h"
 
 namespace phonolid::obs {
 
@@ -188,6 +190,11 @@ void write_prometheus(const std::string& path) {
 }
 
 void enable_recorder_from_env() {
+  // Counter and energy accounting are on for every entry point (they cost a
+  // few relaxed atomics per span); only the flight recorder is gated on
+  // PHONOLID_TRACE below.
+  Perf::init_from_env();
+  Energy::init_from_env();
   const char* path = std::getenv("PHONOLID_TRACE");
   if (path == nullptr || *path == '\0') return;
   std::size_t capacity = 0;
@@ -200,6 +207,13 @@ void enable_recorder_from_env() {
 }
 
 void export_from_env() noexcept {
+  // Stop the RAPL sampler (final sample included) and publish energy gauges
+  // before any exporter snapshots the metrics registry.
+  Energy::shutdown();
+  try {
+    Energy::publish_gauges();
+  } catch (...) {
+  }
   if (const char* path = std::getenv("PHONOLID_TRACE");
       path != nullptr && *path != '\0') {
     try {

@@ -1,0 +1,299 @@
+#include "obs/perf.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace phonolid::obs {
+
+namespace {
+
+constexpr std::size_t kNumEvents = 6;
+
+// Shared process-level state.  `g_state`: 0 = unprobed, 1 = available,
+// 2 = unavailable.  Reads on the span hot path are one relaxed load.
+std::atomic<int> g_state{0};
+std::atomic<int> g_errno{0};
+std::atomic<int> g_forced_errno{0};
+std::mutex g_mutex;  // guards probing + the process fd table
+
+#if defined(__linux__)
+
+constexpr std::uint64_t kEventConfigs[kNumEvents] = {
+    PERF_COUNT_HW_CPU_CYCLES,          PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_REFERENCES,    PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_INSTRUCTIONS, PERF_COUNT_HW_BRANCH_MISSES};
+
+int g_process_fds[kNumEvents] = {-1, -1, -1, -1, -1, -1};
+
+int perf_open(std::uint64_t config, int group_fd, bool inherit) noexcept {
+  if (const int forced = g_forced_errno.load(std::memory_order_relaxed);
+      forced != 0) {
+    errno = forced;
+    return -1;
+  }
+  perf_event_attr attr{};
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = group_fd == -1 ? 1 : 0;  // group leader starts the group
+  attr.exclude_kernel = 1;                 // allowed at perf_event_paranoid=2
+  attr.exclude_hv = 1;
+  attr.inherit = inherit ? 1 : 0;
+  // Group reads return every member in one syscall; inherit counters cannot
+  // be grouped (kernel restriction), so the process-wide set reads each fd
+  // individually.  Both carry enabled/running times for multiplex scaling.
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  if (!inherit) attr.read_format |= PERF_FORMAT_GROUP;
+  const long fd = syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+                          group_fd, /*flags=*/0UL);
+  return static_cast<int>(fd);
+}
+
+/// Scale a raw count by time_enabled/time_running (PMU multiplexing).
+std::uint64_t scaled(std::uint64_t raw, std::uint64_t enabled,
+                     std::uint64_t running) noexcept {
+  if (running == 0 || running >= enabled) return raw;
+  return static_cast<std::uint64_t>(
+      static_cast<double>(raw) *
+      (static_cast<double>(enabled) / static_cast<double>(running)));
+}
+
+/// Per-thread lazily-opened counter group.  The leader fd owns the group;
+/// one read() returns all six members plus enabled/running times.
+struct ThreadGroup {
+  int leader = -1;
+  bool tried = false;
+
+  bool open() noexcept {
+    tried = true;
+    int fds[kNumEvents];
+    for (std::size_t i = 0; i < kNumEvents; ++i) fds[i] = -1;
+    for (std::size_t i = 0; i < kNumEvents; ++i) {
+      fds[i] = perf_open(kEventConfigs[i], i == 0 ? -1 : fds[0],
+                         /*inherit=*/false);
+      if (fds[i] < 0) {
+        for (std::size_t j = 0; j < i; ++j) close(fds[j]);
+        return false;
+      }
+    }
+    // Members are closed with the leader: the kernel removes them from the
+    // group only on close, so keep the leader and close nothing else —
+    // but we must retain the fds to close at thread exit.  Store them all.
+    leader = fds[0];
+    for (std::size_t i = 1; i < kNumEvents; ++i) members[i - 1] = fds[i];
+    ioctl(leader, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    return true;
+  }
+
+  bool read_group(HwCounters& out) noexcept {
+    if (leader < 0) {
+      if (tried) return false;
+      if (!open()) return false;
+    }
+    // PERF_FORMAT_GROUP | TOTAL_TIME_ENABLED | TOTAL_TIME_RUNNING layout.
+    struct {
+      std::uint64_t nr;
+      std::uint64_t time_enabled;
+      std::uint64_t time_running;
+      std::uint64_t values[kNumEvents];
+    } data{};
+    const ssize_t n = ::read(leader, &data, sizeof(data));
+    if (n < static_cast<ssize_t>(sizeof(std::uint64_t) * 3) ||
+        data.nr != kNumEvents) {
+      return false;
+    }
+    std::uint64_t v[kNumEvents];
+    for (std::size_t i = 0; i < kNumEvents; ++i) {
+      v[i] = scaled(data.values[i], data.time_enabled, data.time_running);
+    }
+    out.cycles = v[0];
+    out.instructions = v[1];
+    out.llc_references = v[2];
+    out.llc_misses = v[3];
+    out.branches = v[4];
+    out.branch_misses = v[5];
+    return true;
+  }
+
+  void close_all() noexcept {
+    for (std::size_t i = 0; i < kNumEvents - 1; ++i) {
+      if (members[i] >= 0) close(members[i]);
+      members[i] = -1;
+    }
+    if (leader >= 0) close(leader);
+    leader = -1;
+    tried = false;
+  }
+
+  ~ThreadGroup() { close_all(); }
+
+  int members[kNumEvents - 1] = {-1, -1, -1, -1, -1};
+};
+
+ThreadGroup& thread_group() {
+  thread_local ThreadGroup g;
+  return g;
+}
+
+void close_process_fds() noexcept {
+  for (int& fd : g_process_fds) {
+    if (fd >= 0) close(fd);
+    fd = -1;
+  }
+}
+
+/// Probe + open the process-wide inherit counters.  Caller holds g_mutex.
+bool probe_locked() noexcept {
+  close_process_fds();
+  for (std::size_t i = 0; i < kNumEvents; ++i) {
+    g_process_fds[i] = perf_open(kEventConfigs[i], -1, /*inherit=*/true);
+    if (g_process_fds[i] < 0) {
+      g_errno.store(errno, std::memory_order_relaxed);
+      close_process_fds();
+      return false;
+    }
+    ioctl(g_process_fds[i], PERF_EVENT_IOC_RESET, 0);
+    ioctl(g_process_fds[i], PERF_EVENT_IOC_ENABLE, 0);
+  }
+  g_errno.store(0, std::memory_order_relaxed);
+  return true;
+}
+
+#endif  // __linux__
+
+bool env_disabled() noexcept {
+  const char* v = std::getenv("PHONOLID_PERF");
+  return v != nullptr && std::strcmp(v, "off") == 0;
+}
+
+void probe_once() {
+  if (g_state.load(std::memory_order_acquire) != 0) return;
+  std::lock_guard lock(g_mutex);
+  if (g_state.load(std::memory_order_acquire) != 0) return;
+#if defined(__linux__)
+  if (env_disabled()) {
+    g_errno.store(0, std::memory_order_relaxed);
+    g_state.store(2, std::memory_order_release);
+    return;
+  }
+  g_state.store(probe_locked() ? 1 : 2, std::memory_order_release);
+#else
+  g_errno.store(ENOSYS, std::memory_order_relaxed);
+  g_state.store(2, std::memory_order_release);
+#endif
+}
+
+}  // namespace
+
+void Perf::init_from_env() { probe_once(); }
+
+bool Perf::available() noexcept {
+  probe_once();
+  return g_state.load(std::memory_order_acquire) == 1;
+}
+
+int Perf::unavailable_errno() noexcept {
+  probe_once();
+  return g_errno.load(std::memory_order_relaxed);
+}
+
+bool Perf::read_thread(HwCounters& out) noexcept {
+  if (!available()) return false;
+#if defined(__linux__)
+  return thread_group().read_group(out);
+#else
+  (void)out;
+  return false;
+#endif
+}
+
+bool Perf::read_process(HwCounters& out) noexcept {
+  if (!available()) return false;
+#if defined(__linux__)
+  std::lock_guard lock(g_mutex);
+  std::uint64_t v[kNumEvents] = {0};
+  for (std::size_t i = 0; i < kNumEvents; ++i) {
+    if (g_process_fds[i] < 0) return false;
+    // PERF_FORMAT_TOTAL_TIME_ENABLED | _RUNNING, no group.
+    struct {
+      std::uint64_t value;
+      std::uint64_t time_enabled;
+      std::uint64_t time_running;
+    } data{};
+    if (::read(g_process_fds[i], &data, sizeof(data)) !=
+        static_cast<ssize_t>(sizeof(data))) {
+      return false;
+    }
+    v[i] = scaled(data.value, data.time_enabled, data.time_running);
+  }
+  out.cycles = v[0];
+  out.instructions = v[1];
+  out.llc_references = v[2];
+  out.llc_misses = v[3];
+  out.branches = v[4];
+  out.branch_misses = v[5];
+  return true;
+#else
+  (void)out;
+  return false;
+#endif
+}
+
+Json Perf::hw_json() {
+  probe_once();
+  Json hw = Json::object();
+  HwCounters totals;
+  const bool ok = read_process(totals);
+  hw["available"] = Json(ok);
+  hw["source"] = Json(ok ? "perf" : "none");
+  if (!ok) {
+    const int err = unavailable_errno();
+    hw["unavailable_errno"] = Json(err);
+    hw["unavailable_reason"] = Json(err != 0 ? std::strerror(err) : "disabled");
+    return hw;
+  }
+  hw["cycles"] = Json(totals.cycles);
+  hw["instructions"] = Json(totals.instructions);
+  hw["ipc"] = Json(totals.cycles == 0
+                       ? 0.0
+                       : static_cast<double>(totals.instructions) /
+                             static_cast<double>(totals.cycles));
+  hw["llc_references"] = Json(totals.llc_references);
+  hw["llc_misses"] = Json(totals.llc_misses);
+  hw["llc_miss_rate"] = Json(totals.llc_references == 0
+                                 ? 0.0
+                                 : static_cast<double>(totals.llc_misses) /
+                                       static_cast<double>(totals.llc_references));
+  hw["branches"] = Json(totals.branches);
+  hw["branch_misses"] = Json(totals.branch_misses);
+  hw["branch_miss_rate"] =
+      Json(totals.branches == 0
+               ? 0.0
+               : static_cast<double>(totals.branch_misses) /
+                     static_cast<double>(totals.branches));
+  return hw;
+}
+
+void Perf::force_open_error_for_test(int err) {
+  std::lock_guard lock(g_mutex);
+  g_forced_errno.store(err, std::memory_order_relaxed);
+#if defined(__linux__)
+  close_process_fds();
+  thread_group().close_all();
+#endif
+  g_errno.store(0, std::memory_order_relaxed);
+  g_state.store(0, std::memory_order_release);  // re-probe on next use
+}
+
+}  // namespace phonolid::obs

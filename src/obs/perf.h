@@ -1,0 +1,99 @@
+// Hardware performance counters via perf_event_open (Linux).
+//
+// Two independent views over one fixed counter group — cycles, instructions,
+// LLC references/misses, branches/branch misses:
+//
+//   - a *per-thread* counter group, opened lazily on first use and read at
+//     span begin/end (obs/trace.h), so every PHONOLID_SPAN aggregates
+//     hardware-counter deltas next to its wall/CPU time;
+//   - a *process-wide* set of inheritable counters opened once at
+//     Perf::init_from_env() on the main thread, whose totals feed the "hw"
+//     report section (IPC, LLC miss rate, branch miss rate).
+//
+// Availability is probed exactly once: perf_event_open commonly fails with
+// EACCES/EPERM (perf_event_paranoid, containers) or ENOSYS (non-Linux,
+// seccomp).  When the probe fails every later call is a cheap no-op — spans
+// record zero hardware deltas, hw_json() reports `"available": false` with
+// the errno, and nothing else in the observability stack changes.  Counts
+// are scaled by time_enabled/time_running, so PMU multiplexing (more groups
+// than hardware slots) degrades precision, not correctness.
+//
+// PHONOLID_PERF=off disables the layer outright (no probe, no syscalls).
+#pragma once
+
+#include <cstdint>
+
+#include "obs/json.h"
+
+namespace phonolid::obs {
+
+/// Cumulative (or delta) values of the fixed hardware counter group.
+struct HwCounters {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_references = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t branch_misses = 0;
+
+  void merge(const HwCounters& o) noexcept {
+    cycles += o.cycles;
+    instructions += o.instructions;
+    llc_references += o.llc_references;
+    llc_misses += o.llc_misses;
+    branches += o.branches;
+    branch_misses += o.branch_misses;
+  }
+  /// this - since, saturating at 0 per field (counters never run backwards,
+  /// but multiplex scaling can jitter by a count or two).
+  [[nodiscard]] HwCounters delta(const HwCounters& since) const noexcept {
+    const auto sub = [](std::uint64_t a, std::uint64_t b) {
+      return a > b ? a - b : 0;
+    };
+    HwCounters d;
+    d.cycles = sub(cycles, since.cycles);
+    d.instructions = sub(instructions, since.instructions);
+    d.llc_references = sub(llc_references, since.llc_references);
+    d.llc_misses = sub(llc_misses, since.llc_misses);
+    d.branches = sub(branches, since.branches);
+    d.branch_misses = sub(branch_misses, since.branch_misses);
+    return d;
+  }
+  [[nodiscard]] bool any() const noexcept {
+    return (cycles | instructions | llc_references | llc_misses | branches |
+            branch_misses) != 0;
+  }
+};
+
+class Perf {
+ public:
+  /// Probe availability and open the process-wide counters.  Honors
+  /// PHONOLID_PERF=off.  Idempotent; called by every entry point via
+  /// obs::enable_recorder_from_env().
+  static void init_from_env();
+
+  /// True when the probe succeeded and counters are live.
+  [[nodiscard]] static bool available() noexcept;
+  /// errno of the failed probe (0 when available or never probed).
+  [[nodiscard]] static int unavailable_errno() noexcept;
+
+  /// Read the calling thread's cumulative counter group (opened lazily on
+  /// this thread's first call).  Returns false — leaving `out` untouched —
+  /// when perf is unavailable.
+  static bool read_thread(HwCounters& out) noexcept;
+
+  /// Process-wide totals across all threads spawned after init_from_env().
+  static bool read_process(HwCounters& out) noexcept;
+
+  /// The "hw" report section: availability + process totals + derived
+  /// ratios (ipc, llc_miss_rate, branch_miss_rate).
+  [[nodiscard]] static Json hw_json();
+
+  /// Test hook: force every perf_event_open to fail with `err` (pass 0 to
+  /// restore normal probing).  Drops any already-open descriptors and
+  /// re-runs the probe on the next init/read, so the EACCES/ENOSYS fallback
+  /// paths are testable on machines where perf works.
+  static void force_open_error_for_test(int err);
+};
+
+}  // namespace phonolid::obs

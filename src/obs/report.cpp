@@ -1,6 +1,7 @@
 #include "obs/report.h"
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <ctime>
 #include <fstream>
@@ -10,11 +11,48 @@
 #include <sys/resource.h>
 #endif
 
+#include "obs/energy.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/perf.h"
 #include "obs/trace.h"
 
 namespace phonolid::obs {
+
+namespace {
+
+/// Steady-clock reference for resource.wall_s.  Static initialization runs
+/// within a millisecond or two of process start, which is plenty for a
+/// whole-run wall-clock figure.
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+
+}  // namespace
+
+ResourceUsage current_resource_usage() noexcept {
+  ResourceUsage u;
+  u.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           g_process_start)
+                 .count();
+#if defined(__unix__) || defined(__APPLE__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+    u.peak_rss_bytes = ru.ru_maxrss;  // bytes on macOS
+#else
+    u.peak_rss_bytes = ru.ru_maxrss * 1024;  // KiB on Linux
+#endif
+    u.user_cpu_s = static_cast<double>(ru.ru_utime.tv_sec) +
+                   static_cast<double>(ru.ru_utime.tv_usec) * 1e-6;
+    u.system_cpu_s = static_cast<double>(ru.ru_stime.tv_sec) +
+                     static_cast<double>(ru.ru_stime.tv_usec) * 1e-6;
+    u.voluntary_ctx_switches = static_cast<std::uint64_t>(ru.ru_nvcsw);
+    u.involuntary_ctx_switches = static_cast<std::uint64_t>(ru.ru_nivcsw);
+    u.valid = true;
+  }
+#endif
+  return u;
+}
 
 namespace {
 
@@ -24,23 +62,15 @@ namespace {
 /// than no trace).
 Json resource_json() {
   Json resource = Json::object();
-#if defined(__unix__) || defined(__APPLE__)
-  rusage ru{};
-  if (getrusage(RUSAGE_SELF, &ru) == 0) {
-#if defined(__APPLE__)
-    const std::int64_t peak_rss_bytes = ru.ru_maxrss;  // bytes on macOS
-#else
-    const std::int64_t peak_rss_bytes = ru.ru_maxrss * 1024;  // KiB on Linux
-#endif
-    resource["peak_rss_bytes"] = Json(peak_rss_bytes);
-    resource["user_cpu_s"] =
-        Json(static_cast<double>(ru.ru_utime.tv_sec) +
-             static_cast<double>(ru.ru_utime.tv_usec) * 1e-6);
-    resource["system_cpu_s"] =
-        Json(static_cast<double>(ru.ru_stime.tv_sec) +
-             static_cast<double>(ru.ru_stime.tv_usec) * 1e-6);
+  const ResourceUsage u = current_resource_usage();
+  resource["wall_s"] = Json(u.wall_s);
+  if (u.valid) {
+    resource["peak_rss_bytes"] = Json(u.peak_rss_bytes);
+    resource["user_cpu_s"] = Json(u.user_cpu_s);
+    resource["system_cpu_s"] = Json(u.system_cpu_s);
+    resource["voluntary_ctx_switches"] = Json(u.voluntary_ctx_switches);
+    resource["involuntary_ctx_switches"] = Json(u.involuntary_ctx_switches);
   }
-#endif
   std::uint64_t threads = 0, events = 0, dropped = 0;
   for (const ThreadEvents& t : FlightRecorder::snapshot()) {
     ++threads;
@@ -73,10 +103,23 @@ std::string iso8601_utc_now() {
   return buf;
 }
 
+namespace {
+
+/// Round a joule figure to 1 µJ so software-model reports are byte-stable
+/// across thread counts (see Energy::energy_json).
+double round_uj(double joules) {
+  return std::round(joules * 1e6) / 1e6;
+}
+
+}  // namespace
+
 Json build_report(const ReportMeta& meta, Json extra) {
   if (!extra.is_object()) {
     throw std::invalid_argument("build_report: extra must be an object");
   }
+  // Fold energy totals into metrics.values before the registry snapshot so
+  // the Prometheus exporter and the report agree.
+  Energy::publish_gauges();
   Json doc = Json::object();
   doc["schema_version"] = Json(kReportSchemaVersion);
   doc["generated_at"] = Json(iso8601_utc_now());
@@ -124,6 +167,7 @@ Json build_report(const ReportMeta& meta, Json extra) {
   metrics["histograms"] = std::move(histograms);
   doc["metrics"] = std::move(metrics);
 
+  const std::map<std::string, double> span_joules = Energy::joules_by_span();
   Json spans = Json::array();
   for (const SpanSnapshot& s : Trace::snapshot()) {
     Json entry = Json::object();
@@ -137,6 +181,17 @@ Json build_report(const ReportMeta& meta, Json extra) {
                                      static_cast<double>(s.total.count));
     entry["min_s"] = Json(s.total.count == 0 ? 0.0 : s.total.min_s);
     entry["max_s"] = Json(s.total.max_s);
+    if (const auto it = span_joules.find(s.path); it != span_joules.end()) {
+      entry["joules"] = Json(round_uj(it->second));
+    }
+    if (s.total.hw.any()) {
+      Json hw = Json::object();
+      hw["cycles"] = Json(s.total.hw.cycles);
+      hw["instructions"] = Json(s.total.hw.instructions);
+      hw["llc_misses"] = Json(s.total.hw.llc_misses);
+      hw["branch_misses"] = Json(s.total.hw.branch_misses);
+      entry["hw"] = std::move(hw);
+    }
     Json by_thread = Json::array();
     for (const auto& [thread, stats] : s.by_thread) {
       Json t = Json::object();
@@ -150,6 +205,8 @@ Json build_report(const ReportMeta& meta, Json extra) {
   }
   doc["spans"] = std::move(spans);
   doc["resource"] = resource_json();
+  doc["energy"] = Energy::energy_json();
+  doc["hw"] = Perf::hw_json();
 
   for (auto& [key, value] : extra.as_object()) {
     doc[key] = std::move(value);

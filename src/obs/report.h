@@ -13,11 +13,21 @@
 //     "spans":   [ { "path", "count", "total_s", "cpu_s", "mean_s", "min_s",
 //                    "max_s", "by_thread": [{ "thread", "count",
 //                    "total_s" }] } ],
-//     "resource": { "peak_rss_bytes", "user_cpu_s", "system_cpu_s",
+//     "resource": { "wall_s", "peak_rss_bytes", "user_cpu_s", "system_cpu_s",
+//                   "voluntary_ctx_switches", "involuntary_ctx_switches",
 //                   "flight_recorder": { "enabled", "threads", "events",
 //                                        "dropped_events" } },
+//     "energy":  { "source": "rapl"|"software"|"off", "total_joules",
+//                  "total_gflops", "gflops_per_watt", "joules_per_utterance",
+//                  ...source-specific fields (obs/energy.h) },
+//     "hw":      { "available", "source", "cycles", "instructions", "ipc",
+//                  "llc_references", "llc_misses", "llc_miss_rate",
+//                  "branches", "branch_misses", "branch_miss_rate" },
 //     ...caller-provided extra sections (e.g. "dba", "results", "quality")...
 //   }
+//
+// Spans additionally carry "joules" (when energy accounting attributed any
+// to that path) and "hw" counter deltas (when perf counters are available).
 //
 // See DESIGN.md "Observability" for the full field reference.
 #pragma once
@@ -39,6 +49,22 @@ struct ReportMeta {
   std::uint64_t seed = 0;
   std::size_t threads = 0;
 };
+
+/// Process resource usage, as reported under the report's "resource"
+/// section.  `wall_s` is measured from static initialization; the rusage
+/// fields are zero with valid == false where getrusage is unavailable.
+struct ResourceUsage {
+  double wall_s = 0.0;
+  std::int64_t peak_rss_bytes = 0;
+  double user_cpu_s = 0.0;
+  double system_cpu_s = 0.0;
+  std::uint64_t voluntary_ctx_switches = 0;
+  std::uint64_t involuntary_ctx_switches = 0;
+  bool valid = false;
+};
+
+/// Sample the current process resource usage (also used by `phonolid diag`).
+[[nodiscard]] ResourceUsage current_resource_usage() noexcept;
 
 /// Current UTC time as ISO-8601 with millisecond precision ("...Z").
 std::string iso8601_utc_now();

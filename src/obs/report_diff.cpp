@@ -83,6 +83,28 @@ std::map<std::string, double> resource_leaves(const Json& report) {
   return out;
 }
 
+std::map<std::string, double> section_leaves(const Json& report,
+                                             const std::string& section) {
+  std::map<std::string, double> out;
+  const Json* node = report.find(section);
+  if (node != nullptr) collect_numeric_leaves(*node, section, out);
+  return out;
+}
+
+/// The "energy" leaves that --max-energy-delta-pct gates; everything else
+/// in the section (gflops, watts, sampler stats) is report-only.
+bool is_gated_energy_leaf(const std::string& key) {
+  return key == "energy/total_joules" || key == "energy/joules_per_utterance" ||
+         key == "energy/joules_per_test_utterance";
+}
+
+const char* energy_source(const Json& report) {
+  const Json* energy = report.find("energy");
+  const Json* source = energy == nullptr ? nullptr : energy->find("source");
+  return source != nullptr && source->is_string() ? source->as_string().c_str()
+                                                  : nullptr;
+}
+
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
@@ -138,6 +160,8 @@ ReportDiffResult diff_reports(const Json& baseline, const Json& current,
                  row.gated = options.max_regress_pct >= 0.0 &&
                              b >= options.min_span_s && b > 0.0;
                  if (row.gated) {
+                   row.gate = "max-regress-pct";
+                   row.threshold = options.max_regress_pct;
                    const double pct = 100.0 * (c - b) / b;
                    row.violation = pct > options.max_regress_pct;
                  }
@@ -168,18 +192,26 @@ ReportDiffResult diff_reports(const Json& baseline, const Json& current,
                                   : options.max_eer_delta;
     if (ends_with(key, "/eer") && options.max_eer_delta >= 0.0) {
       row.gated = true;
+      row.gate = "max-eer-delta";
+      row.threshold = options.max_eer_delta;
       row.violation = (c - b) > options.max_eer_delta;
     } else if (ends_with(key, "/cavg") && cavg_delta >= 0.0) {
       row.gated = true;
+      row.gate = "max-cavg-delta";
+      row.threshold = cavg_delta;
       row.violation = (c - b) > cavg_delta;
     } else if ((ends_with(key, "/cllr") || ends_with(key, "/min_cllr")) &&
                options.max_cllr_delta >= 0.0) {
       row.gated = true;
+      row.gate = "max-cllr-delta";
+      row.threshold = options.max_cllr_delta;
       row.violation = (c - b) > options.max_cllr_delta;
     } else if (ends_with(key, "/precision") &&
                key.find("/adoption") != std::string::npos &&
                options.max_adoption_precision_drop >= 0.0) {
       row.gated = true;
+      row.gate = "max-adoption-precision-drop";
+      row.threshold = options.max_adoption_precision_drop;
       row.violation = (b - c) > options.max_adoption_precision_drop;
     }
     result.rows.push_back(std::move(row));
@@ -206,6 +238,46 @@ ReportDiffResult diff_reports(const Json& baseline, const Json& current,
                  result.rows.push_back(std::move(row));
                });
 
+  const char* base_source = energy_source(baseline);
+  const char* cur_source = energy_source(current);
+  const bool sources_match =
+      base_source != nullptr && cur_source != nullptr &&
+      std::string(base_source) == cur_source;
+  if (base_source != nullptr && cur_source != nullptr && !sources_match) {
+    result.notes.push_back(std::string("energy source differs (baseline ") +
+                           base_source + ", current " + cur_source +
+                           ") — joule leaves not gated");
+  }
+  compare_maps(section_leaves(baseline, "energy"),
+               section_leaves(current, "energy"), "energy", result,
+               [&](const std::string& key, double b, double c) {
+                 ReportDiffRow row;
+                 row.kind = "energy";
+                 row.key = key;
+                 row.base = b;
+                 row.cur = c;
+                 row.gated = options.max_energy_delta_pct >= 0.0 &&
+                             sources_match && is_gated_energy_leaf(key) &&
+                             b > 0.0;
+                 if (row.gated) {
+                   row.gate = "max-energy-delta-pct";
+                   row.threshold = options.max_energy_delta_pct;
+                   const double pct = 100.0 * (c - b) / b;
+                   row.violation = pct > options.max_energy_delta_pct;
+                 }
+                 result.rows.push_back(std::move(row));
+               });
+
+  compare_maps(section_leaves(baseline, "hw"), section_leaves(current, "hw"),
+               "hw", result, [&](const std::string& key, double b, double c) {
+                 ReportDiffRow row;
+                 row.kind = "hw";
+                 row.key = key;
+                 row.base = b;
+                 row.cur = c;
+                 result.rows.push_back(std::move(row));
+               });
+
   for (const ReportDiffRow& row : result.rows) {
     if (row.violation) result.violated = true;
   }
@@ -220,9 +292,10 @@ std::string ReportDiffResult::format() const {
   out << line;
   std::size_t hidden = 0;
   for (const ReportDiffRow& row : rows) {
-    // Unchanged counters/resource rows are the bulk of a same-machine diff;
-    // elide them.
-    if ((row.kind == "counter" || row.kind == "resource") &&
+    // Unchanged counter/resource/hw rows are the bulk of a same-machine
+    // diff; elide them.
+    if ((row.kind == "counter" || row.kind == "resource" ||
+         row.kind == "hw") &&
         row.base == row.cur && !row.violation) {
       ++hidden;
       continue;
@@ -247,8 +320,27 @@ std::string ReportDiffResult::format() const {
   for (const std::string& note : notes) {
     out << "note: " << note << '\n';
   }
-  out << (violated ? "report-diff: FAIL (threshold violated)\n"
-                   : "report-diff: OK\n");
+  // One line per violation with everything needed to act on it — the table
+  // above can be long, but these lines alone identify the failures.
+  std::size_t violations = 0;
+  for (const ReportDiffRow& row : rows) {
+    if (!row.violation) continue;
+    ++violations;
+    std::snprintf(line, sizeof(line),
+                  "violation: %s %s: baseline %.6g, current %.6g, "
+                  "threshold %.6g\n",
+                  row.gate.c_str(), row.key.c_str(), row.base, row.cur,
+                  row.threshold);
+    out << line;
+  }
+  if (violated) {
+    out << "report-diff: FAIL (" << violations
+        << (violations == 1 ? " violation" : " violations");
+    if (violations == 0) out << "; schema mismatch";  // only non-row failure
+    out << ")\n";
+  } else {
+    out << "report-diff: OK\n";
+  }
   return out.str();
 }
 

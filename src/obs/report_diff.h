@@ -25,6 +25,11 @@
 //     change threadpool.* volume across machines).
 //   - "resource" leaves (peak RSS, CPU time, recorder drops) are reported
 //     when they differ but never gate — they vary across machines.
+//   - "energy" leaves gate on relative increase: total_joules and
+//     joules-per-utterance leaves growing by more than max_energy_delta_pct
+//     percent are violations; other energy leaves (and everything under
+//     "hw") are report-only.  A differing energy.source is a note, since
+//     RAPL joules and software-model joules are not comparable.
 //   - a schema_version mismatch between the two documents is itself a
 //     violation (the comparison would be meaningless).
 //   - sections/keys present on only one side are reported as notes, never
@@ -56,17 +61,26 @@ struct ReportDiffOptions {
   /// Max allowed absolute drop (baseline - current) of adoption precision
   /// leaves under "quality"; negative = don't gate adoption.
   double max_adoption_precision_drop = -1.0;
+  /// Max allowed relative increase (percent) of energy/total_joules and the
+  /// per-utterance joule leaves; negative = don't gate energy.  Meaningful
+  /// when both reports used the same energy source (the diff notes a source
+  /// mismatch); software-model joules are deterministic, so a tight
+  /// threshold (~1%) works in CI.
+  double max_energy_delta_pct = -1.0;
   /// Spans with a baseline mean below this (seconds) are never gated.
   double min_span_s = 0.01;
 };
 
 struct ReportDiffRow {
-  std::string kind;  // "span" | "counter" | "result" | "quality" | "resource"
+  std::string kind;  // "span" | "counter" | "result" | "quality" |
+                     // "resource" | "energy" | "hw"
   std::string key;   // span path, counter name, or results/...-style path
   double base = 0.0;
   double cur = 0.0;
   bool gated = false;      // a threshold was applied to this row
   bool violation = false;  // ... and it fired
+  std::string gate;        // gate name when gated (e.g. "max-eer-delta")
+  double threshold = 0.0;  // the threshold that was applied when gated
 };
 
 struct ReportDiffResult {

@@ -5,6 +5,10 @@
 #include <mutex>
 #include <unordered_map>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <pthread.h>
+#endif
+
 namespace phonolid::obs {
 
 namespace {
@@ -22,13 +26,18 @@ double thread_cpu_seconds() noexcept {
 }
 
 /// Per-thread span state.  The table mutex is only ever contended by
-/// snapshot()/reset() — the owning thread takes it uncontended on each span
-/// exit, which on Linux is a couple of uncontended atomic ops.
+/// snapshot()/reset() and the energy sampler — the owning thread takes it
+/// uncontended on each span enter/exit, which on Linux is a couple of
+/// uncontended atomic ops.  `path` is written by the owner and read by
+/// Trace::active_threads(), so both sides hold the mutex.
 struct ThreadTable {
   std::mutex mutex;
   std::unordered_map<std::string, SpanStats> stats;
   std::string path;    // '/'-joined stack of active span names
   std::uint32_t index = 0;
+#if defined(__unix__) || defined(__APPLE__)
+  pthread_t handle{};
+#endif
 
   ~ThreadTable();
 };
@@ -52,8 +61,8 @@ ThreadTable::~ThreadTable() {
   TraceRegistry& reg = registry();
   std::lock_guard reg_lock(reg.mutex);
   std::lock_guard lock(mutex);
-  for (auto& [path, s] : stats) {
-    reg.retired[{path, index}].merge(s);
+  for (auto& [span_path, s] : stats) {
+    reg.retired[{span_path, index}].merge(s);
   }
   std::erase(reg.live, this);
 }
@@ -64,6 +73,9 @@ ThreadTable& thread_table() {
     TraceRegistry& reg = registry();
     std::lock_guard lock(reg.mutex);
     t.index = reg.next_index++;
+#if defined(__unix__) || defined(__APPLE__)
+    t.handle = pthread_self();
+#endif
     reg.live.push_back(&t);
     return true;
   }();
@@ -76,9 +88,13 @@ ThreadTable& thread_table() {
 Span::Span(const char* name) noexcept : name_(name) {
   ThreadTable& t = thread_table();
   parent_len_ = t.path.size();
-  if (!t.path.empty()) t.path.push_back('/');
-  t.path.append(name);
+  {
+    std::lock_guard lock(t.mutex);
+    if (!t.path.empty()) t.path.push_back('/');
+    t.path.append(name);
+  }
   FlightRecorder::begin(name);
+  hw_valid_ = Perf::read_thread(hw_start_);
   cpu_start_s_ = thread_cpu_seconds();
   start_ = std::chrono::steady_clock::now();
 }
@@ -91,13 +107,18 @@ double Span::stop() noexcept {
           .count();
   const double cpu_seconds =
       std::max(0.0, thread_cpu_seconds() - cpu_start_s_);
+  HwCounters hw_now;
+  HwCounters hw_delta;
+  const bool hw_ok = hw_valid_ && Perf::read_thread(hw_now);
+  if (hw_ok) hw_delta = hw_now.delta(hw_start_);
   FlightRecorder::end(name_, args_, num_args_);
   ThreadTable& t = thread_table();
   {
     std::lock_guard lock(t.mutex);
-    t.stats[t.path].record(seconds, cpu_seconds);
+    t.stats[t.path].record(seconds, cpu_seconds,
+                           hw_ok ? &hw_delta : nullptr);
+    t.path.resize(parent_len_);
   }
-  t.path.resize(parent_len_);
   return seconds;
 }
 
@@ -130,6 +151,36 @@ std::vector<SpanSnapshot> Trace::snapshot() {
   std::vector<SpanSnapshot> out;
   out.reserve(merged.size());
   for (auto& [path, snap] : merged) out.push_back(std::move(snap));
+  return out;
+}
+
+const std::string& Trace::current_thread_path() noexcept {
+  return thread_table().path;
+}
+
+std::vector<ActiveThread> Trace::active_threads() {
+  TraceRegistry& reg = registry();
+  std::vector<ActiveThread> out;
+  std::lock_guard reg_lock(reg.mutex);
+  out.reserve(reg.live.size());
+  for (ThreadTable* t : reg.live) {
+    ActiveThread a;
+    a.index = t->index;
+    {
+      std::lock_guard lock(t->mutex);
+      a.path = t->path;
+    }
+#if defined(__unix__) && defined(CLOCK_THREAD_CPUTIME_ID)
+    clockid_t cid;
+    timespec ts{};
+    if (pthread_getcpuclockid(t->handle, &cid) == 0 &&
+        clock_gettime(cid, &ts) == 0) {
+      a.cpu_s = static_cast<double>(ts.tv_sec) +
+                static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+#endif
+    out.push_back(std::move(a));
+  }
   return out;
 }
 

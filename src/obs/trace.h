@@ -25,26 +25,32 @@
 #include <vector>
 
 #include "obs/flight_recorder.h"
+#include "obs/perf.h"
 
 namespace phonolid::obs {
 
 /// Aggregated statistics for one span path (on one thread, or merged).
 /// `cpu_s` is thread CPU time (CLOCK_THREAD_CPUTIME_ID) consumed between
 /// span entry and exit on the recording thread — wall vs. CPU separates
-/// "slow because busy" from "slow because waiting" per stage.
+/// "slow because busy" from "slow because waiting" per stage.  `hw` holds
+/// hardware-counter deltas (obs/perf.h) accumulated over the same scopes;
+/// all-zero when perf is unavailable.
 struct SpanStats {
   std::uint64_t count = 0;
   double total_s = 0.0;
   double cpu_s = 0.0;
   double min_s = std::numeric_limits<double>::infinity();
   double max_s = 0.0;
+  HwCounters hw;
 
-  void record(double seconds, double cpu_seconds = 0.0) noexcept {
+  void record(double seconds, double cpu_seconds = 0.0,
+              const HwCounters* hw_delta = nullptr) noexcept {
     ++count;
     total_s += seconds;
     cpu_s += cpu_seconds;
     if (seconds < min_s) min_s = seconds;
     if (seconds > max_s) max_s = seconds;
+    if (hw_delta != nullptr) hw.merge(*hw_delta);
   }
   void merge(const SpanStats& o) noexcept {
     count += o.count;
@@ -52,6 +58,7 @@ struct SpanStats {
     cpu_s += o.cpu_s;
     if (o.min_s < min_s) min_s = o.min_s;
     if (o.max_s > max_s) max_s = o.max_s;
+    hw.merge(o.hw);
   }
 };
 
@@ -85,10 +92,20 @@ class Span {
   std::chrono::steady_clock::time_point start_;
   double cpu_start_s_ = 0.0;  // thread CPU clock at entry
   const char* name_ = nullptr;
+  HwCounters hw_start_;       // this thread's counters at entry
   EventArg args_[kMaxEventArgs];
   std::uint8_t num_args_ = 0;
   std::size_t parent_len_ = 0;  // path length to restore on exit
+  bool hw_valid_ = false;  // hw_start_ holds a successful perf read
   bool stopped_ = false;
+};
+
+/// One live thread's instantaneous span state, for cross-thread samplers
+/// (obs/energy.h apportions RAPL package joules by CPU-time weight).
+struct ActiveThread {
+  std::uint32_t index = 0;  // same per-thread index as SpanSnapshot
+  std::string path;         // '/'-joined active span stack ("" = idle)
+  double cpu_s = 0.0;       // that thread's cumulative CPU seconds
 };
 
 class Trace {
@@ -96,6 +113,15 @@ class Trace {
   /// Merged view over every thread that ever recorded a span (including
   /// threads that have since exited), sorted by path.
   static std::vector<SpanSnapshot> snapshot();
+
+  /// The calling thread's current '/'-joined span path ("" outside spans).
+  /// Valid only on the calling thread and only until the next span
+  /// enter/exit there.
+  [[nodiscard]] static const std::string& current_thread_path() noexcept;
+
+  /// Every live registered thread's current span path and CPU time.
+  /// Safe to call from a sampler thread while spans open and close.
+  [[nodiscard]] static std::vector<ActiveThread> active_threads();
 
   /// Drop all recorded statistics (active spans still record on exit).
   static void reset();

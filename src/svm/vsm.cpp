@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "la/kernels.h"
+#include "obs/energy.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/rng.h"
@@ -108,6 +109,15 @@ util::Matrix VsmModel::score_all(
   static obs::Counter& scored = obs::Metrics::counter("vsm.scored_utterances");
   PHONOLID_SPAN("vsm_score");
   scored.add(x.size());
+  // Software energy model: scoring one utterance is an axpy per non-zero
+  // over all K classifiers.  Charged here (on the span's thread) rather
+  // than inside the per-nnz axpy calls on pool workers.
+  double nnz = 0.0;
+  for (const phonotactic::SparseVec& v : x) {
+    nnz += static_cast<double>(v.indices().size());
+  }
+  obs::Energy::charge_flops(2.0 * nnz *
+                            static_cast<double>(classifiers_.size()));
   util::Matrix scores(x.size(), classifiers_.size());
   util::parallel_for(0, x.size(), [&](std::size_t i) {
     score(x[i], scores.row(i));

@@ -11,6 +11,8 @@
 //                                                   adopted/scored this way?
 //   phonolid diag    --ledger L [--report R]        quality diagnostics from
 //                                                   a decision ledger
+//   phonolid power   [--input report.json]          per-stage energy and
+//                                                   hardware-counter table
 //   phonolid report-diff base.json cur.json         compare two run reports
 //
 // Global flags: --scale quick|default|full, --seed <uint>,
@@ -18,7 +20,9 @@
 // (decision ledger, deterministic JSONL).  PHONOLID_TRACE / PHONOLID_PROM
 // env vars additionally export a Perfetto trace / Prometheus metrics from
 // any command.
+#include <algorithm>
 #include <charconv>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -67,11 +71,17 @@ void usage() {
       "  diag         quality diagnostics from a decision ledger:\n"
       "               diag --ledger l.jsonl [--report out.json]\n"
       "               (DET/confusion/Cllr/adoption precision per round)\n"
+      "  power        per-stage energy / hardware-counter table:\n"
+      "               power [--scale S] [--cache-dir D]  run the pipeline\n"
+      "               power --input report.json          table from a report\n"
+      "               (energy source: PHONOLID_ENERGY=rapl|software|off,\n"
+      "               default auto = RAPL when readable, else software model)\n"
       "  report-diff  compare two structured run reports:\n"
       "               report-diff baseline.json current.json\n"
       "                 [--max-regress pct] [--max-eer-delta x]\n"
       "                 [--max-cavg-delta x] [--max-cllr-delta x]\n"
-      "                 [--max-adoption-precision-drop x] [--min-span-s s]\n"
+      "                 [--max-adoption-precision-drop x]\n"
+      "                 [--max-energy-delta-pct pct] [--min-span-s s]\n"
       "               exits 1 when a threshold is violated\n"
       "  pipeline     artifact-store maintenance:\n"
       "               pipeline status [--cache-dir D]  entry count + bytes\n"
@@ -148,9 +158,10 @@ const std::map<std::string, std::set<std::string>>& command_flags() {
       {"export", {"scale", "seed", "v", "trace", "prom", "cache-dir", "ledger"}},
       {"explain", {"scale", "seed", "v", "cache-dir", "ledger"}},
       {"diag", {"ledger", "report"}},
+      {"power", {"scale", "seed", "report", "cache-dir", "input"}},
       {"report-diff",
        {"max-regress", "max-eer-delta", "max-cavg-delta", "max-cllr-delta",
-        "max-adoption-precision-drop", "min-span-s"}},
+        "max-adoption-precision-drop", "max-energy-delta-pct", "min-span-s"}},
       {"pipeline", {"cache-dir"}},
   };
   return flags;
@@ -643,6 +654,20 @@ int cmd_diag(const Args& args) {
   const eval::DiagnosticsResult diag = eval::compute_diagnostics(ledger);
   std::fputs(eval::format_diagnostics(diag).c_str(), stdout);
 
+  // Echo this process's resource usage (same numbers as the report's
+  // "resource" section) so a diag run doubles as a quick cost check.
+  const obs::ResourceUsage usage = obs::current_resource_usage();
+  std::printf("\nresource: wall %.3f s", usage.wall_s);
+  if (usage.valid) {
+    std::printf(", user CPU %.3f s, system CPU %.3f s, peak RSS %.1f MiB, "
+                "ctx switches %ju voluntary / %ju involuntary",
+                usage.user_cpu_s, usage.system_cpu_s,
+                static_cast<double>(usage.peak_rss_bytes) / (1024.0 * 1024.0),
+                static_cast<std::uintmax_t>(usage.voluntary_ctx_switches),
+                static_cast<std::uintmax_t>(usage.involuntary_ctx_switches));
+  }
+  std::printf("\n");
+
   if (const std::string report_path = args.get("report", "");
       !report_path.empty()) {
     eval::publish_quality_gauges(diag);
@@ -656,6 +681,140 @@ int cmd_diag(const Args& args) {
     extra["quality"] = eval::diagnostics_json(diag);
     obs::write_report_file(report_path,
                            obs::build_report(meta, std::move(extra)));
+  }
+  return 0;
+}
+
+/// Per-stage energy/counter table from a schema-v1 report.  Shared by the
+/// live `phonolid power` run and `power --input report.json`, so committed
+/// BENCH_*.json baselines can be inspected the same way as a fresh run.
+std::string format_power_table(const obs::Json& report) {
+  std::ostringstream out;
+  char line[256];
+
+  const obs::Json* energy = report.find("energy");
+  const obs::Json* hw = report.find("hw");
+  const auto num = [](const obs::Json* obj, const char* key) {
+    const obs::Json* v = obj == nullptr ? nullptr : obj->find(key);
+    return v != nullptr && v->is_number() ? v->as_double() : 0.0;
+  };
+  const obs::Json* source =
+      energy == nullptr ? nullptr : energy->find("source");
+  const std::string source_text =
+      source != nullptr && source->is_string() ? source->as_string() : "off";
+  const double total_j = num(energy, "total_joules");
+
+  out << "energy source : " << source_text;
+  if (source_text == "software") {
+    std::snprintf(line, sizeof(line), " (%.3g J/GFLOP)",
+                  num(energy, "joules_per_gflop"));
+    out << line;
+  }
+  out << '\n';
+  std::snprintf(line, sizeof(line), "total joules  : %.6f\n", total_j);
+  out << line;
+  std::snprintf(line, sizeof(line), "total GFLOPs  : %.3f\n",
+                num(energy, "total_gflops"));
+  out << line;
+  std::snprintf(line, sizeof(line), "GFLOP per J   : %.3f\n",
+                num(energy, "gflops_per_watt"));
+  out << line;
+  const obs::Json* hw_avail = hw == nullptr ? nullptr : hw->find("available");
+  if (hw_avail != nullptr && hw_avail->is_bool() && hw_avail->as_bool()) {
+    std::snprintf(line, sizeof(line),
+                  "hw counters   : IPC %.2f, LLC miss rate %.3f, branch miss "
+                  "rate %.3f\n",
+                  num(hw, "ipc"), num(hw, "llc_miss_rate"),
+                  num(hw, "branch_miss_rate"));
+    out << line;
+  } else {
+    const obs::Json* reason =
+        hw == nullptr ? nullptr : hw->find("unavailable_reason");
+    out << "hw counters   : unavailable"
+        << (reason != nullptr && reason->is_string()
+                ? " (" + reason->as_string() + ")"
+                : std::string())
+        << '\n';
+  }
+
+  // One row per span that carries energy or counters, heaviest first.
+  struct Row {
+    std::string path;
+    double joules = 0.0;
+    double cycles = 0.0;
+    double instructions = 0.0;
+    double llc_misses = 0.0;
+  };
+  std::vector<Row> rows;
+  double attributed = 0.0;
+  if (const obs::Json* spans = report.find("spans");
+      spans != nullptr && spans->is_array()) {
+    for (const obs::Json& s : spans->as_array()) {
+      const obs::Json* path = s.find("path");
+      const obs::Json* joules = s.find("joules");
+      const obs::Json* span_hw = s.find("hw");
+      if (path == nullptr || !path->is_string()) continue;
+      if (joules == nullptr && span_hw == nullptr) continue;
+      Row row;
+      row.path = path->as_string();
+      if (joules != nullptr && joules->is_number()) {
+        row.joules = joules->as_double();
+        attributed += row.joules;
+      }
+      row.cycles = num(span_hw, "cycles");
+      row.instructions = num(span_hw, "instructions");
+      row.llc_misses = num(span_hw, "llc_misses");
+      rows.push_back(std::move(row));
+    }
+  }
+  if (total_j > attributed) {
+    rows.push_back({"(unattributed)", total_j - attributed, 0, 0, 0});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.joules > b.joules; });
+
+  out << '\n';
+  std::snprintf(line, sizeof(line), "%-64s %12s %6s %12s %12s %10s\n", "stage",
+                "joules", "%", "cycles", "instr", "llc-miss");
+  out << line;
+  for (const Row& row : rows) {
+    const double pct = total_j > 0.0 ? 100.0 * row.joules / total_j : 0.0;
+    std::snprintf(line, sizeof(line),
+                  "%-64s %12.6f %5.1f%% %12.0f %12.0f %10.0f\n",
+                  row.path.c_str(), row.joules, pct, row.cycles,
+                  row.instructions, row.llc_misses);
+    out << line;
+  }
+  const double sum = attributed + std::max(0.0, total_j - attributed);
+  std::snprintf(line, sizeof(line), "%-64s %12.6f %5.1f%%\n", "(sum)", sum,
+                total_j > 0.0 ? 100.0 * sum / total_j : 0.0);
+  out << line;
+  return out.str();
+}
+
+int cmd_power(const Args& args) {
+  if (const std::string input = args.get("input", ""); !input.empty()) {
+    std::fputs(format_power_table(load_json_file(input)).c_str(), stdout);
+    return 0;
+  }
+  const auto cfg = config_from(args);
+  const auto exp = core::Experiment::build(cfg);
+  // Score the baseline fusion so VSM scoring and calibration show up in the
+  // table alongside the build-time stages (training, decoding, features).
+  std::vector<const core::SubsystemScores*> blocks;
+  for (const auto& b : exp->baseline_scores()) blocks.push_back(&b);
+  (void)exp->evaluate(blocks);
+
+  obs::ReportMeta meta;
+  meta.tool = "phonolid";
+  meta.command = "power";
+  meta.scale = util::to_string(cfg.scale);
+  meta.seed = cfg.seed;
+  meta.threads = util::ThreadPool::global().num_threads();
+  const obs::Json report = obs::build_report(meta);
+  std::fputs(format_power_table(report).c_str(), stdout);
+  if (!cfg.report_path.empty()) {
+    obs::write_report_file(cfg.report_path, report);
   }
   return 0;
 }
@@ -709,6 +868,7 @@ int cmd_report_diff(const Args& args) {
   options.max_cllr_delta = args.get_double("max-cllr-delta", -1.0);
   options.max_adoption_precision_drop =
       args.get_double("max-adoption-precision-drop", -1.0);
+  options.max_energy_delta_pct = args.get_double("max-energy-delta-pct", -1.0);
   options.min_span_s = args.get_double("min-span-s", options.min_span_s);
   const obs::Json baseline = load_json_file(args.positionals[0]);
   const obs::Json current = load_json_file(args.positionals[1]);
@@ -727,6 +887,7 @@ int dispatch(const Args& args) {
   if (args.command == "export") return cmd_export(args);
   if (args.command == "explain") return cmd_explain(args);
   if (args.command == "diag") return cmd_diag(args);
+  if (args.command == "power") return cmd_power(args);
   if (args.command == "pipeline") return cmd_pipeline(args);
   if (args.command == "report-diff") return cmd_report_diff(args);
   usage();
