@@ -10,6 +10,7 @@
 #include "core/experiment.h"
 #include "obs/energy.h"
 #include "obs/exporters.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "util/options.h"
 
@@ -53,6 +54,14 @@ inline void maybe_write_report(const core::Experiment& exp,
                 obs::Energy::total_joules(),
                 obs::to_string(obs::Energy::source()),
                 obs::Energy::total_gflops());
+  }
+  // Same idea for the sampling profiler (PHONOLID_PROFILE=cpu): one summary
+  // line here, full tables via `phonolid flame --input <report>`.
+  if (obs::Profiler::available()) {
+    const obs::ProfileData p = obs::Profiler::snapshot();
+    std::printf("# profile: %llu samples (%llu dropped) at %d Hz\n",
+                static_cast<unsigned long long>(p.samples),
+                static_cast<unsigned long long>(p.dropped), p.hz);
   }
   const char* path = std::getenv("PHONOLID_REPORT");
   if (path == nullptr || *path == '\0') return;

@@ -10,10 +10,12 @@
 // the cost model section aggregates whole-pipeline wall time.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <memory>
 
 #include "bench_common.h"
 #include "core/experiment.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "util/options.h"
 
@@ -135,6 +137,56 @@ int main(int argc, char** argv) {
   }
   std::printf("  extra DBA cost (VSM retrain + rescore): %.2fs\n", c_extra);
   std::printf("  C_DBA / C_baseline = %.3f   (paper: ~1)\n", ratio);
+
+  // --- Profiler overhead (ISSUE 7 acceptance: < 5% at the default rate). ---
+  // Time a fixed decode workload with sampling off, then at the default Hz,
+  // on the same warm subsystem.  SIGPROF delivery + ring writes are the only
+  // difference between the two timings.
+  {
+    const auto& sub = exp.subsystem(0);
+    const auto& utt = long_test_utterance();
+    const auto time_decodes = [&](int reps) {
+      const auto start = std::chrono::steady_clock::now();
+      for (int r = 0; r < reps; ++r) {
+        benchmark::DoNotOptimize(sub.decode(utt));
+      }
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start)
+          .count();
+    };
+    (void)time_decodes(2);  // warm caches before either timing
+    const bool was_enabled = obs::Profiler::enabled();
+    obs::Profiler::stop();
+    // Interleave off/on rounds so clock drift, thermal throttling, or a
+    // noisy neighbour biases both sums equally instead of whichever
+    // happened to run second.
+    const int rounds = 5;
+    const int reps_per_round = 20;
+    double base_s = 0.0;
+    double profiled_s = 0.0;
+    bool profiler_ok = true;
+    for (int round = 0; round < rounds && profiler_ok; ++round) {
+      base_s += time_decodes(reps_per_round);
+      if (obs::Profiler::start(0)) {
+        profiled_s += time_decodes(reps_per_round);
+        obs::Profiler::stop();
+      } else {
+        profiler_ok = false;
+      }
+    }
+    if (was_enabled) obs::Profiler::start(0);
+    if (profiler_ok) {
+      const double overhead_pct =
+          base_s > 0.0 ? 100.0 * (profiled_s - base_s) / base_s : 0.0;
+      std::printf(
+          "  profiler overhead @ %d Hz: %.3fs -> %.3fs over %d decodes "
+          "(%+.2f%%)\n",
+          obs::Profiler::rate_hz(), base_s, profiled_s,
+          rounds * reps_per_round, overhead_pct);
+    } else {
+      std::printf("  profiler overhead: profiler unavailable on this host\n");
+    }
+  }
   bench::maybe_write_report(exp, "bench_table5_rtf");
   benchmark::Shutdown();
   return 0;

@@ -32,6 +32,13 @@ fi
 # tier-1 cold-cache smoke will trip its gate.
 export PHONOLID_ENERGY=software
 
+# Baselines never carry live profile data: sample counts and shares are
+# machine-dependent, so a baseline with them would make every tier-1
+# self-share diff noisy.  The committed reports record the profiler as
+# explicitly off; profiled runs still diff clean against them (a missing
+# numeric profile section is a note, never a violation).
+export PHONOLID_PROFILE=off
+
 # All three commands build the same experiment, so share one artifact store:
 # `run` trains and decodes everything cold, `det` and `votes` pull every
 # stage warm.  The same store also serves the bench/ binaries (they read

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification (see ROADMAP.md): full build + test suite, then the
 # concurrency-sensitive tests again under ThreadSanitizer to vet the
-# lock-free obs metrics / trace-span plumbing and the thread pool, then a
-# quick-scale end-to-end run with the flight recorder on, gated against the
-# committed baseline report via `phonolid report-diff`.
+# lock-free obs metrics / trace-span plumbing, the sampling profiler's
+# signal handler, and the thread pool, then a quick-scale end-to-end run
+# with the flight recorder on, gated against the committed baseline report
+# via `phonolid report-diff`, plus a profiled run that must yield folded
+# stacks and >= 95% sample attribution.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,12 +17,13 @@ cmake --build build -j
 (cd build && env -u PHONOLID_CACHE ctest --output-on-failure -j)
 
 cmake -B build-tsan -S . -DPHONOLID_SANITIZE=thread
-cmake --build build-tsan -j --target test_obs test_thread_pool test_pipeline_store test_la_kernels test_perf_energy
+cmake --build build-tsan -j --target test_obs test_thread_pool test_pipeline_store test_la_kernels test_perf_energy test_profiler
 ./build-tsan/tests/test_obs
 ./build-tsan/tests/test_thread_pool
 ./build-tsan/tests/test_pipeline_store
 ./build-tsan/tests/test_la_kernels
 ./build-tsan/tests/test_perf_energy
+./build-tsan/tests/test_profiler
 
 # Kernel microbenchmark smoke: one repetition at minimal time, just to prove
 # the harness runs and every registered shape executes.
@@ -72,15 +75,32 @@ cmp "$TMP/quick.ledger.jsonl" "$TMP/warm_t4.ledger.jsonl"
 # must stay within 1% of the committed baseline's joules.  This run gets its
 # own cold cache dir on purpose — software joules measure work actually
 # done, so a warm store (which skips AM training and decoding) would report
-# a fraction of the baseline's energy and trip the gate spuriously.
-PHONOLID_ENERGY=software ./build/tools/phonolid run --scale quick \
+# a fraction of the baseline's energy and trip the gate spuriously.  The
+# sampling CPU profiler rides along on the same run (software joules count
+# work, not wall time, so sampling cannot perturb the energy gate) and must
+# leave folded stacks plus a populated "profile" report section behind.
+PHONOLID_ENERGY=software PHONOLID_PROFILE=cpu \
+  PHONOLID_PROFILE_OUT="$TMP/quick.folded" \
+  ./build/tools/phonolid run --scale quick \
   --report "$TMP/energy.report.json" --cache-dir "$TMP/energy-cache"
+test -s "$TMP/quick.folded"
 ./build/tools/phonolid report-diff BENCH_quick_run.json "$TMP/energy.report.json" \
   --max-energy-delta-pct 1 --max-eer-delta 0.02 --max-cavg-delta 0.02 \
-  --max-cllr-delta 0.25 --max-adoption-precision-drop 0.05
+  --max-cllr-delta 0.25 --max-adoption-precision-drop 0.05 \
+  --max-self-share-delta 0.2
 # Per-stage watts table, kept with the CI artifacts.
 ./build/tools/phonolid power --input "$TMP/energy.report.json" \
   | tee "$TMP/quick.power.txt"
+# Flame table from the same report; the profile must attribute >= 95% of
+# samples to named functions (the profiler is useless if most samples only
+# say "libm.so.6+0x..."), and the self-share gate must pass a self-diff at
+# a zero threshold (identical reports have zero share deltas).
+./build/tools/phonolid flame --input "$TMP/energy.report.json" \
+  | tee "$TMP/quick.flame.txt"
+grep -Eo '[0-9.]+% of samples attributed' "$TMP/quick.flame.txt" \
+  | awk -F% '{ if ($1 < 95) { print "profile attribution below 95%: " $1 "%"; exit 1 } }'
+./build/tools/phonolid report-diff "$TMP/energy.report.json" \
+  "$TMP/energy.report.json" --max-self-share-delta 0 > /dev/null
 
 # Decision-ledger surface smoke: diag must summarize the ledger, explain
 # must resolve a recorded utterance id, and an unknown id must exit 2.
@@ -100,6 +120,7 @@ ARTIFACTS="build/tier1-artifacts"
 rm -rf "$ARTIFACTS" && mkdir -p "$ARTIFACTS"
 cp "$TMP/quick.report.json" "$TMP/quick.ledger.jsonl" "$TMP/quick.trace.json" \
    "$TMP/quick.prom" "$TMP/energy.report.json" "$TMP/quick.power.txt" \
+   "$TMP/quick.folded" "$TMP/quick.flame.txt" \
    "$ARTIFACTS/"
 
 echo "tier-1 OK"

@@ -1,5 +1,6 @@
 #include "obs/exporters.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cinttypes>
 #include <cstdio>
@@ -7,12 +8,14 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "obs/energy.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/perf.h"
+#include "obs/profiler.h"
 
 namespace phonolid::obs {
 
@@ -143,26 +146,36 @@ std::string prom_number(double v) {
 }  // namespace
 
 std::string prometheus_text() {
-  std::ostringstream out;
+  // Each metric renders into one (exported name, block) pair; the blocks
+  // are then sorted by name so the export is byte-stable regardless of the
+  // metric kind or registration order — diffable across runs.
+  std::vector<std::pair<std::string, std::string>> blocks;
   for (const auto& [name, value] : Metrics::counters()) {
     const std::string n = prom_name(name) + "_total";
+    std::ostringstream out;
     out << "# TYPE " << n << " counter\n";
     out << n << ' ' << value << '\n';
+    blocks.emplace_back(n, out.str());
   }
   for (const auto& [name, g] : Metrics::gauges()) {
     const std::string n = prom_name(name);
+    std::ostringstream out;
     out << "# TYPE " << n << " gauge\n";
     out << n << ' ' << g.value << '\n';
     out << "# TYPE " << n << "_max gauge\n";
     out << n << "_max " << g.max << '\n';
+    blocks.emplace_back(n, out.str());
   }
   for (const auto& [name, value] : Metrics::float_gauges()) {
     const std::string n = prom_name(name);
+    std::ostringstream out;
     out << "# TYPE " << n << " gauge\n";
     out << n << ' ' << prom_number(value) << '\n';
+    blocks.emplace_back(n, out.str());
   }
   for (const auto& [name, h] : Metrics::histograms()) {
     const std::string n = prom_name(name);
+    std::ostringstream out;
     out << "# TYPE " << n << " histogram\n";
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < h.counts.size(); ++i) {
@@ -173,8 +186,12 @@ std::string prometheus_text() {
     }
     out << n << "_sum " << prom_number(h.sum) << '\n';
     out << n << "_count " << h.count << '\n';
+    blocks.emplace_back(n, out.str());
   }
-  return out.str();
+  std::sort(blocks.begin(), blocks.end());
+  std::string text;
+  for (const auto& [name, block] : blocks) text += block;
+  return text;
 }
 
 void write_prometheus(const std::string& path) {
@@ -189,12 +206,78 @@ void write_prometheus(const std::string& path) {
   }
 }
 
+namespace {
+
+/// A frame name inside a folded line must not contain the separators the
+/// format assigns meaning to: ';' splits frames and the *last* space splits
+/// the count off, so embedded newlines/semicolons are rewritten.
+std::string folded_frame(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == ';' || c == '\n' || c == '\r') c = ':';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string folded_stacks_text() {
+  const ProfileData data = Profiler::snapshot();
+  // Byte-stable output: one line per aggregated stack, sorted by line text.
+  std::vector<std::string> lines;
+  lines.reserve(data.stacks.size());
+  for (const ProfileStack& stack : data.stacks) {
+    std::string line;
+    // Span-path components become synthetic root frames, so the flamegraph
+    // groups statistical stacks under the spans that ran them.
+    if (!stack.span_path.empty()) {
+      std::size_t begin = 0;
+      while (begin <= stack.span_path.size()) {
+        const std::size_t slash = stack.span_path.find('/', begin);
+        const std::size_t end =
+            slash == std::string::npos ? stack.span_path.size() : slash;
+        line += "span:";
+        line += folded_frame(stack.span_path.substr(begin, end - begin));
+        line.push_back(';');
+        if (slash == std::string::npos) break;
+        begin = slash + 1;
+      }
+    }
+    for (std::size_t i = 0; i < stack.frames.size(); ++i) {
+      if (i > 0) line.push_back(';');
+      line += folded_frame(stack.frames[i]);
+    }
+    line.push_back(' ');
+    line += std::to_string(stack.count);
+    line.push_back('\n');
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string text;
+  for (const std::string& line : lines) text += line;
+  return text;
+}
+
+void write_folded_stacks(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_folded_stacks: cannot open '" + path +
+                             "'");
+  }
+  out << folded_stacks_text();
+  if (!out.good()) {
+    throw std::runtime_error("write_folded_stacks: write failed for '" +
+                             path + "'");
+  }
+}
+
 void enable_recorder_from_env() {
   // Counter and energy accounting are on for every entry point (they cost a
   // few relaxed atomics per span); only the flight recorder is gated on
   // PHONOLID_TRACE below.
   Perf::init_from_env();
   Energy::init_from_env();
+  Profiler::init_from_env();
   const char* path = std::getenv("PHONOLID_TRACE");
   if (path == nullptr || *path == '\0') return;
   std::size_t capacity = 0;
@@ -230,6 +313,17 @@ void export_from_env() noexcept {
       std::fprintf(stderr, "phonolid: wrote Prometheus metrics to %s\n", path);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "phonolid: prometheus export failed: %s\n",
+                   e.what());
+    }
+  }
+  if (const char* path = std::getenv("PHONOLID_PROFILE_OUT");
+      path != nullptr && *path != '\0') {
+    Profiler::stop();  // quiesce sampling before the final drain
+    try {
+      write_folded_stacks(path);
+      std::fprintf(stderr, "phonolid: wrote folded stacks to %s\n", path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "phonolid: folded-stack export failed: %s\n",
                    e.what());
     }
   }

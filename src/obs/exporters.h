@@ -23,6 +23,8 @@
 //   PHONOLID_TRACE=out.trace.json   (also enables the flight recorder)
 //   PHONOLID_PROM=out.prom
 //   PHONOLID_TRACE_CAPACITY=N       (per-thread ring capacity, events)
+//   PHONOLID_PROFILE_OUT=out.folded (folded stacks from the CPU profiler;
+//                                    see obs/profiler.h for PHONOLID_PROFILE)
 #pragma once
 
 #include <string>
@@ -44,6 +46,16 @@ void write_chrome_trace(const std::string& path);
 /// Serialize prometheus_text() to `path` (throws std::runtime_error on
 /// I/O failure).
 void write_prometheus(const std::string& path);
+
+/// The sampling profiler's aggregated stacks in folded format — one
+/// "frameA;frameB;leaf <count>" line per unique stack, root first, span
+/// path components prefixed as "span:<name>" frames.  Loadable by
+/// flamegraph.pl and speedscope.  Empty when nothing was sampled.
+[[nodiscard]] std::string folded_stacks_text();
+
+/// Serialize folded_stacks_text() to `path` (throws std::runtime_error on
+/// I/O failure).
+void write_folded_stacks(const std::string& path);
 
 /// When PHONOLID_TRACE is set, enables the flight recorder (honoring
 /// PHONOLID_TRACE_CAPACITY) and names the calling thread "main".  Call

@@ -15,6 +15,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/perf.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace phonolid::obs {
@@ -96,7 +97,7 @@ std::string iso8601_utc_now() {
       duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
   std::tm tm{};
   gmtime_r(&secs, &tm);
-  char buf[40];
+  char buf[96];  // covers snprintf's worst-case %d widths (format-truncation)
   std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
                 tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
                 tm.tm_min, tm.tm_sec, static_cast<int>(ms));
@@ -207,6 +208,7 @@ Json build_report(const ReportMeta& meta, Json extra) {
   doc["resource"] = resource_json();
   doc["energy"] = Energy::energy_json();
   doc["hw"] = Perf::hw_json();
+  doc["profile"] = Profiler::profile_json();
 
   for (auto& [key, value] : extra.as_object()) {
     doc[key] = std::move(value);

@@ -1,8 +1,10 @@
 #include "obs/report_diff.h"
 
 #include <cstdio>
+#include <initializer_list>
 #include <map>
 #include <sstream>
+#include <string>
 
 namespace phonolid::obs {
 
@@ -103,6 +105,80 @@ const char* energy_source(const Json& report) {
   const Json* source = energy == nullptr ? nullptr : energy->find("source");
   return source != nullptr && source->is_string() ? source->as_string().c_str()
                                                   : nullptr;
+}
+
+/// Flatten the "profile" section's *share* leaves, keyed by function name /
+/// span path rather than array index so the comparison is stable when the
+/// top-N ordering shifts between runs.  Raw sample counts are machine- and
+/// duration-dependent, so only the section scalars that are meaningful to
+/// compare (hz, symbolized_share) and the 0..1 share leaves are emitted.
+std::map<std::string, double> profile_leaves(const Json& report) {
+  std::map<std::string, double> out;
+  const Json* profile = report.find("profile");
+  if (profile == nullptr || !profile->is_object()) return out;
+  for (const char* key : {"hz", "symbolized_share"}) {
+    if (const Json* v = profile->find(key); v != nullptr && v->is_number()) {
+      out[std::string("profile/") + key] = v->as_double();
+    }
+  }
+  if (const Json* functions = profile->find("functions");
+      functions != nullptr && functions->is_array()) {
+    for (const Json& fn : functions->as_array()) {
+      const Json* name = fn.find("name");
+      if (name == nullptr || !name->is_string()) continue;
+      const std::string prefix = "profile/functions/" + name->as_string();
+      for (const char* key : {"self_share", "total_share"}) {
+        if (const Json* v = fn.find(key); v != nullptr && v->is_number()) {
+          out[prefix + "/" + key] = v->as_double();
+        }
+      }
+    }
+  }
+  if (const Json* spans = profile->find("spans");
+      spans != nullptr && spans->is_array()) {
+    for (const Json& span : spans->as_array()) {
+      const Json* path = span.find("path");
+      const Json* share = span.find("share");
+      if (path != nullptr && path->is_string() && share != nullptr &&
+          share->is_number()) {
+        out["profile/spans/" + path->as_string() + "/share"] =
+            share->as_double();
+      }
+    }
+  }
+  return out;
+}
+
+/// A numeric leaf fetched by path, or 0 when absent/non-numeric.
+double numeric_at(const Json& report,
+                  std::initializer_list<const char*> path) {
+  const Json* node = &report;
+  for (const char* key : path) {
+    node = node->is_object() ? node->find(key) : nullptr;
+    if (node == nullptr) return 0.0;
+  }
+  return node->is_number() ? node->as_double() : 0.0;
+}
+
+/// Nonzero ring-drop counts mean the trace/profile under comparison is
+/// incomplete; say so loudly instead of letting a truncated run pass a gate.
+void note_drops(const Json& report, const char* side,
+                ReportDiffResult& result) {
+  const double recorder_drops =
+      numeric_at(report, {"resource", "flight_recorder", "dropped_events"});
+  if (recorder_drops > 0) {
+    result.notes.push_back(
+        "WARNING: " + std::string(side) + " dropped " +
+        std::to_string(static_cast<long long>(recorder_drops)) +
+        " flight-recorder events — its trace is truncated");
+  }
+  const double profile_drops = numeric_at(report, {"profile", "dropped"});
+  if (profile_drops > 0) {
+    result.notes.push_back(
+        "WARNING: " + std::string(side) + " dropped " +
+        std::to_string(static_cast<long long>(profile_drops)) +
+        " profiler samples — its profile is incomplete");
+  }
 }
 
 bool ends_with(const std::string& s, const std::string& suffix) {
@@ -278,6 +354,27 @@ ReportDiffResult diff_reports(const Json& baseline, const Json& current,
                  result.rows.push_back(std::move(row));
                });
 
+  compare_maps(profile_leaves(baseline), profile_leaves(current), "profile",
+               result, [&](const std::string& key, double b, double c) {
+                 ReportDiffRow row;
+                 row.kind = "profile";
+                 row.key = key;
+                 row.base = b;
+                 row.cur = c;
+                 row.gated = options.max_self_share_delta >= 0.0 &&
+                             key.rfind("profile/functions/", 0) == 0 &&
+                             ends_with(key, "/self_share");
+                 if (row.gated) {
+                   row.gate = "max-self-share-delta";
+                   row.threshold = options.max_self_share_delta;
+                   row.violation = (c - b) > options.max_self_share_delta;
+                 }
+                 result.rows.push_back(std::move(row));
+               });
+
+  note_drops(baseline, "baseline", result);
+  note_drops(current, "current", result);
+
   for (const ReportDiffRow& row : result.rows) {
     if (row.violation) result.violated = true;
   }
@@ -295,7 +392,7 @@ std::string ReportDiffResult::format() const {
     // Unchanged counter/resource/hw rows are the bulk of a same-machine
     // diff; elide them.
     if ((row.kind == "counter" || row.kind == "resource" ||
-         row.kind == "hw") &&
+         row.kind == "hw" || row.kind == "profile") &&
         row.base == row.cur && !row.violation) {
       ++hidden;
       continue;

@@ -25,6 +25,13 @@
 //     change threadpool.* volume across machines).
 //   - "resource" leaves (peak RSS, CPU time, recorder drops) are reported
 //     when they differ but never gate — they vary across machines.
+//   - "profile" share leaves (per-function self/total sample shares, per-
+//     span sample shares from the sampling CPU profiler) are compared by
+//     *name*, and function self_share leaves gate on absolute increase via
+//     max_self_share_delta; raw sample counts are report-only.  Nonzero
+//     flight-recorder or profiler drop counts on either side are surfaced
+//     as warning notes — a truncated trace or profile must not pass a gate
+//     silently.
 //   - "energy" leaves gate on relative increase: total_joules and
 //     joules-per-utterance leaves growing by more than max_energy_delta_pct
 //     percent are violations; other energy leaves (and everything under
@@ -67,6 +74,13 @@ struct ReportDiffOptions {
   /// mismatch); software-model joules are deterministic, so a tight
   /// threshold (~1%) works in CI.
   double max_energy_delta_pct = -1.0;
+  /// Max allowed absolute increase of a function's profile self-time share
+  /// (profile/functions/<name>/self_share, a 0..1 fraction of all samples);
+  /// negative = don't gate the profile.  Raw sample counts are
+  /// machine-dependent and never gate; only shares of the same function on
+  /// both sides do, and a missing "profile" section stays a note, so old
+  /// baselines diff clean.
+  double max_self_share_delta = -1.0;
   /// Spans with a baseline mean below this (seconds) are never gated.
   double min_span_s = 0.01;
 };

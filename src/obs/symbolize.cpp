@@ -1,0 +1,241 @@
+#include "obs/symbolize.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+#include <vector>
+
+#if defined(__linux__)
+#include <dlfcn.h>
+#include <elf.h>
+#include <link.h>
+#include <unistd.h>
+#endif
+#if defined(__GNUG__)
+#include <cxxabi.h>
+#endif
+
+namespace phonolid::obs {
+
+namespace {
+
+#if defined(__linux__)
+
+/// One STT_FUNC entry from a module's symbol table, addresses relative to
+/// the module's load base (link-time vaddr for ET_EXEC, file offset from
+/// base for ET_DYN — dl_iterate_phdr's dlpi_addr normalizes both).
+struct FuncSym {
+  std::uintptr_t addr = 0;
+  std::uintptr_t size = 0;
+  std::uint32_t name_off = 0;
+  bool operator<(const FuncSym& o) const { return addr < o.addr; }
+};
+
+struct Module {
+  std::uintptr_t base = 0;  // dlpi_addr
+  std::uintptr_t lo = 0, hi = 0;  // executable-segment pc range
+  std::string path;
+  bool parsed = false;
+  std::vector<FuncSym> funcs;  // sorted by addr
+  std::string strtab;
+
+  void parse_symbols();
+};
+
+/// Read a module's .symtab (preferred — it has local symbols) or .dynsym.
+/// Any malformed or unreadable file just leaves `funcs` empty; the caller
+/// falls back to dladdr.
+void Module::parse_symbols() {
+  parsed = true;
+  if (path.empty()) return;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;
+  std::vector<char> file((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const auto in_bounds = [&](std::size_t off, std::size_t len) {
+    return off <= file.size() && len <= file.size() - off;
+  };
+  if (!in_bounds(0, sizeof(ElfW(Ehdr)))) return;
+  ElfW(Ehdr) eh;
+  std::memcpy(&eh, file.data(), sizeof(eh));
+  if (std::memcmp(eh.e_ident, ELFMAG, SELFMAG) != 0) return;
+  if (eh.e_shentsize != sizeof(ElfW(Shdr))) return;
+  if (!in_bounds(eh.e_shoff, static_cast<std::size_t>(eh.e_shnum) *
+                                 sizeof(ElfW(Shdr)))) {
+    return;
+  }
+  std::vector<ElfW(Shdr)> sections(eh.e_shnum);
+  std::memcpy(sections.data(), file.data() + eh.e_shoff,
+              sections.size() * sizeof(ElfW(Shdr)));
+
+  const ElfW(Shdr)* symtab = nullptr;
+  for (const auto& sh : sections) {  // prefer .symtab over .dynsym
+    if (sh.sh_type == SHT_SYMTAB) symtab = &sh;
+  }
+  if (symtab == nullptr) {
+    for (const auto& sh : sections) {
+      if (sh.sh_type == SHT_DYNSYM) symtab = &sh;
+    }
+  }
+  if (symtab == nullptr || symtab->sh_entsize != sizeof(ElfW(Sym)) ||
+      symtab->sh_link >= sections.size()) {
+    return;
+  }
+  const ElfW(Shdr)& str = sections[symtab->sh_link];
+  if (!in_bounds(symtab->sh_offset, symtab->sh_size) ||
+      !in_bounds(str.sh_offset, str.sh_size)) {
+    return;
+  }
+  strtab.assign(file.data() + str.sh_offset, str.sh_size);
+  const std::size_t count = symtab->sh_size / sizeof(ElfW(Sym));
+  funcs.reserve(count / 4);
+  for (std::size_t i = 0; i < count; ++i) {
+    ElfW(Sym) sym;
+    std::memcpy(&sym, file.data() + symtab->sh_offset + i * sizeof(sym),
+                sizeof(sym));
+    if ((sym.st_info & 0xf) != STT_FUNC) continue;  // ELF*_ST_TYPE
+    if (sym.st_value == 0 || sym.st_shndx == SHN_UNDEF) continue;
+    if (sym.st_name >= strtab.size()) continue;
+    FuncSym f;
+    f.addr = static_cast<std::uintptr_t>(sym.st_value);
+    f.size = static_cast<std::uintptr_t>(sym.st_size);
+    f.name_off = sym.st_name;
+    funcs.push_back(f);
+  }
+  std::sort(funcs.begin(), funcs.end());
+}
+
+#endif  // __linux__
+
+std::string basename_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+struct Symbolizer::Impl {
+#if defined(__linux__)
+  std::vector<Module> modules;  // sorted by lo
+#endif
+  std::unordered_map<std::uintptr_t, Symbol> cache;
+};
+
+#if defined(__linux__)
+namespace {
+
+int collect_module(dl_phdr_info* info, std::size_t, void* data) {
+  auto* modules = static_cast<std::vector<Module>*>(data);
+  for (int i = 0; i < info->dlpi_phnum; ++i) {
+    const auto& ph = info->dlpi_phdr[i];
+    if (ph.p_type != PT_LOAD || (ph.p_flags & PF_X) == 0) continue;
+    Module m;
+    m.base = info->dlpi_addr;
+    m.lo = info->dlpi_addr + ph.p_vaddr;
+    m.hi = m.lo + ph.p_memsz;
+    m.path = info->dlpi_name != nullptr ? info->dlpi_name : "";
+    if (m.path.empty()) {
+      // The main executable reports an empty name; resolve it so its
+      // .symtab (with all the anonymous-namespace locals) is parseable.
+      char buf[4096];
+      const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+      if (n > 0) m.path.assign(buf, static_cast<std::size_t>(n));
+    }
+    modules->push_back(std::move(m));
+  }
+  return 0;
+}
+
+}  // namespace
+#endif  // __linux__
+
+Symbolizer::Symbolizer() : impl_(new Impl) {
+#if defined(__linux__)
+  dl_iterate_phdr(collect_module, &impl_->modules);
+  std::sort(impl_->modules.begin(), impl_->modules.end(),
+            [](const Module& a, const Module& b) { return a.lo < b.lo; });
+#endif
+}
+
+Symbolizer::~Symbolizer() { delete impl_; }
+
+std::string Symbolizer::demangle(const char* mangled) {
+#if defined(__GNUG__)
+  int status = 0;
+  char* out = abi::__cxa_demangle(mangled, nullptr, nullptr, &status);
+  if (status == 0 && out != nullptr) {
+    std::string s(out);
+    std::free(out);
+    return s;
+  }
+  std::free(out);
+#endif
+  return mangled;
+}
+
+const Symbol& Symbolizer::lookup(std::uintptr_t pc) {
+  if (const auto it = impl_->cache.find(pc); it != impl_->cache.end()) {
+    return it->second;
+  }
+  Symbol sym;
+#if defined(__linux__)
+  Module* mod = nullptr;
+  for (auto& m : impl_->modules) {
+    if (pc >= m.lo && pc < m.hi) {
+      mod = &m;
+      break;
+    }
+  }
+  if (mod != nullptr) {
+    sym.module = basename_of(mod->path);
+    sym.offset = pc - mod->base;
+    if (!mod->parsed) mod->parse_symbols();
+    const std::uintptr_t rel = pc - mod->base;
+    // Last symbol starting at or before rel; accept when rel falls inside
+    // its extent (zero-size symbols accept any pc up to the next symbol).
+    auto it = std::upper_bound(mod->funcs.begin(), mod->funcs.end(),
+                               FuncSym{rel, 0, 0});
+    if (it != mod->funcs.begin()) {
+      --it;
+      const std::uintptr_t end =
+          it->size != 0 ? it->addr + it->size
+                        : (std::next(it) != mod->funcs.end()
+                               ? std::next(it)->addr
+                               : rel + 1);
+      if (rel >= it->addr && rel < end) {
+        sym.name = demangle(mod->strtab.c_str() + it->name_off);
+        sym.offset = rel - it->addr;
+        sym.symbolized = true;
+      }
+    }
+  }
+  if (!sym.symbolized) {
+    Dl_info info{};
+    if (dladdr(reinterpret_cast<void*>(pc), &info) != 0) {
+      if (sym.module.empty() && info.dli_fname != nullptr) {
+        sym.module = basename_of(info.dli_fname);
+      }
+      if (info.dli_sname != nullptr) {
+        sym.name = demangle(info.dli_sname);
+        sym.offset = pc - reinterpret_cast<std::uintptr_t>(info.dli_saddr);
+        sym.symbolized = true;
+      }
+    }
+  }
+#endif
+  if (!sym.symbolized) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s+0x%llx",
+                  sym.module.empty() ? "??" : sym.module.c_str(),
+                  static_cast<unsigned long long>(sym.offset != 0
+                                                      ? sym.offset
+                                                      : pc));
+    sym.name = buf;
+  }
+  return impl_->cache.emplace(pc, std::move(sym)).first->second;
+}
+
+}  // namespace phonolid::obs

@@ -1,0 +1,58 @@
+// Lazy program-counter symbolization for the sampling profiler.
+//
+// The profiler's signal handler records raw return addresses; nothing is
+// resolved until a report or folded-stack export asks for names.  Lookup
+// goes through three tiers:
+//
+//   1. the containing module's own ELF symbol table (.symtab, falling back
+//      to .dynsym), parsed once per module from the file named by
+//      dl_iterate_phdr.  This resolves *local* symbols — anonymous-namespace
+//      helpers, file-static functions — that dladdr cannot see, which is
+//      what gets the symbolized-frame share above 95% on a statically
+//      linked binary;
+//   2. dladdr(), for modules whose file cannot be read (the vDSO, ASAN
+//      shims);
+//   3. a "module+0x<offset>" placeholder, so a frame is never silently
+//      dropped.
+//
+// C++ names are demangled with abi::__cxa_demangle.  All lookups are cached
+// by exact pc, so symbolizing a drained profile touches each unique address
+// once.  This layer is NOT async-signal-safe and must only run at flush
+// time, never from the sampling handler.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace phonolid::obs {
+
+/// One resolved program counter.
+struct Symbol {
+  std::string name;    // demangled symbol, or "module+0x<off>" placeholder
+  std::string module;  // basename of the containing object ("" if unknown)
+  std::uint64_t offset = 0;  // pc - symbol start (or pc - module base)
+  bool symbolized = false;   // true when a real symbol name was found
+};
+
+class Symbolizer {
+ public:
+  /// Snapshots the loaded-module list (dl_iterate_phdr) at construction.
+  Symbolizer();
+  ~Symbolizer();
+  Symbolizer(const Symbolizer&) = delete;
+  Symbolizer& operator=(const Symbolizer&) = delete;
+
+  /// Resolve one pc; cached, so repeated addresses are a hash lookup.
+  /// The reference stays valid for the Symbolizer's lifetime.
+  const Symbol& lookup(std::uintptr_t pc);
+
+  /// Demangle a mangled C++ name; returns the input unchanged when it is
+  /// not a mangled name (or no demangler is available).
+  [[nodiscard]] static std::string demangle(const char* mangled);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace phonolid::obs

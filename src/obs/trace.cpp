@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include "obs/profiler.h"
+
 #include <algorithm>
 #include <ctime>
 #include <mutex>
@@ -93,6 +95,7 @@ Span::Span(const char* name) noexcept : name_(name) {
     if (!t.path.empty()) t.path.push_back('/');
     t.path.append(name);
   }
+  Profiler::on_span_enter(name);
   FlightRecorder::begin(name);
   hw_valid_ = Perf::read_thread(hw_start_);
   cpu_start_s_ = thread_cpu_seconds();
@@ -112,6 +115,7 @@ double Span::stop() noexcept {
   const bool hw_ok = hw_valid_ && Perf::read_thread(hw_now);
   if (hw_ok) hw_delta = hw_now.delta(hw_start_);
   FlightRecorder::end(name_, args_, num_args_);
+  Profiler::on_span_exit();
   ThreadTable& t = thread_table();
   {
     std::lock_guard lock(t.mutex);

@@ -7,6 +7,7 @@
 
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace phonolid::util {
 
@@ -90,6 +91,9 @@ void ThreadPool::run_task(QueuedTask& item) {
 void ThreadPool::worker_loop(std::size_t worker_index) {
   obs::FlightRecorder::set_thread_name("pool-worker-" +
                                        std::to_string(worker_index));
+  // Register with the sampling profiler up front so a profiled run samples
+  // workers from their first task (arms this thread's timer if running).
+  obs::Profiler::register_thread();
   for (;;) {
     QueuedTask item;
     {

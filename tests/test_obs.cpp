@@ -686,6 +686,26 @@ TEST(Prometheus, TextFormatExposesAllMetricKinds) {
             std::string::npos);
 }
 
+TEST(Prometheus, OutputSortedByExportedNameAcrossKinds) {
+  // Register deliberately out of lexical order, mixing kinds: export order
+  // must depend only on the exported family name, never on registration
+  // order or metric kind, so the text is byte-stable and diffable.
+  obs::Metrics::histogram("test.zorder.cc", {1.0}).observe(0.5);
+  obs::Metrics::counter("test.zorder.aa").add(1);
+  obs::Metrics::gauge("test.zorder.bb").set(2);
+  const std::string text = obs::prometheus_text();
+  const auto pos_a = text.find("phonolid_test_zorder_aa_total ");
+  const auto pos_b = text.find("phonolid_test_zorder_bb ");
+  const auto pos_c = text.find("phonolid_test_zorder_cc_sum ");
+  ASSERT_NE(pos_a, std::string::npos);
+  ASSERT_NE(pos_b, std::string::npos);
+  ASSERT_NE(pos_c, std::string::npos);
+  EXPECT_LT(pos_a, pos_b);
+  EXPECT_LT(pos_b, pos_c);
+  // Byte-stability: a second export of the same registry is identical.
+  EXPECT_EQ(text, obs::prometheus_text());
+}
+
 // --- report-diff ----------------------------------------------------------
 
 /// Minimal schema-v1 run report with one slow span, one sub-threshold span,

@@ -13,7 +13,13 @@
 //                                                   a decision ledger
 //   phonolid power   [--input report.json]          per-stage energy and
 //                                                   hardware-counter table
+//   phonolid flame   [--input report.json]          sampling-profiler top
+//                                                   table (self/total time)
+//   phonolid profile [--hz N] [--out f.folded] <command...>
+//                                                   run any command under the
+//                                                   CPU profiler
 //   phonolid report-diff base.json cur.json         compare two run reports
+//   phonolid version                                schema/format versions
 //
 // Global flags: --scale quick|default|full, --seed <uint>,
 // --report out.json (structured JSON run report), --ledger out.jsonl
@@ -40,7 +46,9 @@
 #include "obs/exporters.h"
 #include "obs/ledger.h"
 #include "pipeline/artifact_store.h"
+#include "pipeline/stage_key.h"
 #include "obs/flight_recorder.h"
+#include "obs/profiler.h"
 #include "obs/report.h"
 #include "obs/report_diff.h"
 #include "util/math_util.h"
@@ -76,13 +84,22 @@ void usage() {
       "               power --input report.json          table from a report\n"
       "               (energy source: PHONOLID_ENERGY=rapl|software|off,\n"
       "               default auto = RAPL when readable, else software model)\n"
+      "  flame        sampling-profiler top table (self/total samples):\n"
+      "               flame [--scale S] [--cache-dir D]  profile a live run\n"
+      "               flame --input report.json          table from a report\n"
+      "  profile      run any command under the sampling CPU profiler:\n"
+      "               profile [--hz N] [--out out.folded] <command> [flags]\n"
+      "               prints the flame table after the run; --out writes\n"
+      "               folded stacks for flamegraph.pl / speedscope\n"
       "  report-diff  compare two structured run reports:\n"
       "               report-diff baseline.json current.json\n"
       "                 [--max-regress pct] [--max-eer-delta x]\n"
       "                 [--max-cavg-delta x] [--max-cllr-delta x]\n"
       "                 [--max-adoption-precision-drop x]\n"
       "                 [--max-energy-delta-pct pct] [--min-span-s s]\n"
+      "                 [--max-self-share-delta x]\n"
       "               exits 1 when a threshold is violated\n"
+      "  version      print schema/format versions and build flags\n"
       "  pipeline     artifact-store maintenance:\n"
       "               pipeline status [--cache-dir D]  entry count + bytes\n"
       "               pipeline gc     [--cache-dir D]  drop corrupt/stale\n"
@@ -96,7 +113,9 @@ void usage() {
       "              models, supervectors, VSMs) so re-runs skip training\n"
       "              and decoding; $PHONOLID_CACHE is the env fallback\n"
       "env: PHONOLID_TRACE=t.json PHONOLID_PROM=m.prom  record and export a\n"
-      "     flight-recorder trace / Prometheus metrics from any command\n");
+      "     flight-recorder trace / Prometheus metrics from any command\n"
+      "     PHONOLID_PROFILE=cpu PHONOLID_PROFILE_HZ=N  sample CPU stacks\n"
+      "     PHONOLID_PROFILE_OUT=out.folded  write folded stacks at exit\n");
 }
 
 struct Args {
@@ -159,10 +178,13 @@ const std::map<std::string, std::set<std::string>>& command_flags() {
       {"explain", {"scale", "seed", "v", "cache-dir", "ledger"}},
       {"diag", {"ledger", "report"}},
       {"power", {"scale", "seed", "report", "cache-dir", "input"}},
+      {"flame", {"scale", "seed", "report", "cache-dir", "input"}},
       {"report-diff",
        {"max-regress", "max-eer-delta", "max-cavg-delta", "max-cllr-delta",
-        "max-adoption-precision-drop", "max-energy-delta-pct", "min-span-s"}},
+        "max-adoption-precision-drop", "max-energy-delta-pct", "min-span-s",
+        "max-self-share-delta"}},
       {"pipeline", {"cache-dir"}},
+      {"version", {}},
   };
   return flags;
 }
@@ -819,6 +841,157 @@ int cmd_power(const Args& args) {
   return 0;
 }
 
+/// Top-functions / per-span table from a report's "profile" section (or a
+/// live Profiler::profile_json() document).  Shared by `phonolid flame`,
+/// `flame --input report.json`, and the `profile` wrapper's exit summary.
+std::string format_flame_table(const obs::Json* profile) {
+  std::ostringstream out;
+  char line[512];
+  if (profile == nullptr || !profile->is_object()) {
+    out << "profile       : (no profile section in this report)\n";
+    return out.str();
+  }
+  const auto num = [&](const char* key) {
+    const obs::Json* v = profile->find(key);
+    return v != nullptr && v->is_number() ? v->as_double() : 0.0;
+  };
+  const obs::Json* available = profile->find("available");
+  if (available == nullptr || !available->is_bool() ||
+      !available->as_bool()) {
+    const obs::Json* source = profile->find("source");
+    const obs::Json* reason = profile->find("unavailable_reason");
+    out << "profile       : unavailable";
+    if (source != nullptr && source->is_string() &&
+        source->as_string() == "off") {
+      out << " (profiling was off; set PHONOLID_PROFILE=cpu or use "
+             "`phonolid profile`)";
+    } else if (reason != nullptr && reason->is_string()) {
+      out << " (" << reason->as_string() << ")";
+    }
+    out << '\n';
+    return out.str();
+  }
+  const double samples = num("samples");
+  std::snprintf(line, sizeof(line), "profile       : cpu @ %.0f Hz\n",
+                num("hz"));
+  out << line;
+  std::snprintf(line, sizeof(line), "samples       : %.0f (%.0f dropped)\n",
+                samples, num("dropped"));
+  out << line;
+  std::snprintf(line, sizeof(line),
+                "symbolized    : %.1f%% of frames, %.1f%% of samples "
+                "attributed to a named function\n",
+                100.0 * num("symbolized_share"),
+                100.0 * num("attributed_share"));
+  out << line;
+
+  out << "\ntop functions by self time:\n";
+  std::snprintf(line, sizeof(line), "%7s %7s %9s %9s  %s\n", "self%",
+                "total%", "self", "total", "function");
+  out << line;
+  if (const obs::Json* functions = profile->find("functions");
+      functions != nullptr && functions->is_array()) {
+    for (const obs::Json& fn : functions->as_array()) {
+      const obs::Json* name = fn.find("name");
+      const auto fnum = [&](const char* key) {
+        const obs::Json* v = fn.find(key);
+        return v != nullptr && v->is_number() ? v->as_double() : 0.0;
+      };
+      std::snprintf(line, sizeof(line), "%6.1f%% %6.1f%% %9.0f %9.0f  %s\n",
+                    100.0 * fnum("self_share"), 100.0 * fnum("total_share"),
+                    fnum("self"), fnum("total"),
+                    name != nullptr && name->is_string()
+                        ? name->as_string().c_str()
+                        : "?");
+      out << line;
+    }
+  }
+
+  out << "\nsamples by span:\n";
+  std::snprintf(line, sizeof(line), "%7s %9s  %s\n", "share%", "samples",
+                "span");
+  out << line;
+  if (const obs::Json* spans = profile->find("spans");
+      spans != nullptr && spans->is_array()) {
+    for (const obs::Json& span : spans->as_array()) {
+      const obs::Json* path = span.find("path");
+      const auto snum = [&](const char* key) {
+        const obs::Json* v = span.find(key);
+        return v != nullptr && v->is_number() ? v->as_double() : 0.0;
+      };
+      std::snprintf(line, sizeof(line), "%6.1f%% %9.0f  %s\n",
+                    100.0 * snum("share"), snum("samples"),
+                    path != nullptr && path->is_string()
+                        ? path->as_string().c_str()
+                        : "?");
+      out << line;
+    }
+  }
+  return out.str();
+}
+
+int cmd_flame(const Args& args) {
+  if (const std::string input = args.get("input", ""); !input.empty()) {
+    const obs::Json report = load_json_file(input);
+    std::fputs(format_flame_table(report.find("profile")).c_str(), stdout);
+    return 0;
+  }
+  // Live mode: profile the same pipeline `power` runs.  An unavailable
+  // profiler still runs the pipeline and reports why the table is empty.
+  if (!obs::Profiler::enabled() && !obs::Profiler::start(0)) {
+    std::fprintf(stderr,
+                 "phonolid: CPU profiler unavailable (%s); running "
+                 "unprofiled\n",
+                 std::strerror(obs::Profiler::unavailable_errno()));
+  }
+  const auto cfg = config_from(args);
+  const auto exp = core::Experiment::build(cfg);
+  std::vector<const core::SubsystemScores*> blocks;
+  for (const auto& b : exp->baseline_scores()) blocks.push_back(&b);
+  (void)exp->evaluate(blocks);
+
+  obs::ReportMeta meta;
+  meta.tool = "phonolid";
+  meta.command = "flame";
+  meta.scale = util::to_string(cfg.scale);
+  meta.seed = cfg.seed;
+  meta.threads = util::ThreadPool::global().num_threads();
+  obs::Profiler::stop();
+  const obs::Json report = obs::build_report(meta);
+  std::fputs(format_flame_table(report.find("profile")).c_str(), stdout);
+  if (!cfg.report_path.empty()) {
+    obs::write_report_file(cfg.report_path, report);
+  }
+  return 0;
+}
+
+int cmd_version() {
+  std::printf("phonolid version surface\n");
+  std::printf("  report schema     : v%d\n", obs::kReportSchemaVersion);
+  std::printf("  pipeline format   : v%u\n",
+              static_cast<unsigned>(pipeline::kPipelineFormatVersion));
+  std::printf("  decision ledger   : v%d\n", obs::kLedgerVersion);
+  std::printf("  quality section   : v%d\n", eval::kQualityVersion);
+  std::printf("build flags\n");
+#if defined(PHONOLID_BUILD_TYPE)
+  std::printf("  build type        : %s\n", PHONOLID_BUILD_TYPE);
+#endif
+#if defined(PHONOLID_SANITIZE)
+  std::printf("  sanitizer         : %s\n",
+              PHONOLID_SANITIZE[0] != '\0' ? PHONOLID_SANITIZE : "none");
+#endif
+#if defined(__VERSION__)
+  std::printf("  compiler          : %s\n", __VERSION__);
+#endif
+#if defined(NDEBUG)
+  std::printf("  assertions        : off (NDEBUG)\n");
+#else
+  std::printf("  assertions        : on\n");
+#endif
+  std::printf("  profiler default  : %d Hz\n", obs::kDefaultProfileHz);
+  return 0;
+}
+
 int cmd_pipeline(const Args& args) {
   const std::string verb =
       args.positionals.empty() ? "status" : args.positionals[0];
@@ -869,6 +1042,7 @@ int cmd_report_diff(const Args& args) {
   options.max_adoption_precision_drop =
       args.get_double("max-adoption-precision-drop", -1.0);
   options.max_energy_delta_pct = args.get_double("max-energy-delta-pct", -1.0);
+  options.max_self_share_delta = args.get_double("max-self-share-delta", -1.0);
   options.min_span_s = args.get_double("min-span-s", options.min_span_s);
   const obs::Json baseline = load_json_file(args.positionals[0]);
   const obs::Json current = load_json_file(args.positionals[1]);
@@ -888,15 +1062,105 @@ int dispatch(const Args& args) {
   if (args.command == "explain") return cmd_explain(args);
   if (args.command == "diag") return cmd_diag(args);
   if (args.command == "power") return cmd_power(args);
+  if (args.command == "flame") return cmd_flame(args);
   if (args.command == "pipeline") return cmd_pipeline(args);
   if (args.command == "report-diff") return cmd_report_diff(args);
+  if (args.command == "version") return cmd_version();
   usage();
   return args.command.empty() ? 1 : 2;
+}
+
+/// `phonolid profile [--hz N] [--out f.folded] <command> [flags...]`: run
+/// any other command under the sampling profiler and print the flame table
+/// (plus optional folded stacks) when it finishes.  Wrapper flags come
+/// before the subcommand; everything after it is parsed by the subcommand's
+/// own (strict) flag table.
+int run_profile_wrapper(int argc, char** argv) {
+  long hz = 0;
+  std::string out_path;
+  int i = 2;
+  for (; i < argc && std::strncmp(argv[i], "--", 2) == 0; ++i) {
+    const std::string key = argv[i];
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "error: flag %s expects a value\n", key.c_str());
+      return 2;
+    }
+    if (key == "--hz") {
+      hz = std::strtol(argv[++i], nullptr, 10);
+      if (hz <= 0) {
+        std::fprintf(stderr, "error: --hz expects a positive integer\n");
+        return 2;
+      }
+    } else if (key == "--out") {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "error: unknown profile flag %s (profile flags: --hz N "
+                   "--out f.folded, before the subcommand)\n",
+                   key.c_str());
+      return 2;
+    }
+  }
+  if (i >= argc) {
+    std::fprintf(stderr,
+                 "error: profile needs a subcommand: phonolid profile "
+                 "[--hz N] [--out f.folded] <command> [flags]\n");
+    usage();
+    return 2;
+  }
+  if (std::strcmp(argv[i], "profile") == 0) {
+    std::fprintf(stderr, "error: profile cannot wrap itself\n");
+    return 2;
+  }
+  std::vector<char*> inner;
+  inner.push_back(argv[0]);
+  for (int j = i; j < argc; ++j) inner.push_back(argv[j]);
+  const Args args =
+      parse_args(static_cast<int>(inner.size()), inner.data());
+
+  obs::enable_recorder_from_env();
+  if (!obs::Profiler::start(static_cast<int>(hz))) {
+    std::fprintf(stderr,
+                 "phonolid: CPU profiler unavailable (%s); running "
+                 "unprofiled\n",
+                 std::strerror(obs::Profiler::unavailable_errno()));
+  }
+  int rc = 0;
+  try {
+    rc = dispatch(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    rc = 1;
+  }
+  obs::Profiler::stop();
+  const obs::Json profile = obs::Profiler::profile_json();
+  std::printf("\n");
+  std::fputs(format_flame_table(&profile).c_str(), stdout);
+  if (!out_path.empty()) {
+    try {
+      obs::write_folded_stacks(out_path);
+      std::fprintf(stderr,
+                   "phonolid: wrote folded stacks to %s (render with "
+                   "flamegraph.pl or load into speedscope.app)\n",
+                   out_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "phonolid: folded-stack export failed: %s\n",
+                   e.what());
+    }
+  }
+  obs::export_from_env();
+  return rc;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "profile") == 0) {
+    return run_profile_wrapper(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "--version") == 0) {
+    return cmd_version();
+  }
   const Args args = parse_args(argc, argv);
   obs::enable_recorder_from_env();
   int rc = 0;
