@@ -42,9 +42,11 @@ inline std::unique_ptr<core::Experiment> build_experiment() {
 /// (same schema as `phonolid run --report`, DESIGN.md "Observability") after
 /// the bench finishes; likewise PHONOLID_TRACE (Chrome trace-event JSON)
 /// and PHONOLID_PROM (Prometheus text).  Call at the end of every bench
-/// main.
+/// main.  `extra` sections (an object) merge into the report top level —
+/// bench_table5_rtf uses this for its measured "streaming" section.
 inline void maybe_write_report(const core::Experiment& exp,
-                               const std::string& bench_name) {
+                               const std::string& bench_name,
+                               obs::Json extra = obs::Json::object()) {
   obs::export_from_env();
   // One energy line per bench so trajectories of bench logs carry cost next
   // to speed; the full per-stage breakdown lives in the report's "energy"
@@ -65,7 +67,7 @@ inline void maybe_write_report(const core::Experiment& exp,
   }
   const char* path = std::getenv("PHONOLID_REPORT");
   if (path == nullptr || *path == '\0') return;
-  exp.write_report(path, bench_name);
+  exp.write_report(path, bench_name, std::move(extra));
   std::printf("# wrote run report to %s\n", path);
 }
 

@@ -10,8 +10,11 @@
 // the cost model section aggregates whole-pipeline wall time.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/experiment.h"
@@ -187,7 +190,100 @@ int main(int argc, char** argv) {
       std::printf("  profiler overhead: profiler unavailable on this host\n");
     }
   }
-  bench::maybe_write_report(exp, "bench_table5_rtf");
+  // --- Streaming latency (ISSUE 8: early LLR checkpoints). ---
+  // Two numbers a deployment cares about beyond the batch RT factor: how
+  // long after audio starts the first checkpoint LLR is available (compute
+  // latency, audio pushed back-to-back), and how expensive each 20 ms push
+  // is relative to the audio it carries (per-chunk RTF — the steady-state
+  // streaming load).
+  obs::Json streaming_extra = obs::Json::object();
+  {
+    const auto& sub = exp.subsystem(0);
+    const auto& vsm = exp.baseline_vsm(0);
+    const auto& utt = long_test_utterance();
+    const double sample_rate = exp.corpus().config().sample_rate;
+    const double chunk_ms = 20.0;
+    const double interval_s = 0.25;
+    const auto chunk = static_cast<std::size_t>(sample_rate * chunk_ms / 1e3);
+
+    std::vector<double> first_cp_s;
+    std::vector<double> chunk_rtf;
+    double streamed_s = 0.0;
+    double audio_s = 0.0;
+    const int reps = 21;
+    for (int r = 0; r < reps; ++r) {
+      core::StreamingOptions opts;
+      opts.chunk_samples = chunk;
+      opts.checkpoint_interval_s = interval_s;
+      opts.scorer = [&](const phonotactic::SparseVec& sv) {
+        std::vector<float> llr(exp.num_languages());
+        vsm.score(sv, llr);
+        return llr;
+      };
+      auto session = sub.open_stream(opts);
+      const auto t0 = std::chrono::steady_clock::now();
+      double first = -1.0;
+      const std::span<const float> samples(utt.samples);
+      for (std::size_t i = 0; i < samples.size(); i += chunk) {
+        const auto piece =
+            samples.subspan(i, std::min(chunk, samples.size() - i));
+        const auto c0 = std::chrono::steady_clock::now();
+        session.push(piece);
+        const auto c1 = std::chrono::steady_clock::now();
+        if (first < 0.0 && !session.checkpoints().empty()) {
+          first = std::chrono::duration<double>(c1 - t0).count();
+        }
+        chunk_rtf.push_back(
+            std::chrono::duration<double>(c1 - c0).count() /
+            (static_cast<double>(piece.size()) / sample_rate));
+      }
+      const auto res = session.finalize();
+      streamed_s +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      audio_s += res.audio_s;
+      if (first >= 0.0) first_cp_s.push_back(first);
+      benchmark::DoNotOptimize(res.supervector);
+    }
+    const auto pct = [](std::vector<double> v, double p) {
+      if (v.empty()) return 0.0;
+      std::sort(v.begin(), v.end());
+      const double pos = p * static_cast<double>(v.size() - 1);
+      const auto lo = static_cast<std::size_t>(pos);
+      const auto hi = std::min(lo + 1, v.size() - 1);
+      return v[lo] + (v[hi] - v[lo]) * (pos - static_cast<double>(lo));
+    };
+    std::printf("\nStreaming latency (%s, %.0f ms chunks, %.2fs cadence):\n",
+                sub.name().c_str(), chunk_ms, interval_s);
+    std::printf("  first checkpoint LLR: p50 %.1f ms, p99 %.1f ms (n=%zu)\n",
+                1e3 * pct(first_cp_s, 0.50), 1e3 * pct(first_cp_s, 0.99),
+                first_cp_s.size());
+    std::printf("  per-chunk RTF: p50 %.4f, p99 %.4f (n=%zu)\n",
+                pct(chunk_rtf, 0.50), pct(chunk_rtf, 0.99), chunk_rtf.size());
+    std::printf("  streamed RT factor (push + finalize): %.4f\n",
+                audio_s > 0.0 ? streamed_s / audio_s : 0.0);
+
+    obs::Json section = obs::Json::object();
+    section["version"] = 1;
+    section["subsystem"] = sub.name();
+    section["chunk_ms"] = chunk_ms;
+    section["checkpoint_interval_s"] = interval_s;
+    obs::Json first_cp = obs::Json::object();
+    first_cp["p50_s"] = pct(first_cp_s, 0.50);
+    first_cp["p99_s"] = pct(first_cp_s, 0.99);
+    first_cp["n"] = first_cp_s.size();
+    section["first_checkpoint_latency"] = std::move(first_cp);
+    obs::Json rtf = obs::Json::object();
+    rtf["p50"] = pct(chunk_rtf, 0.50);
+    rtf["p99"] = pct(chunk_rtf, 0.99);
+    rtf["n"] = chunk_rtf.size();
+    section["per_chunk_rtf"] = std::move(rtf);
+    section["streamed_rt_factor"] = audio_s > 0.0 ? streamed_s / audio_s : 0.0;
+    streaming_extra["streaming"] = std::move(section);
+  }
+
+  bench::maybe_write_report(exp, "bench_table5_rtf",
+                            std::move(streaming_extra));
   benchmark::Shutdown();
   return 0;
 }

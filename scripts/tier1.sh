@@ -17,13 +17,14 @@ cmake --build build -j
 (cd build && env -u PHONOLID_CACHE ctest --output-on-failure -j)
 
 cmake -B build-tsan -S . -DPHONOLID_SANITIZE=thread
-cmake --build build-tsan -j --target test_obs test_thread_pool test_pipeline_store test_la_kernels test_perf_energy test_profiler
+cmake --build build-tsan -j --target test_obs test_thread_pool test_pipeline_store test_la_kernels test_perf_energy test_profiler test_streaming
 ./build-tsan/tests/test_obs
 ./build-tsan/tests/test_thread_pool
 ./build-tsan/tests/test_pipeline_store
 ./build-tsan/tests/test_la_kernels
 ./build-tsan/tests/test_perf_energy
 ./build-tsan/tests/test_profiler
+./build-tsan/tests/test_streaming
 
 # Kernel microbenchmark smoke: one repetition at minimal time, just to prove
 # the harness runs and every registered shape executes.
@@ -70,6 +71,33 @@ cmp "$TMP/quick.ledger.jsonl" "$TMP/warm_t4.ledger.jsonl"
   --max-eer-delta 0
 ./build/tools/phonolid pipeline status --cache-dir "$CACHE_DIR"
 ./build/tools/phonolid pipeline gc --cache-dir "$CACHE_DIR"
+
+# Streaming-equivalence gate: the batch pipeline is a single-chunk streaming
+# session, so a chunked run must reproduce the batch run bit-for-bit — the
+# decision ledger comes out byte-identical for ANY --chunk-ms and the
+# accuracy leaves diff at zero tolerance.  Cold cache dirs on purpose: the
+# chunking deliberately does not enter stage keys (warm artifacts are valid
+# across chunkings — that is this very equivalence), so a warm store would
+# serve the batch run's artifacts and prove nothing.  The first run also
+# turns on checkpoint LLRs, which must leave a "streaming" section in the
+# report without perturbing the ledger.
+./build/tools/phonolid run --scale quick --chunk-ms 17 --stream-checkpoint-s 0.5 \
+  --report "$TMP/stream17.report.json" --ledger "$TMP/stream17.ledger.jsonl" \
+  --cache-dir "$TMP/stream17-cache"
+cmp "$TMP/quick.ledger.jsonl" "$TMP/stream17.ledger.jsonl"
+./build/tools/phonolid report-diff "$TMP/quick.report.json" \
+  "$TMP/stream17.report.json" --max-eer-delta 0
+grep -q '"streaming"' "$TMP/stream17.report.json"
+./build/tools/phonolid run --scale quick --chunk-ms 250 \
+  --ledger "$TMP/stream250.ledger.jsonl" --cache-dir "$TMP/stream250-cache"
+cmp "$TMP/quick.ledger.jsonl" "$TMP/stream250.ledger.jsonl"
+# Invalid streaming flags must exit 2 before any work happens.
+rc=0
+./build/tools/phonolid run --scale quick --chunk-ms 0 2> /dev/null || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "run: --chunk-ms 0 should exit 2 (got $rc)" >&2
+  exit 1
+fi
 
 # Energy-accounting smoke: a run with the deterministic software cost model
 # must stay within 1% of the committed baseline's joules.  This run gets its

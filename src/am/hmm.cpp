@@ -1,9 +1,26 @@
 #include "am/hmm.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 namespace phonolid::am {
+
+void AcousticModel::score_range(const util::Matrix& features,
+                                std::size_t begin, std::size_t end,
+                                util::Matrix& out) const {
+  assert(begin <= end && end <= features.rows());
+  if (begin == 0 && end == features.rows()) {
+    score(features, out);
+    return;
+  }
+  util::Matrix slice(end - begin, features.cols());
+  for (std::size_t t = begin; t < end; ++t) {
+    const auto src = features.row(t);
+    std::copy(src.begin(), src.end(), slice.row(t - begin).begin());
+  }
+  score(slice, out);
+}
 
 HmmTransitions HmmTransitions::uniform(std::size_t num_states,
                                        double mean_frames_per_state) {

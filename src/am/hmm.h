@@ -63,6 +63,21 @@ class AcousticModel {
   /// in Viterbi/lattice posteriors).
   virtual void score(const util::Matrix& features, util::Matrix& out) const = 0;
 
+  /// Frames of temporal context score() reads on each side of a row
+  /// (0 for frame-independent models such as GMMs).
+  [[nodiscard]] virtual std::size_t context_frames() const noexcept {
+    return 0;
+  }
+
+  /// Scores rows [begin, end) of the whole-utterance `features` matrix into
+  /// `out` ((end - begin) x num_states).  Context rows are read from the
+  /// neighbours inside `features` (clamped at the matrix edges), so chunked
+  /// calls over a fixed matrix reproduce score() bit-for-bit — the streaming
+  /// decode path relies on this.  The default slices rows and delegates to
+  /// score(), which is exact for context-free models.
+  virtual void score_range(const util::Matrix& features, std::size_t begin,
+                           std::size_t end, util::Matrix& out) const;
+
   /// Approximate floating-point operations one score() call spends per
   /// frame, for GFLOP/s observability counters.  0 when unknown.
   [[nodiscard]] virtual double score_flops_per_frame() const noexcept {

@@ -52,7 +52,31 @@ NnHmmModel::NnHmmModel(HmmTopology topology, FeedForwardNet net,
 }
 
 void NnHmmModel::score(const util::Matrix& features, util::Matrix& out) const {
-  const util::Matrix stacked = stack_context(features, context_);
+  score_range(features, 0, features.rows(), out);
+}
+
+void NnHmmModel::score_range(const util::Matrix& features, std::size_t begin,
+                             std::size_t end, util::Matrix& out) const {
+  // Context windows are stacked against the *whole* feature matrix (with
+  // the same edge clamping as stack_context), so chunked scoring matches a
+  // full-matrix score() bit-for-bit: the net and log-softmax are per-row.
+  const std::size_t frames = features.rows();
+  const std::size_t dim = features.cols();
+  const std::size_t width = 2 * context_ + 1;
+  util::Matrix stacked(end - begin, dim * width);
+  for (std::size_t t = begin; t < end; ++t) {
+    auto dst = stacked.row(t - begin);
+    for (std::size_t w = 0; w < width; ++w) {
+      const auto offset = static_cast<std::ptrdiff_t>(t) +
+                          static_cast<std::ptrdiff_t>(w) -
+                          static_cast<std::ptrdiff_t>(context_);
+      const std::size_t src_t = static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+          offset, 0, static_cast<std::ptrdiff_t>(frames) - 1));
+      const auto src = features.row(src_t);
+      std::copy(src.begin(), src.end(),
+                dst.begin() + static_cast<std::ptrdiff_t>(w * dim));
+    }
+  }
   net_.log_posteriors(stacked, out);
   const std::size_t states = num_states();
   for (std::size_t t = 0; t < out.rows(); ++t) {

@@ -37,7 +37,12 @@ class NnHmmModel final : public AcousticModel {
     return net_.input_dim() / (2 * context_ + 1);
   }
   [[nodiscard]] std::size_t context() const noexcept { return context_; }
+  [[nodiscard]] std::size_t context_frames() const noexcept override {
+    return context_;
+  }
   void score(const util::Matrix& features, util::Matrix& out) const override;
+  void score_range(const util::Matrix& features, std::size_t begin,
+                   std::size_t end, util::Matrix& out) const override;
   [[nodiscard]] double score_flops_per_frame() const noexcept override {
     // One forward pass: ~2 flops per weight per frame.
     return 2.0 * static_cast<double>(net_.num_parameters());

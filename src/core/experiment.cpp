@@ -85,6 +85,7 @@ std::unique_ptr<Experiment> Experiment::build(const ExperimentConfig& config) {
           [](std::ostream& out, const TrainedFrontEnd& v) { v.serialize(out); },
           [&] { return Subsystem::train_front_end(corpus, spec, config.seed); });
       auto sub = Subsystem::assemble(corpus, spec, std::move(fe));
+      sub->set_batch_chunk_samples(config.batch_chunk_samples);
 
       const pipeline::StageKey sv_key = supervectors_stage_key(fe_key);
       DecodedSupervectors ds = store.get_or_compute<DecodedSupervectors>(

@@ -37,6 +37,12 @@ struct ExperimentConfig {
   VoteCriterion vote_criterion = VoteCriterion::kStrict;
   /// Use lattice expected counts; false = 1-best ablation.
   bool use_lattice_counts = true;
+  /// Streaming-chunk granularity (samples) for every subsystem's batch
+  /// entry points (CLI --chunk-ms).  0 = whole utterance.  Bit-identical
+  /// for any value, so it deliberately does NOT enter stage keys — warm
+  /// artifacts stay valid across chunkings (that's the equivalence the
+  /// tier1 streaming gate proves).
+  std::size_t batch_chunk_samples = 0;
   std::uint64_t seed = 20090704;
   /// The scale this config was preset at (report metadata).
   util::Scale scale = util::Scale::kDefault;

@@ -1,0 +1,159 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/subsystem.h"
+#include "obs/energy.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "phonotactic/ngram_counts.h"
+
+namespace phonolid::core {
+
+StreamingSession::StreamingSession(const Subsystem& subsystem,
+                                   StreamingOptions options)
+    : subsystem_(&subsystem),
+      options_(std::move(options)),
+      features_(*subsystem.features_),
+      next_checkpoint_s_(options_.checkpoint_interval_s) {}
+
+double StreamingSession::audio_seconds() const noexcept {
+  // The batch path always used the MFCC sample rate for audio accounting
+  // (both configs carry the corpus rate); keep that for identical reports.
+  return static_cast<double>(features_.samples_pushed()) /
+         subsystem_->features_->config().mfcc.sample_rate;
+}
+
+void StreamingSession::charge_new_rows() {
+  const std::size_t rows = features_.num_rows();
+  if (rows > charged_rows_) {
+    obs::Energy::charge_flops(static_cast<double>(rows - charged_rows_) *
+                              subsystem_->features_->flops_per_frame());
+    charged_rows_ = rows;
+  }
+}
+
+void StreamingSession::push(std::span<const float> samples) {
+  if (finalized_) {
+    throw std::logic_error("StreamingSession: push() after finalize()");
+  }
+  {
+    obs::Span feature_span("features");
+    features_.push(samples);
+    charge_new_rows();
+    feature_s_ += feature_span.stop();
+  }
+  maybe_checkpoint();
+}
+
+decoder::Lattice StreamingSession::decode_chunked(
+    const util::Matrix& feats) const {
+  const std::size_t frames = feats.rows();
+  std::size_t chunk = frames;
+  if (options_.chunk_samples > 0) {
+    const auto& fcfg = subsystem_->features_->config();
+    const std::size_t shift = (fcfg.kind == dsp::FeatureKind::kMfcc)
+                                  ? fcfg.mfcc.frame_shift
+                                  : fcfg.plp.frame_shift;
+    chunk = std::max<std::size_t>(1, options_.chunk_samples / shift);
+  }
+  decoder::DecodeSession session(*subsystem_->decoder_);
+  util::Matrix scores;
+  for (std::size_t begin = 0; begin < frames; begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, frames);
+    subsystem_->model_->score_range(feats, begin, end, scores);
+    session.advance(scores);
+  }
+  return session.finalize();
+}
+
+phonotactic::SparseVec StreamingSession::supervector_of(
+    const phonotactic::SparseVec& counts) const {
+  phonotactic::SparseVec sv = subsystem_->builder_->build_from_counts(counts);
+  if (options_.apply_tfllr && subsystem_->spec_.use_tfllr) {
+    subsystem_->tfllr_.transform(sv);
+  }
+  return sv;
+}
+
+void StreamingSession::maybe_checkpoint() {
+  if (options_.checkpoint_interval_s <= 0.0) return;
+  const double audio_s = audio_seconds();
+  if (audio_s < next_checkpoint_s_) return;
+  // One checkpoint per crossing push (a single huge chunk yields one
+  // checkpoint, not a backlog of identical ones).
+  while (next_checkpoint_s_ <= audio_s) {
+    next_checkpoint_s_ += options_.checkpoint_interval_s;
+  }
+  PHONOLID_SPAN("checkpoint");
+  StreamingCheckpoint cp;
+  cp.audio_s = audio_s;
+  cp.frames = features_.num_rows();
+  if (cp.frames > 0 && options_.scorer) {
+    // Exact batch answer on the prefix: CMVN over the delta-resolved rows
+    // seen so far, then the same chunked decode -> counts -> supervector
+    // chain finalize() runs on the whole utterance.
+    util::Matrix feats = features_.prefix(cp.frames);
+    const auto& fcfg = subsystem_->features_->config();
+    if (fcfg.cmvn) dsp::cmvn_inplace(feats, fcfg.cmvn_variance);
+    const decoder::Lattice lattice = decode_chunked(feats);
+    phonotactic::CountAccumulator acc;
+    acc.add(subsystem_->builder_->counts(lattice));
+    cp.llr = options_.scorer(supervector_of(acc.build()));
+    if (!cp.llr.empty()) {
+      cp.best_language = static_cast<std::size_t>(
+          std::max_element(cp.llr.begin(), cp.llr.end()) - cp.llr.begin());
+    }
+  }
+  checkpoints_.push_back(std::move(cp));
+}
+
+StreamingResult StreamingSession::finalize() {
+  if (finalized_) {
+    throw std::logic_error("StreamingSession: finalize() called twice");
+  }
+  finalized_ = true;
+  StreamingResult res;
+  res.audio_s = audio_seconds();
+
+  obs::Span feature_span("features");
+  features_.finish();
+  charge_new_rows();
+  util::Matrix feats = features_.take();
+  const auto& fcfg = subsystem_->features_->config();
+  if (fcfg.cmvn) dsp::cmvn_inplace(feats, fcfg.cmvn_variance);
+  const double feat_s = feature_s_ + feature_span.stop();
+  res.frames = feats.rows();
+
+  obs::Span decode_span("decode");
+  res.lattice = decode_chunked(feats);
+  const double dec_s = decode_span.stop();
+  if (dec_s > 0.0 && feats.rows() > 0) {
+    const double flops = subsystem_->model_->score_flops_per_frame() *
+                         static_cast<double>(feats.rows());
+    if (flops > 0.0) {
+      PHONOLID_COUNTER_SAMPLE("decode.gflops", flops / dec_s / 1e9);
+    }
+  }
+
+  obs::Span sv_span("supervector");
+  phonotactic::CountAccumulator acc;
+  acc.add(subsystem_->builder_->counts(res.lattice));
+  res.counts = acc.build();
+  res.supervector = supervector_of(res.counts);
+  const double sv_s = sv_span.stop();
+
+  res.checkpoints = std::move(checkpoints_);
+  {
+    std::lock_guard lock(subsystem_->times_mutex_);
+    subsystem_->times_.feature_s += feat_s;
+    subsystem_->times_.decode_s += dec_s;
+    subsystem_->times_.supervector_s += sv_s;
+    subsystem_->times_.audio_s += res.audio_s;
+  }
+  return res;
+}
+
+}  // namespace phonolid::core

@@ -1,5 +1,7 @@
 #include "core/subsystem.h"
 
+#include <algorithm>
+#include <span>
 #include <stdexcept>
 
 #include "obs/flight_recorder.h"
@@ -251,9 +253,44 @@ std::vector<phonotactic::SparseVec> Subsystem::take_train_supervectors() {
   return std::move(train_supervectors_);
 }
 
+namespace {
+
+/// Feed `samples` to `session` in `chunk_samples`-sized pushes (single push
+/// when 0 — the batch special case).
+void push_chunked(StreamingSession& session, std::span<const float> samples,
+                  std::size_t chunk_samples) {
+  if (chunk_samples == 0 || samples.empty()) {
+    session.push(samples);
+    return;
+  }
+  for (std::size_t i = 0; i < samples.size(); i += chunk_samples) {
+    session.push(samples.subspan(i, std::min(chunk_samples,
+                                             samples.size() - i)));
+  }
+}
+
+}  // namespace
+
+StreamingSession Subsystem::open_stream(StreamingOptions options) const {
+  return StreamingSession(*this, std::move(options));
+}
+
+StreamingResult Subsystem::score_stream(std::span<const float> samples,
+                                        const StreamingOptions& options) const {
+  StreamingSession session = open_stream(options);
+  push_chunked(session, samples, options.chunk_samples);
+  return session.finalize();
+}
+
 decoder::Lattice Subsystem::decode(const corpus::Utterance& utt) const {
-  const util::Matrix feats = features_->process(utt.samples);
-  return decoder_->decode(feats);
+  StreamingOptions options;
+  options.chunk_samples = batch_chunk_samples_;
+  // Lattice-only callers (CLI decode, diagnostics) may not have a fitted
+  // TFLLR scaler; the raw supervector in the discarded result is fine.
+  options.apply_tfllr = false;
+  StreamingSession session = open_stream(std::move(options));
+  push_chunked(session, utt.samples, batch_chunk_samples_);
+  return session.finalize().lattice;
 }
 
 phonotactic::SparseVec Subsystem::process_internal(const corpus::Utterance& utt,
@@ -262,36 +299,17 @@ phonotactic::SparseVec Subsystem::process_internal(const corpus::Utterance& utt,
       obs::Metrics::counter("pipeline.utterances");
   PHONOLID_SPAN("pipeline");
 
-  obs::Span feature_span("features");
-  const util::Matrix feats = features_->process(utt.samples);
-  const double feat_s = feature_span.stop();
-
-  obs::Span decode_span("decode");
-  const decoder::Lattice lattice = decoder_->decode(feats);
-  const double dec_s = decode_span.stop();
-  if (dec_s > 0.0 && feats.rows() > 0) {
-    const double flops =
-        model_->score_flops_per_frame() * static_cast<double>(feats.rows());
-    if (flops > 0.0) {
-      PHONOLID_COUNTER_SAMPLE("decode.gflops", flops / dec_s / 1e9);
-    }
-  }
-
-  obs::Span sv_span("supervector");
-  phonotactic::SparseVec sv = builder_->build(lattice);
-  if (apply_tfllr && spec_.use_tfllr) tfllr_.transform(sv);
-  const double sv_s = sv_span.stop();
+  // The whole chain is one streaming session; `batch_chunk_samples_` only
+  // changes how the work is sliced, never the bits that come out.
+  StreamingOptions options;
+  options.chunk_samples = batch_chunk_samples_;
+  options.apply_tfllr = apply_tfllr;
+  StreamingSession session(*this, std::move(options));
+  push_chunked(session, utt.samples, batch_chunk_samples_);
+  StreamingResult res = session.finalize();
 
   utterances.add();
-  {
-    std::lock_guard lock(times_mutex_);
-    times_.feature_s += feat_s;
-    times_.decode_s += dec_s;
-    times_.supervector_s += sv_s;
-    times_.audio_s += static_cast<double>(utt.samples.size()) /
-                      features_->config().mfcc.sample_rate;
-  }
-  return sv;
+  return std::move(res.supervector);
 }
 
 phonotactic::SparseVec Subsystem::process(const corpus::Utterance& utt) const {

@@ -27,6 +27,7 @@
 #include "am/gmm_hmm.h"
 #include "am/nn_hmm.h"
 #include "core/frontend_spec.h"
+#include "core/streaming.h"
 #include "corpus/dataset.h"
 #include "decoder/phone_loop_decoder.h"
 #include "phonotactic/supervector.h"
@@ -141,9 +142,34 @@ class Subsystem {
   [[nodiscard]] decoder::Lattice decode(const corpus::Utterance& utt) const;
 
   /// Full chain for one utterance: audio -> features -> lattice -> TFLLR
-  /// supervector.
+  /// supervector.  Internally a single streaming session (the batch path is
+  /// the one-chunk special case — see core/streaming.h).
   [[nodiscard]] phonotactic::SparseVec process(
       const corpus::Utterance& utt) const;
+
+  /// Open a streaming session for one utterance: push audio chunks, collect
+  /// checkpoint LLRs, finalize to the batch-identical result.  The session
+  /// borrows this subsystem (must outlive it); any number of concurrent
+  /// sessions are safe.
+  [[nodiscard]] StreamingSession open_stream(StreamingOptions options = {}) const;
+
+  /// Convenience: stream `samples` through a fresh session in
+  /// `options.chunk_samples`-sized pushes (one push when 0) and finalize.
+  /// This is the checkpointed-LLR entry point (paper-style early decisions:
+  /// set `options.checkpoint_interval_s` and `options.scorer`).
+  [[nodiscard]] StreamingResult score_stream(
+      std::span<const float> samples, const StreamingOptions& options) const;
+
+  /// Chunk granularity (in samples) the batch entry points (process /
+  /// process_all / decode) use for their internal streaming session.
+  /// 0 = whole utterance.  Any value is bit-identical; exposed so runs can
+  /// prove it (CLI --chunk-ms, tier1 equivalence gate).
+  void set_batch_chunk_samples(std::size_t samples) noexcept {
+    batch_chunk_samples_ = samples;
+  }
+  [[nodiscard]] std::size_t batch_chunk_samples() const noexcept {
+    return batch_chunk_samples_;
+  }
 
   /// Parallel batch processing; also accumulates stage times.
   [[nodiscard]] std::vector<phonotactic::SparseVec> process_all(
@@ -154,6 +180,8 @@ class Subsystem {
   void reset_stage_times() const;
 
  private:
+  friend class StreamingSession;
+
   Subsystem() = default;
 
   /// Shared stage chain (features -> decode -> supervector) used by both the
@@ -177,6 +205,7 @@ class Subsystem {
   phonotactic::TfllrScaler tfllr_;
   std::vector<phonotactic::SparseVec> train_supervectors_;
   bool train_supervectors_taken_ = false;
+  std::size_t batch_chunk_samples_ = 0;
 
   mutable std::mutex times_mutex_;
   mutable StageTimes times_;

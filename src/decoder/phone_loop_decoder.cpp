@@ -42,175 +42,198 @@ Lattice PhoneLoopDecoder::decode(const util::Matrix& features) const {
 
 Lattice PhoneLoopDecoder::decode_from_scores(
     const util::Matrix& am_scores) const {
-  static obs::Counter& lattices_out =
-      obs::Metrics::counter("decoder.lattices");
-  static obs::Counter& frames_in = obs::Metrics::counter("decoder.frames");
-  static obs::Counter& edges_out = obs::Metrics::counter("decoder.edges");
-  PHONOLID_SPAN("viterbi");
+  // Batch decode is the single-chunk degenerate case of the session.
+  DecodeSession session(*this);
+  session.advance(am_scores);
+  return session.finalize();
+}
 
-  const std::size_t frames = am_scores.rows();
-  const std::size_t num_phones = topology_.num_phones;
-  const std::size_t sp = topology_.states_per_phone;
-  if (frames > 0 && am_scores.cols() != topology_.num_states()) {
-    throw std::invalid_argument("decode_from_scores: state count mismatch");
+DecodeSession::DecodeSession(const PhoneLoopDecoder& decoder)
+    : decoder_(&decoder) {
+  const auto& topology = decoder_->topology_;
+  cur_.resize(topology.num_states());
+  prev_.resize(topology.num_states());
+  exits_.resize(topology.num_phones);
+  state_sums_.assign(topology.num_states(), 0.0f);
+  boundaries_.resize(1);  // boundary 0 is never harvested
+}
+
+double DecodeSession::harvest_boundary(std::size_t boundary) {
+  // Called once per boundary t in 1..frames with `cur_` holding the frame
+  // t-1 tokens.  Computes exit candidates, records lattice edges within the
+  // beam, and returns the entry score for new phones.
+  const auto& topology = decoder_->topology_;
+  const std::size_t num_phones = topology.num_phones;
+  const std::size_t sp = topology.states_per_phone;
+  double best = kNegInf;
+  std::uint32_t best_p = 0;
+  for (std::size_t p = 0; p < num_phones; ++p) {
+    const Token& tok = cur_[p * sp + (sp - 1)];
+    ExitCand& cand = exits_[p];
+    if (tok.score == kNegInf) {
+      cand.score = kNegInf;
+      continue;
+    }
+    const double exit_score =
+        tok.score +
+        decoder_->transitions_.log_advance[topology.state_of(p, sp - 1)];
+    cand.score = exit_score;
+    cand.entry = tok.entry;
+    cand.entry_base = tok.entry_base;
+    if (exit_score > best) {
+      best = exit_score;
+      best_p = static_cast<std::uint32_t>(p);
+    }
   }
-  frames_in.add(frames);
-  if (frames == 0) return Lattice(0, {});
+  assert(boundaries_.size() == boundary);
+  Boundary b;
+  b.best_exit = best;
+  b.best_phone = best_p;
+  b.best_entry = (best == kNegInf) ? 0 : exits_[best_p].entry;
+  boundaries_.push_back(b);
+  if (best == kNegInf) return kNegInf;
+  for (std::size_t p = 0; p < num_phones; ++p) {
+    const ExitCand& cand = exits_[p];
+    if (cand.score == kNegInf ||
+        cand.score < best - decoder_->config_.lattice_beam) {
+      continue;
+    }
+    LatticeEdge e;
+    e.start_node = cand.entry;
+    e.end_node = static_cast<std::uint32_t>(boundary);
+    e.phone = static_cast<std::uint32_t>(p);
+    e.score = static_cast<float>(cand.score - cand.entry_base);
+    edges_.push_back(e);
+  }
+  return best;
+}
+
+void DecodeSession::advance_frame(std::span<const float> row, std::size_t t,
+                                  double entry_score) {
+  const auto& topology = decoder_->topology_;
+  const auto& transitions = decoder_->transitions_;
+  const std::size_t num_phones = topology.num_phones;
+  const std::size_t sp = topology.states_per_phone;
+  const double penalty = decoder_->config_.phone_insertion_penalty;
+  for (std::size_t p = 0; p < num_phones; ++p) {
+    for (std::size_t j = 0; j < sp; ++j) {
+      const std::size_t state = topology.state_of(p, j);
+      const Token& stay_tok = prev_[p * sp + j];
+      double stay = kNegInf, advance = kNegInf;
+      if (stay_tok.score != kNegInf) {
+        stay = stay_tok.score + transitions.log_self[state];
+      }
+      if (j > 0 && prev_[p * sp + j - 1].score != kNegInf) {
+        advance = prev_[p * sp + j - 1].score +
+                  transitions.log_advance[topology.state_of(p, j - 1)];
+      }
+      Token& out = cur_[p * sp + j];
+      double enter = kNegInf;
+      if (j == 0 && entry_score != kNegInf) {
+        enter = entry_score + penalty;
+      }
+      if (stay >= advance && stay >= enter) {
+        if (stay == kNegInf) {
+          out.score = kNegInf;
+          continue;
+        }
+        out = stay_tok;
+        out.score = stay;
+      } else if (advance >= enter) {
+        out = prev_[p * sp + j - 1];
+        out.score = advance;
+      } else {
+        out.score = enter;
+        out.entry = static_cast<std::uint32_t>(t);
+        out.entry_base = entry_score;
+      }
+      out.score += row[state];
+    }
+  }
+}
+
+void DecodeSession::advance(const util::Matrix& am_scores) {
+  static obs::Counter& frames_in = obs::Metrics::counter("decoder.frames");
+  if (finalized_) {
+    throw std::logic_error("DecodeSession: advance() after finalize()");
+  }
+  const std::size_t rows = am_scores.rows();
+  if (rows == 0) return;
+  const auto& topology = decoder_->topology_;
+  if (am_scores.cols() != topology.num_states()) {
+    throw std::invalid_argument("DecodeSession: state count mismatch");
+  }
+  PHONOLID_SPAN("viterbi");
+  frames_in.add(rows);
   // Software energy model: the DP visits every (frame, state) cell with a
   // handful of compare/add operations plus the per-boundary harvest.
-  obs::Energy::charge_flops(8.0 * static_cast<double>(frames) *
-                            static_cast<double>(topology_.num_states()));
+  obs::Energy::charge_flops(8.0 * static_cast<double>(rows) *
+                            static_cast<double>(topology.num_states()));
 
-  // DP state per (phone, position): path score, entry frame, path score at
-  // entry (excluding this phone's own contributions).
-  struct Token {
-    double score = kNegInf;
-    std::uint32_t entry = 0;
-    double entry_base = 0.0;
-  };
-  std::vector<Token> cur(num_phones * sp), prev(num_phones * sp);
-  const auto idx = [sp](std::size_t p, std::size_t j) { return p * sp + j; };
-
-  // Boundary records: for boundary time t (phone ends after frame t-1),
-  // the best exiting phone and its entry frame (for 1-best traceback).
-  struct Boundary {
-    double best_exit = kNegInf;
-    std::uint32_t best_phone = 0;
-    std::uint32_t best_entry = 0;
-  };
-  std::vector<Boundary> boundaries(frames + 1);
-
-  std::vector<LatticeEdge> edges;
-  edges.reserve(frames * 4);
-
-  const double penalty = config_.phone_insertion_penalty;
-
-  // --- Frame 0: every phone may start. ---
-  for (std::size_t p = 0; p < num_phones; ++p) {
-    Token& tok = cur[idx(p, 0)];
-    tok.entry_base = 0.0;
-    tok.entry = 0;
-    tok.score = penalty + am_scores(0, topology_.state_of(p, 0));
+  const std::size_t num_phones = topology.num_phones;
+  const std::size_t sp = topology.states_per_phone;
+  const double penalty = decoder_->config_.phone_insertion_penalty;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t t = frames_seen_;
+    const auto row = am_scores.row(r);
+    for (std::size_t s = 0; s < topology.num_states(); ++s) {
+      state_sums_[s] += row[s];
+    }
+    if (t == 0) {
+      // Frame 0: every phone may start.
+      for (std::size_t p = 0; p < num_phones; ++p) {
+        Token& tok = cur_[p * sp];
+        tok.entry_base = 0.0;
+        tok.entry = 0;
+        tok.score = penalty + row[topology.state_of(p, 0)];
+      }
+    } else {
+      // Exits after frame t-1 (boundary t) — harvest reads `cur_`, which
+      // still holds the frame t-1 tokens, and also emits lattice edges.
+      const double entry_score = harvest_boundary(t);
+      std::swap(cur_, prev_);  // prev_ = frame t-1 tokens, cur_ = scratch
+      advance_frame(row, t, entry_score);
+    }
+    ++frames_seen_;
   }
+}
 
-  // Per-boundary scratch for exit candidates: (phone, exit score, entry,
-  // entry_base).
-  struct ExitCand {
-    double score;
-    std::uint32_t entry;
-    double entry_base;
-  };
-  std::vector<ExitCand> exits(num_phones);
-
-  const auto harvest_boundary = [&](std::size_t boundary) {
-    // Called once per boundary t in 1..frames using `cur` == tokens after
-    // frame boundary-1.  Computes exit candidates, records lattice edges
-    // within the beam, and returns the entry score for new phones.
-    double best = kNegInf;
-    std::uint32_t best_p = 0;
-    for (std::size_t p = 0; p < num_phones; ++p) {
-      const Token& tok = cur[idx(p, sp - 1)];
-      ExitCand& cand = exits[p];
-      if (tok.score == kNegInf) {
-        cand.score = kNegInf;
-        continue;
-      }
-      const double exit_score =
-          tok.score +
-          transitions_.log_advance[topology_.state_of(p, sp - 1)];
-      cand.score = exit_score;
-      cand.entry = tok.entry;
-      cand.entry_base = tok.entry_base;
-      if (exit_score > best) {
-        best = exit_score;
-        best_p = static_cast<std::uint32_t>(p);
-      }
-    }
-    Boundary& b = boundaries[boundary];
-    b.best_exit = best;
-    b.best_phone = best_p;
-    b.best_entry = (best == kNegInf) ? 0 : exits[best_p].entry;
-    if (best == kNegInf) return kNegInf;
-    for (std::size_t p = 0; p < num_phones; ++p) {
-      const ExitCand& cand = exits[p];
-      if (cand.score == kNegInf || cand.score < best - config_.lattice_beam) {
-        continue;
-      }
-      LatticeEdge e;
-      e.start_node = cand.entry;
-      e.end_node = static_cast<std::uint32_t>(boundary);
-      e.phone = static_cast<std::uint32_t>(p);
-      e.score = static_cast<float>(cand.score - cand.entry_base);
-      edges.push_back(e);
-    }
-    return best;
-  };
-
-  for (std::size_t t = 1; t < frames; ++t) {
-    // Exits after frame t-1 (boundary t) — harvest reads `cur`, which still
-    // holds the frame t-1 tokens, and also emits lattice edges.
-    const double entry_score = harvest_boundary(t);
-    std::swap(cur, prev);  // prev = frame t-1 tokens, cur = scratch
-
-    for (std::size_t p = 0; p < num_phones; ++p) {
-      for (std::size_t j = 0; j < sp; ++j) {
-        const std::size_t state = topology_.state_of(p, j);
-        const Token& stay_tok = prev[idx(p, j)];
-        double stay = kNegInf, advance = kNegInf;
-        if (stay_tok.score != kNegInf) {
-          stay = stay_tok.score + transitions_.log_self[state];
-        }
-        if (j > 0 && prev[idx(p, j - 1)].score != kNegInf) {
-          advance = prev[idx(p, j - 1)].score +
-                    transitions_.log_advance[topology_.state_of(p, j - 1)];
-        }
-        Token& out = cur[idx(p, j)];
-        double enter = kNegInf;
-        if (j == 0 && entry_score != kNegInf) {
-          enter = entry_score + penalty;
-        }
-        if (stay >= advance && stay >= enter) {
-          if (stay == kNegInf) {
-            out.score = kNegInf;
-            continue;
-          }
-          out = stay_tok;
-          out.score = stay;
-        } else if (advance >= enter) {
-          out = prev[idx(p, j - 1)];
-          out.score = advance;
-        } else {
-          out.score = enter;
-          out.entry = static_cast<std::uint32_t>(t);
-          out.entry_base = entry_score;
-        }
-        out.score += am_scores(t, state);
-      }
-    }
+Lattice DecodeSession::finalize() {
+  static obs::Counter& lattices_out =
+      obs::Metrics::counter("decoder.lattices");
+  static obs::Counter& edges_out = obs::Metrics::counter("decoder.edges");
+  if (finalized_) {
+    throw std::logic_error("DecodeSession: finalize() called twice");
   }
+  finalized_ = true;
+  const std::size_t frames = frames_seen_;
+  if (frames == 0) return Lattice(0, {});
+  PHONOLID_SPAN("viterbi");
+  const auto& topology = decoder_->topology_;
+  const auto& config = decoder_->config_;
+
   // Final boundary.
   const double final_best = harvest_boundary(frames);
   if (final_best == kNegInf) {
     // Pathological (e.g. single-frame utterance shorter than one HMM):
     // fall back to a single best-state edge so downstream code sees a
-    // non-empty, sound lattice.
+    // non-empty, sound lattice.  state_sums_ accumulated per advance() in
+    // the same order the batch fallback sums, so the pick is identical.
     std::size_t best_state = 0;
     float best_score = -std::numeric_limits<float>::infinity();
-    for (std::size_t s = 0; s < topology_.num_states(); ++s) {
-      float total = 0.0f;
-      for (std::size_t t = 0; t < frames; ++t) total += am_scores(t, s);
-      if (total > best_score) {
-        best_score = total;
+    for (std::size_t s = 0; s < topology.num_states(); ++s) {
+      if (state_sums_[s] > best_score) {
+        best_score = state_sums_[s];
         best_state = s;
       }
     }
     LatticeEdge e;
     e.start_node = 0;
     e.end_node = static_cast<std::uint32_t>(frames);
-    e.phone = static_cast<std::uint32_t>(topology_.phone_of(best_state));
+    e.phone = static_cast<std::uint32_t>(topology.phone_of(best_state));
     e.score = best_score;
     Lattice lat(frames, {e});
-    lat.compute_posteriors(config_.acoustic_scale, config_.posterior_prune);
+    lat.compute_posteriors(config.acoustic_scale, config.posterior_prune);
     lat.set_best_path({e.phone});
     lattices_out.add();
     edges_out.add(1);
@@ -218,15 +241,15 @@ Lattice PhoneLoopDecoder::decode_from_scores(
   }
 
   lattices_out.add();
-  edges_out.add(edges.size());
-  Lattice lattice(frames, std::move(edges));
-  lattice.compute_posteriors(config_.acoustic_scale, config_.posterior_prune);
+  edges_out.add(edges_.size());
+  Lattice lattice(frames, std::move(edges_));
+  lattice.compute_posteriors(config.acoustic_scale, config.posterior_prune);
 
   // 1-best phone sequence by boundary traceback.
   std::vector<std::uint32_t> path;
   std::size_t t = frames;
   while (t > 0) {
-    const Boundary& b = boundaries[t];
+    const Boundary& b = boundaries_[t];
     path.push_back(b.best_phone);
     assert(b.best_entry < t);
     t = b.best_entry;

@@ -13,12 +13,17 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
 
 #include "am/hmm.h"
 #include "decoder/lattice.h"
 #include "util/matrix.h"
 
 namespace phonolid::decoder {
+
+class DecodeSession;
 
 struct DecoderConfig {
   /// Log-score beam for admitting phone-end hypotheses into the lattice.
@@ -49,15 +54,80 @@ class PhoneLoopDecoder {
   [[nodiscard]] Lattice decode(const util::Matrix& features) const;
 
   /// Viterbi over a precomputed frames x num_states acoustic score matrix
-  /// (as produced by AcousticModel::score).  Lets callers batch the model
-  /// evaluation separately from the search.
+  /// (as produced by AcousticModel::score).  Implemented as a single-chunk
+  /// DecodeSession, so batch and streaming share one beam-advance code path.
   [[nodiscard]] Lattice decode_from_scores(const util::Matrix& am_scores) const;
 
  private:
+  friend class DecodeSession;
   const am::AcousticModel* model_;
   am::HmmTopology topology_;
   am::HmmTransitions transitions_;
   DecoderConfig config_;
+};
+
+/// Incremental Viterbi beam advance: feed AM score rows chunk by chunk, then
+/// finalize() into the posterior-annotated lattice.  The session owns every
+/// piece of search state (token rows, boundary records, harvested edges), so
+/// concurrent sessions — even several on one thread — are independent.  For
+/// any chunking of the same score matrix the finalized lattice is
+/// bit-identical to PhoneLoopDecoder::decode_from_scores on the whole.
+class DecodeSession {
+ public:
+  /// `decoder` must outlive the session.
+  explicit DecodeSession(const PhoneLoopDecoder& decoder);
+
+  /// Advances the beam over `am_scores` (rows are global frames
+  /// [frames_seen(), frames_seen() + rows)).  Throws std::logic_error after
+  /// finalize().
+  void advance(const util::Matrix& am_scores);
+
+  /// Harvests the final boundary and builds the lattice (posteriors +
+  /// 1-best path, like the batch call).  Throws std::logic_error if called
+  /// twice.
+  [[nodiscard]] Lattice finalize();
+
+  [[nodiscard]] std::size_t frames_seen() const noexcept {
+    return frames_seen_;
+  }
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+
+ private:
+  // DP state per (phone, position): path score, entry frame, path score at
+  // entry (excluding this phone's own contributions).
+  struct Token {
+    double score = -std::numeric_limits<double>::infinity();
+    std::uint32_t entry = 0;
+    double entry_base = 0.0;
+  };
+  // Boundary records: for boundary time t (phone ends after frame t-1),
+  // the best exiting phone and its entry frame (for 1-best traceback).
+  struct Boundary {
+    double best_exit = -std::numeric_limits<double>::infinity();
+    std::uint32_t best_phone = 0;
+    std::uint32_t best_entry = 0;
+  };
+  struct ExitCand {
+    double score;
+    std::uint32_t entry;
+    double entry_base;
+  };
+
+  double harvest_boundary(std::size_t boundary);
+  void advance_frame(std::span<const float> row, std::size_t t,
+                     double entry_score);
+
+  const PhoneLoopDecoder* decoder_;
+  std::vector<Token> cur_, prev_;
+  std::vector<Boundary> boundaries_;  // index = boundary time, [0] unused
+  std::vector<LatticeEdge> edges_;
+  std::vector<ExitCand> exits_;       // per-boundary scratch
+  // Running per-state score sums (t-ascending float adds, matching the
+  // batch fallback) so utterances shorter than one HMM still produce the
+  // same single-edge lattice.
+  std::vector<float> state_sums_;
+  std::size_t frames_seen_ = 0;
+  bool finalized_ = false;
 };
 
 }  // namespace phonolid::decoder

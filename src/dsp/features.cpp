@@ -1,5 +1,7 @@
 #include "dsp/features.h"
 
+#include "dsp/streaming_features.h"
+
 #include <cassert>
 #include <cmath>
 
@@ -92,14 +94,11 @@ std::size_t FeaturePipeline::feature_dim() const noexcept {
   return config_.deltas ? base * 3 : base;
 }
 
-util::Matrix FeaturePipeline::process(std::span<const float> signal) const {
-  util::Matrix feats = (config_.kind == FeatureKind::kMfcc)
-                           ? mfcc_->extract(signal)
-                           : plp_->extract(signal);
+double FeaturePipeline::flops_per_frame() const noexcept {
   // Software energy model: per-frame FFT (~5 N log2 N), filterbank
   // (~2 * filters * N/2), and cepstral projection (~2 * ceps * filters),
-  // plus deltas/CMVN below.  Depends only on the config and frame count,
-  // so the charge is deterministic for a given input.
+  // plus delta regression and CMVN terms.  Depends only on the config, so
+  // the charge is deterministic for a given input.
   const bool mfcc = config_.kind == FeatureKind::kMfcc;
   const double n_fft =
       static_cast<double>(mfcc ? config_.mfcc.n_fft : config_.plp.n_fft);
@@ -109,16 +108,23 @@ util::Matrix FeaturePipeline::process(std::span<const float> signal) const {
                                                  : config_.plp.num_ceps);
   double per_frame = 5.0 * n_fft * std::log2(n_fft) +
                      n_filters * n_fft + 2.0 * n_ceps * n_filters;
-  if (config_.deltas) feats = add_deltas(feats, config_.delta_window);
+  const double cols = static_cast<double>(feature_dim());
   if (config_.deltas) {
-    per_frame += 4.0 * static_cast<double>(config_.delta_window) *
-                 static_cast<double>(feats.cols());
+    per_frame += 4.0 * static_cast<double>(config_.delta_window) * cols;
   }
-  if (config_.cmvn) {
-    cmvn_inplace(feats, config_.cmvn_variance);
-    per_frame += 4.0 * static_cast<double>(feats.cols());
-  }
-  obs::Energy::charge_flops(static_cast<double>(feats.rows()) * per_frame);
+  if (config_.cmvn) per_frame += 4.0 * cols;
+  return per_frame;
+}
+
+util::Matrix FeaturePipeline::process(std::span<const float> signal) const {
+  // One code path with the streaming front end: batch is a single chunk.
+  StreamingFeatures stream(*this);
+  stream.push(signal);
+  stream.finish();
+  util::Matrix feats = stream.take();
+  if (config_.cmvn) cmvn_inplace(feats, config_.cmvn_variance);
+  obs::Energy::charge_flops(static_cast<double>(feats.rows()) *
+                            flops_per_frame());
   return feats;
 }
 

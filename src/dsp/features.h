@@ -46,6 +46,16 @@ class FeaturePipeline {
     return config_;
   }
 
+  /// Active extractor (exactly one is non-null, per config().kind).
+  [[nodiscard]] const MfccExtractor* mfcc() const noexcept { return mfcc_.get(); }
+  [[nodiscard]] const PlpExtractor* plp() const noexcept { return plp_.get(); }
+
+  /// Software energy-model cost of one fully post-processed frame
+  /// (extraction + deltas + CMVN terms); deterministic for a given config.
+  [[nodiscard]] double flops_per_frame() const noexcept;
+
+  /// Batch entry point: a single-chunk pass through the streaming extractor
+  /// (dsp::StreamingFeatures) followed by per-utterance CMVN.
   [[nodiscard]] util::Matrix process(std::span<const float> signal) const;
 
  private:

@@ -65,13 +65,9 @@ void Fft::inverse(std::span<std::complex<float>> data) const {
   for (auto& v : data) v = std::conj(v) * inv_n;
 }
 
-void Fft::power_spectrum(std::span<const float> in, std::span<float> out) const {
+void Fft::power_spectrum(std::span<const float> in, std::span<float> out,
+                         std::vector<std::complex<float>>& scratch) const {
   assert(in.size() == n_ && out.size() == n_ / 2 + 1);
-  // Per-thread scratch: one Fft (inside a shared FeaturePipeline) is called
-  // concurrently from parallel_for over utterances, so the buffer must not
-  // live in the object.  A call never migrates threads, so thread_local is
-  // race-free and allocation-free once warm.
-  thread_local std::vector<std::complex<float>> scratch;
   scratch.resize(n_);
   for (std::size_t i = 0; i < n_; ++i) scratch[i] = {in[i], 0.0f};
   forward(scratch);

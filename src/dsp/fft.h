@@ -26,7 +26,11 @@ class Fft {
 
   /// Power spectrum |X_k|^2 for k = 0..n/2 of a real signal.
   /// `in` has size n (zero-padded by the caller), `out` has size n/2 + 1.
-  void power_spectrum(std::span<const float> in, std::span<float> out) const;
+  /// `scratch` is caller-owned working memory (resized to n on first use):
+  /// one Fft object is shared by concurrent feature sessions, so transform
+  /// state must live with the caller, never in the object or a thread_local.
+  void power_spectrum(std::span<const float> in, std::span<float> out,
+                      std::vector<std::complex<float>>& scratch) const;
 
   static bool is_power_of_two(std::size_t n) noexcept {
     return n >= 2 && (n & (n - 1)) == 0;

@@ -1,6 +1,7 @@
 #include "dsp/mfcc.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
@@ -19,6 +20,28 @@ MfccExtractor::MfccExtractor(const MfccConfig& config)
   }
 }
 
+MfccExtractor::Workspace MfccExtractor::make_workspace() const {
+  Workspace ws;
+  ws.frame.assign(config_.n_fft, 0.0f);
+  ws.power.resize(config_.n_fft / 2 + 1);
+  ws.fbank.resize(config_.num_filters);
+  ws.fft.resize(config_.n_fft);
+  return ws;
+}
+
+void MfccExtractor::extract_frame(std::span<const float> samples, Workspace& ws,
+                                  std::span<float> out) const {
+  assert(samples.size() == config_.frame_length);
+  std::fill(ws.frame.begin(), ws.frame.end(), 0.0f);
+  for (std::size_t i = 0; i < config_.frame_length; ++i) {
+    ws.frame[i] = samples[i] * window_[i];
+  }
+  fft_.power_spectrum(ws.frame, ws.power, ws.fft);
+  filterbank_.apply(ws.power, ws.fbank);
+  for (auto& v : ws.fbank) v = std::log(std::max(v, config_.log_floor));
+  dct_.apply(ws.fbank, out);
+}
+
 util::Matrix MfccExtractor::extract(std::span<const float> signal) const {
   // Pre-emphasis operates on a copy so callers keep their raw signal.
   std::vector<float> emphasized(signal.begin(), signal.end());
@@ -27,17 +50,11 @@ util::Matrix MfccExtractor::extract(std::span<const float> signal) const {
   const std::size_t frames = framer_.num_frames(emphasized.size());
   util::Matrix features(frames, config_.num_ceps);
 
-  std::vector<float> frame(config_.n_fft, 0.0f);
-  std::vector<float> power(config_.n_fft / 2 + 1);
-  std::vector<float> fbank(config_.num_filters);
+  Workspace ws = make_workspace();
   for (std::size_t t = 0; t < frames; ++t) {
-    std::fill(frame.begin(), frame.end(), 0.0f);
-    framer_.extract(emphasized, t, window_,
-                    std::span<float>(frame.data(), config_.frame_length));
-    fft_.power_spectrum(frame, power);
-    filterbank_.apply(power, fbank);
-    for (auto& v : fbank) v = std::log(std::max(v, config_.log_floor));
-    dct_.apply(fbank, features.row(t));
+    extract_frame(std::span<const float>(emphasized)
+                      .subspan(t * config_.frame_shift, config_.frame_length),
+                  ws, features.row(t));
   }
   return features;
 }

@@ -2,6 +2,7 @@
 // diversifies the parallel phone recognizers).
 #pragma once
 
+#include <complex>
 #include <cstddef>
 #include <memory>
 #include <span>
@@ -30,12 +31,32 @@ struct MfccConfig {
 
 class MfccExtractor {
  public:
+  /// Per-call working memory.  The extractor itself is immutable and shared
+  /// across threads and streaming sessions; each caller owns one Workspace,
+  /// so concurrent extraction (even two sessions on one thread) never
+  /// touches shared or thread-local scratch.
+  struct Workspace {
+    std::vector<float> frame;                 // n_fft, zero-padded
+    std::vector<float> power;                 // n_fft/2 + 1
+    std::vector<float> fbank;                 // num_filters
+    std::vector<std::complex<float>> fft;     // n_fft transform scratch
+  };
+
   explicit MfccExtractor(const MfccConfig& config = {});
 
   [[nodiscard]] const MfccConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t feature_dim() const noexcept { return config_.num_ceps; }
 
+  [[nodiscard]] Workspace make_workspace() const;
+
+  /// One frame of *pre-emphasized* samples (size frame_length, window not
+  /// yet applied) -> one cepstral row (size num_ceps).
+  void extract_frame(std::span<const float> samples, Workspace& ws,
+                     std::span<float> out) const;
+
   /// Extracts one feature row per frame; returns num_frames x num_ceps.
+  /// Implemented as a loop over extract_frame, so batch and streaming share
+  /// one per-frame code path.
   [[nodiscard]] util::Matrix extract(std::span<const float> signal) const;
 
  private:

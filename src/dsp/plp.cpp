@@ -85,6 +85,55 @@ PlpExtractor::PlpExtractor(const PlpConfig& config)
   }
 }
 
+PlpExtractor::Workspace PlpExtractor::make_workspace() const {
+  Workspace ws;
+  ws.frame.assign(config_.n_fft, 0.0f);
+  ws.power.resize(config_.n_fft / 2 + 1);
+  ws.bands.resize(config_.num_filters);
+  ws.fft.resize(config_.n_fft);
+  ws.loud.resize(config_.num_filters);
+  ws.autocorr.resize(config_.lpc_order + 1);
+  ws.lpc.resize(config_.lpc_order);
+  ws.ceps.resize(config_.num_ceps);
+  return ws;
+}
+
+void PlpExtractor::extract_frame(std::span<const float> samples, Workspace& ws,
+                                 std::span<float> out) const {
+  assert(samples.size() == config_.frame_length);
+  const std::size_t nb = config_.num_filters;
+  std::fill(ws.frame.begin(), ws.frame.end(), 0.0f);
+  for (std::size_t i = 0; i < config_.frame_length; ++i) {
+    ws.frame[i] = samples[i] * window_[i];
+  }
+  fft_.power_spectrum(ws.frame, ws.power, ws.fft);
+  filterbank_.apply(ws.power, ws.bands);
+  for (std::size_t f = 0; f < nb; ++f) {
+    const double compressed = std::pow(
+        std::max(static_cast<double>(ws.bands[f]), 1e-10) * equal_loudness_[f],
+        config_.compress_power);
+    ws.loud[f] = compressed;
+  }
+  // Inverse DFT of the (symmetric) loudness spectrum gives autocorrelation
+  // of the perceptually warped signal.  Treat bands as samples of an even
+  // spectrum at angles pi*(f+0.5)/nb.
+  for (std::size_t lag = 0; lag <= config_.lpc_order; ++lag) {
+    double acc = 0.0;
+    for (std::size_t f = 0; f < nb; ++f) {
+      const double angle = std::numbers::pi * (static_cast<double>(f) + 0.5) *
+                           static_cast<double>(lag) / static_cast<double>(nb);
+      acc += ws.loud[f] * std::cos(angle);
+    }
+    ws.autocorr[lag] = acc / static_cast<double>(nb);
+  }
+  if (ws.autocorr[0] <= 0.0) ws.autocorr[0] = 1e-10;
+  const double gain2 = levinson_durbin(ws.autocorr, ws.lpc);
+  lpc_to_cepstrum(ws.lpc, gain2, ws.ceps);
+  for (std::size_t k = 0; k < config_.num_ceps; ++k) {
+    out[k] = static_cast<float>(ws.ceps[k]);
+  }
+}
+
 util::Matrix PlpExtractor::extract(std::span<const float> signal) const {
   std::vector<float> emphasized(signal.begin(), signal.end());
   pre_emphasis(emphasized, config_.pre_emph);
@@ -92,46 +141,11 @@ util::Matrix PlpExtractor::extract(std::span<const float> signal) const {
   const std::size_t frames = framer_.num_frames(emphasized.size());
   util::Matrix features(frames, config_.num_ceps);
 
-  const std::size_t nb = config_.num_filters;
-  std::vector<float> frame(config_.n_fft, 0.0f);
-  std::vector<float> power(config_.n_fft / 2 + 1);
-  std::vector<float> bands(nb);
-  std::vector<double> loud(nb);
-  std::vector<double> autocorr(config_.lpc_order + 1);
-  std::vector<double> lpc(config_.lpc_order);
-  std::vector<double> ceps(config_.num_ceps);
-
+  Workspace ws = make_workspace();
   for (std::size_t t = 0; t < frames; ++t) {
-    std::fill(frame.begin(), frame.end(), 0.0f);
-    framer_.extract(emphasized, t, window_,
-                    std::span<float>(frame.data(), config_.frame_length));
-    fft_.power_spectrum(frame, power);
-    filterbank_.apply(power, bands);
-    for (std::size_t f = 0; f < nb; ++f) {
-      const double compressed = std::pow(
-          std::max(static_cast<double>(bands[f]), 1e-10) * equal_loudness_[f],
-          config_.compress_power);
-      loud[f] = compressed;
-    }
-    // Inverse DFT of the (symmetric) loudness spectrum gives autocorrelation
-    // of the perceptually warped signal.  Treat bands as samples of an even
-    // spectrum at angles pi*(f+0.5)/nb.
-    for (std::size_t lag = 0; lag <= config_.lpc_order; ++lag) {
-      double acc = 0.0;
-      for (std::size_t f = 0; f < nb; ++f) {
-        const double angle = std::numbers::pi * (static_cast<double>(f) + 0.5) *
-                             static_cast<double>(lag) / static_cast<double>(nb);
-        acc += loud[f] * std::cos(angle);
-      }
-      autocorr[lag] = acc / static_cast<double>(nb);
-    }
-    if (autocorr[0] <= 0.0) autocorr[0] = 1e-10;
-    const double gain2 = levinson_durbin(autocorr, lpc);
-    lpc_to_cepstrum(lpc, gain2, ceps);
-    auto row = features.row(t);
-    for (std::size_t k = 0; k < config_.num_ceps; ++k) {
-      row[k] = static_cast<float>(ceps[k]);
-    }
+    extract_frame(std::span<const float>(emphasized)
+                      .subspan(t * config_.frame_shift, config_.frame_length),
+                  ws, features.row(t));
   }
   return features;
 }

@@ -7,6 +7,7 @@
 // PLP plus deltas feeding the DNN front-end).
 #pragma once
 
+#include <complex>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -46,10 +47,30 @@ struct PlpConfig {
 
 class PlpExtractor {
  public:
+  /// Per-call working memory (see MfccExtractor::Workspace): the extractor
+  /// is immutable and shared; every caller/session owns its own scratch.
+  struct Workspace {
+    std::vector<float> frame;                 // n_fft, zero-padded
+    std::vector<float> power;                 // n_fft/2 + 1
+    std::vector<float> bands;                 // num_filters
+    std::vector<std::complex<float>> fft;     // n_fft transform scratch
+    std::vector<double> loud;                 // num_filters
+    std::vector<double> autocorr;             // lpc_order + 1
+    std::vector<double> lpc;                  // lpc_order
+    std::vector<double> ceps;                 // num_ceps
+  };
+
   explicit PlpExtractor(const PlpConfig& config = {});
 
   [[nodiscard]] const PlpConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t feature_dim() const noexcept { return config_.num_ceps; }
+
+  [[nodiscard]] Workspace make_workspace() const;
+
+  /// One frame of *pre-emphasized* samples (size frame_length, window not
+  /// yet applied) -> one cepstral row (size num_ceps).
+  void extract_frame(std::span<const float> samples, Workspace& ws,
+                     std::span<float> out) const;
 
   [[nodiscard]] util::Matrix extract(std::span<const float> signal) const;
 

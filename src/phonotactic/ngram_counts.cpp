@@ -155,4 +155,48 @@ SparseVec sequence_ngram_counts(const std::vector<std::uint32_t>& phones,
   return SparseVec::from_pairs(std::move(pairs));
 }
 
+namespace {
+
+// Two-pointer union of two index-sorted sparse vectors; shared indices sum
+// as acc + incoming (fixed operand order keeps the result deterministic).
+SparseVec merge_sorted(const SparseVec& acc, const SparseVec& inc) {
+  if (acc.empty()) return inc;
+  if (inc.empty()) return acc;
+  const auto& ai = acc.indices();
+  const auto& av = acc.values();
+  const auto& bi = inc.indices();
+  const auto& bv = inc.values();
+  std::vector<std::pair<std::uint32_t, float>> pairs;
+  pairs.reserve(ai.size() + bi.size());
+  std::size_t a = 0, b = 0;
+  while (a < ai.size() && b < bi.size()) {
+    if (ai[a] < bi[b]) {
+      pairs.emplace_back(ai[a], av[a]);
+      ++a;
+    } else if (bi[b] < ai[a]) {
+      pairs.emplace_back(bi[b], bv[b]);
+      ++b;
+    } else {
+      pairs.emplace_back(ai[a], av[a] + bv[b]);
+      ++a;
+      ++b;
+    }
+  }
+  for (; a < ai.size(); ++a) pairs.emplace_back(ai[a], av[a]);
+  for (; b < bi.size(); ++b) pairs.emplace_back(bi[b], bv[b]);
+  // Input is already sorted and duplicate-free, so from_pairs is a plain
+  // repack here.
+  return SparseVec::from_pairs(std::move(pairs));
+}
+
+}  // namespace
+
+void CountAccumulator::add(const SparseVec& counts) {
+  merged_ = merge_sorted(merged_, counts);
+}
+
+void CountAccumulator::merge(const CountAccumulator& other) {
+  merged_ = merge_sorted(merged_, other.merged_);
+}
+
 }  // namespace phonolid::phonotactic

@@ -66,4 +66,26 @@ SparseVec expected_ngram_counts(const decoder::Lattice& lattice,
 SparseVec sequence_ngram_counts(const std::vector<std::uint32_t>& phones,
                                 const NgramIndexer& indexer);
 
+/// Mergeable partial-count state for streaming/sharded supervector builds.
+///
+/// add() folds one segment's raw counts in; merge() folds another
+/// accumulator in.  Summation is a deterministic index-sorted two-pointer
+/// merge (left value + right value, in call order), so the same sequence of
+/// add()/merge() calls always yields bit-identical totals.
+class CountAccumulator {
+ public:
+  /// Fold one raw count vector in.
+  void add(const SparseVec& counts);
+  /// Fold another accumulator's totals in.
+  void merge(const CountAccumulator& other);
+  [[nodiscard]] bool empty() const noexcept { return merged_.empty(); }
+  /// Accumulated totals so far (ready for SupervectorBuilder::
+  /// build_from_counts).  Cheap snapshot: the internal state is unchanged,
+  /// so checkpoints can be taken mid-stream.
+  [[nodiscard]] SparseVec build() const { return merged_; }
+
+ private:
+  SparseVec merged_;
+};
+
 }  // namespace phonolid::phonotactic

@@ -14,13 +14,19 @@ SupervectorBuilder::SupervectorBuilder(NgramIndexer indexer,
     : indexer_(std::move(indexer)), config_(config) {}
 
 SparseVec SupervectorBuilder::build(const decoder::Lattice& lattice) const {
+  return build_from_counts(counts(lattice));
+}
+
+SparseVec SupervectorBuilder::counts(const decoder::Lattice& lattice) const {
+  return config_.use_lattice
+             ? expected_ngram_counts(lattice, indexer_, config_.counts)
+             : sequence_ngram_counts(lattice.best_path(), indexer_);
+}
+
+SparseVec SupervectorBuilder::build_from_counts(SparseVec counts) const {
   static obs::Counter& built =
       obs::Metrics::counter("phonotactic.supervectors");
   built.add();
-  SparseVec counts =
-      config_.use_lattice
-          ? expected_ngram_counts(lattice, indexer_, config_.counts)
-          : sequence_ngram_counts(lattice.best_path(), indexer_);
   if (counts.empty()) return counts;
 
   // Per-order normalisation: p(d | ℓ) = c(d) / Σ_{same order} c(m).
@@ -60,6 +66,19 @@ void TfllrScaler::accumulate(const SparseVec& supervector) {
     accum_[idx[i]] += val[i];
     total_ += val[i];
   }
+}
+
+void TfllrScaler::merge(const TfllrScaler& other) {
+  if (finalized_ || other.finalized_) {
+    throw std::logic_error("TfllrScaler::merge: already finalized");
+  }
+  if (accum_.size() != other.accum_.size()) {
+    throw std::invalid_argument("TfllrScaler::merge: dimension mismatch");
+  }
+  for (std::size_t i = 0; i < accum_.size(); ++i) {
+    accum_[i] += other.accum_[i];
+  }
+  total_ += other.total_;
 }
 
 void TfllrScaler::finalize() {

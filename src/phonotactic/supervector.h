@@ -34,8 +34,17 @@ class SupervectorBuilder {
     return indexer_.dimension();
   }
 
-  /// φ(x) for one decoded utterance.
+  /// φ(x) for one decoded utterance
+  /// (= build_from_counts(counts(lattice))).
   [[nodiscard]] SparseVec build(const decoder::Lattice& lattice) const;
+
+  /// Raw (un-normalised) N-gram counts of one lattice — the mergeable
+  /// partial form: counts of independently decoded segments can be summed
+  /// with a CountAccumulator before normalisation.
+  [[nodiscard]] SparseVec counts(const decoder::Lattice& lattice) const;
+
+  /// Per-order normalisation of raw counts into a probability supervector.
+  [[nodiscard]] SparseVec build_from_counts(SparseVec counts) const;
 
  private:
   NgramIndexer indexer_;
@@ -54,6 +63,10 @@ class TfllrScaler {
 
   /// Accumulate one training supervector into the background distribution.
   void accumulate(const SparseVec& supervector);
+
+  /// Fold another (un-finalised) scaler's accumulated background into this
+  /// one — partial fits from shards/streams merge before finalize().
+  void merge(const TfllrScaler& other);
 
   /// Finalise p(d_q | ℓ_all) and the per-feature scale factors.
   void finalize();

@@ -99,7 +99,8 @@ TEST(Fft, ParsevalForPowerSpectrum) {
     time_energy += static_cast<double>(v) * v;
   }
   std::vector<float> power(n / 2 + 1);
-  fft.power_spectrum(x, power);
+  std::vector<std::complex<float>> scratch;
+  fft.power_spectrum(x, power, scratch);
   // Reassemble full-spectrum energy from the half spectrum (bins 1..n/2-1
   // appear twice in the full spectrum).
   double freq_energy = power[0] + power[n / 2];

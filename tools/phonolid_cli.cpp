@@ -66,6 +66,11 @@ void usage() {
       "  corpus       corpus statistics\n"
       "  decode       decode one test utterance (--frontend N --utterance I)\n"
       "  run          baseline vs DBA summary (--v N --mode m1|m2|both)\n"
+      "               run/decode stream each utterance through the chunked\n"
+      "               front end: --chunk-ms N sets the chunk size\n"
+      "               (bit-identical for any N), --stream-checkpoint-s S\n"
+      "               emits early LLR checkpoints every S seconds into the\n"
+      "               report's \"streaming\" section\n"
       "  det          DET curve CSV for the baseline fusion (--points N)\n"
       "  votes        vote histogram and Tr_DBA sizes\n"
       "  export       run the pipeline and export observability artifacts:\n"
@@ -170,8 +175,11 @@ const std::map<std::string, std::set<std::string>>& command_flags() {
   static const std::map<std::string, std::set<std::string>> flags = {
       {"corpus", {"scale", "seed", "report", "cache-dir"}},
       {"decode",
-       {"scale", "seed", "report", "frontend", "utterance", "cache-dir"}},
-      {"run", {"scale", "seed", "report", "v", "mode", "cache-dir", "ledger"}},
+       {"scale", "seed", "report", "frontend", "utterance", "cache-dir",
+        "chunk-ms", "stream-checkpoint-s"}},
+      {"run",
+       {"scale", "seed", "report", "v", "mode", "cache-dir", "ledger",
+        "chunk-ms", "stream-checkpoint-s"}},
       {"det", {"scale", "seed", "report", "points", "cache-dir", "ledger"}},
       {"votes", {"scale", "seed", "report", "cache-dir", "ledger"}},
       {"export", {"scale", "seed", "v", "trace", "prom", "cache-dir", "ledger"}},
@@ -240,7 +248,51 @@ core::ExperimentConfig config_from(const Args& args) {
   cfg.report_path = args.get("report", "");
   cfg.cache_dir = args.get("cache-dir", "");
   cfg.ledger_path = args.get("ledger", "");
+  if (args.flags.count("chunk-ms") != 0) {
+    const long ms = args.get_int("chunk-ms", 0);
+    if (ms <= 0) {
+      std::fprintf(stderr,
+                   "error: flag --chunk-ms expects a positive integer, got "
+                   "'%ld'\n",
+                   ms);
+      std::exit(2);
+    }
+    cfg.batch_chunk_samples = static_cast<std::size_t>(
+        static_cast<double>(ms) * cfg.corpus.sample_rate / 1000.0);
+    if (cfg.batch_chunk_samples == 0) cfg.batch_chunk_samples = 1;
+  }
   return cfg;
+}
+
+/// --stream-checkpoint-s: checkpoint cadence in seconds (0 = off; anything
+/// non-positive when the flag IS given is a usage error).
+double checkpoint_interval_from(const Args& args) {
+  if (args.flags.count("stream-checkpoint-s") == 0) return 0.0;
+  const double s = args.get_double("stream-checkpoint-s", 0.0);
+  if (s <= 0.0) {
+    std::fprintf(stderr,
+                 "error: flag --stream-checkpoint-s expects a positive "
+                 "number of seconds\n");
+    std::exit(2);
+  }
+  return s;
+}
+
+obs::Json checkpoints_json(const std::vector<core::StreamingCheckpoint>& cps) {
+  obs::Json out = obs::Json::array();
+  for (const auto& cp : cps) {
+    obs::Json entry = obs::Json::object();
+    entry["audio_s"] = obs::Json(cp.audio_s);
+    entry["frames"] = obs::Json(cp.frames);
+    if (!cp.llr.empty()) {
+      obs::Json llr = obs::Json::array();
+      for (float v : cp.llr) llr.push_back(obs::Json(v));
+      entry["llr"] = std::move(llr);
+      entry["best_language"] = obs::Json(cp.best_language);
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
 }
 
 obs::Json tier_metrics_json(const core::EvalResult& result) {
@@ -373,6 +425,8 @@ int cmd_decode(const Args& args) {
       });
   const auto sub =
       core::Subsystem::assemble(corpus, cfg.frontends[q], std::move(fe));
+  sub->set_batch_chunk_samples(cfg.batch_chunk_samples);
+  const double checkpoint_s = checkpoint_interval_from(args);
   const auto utt_index =
       static_cast<std::size_t>(args.get_int("utterance", 0)) %
       corpus.test().size();
@@ -381,7 +435,21 @@ int cmd_decode(const Args& args) {
   std::printf("utterance : #%zu, language %d, tier %s, %.2fs audio\n",
               utt_index, utt.language, corpus::to_string(utt.tier),
               static_cast<double>(utt.samples.size()) / cfg.corpus.sample_rate);
-  const auto lattice = sub->decode(utt);
+  std::vector<core::StreamingCheckpoint> checkpoints;
+  decoder::Lattice lattice = [&] {
+    if (checkpoint_s <= 0.0) return sub->decode(utt);
+    core::StreamingOptions opts;
+    opts.chunk_samples = cfg.batch_chunk_samples;
+    opts.checkpoint_interval_s = checkpoint_s;
+    opts.apply_tfllr = false;  // no TFLLR fit in lattice-only decode
+    auto res = sub->score_stream(utt.samples, opts);
+    checkpoints = std::move(res.checkpoints);
+    return std::move(res.lattice);
+  }();
+  for (const auto& cp : checkpoints) {
+    std::printf("checkpoint: %.2fs audio, %zu frames resolved\n", cp.audio_s,
+                cp.frames);
+  }
   std::printf("lattice   : %zu frames, %zu edges\n", lattice.num_frames(),
               lattice.edges().size());
   std::printf("1-best    :");
@@ -407,6 +475,14 @@ int cmd_decode(const Args& args) {
     results["lattice_frames"] = obs::Json(lattice.num_frames());
     results["lattice_edges"] = obs::Json(lattice.edges().size());
     results["best_path_length"] = obs::Json(lattice.best_path().size());
+    if (checkpoint_s > 0.0) {
+      obs::Json streaming = obs::Json::object();
+      streaming["version"] = obs::Json(1);
+      streaming["chunk_samples"] = obs::Json(cfg.batch_chunk_samples);
+      streaming["checkpoint_interval_s"] = obs::Json(checkpoint_s);
+      streaming["checkpoints"] = checkpoints_json(checkpoints);
+      results["streaming"] = std::move(streaming);
+    }
     write_plain_report(cfg, "decode", std::move(results));
   }
   return 0;
@@ -460,6 +536,69 @@ int cmd_run(const Args& args) {
                 100.0 * dba.tier[t].eer, 100.0 * dba.tier[t].cavg);
   }
 
+  // Early-decision demonstration: re-stream the longest-tier test
+  // utterances with per-checkpoint LLRs from the baseline VSMs.
+  const double checkpoint_s = checkpoint_interval_from(args);
+  obs::Json streaming_section = obs::Json::object();
+  if (checkpoint_s > 0.0) {
+    const auto& corpus = exp->corpus();
+    const auto tier30 =
+        corpus.test_indices(static_cast<corpus::DurationTier>(0));
+    const std::size_t n_utts = std::min<std::size_t>(2, tier30.size());
+    const std::size_t k = exp->num_languages();
+    std::printf("\nstreaming checkpoints (every %.1fs):\n", checkpoint_s);
+    obs::Json utts_json = obs::Json::array();
+    for (std::size_t u = 0; u < n_utts; ++u) {
+      const std::size_t utt_index = tier30[u];
+      const auto& utt = corpus.test()[utt_index];
+      obs::Json utt_json = obs::Json::object();
+      utt_json["utterance"] = obs::Json(utt_index);
+      utt_json["language"] = obs::Json(utt.language);
+      utt_json["audio_s"] =
+          obs::Json(static_cast<double>(utt.samples.size()) /
+                    cfg.corpus.sample_rate);
+      obs::Json subs_json = obs::Json::array();
+      for (std::size_t s = 0; s < exp->num_subsystems(); ++s) {
+        const svm::VsmModel& vsm = exp->baseline_vsm(s);
+        core::StreamingOptions opts;
+        opts.chunk_samples = cfg.batch_chunk_samples;
+        opts.checkpoint_interval_s = checkpoint_s;
+        opts.scorer = [&vsm, k](const phonotactic::SparseVec& sv) {
+          std::vector<float> out(k);
+          vsm.score(sv, std::span<float>(out));
+          return out;
+        };
+        const core::StreamingResult res =
+            exp->subsystem(s).score_stream(utt.samples, opts);
+        std::printf("  utt #%-4zu %-16s:", utt_index,
+                    exp->subsystem(s).name().c_str());
+        for (const auto& cp : res.checkpoints) {
+          std::printf(" %.0fs->%s", cp.audio_s,
+                      cp.best_language < k
+                          ? corpus.target_languages()[cp.best_language]
+                                .name()
+                                .c_str()
+                          : "?");
+        }
+        std::printf("  (true %s)\n",
+                    corpus.target_languages()[static_cast<std::size_t>(
+                                                  utt.language)]
+                        .name()
+                        .c_str());
+        obs::Json sub_json = obs::Json::object();
+        sub_json["subsystem"] = obs::Json(exp->subsystem(s).name());
+        sub_json["checkpoints"] = checkpoints_json(res.checkpoints);
+        subs_json.push_back(std::move(sub_json));
+      }
+      utt_json["subsystems"] = std::move(subs_json);
+      utts_json.push_back(std::move(utt_json));
+    }
+    streaming_section["version"] = obs::Json(1);
+    streaming_section["chunk_samples"] = obs::Json(cfg.batch_chunk_samples);
+    streaming_section["checkpoint_interval_s"] = obs::Json(checkpoint_s);
+    streaming_section["utterances"] = std::move(utts_json);
+  }
+
   if (!cfg.ledger_path.empty()) exp->write_ledger(cfg.ledger_path);
   if (!cfg.report_path.empty()) {
     obs::Json results = obs::Json::object();
@@ -469,6 +608,9 @@ int cmd_run(const Args& args) {
     results["min_votes"] = obs::Json(v);
     obs::Json extra = obs::Json::object();
     extra["results"] = std::move(results);
+    if (checkpoint_s > 0.0) {
+      extra["streaming"] = std::move(streaming_section);
+    }
     exp->write_report(cfg.report_path, "run", std::move(extra));
   }
   return 0;
