@@ -1,0 +1,397 @@
+// bench_serve — closed-loop load generator for the `phonolid serve` daemon.
+//
+//   bench_serve --port N [--host 127.0.0.1] [--scale quick] [--seed S]
+//               [--connections 8] [--repeat 1] [--ledger offline.jsonl]
+//               [--expected-llr f.txt] [--llr-out f.txt] [--report out.json]
+//               [--min-batch-p50 X]
+//
+// Regenerates the pooled test set of the given scale/seed (the same corpus
+// the daemon's bundle was frozen from), opens `--connections` closed-loop
+// clients, and scores every test utterance `--repeat` times.  Verifies the
+// daemon end to end:
+//
+//   * every response OK, and repeats of one utterance bit-identical;
+//   * with --ledger, daemon LLRs exactly equal the offline run's fused_llr
+//     (the trainer/server split must not move a single bit);
+//   * with --min-batch-p50, the server's batch-size histogram median must
+//     reach it — proof that micro-batching actually engaged under load.
+//
+// --llr-out / --expected-llr write daemon and ledger LLRs in one shared
+// text format ("<utt> <llr0> <llr1> ...", %.17g) so scripts/tier1.sh can
+// `cmp` them byte for byte.  --report emits a schema-v1 run report with a
+// "serve" section for report-diff gating against BENCH_serve.json.
+#include <algorithm>
+#include <atomic>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus/dataset.h"
+#include "obs/json.h"
+#include "obs/ledger.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "serve/client.h"
+#include "util/options.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace phonolid;
+
+[[noreturn]] void usage_error(const char* message) {
+  std::fprintf(stderr,
+               "error: %s\n"
+               "usage: bench_serve --port N [--host H] [--scale S] [--seed N]\n"
+               "         [--connections C] [--repeat R] [--ledger l.jsonl]\n"
+               "         [--expected-llr f] [--llr-out f] [--report out.json]\n"
+               "         [--min-batch-p50 X]\n",
+               message);
+  std::exit(2);
+}
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::size_t connections = 8;
+  std::size_t repeat = 1;
+  std::string ledger_path;
+  std::string expected_llr_path;
+  std::string llr_out_path;
+  std::string report_path;
+  double min_batch_p50 = 0.0;
+};
+
+long parse_long(const std::string& text, const char* flag) {
+  long value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size() || text.empty()) {
+    std::fprintf(stderr, "error: flag %s expects an integer, got '%s'\n",
+                 flag, text.c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
+struct RequestSample {
+  std::size_t utt = 0;
+  double latency_ms = 0.0;
+};
+
+double exact_percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+double json_number(const obs::Json* node, const char* key) {
+  const obs::Json* v = node == nullptr ? nullptr : node->find(key);
+  return v != nullptr && v->is_number() ? v->as_double() : 0.0;
+}
+
+/// One line per utterance, "<utt> <llr0> <llr1> ...\n" with %.17g — the
+/// exact round-trip format the ledger uses, so daemon f32 LLRs and offline
+/// double LLRs compare byte-identically via cmp when the bits agree.
+void write_llr_file(const std::string& path,
+                    const std::map<std::size_t, std::vector<double>>& llrs) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  char buf[64];
+  for (const auto& [utt, llr] : llrs) {
+    out << utt;
+    for (double v : llr) {
+      std::snprintf(buf, sizeof buf, " %.17g", v);
+      out << buf;
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (i + 1 >= argc) usage_error(("flag " + key + " expects a value").c_str());
+    const std::string value = argv[++i];
+    if (key == "--port") {
+      opt.port = static_cast<int>(parse_long(value, "--port"));
+    } else if (key == "--host") {
+      opt.host = value;
+    } else if (key == "--scale" || key == "--seed") {
+      // Parsed below through the standard env-compatible helpers.
+      ::setenv(key == "--scale" ? "PHONOLID_SCALE" : "PHONOLID_SEED",
+               value.c_str(), 1);
+    } else if (key == "--connections") {
+      opt.connections =
+          static_cast<std::size_t>(parse_long(value, "--connections"));
+    } else if (key == "--repeat") {
+      opt.repeat = static_cast<std::size_t>(parse_long(value, "--repeat"));
+    } else if (key == "--ledger") {
+      opt.ledger_path = value;
+    } else if (key == "--expected-llr") {
+      opt.expected_llr_path = value;
+    } else if (key == "--llr-out") {
+      opt.llr_out_path = value;
+    } else if (key == "--report") {
+      opt.report_path = value;
+    } else if (key == "--min-batch-p50") {
+      opt.min_batch_p50 = std::atof(value.c_str());
+    } else {
+      usage_error(("unknown flag " + key).c_str());
+    }
+  }
+  if (opt.port <= 0) usage_error("--port is required");
+  if (opt.connections == 0) opt.connections = 1;
+  if (opt.repeat == 0) opt.repeat = 1;
+
+  const auto scale = util::scale_from_env();
+  const std::uint64_t seed = util::master_seed();
+  std::printf("# bench_serve (scale=%s, seed=%llu, %s:%d, %zu connections, "
+              "repeat %zu)\n",
+              util::to_string(scale), static_cast<unsigned long long>(seed),
+              opt.host.c_str(), opt.port, opt.connections, opt.repeat);
+
+  const auto corpus_cfg = corpus::CorpusConfig::preset(scale, seed);
+  const auto corpus = corpus::LreCorpus::build(corpus_cfg);
+  const auto& test = corpus.test();
+  if (test.empty()) {
+    std::fprintf(stderr, "error: empty test set at scale %s\n",
+                 util::to_string(scale));
+    return 1;
+  }
+  std::printf("# %zu pooled test utterances -> %zu requests\n", test.size(),
+              test.size() * opt.repeat);
+
+  // The work list: every pooled test utterance, repeated; shards rotate so
+  // each connection touches a spread of utterance lengths.
+  std::vector<std::size_t> work;
+  work.reserve(test.size() * opt.repeat);
+  for (std::size_t r = 0; r < opt.repeat; ++r) {
+    for (std::size_t u = 0; u < test.size(); ++u) work.push_back(u);
+  }
+
+  std::mutex results_mu;
+  std::map<std::size_t, std::vector<double>> llr_by_utt;
+  std::vector<RequestSample> samples;
+  std::atomic<std::uint64_t> failures{0};
+  std::atomic<std::uint64_t> mismatches{0};
+
+  obs::Span load_span("bench_serve_load");
+  std::vector<std::thread> threads;
+  threads.reserve(opt.connections);
+  for (std::size_t c = 0; c < opt.connections; ++c) {
+    threads.emplace_back([&, c] {
+      serve::Client client;
+      try {
+        client.connect(opt.host, opt.port);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "connection %zu: %s\n", c, e.what());
+        failures.fetch_add(1);
+        return;
+      }
+      std::vector<RequestSample> local_samples;
+      for (std::size_t i = c; i < work.size(); i += opt.connections) {
+        const std::size_t utt = work[i];
+        const auto t0 = std::chrono::steady_clock::now();
+        serve::Response response;
+        try {
+          response = client.score(test[utt].samples);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "utt %zu: %s\n", utt, e.what());
+          failures.fetch_add(1);
+          return;
+        }
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        if (response.status != serve::Status::kOk) {
+          std::fprintf(stderr, "utt %zu: status %s (%s)\n", utt,
+                       serve::to_string(response.status),
+                       response.text.c_str());
+          failures.fetch_add(1);
+          continue;
+        }
+        std::vector<double> llr(response.llr.begin(), response.llr.end());
+        std::lock_guard<std::mutex> lock(results_mu);
+        local_samples.push_back({utt, ms});
+        const auto [it, inserted] =
+            llr_by_utt.emplace(utt, std::move(llr));
+        if (!inserted &&
+            !std::equal(it->second.begin(), it->second.end(),
+                        response.llr.begin(), response.llr.end(),
+                        [](double a, float b) {
+                          return a == static_cast<double>(b);
+                        })) {
+          mismatches.fetch_add(1);  // repeats must be bit-identical
+        }
+      }
+      std::lock_guard<std::mutex> lock(results_mu);
+      samples.insert(samples.end(), local_samples.begin(),
+                     local_samples.end());
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s = load_span.stop();
+
+  if (samples.empty()) {
+    std::fprintf(stderr, "error: no successful requests\n");
+    return 1;
+  }
+  std::vector<double> latencies;
+  latencies.reserve(samples.size());
+  for (const auto& s : samples) latencies.push_back(s.latency_ms);
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = exact_percentile(latencies, 0.50);
+  const double p95 = exact_percentile(latencies, 0.95);
+  const double p99 = exact_percentile(latencies, 0.99);
+  double latency_sum = 0.0;
+  for (double v : latencies) latency_sum += v;
+  const double throughput =
+      wall_s > 0.0 ? static_cast<double>(samples.size()) / wall_s : 0.0;
+  std::printf("# %zu ok in %.2fs: %.1f req/s, latency ms p50 %.1f p95 %.1f "
+              "p99 %.1f\n",
+              samples.size(), wall_s, throughput, p50, p95, p99);
+
+  // Server-side view: batch-size histogram, sheds, swaps.
+  obs::Json stats = obs::Json::object();
+  double batch_p50 = 0.0, batch_mean = 0.0;
+  try {
+    serve::Client client;
+    client.connect(opt.host, opt.port);
+    stats = obs::Json::parse(client.stats().text);
+    const obs::Json* batch = stats.find("batch");
+    batch_p50 = json_number(batch, "p50");
+    batch_mean = json_number(batch, "mean");
+    std::printf("# server: %0.f requests, batch size p50 %.0f mean %.2f, "
+                "%.0f overload sheds, %.0f bad frames\n",
+                json_number(&stats, "requests"), batch_p50, batch_mean,
+                json_number(stats.find("sheds"), "overloaded"),
+                json_number(stats.find("errors"), "bad_frame"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "warning: stats frame failed: %s\n", e.what());
+  }
+
+  int rc = 0;
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "FAIL: %llu failed requests\n",
+                 static_cast<unsigned long long>(failures.load()));
+    rc = 1;
+  }
+  if (mismatches.load() != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu repeated scores differed (non-deterministic "
+                 "daemon)\n",
+                 static_cast<unsigned long long>(mismatches.load()));
+    rc = 1;
+  }
+
+  // Bit-exact comparison against the offline run's ledger.
+  if (!opt.ledger_path.empty()) {
+    obs::DecisionLedger ledger;
+    try {
+      ledger = obs::DecisionLedger::read_jsonl_file(opt.ledger_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    std::map<std::size_t, std::vector<double>> expected;
+    for (const auto& entry : ledger.entries) {
+      if (!entry.fused_llr.empty()) {
+        expected[static_cast<std::size_t>(entry.utt)] = entry.fused_llr;
+      }
+    }
+    std::size_t compared = 0, unequal = 0;
+    for (const auto& [utt, llr] : llr_by_utt) {
+      const auto it = expected.find(utt);
+      if (it == expected.end()) continue;
+      ++compared;
+      if (llr != it->second) {
+        if (++unequal <= 3) {
+          std::fprintf(stderr, "LLR mismatch at utt %zu\n", utt);
+        }
+      }
+    }
+    std::printf("# ledger: %zu utterances compared, %zu mismatched\n",
+                compared, unequal);
+    if (compared == 0 || unequal != 0) {
+      std::fprintf(stderr,
+                   "FAIL: daemon is not bit-identical to the offline run\n");
+      rc = 1;
+    }
+    if (!opt.expected_llr_path.empty()) {
+      // Only utterances the daemon scored, in the same order/format as
+      // --llr-out, so tier1.sh can cmp the two files directly.
+      std::map<std::size_t, std::vector<double>> subset;
+      for (const auto& [utt, llr] : llr_by_utt) {
+        const auto it = expected.find(utt);
+        if (it != expected.end()) subset[utt] = it->second;
+      }
+      write_llr_file(opt.expected_llr_path, subset);
+    }
+  }
+  if (!opt.llr_out_path.empty()) write_llr_file(opt.llr_out_path, llr_by_utt);
+
+  if (opt.min_batch_p50 > 0.0 && batch_p50 < opt.min_batch_p50) {
+    std::fprintf(stderr,
+                 "FAIL: batch size p50 %.1f below required %.1f — "
+                 "micro-batching did not engage\n",
+                 batch_p50, opt.min_batch_p50);
+    rc = 1;
+  }
+
+  if (!opt.report_path.empty()) {
+    obs::ReportMeta meta;
+    meta.tool = "phonolid-bench";
+    meta.command = "bench_serve";
+    meta.scale = util::to_string(scale);
+    meta.seed = seed;
+    meta.threads = util::ThreadPool::global().num_threads();
+    obs::Json serve_section = obs::Json::object();
+    serve_section["version"] = 1;
+    serve_section["protocol_version"] = json_number(&stats, "protocol_version");
+    serve_section["connections"] = opt.connections;
+    serve_section["repeat"] = opt.repeat;
+    serve_section["requests"] = samples.size();
+    serve_section["failures"] = failures.load();
+    serve_section["wall_s"] = wall_s;
+    serve_section["throughput_rps"] = throughput;
+    obs::Json latency = obs::Json::object();
+    latency["p50"] = p50;
+    latency["p95"] = p95;
+    latency["p99"] = p99;
+    latency["mean"] = latency_sum / static_cast<double>(latencies.size());
+    latency["max"] = latencies.back();
+    serve_section["latency_ms"] = std::move(latency);
+    obs::Json batch = obs::Json::object();
+    batch["p50"] = batch_p50;
+    batch["mean"] = batch_mean;
+    serve_section["batch_size"] = std::move(batch);
+    serve_section["sheds_overloaded"] =
+        json_number(stats.find("sheds"), "overloaded");
+    serve_section["sheds_deadline"] =
+        json_number(stats.find("sheds"), "deadline");
+    serve_section["swaps"] = json_number(&stats, "swaps");
+    obs::Json extra = obs::Json::object();
+    extra["serve"] = std::move(serve_section);
+    obs::write_report_file(opt.report_path,
+                           obs::build_report(meta, std::move(extra)));
+    std::printf("# wrote run report to %s\n", opt.report_path.c_str());
+  }
+  return rc;
+}

@@ -53,4 +53,30 @@ for cmd in run det votes; do
   "$PHONOLID" "$cmd" --scale "$SCALE" --report "$out"
 done
 
+# Serve baseline (quick scale only — that is what tier-1 gates): freeze a
+# bundle from the warm store, bring up the daemon on an ephemeral port, and
+# record the load generator's report as BENCH_serve.json.  The gated leaves
+# (latency p99, throughput) are machine-dependent, which is why tier-1
+# applies only order-of-magnitude thresholds to them.
+if [[ "$SCALE" == "quick" ]]; then
+  echo "=== bench_serve -> BENCH_serve.json"
+  TMP="$(mktemp -d)"
+  trap 'rm -rf "$TMP"' EXIT
+  "$PHONOLID" run --scale quick --ledger "$TMP/offline.jsonl" > /dev/null
+  "$PHONOLID" freeze --scale quick --out "$TMP/bundle" > /dev/null
+  "$PHONOLID" serve --bundle "$TMP/bundle" --port 0 \
+    --port-file "$TMP/serve.port" > "$TMP/serve.log" 2>&1 &
+  SERVE_PID=$!
+  for _ in $(seq 1 100); do
+    [ -s "$TMP/serve.port" ] && break
+    sleep 0.1
+  done
+  ./build/bench/bench_serve --port "$(cat "$TMP/serve.port")" --scale quick \
+    --connections 8 --ledger "$TMP/offline.jsonl" --min-batch-p50 2 \
+    --report BENCH_serve.json
+  kill -TERM "$SERVE_PID"
+  wait "$SERVE_PID"
+  echo "baseline written: BENCH_serve.json"
+fi
+
 echo "baselines written: BENCH_${SCALE}_{run,det,votes}.json"

@@ -17,7 +17,7 @@ cmake --build build -j
 (cd build && env -u PHONOLID_CACHE ctest --output-on-failure -j)
 
 cmake -B build-tsan -S . -DPHONOLID_SANITIZE=thread
-cmake --build build-tsan -j --target test_obs test_thread_pool test_pipeline_store test_la_kernels test_perf_energy test_profiler test_streaming
+cmake --build build-tsan -j --target test_obs test_thread_pool test_pipeline_store test_la_kernels test_perf_energy test_profiler test_streaming test_serve
 ./build-tsan/tests/test_obs
 ./build-tsan/tests/test_thread_pool
 ./build-tsan/tests/test_pipeline_store
@@ -25,6 +25,7 @@ cmake --build build-tsan -j --target test_obs test_thread_pool test_pipeline_sto
 ./build-tsan/tests/test_perf_energy
 ./build-tsan/tests/test_profiler
 ./build-tsan/tests/test_streaming
+./build-tsan/tests/test_serve
 
 # Kernel microbenchmark smoke: one repetition at minimal time, just to prove
 # the harness runs and every registered shape executes.
@@ -142,6 +143,41 @@ if [ "$rc" -ne 2 ]; then
   exit 1
 fi
 
+# Serve gate: the train/infer split end to end.  Freeze a bundle from the
+# warm cache, serve it as a daemon, and drive it with the closed-loop load
+# generator.  The daemon's LLRs must come out byte-identical to the offline
+# run's decision ledger (`cmp` of two %.17g dumps — batching and transport
+# must never change an answer), micro-batching must actually engage
+# (batch-size p50 >= 2 with 8 concurrent connections), and the serve report
+# diffs against the committed baseline with deliberately generous gates:
+# bucketed p99 on a loaded daemon is noisy, so only order-of-magnitude
+# regressions should trip CI.  SIGTERM must drain gracefully (exit 0).
+./build/tools/phonolid freeze --scale quick --out "$TMP/bundle" \
+  --cache-dir "$CACHE_DIR"
+./build/tools/phonolid serve --bundle "$TMP/bundle" --port 0 \
+  --port-file "$TMP/serve.port" > "$TMP/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$TMP/serve.port" ] && break
+  if ! kill -0 "$SERVE_PID" 2> /dev/null; then
+    echo "serve daemon died during startup:" >&2
+    cat "$TMP/serve.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+test -s "$TMP/serve.port"
+./build/bench/bench_serve --port "$(cat "$TMP/serve.port")" --scale quick \
+  --connections 8 --ledger "$TMP/quick.ledger.jsonl" \
+  --llr-out "$TMP/serve_llr.txt" --expected-llr "$TMP/expected_llr.txt" \
+  --min-batch-p50 2 --report "$TMP/serve.report.json"
+cmp "$TMP/serve_llr.txt" "$TMP/expected_llr.txt"
+./build/tools/phonolid report-diff BENCH_serve.json "$TMP/serve.report.json" \
+  --max-serve-p99-regress 400 --max-serve-throughput-drop 90
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+grep -q "drained and stopped" "$TMP/serve.log"
+
 # Keep the run artifacts around for CI upload (the mktemp dir is wiped on
 # exit).
 ARTIFACTS="build/tier1-artifacts"
@@ -149,6 +185,7 @@ rm -rf "$ARTIFACTS" && mkdir -p "$ARTIFACTS"
 cp "$TMP/quick.report.json" "$TMP/quick.ledger.jsonl" "$TMP/quick.trace.json" \
    "$TMP/quick.prom" "$TMP/energy.report.json" "$TMP/quick.power.txt" \
    "$TMP/quick.folded" "$TMP/quick.flame.txt" \
+   "$TMP/serve.report.json" "$TMP/serve.log" \
    "$ARTIFACTS/"
 
 echo "tier-1 OK"

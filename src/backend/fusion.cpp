@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/serialize.h"
+
 namespace phonolid::backend {
 
 std::vector<double> fusion_weights_from_counts(
@@ -80,6 +82,31 @@ util::Matrix ScoreFusion::apply(
   util::Matrix x = stack(subsystem_scores);
   if (use_lda_) x = lda_.transform(x);
   return gaussian_.log_posteriors(x);
+}
+
+namespace {
+constexpr char kFusionMagic[4] = {'P', 'F', 'U', 'S'};
+constexpr std::uint32_t kFusionVersion = 1;
+}  // namespace
+
+void ScoreFusion::serialize(std::ostream& out) const {
+  util::BinaryWriter w(out);
+  w.write_magic(kFusionMagic, kFusionVersion);
+  w.write_f64_vec(weights_);
+  w.write_u32(use_lda_ ? 1 : 0);
+  lda_.serialize(out);
+  gaussian_.serialize(out);
+}
+
+ScoreFusion ScoreFusion::deserialize(std::istream& in) {
+  util::BinaryReader r(in);
+  r.expect_magic(kFusionMagic, kFusionVersion);
+  ScoreFusion fusion;
+  fusion.weights_ = r.read_f64_vec();
+  fusion.use_lda_ = r.read_u32() != 0;
+  fusion.lda_ = Lda::deserialize(in);
+  fusion.gaussian_ = GaussianBackend::deserialize(in);
+  return fusion;
 }
 
 }  // namespace phonolid::backend

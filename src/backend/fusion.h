@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "backend/gaussian_backend.h"
@@ -48,6 +49,9 @@ class ScoreFusion {
   [[nodiscard]] const std::vector<double>& weights() const noexcept {
     return weights_;
   }
+
+  void serialize(std::ostream& out) const;
+  static ScoreFusion deserialize(std::istream& in);
 
  private:
   [[nodiscard]] util::Matrix stack(

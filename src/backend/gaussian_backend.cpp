@@ -9,6 +9,7 @@
 #include "la/batched_gaussian.h"
 #include "la/kernels.h"
 #include "util/math_util.h"
+#include "util/serialize.h"
 
 namespace phonolid::backend {
 
@@ -207,6 +208,33 @@ double GaussianBackend::objective(const util::Matrix& x,
     total += lp(i, static_cast<std::size_t>(labels[i]));
   }
   return total / static_cast<double>(x.rows());
+}
+
+namespace {
+constexpr char kGaussianMagic[4] = {'P', 'G', 'B', 'K'};
+constexpr std::uint32_t kGaussianVersion = 1;
+}  // namespace
+
+void GaussianBackend::serialize(std::ostream& out) const {
+  util::BinaryWriter w(out);
+  w.write_magic(kGaussianMagic, kGaussianVersion);
+  util::write_matrix(w, means_);
+  w.write_f32_vec(shared_var_);
+  w.write_f32_vec(log_priors_);
+}
+
+GaussianBackend GaussianBackend::deserialize(std::istream& in) {
+  util::BinaryReader r(in);
+  r.expect_magic(kGaussianMagic, kGaussianVersion);
+  GaussianBackend g;
+  g.means_ = util::read_matrix(r);
+  g.shared_var_ = r.read_f32_vec();
+  g.log_priors_ = r.read_f32_vec();
+  if (g.shared_var_.size() != g.means_.cols() ||
+      g.log_priors_.size() != g.means_.rows()) {
+    throw util::SerializeError("GaussianBackend: dimension mismatch");
+  }
+  return g;
 }
 
 }  // namespace phonolid::backend

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "util/matrix.h"
@@ -45,6 +46,9 @@ class GaussianBackend {
   /// MMI objective (mean log posterior of the true class) on a dataset.
   [[nodiscard]] double objective(const util::Matrix& x,
                                  const std::vector<std::int32_t>& labels) const;
+
+  void serialize(std::ostream& out) const;
+  static GaussianBackend deserialize(std::istream& in);
 
  private:
   void log_likelihoods(std::span<const float> x, std::span<double> out) const;

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "la/kernels.h"
+#include "util/serialize.h"
 
 namespace phonolid::backend {
 
@@ -204,6 +205,31 @@ util::Matrix Lda::transform(const util::Matrix& x) const {
   util::Matrix out;
   la::gemm_nt(centered, projection_, out);
   return out;
+}
+
+namespace {
+constexpr char kLdaMagic[4] = {'P', 'L', 'D', 'A'};
+constexpr std::uint32_t kLdaVersion = 1;
+}  // namespace
+
+void Lda::serialize(std::ostream& out) const {
+  util::BinaryWriter w(out);
+  w.write_magic(kLdaMagic, kLdaVersion);
+  util::write_matrix(w, projection_);
+  w.write_f32_vec(mean_);
+}
+
+Lda Lda::deserialize(std::istream& in) {
+  util::BinaryReader r(in);
+  r.expect_magic(kLdaMagic, kLdaVersion);
+  Lda lda;
+  lda.projection_ = util::read_matrix(r);
+  lda.mean_ = r.read_f32_vec();
+  if (lda.projection_.rows() > 0 &&
+      lda.mean_.size() != lda.projection_.cols()) {
+    throw util::SerializeError("Lda: mean / projection dimension mismatch");
+  }
+  return lda;
 }
 
 }  // namespace phonolid::backend

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "util/matrix.h"
@@ -38,6 +39,9 @@ class Lda {
   /// Project one row / a whole matrix.
   void transform(std::span<const float> in, std::span<float> out) const;
   [[nodiscard]] util::Matrix transform(const util::Matrix& x) const;
+
+  void serialize(std::ostream& out) const;
+  static Lda deserialize(std::istream& in);
 
  private:
   util::Matrix projection_;      // output_dim x input_dim

@@ -159,9 +159,11 @@ void Experiment::init_ledger() {
   }
 }
 
-std::vector<SubsystemScores> Experiment::run_dba(std::size_t min_votes,
-                                                 DbaMode mode) const {
-  return run_dba_selection(select_trdba(votes_, min_votes), mode);
+std::vector<SubsystemScores> Experiment::run_dba(
+    std::size_t min_votes, DbaMode mode,
+    std::vector<svm::VsmModel>* models_out) const {
+  return run_dba_selection(select_trdba(votes_, min_votes), mode,
+                           /*votes=*/nullptr, models_out);
 }
 
 VoteResult Experiment::votes_for(const std::vector<SubsystemScores>& blocks,
@@ -173,8 +175,8 @@ VoteResult Experiment::votes_for(const std::vector<SubsystemScores>& blocks,
 }
 
 std::vector<SubsystemScores> Experiment::run_dba_selection(
-    const TrdbaSelection& selection, DbaMode mode,
-    const VoteResult* votes) const {
+    const TrdbaSelection& selection, DbaMode mode, const VoteResult* votes,
+    std::vector<svm::VsmModel>* models_out) const {
   obs::Span span("dba_round");
   const std::size_t k = num_languages();
   std::vector<SubsystemScores> out(subsystems_.size());
@@ -190,6 +192,10 @@ std::vector<SubsystemScores> Experiment::run_dba_selection(
   if (selection.utt_index.empty() && mode == DbaMode::kM1) {
     // Nothing adopted: fall back to the baseline models' scores (an empty
     // SVM training set is undefined), mirroring a no-op boosting pass.
+    if (models_out != nullptr) {
+      models_out->insert(models_out->end(), baseline_vsms_.begin(),
+                         baseline_vsms_.end());
+    }
     return baseline_;
   }
   for (std::size_t q = 0; q < subsystems_.size(); ++q) {
@@ -201,10 +207,11 @@ std::vector<SubsystemScores> Experiment::run_dba_selection(
     cfg.seed = util::derive_stream(
         config_.seed, 0xF100 + q * 16 + selection.utt_index.size() +
                           (mode == DbaMode::kM2 ? 0x1000u : 0u));
-    const svm::VsmModel model = svm::VsmModel::train(
+    svm::VsmModel model = svm::VsmModel::train(
         x, y, k, subsystems_[q]->supervector_dim(), cfg);
     out[q].dev = model.score_all(dev_svs_[q]);
     out[q].test = model.score_all(test_svs_[q]);
+    if (models_out != nullptr) models_out->push_back(std::move(model));
   }
   return out;
 }
@@ -212,10 +219,13 @@ std::vector<SubsystemScores> Experiment::run_dba_selection(
 EvalResult Experiment::evaluate(
     const std::vector<const SubsystemScores*>& blocks,
     std::vector<double> weights) const {
-  if (blocks.empty()) throw std::invalid_argument("evaluate: no score blocks");
-  const std::size_t k = num_languages();
-  EvalResult result;
+  return evaluate_with(fit_fusion(blocks, std::move(weights)), blocks);
+}
 
+backend::ScoreFusion Experiment::fit_fusion(
+    const std::vector<const SubsystemScores*>& blocks,
+    std::vector<double> weights) const {
+  if (blocks.empty()) throw std::invalid_argument("evaluate: no score blocks");
   // LDA-MMI calibration trained on the pooled dev set (paper step g); the
   // pooled fit is markedly more stable than per-tier fits at small scales.
   std::vector<util::Matrix> dev_blocks(blocks.size());
@@ -223,7 +233,17 @@ EvalResult Experiment::evaluate(
     dev_blocks[b] = blocks[b]->dev;
   }
   backend::ScoreFusion fusion;
-  fusion.fit(dev_blocks, dev_labels_, k, std::move(weights), config_.fusion);
+  fusion.fit(dev_blocks, dev_labels_, num_languages(), std::move(weights),
+             config_.fusion);
+  return fusion;
+}
+
+EvalResult Experiment::evaluate_with(
+    const backend::ScoreFusion& fusion,
+    const std::vector<const SubsystemScores*>& blocks) const {
+  if (blocks.empty()) throw std::invalid_argument("evaluate: no score blocks");
+  const std::size_t k = num_languages();
+  EvalResult result;
 
   for (std::size_t tier = 0; tier < corpus::kNumTiers; ++tier) {
     const auto dt = static_cast<corpus::DurationTier>(tier);

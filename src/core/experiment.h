@@ -155,8 +155,11 @@ class Experiment {
   }
 
   /// Re-train every subsystem's VSM on Tr_DBA(V, mode) and re-score.
-  [[nodiscard]] std::vector<SubsystemScores> run_dba(std::size_t min_votes,
-                                                     DbaMode mode) const;
+  /// `models_out` non-null appends the re-trained per-subsystem VSMs (the
+  /// freeze path snapshots them into the bundle).
+  [[nodiscard]] std::vector<SubsystemScores> run_dba(
+      std::size_t min_votes, DbaMode mode,
+      std::vector<svm::VsmModel>* models_out = nullptr) const;
 
   /// Vote counting over arbitrary score blocks (e.g. a previous DBA pass,
   /// enabling multi-iteration boosting) with a configurable criterion.
@@ -172,7 +175,8 @@ class Experiment {
   /// built from votes_for).
   [[nodiscard]] std::vector<SubsystemScores> run_dba_selection(
       const TrdbaSelection& selection, DbaMode mode,
-      const VoteResult* votes = nullptr) const;
+      const VoteResult* votes = nullptr,
+      std::vector<svm::VsmModel>* models_out = nullptr) const;
 
   /// Calibrate (LDA-MMI per tier, trained on dev) and evaluate an arbitrary
   /// set of subsystem score blocks.  `weights` empty = uniform (Eq. 15
@@ -181,6 +185,20 @@ class Experiment {
   [[nodiscard]] EvalResult evaluate(
       const std::vector<const SubsystemScores*>& blocks,
       std::vector<double> weights = {}) const;
+
+  /// The fusion-fitting half of evaluate(): LDA-MMI trained on the blocks'
+  /// dev scores.  Exposed so the freeze path can snapshot the exact fusion
+  /// an evaluate() pass would use.
+  [[nodiscard]] backend::ScoreFusion fit_fusion(
+      const std::vector<const SubsystemScores*>& blocks,
+      std::vector<double> weights = {}) const;
+
+  /// The scoring half of evaluate(): per-tier metrics + DET from an already
+  /// fitted fusion.  evaluate() == evaluate_with(fit_fusion(blocks, w),
+  /// blocks).
+  [[nodiscard]] EvalResult evaluate_with(
+      const backend::ScoreFusion& fusion,
+      const std::vector<const SubsystemScores*>& blocks) const;
 
   /// Single-subsystem convenience.
   [[nodiscard]] EvalResult evaluate_single(const SubsystemScores& block) const;

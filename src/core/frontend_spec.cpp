@@ -1,5 +1,7 @@
 #include "core/frontend_spec.h"
 
+#include "util/serialize.h"
+
 namespace phonolid::core {
 
 const char* to_string(ModelFamily family) noexcept {
@@ -9,6 +11,61 @@ const char* to_string(ModelFamily family) noexcept {
     case ModelFamily::kGmmHmm: return "GMM-HMM";
   }
   return "?";
+}
+
+namespace {
+constexpr char kSpecMagic[4] = {'P', 'F', 'E', 'S'};
+constexpr std::uint32_t kSpecVersion = 1;
+}  // namespace
+
+void FrontEndSpec::serialize(std::ostream& out) const {
+  util::BinaryWriter w(out);
+  w.write_magic(kSpecMagic, kSpecVersion);
+  w.write_string(name);
+  w.write_u32(static_cast<std::uint32_t>(family));
+  w.write_u32(static_cast<std::uint32_t>(feature));
+  w.write_u64(num_phones);
+  w.write_u64(native_language);
+  std::vector<std::uint32_t> hidden(hidden_sizes.begin(), hidden_sizes.end());
+  w.write_u32_vec(hidden);
+  w.write_u64(gmm_components);
+  w.write_f32(nn_score_gain);
+  w.write_u64(ngram_order);
+  w.write_u32(use_lattice_counts ? 1 : 0);
+  w.write_u32(use_tfllr ? 1 : 0);
+  w.write_f64(decoder.lattice_beam);
+  w.write_f64(decoder.phone_insertion_penalty);
+  w.write_f64(decoder.acoustic_scale);
+  w.write_f64(decoder.posterior_prune);
+  w.write_u64(seed_salt);
+}
+
+FrontEndSpec FrontEndSpec::deserialize(std::istream& in) {
+  util::BinaryReader r(in);
+  r.expect_magic(kSpecMagic, kSpecVersion);
+  FrontEndSpec spec;
+  spec.name = r.read_string();
+  const std::uint32_t family = r.read_u32();
+  if (family > static_cast<std::uint32_t>(ModelFamily::kGmmHmm)) {
+    throw util::SerializeError("FrontEndSpec: unknown model family");
+  }
+  spec.family = static_cast<ModelFamily>(family);
+  spec.feature = static_cast<dsp::FeatureKind>(r.read_u32());
+  spec.num_phones = r.read_u64();
+  spec.native_language = r.read_u64();
+  const auto hidden = r.read_u32_vec();
+  spec.hidden_sizes.assign(hidden.begin(), hidden.end());
+  spec.gmm_components = r.read_u64();
+  spec.nn_score_gain = r.read_f32();
+  spec.ngram_order = r.read_u64();
+  spec.use_lattice_counts = r.read_u32() != 0;
+  spec.use_tfllr = r.read_u32() != 0;
+  spec.decoder.lattice_beam = r.read_f64();
+  spec.decoder.phone_insertion_penalty = r.read_f64();
+  spec.decoder.acoustic_scale = r.read_f64();
+  spec.decoder.posterior_prune = r.read_f64();
+  spec.seed_salt = r.read_u64();
+  return spec;
 }
 
 std::vector<FrontEndSpec> default_frontends(util::Scale scale) {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,11 @@ struct FrontEndSpec {
   bool use_tfllr = true;                    // false = raw probabilities
   decoder::DecoderConfig decoder;
   std::uint64_t seed_salt = 0;
+
+  /// Bundle serialization ("PFES" v1): everything the corpus-free
+  /// Subsystem::assemble needs to reconstruct the front end.
+  void serialize(std::ostream& out) const;
+  static FrontEndSpec deserialize(std::istream& in);
 };
 
 /// The paper's six front-ends, sized for the given scale.

@@ -24,7 +24,13 @@ const am::HmmTransitions& TrainedFrontEnd::transitions() const {
   throw std::logic_error("TrainedFrontEnd: unknown model family");
 }
 
-void TrainedFrontEnd::serialize(std::ostream& out) const {
+namespace {
+
+/// "PTFE" wire format shared by TrainedFrontEnd::serialize (pre-assembly)
+/// and Subsystem::serialize_front_end (post-assembly, for bundle freezing).
+void write_front_end(std::ostream& out, ModelFamily family,
+                     const am::PhoneSetMap& phone_map,
+                     const am::AcousticModel& model) {
   util::BinaryWriter w(out);
   w.write_magic("PTFE", 1);
   w.write_u32(static_cast<std::uint32_t>(family));
@@ -36,13 +42,19 @@ void TrainedFrontEnd::serialize(std::ostream& out) const {
   w.write_u64(phone_map.num_frontend_phones());
   switch (family) {
     case ModelFamily::kGmmHmm:
-      static_cast<const am::GmmHmmModel&>(*model).serialize(out);
+      static_cast<const am::GmmHmmModel&>(model).serialize(out);
       break;
     case ModelFamily::kAnnHmm:
     case ModelFamily::kDnnHmm:
-      static_cast<const am::NnHmmModel&>(*model).serialize(out);
+      static_cast<const am::NnHmmModel&>(model).serialize(out);
       break;
   }
+}
+
+}  // namespace
+
+void TrainedFrontEnd::serialize(std::ostream& out) const {
+  write_front_end(out, family, phone_map, *model);
 }
 
 TrainedFrontEnd TrainedFrontEnd::deserialize(std::istream& in) {
@@ -174,14 +186,20 @@ TrainedFrontEnd Subsystem::train_front_end(const corpus::LreCorpus& corpus,
 std::unique_ptr<Subsystem> Subsystem::assemble(const corpus::LreCorpus& corpus,
                                                const FrontEndSpec& spec,
                                                TrainedFrontEnd front_end) {
+  return assemble(corpus.config().sample_rate, spec, std::move(front_end));
+}
+
+std::unique_ptr<Subsystem> Subsystem::assemble(double sample_rate,
+                                               const FrontEndSpec& spec,
+                                               TrainedFrontEnd front_end) {
   auto sub = std::unique_ptr<Subsystem>(new Subsystem());
   sub->spec_ = spec;
   sub->phone_map_ = std::move(front_end.phone_map);
 
   dsp::FeaturePipelineConfig fcfg;
   fcfg.kind = spec.feature;
-  fcfg.mfcc.sample_rate = corpus.config().sample_rate;
-  fcfg.plp.sample_rate = corpus.config().sample_rate;
+  fcfg.mfcc.sample_rate = sample_rate;
+  fcfg.plp.sample_rate = sample_rate;
   sub->features_ = std::make_unique<dsp::FeaturePipeline>(fcfg);
 
   am::HmmTopology topology{spec.num_phones, 3};
@@ -228,6 +246,10 @@ DecodedSupervectors Subsystem::decode_splits(const corpus::LreCorpus& corpus) {
 
 void Subsystem::set_tfllr(phonotactic::TfllrScaler tfllr) {
   tfllr_ = std::move(tfllr);
+}
+
+void Subsystem::serialize_front_end(std::ostream& out) const {
+  write_front_end(out, spec_.family, phone_map_, *model_);
 }
 
 std::unique_ptr<Subsystem> Subsystem::build(const corpus::LreCorpus& corpus,

@@ -107,6 +107,13 @@ class Subsystem {
                                              const FrontEndSpec& spec,
                                              TrainedFrontEnd front_end);
 
+  /// Corpus-free assembly (frozen-bundle inference): the corpus enters the
+  /// overload above only through its sample rate, so a deserialized front end
+  /// plus the recording sample rate fully determine the scoring chain.
+  static std::unique_ptr<Subsystem> assemble(double sample_rate,
+                                             const FrontEndSpec& spec,
+                                             TrainedFrontEnd front_end);
+
   /// Stage 2: decode every split, fit the TFLLR background on the training
   /// set and return the per-split scaled supervectors.  Also installs the
   /// fitted scaler on this subsystem.
@@ -130,6 +137,14 @@ class Subsystem {
   [[nodiscard]] const am::AcousticModel& acoustic_model() const noexcept {
     return *model_;
   }
+  [[nodiscard]] const phonotactic::TfllrScaler& tfllr() const noexcept {
+    return tfllr_;
+  }
+
+  /// Re-serialize this subsystem's front end in the TrainedFrontEnd wire
+  /// format ("PTFE") — the assemble() step moved the acoustic model into the
+  /// subsystem, so bundle freezing snapshots it from here.
+  void serialize_front_end(std::ostream& out) const;
 
   /// VSM training-set supervectors cached during build (moves them out).
   /// Calling twice is always a bug — the second call would silently return

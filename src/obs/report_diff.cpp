@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <initializer_list>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -184,6 +185,27 @@ void note_drops(const Json& report, const char* side,
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Forward compatibility: a newer binary may emit top-level sections this
+/// tool has never heard of.  They must surface as notes and be skipped, not
+/// rejected — otherwise every schema extension would break every committed
+/// baseline at once.
+void note_unknown_sections(const Json& report, const char* side,
+                           ReportDiffResult& result) {
+  static const std::set<std::string> kKnownSections = {
+      "schema_version", "generated_at", "meta",      "metrics",
+      "spans",          "resource",     "energy",    "hw",
+      "profile",        "results",      "quality",   "streaming",
+      "serve",          "experiment",   "dba",       "cache"};
+  if (!report.is_object()) return;
+  for (const auto& [key, value] : report.as_object()) {
+    (void)value;
+    if (kKnownSections.find(key) == kKnownSections.end()) {
+      result.notes.push_back("unknown section \"" + key + "\" in " + side +
+                             " — skipped (not compared, not gated)");
+    }
+  }
 }
 
 /// Walk two keyed maps in lockstep: common keys produce rows via `on_both`,
@@ -372,6 +394,36 @@ ReportDiffResult diff_reports(const Json& baseline, const Json& current,
                  result.rows.push_back(std::move(row));
                });
 
+  compare_maps(section_leaves(baseline, "serve"),
+               section_leaves(current, "serve"), "serve", result,
+               [&](const std::string& key, double b, double c) {
+                 ReportDiffRow row;
+                 row.kind = "serve";
+                 row.key = key;
+                 row.base = b;
+                 row.cur = c;
+                 if (key == "serve/latency_ms/p99" &&
+                     options.max_serve_p99_regress_pct >= 0.0 && b > 0.0) {
+                   row.gated = true;
+                   row.gate = "max-serve-p99-regress";
+                   row.threshold = options.max_serve_p99_regress_pct;
+                   const double pct = 100.0 * (c - b) / b;
+                   row.violation = pct > options.max_serve_p99_regress_pct;
+                 } else if (key == "serve/throughput_rps" &&
+                            options.max_serve_throughput_drop_pct >= 0.0 &&
+                            b > 0.0) {
+                   row.gated = true;
+                   row.gate = "max-serve-throughput-drop";
+                   row.threshold = options.max_serve_throughput_drop_pct;
+                   const double drop_pct = 100.0 * (b - c) / b;
+                   row.violation =
+                       drop_pct > options.max_serve_throughput_drop_pct;
+                 }
+                 result.rows.push_back(std::move(row));
+               });
+
+  note_unknown_sections(baseline, "baseline", result);
+  note_unknown_sections(current, "current", result);
   note_drops(baseline, "baseline", result);
   note_drops(current, "current", result);
 
@@ -392,7 +444,7 @@ std::string ReportDiffResult::format() const {
     // Unchanged counter/resource/hw rows are the bulk of a same-machine
     // diff; elide them.
     if ((row.kind == "counter" || row.kind == "resource" ||
-         row.kind == "hw" || row.kind == "profile") &&
+         row.kind == "hw" || row.kind == "profile" || row.kind == "serve") &&
         row.base == row.cur && !row.violation) {
       ++hidden;
       continue;

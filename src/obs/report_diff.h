@@ -37,10 +37,18 @@
 //     percent are violations; other energy leaves (and everything under
 //     "hw") are report-only.  A differing energy.source is a note, since
 //     RAPL joules and software-model joules are not comparable.
+//   - "serve" leaves (emitted by bench_serve) are compared numerically;
+//     serve/latency_ms/p99 gates on relative *growth* via
+//     max_serve_p99_regress_pct and serve/throughput_rps gates on relative
+//     *drop* via max_serve_throughput_drop_pct.  Everything else in the
+//     section (shed counts, connection counts) is report-only.
 //   - a schema_version mismatch between the two documents is itself a
 //     violation (the comparison would be meaningless).
 //   - sections/keys present on only one side are reported as notes, never
 //     violations, so reports from different commands stay comparable.
+//     Top-level sections this tool does not understand (added by newer
+//     binaries) are likewise surfaced as notes and skipped, never errors —
+//     an old report-diff must not reject a new report outright.
 //
 // Thresholds set to a negative value (the default) disable that gate, so a
 // bare `report-diff a.json b.json` is a pure inspection tool that always
@@ -81,13 +89,22 @@ struct ReportDiffOptions {
   /// both sides do, and a missing "profile" section stays a note, so old
   /// baselines diff clean.
   double max_self_share_delta = -1.0;
+  /// Max allowed relative growth (percent) of serve/latency_ms/p99 from a
+  /// bench_serve report; negative = don't gate serving latency.  Bucketed
+  /// p99 on a loaded daemon is noisy, so CI thresholds should be generous
+  /// (hundreds of percent) — the gate exists to catch order-of-magnitude
+  /// regressions, not jitter.
+  double max_serve_p99_regress_pct = -1.0;
+  /// Max allowed relative *drop* (percent, baseline -> current) of
+  /// serve/throughput_rps; negative = don't gate serving throughput.
+  double max_serve_throughput_drop_pct = -1.0;
   /// Spans with a baseline mean below this (seconds) are never gated.
   double min_span_s = 0.01;
 };
 
 struct ReportDiffRow {
   std::string kind;  // "span" | "counter" | "result" | "quality" |
-                     // "resource" | "energy" | "hw"
+                     // "resource" | "energy" | "hw" | "profile" | "serve"
   std::string key;   // span path, counter name, or results/...-style path
   double base = 0.0;
   double cur = 0.0;

@@ -1,11 +1,13 @@
 #include "pipeline/artifact_store.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include "util/serialize.h"
 
@@ -168,9 +170,15 @@ ArtifactStore::Status ArtifactStore::status() const {
   return st;
 }
 
-ArtifactStore::GcResult ArtifactStore::gc() {
+ArtifactStore::GcResult ArtifactStore::gc(std::uintmax_t max_bytes) {
   GcResult result;
   if (!enabled()) return result;
+  struct KeptEntry {
+    fs::path path;
+    std::uintmax_t size = 0;
+    fs::file_time_type mtime;
+  };
+  std::vector<KeptEntry> kept;
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(root_, ec)) {
     if (!entry.is_regular_file()) continue;
@@ -207,10 +215,32 @@ ArtifactStore::GcResult ArtifactStore::gc() {
     }
     if (valid) {
       ++result.kept;
+      kept.push_back({path, size, fs::last_write_time(path, ec)});
     } else if (fs::remove(path, ec)) {
       ++result.removed;
       result.reclaimed_bytes += size;
       cache_metrics().evictions.add();
+    }
+  }
+  if (max_bytes > 0) {
+    std::uintmax_t total = 0;
+    for (const auto& e : kept) total += e.size;
+    std::sort(kept.begin(), kept.end(),
+              [](const KeptEntry& a, const KeptEntry& b) {
+                if (a.mtime != b.mtime) return a.mtime < b.mtime;
+                return a.path.filename().string() < b.path.filename().string();
+              });
+    for (const auto& e : kept) {
+      if (total <= max_bytes) break;
+      if (!fs::remove(e.path, ec)) continue;
+      total -= e.size;
+      ++result.evicted;
+      --result.kept;
+      result.reclaimed_bytes += e.size;
+      cache_metrics().evictions.add();
+      PHONOLID_WARN("pipeline")
+          << "gc evicted " << e.path.filename().string() << " ("
+          << e.size << " bytes) for the " << max_bytes << "-byte budget";
     }
   }
   return result;

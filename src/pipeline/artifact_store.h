@@ -83,10 +83,15 @@ class ArtifactStore {
     std::size_t removed = 0;
     std::uintmax_t reclaimed_bytes = 0;
     std::size_t kept = 0;
+    /// Valid entries additionally dropped to fit the byte budget.
+    std::size_t evicted = 0;
   };
   /// Removes corrupt and stale-format entries plus orphaned temp files;
-  /// valid current-format artifacts are kept.
-  GcResult gc();
+  /// valid current-format artifacts are kept.  With `max_bytes > 0`, also
+  /// evicts the oldest valid entries (by mtime, ties by filename) until the
+  /// surviving entries fit the budget — recompute is always safe, so age is
+  /// the only eviction policy needed.
+  GcResult gc(std::uintmax_t max_bytes = 0);
 
   [[nodiscard]] std::string path_for(const StageKey& key) const;
 

@@ -1,0 +1,116 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "util/serialize.h"
+
+namespace phonolid::serve {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_id_(std::exchange(other.next_id_, 1)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    next_id_ = std::exchange(other.next_id_, 1);
+  }
+  return *this;
+}
+
+void Client::connect(const std::string& host, int port) {
+  close();
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                    &result);
+  if (rc != 0) {
+    throw std::runtime_error("serve client: resolve " + host + ": " +
+                             ::gai_strerror(rc));
+  }
+  std::string err;
+  for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      fd_ = fd;
+      break;
+    }
+    err = std::strerror(errno);
+    ::close(fd);
+  }
+  ::freeaddrinfo(result);
+  if (fd_ < 0) {
+    throw std::runtime_error("serve client: connect " + host + ":" +
+                             std::to_string(port) + ": " +
+                             (err.empty() ? "no address" : err));
+  }
+}
+
+void Client::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Response Client::call(const Request& request) {
+  if (fd_ < 0) throw std::runtime_error("serve client: not connected");
+  if (!write_frame(fd_, encode_request(request))) {
+    throw std::runtime_error("serve client: connection lost on send");
+  }
+  std::string body;
+  if (!read_frame(fd_, body)) {
+    throw std::runtime_error("serve client: connection closed by server");
+  }
+  return decode_response(body);
+}
+
+Response Client::score(std::span<const float> samples,
+                       std::uint32_t deadline_ms) {
+  Request request;
+  request.type = FrameType::kScore;
+  request.request_id = next_id_++;
+  request.deadline_ms = deadline_ms;
+  request.samples.assign(samples.begin(), samples.end());
+  return call(request);
+}
+
+Response Client::ping() {
+  Request request;
+  request.type = FrameType::kPing;
+  request.request_id = next_id_++;
+  return call(request);
+}
+
+Response Client::stats() {
+  Request request;
+  request.type = FrameType::kStats;
+  request.request_id = next_id_++;
+  return call(request);
+}
+
+Response Client::swap(const std::string& bundle_dir) {
+  Request request;
+  request.type = FrameType::kSwap;
+  request.request_id = next_id_++;
+  request.text = bundle_dir;
+  return call(request);
+}
+
+}  // namespace phonolid::serve

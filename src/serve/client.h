@@ -1,0 +1,49 @@
+// Blocking client for the `phonolid serve` daemon — used by bench_serve,
+// tests/test_serve.cpp, and anything that wants one-call scoring against a
+// running daemon.  One request in flight per client; run several clients
+// (bench_serve does) to exercise micro-batching.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace phonolid::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connect to a daemon; throws std::runtime_error on failure.
+  void connect(const std::string& host, int port);
+  void close() noexcept;
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  /// Raw socket, for tests that write deliberately malformed bytes.
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Send one request and block for its response.  Throws
+  /// util::SerializeError / std::runtime_error when the connection breaks.
+  Response call(const Request& request);
+
+  /// Score one utterance of f32 PCM at the bundle's sample rate.
+  Response score(std::span<const float> samples, std::uint32_t deadline_ms = 0);
+  Response ping();
+  /// Server stats snapshot; response.text carries the JSON document.
+  Response stats();
+  /// Ask the daemon to warm-swap to the bundle at `bundle_dir`.
+  Response swap(const std::string& bundle_dir);
+
+ private:
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace phonolid::serve

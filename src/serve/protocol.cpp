@@ -1,0 +1,163 @@
+#include "serve/protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "util/serialize.h"
+
+namespace phonolid::serve {
+
+namespace {
+constexpr char kFrameMagic[4] = {'P', 'L', 'S', 'V'};
+}  // namespace
+
+const char* to_string(Status status) noexcept {
+  switch (status) {
+    case Status::kOk: return "OK";
+    case Status::kBadRequest: return "BAD_REQUEST";
+    case Status::kOverloaded: return "OVERLOADED";
+    case Status::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case Status::kShuttingDown: return "SHUTTING_DOWN";
+    case Status::kError: return "ERROR";
+  }
+  return "?";
+}
+
+std::string encode_request(const Request& request) {
+  std::ostringstream out;
+  util::BinaryWriter w(out);
+  w.write_magic(kFrameMagic, kServeProtocolVersion);
+  w.write_u32(static_cast<std::uint32_t>(request.type));
+  w.write_u64(request.request_id);
+  w.write_u32(request.deadline_ms);
+  switch (request.type) {
+    case FrameType::kScore:
+      w.write_f32_vec(request.samples);
+      break;
+    case FrameType::kSwap:
+      w.write_string(request.text);
+      break;
+    case FrameType::kPing:
+    case FrameType::kStats:
+      break;
+  }
+  return std::move(out).str();
+}
+
+Request decode_request(const std::string& body) {
+  std::istringstream in(body);
+  util::BinaryReader r(in);
+  r.expect_magic(kFrameMagic, kServeProtocolVersion);
+  Request request;
+  const std::uint32_t type = r.read_u32();
+  if (type < static_cast<std::uint32_t>(FrameType::kScore) ||
+      type > static_cast<std::uint32_t>(FrameType::kSwap)) {
+    throw util::SerializeError("unknown request frame type " +
+                               std::to_string(type));
+  }
+  request.type = static_cast<FrameType>(type);
+  request.request_id = r.read_u64();
+  request.deadline_ms = r.read_u32();
+  switch (request.type) {
+    case FrameType::kScore:
+      request.samples = r.read_f32_vec();
+      break;
+    case FrameType::kSwap:
+      request.text = r.read_string();
+      break;
+    case FrameType::kPing:
+    case FrameType::kStats:
+      break;
+  }
+  return request;
+}
+
+std::string encode_response(const Response& response) {
+  std::ostringstream out;
+  util::BinaryWriter w(out);
+  w.write_magic(kFrameMagic, kServeProtocolVersion);
+  w.write_u64(response.request_id);
+  w.write_u32(static_cast<std::uint32_t>(response.status));
+  w.write_f32_vec(response.llr);
+  w.write_u32(response.best_language);
+  w.write_string(response.text);
+  return std::move(out).str();
+}
+
+Response decode_response(const std::string& body) {
+  std::istringstream in(body);
+  util::BinaryReader r(in);
+  r.expect_magic(kFrameMagic, kServeProtocolVersion);
+  Response response;
+  response.request_id = r.read_u64();
+  const std::uint32_t status = r.read_u32();
+  if (status > static_cast<std::uint32_t>(Status::kError)) {
+    throw util::SerializeError("unknown response status " +
+                               std::to_string(status));
+  }
+  response.status = static_cast<Status>(status);
+  response.llr = r.read_f32_vec();
+  response.best_language = r.read_u32();
+  response.text = r.read_string();
+  return response;
+}
+
+bool read_exact(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<char*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t rc = ::read(fd, p + got, n - got);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (rc == 0) {
+      if (got == 0) return false;
+      throw util::SerializeError("connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(rc);
+  }
+  return true;
+}
+
+bool write_all(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const char*>(buf);
+  std::size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a vanished peer is a false return, not a process-killing
+    // SIGPIPE.
+    const ssize_t rc = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(rc);
+  }
+  return true;
+}
+
+bool read_frame(int fd, std::string& body) {
+  std::uint32_t length = 0;
+  if (!read_exact(fd, &length, sizeof length)) return false;
+  if (length > kMaxFrameBytes) {
+    throw util::SerializeError("frame length " + std::to_string(length) +
+                               " exceeds limit");
+  }
+  body.assign(length, '\0');
+  if (length > 0 && !read_exact(fd, body.data(), length)) {
+    throw util::SerializeError("connection closed mid-frame");
+  }
+  return true;
+}
+
+bool write_frame(int fd, const std::string& body) {
+  const auto length = static_cast<std::uint32_t>(body.size());
+  if (!write_all(fd, &length, sizeof length)) return false;
+  return body.empty() || write_all(fd, body.data(), body.size());
+}
+
+}  // namespace phonolid::serve

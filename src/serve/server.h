@@ -1,0 +1,140 @@
+// The `phonolid serve` scoring daemon.
+//
+// A long-lived TCP server over a FrozenModel bundle (core/frozen_model.h):
+//
+//   accept thread ── one reader thread per connection ── bounded queue ──
+//   batcher thread ── FrozenModel::score_batch on the helping-wait pool
+//
+// Dynamic micro-batching: the batcher pops the first queued request, waits
+// up to `batch_window_ms` for co-arrivals (or until `max_batch`), and scores
+// the coalesced batch as one la-kernel-backed pass.  Because every scoring
+// stage is row-independent (see frozen_model.h), batching changes latency
+// and throughput but never the bytes of an answer.
+//
+// Overload and deadlines are explicit, never silent: a full queue answers
+// kOverloaded immediately; a request whose deadline lapses before its batch
+// starts is shed with kDeadlineExceeded; scores arriving after a shutdown
+// request get kShuttingDown.  Warm model swap (kSwap frame) loads the new
+// bundle off the hot path and atomically flips a shared_ptr — in-flight
+// batches finish on the generation they started with, so zero requests fail
+// across a swap.
+//
+// Observability: serve.* registry metrics (queue depth gauge, batch-size and
+// latency histograms, shed/swap/error counters) flow into the Prometheus
+// exporter and run reports; the kStats frame returns a JSON snapshot of this
+// server's own counters (per-instance, so tests and bench_serve see only
+// their server).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/frozen_model.h"
+#include "obs/metrics.h"
+#include "serve/protocol.h"
+
+namespace phonolid::serve {
+
+struct ServerConfig {
+  /// TCP port on 127.0.0.1; 0 = kernel-assigned (read it from start()).
+  int port = 0;
+  /// Micro-batch size cap.
+  std::size_t max_batch = 32;
+  /// How long the batcher waits for co-arrivals after popping the first
+  /// request of a batch (0 = score whatever is queued immediately).
+  double batch_window_ms = 2.0;
+  /// Bounded request queue; a score arriving at a full queue is answered
+  /// kOverloaded immediately.
+  std::size_t queue_depth = 256;
+};
+
+class ScoreServer {
+ public:
+  ScoreServer(std::shared_ptr<const core::FrozenModel> model,
+              ServerConfig config = {});
+  ~ScoreServer();
+
+  ScoreServer(const ScoreServer&) = delete;
+  ScoreServer& operator=(const ScoreServer&) = delete;
+
+  /// Bind + listen on 127.0.0.1 and spawn the accept/batcher threads.
+  /// Returns the bound port (the ephemeral one when config.port == 0).
+  int start();
+
+  /// Async-signal-safe graceful-drain trigger (SIGTERM/SIGINT handlers):
+  /// sets a flag and pokes the wake pipe; the actual drain runs in wait().
+  void request_shutdown() noexcept;
+
+  /// Block until a shutdown is requested, then drain and tear down.
+  void wait();
+
+  /// Graceful drain (idempotent): stop accepting, answer everything queued,
+  /// unblock and join every thread.
+  void shutdown();
+
+  [[nodiscard]] int port() const noexcept { return port_; }
+  [[nodiscard]] std::shared_ptr<const core::FrozenModel> model() const;
+
+ private:
+  struct Connection;
+  struct Pending {
+    Request request;
+    std::shared_ptr<Connection> conn;
+    std::chrono::steady_clock::time_point arrival;
+  };
+
+  void accept_loop();
+  void connection_loop(std::shared_ptr<Connection> conn);
+  void handle_request(const std::shared_ptr<Connection>& conn,
+                      Request request);
+  void batch_loop();
+  void process_batch(std::vector<Pending> batch);
+  void respond(const std::shared_ptr<Connection>& conn, Response response);
+  [[nodiscard]] std::string stats_json() const;
+
+  std::shared_ptr<const core::FrozenModel> model_;
+  mutable std::mutex model_mu_;
+  ServerConfig config_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> shutdown_requested_{false};
+  bool started_ = false;
+  std::mutex shutdown_mu_;
+  bool shutdown_done_ = false;
+
+  std::thread accept_thread_;
+  std::thread batch_thread_;
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> conn_threads_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;  // guarded by queue_mu_
+
+  // Per-instance stats for the kStats frame (registry serve.* metrics are
+  // process-global and would bleed across servers in one test process).
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> ok_{0};
+  std::atomic<std::uint64_t> sheds_overloaded_{0};
+  std::atomic<std::uint64_t> sheds_deadline_{0};
+  std::atomic<std::uint64_t> sheds_shutdown_{0};
+  std::atomic<std::uint64_t> bad_frames_{0};
+  std::atomic<std::uint64_t> score_errors_{0};
+  std::atomic<std::uint64_t> swaps_{0};
+  obs::Histogram batch_hist_;
+  obs::Histogram latency_hist_;
+};
+
+}  // namespace phonolid::serve

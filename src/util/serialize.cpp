@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/matrix.h"
+
 namespace phonolid::util {
 
 void BinaryWriter::raw(const void* data, std::size_t bytes) {
@@ -123,6 +125,26 @@ std::vector<double> BinaryReader::read_f64_vec() {
   std::vector<double> v(n);
   if (n > 0) raw(v.data(), n * sizeof(double));
   return v;
+}
+
+void write_matrix(BinaryWriter& w, const Matrix& m) {
+  w.write_u64(m.rows());
+  w.write_u64(m.cols());
+  if (m.rows() * m.cols() > 0) {
+    w.raw(m.data(), m.rows() * m.cols() * sizeof(float));
+  }
+}
+
+Matrix read_matrix(BinaryReader& r) {
+  const std::uint64_t rows = r.read_u64();
+  const std::uint64_t cols = r.read_u64();
+  if (rows > BinaryReader::kMaxElements || cols > BinaryReader::kMaxElements ||
+      (cols > 0 && rows > BinaryReader::kMaxElements / cols)) {
+    throw SerializeError("matrix too large");
+  }
+  Matrix m(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+  if (rows * cols > 0) r.raw(m.data(), rows * cols * sizeof(float));
+  return m;
 }
 
 std::vector<std::uint32_t> BinaryReader::read_u32_vec() {

@@ -19,6 +19,8 @@ class SerializeError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+class Matrix;
+
 class BinaryWriter {
  public:
   explicit BinaryWriter(std::ostream& out) : out_(out) {}
@@ -37,6 +39,7 @@ class BinaryWriter {
   void write_u32_vec(const std::vector<std::uint32_t>& v);
 
  private:
+  friend void write_matrix(BinaryWriter& w, const Matrix& m);
   void raw(const void* data, std::size_t bytes);
   std::ostream& out_;
 };
@@ -60,6 +63,7 @@ class BinaryReader {
   std::vector<std::uint32_t> read_u32_vec();
 
  private:
+  friend Matrix read_matrix(BinaryReader& r);
   void raw(void* data, std::size_t bytes);
   std::istream& in_;
   // Guard against hostile / corrupt length prefixes.
@@ -68,5 +72,10 @@ class BinaryReader {
   // prefix is always corruption, so cap them far tighter than the vectors.
   static constexpr std::uint64_t kMaxStringBytes = 1ull << 20;
 };
+
+/// Dense row-major float matrix: u64 rows, u64 cols, then rows*cols f32.
+/// Matrix storage is contiguous, so this is one raw write/read.
+void write_matrix(BinaryWriter& w, const Matrix& m);
+Matrix read_matrix(BinaryReader& r);
 
 }  // namespace phonolid::util

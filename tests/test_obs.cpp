@@ -926,5 +926,90 @@ TEST(ReportDiff, MissingQualitySectionIsNoteNotViolation) {
   EXPECT_FALSE(obs::diff_reports(new_report, old_report, opt).violated);
 }
 
+TEST(ReportDiff, UnknownTopLevelSectionIsNoteNotViolation) {
+  // A report written by a newer binary may carry sections this build has
+  // never heard of; they must surface as notes and never gate or error.
+  const obs::Json base = mini_report(10.0, 0.001, 0.15, 2376);
+  obs::Json cur = mini_report(10.0, 0.001, 0.15, 2376);
+  cur["quantum_decoder"] =
+      obs::Json::parse("{\"qubits\": 12, \"fidelity\": 0.99}");
+  obs::ReportDiffOptions opt = gated_options();
+  opt.max_cllr_delta = 0.0;
+  opt.max_energy_delta_pct = 0.0;
+  const auto result = obs::diff_reports(base, cur, opt);
+  EXPECT_FALSE(result.violated);
+  bool saw = false;
+  for (const auto& note : result.notes) {
+    saw |= note.find("unknown section \"quantum_decoder\"") !=
+           std::string::npos;
+  }
+  EXPECT_TRUE(saw);
+  // The unknown subtree must not leak comparison rows either.
+  for (const auto& row : result.rows) {
+    EXPECT_EQ(row.key.find("quantum_decoder"), std::string::npos) << row.key;
+  }
+}
+
+/// Minimal bench_serve report: the serve section's two gated leaves plus a
+/// report-only shed counter.
+obs::Json serve_report(double p99_ms, double throughput_rps) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"schema_version\": 1, \"spans\": [],"
+      " \"metrics\": {\"counters\": {}},"
+      " \"serve\": {\"version\": 1, \"throughput_rps\": %.17g,"
+      "   \"latency_ms\": {\"p50\": 1.0, \"p99\": %.17g},"
+      "   \"sheds_overloaded\": 0}}",
+      throughput_rps, p99_ms);
+  return obs::Json::parse(buf);
+}
+
+TEST(ReportDiff, ServeP99GatesOnRelativeGrowth) {
+  const obs::Json base = serve_report(100.0, 50.0);
+  obs::ReportDiffOptions opt;
+  opt.max_serve_p99_regress_pct = 200.0;
+  // 4x the baseline p99 (+300%) breaches a 200% budget ...
+  const auto worse = obs::diff_reports(base, serve_report(400.0, 50.0), opt);
+  EXPECT_TRUE(worse.violated);
+  EXPECT_NE(worse.format().find("max-serve-p99-regress"), std::string::npos);
+  // ... +100% stays inside it, and a faster daemon never violates.
+  EXPECT_FALSE(obs::diff_reports(base, serve_report(200.0, 50.0), opt).violated);
+  EXPECT_FALSE(obs::diff_reports(base, serve_report(10.0, 50.0), opt).violated);
+}
+
+TEST(ReportDiff, ServeThroughputGatesOnDrop) {
+  const obs::Json base = serve_report(100.0, 50.0);
+  obs::ReportDiffOptions opt;
+  opt.max_serve_throughput_drop_pct = 50.0;
+  // Losing 80% of baseline throughput breaches a 50% budget ...
+  EXPECT_TRUE(obs::diff_reports(base, serve_report(100.0, 10.0), opt).violated);
+  // ... a 20% dip or any gain does not.
+  EXPECT_FALSE(obs::diff_reports(base, serve_report(100.0, 40.0), opt).violated);
+  EXPECT_FALSE(
+      obs::diff_reports(base, serve_report(100.0, 500.0), opt).violated);
+}
+
+TEST(ReportDiff, ServeRowsOtherThanGatedLeavesNeverGate) {
+  const obs::Json base = serve_report(100.0, 50.0);
+  obs::ReportDiffOptions opt;
+  opt.max_serve_p99_regress_pct = 0.0;
+  opt.max_serve_throughput_drop_pct = 0.0;
+  const auto result = obs::diff_reports(base, base, opt);
+  EXPECT_FALSE(result.violated);
+  bool saw_ungated = false;
+  for (const auto& row : result.rows) {
+    if (row.kind != "serve") continue;
+    if (row.key == "serve/latency_ms/p99" ||
+        row.key == "serve/throughput_rps") {
+      EXPECT_TRUE(row.gated) << row.key;
+    } else {
+      EXPECT_FALSE(row.gated) << row.key;
+      saw_ungated = true;
+    }
+  }
+  EXPECT_TRUE(saw_ungated);
+}
+
 }  // namespace
 }  // namespace phonolid

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -299,6 +300,49 @@ TEST_F(ArtifactStoreTest, GcKeepsValidRemovesCorruptAndOrphans) {
 
   // The kept entry still loads.
   EXPECT_EQ(roundtrip(store, good, "unused", computes), "keep-me");
+}
+
+TEST_F(ArtifactStoreTest, GcByteBudgetEvictsOldestFirst) {
+  ArtifactStore store(root_.string());
+  StageKey oldest = golden_key();
+  StageKey middle = golden_key();
+  middle.hash ^= 0x1;
+  StageKey newest = golden_key();
+  newest.hash ^= 0x2;
+  int computes = 0;
+  (void)roundtrip(store, oldest, "payload-oldest", computes);
+  (void)roundtrip(store, middle, "payload-middle", computes);
+  (void)roundtrip(store, newest, "payload-newest", computes);
+  // Pin mtimes explicitly — same-second writes would make age a coin flip.
+  const auto now = fs::last_write_time(store.path_for(newest));
+  fs::last_write_time(store.path_for(oldest), now - std::chrono::hours(2));
+  fs::last_write_time(store.path_for(middle), now - std::chrono::hours(1));
+
+  // Budget for roughly two entries: only the oldest must go.
+  const auto entry_size = fs::file_size(store.path_for(newest));
+  const auto gc = store.gc(2 * entry_size + entry_size / 2);
+  EXPECT_EQ(gc.evicted, 1u);
+  EXPECT_EQ(gc.kept, 2u);
+  EXPECT_EQ(gc.removed, 0u);
+  EXPECT_FALSE(fs::exists(store.path_for(oldest)));
+  EXPECT_TRUE(fs::exists(store.path_for(middle)));
+  EXPECT_TRUE(fs::exists(store.path_for(newest)));
+  EXPECT_GE(gc.reclaimed_bytes, entry_size);
+  EXPECT_EQ(eviction_delta(), 1u);
+
+  // A budget below one entry clears the store; survivors-by-age = none.
+  const auto gc2 = store.gc(1);
+  EXPECT_EQ(gc2.evicted, 2u);
+  EXPECT_EQ(gc2.kept, 0u);
+  EXPECT_FALSE(fs::exists(store.path_for(middle)));
+  EXPECT_FALSE(fs::exists(store.path_for(newest)));
+
+  // Zero budget means "no byte limit", not "evict everything".
+  (void)roundtrip(store, newest, "payload-back", computes);
+  const auto gc3 = store.gc(0);
+  EXPECT_EQ(gc3.evicted, 0u);
+  EXPECT_EQ(gc3.kept, 1u);
+  EXPECT_TRUE(fs::exists(store.path_for(newest)));
 }
 
 TEST_F(ArtifactStoreTest, ConcurrentWritersSameKeyAreSafe) {

@@ -1,0 +1,431 @@
+// Serve daemon tests over an in-memory micro model: bundle round-trip,
+// socket scoring bit-identity, micro-batching, warm swap, explicit
+// load-shedding, and the malformed-frame robustness contract (protocol.h).
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "backend/fusion.h"
+#include "core/frozen_model.h"
+#include "core/subsystem.h"
+#include "obs/json.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "svm/vsm.h"
+
+namespace phonolid::serve {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+corpus::CorpusConfig micro_corpus_config() {
+  corpus::CorpusConfig cfg =
+      corpus::CorpusConfig::preset(util::Scale::kQuick, 31);
+  cfg.family.num_languages = 2;
+  cfg.num_universal_phones = 14;
+  cfg.train_utts_per_language = 4;
+  cfg.dev_utts_per_language_per_tier = 1;
+  cfg.test_utts_per_language_per_tier = 2;
+  cfg.num_native_languages = 1;
+  cfg.am_train_utts_per_native = 8;
+  cfg.am_train_seconds = 1.5;
+  return cfg;
+}
+
+core::FrontEndSpec micro_spec() {
+  core::FrontEndSpec spec;
+  spec.name = "micro";
+  spec.family = core::ModelFamily::kGmmHmm;
+  spec.num_phones = 6;
+  spec.native_language = 0;
+  spec.gmm_components = 2;
+  spec.seed_salt = 0x99;
+  return spec;
+}
+
+/// One shared micro corpus + frozen model for the whole suite: a single GMM
+/// subsystem, its VSM head trained on the train supervectors, and fusion
+/// fitted on the dev scores — the same chain `phonolid freeze` runs, minus
+/// DBA (irrelevant to transport-level behaviour).
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new corpus::LreCorpus(
+        corpus::LreCorpus::build(micro_corpus_config()));
+    model_ = new std::shared_ptr<const core::FrozenModel>(build_model());
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+
+  static std::shared_ptr<const core::FrozenModel> build_model() {
+    auto sub = core::Subsystem::build(*corpus_, micro_spec(), 7);
+    const std::size_t num_classes = corpus_->num_target_languages();
+    std::vector<std::int32_t> train_labels;
+    for (const auto& u : corpus_->vsm_train()) {
+      train_labels.push_back(u.language);
+    }
+    std::vector<std::int32_t> dev_labels;
+    for (const auto& u : corpus_->dev()) dev_labels.push_back(u.language);
+
+    const auto train_svs = sub->take_train_supervectors();
+    svm::VsmTrainConfig vsm_cfg;
+    svm::VsmModel vsm = svm::VsmModel::train(
+        train_svs, train_labels, num_classes, sub->supervector_dim(), vsm_cfg);
+
+    const auto dev_svs = sub->process_all(corpus_->dev());
+    const util::Matrix dev_scores = vsm.score_all(dev_svs);
+    backend::ScoreFusion fusion;
+    fusion.fit({dev_scores}, dev_labels, num_classes);
+
+    std::vector<std::string> languages;
+    for (const auto& spec : corpus_->target_languages()) {
+      languages.push_back(spec.name());
+    }
+    std::vector<core::FrozenHead> heads;
+    heads.push_back(core::FrozenHead{0, std::move(vsm)});
+    std::vector<std::unique_ptr<core::Subsystem>> subs;
+    subs.push_back(std::move(sub));
+    return std::make_shared<core::FrozenModel>(
+        "quick", corpus_->config().seed, corpus_->config().sample_rate,
+        std::move(languages), std::move(subs), std::move(heads),
+        std::move(fusion));
+  }
+
+  [[nodiscard]] static std::span<const float> test_utt(std::size_t i) {
+    return corpus_->test().at(i).samples;
+  }
+
+  static corpus::LreCorpus* corpus_;
+  static std::shared_ptr<const core::FrozenModel>* model_;
+};
+
+corpus::LreCorpus* ServeTest::corpus_ = nullptr;
+std::shared_ptr<const core::FrozenModel>* ServeTest::model_ = nullptr;
+
+/// RAII server on an ephemeral port; shutdown on scope exit.
+struct TestServer {
+  explicit TestServer(std::shared_ptr<const core::FrozenModel> model,
+                      ServerConfig config = {})
+      : server(std::move(model), config) {
+    port = server.start();
+  }
+  ~TestServer() { server.shutdown(); }
+  ScoreServer server;
+  int port = 0;
+};
+
+Client connect_to(const TestServer& ts) {
+  Client c;
+  c.connect("127.0.0.1", ts.port);
+  return c;
+}
+
+double stat_at(const obs::Json& stats,
+               std::initializer_list<const char*> path) {
+  const obs::Json* node = &stats;
+  for (const char* key : path) {
+    node = node->find(key);
+    if (node == nullptr) ADD_FAILURE() << "missing stats key " << key;
+    if (node == nullptr) return -1.0;
+  }
+  return node->as_double();
+}
+
+TEST_F(ServeTest, BundleRoundTripScoresBitIdentical) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "serve_bundle_rt";
+  fs::remove_all(dir);
+  (*model_)->save_bundle(dir.string());
+  const core::FrozenModel loaded = core::FrozenModel::load_bundle(dir.string());
+  EXPECT_EQ(loaded.num_subsystems(), (*model_)->num_subsystems());
+  EXPECT_EQ(loaded.num_heads(), (*model_)->num_heads());
+  EXPECT_EQ(loaded.languages(), (*model_)->languages());
+
+  std::vector<std::span<const float>> utts;
+  for (const auto& u : corpus_->test()) utts.emplace_back(u.samples);
+  const core::BatchScore a = (*model_)->score_batch(utts);
+  const core::BatchScore b = loaded.score_batch(utts);
+  ASSERT_EQ(a.llr.rows(), b.llr.rows());
+  ASSERT_EQ(a.llr.cols(), b.llr.cols());
+  for (std::size_t i = 0; i < a.llr.rows(); ++i) {
+    for (std::size_t k = 0; k < a.llr.cols(); ++k) {
+      EXPECT_EQ(a.llr(i, k), b.llr(i, k)) << "utt " << i << " class " << k;
+    }
+  }
+  EXPECT_EQ(a.best, b.best);
+  fs::remove_all(dir);
+}
+
+TEST_F(ServeTest, SocketScoresMatchOfflineBitForBit) {
+  std::vector<std::span<const float>> utts;
+  for (const auto& u : corpus_->test()) utts.emplace_back(u.samples);
+  const core::BatchScore offline = (*model_)->score_batch(utts);
+
+  TestServer ts(*model_);
+  Client c = connect_to(ts);
+  for (std::size_t i = 0; i < utts.size(); ++i) {
+    const Response r = c.score(utts[i]);
+    ASSERT_EQ(r.status, Status::kOk);
+    ASSERT_EQ(r.llr.size(), offline.llr.cols());
+    for (std::size_t k = 0; k < r.llr.size(); ++k) {
+      EXPECT_EQ(r.llr[k], offline.llr(i, k)) << "utt " << i << " class " << k;
+    }
+    EXPECT_EQ(r.best_language, offline.best[i]);
+  }
+}
+
+TEST_F(ServeTest, PingEchoesAndStatsParse) {
+  TestServer ts(*model_);
+  Client c = connect_to(ts);
+  const Response pong = c.ping();
+  EXPECT_EQ(pong.status, Status::kOk);
+
+  const Response st = c.stats();
+  ASSERT_EQ(st.status, Status::kOk);
+  const obs::Json stats = obs::Json::parse(st.text);
+  EXPECT_EQ(stat_at(stats, {"protocol_version"}),
+            static_cast<double>(kServeProtocolVersion));
+  EXPECT_EQ(stat_at(stats, {"bundle_format"}),
+            static_cast<double>(core::kBundleFormatVersion));
+  EXPECT_EQ(stat_at(stats, {"model", "languages"}), 2.0);
+  // The ping and this stats call are both counted.
+  EXPECT_GE(stat_at(stats, {"requests"}), 2.0);
+}
+
+TEST_F(ServeTest, MicroBatchingCoalescesConcurrentRequests) {
+  ServerConfig cfg;
+  cfg.max_batch = 8;
+  cfg.batch_window_ms = 250.0;
+  TestServer ts(*model_, cfg);
+
+  constexpr int kClients = 8;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&] {
+      Client c = connect_to(ts);
+      if (c.score(test_utt(0)).status == Status::kOk) ok.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kClients);
+
+  // All 8 scores went through fewer than 8 batches: the window coalesced
+  // co-arrivals (the batcher waits batch_window_ms after the first pop, far
+  // longer than the spread between 8 simultaneous sends).
+  Client admin = connect_to(ts);
+  const obs::Json stats = obs::Json::parse(admin.stats().text);
+  EXPECT_EQ(stat_at(stats, {"batch", "sum"}), static_cast<double>(kClients));
+  EXPECT_LT(stat_at(stats, {"batch", "count"}), static_cast<double>(kClients));
+}
+
+TEST_F(ServeTest, WarmSwapFailsZeroInFlightRequests) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "serve_swap_bundle";
+  fs::remove_all(dir);
+  (*model_)->save_bundle(dir.string());
+
+  TestServer ts(*model_);
+  Client ref_client = connect_to(ts);
+  const Response ref = ref_client.score(test_utt(0));
+  ASSERT_EQ(ref.status, Status::kOk);
+
+  // Clients hammer the daemon while swaps flip the model underneath them.
+  // The swapped-in bundle is a copy of the serving model, so every response
+  // must stay kOk with byte-identical LLRs across every generation.
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> sent{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      Client c = connect_to(ts);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Response r = c.score(test_utt(0));
+        sent.fetch_add(1);
+        if (r.status != Status::kOk || r.llr != ref.llr) failed.fetch_add(1);
+      }
+    });
+  }
+  Client admin = connect_to(ts);
+  constexpr int kSwaps = 3;
+  for (int s = 0; s < kSwaps; ++s) {
+    std::this_thread::sleep_for(25ms);
+    ASSERT_EQ(admin.swap(dir.string()).status, Status::kOk);
+  }
+  std::this_thread::sleep_for(25ms);
+  stop.store(true);
+  for (auto& t : workers) t.join();
+
+  EXPECT_GT(sent.load(), 0u);
+  EXPECT_EQ(failed.load(), 0u);
+  const obs::Json stats = obs::Json::parse(admin.stats().text);
+  EXPECT_EQ(stat_at(stats, {"swaps"}), static_cast<double>(kSwaps));
+  fs::remove_all(dir);
+}
+
+TEST_F(ServeTest, SwapToMissingBundleIsErrorAndKeepsServing) {
+  TestServer ts(*model_);
+  Client c = connect_to(ts);
+  const Response bad = c.swap("/nonexistent/bundle/dir");
+  EXPECT_EQ(bad.status, Status::kError);
+  EXPECT_FALSE(bad.text.empty());
+  // The old model keeps serving.
+  EXPECT_EQ(c.score(test_utt(0)).status, Status::kOk);
+}
+
+TEST_F(ServeTest, FullQueueShedsWithExplicitOverloaded) {
+  ServerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.batch_window_ms = 300.0;
+  cfg.queue_depth = 1;
+  TestServer ts(*model_, cfg);
+
+  constexpr int kClients = 16;
+  std::atomic<int> ok{0};
+  std::atomic<int> overloaded{0};
+  std::atomic<int> other{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&] {
+      Client c = connect_to(ts);
+      const Response r = c.score(test_utt(0));
+      if (r.status == Status::kOk) {
+        ok.fetch_add(1);
+      } else if (r.status == Status::kOverloaded) {
+        overloaded.fetch_add(1);
+      } else {
+        other.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Every request got an explicit answer; overload shed at least one and
+  // nothing was silently dropped or failed some other way.
+  EXPECT_EQ(ok.load() + overloaded.load(), kClients);
+  EXPECT_GE(overloaded.load(), 1);
+  EXPECT_EQ(other.load(), 0);
+  Client admin = connect_to(ts);
+  const obs::Json stats = obs::Json::parse(admin.stats().text);
+  EXPECT_EQ(stat_at(stats, {"sheds", "overloaded"}),
+            static_cast<double>(overloaded.load()));
+}
+
+TEST_F(ServeTest, LapsedDeadlineShedsWithExplicitStatus) {
+  ServerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.batch_window_ms = 300.0;  // the lone request waits the full window
+  TestServer ts(*model_, cfg);
+  Client c = connect_to(ts);
+  const Response r = c.score(test_utt(0), /*deadline_ms=*/1);
+  EXPECT_EQ(r.status, Status::kDeadlineExceeded);
+  const obs::Json stats = obs::Json::parse(c.stats().text);
+  EXPECT_EQ(stat_at(stats, {"sheds", "deadline"}), 1.0);
+}
+
+TEST_F(ServeTest, EmptyScorePayloadIsBadRequest) {
+  TestServer ts(*model_);
+  Client c = connect_to(ts);
+  const Response r = c.score(std::span<const float>{});
+  EXPECT_EQ(r.status, Status::kBadRequest);
+  // The connection itself is fine — only the request was bad.
+  EXPECT_EQ(c.ping().status, Status::kOk);
+}
+
+// --- malformed-frame robustness -------------------------------------------
+//
+// Contract (protocol.h): a malformed frame gets one clean kBadRequest
+// response, then the server closes the poisoned connection; the daemon
+// itself keeps serving fresh clients.
+
+void expect_bad_request_then_close(int fd) {
+  std::string body;
+  ASSERT_TRUE(read_frame(fd, body)) << "expected an error response frame";
+  const Response r = decode_response(body);
+  EXPECT_EQ(r.status, Status::kBadRequest);
+  EXPECT_FALSE(r.text.empty());
+  EXPECT_FALSE(read_frame(fd, body)) << "poisoned connection must be closed";
+}
+
+void expect_server_alive(const TestServer& ts) {
+  Client fresh = connect_to(ts);
+  EXPECT_EQ(fresh.ping().status, Status::kOk);
+}
+
+TEST_F(ServeTest, BadMagicFrameGetsCleanErrorAndClose) {
+  TestServer ts(*model_);
+  Client probe = connect_to(ts);
+  Request ping;
+  ping.type = FrameType::kPing;
+  ping.request_id = 7;
+  std::string body = encode_request(ping);
+  body[0] = 'X';  // corrupt the "PLSV" magic
+  ASSERT_TRUE(write_frame(probe.fd(), body));
+  expect_bad_request_then_close(probe.fd());
+  expect_server_alive(ts);
+}
+
+TEST_F(ServeTest, WrongProtocolVersionGetsCleanErrorAndClose) {
+  TestServer ts(*model_);
+  Client probe = connect_to(ts);
+  Request ping;
+  ping.type = FrameType::kPing;
+  ping.request_id = 8;
+  std::string body = encode_request(ping);
+  body[4] ^= 0x20;  // bytes 4..7 are the little-endian protocol version
+  ASSERT_TRUE(write_frame(probe.fd(), body));
+  expect_bad_request_then_close(probe.fd());
+  expect_server_alive(ts);
+}
+
+TEST_F(ServeTest, OversizedLengthPrefixGetsCleanErrorAndClose) {
+  TestServer ts(*model_);
+  Client probe = connect_to(ts);
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  ASSERT_TRUE(write_all(probe.fd(), &huge, sizeof huge));
+  expect_bad_request_then_close(probe.fd());
+  expect_server_alive(ts);
+}
+
+TEST_F(ServeTest, TruncatedFrameDoesNotWedgeTheServer) {
+  TestServer ts(*model_);
+  Client probe = connect_to(ts);
+  // A length prefix promising 64 bytes, then only 8 and a hangup: the
+  // server's reader hits EOF mid-frame and must drop the connection without
+  // taking the daemon down.
+  const std::uint32_t claimed = 64;
+  ASSERT_TRUE(write_all(probe.fd(), &claimed, sizeof claimed));
+  const std::uint64_t partial = 0xDEADBEEF;
+  ASSERT_TRUE(write_all(probe.fd(), &partial, sizeof partial));
+  probe.close();
+  expect_server_alive(ts);
+}
+
+TEST_F(ServeTest, ShutdownIsIdempotentAndStopsAccepting) {
+  TestServer ts(*model_);
+  const int port = ts.port;
+  EXPECT_EQ(connect_to(ts).ping().status, Status::kOk);
+  ts.server.shutdown();
+  ts.server.shutdown();  // second call is a no-op
+  Client late;
+  EXPECT_THROW(late.connect("127.0.0.1", port), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace phonolid::serve

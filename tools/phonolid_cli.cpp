@@ -19,6 +19,10 @@
 //                                                   run any command under the
 //                                                   CPU profiler
 //   phonolid report-diff base.json cur.json         compare two run reports
+//   phonolid freeze  --out bundle/                  train + freeze a model
+//                                                   bundle for serving
+//   phonolid serve   --bundle bundle/ [--port N]    micro-batching scoring
+//                                                   daemon over a bundle
 //   phonolid version                                schema/format versions
 //
 // Global flags: --scale quick|default|full, --seed <uint>,
@@ -40,8 +44,12 @@
 #include <string>
 #include <vector>
 
+#include <csignal>
+
 #include "core/experiment.h"
+#include "core/frozen_model.h"
 #include "core/stage_cache.h"
+#include "serve/server.h"
 #include "eval/diagnostics.h"
 #include "obs/exporters.h"
 #include "obs/ledger.h"
@@ -103,12 +111,28 @@ void usage() {
       "                 [--max-adoption-precision-drop x]\n"
       "                 [--max-energy-delta-pct pct] [--min-span-s s]\n"
       "                 [--max-self-share-delta x]\n"
+      "                 [--max-serve-p99-regress pct]\n"
+      "                 [--max-serve-throughput-drop pct]\n"
       "               exits 1 when a threshold is violated\n"
+      "  freeze       train and freeze a self-contained model bundle:\n"
+      "               freeze --out bundle/ [--v N] [--mode m1|m2|both]\n"
+      "               (front ends, VSM heads, fusion — servable without the\n"
+      "               training corpus; verify/inspect via MANIFEST.json)\n"
+      "  serve        scoring daemon over a frozen bundle:\n"
+      "               serve --bundle bundle/ [--port N] [--port-file f]\n"
+      "                 [--max-batch N] [--batch-window-ms W]\n"
+      "                 [--queue-depth N]\n"
+      "               (port 0 = kernel-assigned; SIGTERM drains gracefully;\n"
+      "               binary protocol in src/serve/protocol.h)\n"
       "  version      print schema/format versions and build flags\n"
       "  pipeline     artifact-store maintenance:\n"
       "               pipeline status [--cache-dir D]  entry count + bytes\n"
-      "               pipeline gc     [--cache-dir D]  drop corrupt/stale\n"
-      "                                               entries + orphan temps\n"
+      "               pipeline gc     [--cache-dir D] [--max-bytes N]\n"
+      "                                               drop corrupt/stale\n"
+      "                                               entries + orphan temps;\n"
+      "                                               --max-bytes also evicts\n"
+      "                                               oldest entries beyond\n"
+      "                                               the byte budget\n"
       "global flags: --scale quick|default|full  --seed N\n"
       "              --report out.json  (corpus/decode/run/det/votes: write\n"
       "              a structured JSON run report)\n"
@@ -190,8 +214,13 @@ const std::map<std::string, std::set<std::string>>& command_flags() {
       {"report-diff",
        {"max-regress", "max-eer-delta", "max-cavg-delta", "max-cllr-delta",
         "max-adoption-precision-drop", "max-energy-delta-pct", "min-span-s",
-        "max-self-share-delta"}},
-      {"pipeline", {"cache-dir"}},
+        "max-self-share-delta", "max-serve-p99-regress",
+        "max-serve-throughput-drop"}},
+      {"pipeline", {"cache-dir", "max-bytes"}},
+      {"freeze", {"scale", "seed", "out", "v", "mode", "cache-dir", "report"}},
+      {"serve",
+       {"bundle", "port", "port-file", "max-batch", "batch-window-ms",
+        "queue-depth"}},
       {"version", {}},
   };
   return flags;
@@ -1107,6 +1136,151 @@ int cmd_flame(const Args& args) {
   return 0;
 }
 
+int cmd_freeze(const Args& args) {
+  const auto cfg = config_from(args);
+  const std::string out_dir = args.get("out", "");
+  if (out_dir.empty()) {
+    std::fprintf(stderr, "error: freeze needs --out <bundle-dir>\n");
+    usage();
+    return 2;
+  }
+  const std::string mode = args.get("mode", "both");
+  if (mode != "m1" && mode != "m2" && mode != "both") {
+    std::fprintf(stderr, "error: --mode must be m1, m2 or both\n");
+    return 2;
+  }
+  const auto exp = core::Experiment::build(cfg);
+  const auto v = static_cast<std::size_t>(args.get_int(
+      "v", static_cast<long>(std::min<std::size_t>(3, exp->num_subsystems()))));
+  const std::size_t num_subs = exp->num_subsystems();
+
+  // Same training sequence as `phonolid run`, capturing the boosted VSMs
+  // and fitting the same count-weighted fusion — so a frozen bundle scores
+  // bit-identically to the offline run that would have produced it.
+  const auto selection = exp->select(v);
+  std::vector<core::SubsystemScores> m1, m2;
+  std::vector<const core::SubsystemScores*> blocks;
+  std::vector<double> weights;
+  std::vector<svm::VsmModel> models;
+  if (mode == "m1" || mode == "both") {
+    m1 = exp->run_dba(v, core::DbaMode::kM1, &models);
+    for (const auto& b : m1) blocks.push_back(&b);
+    for (std::size_t c : selection.subsystem_fit_counts) {
+      weights.push_back(static_cast<double>(c));
+    }
+  }
+  if (mode == "m2" || mode == "both") {
+    m2 = exp->run_dba(v, core::DbaMode::kM2, &models);
+    for (const auto& b : m2) blocks.push_back(&b);
+    for (std::size_t c : selection.subsystem_fit_counts) {
+      weights.push_back(static_cast<double>(c));
+    }
+  }
+  if (models.size() != blocks.size()) {
+    std::fprintf(stderr,
+                 "error: freeze captured %zu VSMs for %zu score blocks\n",
+                 models.size(), blocks.size());
+    return 1;
+  }
+  const backend::ScoreFusion fusion = exp->fit_fusion(blocks, weights);
+
+  std::vector<core::FrozenHead> heads;
+  heads.reserve(models.size());
+  for (std::size_t h = 0; h < models.size(); ++h) {
+    heads.push_back(core::FrozenHead{h % num_subs, std::move(models[h])});
+  }
+  core::FrozenModel::write_bundle(out_dir, *exp, heads, fusion);
+  std::printf("froze %zu subsystems, %zu heads (mode %s, V=%zu) -> %s\n",
+              num_subs, heads.size(), mode.c_str(), v, out_dir.c_str());
+  std::printf("bundle format v%u, %zu languages, serve with:\n",
+              static_cast<unsigned>(core::kBundleFormatVersion),
+              exp->num_languages());
+  std::printf("  phonolid serve --bundle %s --port 0\n", out_dir.c_str());
+
+  if (!cfg.report_path.empty()) {
+    obs::Json results = obs::Json::object();
+    results["bundle_dir"] = obs::Json(out_dir);
+    results["bundle_format"] = obs::Json(core::kBundleFormatVersion);
+    results["subsystems"] = obs::Json(num_subs);
+    results["heads"] = obs::Json(heads.size());
+    results["languages"] = obs::Json(exp->num_languages());
+    results["mode"] = obs::Json(mode);
+    results["min_votes"] = obs::Json(v);
+    write_plain_report(cfg, "freeze", std::move(results));
+  }
+  return 0;
+}
+
+// SIGTERM/SIGINT → graceful drain.  The handler only touches the
+// async-signal-safe request_shutdown() (atomic store + pipe write).
+std::atomic<serve::ScoreServer*> g_serve_instance{nullptr};
+
+void serve_signal_handler(int) {
+  if (auto* server = g_serve_instance.load()) server->request_shutdown();
+}
+
+int cmd_serve(const Args& args) {
+  const std::string bundle_dir = args.get("bundle", "");
+  if (bundle_dir.empty()) {
+    std::fprintf(stderr, "error: serve needs --bundle <bundle-dir>\n");
+    usage();
+    return 2;
+  }
+  serve::ServerConfig scfg;
+  scfg.port = static_cast<int>(args.get_int("port", 0));
+  scfg.max_batch = static_cast<std::size_t>(args.get_int("max-batch", 32));
+  scfg.batch_window_ms = args.get_double("batch-window-ms", 2.0);
+  scfg.queue_depth =
+      static_cast<std::size_t>(args.get_int("queue-depth", 256));
+  if (scfg.max_batch == 0 || scfg.queue_depth == 0 ||
+      scfg.batch_window_ms < 0.0) {
+    std::fprintf(stderr,
+                 "error: --max-batch/--queue-depth expect positive integers, "
+                 "--batch-window-ms a non-negative number\n");
+    return 2;
+  }
+
+  auto model = std::make_shared<const core::FrozenModel>(
+      core::FrozenModel::load_bundle(bundle_dir));
+  std::printf("serve: loaded bundle %s (scale %s, seed %llu, %zu languages, "
+              "%zu subsystems, %zu heads)\n",
+              bundle_dir.c_str(), model->scale().c_str(),
+              static_cast<unsigned long long>(model->seed()),
+              model->num_languages(), model->num_subsystems(),
+              model->num_heads());
+
+  serve::ScoreServer server(std::move(model), scfg);
+  const int port = server.start();
+  g_serve_instance.store(&server);
+  struct sigaction sa = {};
+  sa.sa_handler = serve_signal_handler;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  std::printf("serve: listening on 127.0.0.1:%d (protocol v%u, max batch "
+              "%zu, window %.1f ms, queue %zu)\n",
+              port, static_cast<unsigned>(serve::kServeProtocolVersion),
+              scfg.max_batch, scfg.batch_window_ms, scfg.queue_depth);
+  std::fflush(stdout);
+  if (const std::string port_file = args.get("port-file", "");
+      !port_file.empty()) {
+    std::ofstream out(port_file);
+    out << port << '\n';
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write --port-file %s\n",
+                   port_file.c_str());
+      server.shutdown();
+      g_serve_instance.store(nullptr);
+      return 1;
+    }
+  }
+
+  server.wait();  // blocks until SIGTERM/SIGINT, then drains
+  g_serve_instance.store(nullptr);
+  std::printf("serve: drained and stopped\n");
+  return 0;
+}
+
 int cmd_version() {
   std::printf("phonolid version surface\n");
   std::printf("  report schema     : v%d\n", obs::kReportSchemaVersion);
@@ -1114,6 +1288,10 @@ int cmd_version() {
               static_cast<unsigned>(pipeline::kPipelineFormatVersion));
   std::printf("  decision ledger   : v%d\n", obs::kLedgerVersion);
   std::printf("  quality section   : v%d\n", eval::kQualityVersion);
+  std::printf("  model bundle      : v%u\n",
+              static_cast<unsigned>(core::kBundleFormatVersion));
+  std::printf("  serve protocol    : v%u\n",
+              static_cast<unsigned>(serve::kServeProtocolVersion));
   std::printf("build flags\n");
 #if defined(PHONOLID_BUILD_TYPE)
   std::printf("  build type        : %s\n", PHONOLID_BUILD_TYPE);
@@ -1156,10 +1334,21 @@ int cmd_pipeline(const Args& args) {
     return 0;
   }
   if (verb == "gc") {
-    const auto r = store.gc();
-    std::printf("kept %zu entries, removed %zu (%ju bytes reclaimed)\n",
+    const long max_bytes = args.get_int("max-bytes", 0);
+    if (max_bytes < 0) {
+      std::fprintf(stderr,
+                   "error: flag --max-bytes expects a non-negative integer\n");
+      return 2;
+    }
+    const auto r = store.gc(static_cast<std::uintmax_t>(max_bytes));
+    std::printf("kept %zu entries, removed %zu (%ju bytes reclaimed",
                 r.kept, r.removed,
                 static_cast<std::uintmax_t>(r.reclaimed_bytes));
+    if (max_bytes > 0) {
+      std::printf(", %zu evicted for the %ld-byte budget", r.evicted,
+                  max_bytes);
+    }
+    std::printf(")\n");
     return 0;
   }
   std::fprintf(stderr, "error: unknown pipeline verb '%s' (status|gc)\n",
@@ -1185,6 +1374,10 @@ int cmd_report_diff(const Args& args) {
       args.get_double("max-adoption-precision-drop", -1.0);
   options.max_energy_delta_pct = args.get_double("max-energy-delta-pct", -1.0);
   options.max_self_share_delta = args.get_double("max-self-share-delta", -1.0);
+  options.max_serve_p99_regress_pct =
+      args.get_double("max-serve-p99-regress", -1.0);
+  options.max_serve_throughput_drop_pct =
+      args.get_double("max-serve-throughput-drop", -1.0);
   options.min_span_s = args.get_double("min-span-s", options.min_span_s);
   const obs::Json baseline = load_json_file(args.positionals[0]);
   const obs::Json current = load_json_file(args.positionals[1]);
@@ -1207,6 +1400,8 @@ int dispatch(const Args& args) {
   if (args.command == "flame") return cmd_flame(args);
   if (args.command == "pipeline") return cmd_pipeline(args);
   if (args.command == "report-diff") return cmd_report_diff(args);
+  if (args.command == "freeze") return cmd_freeze(args);
+  if (args.command == "serve") return cmd_serve(args);
   if (args.command == "version") return cmd_version();
   usage();
   return args.command.empty() ? 1 : 2;
