@@ -113,7 +113,11 @@ bool read_exact(int fd, void* buf, std::size_t n) {
     const ssize_t rc = ::read(fd, p + got, n - got);
     if (rc < 0) {
       if (errno == EINTR) continue;
-      return false;
+      if (got == 0) return false;
+      // An I/O error after bytes were already consumed is a truncated
+      // frame, not a clean close — same contract as the rc == 0 case.
+      throw util::SerializeError(std::string("read error mid-frame: ") +
+                                 std::strerror(errno));
     }
     if (rc == 0) {
       if (got == 0) return false;

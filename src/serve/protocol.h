@@ -78,8 +78,9 @@ std::string encode_response(const Response& response);
 Request decode_request(const std::string& body);
 Response decode_response(const std::string& body);
 
-/// Blocking exact-size socket IO (EINTR-safe).  false = clean EOF before
-/// any byte (read) / peer gone (write); a short read mid-buffer throws.
+/// Blocking exact-size socket IO (EINTR-safe).  false = clean EOF or error
+/// before any byte (read) / peer gone (write); a short read or I/O error
+/// mid-buffer throws.
 bool read_exact(int fd, void* buf, std::size_t n);
 bool write_all(int fd, const void* buf, std::size_t n);
 

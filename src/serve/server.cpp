@@ -9,7 +9,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -31,6 +33,7 @@ struct RegistryMetrics {
   obs::Counter& ok = obs::Metrics::counter("serve.responses.ok");
   obs::Counter& bad_frames = obs::Metrics::counter("serve.errors.bad_frame");
   obs::Counter& score_errors = obs::Metrics::counter("serve.errors.score");
+  obs::Counter& accept_errors = obs::Metrics::counter("serve.errors.accept");
   obs::Counter& sheds_overloaded =
       obs::Metrics::counter("serve.sheds.overloaded");
   obs::Counter& sheds_deadline = obs::Metrics::counter("serve.sheds.deadline");
@@ -126,6 +129,7 @@ ScoreServer::ScoreServer(std::shared_ptr<const core::FrozenModel> model,
   if (model_ == nullptr) throw std::invalid_argument("serve: null model");
   if (config_.max_batch == 0) config_.max_batch = 1;
   if (config_.queue_depth == 0) config_.queue_depth = 1;
+  if (config_.queue_max_bytes == 0) config_.queue_max_bytes = kMaxFrameBytes;
 }
 
 ScoreServer::~ScoreServer() {
@@ -208,13 +212,16 @@ void ScoreServer::shutdown() {
   }
   queue_cv_.notify_all();
   if (batch_thread_.joinable()) batch_thread_.join();
-  // Unblock connection readers stuck in read_frame and collect them.
+  // Unblock connection readers stuck in read_frame and collect them, plus
+  // any exited threads the accept loop had not reaped yet.
   std::vector<std::shared_ptr<Connection>> conns;
   std::vector<std::thread> threads;
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     conns.swap(conns_);
     threads.swap(conn_threads_);
+    for (auto& t : finished_threads_) threads.push_back(std::move(t));
+    finished_threads_.clear();
   }
   for (auto& conn : conns) conn->shut();
   for (auto& t : threads) {
@@ -227,8 +234,20 @@ std::shared_ptr<const core::FrozenModel> ScoreServer::model() const {
   return model_;
 }
 
+void ScoreServer::reap_connection_threads() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    done.swap(finished_threads_);
+  }
+  for (auto& t : done) {
+    if (t.joinable()) t.join();
+  }
+}
+
 void ScoreServer::accept_loop() {
   for (;;) {
+    reap_connection_threads();
     pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
     if (::poll(fds, 2, -1) < 0) {
       if (errno == EINTR) continue;
@@ -239,7 +258,21 @@ void ScoreServer::accept_loop() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
-      return;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM || errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Transient resource exhaustion (fd limit, socket buffers).  Dying
+        // here would leave a daemon that runs but never answers again, so
+        // count it, back off briefly (still watching the wake pipe for
+        // shutdown), and retry.
+        accept_errors_.fetch_add(1, std::memory_order_relaxed);
+        registry().accept_errors.add();
+        std::fprintf(stderr, "serve: accept: %s (backing off)\n",
+                     std::strerror(errno));
+        pollfd wake{wake_pipe_[0], POLLIN, 0};
+        ::poll(&wake, 1, 100);
+        continue;
+      }
+      return;  // unrecoverable, e.g. EBADF after the listener closed
     }
     auto conn = std::make_shared<Connection>(fd);
     std::lock_guard<std::mutex> lock(conns_mu_);
@@ -289,6 +322,19 @@ void ScoreServer::connection_loop(std::shared_ptr<Connection> conn) {
   // this connection go out through the batcher's shared_ptr, so leave the
   // socket open and let the last owner close it.
   if (poisoned) conn->shut();
+  // Deregister: drop the registry's shared_ptr (the fd closes as soon as
+  // the last queued response for this peer goes out) and park this thread's
+  // handle for the accept loop to join.  Without this a long-lived daemon
+  // leaks one fd plus one unjoined thread per disconnected client.
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conns_.erase(std::remove(conns_.begin(), conns_.end(), conn), conns_.end());
+  for (auto it = conn_threads_.begin(); it != conn_threads_.end(); ++it) {
+    if (it->get_id() == std::this_thread::get_id()) {
+      finished_threads_.push_back(std::move(*it));
+      conn_threads_.erase(it);
+      break;
+    }
+  }
 }
 
 void ScoreServer::handle_request(const std::shared_ptr<Connection>& conn,
@@ -306,6 +352,21 @@ void ScoreServer::handle_request(const std::shared_ptr<Connection>& conn,
       respond(conn, std::move(response));
       return;
     case FrameType::kSwap: {
+      // Unauthenticated protocol: any peer that can open the loopback port
+      // may retarget the serving model (see the trust model in server.h),
+      // so honour the operator's gate before touching the filesystem.
+      if (!config_.allow_swap) {
+        response.status = Status::kBadRequest;
+        response.text = "model swap is disabled on this server";
+        respond(conn, std::move(response));
+        return;
+      }
+      if (!swap_path_allowed(request.text)) {
+        response.status = Status::kBadRequest;
+        response.text = "swap target is outside the configured swap root";
+        respond(conn, std::move(response));
+        return;
+      }
       try {
         auto next = std::make_shared<const core::FrozenModel>(
             core::FrozenModel::load_bundle(request.text));
@@ -332,6 +393,7 @@ void ScoreServer::handle_request(const std::shared_ptr<Connection>& conn,
     respond(conn, std::move(response));
     return;
   }
+  const std::size_t request_bytes = request.samples.size() * sizeof(float);
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (stopping_) {
@@ -339,12 +401,16 @@ void ScoreServer::handle_request(const std::shared_ptr<Connection>& conn,
       registry().sheds_shutdown.add();
       response.status = Status::kShuttingDown;
       response.text = "server is draining";
-    } else if (queue_.size() >= config_.queue_depth) {
+    } else if (queue_.size() >= config_.queue_depth ||
+               queue_bytes_ + request_bytes > config_.queue_max_bytes) {
       sheds_overloaded_.fetch_add(1, std::memory_order_relaxed);
       registry().sheds_overloaded.add();
       response.status = Status::kOverloaded;
-      response.text = "request queue full";
+      response.text = queue_.size() >= config_.queue_depth
+                          ? "request queue full"
+                          : "request queue byte budget exceeded";
     } else {
+      queue_bytes_ += request_bytes;
       queue_.push_back(Pending{std::move(request), conn,
                                std::chrono::steady_clock::now()});
       registry().queue_depth.set(static_cast<std::int64_t>(queue_.size()));
@@ -353,6 +419,25 @@ void ScoreServer::handle_request(const std::shared_ptr<Connection>& conn,
     }
   }
   respond(conn, std::move(response));
+}
+
+ScoreServer::Pending ScoreServer::pop_front_locked() {
+  Pending p = std::move(queue_.front());
+  queue_.pop_front();
+  const std::size_t bytes = p.request.samples.size() * sizeof(float);
+  queue_bytes_ -= bytes <= queue_bytes_ ? bytes : queue_bytes_;
+  return p;
+}
+
+bool ScoreServer::swap_path_allowed(const std::string& path) const {
+  if (config_.swap_root.empty()) return true;
+  std::error_code ec;
+  const auto root = std::filesystem::weakly_canonical(config_.swap_root, ec);
+  if (ec) return false;
+  const auto target = std::filesystem::weakly_canonical(path, ec);
+  if (ec) return false;
+  const auto rel = target.lexically_relative(root);
+  return !rel.empty() && *rel.begin() != "..";
 }
 
 void ScoreServer::batch_loop() {
@@ -364,8 +449,7 @@ void ScoreServer::batch_loop() {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and fully drained
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+      batch.push_back(pop_front_locked());
       // Hold the batch open for co-arrivals; under drain, score whatever
       // is already queued without waiting for traffic that won't come.
       const auto deadline = std::chrono::steady_clock::now() +
@@ -373,15 +457,13 @@ void ScoreServer::batch_loop() {
                                 std::chrono::steady_clock::duration>(window);
       while (batch.size() < config_.max_batch) {
         while (!queue_.empty() && batch.size() < config_.max_batch) {
-          batch.push_back(std::move(queue_.front()));
-          queue_.pop_front();
+          batch.push_back(pop_front_locked());
         }
         if (batch.size() >= config_.max_batch || stopping_) break;
         if (queue_cv_.wait_until(lock, deadline) ==
             std::cv_status::timeout) {
           while (!queue_.empty() && batch.size() < config_.max_batch) {
-            batch.push_back(std::move(queue_.front()));
-            queue_.pop_front();
+            batch.push_back(pop_front_locked());
           }
           break;
         }
@@ -484,6 +566,7 @@ std::string ScoreServer::stats_json() const {
   obs::Json errors = obs::Json::object();
   errors["bad_frame"] = bad_frames_.load(std::memory_order_relaxed);
   errors["score"] = score_errors_.load(std::memory_order_relaxed);
+  errors["accept"] = accept_errors_.load(std::memory_order_relaxed);
   j["errors"] = std::move(errors);
   j["swaps"] = swaps_.load(std::memory_order_relaxed);
   {
@@ -491,6 +574,8 @@ std::string ScoreServer::stats_json() const {
     std::lock_guard<std::mutex> lock(queue_mu_);
     q["depth"] = queue_.size();
     q["limit"] = config_.queue_depth;
+    q["bytes"] = queue_bytes_;
+    q["bytes_limit"] = config_.queue_max_bytes;
     j["queue"] = std::move(q);
   }
   j["batch"] = histogram_json(batch_hist_);

@@ -19,6 +19,13 @@
 // batches finish on the generation they started with, so zero requests fail
 // across a swap.
 //
+// Trust model: the daemon binds 127.0.0.1 only and speaks an
+// unauthenticated protocol, so every local process that can open the port
+// is fully trusted — including kSwap, which loads a filesystem path as the
+// serving model.  Deployments that share a host with untrusted local users
+// should set ServerConfig::allow_swap = false (CLI `--allow-swap 0`) or
+// confine swap targets with ServerConfig::swap_root (CLI `--swap-root`).
+//
 // Observability: serve.* registry metrics (queue depth gauge, batch-size and
 // latency histograms, shed/swap/error counters) flow into the Prometheus
 // exporter and run reports; the kStats frame returns a JSON snapshot of this
@@ -54,6 +61,17 @@ struct ServerConfig {
   /// Bounded request queue; a score arriving at a full queue is answered
   /// kOverloaded immediately.
   std::size_t queue_depth = 256;
+  /// Byte budget over queued kScore PCM payloads.  The count bound alone
+  /// admits queue_depth × kMaxFrameBytes (~16 GB at the defaults) of pinned
+  /// samples; a score that would push the queue past this budget is
+  /// answered kOverloaded instead.
+  std::size_t queue_max_bytes = 256u << 20;
+  /// kSwap gate (see the trust model above): false rejects every swap
+  /// frame with kBadRequest.
+  bool allow_swap = true;
+  /// When non-empty, swap targets must resolve inside this directory tree;
+  /// anything else is rejected with kBadRequest.  Empty = any path.
+  std::string swap_root;
 };
 
 class ScoreServer {
@@ -92,10 +110,17 @@ class ScoreServer {
   };
 
   void accept_loop();
+  /// Join connection threads that finished since the last call (the reader
+  /// threads park their own handles in finished_threads_ on exit).
+  void reap_connection_threads();
   void connection_loop(std::shared_ptr<Connection> conn);
   void handle_request(const std::shared_ptr<Connection>& conn,
                       Request request);
+  [[nodiscard]] bool swap_path_allowed(const std::string& path) const;
   void batch_loop();
+  /// Pop the head of queue_ and release its byte accounting; queue_mu_
+  /// must be held and queue_ non-empty.
+  Pending pop_front_locked();
   void process_batch(std::vector<Pending> batch);
   void respond(const std::shared_ptr<Connection>& conn, Response response);
   [[nodiscard]] std::string stats_json() const;
@@ -117,11 +142,16 @@ class ScoreServer {
   std::mutex conns_mu_;
   std::vector<std::shared_ptr<Connection>> conns_;
   std::vector<std::thread> conn_threads_;
+  /// Exited reader threads awaiting join (guarded by conns_mu_); the accept
+  /// loop reaps these each iteration so connection churn never accumulates
+  /// unjoined threads.
+  std::vector<std::thread> finished_threads_;
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<Pending> queue_;
-  bool stopping_ = false;  // guarded by queue_mu_
+  std::size_t queue_bytes_ = 0;  // guarded by queue_mu_
+  bool stopping_ = false;        // guarded by queue_mu_
 
   // Per-instance stats for the kStats frame (registry serve.* metrics are
   // process-global and would bleed across servers in one test process).
@@ -132,6 +162,7 @@ class ScoreServer {
   std::atomic<std::uint64_t> sheds_shutdown_{0};
   std::atomic<std::uint64_t> bad_frames_{0};
   std::atomic<std::uint64_t> score_errors_{0};
+  std::atomic<std::uint64_t> accept_errors_{0};
   std::atomic<std::uint64_t> swaps_{0};
   obs::Histogram batch_hist_;
   obs::Histogram latency_hist_;

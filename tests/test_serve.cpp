@@ -279,6 +279,44 @@ TEST_F(ServeTest, WarmSwapFailsZeroInFlightRequests) {
   fs::remove_all(dir);
 }
 
+TEST_F(ServeTest, SwapDisabledIsRejectedAndKeepsServing) {
+  ServerConfig cfg;
+  cfg.allow_swap = false;
+  TestServer ts(*model_, cfg);
+  Client c = connect_to(ts);
+  const Response r = c.swap("/any/path");
+  EXPECT_EQ(r.status, Status::kBadRequest);
+  EXPECT_FALSE(r.text.empty());
+  EXPECT_EQ(c.score(test_utt(0)).status, Status::kOk);
+  const obs::Json stats = obs::Json::parse(c.stats().text);
+  EXPECT_EQ(stat_at(stats, {"swaps"}), 0.0);
+}
+
+TEST_F(ServeTest, SwapRootConfinesSwapTargets) {
+  const fs::path root = fs::path(::testing::TempDir()) / "serve_swap_root";
+  const fs::path inside = root / "bundle";
+  const fs::path outside =
+      fs::path(::testing::TempDir()) / "serve_swap_outside";
+  fs::remove_all(root);
+  fs::remove_all(outside);
+  (*model_)->save_bundle(inside.string());
+  (*model_)->save_bundle(outside.string());
+
+  ServerConfig cfg;
+  cfg.swap_root = root.string();
+  TestServer ts(*model_, cfg);
+  Client c = connect_to(ts);
+  EXPECT_EQ(c.swap(outside.string()).status, Status::kBadRequest);
+  // Traversal back out of the root is rejected too.
+  EXPECT_EQ(c.swap((root / ".." / "serve_swap_outside").string()).status,
+            Status::kBadRequest);
+  EXPECT_EQ(c.swap(inside.string()).status, Status::kOk);
+  const obs::Json stats = obs::Json::parse(c.stats().text);
+  EXPECT_EQ(stat_at(stats, {"swaps"}), 1.0);
+  fs::remove_all(root);
+  fs::remove_all(outside);
+}
+
 TEST_F(ServeTest, SwapToMissingBundleIsErrorAndKeepsServing) {
   TestServer ts(*model_);
   Client c = connect_to(ts);
@@ -326,6 +364,79 @@ TEST_F(ServeTest, FullQueueShedsWithExplicitOverloaded) {
   EXPECT_EQ(stat_at(stats, {"sheds", "overloaded"}),
             static_cast<double>(overloaded.load()));
 }
+
+TEST_F(ServeTest, ByteBudgetShedsWithExplicitOverloaded) {
+  ServerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.batch_window_ms = 300.0;
+  cfg.queue_depth = 256;  // count bound out of the way: bytes must shed
+  cfg.queue_max_bytes = test_utt(0).size() * sizeof(float);  // one queued utt
+  TestServer ts(*model_, cfg);
+
+  constexpr int kClients = 16;
+  std::atomic<int> ok{0};
+  std::atomic<int> overloaded{0};
+  std::atomic<int> other{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&] {
+      Client c = connect_to(ts);
+      const Response r = c.score(test_utt(0));
+      if (r.status == Status::kOk) {
+        ok.fetch_add(1);
+      } else if (r.status == Status::kOverloaded) {
+        overloaded.fetch_add(1);
+      } else {
+        other.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(ok.load() + overloaded.load(), kClients);
+  EXPECT_GE(overloaded.load(), 1);
+  EXPECT_EQ(other.load(), 0);
+  Client admin = connect_to(ts);
+  const obs::Json stats = obs::Json::parse(admin.stats().text);
+  EXPECT_EQ(stat_at(stats, {"sheds", "overloaded"}),
+            static_cast<double>(overloaded.load()));
+  // Everything answered, so nothing may stay pinned in the byte ledger.
+  EXPECT_EQ(stat_at(stats, {"queue", "bytes"}), 0.0);
+}
+
+#ifdef __linux__
+std::size_t open_fd_count() {
+  std::size_t n = 0;
+  for ([[maybe_unused]] const auto& entry :
+       fs::directory_iterator("/proc/self/fd")) {
+    ++n;
+  }
+  return n;
+}
+
+TEST_F(ServeTest, DisconnectedClientsDoNotLeakFds) {
+  TestServer ts(*model_);
+  {
+    Client warm = connect_to(ts);
+    ASSERT_EQ(warm.score(test_utt(0)).status, Status::kOk);
+  }
+  const std::size_t before = open_fd_count();
+  constexpr int kChurn = 40;
+  for (int i = 0; i < kChurn; ++i) {
+    Client c = connect_to(ts);
+    ASSERT_EQ(c.ping().status, Status::kOk);
+  }
+  // The reader threads notice EOF asynchronously; poll until the churned
+  // sockets are closed.  Without connection reaping the server keeps all
+  // kChurn fds open and this never converges.
+  std::size_t after = open_fd_count();
+  for (int tries = 0; tries < 200 && after > before + 8; ++tries) {
+    std::this_thread::sleep_for(10ms);
+    after = open_fd_count();
+  }
+  EXPECT_LE(after, before + 8);
+}
+#endif  // __linux__
 
 TEST_F(ServeTest, LapsedDeadlineShedsWithExplicitStatus) {
   ServerConfig cfg;

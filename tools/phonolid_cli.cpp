@@ -121,9 +121,12 @@ void usage() {
       "  serve        scoring daemon over a frozen bundle:\n"
       "               serve --bundle bundle/ [--port N] [--port-file f]\n"
       "                 [--max-batch N] [--batch-window-ms W]\n"
-      "                 [--queue-depth N]\n"
+      "                 [--queue-depth N] [--queue-max-mb MB]\n"
+      "                 [--allow-swap 0|1] [--swap-root dir]\n"
       "               (port 0 = kernel-assigned; SIGTERM drains gracefully;\n"
-      "               binary protocol in src/serve/protocol.h)\n"
+      "               binary protocol in src/serve/protocol.h; the socket is\n"
+      "               loopback-only and unauthenticated — gate model swaps\n"
+      "               with --allow-swap 0 or confine them to --swap-root)\n"
       "  version      print schema/format versions and build flags\n"
       "  pipeline     artifact-store maintenance:\n"
       "               pipeline status [--cache-dir D]  entry count + bytes\n"
@@ -220,7 +223,7 @@ const std::map<std::string, std::set<std::string>>& command_flags() {
       {"freeze", {"scale", "seed", "out", "v", "mode", "cache-dir", "report"}},
       {"serve",
        {"bundle", "port", "port-file", "max-batch", "batch-window-ms",
-        "queue-depth"}},
+        "queue-depth", "queue-max-mb", "allow-swap", "swap-root"}},
       {"version", {}},
   };
   return flags;
@@ -1232,13 +1235,18 @@ int cmd_serve(const Args& args) {
   scfg.batch_window_ms = args.get_double("batch-window-ms", 2.0);
   scfg.queue_depth =
       static_cast<std::size_t>(args.get_int("queue-depth", 256));
-  if (scfg.max_batch == 0 || scfg.queue_depth == 0 ||
+  const long queue_max_mb = args.get_int("queue-max-mb", 256);
+  scfg.allow_swap = args.get_int("allow-swap", 1) != 0;
+  scfg.swap_root = args.get("swap-root", "");
+  if (scfg.max_batch == 0 || scfg.queue_depth == 0 || queue_max_mb <= 0 ||
       scfg.batch_window_ms < 0.0) {
     std::fprintf(stderr,
-                 "error: --max-batch/--queue-depth expect positive integers, "
-                 "--batch-window-ms a non-negative number\n");
+                 "error: --max-batch/--queue-depth/--queue-max-mb expect "
+                 "positive integers, --batch-window-ms a non-negative "
+                 "number\n");
     return 2;
   }
+  scfg.queue_max_bytes = static_cast<std::size_t>(queue_max_mb) << 20;
 
   auto model = std::make_shared<const core::FrozenModel>(
       core::FrozenModel::load_bundle(bundle_dir));
@@ -1258,9 +1266,13 @@ int cmd_serve(const Args& args) {
   ::sigaction(SIGINT, &sa, nullptr);
 
   std::printf("serve: listening on 127.0.0.1:%d (protocol v%u, max batch "
-              "%zu, window %.1f ms, queue %zu)\n",
+              "%zu, window %.1f ms, queue %zu / %ld MB, swap %s)\n",
               port, static_cast<unsigned>(serve::kServeProtocolVersion),
-              scfg.max_batch, scfg.batch_window_ms, scfg.queue_depth);
+              scfg.max_batch, scfg.batch_window_ms, scfg.queue_depth,
+              queue_max_mb,
+              !scfg.allow_swap          ? "disabled"
+              : scfg.swap_root.empty()  ? "any path"
+                                        : scfg.swap_root.c_str());
   std::fflush(stdout);
   if (const std::string port_file = args.get("port-file", "");
       !port_file.empty()) {
