@@ -260,15 +260,16 @@ int main(int argc, char** argv) {
   const double p50 = exact_percentile(latencies, 0.50);
   const double p95 = exact_percentile(latencies, 0.95);
   const double p99 = exact_percentile(latencies, 0.99);
+  const double p999 = exact_percentile(latencies, 0.999);
   double latency_sum = 0.0;
   for (double v : latencies) latency_sum += v;
   const double throughput =
       wall_s > 0.0 ? static_cast<double>(samples.size()) / wall_s : 0.0;
   std::printf("# %zu ok in %.2fs: %.1f req/s, latency ms p50 %.1f p95 %.1f "
-              "p99 %.1f\n",
-              samples.size(), wall_s, throughput, p50, p95, p99);
+              "p99 %.1f p99.9 %.1f\n",
+              samples.size(), wall_s, throughput, p50, p95, p99, p999);
 
-  // Server-side view: batch-size histogram, sheds, swaps.
+  // Server-side view: batch-size histogram, sheds, swaps, phase breakdown.
   obs::Json stats = obs::Json::object();
   double batch_p50 = 0.0, batch_mean = 0.0;
   try {
@@ -279,10 +280,19 @@ int main(int argc, char** argv) {
     batch_p50 = json_number(batch, "p50");
     batch_mean = json_number(batch, "mean");
     std::printf("# server: %0.f requests, batch size p50 %.0f mean %.2f, "
-                "%.0f overload sheds, %.0f bad frames\n",
-                json_number(&stats, "requests"), batch_p50, batch_mean,
+                "%.0f overload sheds, %.0f bad frames, up %.1fs\n",
+                json_number(&stats, "requests_total"), batch_p50, batch_mean,
                 json_number(stats.find("sheds"), "overloaded"),
-                json_number(stats.find("errors"), "bad_frame"));
+                json_number(stats.find("errors"), "bad_frame"),
+                json_number(&stats, "uptime_s"));
+    if (const obs::Json* phases = stats.find("phases"); phases != nullptr) {
+      std::printf("# phases p99 ms: queue_wait %.2f batch_wait %.2f "
+                  "compute %.2f write %.2f\n",
+                  json_number(phases->find("queue_wait_ms"), "p99"),
+                  json_number(phases->find("batch_wait_ms"), "p99"),
+                  json_number(phases->find("compute_ms"), "p99"),
+                  json_number(phases->find("write_ms"), "p99"));
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "warning: stats frame failed: %s\n", e.what());
   }
@@ -363,7 +373,9 @@ int main(int argc, char** argv) {
     meta.seed = seed;
     meta.threads = util::ThreadPool::global().num_threads();
     obs::Json serve_section = obs::Json::object();
-    serve_section["version"] = 1;
+    // v2: adds latency_ms.p999 and the per-phase "phases" block sourced
+    // from the daemon's kStats frame (p50/p99/p999/mean/count per phase).
+    serve_section["version"] = 2;
     serve_section["protocol_version"] = json_number(&stats, "protocol_version");
     serve_section["connections"] = opt.connections;
     serve_section["repeat"] = opt.repeat;
@@ -375,9 +387,26 @@ int main(int argc, char** argv) {
     latency["p50"] = p50;
     latency["p95"] = p95;
     latency["p99"] = p99;
+    latency["p999"] = p999;
     latency["mean"] = latency_sum / static_cast<double>(latencies.size());
     latency["max"] = latencies.back();
     serve_section["latency_ms"] = std::move(latency);
+    if (const obs::Json* phases = stats.find("phases"); phases != nullptr) {
+      obs::Json phase_section = obs::Json::object();
+      for (const char* name :
+           {"queue_wait_ms", "batch_wait_ms", "compute_ms", "write_ms"}) {
+        const obs::Json* h = phases->find(name);
+        if (h == nullptr) continue;
+        obs::Json p = obs::Json::object();
+        p["p50"] = json_number(h, "p50");
+        p["p99"] = json_number(h, "p99");
+        p["p999"] = json_number(h, "p999");
+        p["mean"] = json_number(h, "mean");
+        p["count"] = json_number(h, "count");
+        phase_section[name] = std::move(p);
+      }
+      serve_section["phases"] = std::move(phase_section);
+    }
     obs::Json batch = obs::Json::object();
     batch["p50"] = batch_p50;
     batch["mean"] = batch_mean;

@@ -56,8 +56,9 @@ done
 # Serve baseline (quick scale only — that is what tier-1 gates): freeze a
 # bundle from the warm store, bring up the daemon on an ephemeral port, and
 # record the load generator's report as BENCH_serve.json.  The gated leaves
-# (latency p99, throughput) are machine-dependent, which is why tier-1
-# applies only order-of-magnitude thresholds to them.
+# (latency p99/p99.9, throughput, per-phase p99 from the daemon's phase
+# histograms) are machine-dependent, which is why tier-1 applies only
+# order-of-magnitude thresholds to them.
 if [[ "$SCALE" == "quick" ]]; then
   echo "=== bench_serve -> BENCH_serve.json"
   TMP="$(mktemp -d)"

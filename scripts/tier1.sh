@@ -151,14 +151,22 @@ fi
 # (batch-size p50 >= 2 with 8 concurrent connections), and the serve report
 # diffs against the committed baseline with deliberately generous gates:
 # bucketed p99 on a loaded daemon is noisy, so only order-of-magnitude
-# regressions should trip CI.  SIGTERM must drain gracefully (exit 0).
+# regressions should trip CI.  The admin HTTP plane is exercised live:
+# /healthz must answer ok before and during load, /metrics must scrape
+# during load, and after the load the scrape's serve_requests_total must
+# equal the requests_total the daemon reports in its own stats document
+# (/statusz) — the pull-based plane and the kStats frame are two views of
+# the same ledger.  Per-phase p99/p99.9 gate separately from end-to-end
+# latency so a queue-wait regression cannot hide behind fast compute.
+# SIGTERM must drain gracefully (exit 0).
 ./build/tools/phonolid freeze --scale quick --out "$TMP/bundle" \
   --cache-dir "$CACHE_DIR"
 ./build/tools/phonolid serve --bundle "$TMP/bundle" --port 0 \
-  --port-file "$TMP/serve.port" > "$TMP/serve.log" 2>&1 &
+  --port-file "$TMP/serve.port" --admin-port 0 \
+  --admin-port-file "$TMP/admin.port" > "$TMP/serve.log" 2>&1 &
 SERVE_PID=$!
 for _ in $(seq 1 100); do
-  [ -s "$TMP/serve.port" ] && break
+  [ -s "$TMP/serve.port" ] && [ -s "$TMP/admin.port" ] && break
   if ! kill -0 "$SERVE_PID" 2> /dev/null; then
     echo "serve daemon died during startup:" >&2
     cat "$TMP/serve.log" >&2
@@ -167,13 +175,37 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 test -s "$TMP/serve.port"
+test -s "$TMP/admin.port"
+ADMIN_URL="http://127.0.0.1:$(cat "$TMP/admin.port")"
+curl -fsS "$ADMIN_URL/healthz" | grep -qx "ok"
 ./build/bench/bench_serve --port "$(cat "$TMP/serve.port")" --scale quick \
   --connections 8 --ledger "$TMP/quick.ledger.jsonl" \
   --llr-out "$TMP/serve_llr.txt" --expected-llr "$TMP/expected_llr.txt" \
-  --min-batch-p50 2 --report "$TMP/serve.report.json"
+  --min-batch-p50 2 --report "$TMP/serve.report.json" &
+BENCH_PID=$!
+# Scrapes during load: read-only, must succeed, must not perturb scoring.
+# (healthz may honestly answer 503 while the queue is at the shed threshold,
+# so only the metrics/statusz scrapes demand a 200 here.)
+curl -sS "$ADMIN_URL/healthz" > /dev/null
+curl -fsS "$ADMIN_URL/metrics" > "$TMP/during.prom"
+curl -fsS "$ADMIN_URL/statusz" > /dev/null
+wait "$BENCH_PID"
 cmp "$TMP/serve_llr.txt" "$TMP/expected_llr.txt"
+# Post-load, with the daemon idle: the Prometheus scrape and the daemon's
+# own stats document must agree exactly on how many PLSV requests ran
+# (admin scrapes are metered separately and must not inflate it).
+curl -fsS "$ADMIN_URL/metrics" > "$TMP/serve.prom"
+curl -fsS "$ADMIN_URL/statusz" > "$TMP/serve.statusz.json"
+SCRAPE_TOTAL="$(awk '/^phonolid_serve_requests_total /{print $2}' "$TMP/serve.prom")"
+STATS_TOTAL="$(python3 -c 'import json,sys
+print(int(json.load(open(sys.argv[1]))["requests_total"]))' "$TMP/serve.statusz.json")"
+if [ "${SCRAPE_TOTAL%.*}" != "$STATS_TOTAL" ]; then
+  echo "serve: /metrics requests_total ($SCRAPE_TOTAL) != /statusz requests_total ($STATS_TOTAL)" >&2
+  exit 1
+fi
 ./build/tools/phonolid report-diff BENCH_serve.json "$TMP/serve.report.json" \
-  --max-serve-p99-regress 400 --max-serve-throughput-drop 90
+  --max-serve-p99-regress 400 --max-serve-throughput-drop 90 \
+  --max-phase-p99-regress 400
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 grep -q "drained and stopped" "$TMP/serve.log"
@@ -186,6 +218,7 @@ cp "$TMP/quick.report.json" "$TMP/quick.ledger.jsonl" "$TMP/quick.trace.json" \
    "$TMP/quick.prom" "$TMP/energy.report.json" "$TMP/quick.power.txt" \
    "$TMP/quick.folded" "$TMP/quick.flame.txt" \
    "$TMP/serve.report.json" "$TMP/serve.log" \
+   "$TMP/serve.prom" "$TMP/serve.statusz.json" \
    "$ARTIFACTS/"
 
 echo "tier-1 OK"

@@ -25,6 +25,19 @@
 //   PHONOLID_TRACE_CAPACITY=N       (per-thread ring capacity, events)
 //   PHONOLID_PROFILE_OUT=out.folded (folded stacks from the CPU profiler;
 //                                    see obs/profiler.h for PHONOLID_PROFILE)
+//
+// At-exit semantics: the env-var exports are written by export_from_env(),
+// which entry points call once on their way out — NOT continuously.  A
+// process killed before reaching it (SIGKILL, crash) leaves no artifacts,
+// and a long-lived process shows nothing until it exits.  Long-running
+// entry points should therefore (a) call export_from_env() on their
+// graceful-shutdown path as soon as draining finishes — `phonolid serve`
+// does after a SIGTERM drain — and (b) expose live pull-based telemetry
+// instead of relying on the files: the serve admin endpoint
+// (serve/admin_http.h) serves prometheus_text() and folded_stacks_text()
+// per-request via GET /metrics and /flamez.  export_from_env() is
+// idempotent; calling it on the drain path and again at main() exit just
+// rewrites the files with a fresher snapshot.
 #pragma once
 
 #include <string>

@@ -187,6 +187,12 @@ bool ends_with(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+/// Absolute floor under the serve/phases/*/p99[9] gate: the phase
+/// histograms have 0.1 ms buckets, so a one-bucket wobble is a huge
+/// relative change on a fast phase; require the regression to also exceed
+/// this many milliseconds before it can violate.
+constexpr double kPhaseP99SlackMs = 1.0;
+
 /// Forward compatibility: a newer binary may emit top-level sections this
 /// tool has never heard of.  They must surface as notes and be skipped, not
 /// rejected — otherwise every schema extension would break every committed
@@ -418,6 +424,20 @@ ReportDiffResult diff_reports(const Json& baseline, const Json& current,
                    const double drop_pct = 100.0 * (b - c) / b;
                    row.violation =
                        drop_pct > options.max_serve_throughput_drop_pct;
+                 } else if (key.rfind("serve/phases/", 0) == 0 &&
+                            (ends_with(key, "/p99") ||
+                             ends_with(key, "/p999")) &&
+                            options.max_phase_p99_regress_pct >= 0.0 &&
+                            b > 0.0) {
+                   row.gated = true;
+                   row.gate = "max-phase-p99-regress";
+                   row.threshold = options.max_phase_p99_regress_pct;
+                   const double pct = 100.0 * (c - b) / b;
+                   // Sub-millisecond absolute deltas are bucket-edge noise
+                   // on the fine phase buckets (e.g. 0.1 → 0.5 ms is
+                   // +400 %), not a regression worth failing CI over.
+                   row.violation = pct > options.max_phase_p99_regress_pct &&
+                                   (c - b) > kPhaseP99SlackMs;
                  }
                  result.rows.push_back(std::move(row));
                });

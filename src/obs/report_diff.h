@@ -39,8 +39,10 @@
 //     RAPL joules and software-model joules are not comparable.
 //   - "serve" leaves (emitted by bench_serve) are compared numerically;
 //     serve/latency_ms/p99 gates on relative *growth* via
-//     max_serve_p99_regress_pct and serve/throughput_rps gates on relative
-//     *drop* via max_serve_throughput_drop_pct.  Everything else in the
+//     max_serve_p99_regress_pct, serve/throughput_rps gates on relative
+//     *drop* via max_serve_throughput_drop_pct, and the per-phase
+//     serve/phases/*/p99 + p999 leaves gate on relative growth via
+//     max_phase_p99_regress_pct.  Everything else in the
 //     section (shed counts, connection counts) is report-only.
 //   - a schema_version mismatch between the two documents is itself a
 //     violation (the comparison would be meaningless).
@@ -98,6 +100,14 @@ struct ReportDiffOptions {
   /// Max allowed relative *drop* (percent, baseline -> current) of
   /// serve/throughput_rps; negative = don't gate serving throughput.
   double max_serve_throughput_drop_pct = -1.0;
+  /// Max allowed relative growth (percent) of the per-phase percentiles
+  /// serve/phases/<phase>/p99 and .../p999 (phase ∈ queue_wait_ms,
+  /// batch_wait_ms, compute_ms, write_ms); negative = don't gate phases.
+  /// Gating per phase is what separates a queue-wait regression (admission
+  /// or batching bug) from a compute regression (kernel slowdown).  Phase
+  /// percentiles are bucket-edge estimates on sub-millisecond buckets, so
+  /// deltas under 1 ms never violate regardless of their relative size.
+  double max_phase_p99_regress_pct = -1.0;
   /// Spans with a baseline mean below this (seconds) are never gated.
   double min_span_s = 0.01;
 };

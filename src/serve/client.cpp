@@ -82,11 +82,12 @@ Response Client::call(const Request& request) {
 }
 
 Response Client::score(std::span<const float> samples,
-                       std::uint32_t deadline_ms) {
+                       std::uint32_t deadline_ms, std::uint64_t trace_id) {
   Request request;
   request.type = FrameType::kScore;
   request.request_id = next_id_++;
   request.deadline_ms = deadline_ms;
+  request.trace_id = trace_id;
   request.samples.assign(samples.begin(), samples.end());
   return call(request);
 }

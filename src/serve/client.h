@@ -34,7 +34,10 @@ class Client {
   Response call(const Request& request);
 
   /// Score one utterance of f32 PCM at the bundle's sample rate.
-  Response score(std::span<const float> samples, std::uint32_t deadline_ms = 0);
+  /// trace_id 0 lets the daemon mint one; either way the id assigned at
+  /// admission comes back in Response::trace_id (v2 frames).
+  Response score(std::span<const float> samples, std::uint32_t deadline_ms = 0,
+                 std::uint64_t trace_id = 0);
   Response ping();
   /// Server stats snapshot; response.text carries the JSON document.
   Response stats();

@@ -13,6 +13,23 @@ namespace phonolid::serve {
 
 namespace {
 constexpr char kFrameMagic[4] = {'P', 'L', 'S', 'V'};
+
+// Peek the frame version from the raw body so decode can accept every
+// version in [kMinServeProtocolVersion, kServeProtocolVersion].
+// (BinaryReader::expect_magic rejects anything but one exact version, so
+// the peeked value is what we then tell it to expect.)
+std::uint32_t peek_frame_version(const std::string& body) {
+  if (body.size() < 8 || std::memcmp(body.data(), kFrameMagic, 4) != 0) {
+    throw util::SerializeError("bad PLSV frame magic");
+  }
+  std::uint32_t version = 0;
+  std::memcpy(&version, body.data() + 4, sizeof version);
+  if (version < kMinServeProtocolVersion || version > kServeProtocolVersion) {
+    throw util::SerializeError("unsupported PLSV frame version " +
+                               std::to_string(version));
+  }
+  return version;
+}
 }  // namespace
 
 const char* to_string(Status status) noexcept {
@@ -30,10 +47,11 @@ const char* to_string(Status status) noexcept {
 std::string encode_request(const Request& request) {
   std::ostringstream out;
   util::BinaryWriter w(out);
-  w.write_magic(kFrameMagic, kServeProtocolVersion);
+  w.write_magic(kFrameMagic, request.wire_version);
   w.write_u32(static_cast<std::uint32_t>(request.type));
   w.write_u64(request.request_id);
   w.write_u32(request.deadline_ms);
+  if (request.wire_version >= 2) w.write_u64(request.trace_id);
   switch (request.type) {
     case FrameType::kScore:
       w.write_f32_vec(request.samples);
@@ -49,10 +67,12 @@ std::string encode_request(const Request& request) {
 }
 
 Request decode_request(const std::string& body) {
+  const std::uint32_t version = peek_frame_version(body);
   std::istringstream in(body);
   util::BinaryReader r(in);
-  r.expect_magic(kFrameMagic, kServeProtocolVersion);
+  r.expect_magic(kFrameMagic, version);
   Request request;
+  request.wire_version = version;
   const std::uint32_t type = r.read_u32();
   if (type < static_cast<std::uint32_t>(FrameType::kScore) ||
       type > static_cast<std::uint32_t>(FrameType::kSwap)) {
@@ -62,6 +82,7 @@ Request decode_request(const std::string& body) {
   request.type = static_cast<FrameType>(type);
   request.request_id = r.read_u64();
   request.deadline_ms = r.read_u32();
+  if (version >= 2) request.trace_id = r.read_u64();
   switch (request.type) {
     case FrameType::kScore:
       request.samples = r.read_f32_vec();
@@ -79,9 +100,10 @@ Request decode_request(const std::string& body) {
 std::string encode_response(const Response& response) {
   std::ostringstream out;
   util::BinaryWriter w(out);
-  w.write_magic(kFrameMagic, kServeProtocolVersion);
+  w.write_magic(kFrameMagic, response.wire_version);
   w.write_u64(response.request_id);
   w.write_u32(static_cast<std::uint32_t>(response.status));
+  if (response.wire_version >= 2) w.write_u64(response.trace_id);
   w.write_f32_vec(response.llr);
   w.write_u32(response.best_language);
   w.write_string(response.text);
@@ -89,10 +111,12 @@ std::string encode_response(const Response& response) {
 }
 
 Response decode_response(const std::string& body) {
+  const std::uint32_t version = peek_frame_version(body);
   std::istringstream in(body);
   util::BinaryReader r(in);
-  r.expect_magic(kFrameMagic, kServeProtocolVersion);
+  r.expect_magic(kFrameMagic, version);
   Response response;
+  response.wire_version = version;
   response.request_id = r.read_u64();
   const std::uint32_t status = r.read_u32();
   if (status > static_cast<std::uint32_t>(Status::kError)) {
@@ -100,6 +124,7 @@ Response decode_response(const std::string& body) {
                                std::to_string(status));
   }
   response.status = static_cast<Status>(status);
+  if (version >= 2) response.trace_id = r.read_u64();
   response.llr = r.read_f32_vec();
   response.best_language = r.read_u32();
   response.text = r.read_string();

@@ -5,8 +5,18 @@
 //   u32 frame_length                    (bytes that follow; little-endian)
 //   frame body (util::BinaryWriter layout):
 //     "PLSV" magic + u32 protocol version
-//     request:  u32 type, u64 request_id, u32 deadline_ms, payload
-//     response: u64 request_id, u32 status, f32[] llr, u32 best, string text
+//     request:  u32 type, u64 request_id, u32 deadline_ms,
+//               [v2+: u64 trace_id], payload
+//     response: u64 request_id, u32 status, [v2+: u64 trace_id],
+//               f32[] llr, u32 best, string text
+//
+// Version negotiation is per-frame and implicit: the daemon accepts any
+// version in [1, kServeProtocolVersion] and echoes the request's version in
+// its response, so a v1 client exchanges byte-identical v1 frames forever
+// while a v2 client gains the optional trace-id field.  trace_id 0 on a v2
+// request means "mint one for me" — the daemon assigns an id at admission
+// and returns it in the response so the client can correlate slow-request
+// log entries and flight-recorder spans.
 //
 // Request payloads by type: kScore carries an f32 PCM vector (at the
 // bundle's sample rate); kSwap a bundle directory string; kPing / kStats
@@ -27,7 +37,9 @@
 
 namespace phonolid::serve {
 
-inline constexpr std::uint32_t kServeProtocolVersion = 1;
+inline constexpr std::uint32_t kServeProtocolVersion = 2;
+/// Oldest frame version the daemon still decodes (v1 = no trace-id field).
+inline constexpr std::uint32_t kMinServeProtocolVersion = 1;
 
 /// Upper bound on one frame body; a length prefix beyond this is corruption
 /// (64 MB ≈ 35 minutes of f32 PCM at 8 kHz — far past any utterance).
@@ -58,6 +70,12 @@ struct Request {
   /// deadline lapses before their batch starts scoring are shed with an
   /// explicit kDeadlineExceeded, never dropped.
   std::uint32_t deadline_ms = 0;
+  /// Request-scoped trace id (v2 frames only; 0 = let the daemon mint one).
+  std::uint64_t trace_id = 0;
+  /// Frame version this request was (or should be) encoded with.  Decoding
+  /// sets it to the version seen on the wire; the daemon echoes it back so
+  /// responses match what the client speaks.
+  std::uint32_t wire_version = kServeProtocolVersion;
   std::vector<float> samples;  // kScore PCM payload
   std::string text;            // kSwap bundle directory
 };
@@ -65,6 +83,10 @@ struct Request {
 struct Response {
   std::uint64_t request_id = 0;
   Status status = Status::kOk;
+  /// Trace id assigned at admission (v2 frames only; 0 on v1 / non-score).
+  std::uint64_t trace_id = 0;
+  /// Frame version to encode with; the daemon copies the request's.
+  std::uint32_t wire_version = kServeProtocolVersion;
   std::vector<float> llr;           // per-language calibrated LLRs (kScore)
   std::uint32_t best_language = 0;  // argmax LLR (kScore)
   std::string text;                 // stats JSON / error message

@@ -16,8 +16,12 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/exporters.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
+#include "serve/admin_http.h"
 #include "util/serialize.h"
 
 namespace phonolid::serve {
@@ -27,6 +31,12 @@ namespace {
 const std::vector<double> kBatchEdges = {1, 2, 4, 8, 16, 32};
 const std::vector<double> kLatencyEdgesMs = {1,   2,   5,   10,  20,  50,
                                              100, 200, 500, 1000, 5000};
+// Phase histograms need sub-millisecond resolution: batch_wait and write
+// are often tens of microseconds while queue_wait under load reaches the
+// full end-to-end latency.
+const std::vector<double> kPhaseEdgesMs = {0.1, 0.2, 0.5, 1,   2,    5,
+                                           10,  20,  50,  100, 200,  500,
+                                           1000, 5000};
 
 struct RegistryMetrics {
   obs::Counter& requests = obs::Metrics::counter("serve.requests");
@@ -44,6 +54,14 @@ struct RegistryMetrics {
       obs::Metrics::histogram("serve.batch.size", kBatchEdges);
   obs::Histogram& latency_ms =
       obs::Metrics::histogram("serve.latency_ms", kLatencyEdgesMs);
+  obs::Histogram& phase_queue_wait =
+      obs::Metrics::histogram("serve.phase.queue_wait_ms", kPhaseEdgesMs);
+  obs::Histogram& phase_batch_wait =
+      obs::Metrics::histogram("serve.phase.batch_wait_ms", kPhaseEdgesMs);
+  obs::Histogram& phase_compute =
+      obs::Metrics::histogram("serve.phase.compute_ms", kPhaseEdgesMs);
+  obs::Histogram& phase_write =
+      obs::Metrics::histogram("serve.phase.write_ms", kPhaseEdgesMs);
 };
 
 RegistryMetrics& registry() {
@@ -85,6 +103,7 @@ obs::Json histogram_json(const obs::Histogram& h) {
   j["p50"] = percentile(h, 0.50);
   j["p95"] = percentile(h, 0.95);
   j["p99"] = percentile(h, 0.99);
+  j["p999"] = percentile(h, 0.999);
   obs::Json edges = obs::Json::array();
   for (double e : h.edges()) edges.push_back(e);
   obs::Json counts = obs::Json::array();
@@ -125,7 +144,11 @@ ScoreServer::ScoreServer(std::shared_ptr<const core::FrozenModel> model,
     : model_(std::move(model)),
       config_(config),
       batch_hist_(kBatchEdges),
-      latency_hist_(kLatencyEdgesMs) {
+      latency_hist_(kLatencyEdgesMs),
+      phase_queue_wait_hist_(kPhaseEdgesMs),
+      phase_batch_wait_hist_(kPhaseEdgesMs),
+      phase_compute_hist_(kPhaseEdgesMs),
+      phase_write_hist_(kPhaseEdgesMs) {
   if (model_ == nullptr) throw std::invalid_argument("serve: null model");
   if (config_.max_batch == 0) config_.max_batch = 1;
   if (config_.queue_depth == 0) config_.queue_depth = 1;
@@ -169,9 +192,63 @@ int ScoreServer::start() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
   port_ = ntohs(bound.sin_port);
   started_ = true;
+  start_time_ = std::chrono::steady_clock::now();
+  accept_alive_.store(true, std::memory_order_release);
+  started_flag_.store(true, std::memory_order_release);
   accept_thread_ = std::thread(&ScoreServer::accept_loop, this);
   batch_thread_ = std::thread(&ScoreServer::batch_loop, this);
+  start_admin();
   return port_;
+}
+
+void ScoreServer::start_admin() {
+  if (config_.admin_port < 0) return;
+  admin_ = std::make_unique<AdminHttpServer>(config_.admin_port);
+  admin_->route("/metrics", [] {
+    return AdminResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                         obs::prometheus_text()};
+  });
+  admin_->route("/healthz", [this] {
+    const HealthStatus h = health();
+    return AdminResponse{h.ready ? 200 : 503, "text/plain; charset=utf-8",
+                         h.reason + "\n"};
+  });
+  admin_->route("/statusz", [this] {
+    return AdminResponse{200, "application/json", statusz_json()};
+  });
+  admin_->route("/flamez", [] {
+    if (!obs::Profiler::enabled()) {
+      return AdminResponse{
+          404, "text/plain; charset=utf-8",
+          "profiler off; restart the daemon with PHONOLID_PROFILE=cpu\n"};
+    }
+    return AdminResponse{200, "text/plain; charset=utf-8",
+                         obs::folded_stacks_text()};
+  });
+  admin_port_ = admin_->start();
+}
+
+ScoreServer::HealthStatus ScoreServer::health() const {
+  if (!started_flag_.load(std::memory_order_acquire)) {
+    return {false, "not started"};
+  }
+  if (shutdown_requested_.load(std::memory_order_acquire)) {
+    return {false, "draining"};
+  }
+  if (!accept_alive_.load(std::memory_order_acquire)) {
+    return {false, "accept loop dead"};
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) return {false, "draining"};
+    if (queue_.size() >= config_.queue_depth) {
+      return {false, "request queue full"};
+    }
+    if (queue_bytes_ >= config_.queue_max_bytes) {
+      return {false, "request queue byte budget exhausted"};
+    }
+  }
+  return {true, "ok"};
 }
 
 void ScoreServer::request_shutdown() noexcept {
@@ -227,6 +304,9 @@ void ScoreServer::shutdown() {
   for (auto& t : threads) {
     if (t.joinable()) t.join();
   }
+  // The admin plane outlives the drain (so /healthz reports 503 while
+  // queued requests are being answered) and stops last.
+  if (admin_) admin_->shutdown();
 }
 
 std::shared_ptr<const core::FrozenModel> ScoreServer::model() const {
@@ -246,6 +326,12 @@ void ScoreServer::reap_connection_threads() {
 }
 
 void ScoreServer::accept_loop() {
+  // Flipped on every exit path so /healthz can report a dead acceptor —
+  // a daemon whose accept loop died unrecoverably runs but never answers.
+  struct AliveGuard {
+    std::atomic<bool>& flag;
+    ~AliveGuard() { flag.store(false, std::memory_order_release); }
+  } guard{accept_alive_};
   for (;;) {
     reap_connection_threads();
     pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
@@ -296,6 +382,9 @@ void ScoreServer::connection_loop(std::shared_ptr<Connection> conn) {
       Response err;
       err.status = Status::kBadRequest;
       err.text = e.what();
+      // The peer's version is unknowable here; v1 frames decode under
+      // every client version, so answer with the oldest layout.
+      err.wire_version = kMinServeProtocolVersion;
       conn->send(err);
       poisoned = true;
       continue;
@@ -311,6 +400,7 @@ void ScoreServer::connection_loop(std::shared_ptr<Connection> conn) {
       Response err;
       err.status = Status::kBadRequest;
       err.text = e.what();
+      err.wire_version = kMinServeProtocolVersion;
       conn->send(err);
       poisoned = true;
       continue;
@@ -343,6 +433,8 @@ void ScoreServer::handle_request(const std::shared_ptr<Connection>& conn,
   registry().requests.add();
   Response response;
   response.request_id = request.request_id;
+  response.wire_version = request.wire_version;
+  response.trace_id = request.trace_id;
   switch (request.type) {
     case FrameType::kPing:
       respond(conn, std::move(response));
@@ -393,6 +485,15 @@ void ScoreServer::handle_request(const std::shared_ptr<Connection>& conn,
     respond(conn, std::move(response));
     return;
   }
+  // Admission: give the request its trace id (client-supplied wins) and
+  // mark the start of the queue_wait phase.
+  if (request.trace_id == 0) {
+    request.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  response.trace_id = request.trace_id;
+  PHONOLID_EVENT("serve_admit", "trace_id",
+                 static_cast<std::int64_t>(request.trace_id), "samples",
+                 static_cast<std::int64_t>(request.samples.size()));
   const std::size_t request_bytes = request.samples.size() * sizeof(float);
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
@@ -411,8 +512,11 @@ void ScoreServer::handle_request(const std::shared_ptr<Connection>& conn,
                           : "request queue byte budget exceeded";
     } else {
       queue_bytes_ += request_bytes;
-      queue_.push_back(Pending{std::move(request), conn,
-                               std::chrono::steady_clock::now()});
+      Pending pending;
+      pending.request = std::move(request);
+      pending.conn = conn;
+      pending.arrival = std::chrono::steady_clock::now();
+      queue_.push_back(std::move(pending));
       registry().queue_depth.set(static_cast<std::int64_t>(queue_.size()));
       queue_cv_.notify_one();
       return;  // answered by the batcher
@@ -426,6 +530,7 @@ ScoreServer::Pending ScoreServer::pop_front_locked() {
   queue_.pop_front();
   const std::size_t bytes = p.request.samples.size() * sizeof(float);
   queue_bytes_ -= bytes <= queue_bytes_ ? bytes : queue_bytes_;
+  p.dequeued = std::chrono::steady_clock::now();  // queue_wait ends here
   return p;
 }
 
@@ -490,7 +595,11 @@ void ScoreServer::process_batch(std::vector<Pending> batch) {
       shed.status = Status::kDeadlineExceeded;
       shed.text = "deadline exceeded after " +
                   std::to_string(p.request.deadline_ms) + " ms in queue";
+      shed.trace_id = p.request.trace_id;
+      shed.wire_version = p.request.wire_version;
       respond(p.conn, std::move(shed));
+      record_request_phases(p, elapsed_ms(p.dequeued), 0.0, 0.0,
+                            batch.size(), "deadline");
     } else {
       live.push_back(std::move(p));
     }
@@ -505,34 +614,105 @@ void ScoreServer::process_batch(std::vector<Pending> batch) {
   std::vector<std::span<const float>> utterances;
   utterances.reserve(live.size());
   for (const auto& p : live) utterances.emplace_back(p.request.samples);
+
+  // The compute phase starts here for every request in the batch; what each
+  // one spent between its dequeue and this point is batch_wait.
+  const auto compute_start = std::chrono::steady_clock::now();
   core::BatchScore scores;
-  try {
-    scores = model->score_batch(utterances);
-  } catch (const std::exception& e) {
-    score_errors_.fetch_add(static_cast<std::uint64_t>(live.size()),
-                            std::memory_order_relaxed);
-    registry().score_errors.add(static_cast<std::uint64_t>(live.size()));
-    for (auto& p : live) {
-      Response err;
-      err.request_id = p.request.request_id;
-      err.status = Status::kError;
-      err.text = e.what();
-      respond(p.conn, std::move(err));
+  {
+    obs::Span compute_span("serve_compute");
+    compute_span.annotate("batch", static_cast<std::int64_t>(live.size()));
+    compute_span.annotate(
+        "trace_id", static_cast<std::int64_t>(live.front().request.trace_id));
+    try {
+      scores = model->score_batch(utterances);
+    } catch (const std::exception& e) {
+      const double compute_ms = elapsed_ms(compute_start);
+      score_errors_.fetch_add(static_cast<std::uint64_t>(live.size()),
+                              std::memory_order_relaxed);
+      registry().score_errors.add(static_cast<std::uint64_t>(live.size()));
+      for (auto& p : live) {
+        Response err;
+        err.request_id = p.request.request_id;
+        err.status = Status::kError;
+        err.text = e.what();
+        err.trace_id = p.request.trace_id;
+        err.wire_version = p.request.wire_version;
+        const double batch_wait_ms =
+            std::chrono::duration<double, std::milli>(compute_start -
+                                                      p.dequeued)
+                .count();
+        const auto write_start = std::chrono::steady_clock::now();
+        respond(p.conn, std::move(err));
+        record_request_phases(p, batch_wait_ms, compute_ms,
+                              elapsed_ms(write_start), live.size(), "error");
+      }
+      return;
     }
-    return;
   }
+  const double compute_ms = elapsed_ms(compute_start);
   for (std::size_t i = 0; i < live.size(); ++i) {
     Response ok;
     ok.request_id = live[i].request.request_id;
     ok.llr.assign(scores.llr.row(i).begin(), scores.llr.row(i).end());
     ok.best_language = static_cast<std::uint32_t>(scores.best[i]);
+    ok.trace_id = live[i].request.trace_id;
+    ok.wire_version = live[i].request.wire_version;
     const double ms = elapsed_ms(live[i].arrival);
     latency_hist_.observe(ms);
     registry().latency_ms.observe(ms);
     ok_.fetch_add(1, std::memory_order_relaxed);
     registry().ok.add();
+    const double batch_wait_ms =
+        std::chrono::duration<double, std::milli>(compute_start -
+                                                  live[i].dequeued)
+            .count();
+    const auto write_start = std::chrono::steady_clock::now();
     respond(live[i].conn, std::move(ok));
+    record_request_phases(live[i], batch_wait_ms, compute_ms,
+                          elapsed_ms(write_start), live.size(), "ok");
   }
+}
+
+void ScoreServer::record_request_phases(const Pending& p, double batch_wait_ms,
+                                        double compute_ms, double write_ms,
+                                        std::size_t batch_size,
+                                        const char* outcome) {
+  const double queue_wait_ms =
+      std::chrono::duration<double, std::milli>(p.dequeued - p.arrival)
+          .count();
+  phase_queue_wait_hist_.observe(queue_wait_ms);
+  phase_batch_wait_hist_.observe(batch_wait_ms);
+  phase_compute_hist_.observe(compute_ms);
+  phase_write_hist_.observe(write_ms);
+  registry().phase_queue_wait.observe(queue_wait_ms);
+  registry().phase_batch_wait.observe(batch_wait_ms);
+  registry().phase_compute.observe(compute_ms);
+  registry().phase_write.observe(write_ms);
+  const double total_ms =
+      queue_wait_ms + batch_wait_ms + compute_ms + write_ms;
+  PHONOLID_EVENT("serve_reply", "trace_id",
+                 static_cast<std::int64_t>(p.request.trace_id), "total_us",
+                 static_cast<std::int64_t>(total_ms * 1000.0));
+  if (config_.slow_log == 0) return;
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  SlowRequest entry{p.request.trace_id, p.request.request_id,
+                    total_ms,          queue_wait_ms,
+                    batch_wait_ms,     compute_ms,
+                    write_ms,          batch_size,
+                    outcome};
+  if (slow_log_.size() < config_.slow_log) {
+    slow_log_.push_back(entry);
+    return;
+  }
+  // Ring of the N worst by total latency: evict the fastest entry when the
+  // newcomer is slower than it.
+  auto fastest = std::min_element(
+      slow_log_.begin(), slow_log_.end(),
+      [](const SlowRequest& a, const SlowRequest& b) {
+        return a.total_ms < b.total_ms;
+      });
+  if (entry.total_ms > fastest->total_ms) *fastest = entry;
 }
 
 void ScoreServer::respond(const std::shared_ptr<Connection>& conn,
@@ -542,10 +722,16 @@ void ScoreServer::respond(const std::shared_ptr<Connection>& conn,
   (void)conn->send(response);
 }
 
-std::string ScoreServer::stats_json() const {
+obs::Json ScoreServer::stats_doc() const {
   obs::Json j = obs::Json::object();
   j["protocol_version"] = kServeProtocolVersion;
   j["bundle_format"] = core::kBundleFormatVersion;
+  j["uptime_s"] =
+      started_flag_.load(std::memory_order_acquire)
+          ? std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start_time_)
+                .count()
+          : 0.0;
   {
     const auto model = this->model();
     obs::Json m = obs::Json::object();
@@ -557,6 +743,9 @@ std::string ScoreServer::stats_json() const {
     j["model"] = std::move(m);
   }
   j["requests"] = requests_.load(std::memory_order_relaxed);
+  // Alias of "requests" so the kStats frame stays field-compatible with the
+  // Prometheus scrape (phonolid_serve_requests_total) and /statusz.
+  j["requests_total"] = requests_.load(std::memory_order_relaxed);
   j["ok"] = ok_.load(std::memory_order_relaxed);
   obs::Json sheds = obs::Json::object();
   sheds["overloaded"] = sheds_overloaded_.load(std::memory_order_relaxed);
@@ -580,6 +769,57 @@ std::string ScoreServer::stats_json() const {
   }
   j["batch"] = histogram_json(batch_hist_);
   j["latency_ms"] = histogram_json(latency_hist_);
+  {
+    obs::Json phases = obs::Json::object();
+    phases["queue_wait_ms"] = histogram_json(phase_queue_wait_hist_);
+    phases["batch_wait_ms"] = histogram_json(phase_batch_wait_hist_);
+    phases["compute_ms"] = histogram_json(phase_compute_hist_);
+    phases["write_ms"] = histogram_json(phase_write_hist_);
+    j["phases"] = std::move(phases);
+  }
+  {
+    obs::Json slow = obs::Json::array();
+    std::vector<SlowRequest> entries;
+    {
+      std::lock_guard<std::mutex> lock(slow_mu_);
+      entries = slow_log_;
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const SlowRequest& a, const SlowRequest& b) {
+                return a.total_ms > b.total_ms;
+              });
+    for (const SlowRequest& e : entries) {
+      obs::Json row = obs::Json::object();
+      row["trace_id"] = e.trace_id;
+      row["request_id"] = e.request_id;
+      row["total_ms"] = e.total_ms;
+      row["queue_wait_ms"] = e.queue_wait_ms;
+      row["batch_wait_ms"] = e.batch_wait_ms;
+      row["compute_ms"] = e.compute_ms;
+      row["write_ms"] = e.write_ms;
+      row["batch_size"] = e.batch_size;
+      row["outcome"] = e.outcome;
+      slow.push_back(std::move(row));
+    }
+    j["slow_requests"] = std::move(slow);
+  }
+  return j;
+}
+
+std::string ScoreServer::stats_json() const { return stats_doc().dump_string(0); }
+
+std::string ScoreServer::statusz_json() const {
+  obs::Json j = stats_doc();
+  obs::Json admin = obs::Json::object();
+  admin["http_version"] = kAdminHttpVersion;
+  if (admin_) {
+    admin["requests"] = admin_->requests();
+    admin["bad_requests"] = admin_->bad_requests();
+  }
+  j["admin"] = std::move(admin);
+#if defined(PHONOLID_BUILD_TYPE)
+  j["build_type"] = PHONOLID_BUILD_TYPE;
+#endif
   return j.dump_string(0);
 }
 

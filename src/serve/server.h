@@ -26,11 +26,25 @@
 // should set ServerConfig::allow_swap = false (CLI `--allow-swap 0`) or
 // confine swap targets with ServerConfig::swap_root (CLI `--swap-root`).
 //
-// Observability: serve.* registry metrics (queue depth gauge, batch-size and
-// latency histograms, shed/swap/error counters) flow into the Prometheus
-// exporter and run reports; the kStats frame returns a JSON snapshot of this
-// server's own counters (per-instance, so tests and bench_serve see only
-// their server).
+// Observability: serve.* registry metrics (queue depth gauge, batch-size,
+// latency, and per-phase histograms, shed/swap/error counters) flow into the
+// Prometheus exporter and run reports; the kStats frame returns a JSON
+// snapshot of this server's own counters (per-instance, so tests and
+// bench_serve see only their server).
+//
+// Live observability plane (ServerConfig::admin_port, admin_http.h): an
+// embedded loopback HTTP endpoint serves /metrics (live prometheus_text()),
+// /healthz (readiness: accepting, not draining, queue below shed limits),
+// /statusz (the kStats JSON plus admin/build versions and the slow-request
+// log), and /flamez (profiler folded stacks under PHONOLID_PROFILE=cpu).
+//
+// Request-scoped tracing: every admitted score carries a trace id (client
+// supplied via a PLSV v2 frame, or minted at admission) and per-phase
+// monotonic timestamps — queue_wait (admission → batcher pop), batch_wait
+// (pop → compute start), compute (score_batch), write (response encode +
+// send) — recorded into serve.phase.*_ms histograms, emitted as
+// flight-recorder events, and folded into a bounded worst-N slow-request
+// log exposed via kStats//statusz.
 #pragma once
 
 #include <atomic>
@@ -45,6 +59,7 @@
 #include <vector>
 
 #include "core/frozen_model.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "serve/protocol.h"
 
@@ -72,7 +87,15 @@ struct ServerConfig {
   /// When non-empty, swap targets must resolve inside this directory tree;
   /// anything else is rejected with kBadRequest.  Empty = any path.
   std::string swap_root;
+  /// Admin HTTP plane (admin_http.h) port on 127.0.0.1: -1 disables it,
+  /// 0 asks the kernel (read it back from admin_port()), >0 binds fixed.
+  int admin_port = -1;
+  /// Capacity of the slow-request log: the N worst-latency completed
+  /// requests (by total time) kept for kStats//statusz.  0 disables it.
+  std::size_t slow_log = 8;
 };
+
+class AdminHttpServer;
 
 class ScoreServer {
  public:
@@ -99,7 +122,18 @@ class ScoreServer {
   void shutdown();
 
   [[nodiscard]] int port() const noexcept { return port_; }
+  /// Bound admin HTTP port, or -1 when the admin plane is disabled.
+  [[nodiscard]] int admin_port() const noexcept { return admin_port_; }
   [[nodiscard]] std::shared_ptr<const core::FrozenModel> model() const;
+
+  /// Readiness as served by /healthz: started, accept loop alive, not
+  /// draining, and the queue below both shed thresholds.  `reason` names
+  /// the first failing check when not ready.
+  struct HealthStatus {
+    bool ready = false;
+    std::string reason;
+  };
+  [[nodiscard]] HealthStatus health() const;
 
  private:
   struct Connection;
@@ -107,6 +141,21 @@ class ScoreServer {
     Request request;
     std::shared_ptr<Connection> conn;
     std::chrono::steady_clock::time_point arrival;
+    /// When the batcher popped this request off the queue (end of the
+    /// queue_wait phase, start of batch_wait).
+    std::chrono::steady_clock::time_point dequeued;
+  };
+  /// One completed request in the worst-N slow log (kStats//statusz).
+  struct SlowRequest {
+    std::uint64_t trace_id = 0;
+    std::uint64_t request_id = 0;
+    double total_ms = 0;
+    double queue_wait_ms = 0;
+    double batch_wait_ms = 0;
+    double compute_ms = 0;
+    double write_ms = 0;
+    std::size_t batch_size = 0;
+    const char* outcome = "ok";  // "ok" / "error" / "deadline"
   };
 
   void accept_loop();
@@ -123,7 +172,19 @@ class ScoreServer {
   Pending pop_front_locked();
   void process_batch(std::vector<Pending> batch);
   void respond(const std::shared_ptr<Connection>& conn, Response response);
+  /// Record a completed score's phase breakdown into the histograms, the
+  /// flight recorder, and (when slow enough) the slow-request log.
+  /// queue_wait is derived from the Pending itself; the later phases are
+  /// passed in because only the batcher knows where compute started.
+  void record_request_phases(const Pending& p, double batch_wait_ms,
+                             double compute_ms, double write_ms,
+                             std::size_t batch_size, const char* outcome);
+  void start_admin();
+  /// The kStats snapshot as a document (shared by stats_json / statusz).
+  [[nodiscard]] obs::Json stats_doc() const;
   [[nodiscard]] std::string stats_json() const;
+  /// stats_doc() plus admin/build version block — the /statusz body.
+  [[nodiscard]] std::string statusz_json() const;
 
   std::shared_ptr<const core::FrozenModel> model_;
   mutable std::mutex model_mu_;
@@ -131,8 +192,11 @@ class ScoreServer {
 
   int listen_fd_ = -1;
   int port_ = 0;
+  int admin_port_ = -1;
   int wake_pipe_[2] = {-1, -1};
   std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> accept_alive_{false};
+  std::atomic<bool> started_flag_{false};  // health() reads this lock-free
   bool started_ = false;
   std::mutex shutdown_mu_;
   bool shutdown_done_ = false;
@@ -166,6 +230,22 @@ class ScoreServer {
   std::atomic<std::uint64_t> swaps_{0};
   obs::Histogram batch_hist_;
   obs::Histogram latency_hist_;
+
+  // Per-phase latency histograms (same per-instance rationale as above).
+  obs::Histogram phase_queue_wait_hist_;
+  obs::Histogram phase_batch_wait_hist_;
+  obs::Histogram phase_compute_hist_;
+  obs::Histogram phase_write_hist_;
+
+  /// Source of server-minted trace ids (client-supplied ids win).  Starts
+  /// at 1 so 0 always means "no trace id".
+  std::atomic<std::uint64_t> next_trace_id_{1};
+  std::chrono::steady_clock::time_point start_time_{};
+
+  mutable std::mutex slow_mu_;
+  std::vector<SlowRequest> slow_log_;  // guarded by slow_mu_
+
+  std::unique_ptr<AdminHttpServer> admin_;
 };
 
 }  // namespace phonolid::serve

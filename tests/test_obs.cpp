@@ -990,6 +990,66 @@ TEST(ReportDiff, ServeThroughputGatesOnDrop) {
       obs::diff_reports(base, serve_report(100.0, 500.0), opt).violated);
 }
 
+/// Serve report with a per-phase breakdown (bench_serve serve section v2):
+/// queue_wait and compute p99s vary, the other phases stay fixed.
+obs::Json serve_phase_report(double queue_wait_p99_ms, double compute_p99_ms) {
+  char buf[768];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"schema_version\": 1, \"spans\": [],"
+      " \"metrics\": {\"counters\": {}},"
+      " \"serve\": {\"version\": 2, \"throughput_rps\": 50.0,"
+      "   \"latency_ms\": {\"p50\": 1.0, \"p99\": 100.0},"
+      "   \"phases\": {"
+      "     \"queue_wait_ms\": {\"p50\": 1.0, \"p99\": %.17g, \"p999\": %.17g},"
+      "     \"compute_ms\": {\"p50\": 10.0, \"p99\": %.17g, \"p999\": %.17g},"
+      "     \"write_ms\": {\"p50\": 0.1, \"p99\": 0.2, \"p999\": 0.5}}}}",
+      queue_wait_p99_ms, queue_wait_p99_ms, compute_p99_ms, compute_p99_ms);
+  return obs::Json::parse(buf);
+}
+
+TEST(ReportDiff, PhaseP99GatesEachPhaseSeparately) {
+  const obs::Json base = serve_phase_report(20.0, 50.0);
+  obs::ReportDiffOptions opt;
+  opt.max_phase_p99_regress_pct = 200.0;
+  // A queue-wait blowup breaches the budget even though compute is flat —
+  // the per-phase gate is exactly what separates an admission/batching
+  // regression from a kernel slowdown.
+  const auto queue_worse =
+      obs::diff_reports(base, serve_phase_report(100.0, 50.0), opt);
+  EXPECT_TRUE(queue_worse.violated);
+  EXPECT_NE(queue_worse.format().find("max-phase-p99-regress"),
+            std::string::npos);
+  EXPECT_NE(queue_worse.format().find("queue_wait_ms"), std::string::npos);
+  // A compute blowup with flat queue wait also gates.
+  EXPECT_TRUE(
+      obs::diff_reports(base, serve_phase_report(20.0, 300.0), opt).violated);
+  // Inside the budget (or faster) never violates.
+  EXPECT_FALSE(
+      obs::diff_reports(base, serve_phase_report(40.0, 50.0), opt).violated);
+  EXPECT_FALSE(
+      obs::diff_reports(base, serve_phase_report(1.0, 5.0), opt).violated);
+}
+
+TEST(ReportDiff, PhaseP99SubMillisecondDeltasNeverViolate) {
+  // 0.1 -> 0.5 ms is +400% but only one histogram bucket of wobble; the
+  // absolute 1 ms slack keeps CI from flaking on fast phases.
+  const obs::Json base = serve_phase_report(0.1, 50.0);
+  obs::ReportDiffOptions opt;
+  opt.max_phase_p99_regress_pct = 200.0;
+  EXPECT_FALSE(
+      obs::diff_reports(base, serve_phase_report(0.5, 50.0), opt).violated);
+  // Past the slack AND past the relative budget, it does violate.
+  EXPECT_TRUE(
+      obs::diff_reports(base, serve_phase_report(5.0, 50.0), opt).violated);
+}
+
+TEST(ReportDiff, PhaseP99GateOffByDefault) {
+  const obs::Json base = serve_phase_report(20.0, 50.0);
+  EXPECT_FALSE(obs::diff_reports(base, serve_phase_report(2000.0, 5000.0), {})
+                   .violated);
+}
+
 TEST(ReportDiff, ServeRowsOtherThanGatedLeavesNeverGate) {
   const obs::Json base = serve_report(100.0, 50.0);
   obs::ReportDiffOptions opt;

@@ -3,11 +3,14 @@
 // load-shedding, and the malformed-frame robustness contract (protocol.h).
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
 #include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <span>
@@ -19,6 +22,7 @@
 #include "core/frozen_model.h"
 #include "core/subsystem.h"
 #include "obs/json.h"
+#include "serve/admin_http.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
@@ -526,6 +530,305 @@ TEST_F(ServeTest, TruncatedFrameDoesNotWedgeTheServer) {
   ASSERT_TRUE(write_all(probe.fd(), &partial, sizeof partial));
   probe.close();
   expect_server_alive(ts);
+}
+
+// --- request-scoped tracing (PLSV v2) -------------------------------------
+
+TEST_F(ServeTest, TraceIdsAreMintedAndClientIdsAreEchoed) {
+  TestServer ts(*model_);
+  Client c = connect_to(ts);
+
+  // trace_id 0 asks the daemon to mint: two requests get distinct nonzero
+  // ids assigned at admission.
+  const Response a = c.score(test_utt(0));
+  const Response b = c.score(test_utt(0));
+  ASSERT_EQ(a.status, Status::kOk);
+  ASSERT_EQ(b.status, Status::kOk);
+  EXPECT_NE(a.trace_id, 0u);
+  EXPECT_NE(b.trace_id, 0u);
+  EXPECT_NE(a.trace_id, b.trace_id);
+
+  // A client-supplied id is propagated, not replaced.
+  const Response tagged = c.score(test_utt(0), /*deadline_ms=*/0,
+                                  /*trace_id=*/0x5EED5EED5EEDull);
+  ASSERT_EQ(tagged.status, Status::kOk);
+  EXPECT_EQ(tagged.trace_id, 0x5EED5EED5EEDull);
+}
+
+TEST_F(ServeTest, StatsCarryPhasesUptimeAndSlowLog) {
+  ServerConfig cfg;
+  cfg.slow_log = 4;
+  TestServer ts(*model_, cfg);
+  Client c = connect_to(ts);
+  constexpr int kScores = 3;
+  for (int i = 0; i < kScores; ++i) {
+    ASSERT_EQ(c.score(test_utt(0)).status, Status::kOk);
+  }
+
+  const obs::Json stats = obs::Json::parse(c.stats().text);
+  EXPECT_GE(stat_at(stats, {"uptime_s"}), 0.0);
+  EXPECT_EQ(stat_at(stats, {"requests_total"}), stat_at(stats, {"requests"}));
+  // Every scored request passed through all four phases exactly once.
+  for (const char* phase :
+       {"queue_wait_ms", "batch_wait_ms", "compute_ms", "write_ms"}) {
+    EXPECT_EQ(stat_at(stats, {"phases", phase, "count"}),
+              static_cast<double>(kScores))
+        << phase;
+    EXPECT_GE(stat_at(stats, {"phases", phase, "p99"}), 0.0) << phase;
+  }
+  // The slow-request ring holds the worst completed requests, each with a
+  // full phase breakdown that sums to its total.
+  const obs::Json* slow = stats.find("slow_requests");
+  ASSERT_NE(slow, nullptr);
+  ASSERT_TRUE(slow->is_array());
+  ASSERT_GE(slow->as_array().size(), 1u);
+  const obs::Json& worst = slow->as_array().front();
+  EXPECT_NE(stat_at(worst, {"trace_id"}), 0.0);
+  EXPECT_STREQ(worst.find("outcome")->as_string().c_str(), "ok");
+  const double parts =
+      stat_at(worst, {"queue_wait_ms"}) + stat_at(worst, {"batch_wait_ms"}) +
+      stat_at(worst, {"compute_ms"}) + stat_at(worst, {"write_ms"});
+  EXPECT_NEAR(stat_at(worst, {"total_ms"}), parts, 1e-6);
+}
+
+// --- PLSV v1 backward compatibility ---------------------------------------
+
+std::uint32_t frame_wire_version(const std::string& body) {
+  std::uint32_t version = 0;
+  EXPECT_GE(body.size(), 8u);
+  std::memcpy(&version, body.data() + 4, sizeof version);
+  return version;
+}
+
+TEST_F(ServeTest, V1ClientsKeepWorkingByteIdentically) {
+  TestServer ts(*model_);
+  Client probe = connect_to(ts);
+
+  // A pre-tracing client encodes wire_version 1: no trace-id field in
+  // either direction, and the daemon answers with a v1 frame.
+  Request score;
+  score.type = FrameType::kScore;
+  score.request_id = 41;
+  score.wire_version = 1;
+  const auto utt = test_utt(0);
+  score.samples.assign(utt.begin(), utt.end());
+  const std::string v1_body = encode_request(score);
+  ASSERT_TRUE(write_frame(probe.fd(), v1_body));
+
+  std::string reply;
+  ASSERT_TRUE(read_frame(probe.fd(), reply));
+  EXPECT_EQ(frame_wire_version(reply), 1u);
+  const Response r = decode_response(reply);
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.wire_version, 1u);
+  EXPECT_EQ(r.trace_id, 0u);
+  EXPECT_FALSE(r.llr.empty());
+
+  // Byte identity: re-encoding the decoded response as v1 reproduces the
+  // wire bytes exactly — the v2 daemon added nothing to the v1 layout.
+  Response reencoded = r;
+  reencoded.wire_version = 1;
+  EXPECT_EQ(encode_response(reencoded), reply);
+
+  // v2 on the same daemon does carry the trace id, proving the per-frame
+  // version echo rather than a daemon-wide downgrade.
+  Client v2 = connect_to(ts);
+  EXPECT_NE(v2.score(test_utt(0)).trace_id, 0u);
+}
+
+// --- admin HTTP endpoint --------------------------------------------------
+
+struct HttpReply {
+  int status = 0;
+  std::string body;
+  std::string raw;  // full response, headers included
+};
+
+/// Connect to the admin port, send `request` verbatim, read to EOF.  When
+/// `half_close` is set the write side shuts down after the send, modelling
+/// a client that hangs up mid-request.
+HttpReply http_raw(int port, const std::string& request,
+                   bool half_close = false) {
+  HttpReply reply;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ADD_FAILURE() << "admin connect failed";
+    ::close(fd);
+    return reply;
+  }
+  if (!request.empty()) {
+    // A server rejecting early (oversized head) may close before the whole
+    // request lands; the status we read back is the assertion, not the send.
+    (void)write_all(fd, request.data(), request.size());
+  }
+  if (half_close) ::shutdown(fd, SHUT_WR);
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::read(fd, buf, sizeof buf)) > 0) {
+    reply.raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  if (reply.raw.rfind("HTTP/1.1 ", 0) == 0 && reply.raw.size() >= 12) {
+    reply.status = std::atoi(reply.raw.c_str() + 9);
+  }
+  const std::size_t header_end = reply.raw.find("\r\n\r\n");
+  if (header_end != std::string::npos) {
+    reply.body = reply.raw.substr(header_end + 4);
+  }
+  return reply;
+}
+
+HttpReply http_get(int port, const std::string& target) {
+  return http_raw(port, "GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n");
+}
+
+/// Value of a sample line "name value" in Prometheus text, or -1.0.
+double prom_value(const std::string& text, const std::string& name) {
+  std::size_t pos = 0;
+  while ((pos = text.find(name + " ", pos)) != std::string::npos) {
+    if (pos == 0 || text[pos - 1] == '\n') {
+      return std::atof(text.c_str() + pos + name.size() + 1);
+    }
+    pos += name.size();
+  }
+  return -1.0;
+}
+
+TEST_F(ServeTest, AdminMetricsServeLivePrometheusText) {
+  ServerConfig cfg;
+  cfg.admin_port = 0;  // ephemeral
+  TestServer ts(*model_, cfg);
+  ASSERT_GT(ts.server.admin_port(), 0);
+
+  // Registry counters appear in the exposition once first touched; a ping
+  // seeds serve_requests_total so the baseline scrape can read it.
+  Client c = connect_to(ts);
+  ASSERT_EQ(c.ping().status, Status::kOk);
+
+  const HttpReply first = http_get(ts.server.admin_port(), "/metrics");
+  ASSERT_EQ(first.status, 200);
+  const double before = prom_value(first.body, "phonolid_serve_requests_total");
+  ASSERT_GE(before, 1.0) << first.body.substr(0, 400);
+
+  constexpr int kScores = 3;
+  for (int i = 0; i < kScores; ++i) {
+    ASSERT_EQ(c.score(test_utt(0)).status, Status::kOk);
+  }
+
+  // The scrape is live registry state, not an at-exit snapshot: the counter
+  // must have grown by the requests just served (the registry is process-
+  // global, so compare deltas, not absolutes).
+  const HttpReply second = http_get(ts.server.admin_port(), "/metrics");
+  ASSERT_EQ(second.status, 200);
+  const double after = prom_value(second.body, "phonolid_serve_requests_total");
+  EXPECT_GE(after, before + kScores);
+  // Scrapes are counted on their own meter, never as PLSV requests.
+  EXPECT_GE(prom_value(second.body, "phonolid_serve_admin_http_requests_total"),
+            2.0);
+}
+
+TEST_F(ServeTest, AdminStatuszAgreesWithStatsFrame) {
+  ServerConfig cfg;
+  cfg.admin_port = 0;
+  TestServer ts(*model_, cfg);
+  Client c = connect_to(ts);
+  ASSERT_EQ(c.score(test_utt(0)).status, Status::kOk);
+  const obs::Json frame_stats = obs::Json::parse(c.stats().text);
+
+  // No PLSV traffic between the kStats frame and the scrape, so the two
+  // views of requests_total must agree exactly.
+  const HttpReply reply = http_get(ts.server.admin_port(), "/statusz");
+  ASSERT_EQ(reply.status, 200);
+  const obs::Json statusz = obs::Json::parse(reply.body);
+  EXPECT_EQ(stat_at(statusz, {"requests_total"}),
+            stat_at(frame_stats, {"requests_total"}));
+  EXPECT_EQ(stat_at(statusz, {"protocol_version"}),
+            static_cast<double>(kServeProtocolVersion));
+  EXPECT_EQ(stat_at(statusz, {"admin", "http_version"}),
+            static_cast<double>(kAdminHttpVersion));
+  EXPECT_GE(stat_at(statusz, {"phases", "compute_ms", "count"}), 1.0);
+}
+
+TEST_F(ServeTest, AdminHealthzFlipsTo503DuringDrain) {
+  ServerConfig cfg;
+  cfg.admin_port = 0;
+  TestServer ts(*model_, cfg);
+  const int admin_port = ts.server.admin_port();
+
+  const HttpReply ready = http_get(admin_port, "/healthz");
+  EXPECT_EQ(ready.status, 200);
+  EXPECT_EQ(ready.body, "ok\n");
+
+  // A drain keeps the admin plane up but flips readiness: an LB probing
+  // /healthz stops routing to this instance before the listener dies.
+  ts.server.request_shutdown();
+  const HttpReply draining = http_get(admin_port, "/healthz");
+  EXPECT_EQ(draining.status, 503);
+  EXPECT_NE(draining.body.find("drain"), std::string::npos) << draining.body;
+}
+
+TEST_F(ServeTest, AdminMalformedRequestsGetOneClean400) {
+  ServerConfig cfg;
+  cfg.admin_port = 0;
+  TestServer ts(*model_, cfg);
+  const int port = ts.server.admin_port();
+
+  // Garbage that is not HTTP at all.
+  EXPECT_EQ(http_raw(port, "BLARG\r\n\r\n").status, 400);
+  // A head that never terminates and exceeds the request-size bound.
+  EXPECT_EQ(http_raw(port, std::string(kMaxAdminRequestBytes + 512, 'A'))
+                .status,
+            400);
+  // A partial request followed by a hangup.
+  EXPECT_EQ(http_raw(port, "GET /hea", /*half_close=*/true).status, 400);
+  // Wrong method and unknown path are explicit, not connection drops.
+  EXPECT_EQ(http_raw(port, "POST /metrics HTTP/1.1\r\n\r\n").status, 405);
+  EXPECT_EQ(http_get(port, "/nope").status, 404);
+
+  // None of it perturbed the serving plane or the admin plane.
+  EXPECT_EQ(http_get(port, "/healthz").status, 200);
+  expect_server_alive(ts);
+  const HttpReply scrape = http_get(port, "/metrics");
+  EXPECT_GE(prom_value(scrape.body, "phonolid_serve_admin_http_bad_total"),
+            3.0);
+}
+
+TEST_F(ServeTest, AdminConcurrentScrapesDuringScoringAreClean) {
+  ServerConfig cfg;
+  cfg.admin_port = 0;
+  TestServer ts(*model_, cfg);
+  const int port = ts.server.admin_port();
+
+  // Scorers and scrapers race; under TSan this is the data-race check for
+  // the registry snapshot, stats document, and slow-request ring.
+  std::atomic<int> score_ok{0};
+  std::atomic<int> scrape_ok{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      Client c = connect_to(ts);
+      for (int i = 0; i < 8; ++i) {
+        if (c.score(test_utt(0)).status == Status::kOk) score_ok.fetch_add(1);
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 8; ++i) {
+        const char* target = (i + t) % 2 == 0 ? "/metrics" : "/statusz";
+        if (http_get(port, target).status == 200) scrape_ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(score_ok.load(), 3 * 8);
+  EXPECT_EQ(scrape_ok.load(), 2 * 8);
 }
 
 TEST_F(ServeTest, ShutdownIsIdempotentAndStopsAccepting) {

@@ -49,6 +49,7 @@
 #include "core/experiment.h"
 #include "core/frozen_model.h"
 #include "core/stage_cache.h"
+#include "serve/admin_http.h"
 #include "serve/server.h"
 #include "eval/diagnostics.h"
 #include "obs/exporters.h"
@@ -113,6 +114,7 @@ void usage() {
       "                 [--max-self-share-delta x]\n"
       "                 [--max-serve-p99-regress pct]\n"
       "                 [--max-serve-throughput-drop pct]\n"
+      "                 [--max-phase-p99-regress pct]\n"
       "               exits 1 when a threshold is violated\n"
       "  freeze       train and freeze a self-contained model bundle:\n"
       "               freeze --out bundle/ [--v N] [--mode m1|m2|both]\n"
@@ -123,10 +125,14 @@ void usage() {
       "                 [--max-batch N] [--batch-window-ms W]\n"
       "                 [--queue-depth N] [--queue-max-mb MB]\n"
       "                 [--allow-swap 0|1] [--swap-root dir]\n"
+      "                 [--admin-port N] [--admin-port-file f]\n"
+      "                 [--slow-log N]\n"
       "               (port 0 = kernel-assigned; SIGTERM drains gracefully;\n"
       "               binary protocol in src/serve/protocol.h; the socket is\n"
       "               loopback-only and unauthenticated — gate model swaps\n"
-      "               with --allow-swap 0 or confine them to --swap-root)\n"
+      "               with --allow-swap 0 or confine them to --swap-root;\n"
+      "               --admin-port serves live GET /metrics /healthz\n"
+      "               /statusz /flamez over loopback HTTP)\n"
       "  version      print schema/format versions and build flags\n"
       "  pipeline     artifact-store maintenance:\n"
       "               pipeline status [--cache-dir D]  entry count + bytes\n"
@@ -218,12 +224,13 @@ const std::map<std::string, std::set<std::string>>& command_flags() {
        {"max-regress", "max-eer-delta", "max-cavg-delta", "max-cllr-delta",
         "max-adoption-precision-drop", "max-energy-delta-pct", "min-span-s",
         "max-self-share-delta", "max-serve-p99-regress",
-        "max-serve-throughput-drop"}},
+        "max-serve-throughput-drop", "max-phase-p99-regress"}},
       {"pipeline", {"cache-dir", "max-bytes"}},
       {"freeze", {"scale", "seed", "out", "v", "mode", "cache-dir", "report"}},
       {"serve",
        {"bundle", "port", "port-file", "max-batch", "batch-window-ms",
-        "queue-depth", "queue-max-mb", "allow-swap", "swap-root"}},
+        "queue-depth", "queue-max-mb", "allow-swap", "swap-root",
+        "admin-port", "admin-port-file", "slow-log"}},
       {"version", {}},
   };
   return flags;
@@ -1238,15 +1245,19 @@ int cmd_serve(const Args& args) {
   const long queue_max_mb = args.get_int("queue-max-mb", 256);
   scfg.allow_swap = args.get_int("allow-swap", 1) != 0;
   scfg.swap_root = args.get("swap-root", "");
+  scfg.admin_port = static_cast<int>(args.get_int("admin-port", -1));
+  const long slow_log = args.get_int("slow-log", 8);
   if (scfg.max_batch == 0 || scfg.queue_depth == 0 || queue_max_mb <= 0 ||
-      scfg.batch_window_ms < 0.0) {
+      scfg.batch_window_ms < 0.0 || scfg.admin_port < -1 || slow_log < 0) {
     std::fprintf(stderr,
                  "error: --max-batch/--queue-depth/--queue-max-mb expect "
                  "positive integers, --batch-window-ms a non-negative "
-                 "number\n");
+                 "number, --admin-port -1 (off), 0 (ephemeral) or a port, "
+                 "--slow-log a non-negative count\n");
     return 2;
   }
   scfg.queue_max_bytes = static_cast<std::size_t>(queue_max_mb) << 20;
+  scfg.slow_log = static_cast<std::size_t>(slow_log);
 
   auto model = std::make_shared<const core::FrozenModel>(
       core::FrozenModel::load_bundle(bundle_dir));
@@ -1273,6 +1284,12 @@ int cmd_serve(const Args& args) {
               !scfg.allow_swap          ? "disabled"
               : scfg.swap_root.empty()  ? "any path"
                                         : scfg.swap_root.c_str());
+  if (server.admin_port() >= 0) {
+    std::printf("serve: admin endpoint on http://127.0.0.1:%d "
+                "(/metrics /healthz /statusz /flamez, admin http v%u)\n",
+                server.admin_port(),
+                static_cast<unsigned>(serve::kAdminHttpVersion));
+  }
   std::fflush(stdout);
   if (const std::string port_file = args.get("port-file", "");
       !port_file.empty()) {
@@ -1286,9 +1303,26 @@ int cmd_serve(const Args& args) {
       return 1;
     }
   }
+  if (const std::string admin_port_file = args.get("admin-port-file", "");
+      !admin_port_file.empty()) {
+    std::ofstream out(admin_port_file);
+    out << server.admin_port() << '\n';
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write --admin-port-file %s\n",
+                   admin_port_file.c_str());
+      server.shutdown();
+      g_serve_instance.store(nullptr);
+      return 1;
+    }
+  }
 
   server.wait();  // blocks until SIGTERM/SIGINT, then drains
   g_serve_instance.store(nullptr);
+  // A daemon normally dies by signal, so flush the PHONOLID_PROM /
+  // PHONOLID_TRACE / PHONOLID_PROFILE_OUT artifacts here, right after the
+  // drain — not only in main()'s at-exit hook (obs/exporters.h), which a
+  // future non-graceful teardown path might never reach.
+  obs::export_from_env();
   std::printf("serve: drained and stopped\n");
   return 0;
 }
@@ -1302,8 +1336,11 @@ int cmd_version() {
   std::printf("  quality section   : v%d\n", eval::kQualityVersion);
   std::printf("  model bundle      : v%u\n",
               static_cast<unsigned>(core::kBundleFormatVersion));
-  std::printf("  serve protocol    : v%u\n",
-              static_cast<unsigned>(serve::kServeProtocolVersion));
+  std::printf("  serve protocol    : v%u (min v%u)\n",
+              static_cast<unsigned>(serve::kServeProtocolVersion),
+              static_cast<unsigned>(serve::kMinServeProtocolVersion));
+  std::printf("  serve admin http  : v%u\n",
+              static_cast<unsigned>(serve::kAdminHttpVersion));
   std::printf("build flags\n");
 #if defined(PHONOLID_BUILD_TYPE)
   std::printf("  build type        : %s\n", PHONOLID_BUILD_TYPE);
@@ -1390,6 +1427,8 @@ int cmd_report_diff(const Args& args) {
       args.get_double("max-serve-p99-regress", -1.0);
   options.max_serve_throughput_drop_pct =
       args.get_double("max-serve-throughput-drop", -1.0);
+  options.max_phase_p99_regress_pct =
+      args.get_double("max-phase-p99-regress", -1.0);
   options.min_span_s = args.get_double("min-span-s", options.min_span_s);
   const obs::Json baseline = load_json_file(args.positionals[0]);
   const obs::Json current = load_json_file(args.positionals[1]);
